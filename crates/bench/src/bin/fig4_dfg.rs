@@ -1,0 +1,77 @@
+//! Figure 4 — the data-flow graph of the HSOpticalFlow application.
+//!
+//! Prints the node inventory per role and per pyramid step, the JI share
+//! of total runtime (the paper reports 98.5% with 500 iterations per
+//! step), and the DFG structure (HtD/DS pyramid, WP→DV→JI×N→AD per step,
+//! US between steps, DtH at the end).
+//!
+//! Usage: `cargo run --release -p bench --bin fig4_dfg [--size N] [--iters N]`
+
+use bench::{pct, prepare, Scale};
+use gpu_sim::FreqConfig;
+use ktiler::{calibrate, CalibrationConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Figure 4: HSOpticalFlow DFG ==");
+    println!(
+        "workload: {}x{} frames, {} steps, {} JI/step (paper: 1024x1024, 3 steps, 500 JI)",
+        scale.size, scale.size, scale.levels, scale.iters
+    );
+    let w = prepare(scale);
+
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for role in w.app.roles.values() {
+        *counts.entry(role).or_default() += 1;
+    }
+    println!("\nnode inventory ({} nodes, {} edges):", w.app.graph.num_nodes(), w.app.graph.num_edges());
+    for (role, n) in &counts {
+        println!("  {role:<10} x{n}");
+    }
+
+    // JI runtime share, from the calibrated default execution times.
+    let cal = calibrate(
+        &w.app.graph,
+        &w.gt,
+        &w.cfg,
+        FreqConfig::default(),
+        &CalibrationConfig::default(),
+    );
+    let total: f64 = cal.default_times.iter().sum();
+    let ji: f64 = w
+        .app
+        .ji_nodes
+        .iter()
+        .map(|n| cal.default_times[n.0 as usize])
+        .sum();
+    println!(
+        "\nJI nodes: {} of {} kernels, {} of total kernel time (paper: 98.5% at 500 JI/step)",
+        w.app.ji_nodes.len(),
+        w.app.graph.num_nodes(),
+        pct(ji / total)
+    );
+
+    // Structure: per step, the chain as in Fig. 4.
+    println!("\nstructure (per step): [{{0}}|US] -> WP -> DV -> JI x{} -> AD AD", scale.iters);
+    println!("pyramid: HtD HtD -> DS DS -> ... ; finale: DtH DtH");
+
+    // Edge roles: verify the figure's arrows exist in the built graph.
+    let role = |n: kgraph::NodeId| *w.app.roles.get(&n).unwrap_or(&"?");
+    let mut arrows: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for e in w.app.graph.edge_ids() {
+        let edge = w.app.graph.edge(e);
+        *arrows.entry((role(edge.src).into(), role(edge.dst).into())).or_default() += 1;
+    }
+    println!("\nedge roles (producer -> consumer x count):");
+    for ((a, b), n) in &arrows {
+        println!("  {a:<10} -> {b:<10} x{n}");
+    }
+
+    // Graphviz export of the full DFG (render with `dot -Tsvg`).
+    let dot = kgraph::to_dot(&w.app.graph);
+    let path = "fig4_dfg.dot";
+    if std::fs::write(path, &dot).is_ok() {
+        println!("\nDOT graph written to {path} ({} lines)", dot.lines().count());
+    }
+}

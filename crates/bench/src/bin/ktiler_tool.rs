@@ -1,0 +1,143 @@
+//! `ktiler_tool` — a command-line driver for the whole pipeline, mirroring
+//! how the paper's tool is used: analyze an application, generate a
+//! schedule offline, enforce it at runtime, inspect the timeline.
+//!
+//! ```text
+//! ktiler_tool graph    [--size N] [--iters N] [--out FILE]     DOT of the DFG
+//! ktiler_tool schedule [--size N] [--iters N] [--freq G,M]
+//!                      [--thld NS] [--out FILE]                generate + save schedule
+//! ktiler_tool run      [--size N] [--iters N] [--freq G,M]
+//!                      [--schedule FILE] [--mode MODE]
+//!                      [--timeline FILE]                       execute and report
+//! ```
+//!
+//! Modes: `default` (one launch per kernel), `ktiler` (tile if no
+//! `--schedule` file given), `noig`, `streamed`.
+
+use bench::{ms, paper_ktiler_config, pct, prepare, Scale};
+use gpu_sim::{Engine, FreqConfig};
+use ktiler::{
+    calibrate, execute_with_timeline, ktiler_schedule, CalibrationConfig, Schedule,
+};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_freq() -> FreqConfig {
+    match arg_value("--freq") {
+        Some(s) => {
+            let (g, m) = s.split_once(',').expect("--freq wants GPU,MEM in MHz");
+            FreqConfig::new(
+                g.trim().parse().expect("bad GPU MHz"),
+                m.trim().parse().expect("bad MEM MHz"),
+            )
+        }
+        None => FreqConfig::new(1324.0, 1600.0),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: ktiler_tool <graph|schedule|run> [options] (see source header)");
+    std::process::exit(2);
+}
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_else(|| usage());
+    let scale = Scale::from_args();
+    match cmd.as_str() {
+        "graph" => {
+            let w = prepare(scale);
+            let dot = kgraph::to_dot(&w.app.graph);
+            match arg_value("--out") {
+                Some(path) => {
+                    std::fs::write(&path, dot).expect("write DOT file");
+                    println!("wrote {path}");
+                }
+                None => print!("{dot}"),
+            }
+        }
+        "schedule" => {
+            let w = prepare(scale);
+            let freq = parse_freq();
+            let cal =
+                calibrate(&w.app.graph, &w.gt, &w.cfg, freq, &CalibrationConfig::default());
+            let mut kcfg = paper_ktiler_config(&w.cfg);
+            if let Some(t) = arg_value("--thld") {
+                kcfg.weight_threshold_ns = t.parse().expect("bad --thld");
+            }
+            let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg);
+            out.schedule.validate(&w.app.graph, &w.gt.deps).expect("valid schedule");
+            eprintln!(
+                "schedule: {} launches, {} clusters, est {} ms ({:?})",
+                out.schedule.num_launches(),
+                out.clusters.len(),
+                ms(out.est_cost_ns),
+                out.report
+            );
+            let text = ktiler::schedule_to_text(&out.schedule);
+            match arg_value("--out") {
+                Some(path) => {
+                    std::fs::write(&path, text).expect("write schedule file");
+                    println!("wrote {path}");
+                }
+                None => print!("{text}"),
+            }
+        }
+        "run" => {
+            let w = prepare(scale);
+            let freq = parse_freq();
+            let mode = arg_value("--mode").unwrap_or_else(|| "ktiler".into());
+            let schedule = match arg_value("--schedule") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(&path).expect("read schedule file");
+                    ktiler::schedule_from_text(&text).expect("parse schedule file")
+                }
+                None if mode == "default" => Schedule::default_order(&w.app.graph),
+                None => {
+                    let cal = calibrate(
+                        &w.app.graph,
+                        &w.gt,
+                        &w.cfg,
+                        freq,
+                        &CalibrationConfig::default(),
+                    );
+                    ktiler_schedule(&w.app.graph, &w.gt, &cal, &paper_ktiler_config(&w.cfg))
+                        .schedule
+                }
+            };
+            schedule.validate(&w.app.graph, &w.gt.deps).expect("schedule must be valid");
+
+            let mut engine = Engine::new(w.cfg.clone(), freq);
+            match mode.as_str() {
+                "default" | "ktiler" => {}
+                "noig" => engine.set_inter_launch_gap_ns(0.0),
+                "streamed" => engine.set_streamed(true),
+                other => {
+                    eprintln!("unknown mode '{other}'");
+                    usage()
+                }
+            }
+            let (report, tl) = execute_with_timeline(&mut engine, &schedule, &w.app.graph, &w.gt);
+            println!(
+                "mode {mode} at {freq}: total {} ms = kernels {} + gaps {} + dma {} ms",
+                ms(report.total_ns),
+                ms(report.kernel_ns),
+                ms(report.ig_ns),
+                ms(report.dma_ns)
+            );
+            println!(
+                "{} launches, L2 hit rate {}, read hit rate {}",
+                report.launches,
+                pct(report.stats.hit_rate()),
+                pct(report.stats.read_hit_rate())
+            );
+            if let Some(path) = arg_value("--timeline") {
+                std::fs::write(&path, tl.to_chrome_trace()).expect("write timeline");
+                println!("timeline ({} slices) written to {path}", tl.slices.len());
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,314 @@
+//! Set-associative, write-back, write-allocate L2 cache model.
+//!
+//! The L2 of the simulated device is shared by all SMs (as on real NVIDIA
+//! parts), so a single [`L2Cache`] instance is threaded through an entire
+//! application simulation: lines installed by one kernel launch survive into
+//! the next launch, which is precisely the effect KTILER exploits.
+//!
+//! The model is probed with *line addresses* (byte address divided by the
+//! line size); the trace layer performs coalescing from thread accesses to
+//! line transactions. Replacement is true LRU per set.
+
+use crate::config::CacheConfig;
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been installed; a clean line (or an
+    /// invalid slot) was replaced.
+    Miss,
+    /// The line was absent and installing it evicted a dirty line, which
+    /// costs an extra write-back transfer to DRAM.
+    MissDirtyEvict,
+}
+
+impl Access {
+    /// Whether this access found the line in the cache.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Access::Hit)
+    }
+}
+
+/// Running hit/miss/traffic statistics of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of probing transactions that hit.
+    pub hits: u64,
+    /// Number of probing transactions that missed.
+    pub misses: u64,
+    /// Dirty lines written back to DRAM on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses have occurred.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LineSlot {
+    tag: u64,
+    dirty: bool,
+    valid: bool,
+}
+
+/// The shared L2 cache.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{CacheConfig, L2Cache};
+/// let mut l2 = L2Cache::new(CacheConfig::new(1024, 2, 64)); // 8 sets
+/// assert!(!l2.access_line(0, false).is_hit()); // cold miss
+/// assert!(l2.access_line(0, false).is_hit());  // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct L2Cache {
+    cfg: CacheConfig,
+    /// Per set: slots ordered most-recently-used first.
+    sets: Vec<Vec<LineSlot>>,
+    stats: CacheStats,
+}
+
+impl L2Cache {
+    /// Creates an empty (all-invalid) cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = vec![
+            vec![LineSlot { tag: 0, dirty: false, valid: false }; cfg.ways as usize];
+            cfg.num_sets() as usize
+        ];
+        L2Cache { cfg, sets, stats: CacheStats::default() }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated since creation or the last [`reset_stats`].
+    ///
+    /// [`reset_stats`]: L2Cache::reset_stats
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears the statistics (but not the cache contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidates every line (contents and statistics are reset).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for slot in set.iter_mut() {
+                slot.valid = false;
+                slot.dirty = false;
+            }
+        }
+        self.stats = CacheStats::default();
+    }
+
+    fn set_and_tag(&self, line: u64) -> (usize, u64) {
+        let num_sets = self.cfg.num_sets();
+        ((line % num_sets) as usize, line / num_sets)
+    }
+
+    /// Probes the cache with a line address (`byte_addr / line_bytes`).
+    ///
+    /// `write` marks the line dirty (write-allocate policy: missing writes
+    /// install the line too). Updates LRU order and statistics, and reports
+    /// whether a dirty eviction occurred.
+    pub fn access_line(&mut self, line: u64, write: bool) -> Access {
+        let (set_idx, tag) = self.set_and_tag(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|s| s.valid && s.tag == tag) {
+            let mut slot = set.remove(pos);
+            slot.dirty |= write;
+            set.insert(0, slot);
+            self.stats.hits += 1;
+            return Access::Hit;
+        }
+        self.stats.misses += 1;
+        // Victim: last (LRU) slot; prefer an invalid slot if one exists.
+        let victim_pos =
+            set.iter().rposition(|s| !s.valid).unwrap_or(set.len() - 1);
+        let victim = set.remove(victim_pos);
+        set.insert(0, LineSlot { tag, dirty: write, valid: true });
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            Access::MissDirtyEvict
+        } else {
+            Access::Miss
+        }
+    }
+
+    /// Probes the cache with a byte address (convenience for tests).
+    pub fn access_addr(&mut self, addr: u64, write: bool) -> Access {
+        self.access_line(self.cfg.line_of(addr), write)
+    }
+
+    /// Whether the given line is currently resident (does not affect LRU
+    /// order or statistics).
+    pub fn contains_line(&self, line: u64) -> bool {
+        let (set_idx, tag) = self.set_and_tag(line);
+        self.sets[set_idx].iter().any(|s| s.valid && s.tag == tag)
+    }
+
+    /// Invalidates one line if present, dropping its contents without a
+    /// write-back. Models DMA transfers that bypass the L2 and leave any
+    /// cached copy stale.
+    pub fn invalidate_line(&mut self, line: u64) {
+        let (set_idx, tag) = self.set_and_tag(line);
+        if let Some(pos) =
+            self.sets[set_idx].iter().position(|s| s.valid && s.tag == tag)
+        {
+            self.sets[set_idx][pos].valid = false;
+            self.sets[set_idx][pos].dirty = false;
+        }
+    }
+
+    /// Number of currently valid lines (diagnostic).
+    pub fn resident_lines(&self) -> u64 {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|slot| slot.valid).count() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> L2Cache {
+        // 4 sets x 2 ways x 64 B lines = 512 B.
+        L2Cache::new(CacheConfig::new(512, 2, 64))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_cache();
+        assert_eq!(c.access_line(5, false), Access::Miss);
+        assert_eq!(c.access_line(5, false), Access::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_replacement_within_set() {
+        let mut c = small_cache();
+        // Lines 0, 4, 8 all map to set 0 (4 sets). Two ways.
+        c.access_line(0, false);
+        c.access_line(4, false);
+        c.access_line(0, false); // 0 becomes MRU; 4 is LRU
+        assert_eq!(c.access_line(8, false), Access::Miss); // evicts 4
+        assert!(c.contains_line(0));
+        assert!(!c.contains_line(4));
+        assert!(c.contains_line(8));
+    }
+
+    #[test]
+    fn dirty_eviction_costs_writeback() {
+        let mut c = small_cache();
+        c.access_line(0, true); // dirty
+        c.access_line(4, false);
+        // Set is full; next miss in set 0 evicts LRU (line 0, dirty).
+        assert_eq!(c.access_line(8, false), Access::MissDirtyEvict);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small_cache();
+        c.access_line(0, false);
+        c.access_line(0, true); // hit, now dirty
+        c.access_line(4, false);
+        assert_eq!(c.access_line(8, false), Access::MissDirtyEvict);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = small_cache();
+        c.access_line(3, true);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.stats().accesses(), 0);
+        assert_eq!(c.access_line(3, false), Access::Miss);
+    }
+
+    #[test]
+    fn invalidate_drops_without_writeback() {
+        let mut c = small_cache();
+        c.access_line(0, true);
+        c.invalidate_line(0);
+        assert!(!c.contains_line(0));
+        c.access_line(4, false);
+        // Set 0 has one invalid slot, so this miss must not evict dirty data.
+        assert_eq!(c.access_line(8, false), Access::Miss);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = small_cache();
+        // Lines 0..4 map to sets 0..4 respectively; all fit.
+        for l in 0..4 {
+            c.access_line(l, false);
+        }
+        for l in 0..4 {
+            assert!(c.contains_line(l));
+        }
+        assert_eq!(c.resident_lines(), 4);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = small_cache(); // 8 lines capacity
+        // Stream 16 distinct lines twice: second pass still misses because
+        // the working set is twice the capacity (LRU streaming pattern).
+        for _ in 0..2 {
+            for l in 0..16 {
+                c.access_line(l, false);
+            }
+        }
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 32);
+    }
+
+    #[test]
+    fn working_set_fitting_in_cache_hits_on_reuse() {
+        let mut c = small_cache(); // 8 lines capacity
+        for _ in 0..2 {
+            for l in 0..8 {
+                c.access_line(l, false);
+            }
+        }
+        assert_eq!(c.stats().hits, 8);
+        assert_eq!(c.stats().misses, 8);
+    }
+
+    #[test]
+    fn contains_does_not_touch_lru() {
+        let mut c = small_cache();
+        c.access_line(0, false);
+        c.access_line(4, false); // MRU = 4, LRU = 0
+        assert!(c.contains_line(0)); // must not promote 0
+        c.access_line(8, false); // evicts LRU = 0
+        assert!(!c.contains_line(0));
+        assert!(c.contains_line(4));
+    }
+}

@@ -1,0 +1,486 @@
+//! Device and frequency configuration for the simulated GPU.
+//!
+//! The default preset, [`GpuConfig::gtx960m`], mirrors the evaluation
+//! platform of the paper: an NVIDIA GeForce GTX 960M with five Maxwell
+//! streaming multiprocessors (640 CUDA cores), a 2 MiB shared L2 cache and
+//! 2 GiB of dedicated GDDR5. DVFS operating points are expressed as
+//! [`FreqConfig`] pairs `(gpu_mhz, mem_mhz)`; the figures of the paper sweep
+//! these pairs, and the harness binaries in the `bench` crate reuse the same
+//! labels.
+
+use std::fmt;
+
+/// A DVFS operating point: GPU core clock and memory data-rate clock.
+///
+/// `mem_mhz` is the *effective* (data-rate) memory frequency, i.e. the number
+/// NVIDIA reports for GDDR5 (twice the command clock). The paper labels some
+/// figures with command clocks (e.g. 2505) and others with data rates
+/// (e.g. 5010); the harness uses each figure's own labels and notes the
+/// convention in `EXPERIMENTS.md`.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::FreqConfig;
+/// let f = FreqConfig::new(1324.0, 5010.0);
+/// assert_eq!(f.to_string(), "(1324,5010)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreqConfig {
+    /// GPU core clock in MHz. Scales compute issue and cache service rates.
+    pub gpu_mhz: f64,
+    /// Effective memory clock in MHz. Scales DRAM bandwidth and part of the
+    /// DRAM access latency.
+    pub mem_mhz: f64,
+}
+
+impl FreqConfig {
+    /// Creates a frequency pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either frequency is not strictly positive and finite.
+    pub fn new(gpu_mhz: f64, mem_mhz: f64) -> Self {
+        assert!(
+            gpu_mhz > 0.0 && gpu_mhz.is_finite() && mem_mhz > 0.0 && mem_mhz.is_finite(),
+            "frequencies must be positive and finite"
+        );
+        FreqConfig { gpu_mhz, mem_mhz }
+    }
+
+    /// Duration of one GPU core cycle in nanoseconds.
+    pub fn gpu_cycle_ns(&self) -> f64 {
+        1000.0 / self.gpu_mhz
+    }
+
+    /// Converts GPU core cycles to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: f64) -> f64 {
+        cycles * self.gpu_cycle_ns()
+    }
+
+    /// Converts nanoseconds to GPU core cycles.
+    pub fn ns_to_cycles(&self, ns: f64) -> f64 {
+        ns / self.gpu_cycle_ns()
+    }
+}
+
+impl Default for FreqConfig {
+    /// The highest operating point of the paper's platform: (1324, 5010).
+    fn default() -> Self {
+        FreqConfig::new(1324.0, 5010.0)
+    }
+}
+
+impl fmt::Display for FreqConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.gpu_mhz, self.mem_mhz)
+    }
+}
+
+/// Geometry and replacement parameters of the simulated L2 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Cache line size in bytes. Also the DRAM transfer granularity.
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_bytes` and the resulting number of sets are
+    /// powers of two and `capacity_bytes` is divisible by `ways *
+    /// line_bytes` (required for the simple bit-sliced set indexing used by
+    /// the model).
+    pub fn new(capacity_bytes: u64, ways: u32, line_bytes: u64) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways > 0, "associativity must be non-zero");
+        assert_eq!(
+            capacity_bytes % (ways as u64 * line_bytes),
+            0,
+            "capacity must be a whole number of sets"
+        );
+        let cfg = CacheConfig { capacity_bytes, ways, line_bytes };
+        assert!(cfg.num_sets().is_power_of_two(), "number of sets must be a power of two");
+        cfg
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.capacity_bytes / (self.ways as u64 * self.line_bytes)
+    }
+
+    /// Number of lines the cache can hold.
+    pub fn num_lines(&self) -> u64 {
+        self.capacity_bytes / self.line_bytes
+    }
+
+    /// Line-aligned address of the line containing `addr`.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes
+    }
+}
+
+impl Default for CacheConfig {
+    /// The GTX 960M L2: 2 MiB, 16-way, 128 B lines (1024 sets).
+    fn default() -> Self {
+        CacheConfig::new(2 * 1024 * 1024, 16, 128)
+    }
+}
+
+/// Per-launch resource requirements that limit SM occupancy, mirroring
+/// the CUDA occupancy calculator inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchResources {
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Registers allocated per thread.
+    pub regs_per_thread: u32,
+    /// Static shared memory per block in bytes.
+    pub shared_mem_bytes: u64,
+}
+
+impl LaunchResources {
+    /// Resources of a block with the given thread count and typical
+    /// register pressure (32 regs/thread, no shared memory).
+    pub fn with_threads(threads_per_block: u32) -> Self {
+        LaunchResources { threads_per_block, regs_per_thread: 32, shared_mem_bytes: 0 }
+    }
+}
+
+/// Full device model parameters.
+///
+/// Latency and overhead constants are expressed in GPU core cycles or
+/// nanoseconds as indicated; the timing engine combines them with a
+/// [`FreqConfig`] at simulation time so one `GpuConfig` serves all DVFS
+/// points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Maximum resident threads per SM (occupancy limit).
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM (hardware slot limit).
+    pub max_blocks_per_sm: u32,
+    /// Register file size per SM (registers of 4 bytes).
+    pub regs_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u64,
+    /// Instructions the SM can issue per core cycle (across its schedulers).
+    pub issue_width: f64,
+    /// L2 cache geometry.
+    pub cache: CacheConfig,
+    /// Optional per-SM L1 cache geometry. L1s cache *loads only* (Maxwell
+    /// stores bypass L1) and are invalidated between kernel launches —
+    /// only the L2 persists across launches, which is the mechanism KTILER
+    /// exploits. `None` models an architecture with L1 caching of globals
+    /// disabled (the Maxwell default for global loads).
+    pub l1: Option<CacheConfig>,
+    /// L1 hit service latency in core cycles.
+    pub l1_hit_latency_cycles: f64,
+    /// L2 hit service latency in core cycles (at any core clock).
+    pub l2_hit_latency_cycles: f64,
+    /// Fixed component of a DRAM access latency, in nanoseconds.
+    pub dram_latency_ns: f64,
+    /// Memory-clock-dependent component of DRAM latency, expressed in
+    /// effective memory-clock cycles (converted via `1000 / mem_mhz` ns).
+    pub dram_latency_mem_cycles: f64,
+    /// DRAM bus width in bytes per effective memory clock edge. With the
+    /// effective (data-rate) clock this gives `bandwidth = mem_mhz * 1e6 *
+    /// dram_bus_bytes` bytes per second. The 960M's 128-bit GDDR5 bus is 16
+    /// bytes wide: at 5010 MHz effective that is ~80 GB/s, matching the part.
+    pub dram_bus_bytes: f64,
+    /// Average issue separation between successive memory transactions of a
+    /// warp stream, in core cycles. Bounds achievable memory-level
+    /// parallelism (Hong–Kim "departure delay").
+    pub mem_departure_cycles: f64,
+    /// Fixed cost of a kernel launch (driver + dispatch), in nanoseconds.
+    /// This part scales with nothing and is paid once per launch, inside the
+    /// kernel's measured time.
+    pub launch_overhead_ns: f64,
+    /// Inter-launch gap: idle time between two consecutive kernel launches
+    /// (driver round trip), in nanoseconds. This is the "IG" of the paper;
+    /// the `ktiler w/o IG` evaluation mode sets it to zero.
+    pub inter_launch_gap_ns: f64,
+    /// Host-device interconnect bandwidth in bytes per second (PCIe 3.0 x8
+    /// effective for the laptop platform).
+    pub pcie_bytes_per_sec: f64,
+    /// Host-device transfer fixed latency in nanoseconds.
+    pub pcie_latency_ns: f64,
+    /// Fraction of issued cycles additionally lost to non-memory stalls
+    /// (synchronization, execution dependencies). Used only for the
+    /// stall-reason breakdown counters, not for timing.
+    pub other_stall_factor: f64,
+}
+
+impl GpuConfig {
+    /// The paper's evaluation platform: NVIDIA GeForce GTX 960M.
+    ///
+    /// 5 Maxwell SMs (640 cores), 2 MiB 16-way L2 with 128 B lines, 2 GiB
+    /// GDDR5 on a 128-bit bus. Latency constants follow published Maxwell
+    /// microbenchmarks (L2 ~190 core cycles, DRAM ~160 ns + row activity).
+    /// Global loads are not cached in L1 (the Maxwell default), so `l1` is
+    /// `None`; use [`GpuConfig::with_l1`] to model `-Xptxas -dlcm=ca`.
+    pub fn gtx960m() -> Self {
+        GpuConfig {
+            num_sms: 5,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            regs_per_sm: 65_536,
+            shared_mem_per_sm: 65_536,
+            issue_width: 2.0,
+            cache: CacheConfig::default(),
+            l1: None,
+            l1_hit_latency_cycles: 30.0,
+            l2_hit_latency_cycles: 190.0,
+            dram_latency_ns: 160.0,
+            dram_latency_mem_cycles: 220.0,
+            dram_bus_bytes: 16.0,
+            mem_departure_cycles: 2.0,
+            launch_overhead_ns: 500.0,
+            inter_launch_gap_ns: 2_500.0,
+            pcie_bytes_per_sec: 6.0e9,
+            pcie_latency_ns: 8_000.0,
+            other_stall_factor: 0.55,
+        }
+    }
+
+    /// Returns this configuration with per-SM L1 load caching enabled
+    /// (24 KiB, 12-way, 128 B lines — the Maxwell unified L1/texture
+    /// cache; 12 ways keep the set count a power of two).
+    pub fn with_l1(mut self) -> Self {
+        self.l1 = Some(CacheConfig::new(24 * 1024, 12, 128));
+        self
+    }
+
+    /// Maximum number of blocks of `threads_per_block` threads that can be
+    /// resident on one SM at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads_per_block` is zero or exceeds the per-SM thread
+    /// limit (such a kernel cannot be launched at all).
+    pub fn blocks_per_sm(&self, threads_per_block: u32) -> u32 {
+        self.blocks_per_sm_res(&LaunchResources::with_threads(threads_per_block))
+    }
+
+    /// Maximum resident blocks per SM for a launch with full resource
+    /// requirements: limited by threads, block slots, registers and shared
+    /// memory — the CUDA occupancy calculation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single block already exceeds any per-SM limit (such a
+    /// kernel cannot launch at all).
+    pub fn blocks_per_sm_res(&self, res: &LaunchResources) -> u32 {
+        assert!(res.threads_per_block > 0, "blocks must have at least one thread");
+        assert!(
+            res.threads_per_block <= self.max_threads_per_sm,
+            "block of {} threads exceeds the SM limit of {}",
+            res.threads_per_block,
+            self.max_threads_per_sm
+        );
+        let mut blocks = (self.max_threads_per_sm / res.threads_per_block)
+            .min(self.max_blocks_per_sm);
+        let regs_per_block = res.regs_per_thread * res.threads_per_block;
+        if regs_per_block > 0 {
+            assert!(
+                regs_per_block <= self.regs_per_sm,
+                "block needs {regs_per_block} registers, SM has {}",
+                self.regs_per_sm
+            );
+            blocks = blocks.min(self.regs_per_sm / regs_per_block);
+        }
+        if res.shared_mem_bytes > 0 {
+            assert!(
+                res.shared_mem_bytes <= self.shared_mem_per_sm,
+                "block needs {} B shared memory, SM has {}",
+                res.shared_mem_bytes,
+                self.shared_mem_per_sm
+            );
+            blocks = blocks.min((self.shared_mem_per_sm / res.shared_mem_bytes) as u32);
+        }
+        blocks.max(1)
+    }
+
+    /// Blocks that can be resident on the whole device at a time (the size
+    /// of one dispatch "wave").
+    pub fn wave_capacity(&self, threads_per_block: u32) -> u32 {
+        self.blocks_per_sm(threads_per_block) * self.num_sms
+    }
+
+    /// Wave capacity for a launch with full resource requirements.
+    pub fn wave_capacity_res(&self, res: &LaunchResources) -> u32 {
+        self.blocks_per_sm_res(res) * self.num_sms
+    }
+
+    /// DRAM bandwidth in bytes per second at the given memory clock.
+    pub fn dram_bandwidth(&self, freq: &FreqConfig) -> f64 {
+        freq.mem_mhz * 1.0e6 * self.dram_bus_bytes
+    }
+
+    /// Full DRAM access latency in nanoseconds at the given memory clock.
+    pub fn dram_access_ns(&self, freq: &FreqConfig) -> f64 {
+        self.dram_latency_ns + self.dram_latency_mem_cycles * 1000.0 / freq.mem_mhz
+    }
+
+    /// Latency of an L2 miss in core cycles at the given operating point:
+    /// the hit probe plus the DRAM round trip.
+    pub fn miss_latency_cycles(&self, freq: &FreqConfig) -> f64 {
+        self.l2_hit_latency_cycles + freq.ns_to_cycles(self.dram_access_ns(freq))
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::gtx960m()
+    }
+}
+
+/// The four DVFS points of Figure 3 (Jacobi throughput sweep), using the
+/// paper's series labels.
+pub fn fig3_freq_configs() -> [FreqConfig; 4] {
+    [
+        FreqConfig::new(405.0, 405.0),
+        FreqConfig::new(1189.0, 2505.0),
+        FreqConfig::new(1324.0, 800.0),
+        FreqConfig::new(1324.0, 2505.0),
+    ]
+}
+
+/// The four DVFS points of Figure 5 (end-to-end evaluation), using the
+/// paper's labels.
+pub fn fig5_freq_configs() -> [FreqConfig; 4] {
+    [
+        FreqConfig::new(1324.0, 5010.0),
+        FreqConfig::new(1189.0, 5010.0),
+        FreqConfig::new(1324.0, 1600.0),
+        FreqConfig::new(405.0, 810.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx960m_cache_geometry() {
+        let c = GpuConfig::gtx960m();
+        assert_eq!(c.cache.num_sets(), 1024);
+        assert_eq!(c.cache.num_lines(), 16 * 1024);
+        assert_eq!(c.cache.line_of(0x1234), 0x1234 / 128);
+    }
+
+    #[test]
+    fn occupancy_limits() {
+        let c = GpuConfig::gtx960m();
+        // 256-thread blocks: limited by threads (2048/256 = 8).
+        assert_eq!(c.blocks_per_sm(256), 8);
+        // Tiny blocks: limited by the 32-slot cap.
+        assert_eq!(c.blocks_per_sm(32), 32);
+        assert_eq!(c.wave_capacity(256), 40);
+    }
+
+    #[test]
+    fn occupancy_limited_by_registers() {
+        let c = GpuConfig::gtx960m();
+        // 256 threads x 64 regs = 16384 regs/block; 65536/16384 = 4 blocks,
+        // below the 8 allowed by the thread limit.
+        let res = LaunchResources { threads_per_block: 256, regs_per_thread: 64, shared_mem_bytes: 0 };
+        assert_eq!(c.blocks_per_sm_res(&res), 4);
+        // Light register pressure leaves the thread limit binding.
+        let light = LaunchResources { regs_per_thread: 16, ..res };
+        assert_eq!(c.blocks_per_sm_res(&light), 8);
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared_memory() {
+        let c = GpuConfig::gtx960m();
+        let res = LaunchResources {
+            threads_per_block: 256,
+            regs_per_thread: 16,
+            shared_mem_bytes: 24 * 1024,
+        };
+        // 65536 / 24576 = 2 blocks.
+        assert_eq!(c.blocks_per_sm_res(&res), 2);
+        assert_eq!(c.wave_capacity_res(&res), 10);
+    }
+
+    #[test]
+    fn at_least_one_block_always_fits_within_limits() {
+        let c = GpuConfig::gtx960m();
+        let res = LaunchResources {
+            threads_per_block: 2048,
+            regs_per_thread: 32,
+            shared_mem_bytes: 65_536,
+        };
+        assert_eq!(c.blocks_per_sm_res(&res), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registers")]
+    fn register_starved_block_rejected() {
+        let c = GpuConfig::gtx960m();
+        let res = LaunchResources {
+            threads_per_block: 1024,
+            regs_per_thread: 255,
+            shared_mem_bytes: 0,
+        };
+        let _ = c.blocks_per_sm_res(&res);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the SM limit")]
+    fn oversized_block_rejected() {
+        let c = GpuConfig::gtx960m();
+        let _ = c.blocks_per_sm(4096);
+    }
+
+    #[test]
+    fn bandwidth_matches_part() {
+        let c = GpuConfig::gtx960m();
+        let bw = c.dram_bandwidth(&FreqConfig::new(1324.0, 5010.0));
+        // ~80 GB/s for 128-bit GDDR5 at 5010 MHz effective.
+        assert!((bw - 80.16e9).abs() < 1e7, "bw = {bw}");
+    }
+
+    #[test]
+    fn lower_mem_clock_raises_latency_and_lowers_bandwidth() {
+        let c = GpuConfig::gtx960m();
+        let hi = FreqConfig::new(1324.0, 5010.0);
+        let lo = FreqConfig::new(1324.0, 810.0);
+        assert!(c.dram_access_ns(&lo) > c.dram_access_ns(&hi));
+        assert!(c.dram_bandwidth(&lo) < c.dram_bandwidth(&hi));
+        assert!(c.miss_latency_cycles(&lo) > c.miss_latency_cycles(&hi));
+    }
+
+    #[test]
+    fn cycle_conversions_roundtrip() {
+        let f = FreqConfig::new(1324.0, 5010.0);
+        let ns = f.cycles_to_ns(1324.0e6 / 1.0e9 * 1000.0); // 1324e6 cyc/s
+        assert!((f.ns_to_cycles(ns) - 1324.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn freq_rejects_zero() {
+        let _ = FreqConfig::new(0.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cache_rejects_non_pow2_line() {
+        let _ = CacheConfig::new(2 * 1024 * 1024, 16, 100);
+    }
+
+    #[test]
+    fn preset_freq_lists_match_paper() {
+        assert_eq!(fig3_freq_configs()[0].to_string(), "(405,405)");
+        assert_eq!(fig5_freq_configs()[3].to_string(), "(405,810)");
+    }
+}

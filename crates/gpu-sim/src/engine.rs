@@ -1,0 +1,657 @@
+//! The timing engine: simulates kernel launches on the modeled device.
+//!
+//! A launch executes a set of [`BlockWork`]s. Blocks are dispatched to SMs in
+//! *waves* (as many blocks as the occupancy limits allow to be resident at
+//! once); within a wave, the transactions of all resident warps are replayed
+//! through the shared [`L2Cache`] in round-robin order, approximating the
+//! fine-grained interleaving of SIMT execution. Per-SM wave time is the
+//! maximum of three terms (a Hong–Kim-style latency-hiding model):
+//!
+//! * **issue-bound** — total issue cycles of resident warps (inflated by the
+//!   modeled non-memory stall factor) divided by the issue width;
+//! * **memory-latency-bound** — total memory service cycles divided by the
+//!   achievable memory-warp parallelism (MWP), where MWP is limited both by
+//!   `avg_latency / departure_delay` and by the number of resident warps;
+//! * **bandwidth-bound** — DRAM traffic of the wave over the DRAM bandwidth
+//!   (a device-wide term, since the bus is shared).
+//!
+//! Crucially, the cache is *persistent across launches*: lines installed by
+//! one sub-kernel are still resident when the next sub-kernel runs. This is
+//! the mechanism KTILER exploits, and the reason simulated schedules exhibit
+//! the paper's behaviour.
+
+use crate::cache::{Access, L2Cache};
+use crate::config::{FreqConfig, GpuConfig, LaunchResources};
+use crate::profiler::{LaunchStats, RunCounters};
+use crate::work::BlockWork;
+
+/// A simulated GPU device: configuration, frequency point, shared L2 and
+/// running clock.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{Engine, GpuConfig, FreqConfig, BlockWork, WarpWork, Txn};
+/// let mut gpu = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
+/// let block = BlockWork {
+///     warps: vec![WarpWork { txns: vec![Txn { line: 0, write: false }], compute_cycles: 8 }],
+/// };
+/// let stats = gpu.launch(&[&block], 32);
+/// assert_eq!(stats.l2_misses, 1); // cold cache
+/// let stats = gpu.launch(&[&block], 32);
+/// assert_eq!(stats.l2_hits, 1); // line survived the first launch
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cfg: GpuConfig,
+    freq: FreqConfig,
+    cache: L2Cache,
+    counters: RunCounters,
+    /// Effective inter-launch gap; defaults to the config value and is set
+    /// to zero for the paper's "KTILER w/o IG" evaluation mode.
+    ig_ns: f64,
+    /// Stream mode: launch submission overlaps with execution, so the gap
+    /// is only paid to the extent the previous operation was shorter than
+    /// the driver round trip (the paper's CUDA-streams mitigation).
+    streamed: bool,
+    /// Duration of the last launch or transfer, for stream-mode overlap.
+    last_op_ns: f64,
+}
+
+impl Engine {
+    /// Creates a device with a cold cache at the given operating point.
+    pub fn new(cfg: GpuConfig, freq: FreqConfig) -> Self {
+        let cache = L2Cache::new(cfg.cache);
+        let ig_ns = cfg.inter_launch_gap_ns;
+        Engine {
+            cfg,
+            freq,
+            cache,
+            counters: RunCounters::default(),
+            ig_ns,
+            streamed: false,
+            last_op_ns: 0.0,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The current operating point.
+    pub fn freq(&self) -> FreqConfig {
+        self.freq
+    }
+
+    /// Read-only view of the shared L2 (for warm-up checks in tests).
+    pub fn cache(&self) -> &L2Cache {
+        &self.cache
+    }
+
+    /// Mutable access to the shared L2 (to pre-warm or flush in harnesses).
+    pub fn cache_mut(&mut self) -> &mut L2Cache {
+        &mut self.cache
+    }
+
+    /// Aggregate counters of the run so far.
+    pub fn counters(&self) -> &RunCounters {
+        &self.counters
+    }
+
+    /// Total simulated wall-clock time so far, in nanoseconds.
+    pub fn time_ns(&self) -> f64 {
+        self.counters.total_ns()
+    }
+
+    /// Overrides the inter-launch gap (e.g. `0.0` for the "w/o IG" mode).
+    pub fn set_inter_launch_gap_ns(&mut self, ns: f64) {
+        assert!(ns >= 0.0 && ns.is_finite(), "gap must be non-negative");
+        self.ig_ns = ns;
+    }
+
+    /// The effective inter-launch gap.
+    pub fn inter_launch_gap_ns(&self) -> f64 {
+        self.ig_ns
+    }
+
+    /// Enables or disables stream mode: with streams, the host submits the
+    /// next launch while the previous one executes, so the inter-launch
+    /// gap is only paid to the extent the previous operation was *shorter*
+    /// than the driver round trip — `gap = max(0, IG - t_prev)`. This is
+    /// the software mitigation the paper suggests (Sec. II: "the length of
+    /// the IG … can be mitigated; for example … by using software
+    /// techniques involving CUDA streams").
+    pub fn set_streamed(&mut self, streamed: bool) {
+        self.streamed = streamed;
+    }
+
+    /// Whether stream mode is active.
+    pub fn is_streamed(&self) -> bool {
+        self.streamed
+    }
+
+    /// Resets clock, counters and cache contents (same device, fresh run).
+    pub fn reset(&mut self) {
+        self.cache.flush();
+        self.counters = RunCounters::default();
+        self.last_op_ns = 0.0;
+    }
+
+    /// Simulates one kernel launch over the given blocks.
+    ///
+    /// `threads_per_block` determines occupancy (blocks per SM per wave).
+    /// Advances the device clock by the launch duration, preceded by the
+    /// inter-launch gap if this is not the first operation of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or `threads_per_block` exceeds the SM
+    /// thread limit.
+    pub fn launch(&mut self, blocks: &[&BlockWork], threads_per_block: u32) -> LaunchStats {
+        self.launch_res(blocks, &LaunchResources::with_threads(threads_per_block))
+    }
+
+    /// Simulates one kernel launch with full occupancy resources (threads,
+    /// registers, shared memory) — see [`GpuConfig::blocks_per_sm_res`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or a block exceeds a per-SM limit.
+    pub fn launch_res(&mut self, blocks: &[&BlockWork], res: &LaunchResources) -> LaunchStats {
+        assert!(!blocks.is_empty(), "a launch needs at least one block");
+        self.pay_gap();
+
+        let wave_cap = self.cfg.wave_capacity_res(res) as usize;
+        let num_sms = self.cfg.num_sms as usize;
+        let hit_lat = self.cfg.l2_hit_latency_cycles;
+        let l1_lat = self.cfg.l1_hit_latency_cycles;
+        let miss_lat = self.cfg.miss_latency_cycles(&self.freq);
+        let line_bytes = self.cfg.cache.line_bytes;
+        // Per-SM L1s live for the duration of one launch only: real GPUs
+        // flush them between kernels, so inter-kernel reuse can only come
+        // from the persistent L2 — the effect KTILER exploits.
+        let mut l1s: Vec<L2Cache> = match self.cfg.l1 {
+            Some(l1_cfg) => (0..num_sms).map(|_| L2Cache::new(l1_cfg)).collect(),
+            None => Vec::new(),
+        };
+
+        let mut stats = LaunchStats { blocks: blocks.len() as u32, ..Default::default() };
+        let mut total_cycles = 0.0_f64;
+
+        for wave in blocks.chunks(wave_cap) {
+            stats.waves += 1;
+            // Cursor over each resident warp's transaction stream:
+            // (sm, service_cycles_accumulator ref handled below).
+            struct WarpCursor<'a> {
+                sm: usize,
+                txns: &'a [crate::work::Txn],
+                next: usize,
+                service: f64,
+                miss_service: f64,
+            }
+            let mut cursors: Vec<WarpCursor<'_>> = Vec::new();
+            let mut sm_issue = vec![0.0_f64; num_sms];
+            let mut sm_warps = vec![0u32; num_sms];
+            let mut sm_service = vec![0.0_f64; num_sms];
+            let mut sm_miss_service = vec![0.0_f64; num_sms];
+            let mut sm_txns = vec![0u64; num_sms];
+            let mut wave_dram_bytes = 0u64;
+
+            for (i, block) in wave.iter().enumerate() {
+                let sm = i % num_sms;
+                for warp in &block.warps {
+                    sm_issue[sm] += warp.issue_cycles() as f64;
+                    sm_warps[sm] += 1;
+                    cursors.push(WarpCursor {
+                        sm,
+                        txns: &warp.txns,
+                        next: 0,
+                        service: 0.0,
+                        miss_service: 0.0,
+                    });
+                }
+            }
+
+            // Round-robin replay through the shared L2: one transaction per
+            // resident warp per round, approximating SIMT interleaving.
+            let mut remaining: usize = cursors.iter().map(|c| c.txns.len()).sum();
+            while remaining > 0 {
+                for c in cursors.iter_mut() {
+                    if c.next < c.txns.len() {
+                        let t = c.txns[c.next];
+                        c.next += 1;
+                        remaining -= 1;
+                        if !l1s.is_empty() {
+                            if t.write {
+                                // Stores bypass the L1 but invalidate any
+                                // stale copy in the issuing SM's L1.
+                                l1s[c.sm].invalidate_line(t.line);
+                            } else if l1s[c.sm].access_line(t.line, false).is_hit() {
+                                stats.l1_hits += 1;
+                                c.service += l1_lat;
+                                continue;
+                            }
+                        }
+                        match self.cache.access_line(t.line, t.write) {
+                            Access::Hit => {
+                                stats.l2_hits += 1;
+                                if !t.write {
+                                    stats.l2_read_hits += 1;
+                                }
+                                c.service += hit_lat;
+                            }
+                            Access::Miss => {
+                                stats.l2_misses += 1;
+                                if !t.write {
+                                    stats.l2_read_misses += 1;
+                                }
+                                c.service += miss_lat;
+                                c.miss_service += miss_lat;
+                                wave_dram_bytes += line_bytes;
+                            }
+                            Access::MissDirtyEvict => {
+                                stats.l2_misses += 1;
+                                if !t.write {
+                                    stats.l2_read_misses += 1;
+                                }
+                                c.service += miss_lat;
+                                c.miss_service += miss_lat;
+                                wave_dram_bytes += 2 * line_bytes;
+                            }
+                        }
+                    }
+                }
+            }
+            for c in &cursors {
+                sm_service[c.sm] += c.service;
+                sm_miss_service[c.sm] += c.miss_service;
+                sm_txns[c.sm] += c.txns.len() as u64;
+            }
+            stats.dram_bytes += wave_dram_bytes;
+
+            // Device-wide bandwidth term for this wave.
+            let bw = self.cfg.dram_bandwidth(&self.freq);
+            let bw_term = self.freq.ns_to_cycles(wave_dram_bytes as f64 / bw * 1e9);
+
+            // Per-SM issue/latency terms.
+            let mut wave_cycles = bw_term;
+            let mut active_sms = 0u32;
+            for sm in 0..num_sms {
+                if sm_warps[sm] == 0 {
+                    continue;
+                }
+                active_sms += 1;
+                let issue_term = sm_issue[sm] / self.cfg.issue_width;
+                let issue_busy = issue_term * (1.0 + self.cfg.other_stall_factor);
+                let mem_term = if sm_txns[sm] == 0 {
+                    0.0
+                } else {
+                    let avg_lat = sm_service[sm] / sm_txns[sm] as f64;
+                    let mwp = (avg_lat / self.cfg.mem_departure_cycles)
+                        .clamp(1.0, sm_warps[sm] as f64);
+                    sm_service[sm] / mwp
+                };
+                let sm_cycles = issue_busy.max(mem_term);
+                wave_cycles = wave_cycles.max(sm_cycles);
+
+                stats.issued_cycles += issue_term;
+                // Attribute unhidden memory time to "memory dependency"
+                // stalls in proportion to the share of service spent on
+                // misses: L2 hits are largely overlapped by other warps,
+                // which is why the profiler's memory-dependency share
+                // collapses for cache-resident tiles (Fig. 2).
+                let miss_frac = if sm_service[sm] > 0.0 {
+                    sm_miss_service[sm] / sm_service[sm]
+                } else {
+                    0.0
+                };
+                stats.mem_stall_cycles += (mem_term - issue_term).max(0.0) * miss_frac;
+                stats.other_stall_cycles += issue_term * self.cfg.other_stall_factor;
+            }
+            // Active cycles: every SM that hosted work is "active" for the
+            // whole wave (its schedulers are polling for eligible warps).
+            stats.active_cycles += wave_cycles * active_sms as f64;
+            total_cycles += wave_cycles;
+        }
+
+        stats.time_ns = self.cfg.launch_overhead_ns + self.freq.cycles_to_ns(total_cycles);
+        self.counters.totals.merge(&stats);
+        self.counters.launches += 1;
+        self.last_op_ns = stats.time_ns;
+        stats
+    }
+
+    fn pay_gap(&mut self) {
+        if self.counters.launches > 0 || self.counters.dma_ns > 0.0 {
+            let gap = if self.streamed {
+                (self.ig_ns - self.last_op_ns).max(0.0)
+            } else {
+                self.ig_ns
+            };
+            self.counters.inter_launch_gap_ns += gap;
+        }
+    }
+
+    /// Simulates a host→device DMA of `bytes` covering the given cache
+    /// lines. The transfer bypasses the L2, so any cached copy of the lines
+    /// is invalidated (the data now lives in DRAM only).
+    ///
+    /// Returns the transfer duration in nanoseconds.
+    pub fn dma_host_to_device(&mut self, bytes: u64, lines: impl IntoIterator<Item = u64>) -> f64 {
+        for line in lines {
+            self.cache.invalidate_line(line);
+        }
+        self.pay_dma(bytes)
+    }
+
+    /// Simulates a device→host DMA of `bytes`. Cached lines may serve the
+    /// read, so cache state is unchanged.
+    ///
+    /// Returns the transfer duration in nanoseconds.
+    pub fn dma_device_to_host(&mut self, bytes: u64) -> f64 {
+        self.pay_dma(bytes)
+    }
+
+    fn pay_dma(&mut self, bytes: u64) -> f64 {
+        let ns = self.cfg.pcie_latency_ns + bytes as f64 / self.cfg.pcie_bytes_per_sec * 1e9;
+        self.counters.dma_ns += ns;
+        self.last_op_ns = ns;
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::{Txn, WarpWork};
+
+    fn gpu() -> Engine {
+        Engine::new(GpuConfig::gtx960m(), FreqConfig::default())
+    }
+
+    /// A block of `warps` warps, each touching `lines_per_warp` distinct
+    /// lines starting at `base`, with some compute work.
+    fn block(base: u64, warps: u32, lines_per_warp: u64) -> BlockWork {
+        BlockWork {
+            warps: (0..warps as u64)
+                .map(|w| WarpWork {
+                    txns: (0..lines_per_warp)
+                        .map(|i| Txn { line: base + w * lines_per_warp + i, write: false })
+                        .collect(),
+                    compute_cycles: 4 * lines_per_warp,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn cold_then_warm_launch() {
+        let mut gpu = gpu();
+        let b = block(0, 8, 6);
+        let cold = gpu.launch(&[&b], 256);
+        assert_eq!(cold.l2_misses, 48);
+        assert_eq!(cold.l2_hits, 0);
+        let warm = gpu.launch(&[&b], 256);
+        assert_eq!(warm.l2_hits, 48);
+        assert_eq!(warm.l2_misses, 0);
+        assert!(
+            warm.time_ns < cold.time_ns,
+            "warm {} must be faster than cold {}",
+            warm.time_ns,
+            cold.time_ns
+        );
+    }
+
+    #[test]
+    fn warm_launch_has_better_profile() {
+        let mut gpu = gpu();
+        let b = block(0, 8, 6);
+        let cold = gpu.launch(&[&b], 256);
+        let warm = gpu.launch(&[&b], 256);
+        assert!(warm.hit_rate() > cold.hit_rate());
+        assert!(warm.issue_efficiency() >= cold.issue_efficiency());
+        assert!(warm.mem_dependency_stall_share() <= cold.mem_dependency_stall_share());
+        assert_eq!(warm.dram_bytes, 0);
+    }
+
+    #[test]
+    fn waves_follow_occupancy() {
+        let mut gpu = gpu();
+        let blocks: Vec<BlockWork> = (0..80).map(|i| block(i * 100, 8, 2)).collect();
+        let refs: Vec<&BlockWork> = blocks.iter().collect();
+        // 256-thread blocks: 8 per SM, 5 SMs => 40 per wave => 2 waves.
+        let stats = gpu.launch(&refs, 256);
+        assert_eq!(stats.waves, 2);
+        assert_eq!(stats.blocks, 80);
+    }
+
+    #[test]
+    fn inter_launch_gap_is_paid_between_launches_only() {
+        let mut gpu = gpu();
+        let b = block(0, 1, 1);
+        gpu.launch(&[&b], 32);
+        assert_eq!(gpu.counters().inter_launch_gap_ns, 0.0);
+        gpu.launch(&[&b], 32);
+        let ig = gpu.config().inter_launch_gap_ns;
+        assert_eq!(gpu.counters().inter_launch_gap_ns, ig);
+        gpu.set_inter_launch_gap_ns(0.0);
+        gpu.launch(&[&b], 32);
+        assert_eq!(gpu.counters().inter_launch_gap_ns, ig);
+    }
+
+    #[test]
+    fn lower_mem_clock_slows_miss_heavy_launch() {
+        let b = block(0, 8, 6);
+        let mut hi = Engine::new(GpuConfig::gtx960m(), FreqConfig::new(1324.0, 5010.0));
+        let mut lo = Engine::new(GpuConfig::gtx960m(), FreqConfig::new(1324.0, 810.0));
+        let t_hi = hi.launch(&[&b], 256).time_ns;
+        let t_lo = lo.launch(&[&b], 256).time_ns;
+        assert!(t_lo > t_hi, "misses at low mem clock must be slower: {t_lo} vs {t_hi}");
+    }
+
+    #[test]
+    fn mem_clock_hardly_matters_when_all_hits() {
+        let b = block(0, 8, 6);
+        let mut hi = Engine::new(GpuConfig::gtx960m(), FreqConfig::new(1324.0, 5010.0));
+        let mut lo = Engine::new(GpuConfig::gtx960m(), FreqConfig::new(1324.0, 810.0));
+        hi.launch(&[&b], 256);
+        lo.launch(&[&b], 256);
+        let t_hi = hi.launch(&[&b], 256).time_ns; // warm
+        let t_lo = lo.launch(&[&b], 256).time_ns; // warm
+        let rel = (t_lo - t_hi).abs() / t_hi;
+        assert!(rel < 0.05, "hit-served launches should be clock-insensitive: {rel}");
+    }
+
+    #[test]
+    fn gpu_clock_scales_compute_bound_launch() {
+        let b = block(0, 8, 6);
+        let mut fast = Engine::new(GpuConfig::gtx960m(), FreqConfig::new(1324.0, 5010.0));
+        let mut slow = Engine::new(GpuConfig::gtx960m(), FreqConfig::new(405.0, 5010.0));
+        fast.launch(&[&b], 256);
+        slow.launch(&[&b], 256);
+        let t_fast = fast.launch(&[&b], 256).time_ns - fast.config().launch_overhead_ns;
+        let t_slow = slow.launch(&[&b], 256).time_ns - slow.config().launch_overhead_ns;
+        let ratio = t_slow / t_fast;
+        let clock_ratio = 1324.0 / 405.0;
+        assert!(
+            (ratio - clock_ratio).abs() / clock_ratio < 0.15,
+            "warm launch should scale with core clock: ratio {ratio} vs {clock_ratio}"
+        );
+    }
+
+    #[test]
+    fn dma_htod_invalidates_lines() {
+        let mut gpu = gpu();
+        let b = block(0, 1, 4);
+        gpu.launch(&[&b], 32);
+        assert!(gpu.cache().contains_line(0));
+        gpu.dma_host_to_device(4 * 128, 0..4);
+        assert!(!gpu.cache().contains_line(0));
+        let relaunch = gpu.launch(&[&b], 32);
+        assert_eq!(relaunch.l2_hits, 0, "DMA must have invalidated the lines");
+    }
+
+    #[test]
+    fn dma_time_scales_with_bytes() {
+        let mut gpu = gpu();
+        let t1 = gpu.dma_device_to_host(1 << 20);
+        let t2 = gpu.dma_device_to_host(1 << 24);
+        assert!(t2 > t1);
+        assert!(gpu.counters().dma_ns >= t1 + t2 - 1e-9);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut gpu = gpu();
+        let b = block(0, 2, 2);
+        gpu.launch(&[&b], 64);
+        gpu.reset();
+        assert_eq!(gpu.time_ns(), 0.0);
+        let stats = gpu.launch(&[&b], 64);
+        assert_eq!(stats.l2_hits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_launch_rejected() {
+        let mut gpu = gpu();
+        let _ = gpu.launch(&[], 32);
+    }
+
+    #[test]
+    fn stream_mode_hides_gap_behind_long_kernels() {
+        let mut gpu = gpu();
+        gpu.set_streamed(true);
+        assert!(gpu.is_streamed());
+        // A kernel much longer than the IG: the next gap is fully hidden.
+        let blocks: Vec<BlockWork> = (0..400).map(|i| block(i * 100, 8, 6)).collect();
+        let refs: Vec<&BlockWork> = blocks.iter().collect();
+        let long = gpu.launch(&refs, 256);
+        assert!(long.time_ns > gpu.config().inter_launch_gap_ns);
+        let b = block(1_000_000, 1, 1);
+        gpu.launch(&[&b], 32);
+        assert_eq!(gpu.counters().inter_launch_gap_ns, 0.0, "gap hidden by streaming");
+        // A tiny kernel precedes the next launch: part of the gap shows.
+        gpu.launch(&[&b], 32);
+        let partial = gpu.counters().inter_launch_gap_ns;
+        assert!(partial > 0.0 && partial < gpu.config().inter_launch_gap_ns);
+    }
+
+    #[test]
+    fn serial_mode_pays_full_gap_regardless() {
+        let mut gpu = gpu();
+        let blocks: Vec<BlockWork> = (0..400).map(|i| block(i * 100, 8, 6)).collect();
+        let refs: Vec<&BlockWork> = blocks.iter().collect();
+        gpu.launch(&refs, 256);
+        let b = block(1_000_000, 1, 1);
+        gpu.launch(&[&b], 32);
+        assert_eq!(gpu.counters().inter_launch_gap_ns, gpu.config().inter_launch_gap_ns);
+    }
+
+    #[test]
+    fn low_occupancy_hurts_latency_hiding() {
+        // The same miss-heavy work, launched with light vs heavy register
+        // pressure: fewer resident warps hide less latency and take more
+        // waves, so the launch slows down.
+        let blocks: Vec<BlockWork> = (0..40).map(|i| block(i * 1000, 8, 6)).collect();
+        let refs: Vec<&BlockWork> = blocks.iter().collect();
+        let light = crate::config::LaunchResources {
+            threads_per_block: 256,
+            regs_per_thread: 32,
+            shared_mem_bytes: 0,
+        };
+        let heavy = crate::config::LaunchResources {
+            threads_per_block: 256,
+            regs_per_thread: 128,
+            shared_mem_bytes: 0,
+        };
+        let mut a = gpu();
+        let t_light = a.launch_res(&refs, &light).time_ns;
+        let mut b = gpu();
+        let stats_heavy = b.launch_res(&refs, &heavy);
+        assert!(
+            stats_heavy.time_ns > t_light,
+            "heavy {} must exceed light {}",
+            stats_heavy.time_ns,
+            t_light
+        );
+        assert!(stats_heavy.waves > 1, "reduced occupancy needs more waves");
+    }
+
+    #[test]
+    fn l1_absorbs_intra_launch_reuse() {
+        // A block whose warps re-read the same lines: with L1, the repeats
+        // are served per-SM and never reach the L2.
+        let reuse_block = BlockWork {
+            warps: (0..4)
+                .map(|_| WarpWork {
+                    txns: (0..8).map(|i| Txn { line: i % 2, write: false }).collect(),
+                    compute_cycles: 8,
+                })
+                .collect(),
+        };
+        let mut no_l1 = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
+        let plain = no_l1.launch(&[&reuse_block], 128);
+        assert_eq!(plain.l1_hits, 0);
+        assert_eq!(plain.l2_hits + plain.l2_misses, 32);
+
+        let mut with_l1 = Engine::new(GpuConfig::gtx960m().with_l1(), FreqConfig::default());
+        let l1 = with_l1.launch(&[&reuse_block], 128);
+        assert!(l1.l1_hits > 0, "repeats must hit in L1");
+        assert_eq!(l1.l1_hits + l1.l2_hits + l1.l2_misses, 32);
+        assert!(
+            l1.l2_hits + l1.l2_misses < 32,
+            "L1 must filter traffic from the L2"
+        );
+        assert!(l1.time_ns <= plain.time_ns, "L1 hits are cheaper");
+    }
+
+    #[test]
+    fn l1_does_not_survive_across_launches() {
+        // Unlike the L2, the per-SM L1 is flushed between launches: the
+        // second launch's loads go to the (now warm) L2, not the L1.
+        let b = block(0, 2, 4);
+        let mut gpu = Engine::new(GpuConfig::gtx960m().with_l1(), FreqConfig::default());
+        gpu.set_inter_launch_gap_ns(0.0);
+        gpu.launch(&[&b], 64);
+        let second = gpu.launch(&[&b], 64);
+        assert_eq!(second.l1_hits, 0, "L1 must be cold at launch start");
+        assert_eq!(second.l2_hits, 8, "inter-launch reuse is served by the L2");
+    }
+
+    #[test]
+    fn stores_invalidate_l1_copies() {
+        // Load installs a line in the SM's L1; a later store to the same
+        // line must invalidate it so a re-load sees L2 instead of a stale
+        // L1 copy (which the stats would show as an L1 hit).
+        let block = BlockWork {
+            warps: vec![WarpWork {
+                txns: vec![
+                    Txn { line: 5, write: false },
+                    Txn { line: 5, write: true },
+                    Txn { line: 5, write: false },
+                ],
+                compute_cycles: 2,
+            }],
+        };
+        let mut gpu = Engine::new(GpuConfig::gtx960m().with_l1(), FreqConfig::default());
+        let stats = gpu.launch(&[&block], 32);
+        // 1st load: L1 miss -> L2 miss; store: L2 hit (invalidates L1);
+        // 2nd load: L1 miss again -> L2 hit.
+        assert_eq!(stats.l1_hits, 0);
+        assert_eq!(stats.l2_misses, 1);
+        assert_eq!(stats.l2_hits, 2);
+    }
+
+    #[test]
+    fn counters_accumulate_across_launches() {
+        let mut gpu = gpu();
+        let b = block(0, 2, 2);
+        gpu.launch(&[&b], 64);
+        gpu.launch(&[&b], 64);
+        assert_eq!(gpu.counters().launches, 2);
+        assert_eq!(gpu.counters().totals.blocks, 2);
+        assert!(gpu.time_ns() > 0.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! CUDA-style launch geometry: three-dimensional grids of thread blocks.
+//!
+//! A kernel launch is described by a grid dimension and a block dimension,
+//! mirroring the `<<<grid, block>>>` launch syntax. Blocks are identified
+//! either by their coordinate ([`BlockIdx`]) or by a *linear id* ([`BlockId`])
+//! which enumerates blocks in row-major order (`x` fastest). The linear id is
+//! the currency used by the tiling machinery: a sub-kernel is a set of linear
+//! block ids.
+
+use std::fmt;
+
+/// Number of threads in a warp (fixed by the CUDA execution model).
+pub const WARP_SIZE: u32 = 32;
+
+/// A three-dimensional extent, used for both grid and block dimensions.
+///
+/// All components must be at least 1; [`Dim3::new`] enforces this.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::Dim3;
+/// let grid = Dim3::new(8, 32, 1);
+/// assert_eq!(grid.count(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Dim3 {
+    /// Extent along x (fastest-varying).
+    pub x: u32,
+    /// Extent along y.
+    pub y: u32,
+    /// Extent along z (slowest-varying).
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// Creates a new extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is zero (the minimum grid size is one block,
+    /// and the minimum block size is one thread).
+    pub fn new(x: u32, y: u32, z: u32) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "Dim3 components must be non-zero");
+        Dim3 { x, y, z }
+    }
+
+    /// One-dimensional extent `(n, 1, 1)`.
+    pub fn linear(n: u32) -> Self {
+        Dim3::new(n, 1, 1)
+    }
+
+    /// Two-dimensional extent `(x, y, 1)`.
+    pub fn xy(x: u32, y: u32) -> Self {
+        Dim3::new(x, y, 1)
+    }
+
+    /// Total number of elements covered by this extent.
+    pub fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Converts a coordinate within this extent to its row-major linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate lies outside the extent.
+    pub fn linear_index(&self, x: u32, y: u32, z: u32) -> u64 {
+        assert!(
+            x < self.x && y < self.y && z < self.z,
+            "coordinate ({x},{y},{z}) out of extent {self}"
+        );
+        (z as u64 * self.y as u64 + y as u64) * self.x as u64 + x as u64
+    }
+
+    /// Converts a row-major linear index back to a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.count()`.
+    pub fn coords(&self, idx: u64) -> (u32, u32, u32) {
+        assert!(idx < self.count(), "index {idx} out of extent {self}");
+        let x = (idx % self.x as u64) as u32;
+        let rest = idx / self.x as u64;
+        let y = (rest % self.y as u64) as u32;
+        let z = (rest / self.y as u64) as u32;
+        (x, y, z)
+    }
+
+    /// Iterates over all coordinates in row-major order (`x` fastest).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        let dim = *self;
+        (0..dim.count()).map(move |i| dim.coords(i))
+    }
+}
+
+impl Default for Dim3 {
+    /// The minimum extent: a single element.
+    fn default() -> Self {
+        Dim3::new(1, 1, 1)
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}x{}x{})", self.x, self.y, self.z)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::xy(x, y)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::linear(x)
+    }
+}
+
+/// Linear id of a thread block within its kernel's grid (row-major order).
+pub type BlockId = u32;
+
+/// Coordinate of a thread block within a grid, together with the grid extent.
+///
+/// Carrying the grid extent makes conversions to/from [`BlockId`] total and
+/// keeps index arithmetic in one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockIdx {
+    /// Block coordinate along x.
+    pub x: u32,
+    /// Block coordinate along y.
+    pub y: u32,
+    /// Block coordinate along z.
+    pub z: u32,
+    /// Extent of the grid this block belongs to.
+    pub grid: Dim3,
+}
+
+impl BlockIdx {
+    /// Creates a block coordinate within `grid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate lies outside `grid`.
+    pub fn new(x: u32, y: u32, z: u32, grid: Dim3) -> Self {
+        assert!(
+            x < grid.x && y < grid.y && z < grid.z,
+            "block ({x},{y},{z}) out of grid {grid}"
+        );
+        BlockIdx { x, y, z, grid }
+    }
+
+    /// Reconstructs a block coordinate from its linear id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for `grid`.
+    pub fn from_id(id: BlockId, grid: Dim3) -> Self {
+        let (x, y, z) = grid.coords(id as u64);
+        BlockIdx { x, y, z, grid }
+    }
+
+    /// Row-major linear id of this block.
+    pub fn id(&self) -> BlockId {
+        self.grid.linear_index(self.x, self.y, self.z) as BlockId
+    }
+}
+
+impl fmt::Display for BlockIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+/// Launch geometry of a kernel: grid extent and block extent.
+///
+/// # Examples
+///
+/// The motivational kernel of the paper, `A<<<(8x32), (32x8)>>>`:
+///
+/// ```
+/// use gpu_sim::{Dim3, LaunchDims};
+/// let dims = LaunchDims::new(Dim3::xy(8, 32), Dim3::xy(32, 8));
+/// assert_eq!(dims.num_blocks(), 256);
+/// assert_eq!(dims.threads_per_block(), 256);
+/// assert_eq!(dims.warps_per_block(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaunchDims {
+    /// Grid extent (in blocks).
+    pub grid: Dim3,
+    /// Block extent (in threads).
+    pub block: Dim3,
+}
+
+impl LaunchDims {
+    /// Creates a launch geometry.
+    pub fn new(grid: Dim3, block: Dim3) -> Self {
+        LaunchDims { grid, block }
+    }
+
+    /// Total number of blocks in the grid.
+    pub fn num_blocks(&self) -> u32 {
+        let n = self.grid.count();
+        u32::try_from(n).expect("grid too large")
+    }
+
+    /// Number of threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.count() as u32
+    }
+
+    /// Number of warps per block (threads rounded up to warp granularity).
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block().div_ceil(WARP_SIZE)
+    }
+
+    /// Total number of threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.grid.count() * self.block.count()
+    }
+
+    /// Iterates over all block coordinates in linear-id order.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockIdx> + '_ {
+        let grid = self.grid;
+        (0..self.num_blocks()).map(move |id| BlockIdx::from_id(id, grid))
+    }
+}
+
+impl fmt::Display for LaunchDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<<<{}, {}>>>", self.grid, self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim3_count_and_roundtrip() {
+        let d = Dim3::new(3, 4, 5);
+        assert_eq!(d.count(), 60);
+        for i in 0..60 {
+            let (x, y, z) = d.coords(i);
+            assert_eq!(d.linear_index(x, y, z), i);
+        }
+    }
+
+    #[test]
+    fn dim3_row_major_order_x_fastest() {
+        let d = Dim3::xy(4, 2);
+        assert_eq!(d.coords(0), (0, 0, 0));
+        assert_eq!(d.coords(1), (1, 0, 0));
+        assert_eq!(d.coords(4), (0, 1, 0));
+        assert_eq!(d.coords(7), (3, 1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn dim3_rejects_zero() {
+        let _ = Dim3::new(0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of extent")]
+    fn dim3_linear_index_bounds() {
+        let d = Dim3::xy(2, 2);
+        let _ = d.linear_index(2, 0, 0);
+    }
+
+    #[test]
+    fn dim3_iter_covers_all() {
+        let d = Dim3::new(2, 3, 2);
+        let v: Vec<_> = d.iter().collect();
+        assert_eq!(v.len(), 12);
+        assert_eq!(v[0], (0, 0, 0));
+        assert_eq!(v[11], (1, 2, 1));
+    }
+
+    #[test]
+    fn block_idx_roundtrip() {
+        let grid = Dim3::xy(8, 32);
+        for id in 0..grid.count() as u32 {
+            let b = BlockIdx::from_id(id, grid);
+            assert_eq!(b.id(), id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of grid")]
+    fn block_idx_bounds() {
+        let _ = BlockIdx::new(8, 0, 0, Dim3::xy(8, 32));
+    }
+
+    #[test]
+    fn launch_dims_paper_example() {
+        // Kernel A of Fig. 1: grid 8x32 of 32x8-thread blocks over 256x256 px.
+        let dims = LaunchDims::new(Dim3::xy(8, 32), Dim3::xy(32, 8));
+        assert_eq!(dims.total_threads(), 256 * 256);
+        assert_eq!(dims.warps_per_block(), 8);
+        assert_eq!(dims.blocks().count(), 256);
+    }
+
+    #[test]
+    fn warps_round_up() {
+        let dims = LaunchDims::new(Dim3::linear(1), Dim3::linear(33));
+        assert_eq!(dims.warps_per_block(), 2);
+    }
+
+    #[test]
+    fn dim3_conversions() {
+        assert_eq!(Dim3::from(7u32), Dim3::linear(7));
+        assert_eq!(Dim3::from((2u32, 3u32)), Dim3::xy(2, 3));
+        assert_eq!(Dim3::default().count(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let dims = LaunchDims::new(Dim3::xy(8, 32), Dim3::xy(32, 8));
+        assert_eq!(format!("{dims}"), "<<<(8x32x1), (32x8x1)>>>");
+        assert_eq!(format!("{}", BlockIdx::from_id(9, Dim3::xy(8, 32))), "(1,1,0)");
+    }
+}

@@ -1,0 +1,65 @@
+//! # gpu-sim — a Maxwell-like GPU performance simulator
+//!
+//! This crate is the hardware substrate of the KTILER reproduction (DATE
+//! 2019, *Cache-Aware Kernel Tiling*). The paper evaluates on an NVIDIA
+//! GeForce GTX 960M; this crate models the architectural mechanisms the
+//! paper's technique depends on:
+//!
+//! * a **shared, persistent L2 cache** ([`L2Cache`]) — set-associative,
+//!   write-back, probed with real line addresses, surviving across kernel
+//!   launches so that sub-kernel interleaving can pass data through it;
+//! * a **DRAM model** — latency plus bandwidth, both scaled by the memory
+//!   clock of the active [`FreqConfig`] (DVFS);
+//! * a **per-SM timing model** ([`Engine`]) — occupancy-limited dispatch
+//!   waves and Hong–Kim-style latency hiding, which reproduces the
+//!   throughput-vs-grid-size behaviour of the paper's Figure 3;
+//! * **profiler counters** ([`LaunchStats`]) — L2 hit rate, warp issue
+//!   efficiency and stall-reason breakdown, the metrics of Figure 2;
+//! * **launch overheads** — a fixed per-launch cost plus the *inter-launch
+//!   gap* (IG) that the paper identifies as the main tiling overhead.
+//!
+//! Kernels are not executed functionally here; the `trace` crate converts a
+//! kernel's execution into replayable [`BlockWork`] descriptions, which this
+//! crate's [`Engine::launch`] consumes.
+//!
+//! # Examples
+//!
+//! Simulating two launches that share data through the L2:
+//!
+//! ```
+//! use gpu_sim::{Engine, GpuConfig, FreqConfig, BlockWork, WarpWork, Txn};
+//!
+//! let mut gpu = Engine::new(GpuConfig::gtx960m(), FreqConfig::new(1324.0, 5010.0));
+//! let producer = BlockWork {
+//!     warps: vec![WarpWork { txns: vec![Txn { line: 7, write: true }], compute_cycles: 4 }],
+//! };
+//! let consumer = BlockWork {
+//!     warps: vec![WarpWork { txns: vec![Txn { line: 7, write: false }], compute_cycles: 4 }],
+//! };
+//! gpu.launch(&[&producer], 32);
+//! let stats = gpu.launch(&[&consumer], 32);
+//! assert_eq!(stats.l2_hits, 1); // the consumer found the data in L2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod engine;
+mod geometry;
+mod memory;
+mod power;
+mod profiler;
+mod work;
+
+pub use cache::{Access, CacheStats, L2Cache};
+pub use config::{
+    fig3_freq_configs, fig5_freq_configs, CacheConfig, FreqConfig, GpuConfig, LaunchResources,
+};
+pub use engine::Engine;
+pub use geometry::{BlockId, BlockIdx, Dim3, LaunchDims, WARP_SIZE};
+pub use memory::{Buffer, BufferId, DeviceMemory};
+pub use power::PowerModel;
+pub use profiler::{LaunchStats, RunCounters};
+pub use work::{BlockWork, Txn, WarpWork};

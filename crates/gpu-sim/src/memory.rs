@@ -1,0 +1,300 @@
+//! Simulated device (global) memory.
+//!
+//! [`DeviceMemory`] models the GPU's flat global address space with a simple
+//! bump allocator. Buffers are allocated at cache-line granularity so that
+//! distinct buffers never share a cache line — matching how `cudaMalloc`
+//! returns 256-byte-aligned regions on real devices.
+//!
+//! Kernels perform typed accesses through [`Buffer`] handles; every access
+//! resolves to an *effective global address*, which is what the trace
+//! recorder captures and the cache model is probed with.
+
+use std::fmt;
+
+/// Identifier of an allocated buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub u32);
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf{}", self.0)
+    }
+}
+
+/// A handle to a region of simulated global memory.
+///
+/// Cheap to copy; carries everything needed to compute effective addresses
+/// without consulting the [`DeviceMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Buffer {
+    /// Identifier (index into the allocator's table).
+    pub id: BufferId,
+    /// Base global address of the region.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Buffer {
+    /// Effective address of byte `offset` within the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= self.len`.
+    pub fn addr_of(&self, offset: u64) -> u64 {
+        assert!(offset < self.len, "offset {offset} out of buffer of {} bytes", self.len);
+        self.addr + offset
+    }
+
+    /// Effective address of element `idx` of a `f32` view of the buffer.
+    pub fn f32_addr(&self, idx: u64) -> u64 {
+        self.addr_of(idx * 4)
+    }
+
+    /// Number of `f32` elements the buffer holds.
+    pub fn f32_len(&self) -> u64 {
+        self.len / 4
+    }
+
+    /// Exclusive end address of the region.
+    pub fn end(&self) -> u64 {
+        self.addr + self.len
+    }
+
+    /// Whether the global address `addr` falls inside this buffer.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.addr && addr < self.end()
+    }
+}
+
+/// Simulated global memory: flat byte store plus a bump allocator.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::DeviceMemory;
+/// let mut mem = DeviceMemory::new();
+/// let buf = mem.alloc_f32(16, "coeffs");
+/// mem.write_f32(buf, 3, 2.5);
+/// assert_eq!(mem.read_f32(buf, 3), 2.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeviceMemory {
+    data: Vec<u8>,
+    buffers: Vec<(Buffer, String)>,
+    /// Allocation alignment in bytes. Also guarantees buffers do not share
+    /// cache lines (the default L2 line is 128 B; we align to 256 B like
+    /// `cudaMalloc`).
+    align: u64,
+}
+
+impl DeviceMemory {
+    /// Creates an empty device memory with `cudaMalloc`-style 256 B alignment.
+    pub fn new() -> Self {
+        DeviceMemory { data: Vec::new(), buffers: Vec::new(), align: 256 }
+    }
+
+    /// Allocates `len` bytes and returns the buffer handle.
+    ///
+    /// The label is retained for diagnostics (`buffer_label`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn alloc(&mut self, len: u64, label: &str) -> Buffer {
+        assert!(len > 0, "cannot allocate an empty buffer");
+        let addr = (self.data.len() as u64).next_multiple_of(self.align);
+        let new_len = (addr + len).next_multiple_of(self.align);
+        self.data.resize(new_len as usize, 0);
+        let buf = Buffer { id: BufferId(self.buffers.len() as u32), addr, len };
+        self.buffers.push((buf, label.to_owned()));
+        buf
+    }
+
+    /// Allocates a buffer of `n` `f32` elements (zero-initialized).
+    pub fn alloc_f32(&mut self, n: u64, label: &str) -> Buffer {
+        self.alloc(n * 4, label)
+    }
+
+    /// Allocates a buffer of `n` bytes for `u8` data (zero-initialized).
+    pub fn alloc_u8(&mut self, n: u64, label: &str) -> Buffer {
+        self.alloc(n, label)
+    }
+
+    /// Looks up a buffer by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not produced by this memory.
+    pub fn buffer(&self, id: BufferId) -> Buffer {
+        self.buffers[id.0 as usize].0
+    }
+
+    /// Diagnostic label given at allocation time.
+    pub fn buffer_label(&self, id: BufferId) -> &str {
+        &self.buffers[id.0 as usize].1
+    }
+
+    /// All allocated buffers, in allocation order.
+    pub fn buffers(&self) -> impl Iterator<Item = Buffer> + '_ {
+        self.buffers.iter().map(|(b, _)| *b)
+    }
+
+    /// Total bytes in the address space (including alignment padding).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Reads the `f32` element `idx` of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is out of bounds.
+    pub fn read_f32(&self, buf: Buffer, idx: u64) -> f32 {
+        let a = buf.f32_addr(idx) as usize;
+        f32::from_le_bytes(self.data[a..a + 4].try_into().unwrap())
+    }
+
+    /// Writes the `f32` element `idx` of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is out of bounds.
+    pub fn write_f32(&mut self, buf: Buffer, idx: u64, v: f32) {
+        let a = buf.f32_addr(idx) as usize;
+        self.data[a..a + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads byte `idx` of `buf`.
+    pub fn read_u8(&self, buf: Buffer, idx: u64) -> u8 {
+        self.data[buf.addr_of(idx) as usize]
+    }
+
+    /// Writes byte `idx` of `buf`.
+    pub fn write_u8(&mut self, buf: Buffer, idx: u64, v: u8) {
+        let a = buf.addr_of(idx) as usize;
+        self.data[a] = v;
+    }
+
+    /// Reads the `u32` element `idx` (4-byte stride) of `buf`.
+    pub fn read_u32(&self, buf: Buffer, idx: u64) -> u32 {
+        let a = buf.addr_of(idx * 4) as usize;
+        u32::from_le_bytes(self.data[a..a + 4].try_into().unwrap())
+    }
+
+    /// Writes the `u32` element `idx` (4-byte stride) of `buf`.
+    pub fn write_u32(&mut self, buf: Buffer, idx: u64, v: u32) {
+        let a = buf.addr_of(idx * 4) as usize;
+        self.data[a..a + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Copies a slice of `f32` values into a buffer starting at element 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` does not fit in `buf`.
+    pub fn upload_f32(&mut self, buf: Buffer, vals: &[f32]) {
+        assert!(vals.len() as u64 <= buf.f32_len(), "upload larger than buffer");
+        for (i, v) in vals.iter().enumerate() {
+            self.write_f32(buf, i as u64, *v);
+        }
+    }
+
+    /// Copies a buffer's `f32` contents out to a vector.
+    pub fn download_f32(&self, buf: Buffer) -> Vec<f32> {
+        (0..buf.f32_len()).map(|i| self.read_f32(buf, i)).collect()
+    }
+
+    /// Copies a slice of bytes into a buffer starting at offset 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` does not fit in `buf`.
+    pub fn upload_u8(&mut self, buf: Buffer, vals: &[u8]) {
+        assert!(vals.len() as u64 <= buf.len, "upload larger than buffer");
+        let a = buf.addr as usize;
+        self.data[a..a + vals.len()].copy_from_slice(vals);
+    }
+
+    /// Copies a buffer's bytes out to a vector.
+    pub fn download_u8(&self, buf: Buffer) -> Vec<u8> {
+        let a = buf.addr as usize;
+        self.data[a..a + buf.len as usize].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc(100, "a");
+        let b = mem.alloc(100, "b");
+        assert_eq!(a.addr % 256, 0);
+        assert_eq!(b.addr % 256, 0);
+        assert!(a.end() <= b.addr, "buffers must not overlap");
+        assert!(!a.contains(b.addr));
+        assert_eq!(mem.buffer(a.id), a);
+        assert_eq!(mem.buffer_label(b.id), "b");
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(8, "t");
+        for i in 0..8 {
+            mem.write_f32(buf, i, i as f32 * 0.5);
+        }
+        for i in 0..8 {
+            assert_eq!(mem.read_f32(buf, i), i as f32 * 0.5);
+        }
+        assert_eq!(mem.download_f32(buf).len(), 8);
+    }
+
+    #[test]
+    fn u8_and_u32_roundtrip() {
+        let mut mem = DeviceMemory::new();
+        let b8 = mem.alloc_u8(4, "b8");
+        let b32 = mem.alloc_f32(2, "b32");
+        mem.write_u8(b8, 3, 0xAB);
+        mem.write_u32(b32, 1, 0xDEADBEEF);
+        assert_eq!(mem.read_u8(b8, 3), 0xAB);
+        assert_eq!(mem.read_u32(b32, 1), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn upload_download() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(4, "v");
+        mem.upload_f32(buf, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(mem.download_f32(buf), vec![1.0, 2.0, 3.0, 4.0]);
+        let bytes = mem.alloc_u8(3, "bytes");
+        mem.upload_u8(bytes, &[7, 8, 9]);
+        assert_eq!(mem.download_u8(bytes), vec![7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of buffer")]
+    fn out_of_bounds_read_panics() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(2, "t");
+        let _ = mem.read_f32(buf, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn empty_alloc_panics() {
+        let mut mem = DeviceMemory::new();
+        let _ = mem.alloc(0, "z");
+    }
+
+    #[test]
+    fn buffers_never_share_a_line() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc(1, "a");
+        let b = mem.alloc(1, "b");
+        assert_ne!(a.addr / 128, b.addr / 128);
+    }
+}

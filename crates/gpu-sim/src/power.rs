@@ -1,0 +1,143 @@
+//! DVFS power and energy model.
+//!
+//! Section II of the paper motivates tiling not only by throughput but by
+//! *power*: "instead of processing a thousand blocks in one kernel launch
+//! under series-3 configuration, we can split the workload into four
+//! sub-kernels of 250 blocks under series-1 configuration. As a result,
+//! not only does the throughput increase …, but also the system power
+//! decreases due to significantly lower GPU/memory frequencies."
+//!
+//! This module provides the standard CMOS-style model needed to quantify
+//! that trade-off: dynamic power scales with `f · V²`, voltage scales
+//! roughly linearly with frequency within a DVFS range, so dynamic power
+//! grows ~cubically with clock; static (leakage) power is constant while
+//! the device is on. Energy of a run is `P(freq) · t(run)`.
+
+use crate::config::FreqConfig;
+
+/// Power-model coefficients of a device.
+///
+/// The defaults approximate a 45 W-class laptop GPU (GTX 960M): ~10 W idle,
+/// ~35 W of core dynamic power at the top core clock and ~10 W of memory
+/// dynamic power at the top memory clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Static (leakage + board) power in watts, paid whenever the device
+    /// is powered.
+    pub static_w: f64,
+    /// Core dynamic power in watts at `ref_gpu_mhz`.
+    pub gpu_dyn_w: f64,
+    /// Memory-system dynamic power in watts at `ref_mem_mhz`.
+    pub mem_dyn_w: f64,
+    /// Reference core clock for `gpu_dyn_w`.
+    pub ref_gpu_mhz: f64,
+    /// Reference memory clock for `mem_dyn_w`.
+    pub ref_mem_mhz: f64,
+    /// Exponent of the frequency→dynamic-power relation (3.0 for the
+    /// classic `f · V²` model with `V ∝ f`; 1.0 for frequency-only
+    /// scaling at constant voltage).
+    pub exponent: f64,
+}
+
+impl PowerModel {
+    /// The GTX 960M-class default described above, referenced to the
+    /// paper's top operating point (1324, 5010).
+    pub fn gtx960m() -> Self {
+        PowerModel {
+            static_w: 10.0,
+            gpu_dyn_w: 35.0,
+            mem_dyn_w: 10.0,
+            ref_gpu_mhz: 1324.0,
+            ref_mem_mhz: 5010.0,
+            exponent: 3.0,
+        }
+    }
+
+    /// Average device power in watts while busy at the given operating
+    /// point.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gpu_sim::{FreqConfig, PowerModel};
+    /// let pm = PowerModel::gtx960m();
+    /// let top = pm.power_w(&FreqConfig::new(1324.0, 5010.0));
+    /// let low = pm.power_w(&FreqConfig::new(405.0, 810.0));
+    /// assert!(low < top / 3.0); // DVFS slashes power super-linearly
+    /// ```
+    pub fn power_w(&self, freq: &FreqConfig) -> f64 {
+        let g = (freq.gpu_mhz / self.ref_gpu_mhz).powf(self.exponent);
+        let m = (freq.mem_mhz / self.ref_mem_mhz).powf(self.exponent);
+        self.static_w + self.gpu_dyn_w * g + self.mem_dyn_w * m
+    }
+
+    /// Energy in millijoules of a run of `duration_ns` at the given
+    /// operating point.
+    pub fn energy_mj(&self, freq: &FreqConfig, duration_ns: f64) -> f64 {
+        self.power_w(freq) * duration_ns * 1e-6
+    }
+
+    /// Energy-delay product in mJ·ms — the usual single-number DVFS
+    /// figure of merit (lower is better).
+    pub fn edp(&self, freq: &FreqConfig, duration_ns: f64) -> f64 {
+        self.energy_mj(freq, duration_ns) * (duration_ns / 1e6)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::gtx960m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_at_reference_point_is_total() {
+        let pm = PowerModel::gtx960m();
+        let p = pm.power_w(&FreqConfig::new(1324.0, 5010.0));
+        assert!((p - 55.0).abs() < 1e-9, "10 + 35 + 10 = 55 W, got {p}");
+    }
+
+    #[test]
+    fn power_decreases_monotonically_with_clocks() {
+        let pm = PowerModel::gtx960m();
+        let mut last = f64::INFINITY;
+        for (g, m) in [(1324.0, 5010.0), (1189.0, 2505.0), (800.0, 1600.0), (405.0, 405.0)] {
+            let p = pm.power_w(&FreqConfig::new(g, m));
+            assert!(p < last, "power must fall with clocks: {p} !< {last}");
+            assert!(p > pm.static_w, "never below static power");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn energy_trade_off_shape() {
+        // The paper's Sec. II example in energy terms: a run that is 2x
+        // slower at (405,405) than at (1324,2505) still uses less energy
+        // because power falls ~9x.
+        let pm = PowerModel::gtx960m();
+        let fast = FreqConfig::new(1324.0, 2505.0);
+        let slow = FreqConfig::new(405.0, 405.0);
+        let e_fast = pm.energy_mj(&fast, 1.0e6);
+        let e_slow = pm.energy_mj(&slow, 2.0e6);
+        assert!(e_slow < e_fast, "{e_slow} should be under {e_fast}");
+    }
+
+    #[test]
+    fn linear_exponent_scales_linearly() {
+        let pm = PowerModel { exponent: 1.0, static_w: 0.0, ..PowerModel::gtx960m() };
+        let half = pm.power_w(&FreqConfig::new(662.0, 2505.0));
+        let full = pm.power_w(&FreqConfig::new(1324.0, 5010.0));
+        assert!((full / half - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edp_penalizes_slow_runs_quadratically() {
+        let pm = PowerModel::gtx960m();
+        let f = FreqConfig::default();
+        assert!((pm.edp(&f, 2.0e6) / pm.edp(&f, 1.0e6) - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,191 @@
+//! Profiler counters: the simulator's analog of the NVIDIA Visual Profiler
+//! metrics quoted in the paper (Figure 2).
+//!
+//! Three derived metrics matter for the tiling-suitability analysis:
+//!
+//! * **L2 hit rate** — fraction of warp memory transactions served by the L2;
+//! * **warp issue efficiency** — fraction of scheduler cycles with at least
+//!   one eligible warp (the paper's "one or more eligible" share);
+//! * **issue stall reasons** — how the cycles in which no warp could issue
+//!   split between *memory dependency* stalls and everything else.
+
+/// Timing and profiling result of a single kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LaunchStats {
+    /// Wall-clock duration of the launch in nanoseconds (including the fixed
+    /// launch overhead, excluding any inter-launch gap).
+    pub time_ns: f64,
+    /// Blocks executed.
+    pub blocks: u32,
+    /// Dispatch waves needed.
+    pub waves: u32,
+    /// Warp memory transactions that hit in L2.
+    pub l2_hits: u64,
+    /// Warp memory transactions that missed in L2.
+    pub l2_misses: u64,
+    /// Read transactions (loads) that hit in L2.
+    pub l2_read_hits: u64,
+    /// Read transactions (loads) that missed in L2.
+    pub l2_read_misses: u64,
+    /// Load transactions served by a per-SM L1 (never reached the L2).
+    pub l1_hits: u64,
+    /// Bytes moved between L2 and DRAM (fills plus write-backs).
+    pub dram_bytes: u64,
+    /// Issue cycles actually used by warps (compute + memory instructions).
+    pub issued_cycles: f64,
+    /// Scheduler cycles available while the launch occupied its SMs.
+    pub active_cycles: f64,
+    /// Cycles lost because every resident warp was waiting on memory.
+    pub mem_stall_cycles: f64,
+    /// Cycles lost to modeled non-memory stalls (sync, execution deps).
+    pub other_stall_cycles: f64,
+}
+
+impl LaunchStats {
+    /// L2 hit rate over the launch's transactions, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+
+    /// L2 hit rate over read (load) transactions only, in `[0, 1]` — the
+    /// metric the NVIDIA profiler reports as "L2 hit rate (reads)". Write
+    /// misses are write-allocate fills and do not stall warps the same way.
+    pub fn read_hit_rate(&self) -> f64 {
+        let total = self.l2_read_hits + self.l2_read_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_read_hits as f64 / total as f64
+        }
+    }
+
+    /// Warp issue efficiency: share of active scheduler cycles in which at
+    /// least one warp was eligible to issue, in `[0, 1]`.
+    pub fn issue_efficiency(&self) -> f64 {
+        if self.active_cycles == 0.0 {
+            0.0
+        } else {
+            (self.issued_cycles / self.active_cycles).min(1.0)
+        }
+    }
+
+    /// Share of issue stalls attributable to memory dependencies, in
+    /// `[0, 1]` (the paper's "Issue Stall Reasons: Memory Dependency").
+    pub fn mem_dependency_stall_share(&self) -> f64 {
+        let total = self.mem_stall_cycles + self.other_stall_cycles;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.mem_stall_cycles / total
+        }
+    }
+
+    /// Throughput in blocks per microsecond (the y-axis of Figure 3).
+    pub fn blocks_per_usec(&self) -> f64 {
+        if self.time_ns == 0.0 {
+            0.0
+        } else {
+            self.blocks as f64 / (self.time_ns / 1000.0)
+        }
+    }
+
+    /// Accumulates another launch's counters into this one (time adds up;
+    /// rates are recomputed from the sums).
+    pub fn merge(&mut self, other: &LaunchStats) {
+        self.time_ns += other.time_ns;
+        self.blocks += other.blocks;
+        self.waves += other.waves;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.l2_read_hits += other.l2_read_hits;
+        self.l2_read_misses += other.l2_read_misses;
+        self.l1_hits += other.l1_hits;
+        self.dram_bytes += other.dram_bytes;
+        self.issued_cycles += other.issued_cycles;
+        self.active_cycles += other.active_cycles;
+        self.mem_stall_cycles += other.mem_stall_cycles;
+        self.other_stall_cycles += other.other_stall_cycles;
+    }
+}
+
+/// Aggregate counters across a whole simulated application run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunCounters {
+    /// Sum of per-launch statistics.
+    pub totals: LaunchStats,
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Total idle time spent in inter-launch gaps, in nanoseconds.
+    pub inter_launch_gap_ns: f64,
+    /// Total time spent in host-device DMA transfers, in nanoseconds.
+    pub dma_ns: f64,
+}
+
+impl RunCounters {
+    /// Total wall-clock time of the run in nanoseconds: kernel time plus
+    /// gaps plus DMA.
+    pub fn total_ns(&self) -> f64 {
+        self.totals.time_ns + self.inter_launch_gap_ns + self.dma_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = LaunchStats {
+            time_ns: 2000.0,
+            blocks: 40,
+            waves: 1,
+            l2_hits: 35,
+            l2_misses: 65,
+            dram_bytes: 65 * 128,
+            issued_cycles: 310.0,
+            active_cycles: 1000.0,
+            mem_stall_cycles: 640.0,
+            other_stall_cycles: 360.0,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.35).abs() < 1e-12);
+        assert!((s.issue_efficiency() - 0.31).abs() < 1e-12);
+        assert!((s.mem_dependency_stall_share() - 0.64).abs() < 1e-12);
+        assert!((s.blocks_per_usec() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LaunchStats { time_ns: 10.0, blocks: 1, l2_hits: 1, ..Default::default() };
+        let b = LaunchStats { time_ns: 5.0, blocks: 2, l2_misses: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.time_ns, 15.0);
+        assert_eq!(a.blocks, 3);
+        assert!((a.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_well_defined() {
+        let s = LaunchStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.issue_efficiency(), 0.0);
+        assert_eq!(s.mem_dependency_stall_share(), 0.0);
+        assert_eq!(s.blocks_per_usec(), 0.0);
+    }
+
+    #[test]
+    fn run_counters_total() {
+        let c = RunCounters {
+            totals: LaunchStats { time_ns: 100.0, ..Default::default() },
+            launches: 2,
+            inter_launch_gap_ns: 30.0,
+            dma_ns: 20.0,
+        };
+        assert_eq!(c.total_ns(), 150.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Replayable descriptions of the work a thread block performs.
+//!
+//! The trace layer converts a kernel's functional execution into one
+//! [`BlockWork`] per thread block: for every warp, the ordered list of
+//! coalesced memory [`Txn`]s (line-granularity transactions) plus the issue
+//! cycles spent on compute instructions. The timing engine replays these
+//! descriptions through the cache and SM models; replay is independent of
+//! data values, which is what makes re-simulating the same blocks under
+//! different schedules cheap.
+
+/// A coalesced memory transaction: one cache line touched by one warp
+/// memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Txn {
+    /// Line address (`byte_addr / line_bytes`).
+    pub line: u64,
+    /// Whether the transaction writes the line.
+    pub write: bool,
+}
+
+/// The replayable work of one warp: ordered transactions plus compute issue
+/// cycles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WarpWork {
+    /// Coalesced transactions in program order.
+    pub txns: Vec<Txn>,
+    /// Issue cycles consumed by non-memory instructions.
+    pub compute_cycles: u64,
+}
+
+impl WarpWork {
+    /// Issue cycles this warp occupies on an SM scheduler: one cycle per
+    /// memory transaction plus its compute cycles.
+    pub fn issue_cycles(&self) -> u64 {
+        self.compute_cycles + self.txns.len() as u64
+    }
+}
+
+/// The replayable work of one thread block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockWork {
+    /// Per-warp work, in warp-id order.
+    pub warps: Vec<WarpWork>,
+}
+
+impl BlockWork {
+    /// Total transactions across all warps.
+    pub fn num_txns(&self) -> u64 {
+        self.warps.iter().map(|w| w.txns.len() as u64).sum()
+    }
+
+    /// Total issue cycles across all warps.
+    pub fn issue_cycles(&self) -> u64 {
+        self.warps.iter().map(|w| w.issue_cycles()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_cycles_count_memory_and_compute() {
+        let w = WarpWork {
+            txns: vec![Txn { line: 1, write: false }, Txn { line: 2, write: true }],
+            compute_cycles: 10,
+        };
+        assert_eq!(w.issue_cycles(), 12);
+        let b = BlockWork { warps: vec![w.clone(), w] };
+        assert_eq!(b.num_txns(), 4);
+        assert_eq!(b.issue_cycles(), 24);
+    }
+
+    #[test]
+    fn empty_block_is_free() {
+        let b = BlockWork::default();
+        assert_eq!(b.num_txns(), 0);
+        assert_eq!(b.issue_cycles(), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the cache model against a naive reference
+//! implementation, plus geometry invariants.
+
+use gpu_sim::{Access, CacheConfig, Dim3, L2Cache};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Naive fully-explicit LRU set-associative cache used as the oracle.
+struct RefCache {
+    sets: Vec<VecDeque<(u64, bool)>>, // MRU front: (tag, dirty)
+    ways: usize,
+    num_sets: u64,
+}
+
+impl RefCache {
+    fn new(cfg: &CacheConfig) -> Self {
+        RefCache {
+            sets: vec![VecDeque::new(); cfg.num_sets() as usize],
+            ways: cfg.ways as usize,
+            num_sets: cfg.num_sets(),
+        }
+    }
+
+    fn access(&mut self, line: u64, write: bool) -> Access {
+        let set = (line % self.num_sets) as usize;
+        let tag = line / self.num_sets;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = s.remove(pos).unwrap();
+            s.push_front((t, d || write));
+            return Access::Hit;
+        }
+        s.push_front((tag, write));
+        if s.len() > self.ways {
+            let (_, dirty) = s.pop_back().unwrap();
+            if dirty {
+                return Access::MissDirtyEvict;
+            }
+        }
+        Access::Miss
+    }
+}
+
+proptest! {
+    /// The production cache matches the oracle on arbitrary access
+    /// sequences (model-based testing).
+    #[test]
+    fn cache_matches_reference_model(
+        accesses in proptest::collection::vec((0u64..512, any::<bool>()), 1..2000)
+    ) {
+        let cfg = CacheConfig::new(8 * 1024, 4, 64); // 32 sets, 128 lines
+        let mut cache = L2Cache::new(cfg);
+        let mut oracle = RefCache::new(&cfg);
+        for (line, write) in accesses {
+            let got = cache.access_line(line, write);
+            let want = oracle.access(line, write);
+            prop_assert_eq!(got, want, "diverged at line {} write {}", line, write);
+        }
+    }
+
+    /// Hits + misses always equals the number of accesses, and the hit
+    /// rate is a valid probability.
+    #[test]
+    fn stats_are_consistent(
+        accesses in proptest::collection::vec((0u64..100, any::<bool>()), 1..500)
+    ) {
+        let cfg = CacheConfig::new(4 * 1024, 2, 64);
+        let mut cache = L2Cache::new(cfg);
+        let n = accesses.len() as u64;
+        for (line, write) in accesses {
+            cache.access_line(line, write);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses(), n);
+        prop_assert!((0.0..=1.0).contains(&stats.hit_rate()));
+        prop_assert!(stats.writebacks <= stats.misses);
+    }
+
+    /// Resident lines never exceed capacity, and a working set smaller
+    /// than one set's ways never self-evicts.
+    #[test]
+    fn capacity_invariants(
+        lines in proptest::collection::vec(0u64..10_000, 1..1000)
+    ) {
+        let cfg = CacheConfig::new(8 * 1024, 4, 64);
+        let mut cache = L2Cache::new(cfg);
+        for &l in &lines {
+            cache.access_line(l, false);
+        }
+        prop_assert!(cache.resident_lines() <= cfg.num_lines());
+        // Every distinct recently-touched line within the last `ways`
+        // unique lines of its set must still be resident: check the very
+        // last access.
+        prop_assert!(cache.contains_line(*lines.last().unwrap()));
+    }
+
+    /// Dim3 linear index <-> coordinates roundtrip for arbitrary extents.
+    #[test]
+    fn dim3_roundtrip(x in 1u32..40, y in 1u32..40, z in 1u32..8, pick in any::<u64>()) {
+        let d = Dim3::new(x, y, z);
+        let idx = pick % d.count();
+        let (cx, cy, cz) = d.coords(idx);
+        prop_assert_eq!(d.linear_index(cx, cy, cz), idx);
+        prop_assert!(cx < x && cy < y && cz < z);
+    }
+
+    /// Repeating the same access twice in a row: the second is always a
+    /// hit (temporal locality is never lost immediately).
+    #[test]
+    fn immediate_reuse_always_hits(
+        lines in proptest::collection::vec(0u64..100_000, 1..300)
+    ) {
+        let cfg = CacheConfig::default();
+        let mut cache = L2Cache::new(cfg);
+        for &l in &lines {
+            cache.access_line(l, false);
+            prop_assert!(cache.access_line(l, false).is_hit());
+        }
+    }
+}

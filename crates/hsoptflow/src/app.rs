@@ -1,0 +1,474 @@
+//! The HSOpticalFlow application graph — Fig. 4 of the paper.
+//!
+//! Structure (three "major steps" = pyramid levels, coarsest first):
+//!
+//! ```text
+//! HtD HtD → DS DS → DS DS                       (frame pyramids)
+//! step l:  {0}/US → WP → DV → JI × N → AD AD    (per level)
+//! between: US US                                (upscale flow ×2)
+//! final:   DtH DtH                              (flow read-back)
+//! ```
+//!
+//! The `{0}` vectors of Fig. 4 appear as explicit `HtD` zero-upload nodes,
+//! matching the figure. JI nodes ping-pong between two flow-increment
+//! buffer pairs, so the 2·N JI instances per level share only three trace
+//! signatures — this is what keeps analyzing a thousand-kernel graph cheap.
+
+use gpu_sim::{Buffer, BufferId, DeviceMemory};
+use kernels::image::{AddField, Derivatives, Downscale, JacobiIter, Upscale, WarpImage};
+use kgraph::{AppGraph, NodeId};
+use std::collections::HashMap;
+
+use crate::frames::Frame;
+use crate::reference::HsParams;
+
+/// A built HSOpticalFlow application: graph, device memory and handles.
+#[derive(Debug)]
+pub struct OptFlowApp {
+    /// The application graph (Fig. 4).
+    pub graph: AppGraph,
+    /// Device memory with all buffers allocated (frames not yet uploaded —
+    /// the `HtD` nodes upload them during analysis/execution).
+    pub mem: DeviceMemory,
+    /// Final full-resolution horizontal flow.
+    pub u_out: Buffer,
+    /// Final full-resolution vertical flow.
+    pub v_out: Buffer,
+    /// The JI nodes, in execution order (the nodes the paper tiles).
+    pub ji_nodes: Vec<NodeId>,
+    /// All node ids by pipeline role, for reporting.
+    pub roles: HashMap<NodeId, &'static str>,
+    /// Solver parameters used.
+    pub params: HsParams,
+}
+
+/// Tracks the last writer of every buffer so data-dependency edges can be
+/// added mechanically.
+struct Builder {
+    graph: AppGraph,
+    producer: HashMap<BufferId, NodeId>,
+    /// Nodes that read each buffer since its last write: a new write is
+    /// ordered after them (write-after-read) and after the previous writer
+    /// (write-after-write). The RAW-only dependency model would otherwise
+    /// allow a topological execution to overwrite a reused buffer early.
+    readers: HashMap<BufferId, Vec<NodeId>>,
+    roles: HashMap<NodeId, &'static str>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            graph: AppGraph::new(),
+            producer: HashMap::new(),
+            readers: HashMap::new(),
+            roles: HashMap::new(),
+        }
+    }
+
+    fn order_write_after_hazards(&mut self, id: NodeId, w: &Buffer) {
+        for r in self.readers.remove(&w.id).unwrap_or_default() {
+            if r != id {
+                self.graph.add_edge(r, id, *w);
+            }
+        }
+        if let Some(&prev) = self.producer.get(&w.id) {
+            if prev != id {
+                self.graph.add_edge(prev, id, *w);
+            }
+        }
+    }
+
+    fn add_kernel(
+        &mut self,
+        role: &'static str,
+        kernel: Box<dyn kgraph::Kernel>,
+        reads: &[Buffer],
+        writes: &[Buffer],
+    ) -> NodeId {
+        let id = self.graph.add_kernel(kernel);
+        for r in reads {
+            if let Some(&p) = self.producer.get(&r.id) {
+                self.graph.add_edge(p, id, *r);
+            }
+            self.readers.entry(r.id).or_default().push(id);
+        }
+        for w in writes {
+            self.order_write_after_hazards(id, w);
+            self.producer.insert(w.id, id);
+        }
+        self.roles.insert(id, role);
+        id
+    }
+
+    fn add_htod(&mut self, role: &'static str, buf: Buffer, data: Vec<u8>) -> NodeId {
+        let id = self.graph.add_htod(buf, data);
+        self.order_write_after_hazards(id, &buf);
+        self.producer.insert(buf.id, id);
+        self.roles.insert(id, role);
+        id
+    }
+
+    fn add_dtoh(&mut self, role: &'static str, buf: Buffer) -> NodeId {
+        let id = self.graph.add_dtoh(buf);
+        if let Some(&p) = self.producer.get(&buf.id) {
+            self.graph.add_edge(p, id, buf);
+        }
+        self.readers.entry(buf.id).or_default().push(id);
+        self.roles.insert(id, role);
+        id
+    }
+}
+
+
+/// Per-level `(width, height)` pairs, coarsest (level 0) first.
+fn level_dims(w: u32, h: u32, levels: u32) -> Vec<(u32, u32)> {
+    (0..levels).map(|l| (w >> (levels - 1 - l), h >> (levels - 1 - l))).collect()
+}
+
+/// Uploads a frame and emits its downscale chain; returns the per-level
+/// images, coarsest first.
+fn emit_pyramid(
+    b: &mut Builder,
+    mem: &mut DeviceMemory,
+    frame: &Frame,
+    dims: &[(u32, u32)],
+    tag: &str,
+) -> Vec<Buffer> {
+    let levels = dims.len();
+    let imgs: Vec<Buffer> = (0..levels)
+        .map(|l| mem.alloc_f32(dims[l].0 as u64 * dims[l].1 as u64, &format!("{tag}.l{l}")))
+        .collect();
+    let finest = levels - 1;
+    b.add_htod("HtD-frame", imgs[finest], frame.to_bytes());
+    for l in (0..finest).rev() {
+        let (w, h) = dims[l + 1];
+        let ds = Downscale::new(imgs[l + 1], imgs[l], w, h);
+        b.add_kernel("DS", Box::new(ds), &[imgs[l + 1]], &[imgs[l]]);
+    }
+    imgs
+}
+
+/// Emits the flow computation for one frame pair over existing pyramids
+/// and flow buffers (which must start at the coarsest-level {0} state).
+/// Returns the JI node ids in execution order.
+#[allow(clippy::too_many_arguments)]
+fn emit_flow_pair(
+    b: &mut Builder,
+    mem: &mut DeviceMemory,
+    i0: &[Buffer],
+    i1: &[Buffer],
+    u: &[Buffer],
+    v: &[Buffer],
+    dims: &[(u32, u32)],
+    p: &HsParams,
+    tag: &str,
+) -> Vec<NodeId> {
+    let mut ji_nodes = Vec::new();
+    let levels = dims.len();
+    for l in 0..levels {
+        let (w, h) = dims[l];
+        let n = w as u64 * h as u64;
+        let warped = mem.alloc_f32(n, &format!("warped{tag}.l{l}"));
+        let ix = mem.alloc_f32(n, &format!("ix{tag}.l{l}"));
+        let iy = mem.alloc_f32(n, &format!("iy{tag}.l{l}"));
+        let it = mem.alloc_f32(n, &format!("it{tag}.l{l}"));
+        let du0 = mem.alloc_f32(n, &format!("du0{tag}.l{l}"));
+        let dv0 = mem.alloc_f32(n, &format!("dv0{tag}.l{l}"));
+        // The zero increment is uploaded once per level; the JI chains
+        // only ever read it (they write the ping-pong pairs), so later
+        // warp iterations restart from the same {0} vectors, as in Fig. 4.
+        b.add_htod("HtD-zero", du0, vec![0u8; (n * 4) as usize]);
+        b.add_htod("HtD-zero", dv0, vec![0u8; (n * 4) as usize]);
+        let du_a = mem.alloc_f32(n, &format!("duA{tag}.l{l}"));
+        let dv_a = mem.alloc_f32(n, &format!("dvA{tag}.l{l}"));
+        let du_b = mem.alloc_f32(n, &format!("duB{tag}.l{l}"));
+        let dv_b = mem.alloc_f32(n, &format!("dvB{tag}.l{l}"));
+
+        for _wi in 0..p.warp_iters.max(1) {
+            // WP: warp I1 by the current flow.
+            let wp = WarpImage::new(i1[l], u[l], v[l], warped, w, h);
+            b.add_kernel("WP", Box::new(wp), &[i1[l], u[l], v[l]], &[warped]);
+
+            // DV: derivative images.
+            let dv = Derivatives::new(i0[l], warped, ix, iy, it, w, h);
+            b.add_kernel("DV", Box::new(dv), &[i0[l], warped], &[ix, iy, it]);
+
+            // JI chain: du/dv start at {0} and ping-pong between two pairs.
+            let mut cur = (du0, dv0);
+            for k in 0..p.jacobi_iters {
+                let out = if k % 2 == 0 { (du_a, dv_a) } else { (du_b, dv_b) };
+                let ji =
+                    JacobiIter::new(cur.0, cur.1, ix, iy, it, out.0, out.1, w, h, p.alpha2);
+                let id =
+                    b.add_kernel("JI", Box::new(ji), &[cur.0, cur.1, ix, iy, it], &[out.0, out.1]);
+                ji_nodes.push(id);
+                cur = out;
+            }
+
+            // AD: accumulate the solved increment into the flow.
+            let ad_u = AddField::new(u[l], cur.0, w, h);
+            b.add_kernel("AD", Box::new(ad_u), &[u[l], cur.0], &[u[l]]);
+            let ad_v = AddField::new(v[l], cur.1, w, h);
+            b.add_kernel("AD", Box::new(ad_v), &[v[l], cur.1], &[v[l]]);
+        }
+
+        // US: upscale the flow to the next level (x2 values).
+        if l + 1 < levels {
+            let us_u = Upscale::new(u[l], u[l + 1], w, h, 2.0);
+            b.add_kernel("US", Box::new(us_u), &[u[l]], &[u[l + 1]]);
+            let us_v = Upscale::new(v[l], v[l + 1], w, h, 2.0);
+            b.add_kernel("US", Box::new(us_v), &[v[l]], &[v[l + 1]]);
+        }
+    }
+    ji_nodes
+}
+
+/// Builds the HSOpticalFlow application for a frame pair.
+///
+/// # Panics
+///
+/// Panics if the frames differ in size or are not divisible by
+/// `2^(levels-1)`, or if `jacobi_iters` is zero.
+pub fn build_app(frame0: &Frame, frame1: &Frame, p: &HsParams) -> OptFlowApp {
+    assert_eq!(frame0.w, frame1.w, "frames must match");
+    assert_eq!(frame0.h, frame1.h, "frames must match");
+    assert!(p.jacobi_iters > 0, "need at least one Jacobi iteration");
+    assert!(p.levels > 0, "need at least one level");
+    let down = 1u32 << (p.levels - 1);
+    assert!(
+        frame0.w.is_multiple_of(down) && frame0.h.is_multiple_of(down),
+        "frame must be divisible by 2^(levels-1)"
+    );
+
+    let mut mem = DeviceMemory::new();
+    let mut b = Builder::new();
+
+    // Level geometry, coarsest (level 0) first.
+    let dims: Vec<(u32, u32)> = level_dims(frame0.w, frame0.h, p.levels);
+    let npix = |l: usize| dims[l].0 as u64 * dims[l].1 as u64;
+
+    // Frame pyramids.
+    let i0 = emit_pyramid(&mut b, &mut mem, frame0, &dims, "i0");
+    let i1 = emit_pyramid(&mut b, &mut mem, frame1, &dims, "i1");
+    let finest = p.levels as usize - 1;
+
+    // Flow buffers per level.
+    let u: Vec<Buffer> =
+        (0..p.levels as usize).map(|l| mem.alloc_f32(npix(l), &format!("u.l{l}"))).collect();
+    let v: Vec<Buffer> =
+        (0..p.levels as usize).map(|l| mem.alloc_f32(npix(l), &format!("v.l{l}"))).collect();
+
+    // Coarsest-level flow starts at {0} (Fig. 4's zero vectors into WP).
+    b.add_htod("HtD-zero", u[0], vec![0u8; (npix(0) * 4) as usize]);
+    b.add_htod("HtD-zero", v[0], vec![0u8; (npix(0) * 4) as usize]);
+
+    let ji_nodes = emit_flow_pair(&mut b, &mut mem, &i0, &i1, &u, &v, &dims, p, "");
+
+    // DtH of the final flow.
+    b.add_dtoh("DtH", u[finest]);
+    b.add_dtoh("DtH", v[finest]);
+
+    OptFlowApp {
+        graph: b.graph,
+        mem,
+        u_out: u[finest],
+        v_out: v[finest],
+        ji_nodes,
+        roles: b.roles,
+        params: *p,
+    }
+}
+
+
+/// A built multi-frame (video) optical-flow application: flow is computed
+/// for every consecutive frame pair, with the frame *pyramids shared*
+/// between the pair that consumes a frame as `I1` and the next pair that
+/// consumes it as `I0` — the natural structure of streaming video flow,
+/// and a graph that reaches "over a thousand kernels" (Sec. V) quickly.
+#[derive(Debug)]
+pub struct VideoFlowApp {
+    /// The application graph.
+    pub graph: AppGraph,
+    /// Device memory with all buffers allocated.
+    pub mem: DeviceMemory,
+    /// Per-pair full-resolution flow outputs `(u, v)`.
+    pub flows: Vec<(Buffer, Buffer)>,
+    /// All JI nodes across all pairs.
+    pub ji_nodes: Vec<NodeId>,
+    /// Node roles for reporting.
+    pub roles: HashMap<NodeId, &'static str>,
+}
+
+/// Builds the video application over `frames.len() - 1` consecutive pairs.
+///
+/// # Panics
+///
+/// Panics if fewer than two frames are given, sizes differ, or the frame
+/// size is not divisible by `2^(levels-1)`.
+pub fn build_video_app(frames: &[Frame], p: &HsParams) -> VideoFlowApp {
+    assert!(frames.len() >= 2, "a video needs at least two frames");
+    assert!(p.jacobi_iters > 0 && p.levels > 0, "need iterations and levels");
+    let (w, h) = (frames[0].w, frames[0].h);
+    let down = 1u32 << (p.levels - 1);
+    assert!(w.is_multiple_of(down) && h.is_multiple_of(down), "frame size vs levels");
+
+    let mut mem = DeviceMemory::new();
+    let mut b = Builder::new();
+    let dims = level_dims(w, h, p.levels);
+    let npix0 = dims[0].0 as u64 * dims[0].1 as u64;
+    let finest = p.levels as usize - 1;
+
+    // One shared pyramid per frame.
+    let pyramids: Vec<Vec<Buffer>> = frames
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            assert_eq!((f.w, f.h), (w, h), "all frames must have the same size");
+            emit_pyramid(&mut b, &mut mem, f, &dims, &format!("f{i}"))
+        })
+        .collect();
+
+    let mut flows = Vec::new();
+    let mut ji_nodes = Vec::new();
+    for pair in 0..frames.len() - 1 {
+        let u: Vec<Buffer> = (0..p.levels as usize)
+            .map(|l| {
+                mem.alloc_f32(dims[l].0 as u64 * dims[l].1 as u64, &format!("u{pair}.l{l}"))
+            })
+            .collect();
+        let v: Vec<Buffer> = (0..p.levels as usize)
+            .map(|l| {
+                mem.alloc_f32(dims[l].0 as u64 * dims[l].1 as u64, &format!("v{pair}.l{l}"))
+            })
+            .collect();
+        b.add_htod("HtD-zero", u[0], vec![0u8; (npix0 * 4) as usize]);
+        b.add_htod("HtD-zero", v[0], vec![0u8; (npix0 * 4) as usize]);
+        let tag = format!(".p{pair}");
+        ji_nodes.extend(emit_flow_pair(
+            &mut b,
+            &mut mem,
+            &pyramids[pair],
+            &pyramids[pair + 1],
+            &u,
+            &v,
+            &dims,
+            p,
+            &tag,
+        ));
+        b.add_dtoh("DtH", u[finest]);
+        b.add_dtoh("DtH", v[finest]);
+        flows.push((u[finest], v[finest]));
+    }
+
+    VideoFlowApp { graph: b.graph, mem, flows, ji_nodes, roles: b.roles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frames::{average_endpoint_error, synthetic_pair};
+    use crate::reference::horn_schunck;
+
+    fn params() -> HsParams {
+        HsParams { levels: 2, jacobi_iters: 10, warp_iters: 1, alpha2: 0.1 }
+    }
+
+    #[test]
+    fn node_counts_match_fig4_structure() {
+        let (f0, f1) = synthetic_pair(64, 64, 1.0, 0.0, 3);
+        let p = HsParams { levels: 3, jacobi_iters: 5, warp_iters: 1, alpha2: 0.1 };
+        let app = build_app(&f0, &f1, &p);
+        let count = |role: &str| app.roles.values().filter(|&&r| r == role).count();
+        assert_eq!(count("HtD-frame"), 2);
+        assert_eq!(count("DS"), 4, "two downscales per frame for 3 levels");
+        assert_eq!(count("WP"), 3);
+        assert_eq!(count("DV"), 3);
+        assert_eq!(count("JI"), 15);
+        assert_eq!(count("AD"), 6);
+        assert_eq!(count("US"), 4);
+        assert_eq!(count("DtH"), 2);
+        assert_eq!(count("HtD-zero"), 8, "2 flow zeros + 2 increment zeros x 3 levels");
+        assert_eq!(app.ji_nodes.len(), 15);
+    }
+
+    #[test]
+    fn graph_matches_cpu_reference_exactly() {
+        let (f0, f1) = synthetic_pair(64, 64, 1.5, -0.5, 9);
+        let p = params();
+        let mut app = build_app(&f0, &f1, &p);
+        kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap();
+        let (u_ref, v_ref) = horn_schunck(&f0, &f1, &p);
+        let u = app.mem.download_f32(app.u_out);
+        let v = app.mem.download_f32(app.v_out);
+        for i in 0..u.len() {
+            assert_eq!(u[i], u_ref.data[i], "u mismatch at {i}");
+            assert_eq!(v[i], v_ref.data[i], "v mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn recovers_translation_on_simulator() {
+        let (f0, f1) = synthetic_pair(64, 64, 1.0, 0.5, 21);
+        let p = HsParams { levels: 2, jacobi_iters: 60, warp_iters: 1, alpha2: 0.02 };
+        let mut app = build_app(&f0, &f1, &p);
+        kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap();
+        let u = app.mem.download_f32(app.u_out);
+        let v = app.mem.download_f32(app.v_out);
+        let err = average_endpoint_error(&u, &v, 64, 64, 1.0, 0.5, 8);
+        assert!(err < 0.5, "endpoint error {err}");
+    }
+
+    #[test]
+    fn ji_signature_sharing_keeps_analysis_cheap() {
+        let (f0, f1) = synthetic_pair(64, 64, 1.0, 0.0, 3);
+        let p = HsParams { levels: 1, jacobi_iters: 9, warp_iters: 1, alpha2: 0.1 };
+        let mut app = build_app(&f0, &f1, &p);
+        let gt = kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap();
+        use std::collections::HashSet;
+        let distinct: HashSet<usize> = app
+            .ji_nodes
+            .iter()
+            .map(|&n| std::sync::Arc::as_ptr(&gt.node(n).blocks) as usize)
+            .collect();
+        assert_eq!(distinct.len(), 3, "JI traces: first, even and odd parity");
+    }
+
+    #[test]
+    fn warp_iters_repeat_the_inner_loop() {
+        let (f0, f1) = synthetic_pair(64, 64, 1.0, 0.0, 3);
+        let p = HsParams { levels: 2, jacobi_iters: 4, warp_iters: 3, alpha2: 0.1 };
+        let app = build_app(&f0, &f1, &p);
+        let count = |role: &str| app.roles.values().filter(|&&r| r == role).count();
+        assert_eq!(count("WP"), 2 * 3, "levels x warp_iters");
+        assert_eq!(count("DV"), 2 * 3);
+        assert_eq!(count("JI"), 2 * 3 * 4);
+        assert_eq!(count("AD"), 2 * 3 * 2);
+        assert_eq!(count("HtD-zero"), 2 + 2 * 2, "zeros uploaded once per level");
+    }
+
+    #[test]
+    fn warp_iters_graph_matches_reference() {
+        let (f0, f1) = synthetic_pair(64, 64, 1.2, -0.4, 17);
+        let p = HsParams { levels: 2, jacobi_iters: 5, warp_iters: 2, alpha2: 0.05 };
+        let mut app = build_app(&f0, &f1, &p);
+        kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap();
+        let (u_ref, v_ref) = horn_schunck(&f0, &f1, &p);
+        assert_eq!(app.mem.download_f32(app.u_out), u_ref.data);
+        assert_eq!(app.mem.download_f32(app.v_out), v_ref.data);
+    }
+
+    #[test]
+    fn graph_is_a_dag_with_expected_edge_density() {
+        let (f0, f1) = synthetic_pair(64, 64, 0.5, 0.5, 4);
+        let p = params();
+        let app = build_app(&f0, &f1, &p);
+        assert!(kgraph::topo_order(&app.graph).is_ok());
+        // Every JI has 5 data in-edges (du, dv, ix, iy, it); from the third
+        // iteration on, each of the two ping-pong buffers it overwrites
+        // adds a write-after-read and a write-after-write ordering edge.
+        for (k, &ji) in app.ji_nodes.iter().enumerate() {
+            let expected = if k % p.jacobi_iters as usize >= 2 { 9 } else { 5 };
+            assert_eq!(app.graph.in_edges(ji).len(), expected, "JI #{k}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Synthetic frame-pair generation.
+//!
+//! The paper evaluates on two 1024×1024 camera frames. Horn–Schunck's
+//! performance is input-value independent (that is the paper's third tiling
+//! condition for the Jacobi kernel), so a reproducible synthetic pair —
+//! a smooth random pattern and its translation by a known ground-truth
+//! flow — exercises exactly the same code paths while also letting tests
+//! check flow accuracy against the ground truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A grayscale image: `w * h` luma values in `[0, 1]`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+    /// Row-major luma data.
+    pub data: Vec<f32>,
+}
+
+impl Frame {
+    /// Creates a zero frame.
+    pub fn zeros(w: u32, h: u32) -> Self {
+        Frame { w, h, data: vec![0.0; (w as usize) * (h as usize)] }
+    }
+
+    /// Pixel accessor with replicate border handling.
+    pub fn at(&self, x: i64, y: i64) -> f32 {
+        let xc = x.clamp(0, self.w as i64 - 1) as usize;
+        let yc = y.clamp(0, self.h as i64 - 1) as usize;
+        self.data[yc * self.w as usize + xc]
+    }
+
+    /// Bilinear sample at a fractional position (replicate borders).
+    pub fn sample(&self, fx: f32, fy: f32) -> f32 {
+        let x0 = fx.floor() as i64;
+        let y0 = fy.floor() as i64;
+        let ax = fx - x0 as f32;
+        let ay = fy - y0 as f32;
+        (1.0 - ax) * (1.0 - ay) * self.at(x0, y0)
+            + ax * (1.0 - ay) * self.at(x0 + 1, y0)
+            + (1.0 - ax) * ay * self.at(x0, y0 + 1)
+            + ax * ay * self.at(x0 + 1, y0 + 1)
+    }
+
+    /// Raw little-endian bytes of the luma data (an `HtD` payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.data.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+}
+
+/// Generates a smooth random pattern: a coarse random grid, bilinearly
+/// upsampled, normalized to `[0, 1]`. Smoothness matters — Horn–Schunck
+/// needs image gradients to carry motion information.
+pub fn smooth_pattern(w: u32, h: u32, seed: u64) -> Frame {
+    let cell = 16u32; // coarse grid resolution
+    let gw = w.div_ceil(cell) + 2;
+    let gh = h.div_ceil(cell) + 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let grid: Vec<f32> = (0..gw as usize * gh as usize).map(|_| rng.gen::<f32>()).collect();
+    let gat = |x: i64, y: i64| -> f32 {
+        let xc = x.clamp(0, gw as i64 - 1) as usize;
+        let yc = y.clamp(0, gh as i64 - 1) as usize;
+        grid[yc * gw as usize + xc]
+    };
+    let mut out = Frame::zeros(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let fx = x as f32 / cell as f32;
+            let fy = y as f32 / cell as f32;
+            let x0 = fx.floor() as i64;
+            let y0 = fy.floor() as i64;
+            let ax = fx - x0 as f32;
+            let ay = fy - y0 as f32;
+            let v = (1.0 - ax) * (1.0 - ay) * gat(x0, y0)
+                + ax * (1.0 - ay) * gat(x0 + 1, y0)
+                + (1.0 - ax) * ay * gat(x0, y0 + 1)
+                + ax * ay * gat(x0 + 1, y0 + 1);
+            out.data[(y * w + x) as usize] = v;
+        }
+    }
+    out
+}
+
+/// Generates a frame pair related by a uniform translation `(dx, dy)`:
+/// `frame1(x, y) = frame0(x - dx, y - dy)` — the scene content moves by
+/// `(+dx, +dy)` from frame 0 to frame 1. Under the solver's warp
+/// convention `warped(x, y) = frame1(x + u, y + v) ≈ frame0(x, y)`, the
+/// ground-truth flow is `(dx, dy)` everywhere (away from the borders).
+pub fn synthetic_pair(w: u32, h: u32, dx: f32, dy: f32, seed: u64) -> (Frame, Frame) {
+    let f0 = smooth_pattern(w, h, seed);
+    let mut f1 = Frame::zeros(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            f1.data[(y * w + x) as usize] = f0.sample(x as f32 - dx, y as f32 - dy);
+        }
+    }
+    (f0, f1)
+}
+
+/// Average endpoint error of a flow field against a uniform ground truth,
+/// evaluated on the interior (a `margin`-pixel border is excluded, where
+/// replicate-border sampling distorts the constraint).
+pub fn average_endpoint_error(
+    u: &[f32],
+    v: &[f32],
+    w: u32,
+    h: u32,
+    dx: f32,
+    dy: f32,
+    margin: u32,
+) -> f64 {
+    assert!(2 * margin < w && 2 * margin < h, "margin eats the whole frame");
+    let mut sum = 0.0f64;
+    let mut count = 0u64;
+    for y in margin..h - margin {
+        for x in margin..w - margin {
+            let i = (y * w + x) as usize;
+            let eu = u[i] - dx;
+            let ev = v[i] - dy;
+            sum += ((eu * eu + ev * ev) as f64).sqrt();
+            count += 1;
+        }
+    }
+    sum / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_is_deterministic_and_in_range() {
+        let a = smooth_pattern(64, 32, 7);
+        let b = smooth_pattern(64, 32, 7);
+        assert_eq!(a, b);
+        assert!(a.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let c = smooth_pattern(64, 32, 8);
+        assert_ne!(a, c, "different seeds give different patterns");
+    }
+
+    #[test]
+    fn pattern_is_smooth() {
+        let f = smooth_pattern(128, 128, 3);
+        let mut max_grad = 0.0f32;
+        for y in 0..128i64 {
+            for x in 1..128i64 {
+                max_grad = max_grad.max((f.at(x, y) - f.at(x - 1, y)).abs());
+            }
+        }
+        assert!(max_grad < 0.2, "adjacent pixels must differ mildly: {max_grad}");
+    }
+
+    #[test]
+    fn translation_matches_sampling() {
+        let (f0, f1) = synthetic_pair(64, 64, 2.0, -1.0, 42);
+        // Interior: f1(x,y) = f0(x-2, y+1).
+        for (x, y) in [(10u32, 10u32), (30, 40), (50, 20)] {
+            let a = f1.data[(y * 64 + x) as usize];
+            let b = f0.data[((y + 1) * 64 + x - 2) as usize];
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn aee_of_perfect_flow_is_zero() {
+        let w = 32;
+        let h = 32;
+        let u = vec![1.5f32; (w * h) as usize];
+        let v = vec![-0.5f32; (w * h) as usize];
+        let err = average_endpoint_error(&u, &v, w, h, 1.5, -0.5, 4);
+        assert!(err < 1e-9);
+        let err2 = average_endpoint_error(&u, &v, w, h, 0.5, -0.5, 4);
+        assert!((err2 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frame_bytes_roundtrip() {
+        let f = smooth_pattern(8, 8, 1);
+        let bytes = f.to_bytes();
+        assert_eq!(bytes.len(), 8 * 8 * 4);
+        let back: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(back, f.data);
+    }
+}

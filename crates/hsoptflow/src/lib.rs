@@ -1,0 +1,31 @@
+//! # hsoptflow — the HSOpticalFlow test application
+//!
+//! The paper evaluates KTILER on the CUDA SDK `HSOpticalFlow` sample: a
+//! GPU-accelerated pyramidal Horn–Schunck optical-flow estimator whose DFG
+//! (Fig. 4) contains over a thousand kernels at the paper's settings, 98.5%
+//! of whose runtime is the Jacobi iterations (`JI` nodes) that KTILER tiles.
+//!
+//! This crate provides:
+//!
+//! * [`build_app`] — the full application graph over the `kernels` crate,
+//!   structured exactly like Fig. 4 (HtD/DS pyramids, WP→DV→JI×N→AD per
+//!   step, US between steps, DtH at the end);
+//! * [`horn_schunck`] — a pure-CPU reference with identical arithmetic, for
+//!   exact functional validation of graph executions;
+//! * [`synthetic_pair`] — reproducible synthetic frame pairs with known
+//!   ground-truth flow (substituting the paper's camera frames, which
+//!   anyway do not affect performance: the kernels are input-value
+//!   independent).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+mod frames;
+mod reference;
+
+pub use app::{build_app, build_video_app, OptFlowApp, VideoFlowApp};
+pub use frames::{average_endpoint_error, smooth_pattern, synthetic_pair, Frame};
+pub use reference::{
+    derivatives, downscale, horn_schunck, jacobi_step, upscale, warp, HsParams,
+};

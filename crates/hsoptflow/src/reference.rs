@@ -1,0 +1,244 @@
+//! Pure-CPU reference implementation of the pyramidal Horn–Schunck solver.
+//!
+//! Mirrors the kernel pipeline *operation by operation* (same arithmetic,
+//! same evaluation order per pixel), so the graph execution on the
+//! simulator can be validated for exact functional equality, and the
+//! recovered flow can be checked against ground truth.
+
+use crate::frames::Frame;
+
+/// Solver parameters shared by the reference and the kernel graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HsParams {
+    /// Number of pyramid levels (the paper's "major steps"); level 0 is the
+    /// coarsest.
+    pub levels: u32,
+    /// Jacobi iterations per solve (the paper uses the SDK default of 500).
+    pub jacobi_iters: u32,
+    /// Warping iterations per level: the warp→derivatives→solve→add inner
+    /// loop repeats this many times at each level, re-warping with the
+    /// refined flow. Fig. 4 of the paper shows one; the CUDA SDK sample
+    /// supports several for large motions.
+    pub warp_iters: u32,
+    /// Smoothness weight squared (α²).
+    pub alpha2: f32,
+}
+
+impl HsParams {
+    /// Three levels with a single warp iteration per level (Fig. 4's
+    /// shape) and the given Jacobi count.
+    pub fn fig4(jacobi_iters: u32) -> Self {
+        HsParams { levels: 3, jacobi_iters, warp_iters: 1, alpha2: 0.1 }
+    }
+}
+
+impl Default for HsParams {
+    /// Three levels, as in the paper's experiment; a reduced iteration
+    /// count suitable for tests (the harness scales it up).
+    fn default() -> Self {
+        HsParams::fig4(50)
+    }
+}
+
+/// 2× box downscale, identical to the `DS` kernel.
+pub fn downscale(src: &Frame) -> Frame {
+    let (ow, oh) = (src.w / 2, src.h / 2);
+    let mut out = Frame::zeros(ow, oh);
+    for y in 0..oh {
+        for x in 0..ow {
+            let (sx, sy) = (2 * x as i64, 2 * y as i64);
+            out.data[(y * ow + x) as usize] = 0.25
+                * (src.at(sx, sy) + src.at(sx + 1, sy) + src.at(sx, sy + 1)
+                    + src.at(sx + 1, sy + 1));
+        }
+    }
+    out
+}
+
+/// 2× bilinear upscale with value scaling, identical to the `US` kernel.
+pub fn upscale(src: &Frame, scale: f32) -> Frame {
+    let (ow, oh) = (2 * src.w, 2 * src.h);
+    let mut out = Frame::zeros(ow, oh);
+    for y in 0..oh {
+        for x in 0..ow {
+            let fx = (x as f32 + 0.5) / 2.0 - 0.5;
+            let fy = (y as f32 + 0.5) / 2.0 - 0.5;
+            out.data[(y * ow + x) as usize] = scale * src.sample(fx, fy);
+        }
+    }
+    out
+}
+
+/// Bilinear warp by a flow field, identical to the `WP` kernel.
+pub fn warp(src: &Frame, u: &Frame, v: &Frame) -> Frame {
+    let mut out = Frame::zeros(src.w, src.h);
+    for y in 0..src.h {
+        for x in 0..src.w {
+            let i = (y * src.w + x) as usize;
+            out.data[i] = src.sample(x as f32 + u.data[i], y as f32 + v.data[i]);
+        }
+    }
+    out
+}
+
+/// Derivative images, identical to the `DV` kernel.
+pub fn derivatives(i0: &Frame, i1w: &Frame) -> (Frame, Frame, Frame) {
+    let (w, h) = (i0.w, i0.h);
+    let mut ix = Frame::zeros(w, h);
+    let mut iy = Frame::zeros(w, h);
+    let mut it = Frame::zeros(w, h);
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            let i = (y as u32 * w + x as u32) as usize;
+            ix.data[i] = 0.25
+                * ((i0.at(x + 1, y) + i1w.at(x + 1, y)) - (i0.at(x - 1, y) + i1w.at(x - 1, y)));
+            iy.data[i] = 0.25
+                * ((i0.at(x, y + 1) + i1w.at(x, y + 1)) - (i0.at(x, y - 1) + i1w.at(x, y - 1)));
+            it.data[i] = i1w.at(x, y) - i0.at(x, y);
+        }
+    }
+    (ix, iy, it)
+}
+
+/// One Jacobi iteration, identical to the `JI` kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn jacobi_step(
+    du: &Frame,
+    dv: &Frame,
+    ix: &Frame,
+    iy: &Frame,
+    it: &Frame,
+    alpha2: f32,
+) -> (Frame, Frame) {
+    let (w, h) = (du.w, du.h);
+    let mut du_out = Frame::zeros(w, h);
+    let mut dv_out = Frame::zeros(w, h);
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            let i = (y as u32 * w + x as u32) as usize;
+            let du_bar =
+                0.25 * (du.at(x - 1, y) + du.at(x + 1, y) + du.at(x, y - 1) + du.at(x, y + 1));
+            let dv_bar =
+                0.25 * (dv.at(x - 1, y) + dv.at(x + 1, y) + dv.at(x, y - 1) + dv.at(x, y + 1));
+            let gx = ix.data[i];
+            let gy = iy.data[i];
+            let gt = it.data[i];
+            let r = (gx * du_bar + gy * dv_bar + gt) / (alpha2 + gx * gx + gy * gy);
+            du_out.data[i] = du_bar - gx * r;
+            dv_out.data[i] = dv_bar - gy * r;
+        }
+    }
+    (du_out, dv_out)
+}
+
+/// Full pyramidal Horn–Schunck optical flow from `frame0` to `frame1`.
+///
+/// Returns the flow components `(u, v)` at full resolution.
+///
+/// # Panics
+///
+/// Panics if the frame dimensions are not divisible by `2^(levels-1)`.
+pub fn horn_schunck(frame0: &Frame, frame1: &Frame, p: &HsParams) -> (Frame, Frame) {
+    assert_eq!(frame0.w, frame1.w);
+    assert_eq!(frame0.h, frame1.h);
+    let down = 1u32 << (p.levels - 1);
+    assert!(
+        frame0.w.is_multiple_of(down) && frame0.h.is_multiple_of(down),
+        "frame must be divisible by 2^(levels-1)"
+    );
+
+    // Build pyramids, coarsest first.
+    let mut pyr0 = vec![frame0.clone()];
+    let mut pyr1 = vec![frame1.clone()];
+    for _ in 1..p.levels {
+        pyr0.push(downscale(pyr0.last().unwrap()));
+        pyr1.push(downscale(pyr1.last().unwrap()));
+    }
+    pyr0.reverse();
+    pyr1.reverse();
+
+    let coarsest = &pyr0[0];
+    let mut u = Frame::zeros(coarsest.w, coarsest.h);
+    let mut v = Frame::zeros(coarsest.w, coarsest.h);
+
+    for level in 0..p.levels as usize {
+        let i0 = &pyr0[level];
+        let i1 = &pyr1[level];
+        for _ in 0..p.warp_iters.max(1) {
+            let warped = warp(i1, &u, &v);
+            let (ix, iy, it) = derivatives(i0, &warped);
+            let mut du = Frame::zeros(i0.w, i0.h);
+            let mut dv = Frame::zeros(i0.w, i0.h);
+            for _ in 0..p.jacobi_iters {
+                let (ndu, ndv) = jacobi_step(&du, &dv, &ix, &iy, &it, p.alpha2);
+                du = ndu;
+                dv = ndv;
+            }
+            for i in 0..u.data.len() {
+                u.data[i] += du.data[i];
+                v.data[i] += dv.data[i];
+            }
+        }
+        if level + 1 < p.levels as usize {
+            u = upscale(&u, 2.0);
+            v = upscale(&v, 2.0);
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frames::{average_endpoint_error, synthetic_pair};
+
+    #[test]
+    fn identical_frames_give_zero_flow() {
+        let (f0, _) = synthetic_pair(64, 64, 0.0, 0.0, 1);
+        let p = HsParams { levels: 2, jacobi_iters: 20, warp_iters: 1, alpha2: 0.1 };
+        let (u, v) = horn_schunck(&f0, &f0, &p);
+        assert!(u.data.iter().all(|&x| x.abs() < 1e-6));
+        assert!(v.data.iter().all(|&x| x.abs() < 1e-6));
+    }
+
+    #[test]
+    fn recovers_small_translation() {
+        let (f0, f1) = synthetic_pair(128, 128, 1.0, 0.5, 11);
+        let p = HsParams { levels: 3, jacobi_iters: 80, warp_iters: 1, alpha2: 0.02 };
+        let (u, v) = horn_schunck(&f0, &f1, &p);
+        let err = average_endpoint_error(&u.data, &v.data, 128, 128, 1.0, 0.5, 16);
+        assert!(err < 0.45, "average endpoint error too high: {err}");
+    }
+
+    #[test]
+    fn flow_direction_is_correct() {
+        let (f0, f1) = synthetic_pair(128, 128, 2.0, 0.0, 5);
+        let p = HsParams { levels: 3, jacobi_iters: 60, warp_iters: 1, alpha2: 0.02 };
+        let (u, v) = horn_schunck(&f0, &f1, &p);
+        // Mean u should be clearly positive, mean |v| near zero.
+        let mu: f32 = u.data.iter().sum::<f32>() / u.data.len() as f32;
+        let mv: f32 = v.data.iter().sum::<f32>() / v.data.len() as f32;
+        assert!(mu > 1.0, "mean u = {mu}");
+        assert!(mv.abs() < 0.3, "mean v = {mv}");
+    }
+
+    #[test]
+    fn pyramid_dimensions_halve() {
+        let f = Frame::zeros(64, 32);
+        let d = downscale(&f);
+        assert_eq!((d.w, d.h), (32, 16));
+        let u = upscale(&d, 2.0);
+        assert_eq!((u.w, u.h), (64, 32));
+    }
+
+    #[test]
+    fn jacobi_matches_kernel_semantics() {
+        // Constant data term with zero derivatives: pure smoothing.
+        let mut du = Frame::zeros(8, 8);
+        du.data[3 * 8 + 3] = 4.0;
+        let z = Frame::zeros(8, 8);
+        let (out, _) = jacobi_step(&du, &z, &z, &z, &z, 0.1);
+        assert_eq!(out.data[3 * 8 + 4], 1.0);
+        assert_eq!(out.data[3 * 8 + 3], 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! The multi-frame (video) optical-flow application: pyramid sharing,
+//! per-pair correctness and KTILER scheduling at graph scale.
+
+use gpu_sim::{FreqConfig, GpuConfig};
+use hsoptflow::{build_video_app, horn_schunck, smooth_pattern, Frame, HsParams};
+use ktiler::{calibrate, ktiler_schedule, CalibrationConfig, KtilerConfig, TileParams};
+
+/// A little camera pan: each frame shifts the pattern by (dx, dy).
+fn pan(frames: u32, w: u32, h: u32, dx: f32, dy: f32, seed: u64) -> Vec<Frame> {
+    let base = smooth_pattern(w, h, seed);
+    (0..frames)
+        .map(|i| {
+            let mut f = Frame::zeros(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    f.data[(y * w + x) as usize] =
+                        base.sample(x as f32 - dx * i as f32, y as f32 - dy * i as f32);
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+fn params() -> HsParams {
+    HsParams { levels: 2, jacobi_iters: 6, warp_iters: 1, alpha2: 0.05 }
+}
+
+#[test]
+fn video_pairs_match_pairwise_references() {
+    let frames = pan(4, 64, 64, 0.8, -0.4, 11);
+    let p = params();
+    let mut app = build_video_app(&frames, &p);
+    kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap();
+    for (i, &(u, v)) in app.flows.iter().enumerate() {
+        let (u_ref, v_ref) = horn_schunck(&frames[i], &frames[i + 1], &p);
+        assert_eq!(app.mem.download_f32(u), u_ref.data, "pair {i} u");
+        assert_eq!(app.mem.download_f32(v), v_ref.data, "pair {i} v");
+    }
+}
+
+#[test]
+fn video_graph_shares_pyramids() {
+    let frames = pan(4, 64, 64, 0.5, 0.0, 3);
+    let p = params();
+    let app = build_video_app(&frames, &p);
+    let count = |role: &str| app.roles.values().filter(|&&r| r == role).count();
+    // One HtD + (levels-1) DS per FRAME (not per pair): 4 frames, 3 pairs.
+    assert_eq!(count("HtD-frame"), 4);
+    assert_eq!(count("DS"), 4);
+    assert_eq!(count("WP"), 3 * 2, "pairs x levels");
+    assert_eq!(app.flows.len(), 3);
+    assert_eq!(app.ji_nodes.len(), 3 * 2 * 6);
+    assert!(kgraph::topo_order(&app.graph).is_ok());
+}
+
+#[test]
+fn video_graph_edges_are_sound_and_schedulable() {
+    let frames = pan(3, 64, 64, 1.0, 0.5, 9);
+    let p = params();
+    let mut app = build_video_app(&frames, &p);
+    let cfg = GpuConfig::gtx960m();
+    let gt = kgraph::analyze(&app.graph, &mut app.mem, cfg.cache.line_bytes).unwrap();
+    let check = kgraph::check_edges(&app.graph, &gt.deps);
+    assert!(check.is_sound(), "undeclared deps: {:?}", check.undeclared);
+
+    let cal = calibrate(&app.graph, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+    let kcfg = KtilerConfig {
+        weight_threshold_ns: 500.0,
+        tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
+    };
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg);
+    out.schedule.validate(&app.graph, &gt.deps).unwrap();
+}

@@ -1,0 +1,99 @@
+//! Shared helpers for kernel implementations: 2-D image launch geometry and
+//! index arithmetic.
+
+use gpu_sim::{BlockIdx, Dim3, LaunchDims};
+
+/// The block shape used by all 2-D image kernels in this suite: 32×8
+/// threads, matching the paper's motivational example (`A<<<(8×32),
+/// (32×8)>>>`).
+pub const IMG_BLOCK: (u32, u32) = (32, 8);
+
+/// Launch geometry for a `w`×`h` image with the standard 32×8 block.
+///
+/// # Examples
+///
+/// ```
+/// use kernels::grid_for;
+/// let dims = grid_for(256, 256);
+/// assert_eq!(dims.num_blocks(), 8 * 32);
+/// assert_eq!(dims.threads_per_block(), 256);
+/// ```
+pub fn grid_for(w: u32, h: u32) -> LaunchDims {
+    assert!(w > 0 && h > 0, "image must be non-empty");
+    LaunchDims::new(
+        Dim3::xy(w.div_ceil(IMG_BLOCK.0), h.div_ceil(IMG_BLOCK.1)),
+        Dim3::xy(IMG_BLOCK.0, IMG_BLOCK.1),
+    )
+}
+
+/// Iterates the threads of an image-kernel block, yielding
+/// `(tid, x, y)` for the threads whose global pixel `(x, y)` lies inside the
+/// `w`×`h` image (out-of-range threads exit immediately, like the guard
+/// `if (x >= w || y >= h) return;` in CUDA code).
+pub fn pixel_threads(
+    block: BlockIdx,
+    w: u32,
+    h: u32,
+) -> impl Iterator<Item = (u32, u32, u32)> {
+    let (bw, bh) = IMG_BLOCK;
+    (0..bw * bh).filter_map(move |tid| {
+        let tx = tid % bw;
+        let ty = tid / bw;
+        let x = block.x * bw + tx;
+        let y = block.y * bh + ty;
+        (x < w && y < h).then_some((tid, x, y))
+    })
+}
+
+/// Row-major linear index of pixel `(x, y)` in a `w`-wide image.
+pub fn pix(x: u32, y: u32, w: u32) -> u64 {
+    y as u64 * w as u64 + x as u64
+}
+
+/// Clamps a pixel coordinate to `[0, max - 1]` (replicate border handling).
+pub fn clampi(v: i64, max: u32) -> u32 {
+    v.clamp(0, max as i64 - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_for_covers_image() {
+        let d = grid_for(100, 50);
+        assert_eq!(d.grid.x, 4); // ceil(100/32)
+        assert_eq!(d.grid.y, 7); // ceil(50/8)
+    }
+
+    #[test]
+    fn grid_for_paper_example() {
+        // 256x256 image with 32x8 blocks: 8x32 grid, as in Fig. 1.
+        let d = grid_for(256, 256);
+        assert_eq!((d.grid.x, d.grid.y), (8, 32));
+    }
+
+    #[test]
+    fn pixel_threads_guard_out_of_range() {
+        let d = grid_for(33, 9); // grid 2x2, lots of guard threads
+        let block = BlockIdx::new(1, 1, 0, d.grid);
+        let v: Vec<_> = pixel_threads(block, 33, 9).collect();
+        // Only x=32, y=8 is in range in the last block.
+        assert_eq!(v, vec![(0, 32, 8)]);
+    }
+
+    #[test]
+    fn pixel_threads_full_block() {
+        let d = grid_for(64, 16);
+        let block = BlockIdx::new(0, 0, 0, d.grid);
+        assert_eq!(pixel_threads(block, 64, 16).count(), 256);
+    }
+
+    #[test]
+    fn clamp_and_pix() {
+        assert_eq!(clampi(-3, 10), 0);
+        assert_eq!(clampi(12, 10), 9);
+        assert_eq!(clampi(5, 10), 5);
+        assert_eq!(pix(3, 2, 10), 23);
+    }
+}

@@ -1,0 +1,152 @@
+//! Bitonic sort steps — Sec. II lists "bitonic sort on large arrays" among
+//! the kernels that respond well to tiling: every step streams the whole
+//! array with fixed, input-independent compare-exchange partners.
+
+use gpu_sim::{BlockIdx, Buffer, Dim3, LaunchDims};
+use kgraph::Kernel;
+use trace::ExecCtx;
+
+use super::reduce::ARRAY_BLOCK;
+
+/// One bitonic compare-exchange step `(k, j)` over `data`, in place.
+///
+/// Thread `i` with partner `i ^ j > i` orders the pair `(data[i],
+/// data[partner])` ascending when `i & k == 0`, descending otherwise. The
+/// partner distance `j` determines how far block dependencies reach: small
+/// `j` steps are tiling-friendly, large `j` steps span the array.
+///
+/// Because the step updates `data` in place and the next step is a new
+/// kernel, successive steps form a producer→consumer chain through the same
+/// buffer — dependency analysis sees the read-after-write at word
+/// granularity.
+#[derive(Debug, Clone)]
+pub struct BitonicStep {
+    /// The array being sorted, updated in place (`n` elements).
+    pub data: Buffer,
+    /// Number of elements (power of two).
+    pub n: u32,
+    /// Bitonic sequence size of this stage.
+    pub k: u32,
+    /// Partner distance of this step.
+    pub j: u32,
+}
+
+impl BitonicStep {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two, the buffer is too small, or
+    /// `j`/`k` are not powers of two with `j < k <= n`.
+    pub fn new(data: Buffer, n: u32, k: u32, j: u32) -> Self {
+        assert!(n.is_power_of_two(), "bitonic sort needs a power-of-two size");
+        assert!(data.f32_len() >= n as u64, "data too small");
+        assert!(k.is_power_of_two() && j.is_power_of_two(), "k and j must be powers of two");
+        assert!(j < k && k <= n, "need j < k <= n");
+        BitonicStep { data, n, k, j }
+    }
+}
+
+impl Kernel for BitonicStep {
+    fn label(&self) -> String {
+        format!("BIT[{},{}]", self.k, self.j)
+    }
+
+    fn dims(&self) -> LaunchDims {
+        LaunchDims::new(Dim3::linear(self.n.div_ceil(ARRAY_BLOCK)), Dim3::linear(ARRAY_BLOCK))
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        for tid in 0..ARRAY_BLOCK {
+            let i = block.x as u64 * ARRAY_BLOCK as u64 + tid as u64;
+            if i >= self.n as u64 {
+                continue;
+            }
+            let partner = i ^ self.j as u64;
+            if partner <= i {
+                continue; // the lower-index thread does the exchange
+            }
+            let a = ctx.ld_f32(self.data, i, tid);
+            let b = ctx.ld_f32(self.data, partner, tid);
+            let ascending = i & self.k as u64 == 0;
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let (x, y) = if ascending { (lo, hi) } else { (hi, lo) };
+            ctx.st_f32(self.data, i, x, tid);
+            ctx.st_f32(self.data, partner, y, tid);
+            ctx.compute(tid, 6);
+        }
+    }
+
+    fn signature(&self) -> Option<String> {
+        Some(format!("BIT:{}:{}:{}:{}", self.n, self.k, self.j, self.data.addr))
+    }
+}
+
+/// The `(k, j)` pairs of a full bitonic sort of `n` elements, in launch
+/// order.
+pub fn bitonic_steps(n: u32) -> Vec<(u32, u32)> {
+    assert!(n.is_power_of_two(), "bitonic sort needs a power-of-two size");
+    let mut v = Vec::new();
+    let mut k = 2u32;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            v.push((k, j));
+            j /= 2;
+        }
+        k *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::TraceRecorder;
+
+    fn run(k: &BitonicStep, mem: &mut DeviceMemory) {
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let _ = rec.finish_block();
+        }
+    }
+
+    #[test]
+    fn full_sort_orders_array() {
+        let mut mem = DeviceMemory::new();
+        let n = 1024u32;
+        let data = mem.alloc_f32(n as u64, "data");
+        // Deterministic pseudo-random fill.
+        let mut x = 12345u64;
+        for i in 0..n as u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            mem.write_f32(data, i, (x >> 33) as f32);
+        }
+        for (k, j) in bitonic_steps(n) {
+            run(&BitonicStep::new(data, n, k, j), &mut mem);
+        }
+        let v = mem.download_f32(data);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]), "array must be sorted");
+    }
+
+    #[test]
+    fn step_count_is_log_squared() {
+        // n = 2^m gives m*(m+1)/2 steps.
+        assert_eq!(bitonic_steps(1024).len(), 10 * 11 / 2);
+        assert_eq!(bitonic_steps(2), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn single_step_exchanges_pairs() {
+        let mut mem = DeviceMemory::new();
+        let data = mem.alloc_f32(4, "data");
+        mem.upload_f32(data, &[3.0, 1.0, 2.0, 4.0]);
+        run(&BitonicStep::new(data, 4, 2, 1), &mut mem);
+        // Pair (0,1) ascending -> 1,3; pair (2,3) descending -> 4,2.
+        assert_eq!(mem.download_f32(data), vec![1.0, 3.0, 4.0, 2.0]);
+    }
+}

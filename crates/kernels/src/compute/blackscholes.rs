@@ -1,0 +1,173 @@
+//! Black–Scholes option pricing — the last kernel Sec. II lists as
+//! responding well to tiling: a pure streaming map (one cold load per
+//! input element, zero reuse), usually chained after a data-generation or
+//! preprocessing kernel.
+
+use gpu_sim::{BlockIdx, Buffer, Dim3, LaunchDims};
+use kgraph::Kernel;
+use trace::ExecCtx;
+
+use super::reduce::ARRAY_BLOCK;
+
+/// Prices European call and put options with the Black–Scholes closed form.
+///
+/// Inputs are three arrays (spot price, strike, time to expiry); outputs are
+/// the call and put premia. Rate and volatility are compile-time constants,
+/// as in the CUDA SDK sample. One thread per option: 3 loads, 2 stores and
+/// a long ALU sequence (the kernel is compute-heavy but still memory-bound
+/// at full occupancy because of the 5 streaming accesses).
+#[derive(Debug, Clone)]
+pub struct BlackScholes {
+    /// Spot prices (`n` elements).
+    pub price: Buffer,
+    /// Strikes (`n` elements).
+    pub strike: Buffer,
+    /// Times to expiry in years (`n` elements).
+    pub years: Buffer,
+    /// Output call premia (`n` elements).
+    pub call: Buffer,
+    /// Output put premia (`n` elements).
+    pub put: Buffer,
+    /// Number of options.
+    pub n: u32,
+}
+
+/// Risk-free rate used by the kernel (matches the CUDA SDK sample).
+pub const RISK_FREE: f32 = 0.02;
+/// Volatility used by the kernel (matches the CUDA SDK sample).
+pub const VOLATILITY: f32 = 0.30;
+
+fn cnd(d: f32) -> f32 {
+    // Abramowitz–Stegun polynomial approximation of the cumulative normal
+    // distribution, as used by the CUDA SDK BlackScholes sample.
+    const A1: f32 = 0.31938153;
+    const A2: f32 = -0.356_563_78;
+    const A3: f32 = 1.781_477_9;
+    const A4: f32 = -1.821_255_9;
+    const A5: f32 = 1.330_274_5;
+    let k = 1.0 / (1.0 + 0.2316419 * d.abs());
+    let poly = k * (A1 + k * (A2 + k * (A3 + k * (A4 + k * A5))));
+    let approx = 1.0 - (-0.5 * d * d).exp() * poly / (2.0 * std::f32::consts::PI).sqrt();
+    if d >= 0.0 {
+        approx
+    } else {
+        1.0 - approx
+    }
+}
+
+/// Reference scalar Black–Scholes (used by the kernel and by tests).
+pub fn black_scholes_ref(s: f32, x: f32, t: f32) -> (f32, f32) {
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / x).ln() + (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY) * t)
+        / (VOLATILITY * sqrt_t);
+    let d2 = d1 - VOLATILITY * sqrt_t;
+    let exp_rt = (-RISK_FREE * t).exp();
+    let call = s * cnd(d1) - x * exp_rt * cnd(d2);
+    let put = x * exp_rt * cnd(-d2) - s * cnd(-d1);
+    (call, put)
+}
+
+impl BlackScholes {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer is too small.
+    pub fn new(price: Buffer, strike: Buffer, years: Buffer, call: Buffer, put: Buffer, n: u32) -> Self {
+        for (b, name) in
+            [(price, "price"), (strike, "strike"), (years, "years"), (call, "call"), (put, "put")]
+        {
+            assert!(b.f32_len() >= n as u64, "{name} buffer too small");
+        }
+        BlackScholes { price, strike, years, call, put, n }
+    }
+}
+
+impl Kernel for BlackScholes {
+    fn label(&self) -> String {
+        "BS".into()
+    }
+
+    fn dims(&self) -> LaunchDims {
+        LaunchDims::new(Dim3::linear(self.n.div_ceil(ARRAY_BLOCK)), Dim3::linear(ARRAY_BLOCK))
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        for tid in 0..ARRAY_BLOCK {
+            let gid = block.x as u64 * ARRAY_BLOCK as u64 + tid as u64;
+            if gid >= self.n as u64 {
+                continue;
+            }
+            let s = ctx.ld_f32(self.price, gid, tid);
+            let x = ctx.ld_f32(self.strike, gid, tid);
+            let t = ctx.ld_f32(self.years, gid, tid);
+            let (call, put) = black_scholes_ref(s, x, t);
+            ctx.st_f32(self.call, gid, call, tid);
+            ctx.st_f32(self.put, gid, put, tid);
+            ctx.compute(tid, 60);
+        }
+    }
+
+    fn signature(&self) -> Option<String> {
+        Some(format!(
+            "BS:{}:{}:{}:{}:{}:{}",
+            self.n, self.price.addr, self.strike.addr, self.years.addr, self.call.addr, self.put.addr
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::TraceRecorder;
+
+    #[test]
+    fn cnd_is_a_cdf() {
+        assert!((cnd(0.0) - 0.5).abs() < 1e-5);
+        assert!(cnd(4.0) > 0.9999);
+        assert!(cnd(-4.0) < 0.0001);
+        // Symmetry.
+        assert!((cnd(1.3) + cnd(-1.3) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn put_call_parity_holds() {
+        let (s, x, t) = (100.0f32, 95.0f32, 0.5f32);
+        let (call, put) = black_scholes_ref(s, x, t);
+        // C - P = S - X * exp(-rT)
+        let lhs = call - put;
+        let rhs = s - x * (-RISK_FREE * t).exp();
+        assert!((lhs - rhs).abs() < 1e-3, "parity violated: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn kernel_matches_reference() {
+        let mut mem = DeviceMemory::new();
+        let n = 300u32;
+        let bufs: Vec<Buffer> = ["p", "x", "t", "c", "q"]
+            .iter()
+            .map(|s| mem.alloc_f32(n as u64, s))
+            .collect();
+        for i in 0..n as u64 {
+            mem.write_f32(bufs[0], i, 50.0 + i as f32 * 0.3);
+            mem.write_f32(bufs[1], i, 60.0);
+            mem.write_f32(bufs[2], i, 0.25 + (i % 10) as f32 * 0.1);
+        }
+        let k = BlackScholes::new(bufs[0], bufs[1], bufs[2], bufs[3], bufs[4], n);
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(&mut mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let _ = rec.finish_block();
+        }
+        for i in [0u64, 150, 299] {
+            let s = mem.read_f32(bufs[0], i);
+            let t = mem.read_f32(bufs[2], i);
+            let (c_ref, p_ref) = black_scholes_ref(s, 60.0, t);
+            assert_eq!(mem.read_f32(bufs[3], i), c_ref);
+            assert_eq!(mem.read_f32(bufs[4], i), p_ref);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Explicit heat-diffusion step — a 5-point stencil iterated as a kernel
+//! chain, structurally identical to the Jacobi chain the paper tiles: each
+//! step is a separate kernel with local block dependencies on the previous
+//! step, making deep chains an ideal KTILER workload beyond the
+//! optical-flow application.
+
+use gpu_sim::{BlockIdx, Buffer, LaunchDims};
+use kgraph::Kernel;
+use trace::ExecCtx;
+
+use crate::common::{clampi, grid_for, pix, pixel_threads};
+
+/// One explicit Euler step of 2-D heat diffusion:
+/// `out = in + alpha * (laplacian of in)` with replicate borders.
+///
+/// Stability requires `alpha <= 0.25`.
+#[derive(Debug, Clone)]
+pub struct HeatStep {
+    /// Input temperature field (`w * h` elements).
+    pub src: Buffer,
+    /// Output temperature field (`w * h` elements).
+    pub dst: Buffer,
+    /// Field width.
+    pub w: u32,
+    /// Field height.
+    pub h: u32,
+    /// Diffusion coefficient times the step size.
+    pub alpha: f32,
+}
+
+impl HeatStep {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a buffer is too small, the buffers alias, or `alpha` is
+    /// outside the stable range `(0, 0.25]`.
+    pub fn new(src: Buffer, dst: Buffer, w: u32, h: u32, alpha: f32) -> Self {
+        let n = w as u64 * h as u64;
+        assert!(src.f32_len() >= n, "src too small");
+        assert!(dst.f32_len() >= n, "dst too small");
+        assert_ne!(src.id, dst.id, "heat steps need ping-pong buffers");
+        assert!(alpha > 0.0 && alpha <= 0.25, "alpha must be in (0, 0.25] for stability");
+        HeatStep { src, dst, w, h, alpha }
+    }
+}
+
+impl Kernel for HeatStep {
+    fn label(&self) -> String {
+        "HEAT".into()
+    }
+
+    fn dims(&self) -> LaunchDims {
+        grid_for(self.w, self.h)
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        for (tid, x, y) in pixel_threads(block, self.w, self.h) {
+            let c = ctx.ld_f32(self.src, pix(x, y, self.w), tid);
+            let l = ctx.ld_f32(self.src, pix(clampi(x as i64 - 1, self.w), y, self.w), tid);
+            let r = ctx.ld_f32(self.src, pix(clampi(x as i64 + 1, self.w), y, self.w), tid);
+            let u = ctx.ld_f32(self.src, pix(x, clampi(y as i64 - 1, self.h), self.w), tid);
+            let d = ctx.ld_f32(self.src, pix(x, clampi(y as i64 + 1, self.h), self.w), tid);
+            let out = c + self.alpha * (l + r + u + d - 4.0 * c);
+            ctx.st_f32(self.dst, pix(x, y, self.w), out, tid);
+            ctx.compute(tid, 8);
+        }
+    }
+
+    fn signature(&self) -> Option<String> {
+        Some(format!(
+            "HEAT:{}x{}:{}:{}:{}",
+            self.w, self.h, self.alpha, self.src.addr, self.dst.addr
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::TraceRecorder;
+
+    fn run(k: &HeatStep, mem: &mut DeviceMemory) {
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let _ = rec.finish_block();
+        }
+    }
+
+    #[test]
+    fn uniform_field_is_steady_state() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(64 * 16, "a");
+        let b = mem.alloc_f32(64 * 16, "b");
+        for i in 0..64 * 16 {
+            mem.write_f32(a, i, 7.0);
+        }
+        run(&HeatStep::new(a, b, 64, 16, 0.25), &mut mem);
+        for i in [0u64, 100, 1023] {
+            assert_eq!(mem.read_f32(b, i), 7.0);
+        }
+    }
+
+    #[test]
+    fn hot_spot_diffuses_and_conserves_energy() {
+        let mut mem = DeviceMemory::new();
+        let (w, h) = (32u32, 32u32);
+        let a = mem.alloc_f32((w * h) as u64, "a");
+        let b = mem.alloc_f32((w * h) as u64, "b");
+        mem.write_f32(a, pix(16, 16, w), 100.0);
+        run(&HeatStep::new(a, b, w, h, 0.25), &mut mem);
+        let spot = mem.read_f32(b, pix(16, 16, w));
+        let neighbor = mem.read_f32(b, pix(17, 16, w));
+        assert!(spot < 100.0, "peak must decay: {spot}");
+        assert!(neighbor > 0.0, "heat must spread: {neighbor}");
+        // Interior diffusion conserves total heat.
+        let total: f64 = mem.download_f32(b).iter().map(|&v| v as f64).sum();
+        assert!((total - 100.0).abs() < 1e-3, "total heat {total}");
+    }
+
+    #[test]
+    fn chain_converges_toward_mean() {
+        let mut mem = DeviceMemory::new();
+        let (w, h) = (16u32, 8u32);
+        let a = mem.alloc_f32((w * h) as u64, "a");
+        let b = mem.alloc_f32((w * h) as u64, "b");
+        for x in 0..w {
+            for y in 0..h {
+                mem.write_f32(a, pix(x, y, w), if x < w / 2 { 0.0 } else { 10.0 });
+            }
+        }
+        let mut bufs = (a, b);
+        for _ in 0..300 {
+            run(&HeatStep::new(bufs.0, bufs.1, w, h, 0.25), &mut mem);
+            bufs = (bufs.1, bufs.0);
+        }
+        let v = mem.download_f32(bufs.0);
+        let spread = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+            - v.iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!(spread < 2.0, "field must smooth out: spread {spread}");
+        let mean: f64 = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        assert!((mean - 5.0).abs() < 1e-3, "mean preserved: {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stability")]
+    fn unstable_alpha_rejected() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(64, "a");
+        let b = mem.alloc_f32(64, "b");
+        let _ = HeatStep::new(a, b, 8, 8, 0.3);
+    }
+}

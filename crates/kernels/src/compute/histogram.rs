@@ -1,0 +1,149 @@
+//! Histogram with global atomics — exercises the atomic read-modify-write
+//! path of the trace/dependency machinery. Every block may touch every
+//! bin, so block dependencies against a downstream consumer are dense —
+//! an example of a kernel whose *producer* side is tiling-hostile even
+//! though its input side streams.
+
+use gpu_sim::{BlockIdx, Buffer, Dim3, LaunchDims};
+use kgraph::Kernel;
+use trace::ExecCtx;
+
+use super::reduce::ARRAY_BLOCK;
+
+/// Builds a histogram of `bins` buckets over `n` samples with
+/// `atomicAdd`-style accumulation: `hist[bucket(src[i])] += 1`.
+///
+/// Values are bucketed by `floor(v)` clamped to `[0, bins)`. The `hist`
+/// buffer must be zeroed beforehand (e.g. by an `HtD` zero upload or a
+/// fill kernel).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Input samples (`n` elements).
+    pub src: Buffer,
+    /// Output bin counts (`bins` elements, f32 counters).
+    pub hist: Buffer,
+    /// Number of samples.
+    pub n: u32,
+    /// Number of bins.
+    pub bins: u32,
+}
+
+impl Histogram {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers are too small or `bins` is zero.
+    pub fn new(src: Buffer, hist: Buffer, n: u32, bins: u32) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(src.f32_len() >= n as u64, "src too small");
+        assert!(hist.f32_len() >= bins as u64, "hist too small");
+        Histogram { src, hist, n, bins }
+    }
+}
+
+impl Kernel for Histogram {
+    fn label(&self) -> String {
+        "HIST".into()
+    }
+
+    fn dims(&self) -> LaunchDims {
+        LaunchDims::new(Dim3::linear(self.n.div_ceil(ARRAY_BLOCK)), Dim3::linear(ARRAY_BLOCK))
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        for tid in 0..ARRAY_BLOCK {
+            let gid = block.x as u64 * ARRAY_BLOCK as u64 + tid as u64;
+            if gid >= self.n as u64 {
+                continue;
+            }
+            let v = ctx.ld_f32(self.src, gid, tid);
+            let bucket = (v.floor().max(0.0) as u64).min(self.bins as u64 - 1);
+            ctx.atomic_add_f32(self.hist, bucket, 1.0, tid);
+            ctx.compute(tid, 4);
+        }
+    }
+
+    /// Addresses of the atomic updates depend on the sample *values*, so
+    /// the kernel is not tileable (the paper's third condition).
+    fn tileable(&self) -> bool {
+        false
+    }
+
+    fn signature(&self) -> Option<String> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::TraceRecorder;
+
+    fn run(k: &Histogram, mem: &mut DeviceMemory) {
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let _ = rec.finish_block();
+        }
+    }
+
+    #[test]
+    fn counts_buckets() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(600, "src");
+        let hist = mem.alloc_f32(4, "hist");
+        for i in 0..600 {
+            mem.write_f32(src, i, (i % 3) as f32);
+        }
+        let k = Histogram::new(src, hist, 600, 4);
+        run(&k, &mut mem);
+        assert_eq!(mem.read_f32(hist, 0), 200.0);
+        assert_eq!(mem.read_f32(hist, 1), 200.0);
+        assert_eq!(mem.read_f32(hist, 2), 200.0);
+        assert_eq!(mem.read_f32(hist, 3), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(2, "src");
+        let hist = mem.alloc_f32(2, "hist");
+        mem.write_f32(src, 0, -5.0);
+        mem.write_f32(src, 1, 99.0);
+        let k = Histogram::new(src, hist, 2, 2);
+        run(&k, &mut mem);
+        assert_eq!(mem.read_f32(hist, 0), 1.0);
+        assert_eq!(mem.read_f32(hist, 1), 1.0);
+    }
+
+    #[test]
+    fn histogram_is_not_tileable() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(2, "src");
+        let hist = mem.alloc_f32(2, "hist");
+        let k = Histogram::new(src, hist, 2, 2);
+        assert!(!k.tileable());
+        assert!(k.signature().is_none());
+    }
+
+    #[test]
+    fn atomics_record_read_and_write_words() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(32, "src");
+        let hist = mem.alloc_f32(4, "hist");
+        let k = Histogram::new(src, hist, 32, 4);
+        let mut rec = TraceRecorder::new(128);
+        rec.begin_block(k.dims().threads_per_block());
+        let mut ctx = ExecCtx::new(&mut mem, &mut rec);
+        k.execute_block(BlockIdx::new(0, 0, 0, k.dims().grid), &mut ctx);
+        let t = rec.finish_block();
+        // The bin words appear in BOTH read and write sets (RMW).
+        let bin_word = hist.f32_addr(0) >> 2;
+        assert!(t.read_words.contains(&bin_word));
+        assert!(t.write_words.contains(&bin_word));
+    }
+}

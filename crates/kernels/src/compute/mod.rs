@@ -1,0 +1,28 @@
+//! Compute kernels from the paper's Sec. II tiling-suitability study:
+//! reduction, Hillis–Steele scan, bitonic sort, matrix multiply, transpose
+//! and Black–Scholes respond well to tiling; convolution is the
+//! high-locality counter-example.
+
+mod bitonic;
+mod fill;
+mod heat;
+mod histogram;
+mod blackscholes;
+mod conv;
+mod matmul;
+mod reduce;
+mod saxpy;
+mod scan;
+mod transpose;
+
+pub use bitonic::{bitonic_steps, BitonicStep};
+pub use blackscholes::{black_scholes_ref, BlackScholes, RISK_FREE, VOLATILITY};
+pub use conv::Convolution2D;
+pub use fill::FillSeq;
+pub use heat::HeatStep;
+pub use histogram::Histogram;
+pub use matmul::MatMul;
+pub use reduce::{ReduceSum, ARRAY_BLOCK};
+pub use saxpy::Saxpy;
+pub use scan::{scan_steps, ScanStep};
+pub use transpose::Transpose;

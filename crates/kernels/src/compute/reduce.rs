@@ -1,0 +1,126 @@
+//! Block-level sum reduction — one of the kernels the paper lists as
+//! responding well to tiling (Sec. II): one cold load per element, no reuse.
+
+use gpu_sim::{BlockIdx, Buffer, Dim3, LaunchDims};
+use kgraph::Kernel;
+use trace::ExecCtx;
+
+/// Threads per block for the 1-D array kernels in this module.
+pub const ARRAY_BLOCK: u32 = 256;
+
+/// Sums each 256-element chunk of `src` into one element of `partials`
+/// (the first stage of a classic tree reduction; chain two instances to
+/// reduce to a scalar).
+///
+/// Each thread loads one element; lane 0 stores the block sum. Per-thread
+/// data locality is minimal, so the cache-hit-rate gap between the default
+/// and the minimum grid is large — the paper's first tiling condition.
+#[derive(Debug, Clone)]
+pub struct ReduceSum {
+    /// Input array (`n` elements).
+    pub src: Buffer,
+    /// Output partial sums (`ceil(n / 256)` elements).
+    pub partials: Buffer,
+    /// Number of input elements.
+    pub n: u32,
+}
+
+impl ReduceSum {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers are too small or `n` is zero.
+    pub fn new(src: Buffer, partials: Buffer, n: u32) -> Self {
+        assert!(n > 0, "empty reduction");
+        assert!(src.f32_len() >= n as u64, "src too small");
+        assert!(partials.f32_len() >= n.div_ceil(ARRAY_BLOCK) as u64, "partials too small");
+        ReduceSum { src, partials, n }
+    }
+}
+
+impl Kernel for ReduceSum {
+    fn label(&self) -> String {
+        "RED".into()
+    }
+
+    fn dims(&self) -> LaunchDims {
+        LaunchDims::new(Dim3::linear(self.n.div_ceil(ARRAY_BLOCK)), Dim3::linear(ARRAY_BLOCK))
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        let mut sum = 0.0f32;
+        for tid in 0..ARRAY_BLOCK {
+            let gid = block.x as u64 * ARRAY_BLOCK as u64 + tid as u64;
+            if gid < self.n as u64 {
+                sum += ctx.ld_f32(self.src, gid, tid);
+                // log2(256) shared-memory tree steps amortized per thread.
+                ctx.compute(tid, 8);
+            }
+        }
+        ctx.st_f32(self.partials, block.x as u64, sum, 0);
+    }
+
+    fn signature(&self) -> Option<String> {
+        Some(format!("RED:{}:{}:{}", self.n, self.src.addr, self.partials.addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::TraceRecorder;
+
+    fn run(k: &ReduceSum, mem: &mut DeviceMemory) {
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let _ = rec.finish_block();
+        }
+    }
+
+    #[test]
+    fn sums_each_chunk() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(512, "src");
+        let out = mem.alloc_f32(2, "out");
+        for i in 0..512 {
+            mem.write_f32(src, i, 1.0);
+        }
+        let k = ReduceSum::new(src, out, 512);
+        run(&k, &mut mem);
+        assert_eq!(mem.read_f32(out, 0), 256.0);
+        assert_eq!(mem.read_f32(out, 1), 256.0);
+    }
+
+    #[test]
+    fn handles_partial_tail_block() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(300, "src");
+        let out = mem.alloc_f32(2, "out");
+        for i in 0..300 {
+            mem.write_f32(src, i, 2.0);
+        }
+        let k = ReduceSum::new(src, out, 300);
+        run(&k, &mut mem);
+        assert_eq!(mem.read_f32(out, 0), 512.0);
+        assert_eq!(mem.read_f32(out, 1), 88.0); // 44 remaining * 2.0
+    }
+
+    #[test]
+    fn two_stage_reduction_to_scalar() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(65536, "src");
+        let p1 = mem.alloc_f32(256, "p1");
+        let p2 = mem.alloc_f32(1, "p2");
+        for i in 0..65536 {
+            mem.write_f32(src, i, 0.5);
+        }
+        run(&ReduceSum::new(src, p1, 65536), &mut mem);
+        run(&ReduceSum::new(p1, p2, 256), &mut mem);
+        assert_eq!(mem.read_f32(p2, 0), 32768.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Hillis–Steele inclusive scan — listed in Sec. II as a kernel with *low*
+//! per-thread data locality that responds well to tiling: each step is a
+//! separate kernel reading the whole previous array.
+
+use gpu_sim::{BlockIdx, Buffer, Dim3, LaunchDims};
+use kgraph::Kernel;
+use trace::ExecCtx;
+
+use super::reduce::ARRAY_BLOCK;
+
+/// One Hillis–Steele step: `dst[i] = src[i] + src[i - offset]` for
+/// `i >= offset`, else `dst[i] = src[i]`.
+///
+/// Chaining steps with `offset = 1, 2, 4, …` while ping-ponging `src`/`dst`
+/// computes the inclusive prefix sum; [`scan_steps`] builds the chain
+/// description. Early steps have *local* block dependencies (block `b`
+/// depends on blocks `b` and `b-1` of the previous step), which is exactly
+/// the structure KTILER exploits; late steps reach far across the array.
+#[derive(Debug, Clone)]
+pub struct ScanStep {
+    /// Input array (`n` elements).
+    pub src: Buffer,
+    /// Output array (`n` elements).
+    pub dst: Buffer,
+    /// Number of elements.
+    pub n: u32,
+    /// Distance of the partner element.
+    pub offset: u32,
+}
+
+impl ScanStep {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers are too small, `offset` is zero, or the
+    /// buffers alias.
+    pub fn new(src: Buffer, dst: Buffer, n: u32, offset: u32) -> Self {
+        assert!(offset > 0, "offset must be positive");
+        assert!(src.f32_len() >= n as u64, "src too small");
+        assert!(dst.f32_len() >= n as u64, "dst too small");
+        assert_ne!(src.id, dst.id, "scan steps need ping-pong buffers");
+        ScanStep { src, dst, n, offset }
+    }
+}
+
+impl Kernel for ScanStep {
+    fn label(&self) -> String {
+        format!("SCAN[{}]", self.offset)
+    }
+
+    fn dims(&self) -> LaunchDims {
+        LaunchDims::new(Dim3::linear(self.n.div_ceil(ARRAY_BLOCK)), Dim3::linear(ARRAY_BLOCK))
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        for tid in 0..ARRAY_BLOCK {
+            let gid = block.x as u64 * ARRAY_BLOCK as u64 + tid as u64;
+            if gid >= self.n as u64 {
+                continue;
+            }
+            let v = ctx.ld_f32(self.src, gid, tid);
+            let out = if gid >= self.offset as u64 {
+                v + ctx.ld_f32(self.src, gid - self.offset as u64, tid)
+            } else {
+                v
+            };
+            ctx.st_f32(self.dst, gid, out, tid);
+            ctx.compute(tid, 3);
+        }
+    }
+
+    fn signature(&self) -> Option<String> {
+        Some(format!("SCAN:{}:{}:{}:{}", self.n, self.offset, self.src.addr, self.dst.addr))
+    }
+}
+
+/// The offsets of a full Hillis–Steele scan over `n` elements:
+/// `1, 2, 4, …` while `offset < n`.
+pub fn scan_steps(n: u32) -> Vec<u32> {
+    let mut v = Vec::new();
+    let mut o = 1u32;
+    while o < n {
+        v.push(o);
+        o = o.saturating_mul(2);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::TraceRecorder;
+
+    fn run(k: &ScanStep, mem: &mut DeviceMemory) {
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let _ = rec.finish_block();
+        }
+    }
+
+    #[test]
+    fn full_scan_of_ones_is_iota() {
+        let mut mem = DeviceMemory::new();
+        let n = 1024u32;
+        let a = mem.alloc_f32(n as u64, "a");
+        let b = mem.alloc_f32(n as u64, "b");
+        for i in 0..n as u64 {
+            mem.write_f32(a, i, 1.0);
+        }
+        let mut bufs = (a, b);
+        for offset in scan_steps(n) {
+            let k = ScanStep::new(bufs.0, bufs.1, n, offset);
+            run(&k, &mut mem);
+            bufs = (bufs.1, bufs.0);
+        }
+        let result = bufs.0;
+        for i in [0u64, 1, 100, 1023] {
+            assert_eq!(mem.read_f32(result, i), (i + 1) as f32);
+        }
+    }
+
+    #[test]
+    fn steps_double_until_n() {
+        assert_eq!(scan_steps(8), vec![1, 2, 4]);
+        assert_eq!(scan_steps(1000), vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512]);
+        assert!(scan_steps(1).is_empty());
+    }
+
+    #[test]
+    fn single_step_adds_partner() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(8, "a");
+        let b = mem.alloc_f32(8, "b");
+        for i in 0..8 {
+            mem.write_f32(a, i, i as f32);
+        }
+        run(&ScanStep::new(a, b, 8, 2), &mut mem);
+        assert_eq!(mem.read_f32(b, 0), 0.0);
+        assert_eq!(mem.read_f32(b, 1), 1.0);
+        assert_eq!(mem.read_f32(b, 5), 8.0); // 5 + 3
+    }
+}

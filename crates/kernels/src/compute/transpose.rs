@@ -1,0 +1,122 @@
+//! Matrix transpose — Sec. II lists it among the tiling-friendly kernels:
+//! strided writes give minimal per-thread locality, so cold misses dominate.
+
+use gpu_sim::{BlockIdx, Buffer, LaunchDims};
+use kgraph::Kernel;
+use trace::ExecCtx;
+
+use crate::common::{grid_for, pix, pixel_threads};
+
+/// Transposes a row-major `w`×`h` matrix: `dst[x, y] = src[y, x]` with
+/// `dst` being `h` wide.
+///
+/// One thread per input element: one coalesced load, one strided store.
+#[derive(Debug, Clone)]
+pub struct Transpose {
+    /// Input matrix (`w * h` elements, row-major, `w` wide).
+    pub src: Buffer,
+    /// Output matrix (`h * w` elements, row-major, `h` wide).
+    pub dst: Buffer,
+    /// Input width.
+    pub w: u32,
+    /// Input height.
+    pub h: u32,
+}
+
+impl Transpose {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer is too small or the buffers alias.
+    pub fn new(src: Buffer, dst: Buffer, w: u32, h: u32) -> Self {
+        let n = w as u64 * h as u64;
+        assert!(src.f32_len() >= n, "src too small");
+        assert!(dst.f32_len() >= n, "dst too small");
+        assert_ne!(src.id, dst.id, "in-place transpose is not supported");
+        Transpose { src, dst, w, h }
+    }
+}
+
+impl Kernel for Transpose {
+    fn label(&self) -> String {
+        "TR".into()
+    }
+
+    fn dims(&self) -> LaunchDims {
+        grid_for(self.w, self.h)
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        for (tid, x, y) in pixel_threads(block, self.w, self.h) {
+            let v = ctx.ld_f32(self.src, pix(x, y, self.w), tid);
+            ctx.st_f32(self.dst, pix(y, x, self.h), v, tid);
+            ctx.compute(tid, 2);
+        }
+    }
+
+    fn signature(&self) -> Option<String> {
+        Some(format!("TR:{}x{}:{}:{}", self.w, self.h, self.src.addr, self.dst.addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::TraceRecorder;
+
+    fn run(k: &Transpose, mem: &mut DeviceMemory) {
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let _ = rec.finish_block();
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip_is_identity() {
+        let mut mem = DeviceMemory::new();
+        let (w, h) = (64u32, 16u32);
+        let a = mem.alloc_f32((w * h) as u64, "a");
+        let b = mem.alloc_f32((w * h) as u64, "b");
+        let c = mem.alloc_f32((w * h) as u64, "c");
+        for i in 0..(w * h) as u64 {
+            mem.write_f32(a, i, i as f32);
+        }
+        run(&Transpose::new(a, b, w, h), &mut mem);
+        run(&Transpose::new(b, c, h, w), &mut mem);
+        assert_eq!(mem.download_f32(a), mem.download_f32(c));
+    }
+
+    #[test]
+    fn element_mapping() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(32 * 8, "a");
+        let b = mem.alloc_f32(32 * 8, "b");
+        mem.write_f32(a, pix(5, 3, 32), 42.0);
+        run(&Transpose::new(a, b, 32, 8), &mut mem);
+        assert_eq!(mem.read_f32(b, pix(3, 5, 8)), 42.0);
+    }
+
+    #[test]
+    fn strided_store_fans_out_lines() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(64 * 64, "a");
+        let b = mem.alloc_f32(64 * 64, "b");
+        let k = Transpose::new(a, b, 64, 64);
+        let mut rec = TraceRecorder::new(128);
+        rec.begin_block(k.dims().threads_per_block());
+        let mut ctx = ExecCtx::new(&mut mem, &mut rec);
+        k.execute_block(BlockIdx::new(0, 0, 0, k.dims().grid), &mut ctx);
+        let t = rec.finish_block();
+        // A warp's loads coalesce to 1 line, but its stores stride across
+        // 32 different rows = 32 lines: store transactions dominate.
+        let w0 = &t.work.warps[0];
+        let loads = w0.txns.iter().filter(|t| !t.write).count();
+        let stores = w0.txns.iter().filter(|t| t.write).count();
+        assert!(stores > 8 * loads, "loads {loads}, stores {stores}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Image-derivative computation — the `DV` node of the HSOpticalFlow DFG.
+
+use gpu_sim::{BlockIdx, Buffer, LaunchDims};
+use kgraph::Kernel;
+use trace::ExecCtx;
+
+use crate::common::{clampi, grid_for, pix, pixel_threads};
+
+/// Computes the spatial and temporal derivatives the Horn–Schunck update
+/// needs, from the first frame `i0` and the warped second frame `i1w`:
+///
+/// * `ix = d/dx` of the average image `(i0 + i1w) / 2` (central difference),
+/// * `iy = d/dy` of the average image,
+/// * `it = i1w - i0`.
+///
+/// One thread per pixel: 2 loads of each frame's 3-point x-stencil and
+/// y-stencil (10 loads total with sharing of the center), 3 stores.
+#[derive(Debug, Clone)]
+pub struct Derivatives {
+    /// First frame (`w * h` elements).
+    pub i0: Buffer,
+    /// Warped second frame (`w * h` elements).
+    pub i1w: Buffer,
+    /// Output d/dx (`w * h` elements).
+    pub ix: Buffer,
+    /// Output d/dy (`w * h` elements).
+    pub iy: Buffer,
+    /// Output temporal derivative (`w * h` elements).
+    pub it: Buffer,
+    /// Image width.
+    pub w: u32,
+    /// Image height.
+    pub h: u32,
+}
+
+impl Derivatives {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer is too small.
+    pub fn new(i0: Buffer, i1w: Buffer, ix: Buffer, iy: Buffer, it: Buffer, w: u32, h: u32) -> Self {
+        let n = w as u64 * h as u64;
+        for (b, name) in [(i0, "i0"), (i1w, "i1w"), (ix, "ix"), (iy, "iy"), (it, "it")] {
+            assert!(b.f32_len() >= n, "{name} buffer too small");
+        }
+        Derivatives { i0, i1w, ix, iy, it, w, h }
+    }
+}
+
+impl Kernel for Derivatives {
+    fn label(&self) -> String {
+        "DV".into()
+    }
+
+    fn dims(&self) -> LaunchDims {
+        grid_for(self.w, self.h)
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        for (tid, x, y) in pixel_threads(block, self.w, self.h) {
+            let xm = clampi(x as i64 - 1, self.w);
+            let xp = clampi(x as i64 + 1, self.w);
+            let ym = clampi(y as i64 - 1, self.h);
+            let yp = clampi(y as i64 + 1, self.h);
+            let i = pix(x, y, self.w);
+
+            let a_xm = ctx.ld_f32(self.i0, pix(xm, y, self.w), tid);
+            let a_xp = ctx.ld_f32(self.i0, pix(xp, y, self.w), tid);
+            let a_ym = ctx.ld_f32(self.i0, pix(x, ym, self.w), tid);
+            let a_yp = ctx.ld_f32(self.i0, pix(x, yp, self.w), tid);
+            let a_c = ctx.ld_f32(self.i0, i, tid);
+            let b_xm = ctx.ld_f32(self.i1w, pix(xm, y, self.w), tid);
+            let b_xp = ctx.ld_f32(self.i1w, pix(xp, y, self.w), tid);
+            let b_ym = ctx.ld_f32(self.i1w, pix(x, ym, self.w), tid);
+            let b_yp = ctx.ld_f32(self.i1w, pix(x, yp, self.w), tid);
+            let b_c = ctx.ld_f32(self.i1w, i, tid);
+
+            let ix = 0.25 * ((a_xp + b_xp) - (a_xm + b_xm));
+            let iy = 0.25 * ((a_yp + b_yp) - (a_ym + b_ym));
+            let it = b_c - a_c;
+            ctx.st_f32(self.ix, i, ix, tid);
+            ctx.st_f32(self.iy, i, iy, tid);
+            ctx.st_f32(self.it, i, it, tid);
+            ctx.compute(tid, 10);
+        }
+    }
+
+    fn signature(&self) -> Option<String> {
+        Some(format!(
+            "DV:{}x{}:{}:{}:{}:{}:{}",
+            self.w, self.h, self.i0.addr, self.i1w.addr, self.ix.addr, self.iy.addr, self.it.addr
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::TraceRecorder;
+
+    fn run(k: &Derivatives, mem: &mut DeviceMemory) {
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let _ = rec.finish_block();
+        }
+    }
+
+    fn setup(w: u32, h: u32) -> (DeviceMemory, Derivatives) {
+        let mut mem = DeviceMemory::new();
+        let n = w as u64 * h as u64;
+        let bufs: Vec<Buffer> =
+            ["i0", "i1w", "ix", "iy", "it"].iter().map(|s| mem.alloc_f32(n, s)).collect();
+        let k = Derivatives::new(bufs[0], bufs[1], bufs[2], bufs[3], bufs[4], w, h);
+        (mem, k)
+    }
+
+    #[test]
+    fn ramp_has_unit_x_derivative() {
+        let (mut mem, k) = setup(32, 8);
+        for y in 0..8 {
+            for x in 0..32 {
+                mem.write_f32(k.i0, pix(x, y, 32), 2.0 * x as f32);
+                mem.write_f32(k.i1w, pix(x, y, 32), 2.0 * x as f32);
+            }
+        }
+        run(&k, &mut mem);
+        // Interior: 0.25 * ((2(x+1)+2(x+1)) - (2(x-1)+2(x-1))) = 2.
+        assert!((mem.read_f32(k.ix, pix(10, 4, 32)) - 2.0).abs() < 1e-6);
+        assert_eq!(mem.read_f32(k.iy, pix(10, 4, 32)), 0.0);
+        assert_eq!(mem.read_f32(k.it, pix(10, 4, 32)), 0.0);
+    }
+
+    #[test]
+    fn temporal_derivative_is_frame_difference() {
+        let (mut mem, k) = setup(32, 8);
+        for i in 0..32 * 8 {
+            mem.write_f32(k.i0, i, 1.0);
+            mem.write_f32(k.i1w, i, 4.0);
+        }
+        run(&k, &mut mem);
+        assert_eq!(mem.read_f32(k.it, pix(16, 3, 32)), 3.0);
+        assert_eq!(mem.read_f32(k.ix, pix(16, 3, 32)), 0.0);
+    }
+
+    #[test]
+    fn border_uses_replication() {
+        let (mut mem, k) = setup(32, 8);
+        for y in 0..8 {
+            for x in 0..32 {
+                mem.write_f32(k.i0, pix(x, y, 32), x as f32);
+                mem.write_f32(k.i1w, pix(x, y, 32), x as f32);
+            }
+        }
+        run(&k, &mut mem);
+        // At x = 0 the left neighbor is clamped to x = 0:
+        // ix = 0.25 * ((1+1) - (0+0)) = 0.5.
+        assert!((mem.read_f32(k.ix, pix(0, 4, 32)) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,234 @@
+//! The Jacobi iteration — the `JI` node of the HSOpticalFlow DFG, and the
+//! kernel the paper profiles throughout (Figures 2 and 3).
+//!
+//! One Horn–Schunck Jacobi step solves the linear system of the flow
+//! increment `(du, dv)` given image derivatives `(ix, iy, it)`:
+//!
+//! ```text
+//! du_bar = 4-neighbour average of du
+//! dv_bar = 4-neighbour average of dv
+//! r      = (ix*du_bar + iy*dv_bar + it) / (alpha² + ix² + iy²)
+//! du'    = du_bar - ix * r
+//! dv'    = dv_bar - iy * r
+//! ```
+//!
+//! The kernel is an ideal tiling candidate (Sec. II): low per-thread data
+//! locality (11 loads, each word also read by neighbours but only a few
+//! times), memory-bound, and a 5-point stencil whose block dependencies are
+//! fixed by geometry (input-value independent).
+
+use gpu_sim::{BlockIdx, Buffer, LaunchDims};
+use kgraph::Kernel;
+use trace::ExecCtx;
+
+use crate::common::{clampi, grid_for, pix, pixel_threads};
+
+/// One Jacobi iteration of the Horn–Schunck solver.
+///
+/// Reads `du`/`dv` (ping) and the derivative images, writes `du_out`/
+/// `dv_out` (pong). Successive `JI` nodes alternate ping and pong buffers.
+#[derive(Debug, Clone)]
+pub struct JacobiIter {
+    /// Input flow-increment u component.
+    pub du: Buffer,
+    /// Input flow-increment v component.
+    pub dv: Buffer,
+    /// d/dx derivative image.
+    pub ix: Buffer,
+    /// d/dy derivative image.
+    pub iy: Buffer,
+    /// Temporal derivative image.
+    pub it: Buffer,
+    /// Output flow-increment u component.
+    pub du_out: Buffer,
+    /// Output flow-increment v component.
+    pub dv_out: Buffer,
+    /// Image width.
+    pub w: u32,
+    /// Image height.
+    pub h: u32,
+    /// Horn–Schunck smoothness weight squared (α²).
+    pub alpha2: f32,
+}
+
+impl JacobiIter {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer is too small, if `alpha2` is not positive, or if
+    /// an output aliases an input (Jacobi requires ping-pong buffers).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        du: Buffer,
+        dv: Buffer,
+        ix: Buffer,
+        iy: Buffer,
+        it: Buffer,
+        du_out: Buffer,
+        dv_out: Buffer,
+        w: u32,
+        h: u32,
+        alpha2: f32,
+    ) -> Self {
+        let n = w as u64 * h as u64;
+        for (b, name) in [
+            (du, "du"),
+            (dv, "dv"),
+            (ix, "ix"),
+            (iy, "iy"),
+            (it, "it"),
+            (du_out, "du_out"),
+            (dv_out, "dv_out"),
+        ] {
+            assert!(b.f32_len() >= n, "{name} buffer too small");
+        }
+        assert!(alpha2 > 0.0, "alpha2 must be positive");
+        assert_ne!(du.id, du_out.id, "Jacobi needs distinct ping-pong buffers");
+        assert_ne!(dv.id, dv_out.id, "Jacobi needs distinct ping-pong buffers");
+        JacobiIter { du, dv, ix, iy, it, du_out, dv_out, w, h, alpha2 }
+    }
+}
+
+impl Kernel for JacobiIter {
+    fn label(&self) -> String {
+        "JI".into()
+    }
+
+    fn dims(&self) -> LaunchDims {
+        grid_for(self.w, self.h)
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        for (tid, x, y) in pixel_threads(block, self.w, self.h) {
+            let xm = clampi(x as i64 - 1, self.w);
+            let xp = clampi(x as i64 + 1, self.w);
+            let ym = clampi(y as i64 - 1, self.h);
+            let yp = clampi(y as i64 + 1, self.h);
+            let i = pix(x, y, self.w);
+
+            let du_bar = 0.25
+                * (ctx.ld_f32(self.du, pix(xm, y, self.w), tid)
+                    + ctx.ld_f32(self.du, pix(xp, y, self.w), tid)
+                    + ctx.ld_f32(self.du, pix(x, ym, self.w), tid)
+                    + ctx.ld_f32(self.du, pix(x, yp, self.w), tid));
+            let dv_bar = 0.25
+                * (ctx.ld_f32(self.dv, pix(xm, y, self.w), tid)
+                    + ctx.ld_f32(self.dv, pix(xp, y, self.w), tid)
+                    + ctx.ld_f32(self.dv, pix(x, ym, self.w), tid)
+                    + ctx.ld_f32(self.dv, pix(x, yp, self.w), tid));
+            let ix = ctx.ld_f32(self.ix, i, tid);
+            let iy = ctx.ld_f32(self.iy, i, tid);
+            let it = ctx.ld_f32(self.it, i, tid);
+
+            let r = (ix * du_bar + iy * dv_bar + it) / (self.alpha2 + ix * ix + iy * iy);
+            ctx.st_f32(self.du_out, i, du_bar - ix * r, tid);
+            ctx.st_f32(self.dv_out, i, dv_bar - iy * r, tid);
+            ctx.compute(tid, 24);
+        }
+    }
+
+    fn signature(&self) -> Option<String> {
+        Some(format!(
+            "JI:{}x{}:{}:{}:{}:{}:{}:{}:{}",
+            self.w,
+            self.h,
+            self.du.addr,
+            self.dv.addr,
+            self.ix.addr,
+            self.iy.addr,
+            self.it.addr,
+            self.du_out.addr,
+            self.dv_out.addr
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::TraceRecorder;
+
+    fn run(k: &JacobiIter, mem: &mut DeviceMemory) {
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let _ = rec.finish_block();
+        }
+    }
+
+    fn setup(w: u32, h: u32) -> (DeviceMemory, JacobiIter) {
+        let mut mem = DeviceMemory::new();
+        let n = w as u64 * h as u64;
+        let b: Vec<Buffer> = ["du", "dv", "ix", "iy", "it", "duo", "dvo"]
+            .iter()
+            .map(|s| mem.alloc_f32(n, s))
+            .collect();
+        let k = JacobiIter::new(b[0], b[1], b[2], b[3], b[4], b[5], b[6], w, h, 0.1);
+        (mem, k)
+    }
+
+    #[test]
+    fn zero_everything_stays_zero() {
+        let (mut mem, k) = setup(32, 8);
+        run(&k, &mut mem);
+        assert_eq!(mem.read_f32(k.du_out, 100), 0.0);
+        assert_eq!(mem.read_f32(k.dv_out, 100), 0.0);
+    }
+
+    #[test]
+    fn zero_derivatives_smooth_the_field() {
+        let (mut mem, k) = setup(32, 8);
+        // du has a single spike; with zero derivatives the update is pure
+        // neighbour averaging.
+        mem.write_f32(k.du, pix(10, 4, 32), 4.0);
+        run(&k, &mut mem);
+        assert_eq!(mem.read_f32(k.du_out, pix(10, 4, 32)), 0.0); // own value unused
+        assert_eq!(mem.read_f32(k.du_out, pix(11, 4, 32)), 1.0); // spike/4
+        assert_eq!(mem.read_f32(k.du_out, pix(10, 5, 32)), 1.0);
+    }
+
+    #[test]
+    fn data_term_pulls_toward_constraint() {
+        let (mut mem, k) = setup(32, 8);
+        // ix = 1, it = -1 everywhere: the brightness-constancy equation
+        // du*ix + it = 0 wants du = 1. With alpha2 = 0.1 and du_bar = 0:
+        // r = (0 - 1)/(0.1 + 1) = -0.909..., du' = 0 - 1*r = 0.909...
+        let n = 32 * 8;
+        for i in 0..n {
+            mem.write_f32(k.ix, i, 1.0);
+            mem.write_f32(k.it, i, -1.0);
+        }
+        run(&k, &mut mem);
+        let v = mem.read_f32(k.du_out, pix(16, 4, 32));
+        assert!((v - 1.0 / 1.1).abs() < 1e-6, "v = {v}");
+    }
+
+    #[test]
+    fn per_thread_access_counts() {
+        let (mut mem, k) = setup(32, 8);
+        let mut rec = TraceRecorder::new(128);
+        rec.begin_block(k.dims().threads_per_block());
+        let mut ctx = ExecCtx::new(&mut mem, &mut rec);
+        k.execute_block(BlockIdx::new(0, 0, 0, k.dims().grid), &mut ctx);
+        let t = rec.finish_block();
+        // 8 warps; each warp's stream has 13 instructions (11 loads, 2
+        // stores), each coalescing to >= 1 transaction.
+        assert_eq!(t.work.warps.len(), 8);
+        assert!(t.work.warps.iter().all(|w| w.txns.len() >= 13));
+        assert!(t.work.warps.iter().all(|w| w.compute_cycles == 24));
+    }
+
+    #[test]
+    #[should_panic(expected = "ping-pong")]
+    fn in_place_jacobi_rejected() {
+        let mut mem = DeviceMemory::new();
+        let n = 32 * 8;
+        let b: Vec<Buffer> =
+            ["du", "dv", "ix", "iy", "it"].iter().map(|s| mem.alloc_f32(n, s)).collect();
+        let _ = JacobiIter::new(b[0], b[1], b[2], b[3], b[4], b[0], b[1], 32, 8, 0.1);
+    }
+}

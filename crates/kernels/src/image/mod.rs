@@ -1,0 +1,17 @@
+//! Image-processing kernels: the building blocks of the HSOpticalFlow
+//! application graph (Fig. 4 of the paper) plus the motivational
+//! grayscale→downscale pair of Fig. 1.
+
+mod add;
+mod derivs;
+mod gray;
+mod jacobi;
+mod scale;
+mod warp;
+
+pub use add::AddField;
+pub use derivs::Derivatives;
+pub use gray::Grayscale;
+pub use jacobi::JacobiIter;
+pub use scale::{Downscale, Upscale};
+pub use warp::WarpImage;

@@ -1,0 +1,238 @@
+//! Resolution-changing kernels: `DS` (downscale) and `US` (upscale) of the
+//! HSOpticalFlow DFG.
+
+use gpu_sim::{BlockIdx, Buffer, LaunchDims};
+use kgraph::Kernel;
+use trace::ExecCtx;
+
+use crate::common::{clampi, grid_for, pix, pixel_threads};
+
+/// Downscales an `f32` image by 2× in each dimension by averaging 2×2
+/// input quads (the `DS` node of Fig. 4, and kernel `B` of the paper's
+/// motivational example).
+///
+/// One thread per *output* pixel: four loads, one store.
+#[derive(Debug, Clone)]
+pub struct Downscale {
+    /// Input image (`w * h` elements).
+    pub src: Buffer,
+    /// Output image (`(w/2) * (h/2)` elements).
+    pub dst: Buffer,
+    /// Input width (must be even).
+    pub w: u32,
+    /// Input height (must be even).
+    pub h: u32,
+}
+
+impl Downscale {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input dimensions are not even or the buffers are too
+    /// small.
+    pub fn new(src: Buffer, dst: Buffer, w: u32, h: u32) -> Self {
+        assert!(w.is_multiple_of(2) && h.is_multiple_of(2), "downscale input must have even dimensions");
+        assert!(src.f32_len() >= w as u64 * h as u64, "src too small");
+        assert!(dst.f32_len() >= (w as u64 / 2) * (h as u64 / 2), "dst too small");
+        Downscale { src, dst, w, h }
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> u32 {
+        self.w / 2
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> u32 {
+        self.h / 2
+    }
+}
+
+impl Kernel for Downscale {
+    fn label(&self) -> String {
+        "DS".into()
+    }
+
+    fn dims(&self) -> LaunchDims {
+        grid_for(self.out_w(), self.out_h())
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        let (ow, oh) = (self.out_w(), self.out_h());
+        for (tid, x, y) in pixel_threads(block, ow, oh) {
+            let (sx, sy) = (2 * x, 2 * y);
+            let a = ctx.ld_f32(self.src, pix(sx, sy, self.w), tid);
+            let b = ctx.ld_f32(self.src, pix(sx + 1, sy, self.w), tid);
+            let c = ctx.ld_f32(self.src, pix(sx, sy + 1, self.w), tid);
+            let d = ctx.ld_f32(self.src, pix(sx + 1, sy + 1, self.w), tid);
+            ctx.st_f32(self.dst, pix(x, y, ow), 0.25 * (a + b + c + d), tid);
+            ctx.compute(tid, 6);
+        }
+    }
+
+    fn signature(&self) -> Option<String> {
+        Some(format!("DS:{}x{}:{}:{}", self.w, self.h, self.src.addr, self.dst.addr))
+    }
+}
+
+/// Upscales an `f32` field by 2× in each dimension with bilinear
+/// interpolation, multiplying values by a constant (the `US` node of
+/// Fig. 4: optical-flow vectors are scaled by 2 when moving to a finer
+/// pyramid level).
+///
+/// One thread per *output* pixel: four loads, one store.
+#[derive(Debug, Clone)]
+pub struct Upscale {
+    /// Input field (`w * h` elements, the coarse level).
+    pub src: Buffer,
+    /// Output field (`2w * 2h` elements, the fine level).
+    pub dst: Buffer,
+    /// Input width.
+    pub w: u32,
+    /// Input height.
+    pub h: u32,
+    /// Multiplier applied to interpolated values (2.0 for flow fields).
+    pub scale: f32,
+}
+
+impl Upscale {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers are too small.
+    pub fn new(src: Buffer, dst: Buffer, w: u32, h: u32, scale: f32) -> Self {
+        assert!(src.f32_len() >= w as u64 * h as u64, "src too small");
+        assert!(dst.f32_len() >= 4 * w as u64 * h as u64, "dst too small");
+        Upscale { src, dst, w, h, scale }
+    }
+}
+
+impl Kernel for Upscale {
+    fn label(&self) -> String {
+        "US".into()
+    }
+
+    fn dims(&self) -> LaunchDims {
+        grid_for(2 * self.w, 2 * self.h)
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        let (ow, oh) = (2 * self.w, 2 * self.h);
+        for (tid, x, y) in pixel_threads(block, ow, oh) {
+            // Source coordinate of the output pixel center.
+            let fx = (x as f32 + 0.5) / 2.0 - 0.5;
+            let fy = (y as f32 + 0.5) / 2.0 - 0.5;
+            let x0 = fx.floor() as i64;
+            let y0 = fy.floor() as i64;
+            let ax = fx - x0 as f32;
+            let ay = fy - y0 as f32;
+            let (x0c, x1c) = (clampi(x0, self.w), clampi(x0 + 1, self.w));
+            let (y0c, y1c) = (clampi(y0, self.h), clampi(y0 + 1, self.h));
+            let p00 = ctx.ld_f32(self.src, pix(x0c, y0c, self.w), tid);
+            let p10 = ctx.ld_f32(self.src, pix(x1c, y0c, self.w), tid);
+            let p01 = ctx.ld_f32(self.src, pix(x0c, y1c, self.w), tid);
+            let p11 = ctx.ld_f32(self.src, pix(x1c, y1c, self.w), tid);
+            let v = (1.0 - ax) * (1.0 - ay) * p00
+                + ax * (1.0 - ay) * p10
+                + (1.0 - ax) * ay * p01
+                + ax * ay * p11;
+            ctx.st_f32(self.dst, pix(x, y, ow), self.scale * v, tid);
+            ctx.compute(tid, 12);
+        }
+    }
+
+    fn signature(&self) -> Option<String> {
+        Some(format!(
+            "US:{}x{}:{}:{}:{}",
+            self.w, self.h, self.src.addr, self.dst.addr, self.scale
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::TraceRecorder;
+
+    fn run<K: Kernel>(k: &K, mem: &mut DeviceMemory) {
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let _ = rec.finish_block();
+        }
+    }
+
+    #[test]
+    fn downscale_averages_quads() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(64 * 16, "src");
+        let dst = mem.alloc_f32(32 * 8, "dst");
+        // Quad at output (1,1): inputs (2,2),(3,2),(2,3),(3,3) = 1,2,3,4.
+        mem.write_f32(src, pix(2, 2, 64), 1.0);
+        mem.write_f32(src, pix(3, 2, 64), 2.0);
+        mem.write_f32(src, pix(2, 3, 64), 3.0);
+        mem.write_f32(src, pix(3, 3, 64), 4.0);
+        let k = Downscale::new(src, dst, 64, 16);
+        run(&k, &mut mem);
+        assert_eq!(mem.read_f32(dst, pix(1, 1, 32)), 2.5);
+        assert_eq!(mem.read_f32(dst, pix(0, 0, 32)), 0.0);
+    }
+
+    #[test]
+    fn downscale_halves_grid() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(256 * 256, "src");
+        let dst = mem.alloc_f32(128 * 128, "dst");
+        let k = Downscale::new(src, dst, 256, 256);
+        // Fig. 1: kernel B over the 128x128 output = 4x16 grid of 32x8.
+        assert_eq!((k.dims().grid.x, k.dims().grid.y), (4, 16));
+    }
+
+    #[test]
+    fn upscale_constant_field_scales_values() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(16 * 8, "src");
+        let dst = mem.alloc_f32(32 * 16, "dst");
+        for i in 0..16 * 8 {
+            mem.write_f32(src, i, 3.0);
+        }
+        let k = Upscale::new(src, dst, 16, 8, 2.0);
+        run(&k, &mut mem);
+        // Constant field: interpolation is exact, scaled by 2.
+        for i in [0u64, 17, 100, 32 * 16 - 1] {
+            assert!((mem.read_f32(dst, i) - 6.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn upscale_interpolates_gradient() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(4 * 4, "src");
+        let dst = mem.alloc_f32(8 * 8, "dst");
+        // Horizontal ramp 0,1,2,3.
+        for y in 0..4 {
+            for x in 0..4 {
+                mem.write_f32(src, pix(x, y, 4), x as f32);
+            }
+        }
+        let k = Upscale::new(src, dst, 4, 4, 1.0);
+        run(&k, &mut mem);
+        // Output x=2 maps to source fx = (2.5/2)-0.5 = 0.75 -> value 0.75.
+        let v = mem.read_f32(dst, pix(2, 4, 8));
+        assert!((v - 0.75).abs() < 1e-6, "v = {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even dimensions")]
+    fn downscale_rejects_odd() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(15 * 8, "src");
+        let dst = mem.alloc_f32(7 * 4, "dst");
+        let _ = Downscale::new(src, dst, 15, 8);
+    }
+}

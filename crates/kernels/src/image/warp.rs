@@ -1,0 +1,171 @@
+//! Image warping — the `WP` node of the HSOpticalFlow DFG.
+
+use gpu_sim::{BlockIdx, Buffer, LaunchDims};
+use kgraph::Kernel;
+use trace::ExecCtx;
+
+use crate::common::{clampi, grid_for, pix, pixel_threads};
+
+/// Warps an image by a flow field: `out(x, y) = bilinear(src, x + u(x,y),
+/// y + v(x,y))`.
+///
+/// The addresses this kernel reads from `src` depend on the *values* of the
+/// flow field, so its block dependencies are input-dependent — it violates
+/// the paper's third tiling condition and reports
+/// [`tileable`](Kernel::tileable)` == false` (KTILER zeroes its input edge
+/// weights and never splits it).
+#[derive(Debug, Clone)]
+pub struct WarpImage {
+    /// Image to sample (`w * h` elements).
+    pub src: Buffer,
+    /// Horizontal flow component (`w * h` elements).
+    pub u: Buffer,
+    /// Vertical flow component (`w * h` elements).
+    pub v: Buffer,
+    /// Warped output (`w * h` elements).
+    pub dst: Buffer,
+    /// Image width.
+    pub w: u32,
+    /// Image height.
+    pub h: u32,
+}
+
+impl WarpImage {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer is too small.
+    pub fn new(src: Buffer, u: Buffer, v: Buffer, dst: Buffer, w: u32, h: u32) -> Self {
+        let n = w as u64 * h as u64;
+        for (b, name) in [(src, "src"), (u, "u"), (v, "v"), (dst, "dst")] {
+            assert!(b.f32_len() >= n, "{name} buffer too small");
+        }
+        WarpImage { src, u, v, dst, w, h }
+    }
+}
+
+impl Kernel for WarpImage {
+    fn label(&self) -> String {
+        "WP".into()
+    }
+
+    fn dims(&self) -> LaunchDims {
+        grid_for(self.w, self.h)
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        for (tid, x, y) in pixel_threads(block, self.w, self.h) {
+            let i = pix(x, y, self.w);
+            let du = ctx.ld_f32(self.u, i, tid);
+            let dv = ctx.ld_f32(self.v, i, tid);
+            let fx = x as f32 + du;
+            let fy = y as f32 + dv;
+            let x0 = fx.floor() as i64;
+            let y0 = fy.floor() as i64;
+            let ax = fx - x0 as f32;
+            let ay = fy - y0 as f32;
+            let (x0c, x1c) = (clampi(x0, self.w), clampi(x0 + 1, self.w));
+            let (y0c, y1c) = (clampi(y0, self.h), clampi(y0 + 1, self.h));
+            let p00 = ctx.ld_f32(self.src, pix(x0c, y0c, self.w), tid);
+            let p10 = ctx.ld_f32(self.src, pix(x1c, y0c, self.w), tid);
+            let p01 = ctx.ld_f32(self.src, pix(x0c, y1c, self.w), tid);
+            let p11 = ctx.ld_f32(self.src, pix(x1c, y1c, self.w), tid);
+            let val = (1.0 - ax) * (1.0 - ay) * p00
+                + ax * (1.0 - ay) * p10
+                + (1.0 - ax) * ay * p01
+                + ax * ay * p11;
+            ctx.st_f32(self.dst, i, val, tid);
+            ctx.compute(tid, 20);
+        }
+    }
+
+    /// Not tileable: sampled addresses depend on flow values.
+    fn tileable(&self) -> bool {
+        false
+    }
+
+    /// No signature: the trace is input-dependent and must be re-recorded
+    /// for every instance.
+    fn signature(&self) -> Option<String> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::TraceRecorder;
+
+    fn run(k: &WarpImage, mem: &mut DeviceMemory) {
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let _ = rec.finish_block();
+        }
+    }
+
+    fn setup(w: u32, h: u32) -> (DeviceMemory, WarpImage) {
+        let mut mem = DeviceMemory::new();
+        let n = w as u64 * h as u64;
+        let src = mem.alloc_f32(n, "src");
+        let u = mem.alloc_f32(n, "u");
+        let v = mem.alloc_f32(n, "v");
+        let dst = mem.alloc_f32(n, "dst");
+        (mem, WarpImage::new(src, u, v, dst, w, h))
+    }
+
+    #[test]
+    fn zero_flow_is_identity() {
+        let (mut mem, k) = setup(32, 8);
+        for i in 0..32 * 8 {
+            mem.write_f32(k.src, i, i as f32);
+        }
+        run(&k, &mut mem);
+        for i in [0u64, 100, 255] {
+            assert_eq!(mem.read_f32(k.dst, i), i as f32);
+        }
+    }
+
+    #[test]
+    fn integer_translation_shifts_pixels() {
+        let (mut mem, k) = setup(32, 8);
+        for y in 0..8 {
+            for x in 0..32 {
+                mem.write_f32(k.src, pix(x, y, 32), x as f32);
+            }
+        }
+        for i in 0..32 * 8 {
+            mem.write_f32(k.u, i, 2.0); // sample 2 px to the right
+        }
+        run(&k, &mut mem);
+        assert_eq!(mem.read_f32(k.dst, pix(5, 3, 32)), 7.0);
+        // Clamped at the right border.
+        assert_eq!(mem.read_f32(k.dst, pix(31, 3, 32)), 31.0);
+    }
+
+    #[test]
+    fn fractional_flow_interpolates() {
+        let (mut mem, k) = setup(32, 8);
+        for y in 0..8 {
+            for x in 0..32 {
+                mem.write_f32(k.src, pix(x, y, 32), x as f32);
+            }
+        }
+        for i in 0..32 * 8 {
+            mem.write_f32(k.u, i, 0.5);
+        }
+        run(&k, &mut mem);
+        assert!((mem.read_f32(k.dst, pix(10, 2, 32)) - 10.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warp_is_not_tileable() {
+        let (_, k) = setup(32, 8);
+        assert!(!k.tileable());
+        assert!(k.signature().is_none());
+    }
+}

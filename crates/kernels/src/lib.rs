@@ -1,0 +1,27 @@
+//! # kernels — the kernel zoo
+//!
+//! Functional, address-accurate implementations of every kernel the paper's
+//! evaluation touches:
+//!
+//! * the image-processing kernels of the HSOpticalFlow DFG (Fig. 4):
+//!   grayscale, downscale, upscale, warp, derivatives, Jacobi iteration and
+//!   field addition ([`image`]);
+//! * the Sec. II tiling-suitability study kernels: reduction, scan, bitonic
+//!   sort, matrix multiply, transpose, Black–Scholes and the high-locality
+//!   convolution counter-example ([`compute`]).
+//!
+//! All kernels implement [`kgraph::Kernel`]: they execute functionally
+//! (tests validate their outputs against closed-form or CPU references) and
+//! perform every device access through the instrumented `trace` context, so
+//! the same code yields timing traces, dependency information and
+//! footprints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+pub mod compute;
+pub mod image;
+pub mod pde;
+
+pub use common::{clampi, grid_for, pix, pixel_threads, IMG_BLOCK};

@@ -1,0 +1,16 @@
+//! PDE solver kernels: the building blocks of the multigrid Poisson
+//! application (a second full KTILER workload beyond optical flow).
+//!
+//! The discrete Poisson equation `−∇²u = f` on a uniform grid with
+//! Dirichlet zero boundaries is solved by weighted-Jacobi smoothing,
+//! residual computation, and grid-transfer operators (the transfer
+//! kernels are shared with the image zoo: box-filter downscale for
+//! restriction, bilinear upscale for prolongation).
+
+mod prolong;
+mod residual;
+mod smooth;
+
+pub use prolong::Prolong;
+pub use residual::Residual;
+pub use smooth::PoissonSmooth;

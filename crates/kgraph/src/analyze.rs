@@ -1,0 +1,290 @@
+//! Whole-application block analysis.
+//!
+//! [`analyze`] runs the application once in its default (topological) order
+//! on the functional simulator, recording every node's per-block trace, and
+//! builds the block dependency graph on the fly — the combined effect of
+//! the paper's SASSI recording run plus the two host-side passes of
+//! Sec. IV-B.
+//!
+//! Kernels that declare a [`signature`](crate::Kernel::signature) are
+//! recorded only once per distinct signature; later instances re-execute
+//! functionally (their output values are still needed downstream) but share
+//! the recorded trace. In the HSOpticalFlow application, the 500 Jacobi
+//! nodes per pyramid step alternate between two buffer configurations, so
+//! only two of them are ever recorded — this is what makes analyzing
+//! thousand-kernel graphs cheap.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gpu_sim::{BlockWork, DeviceMemory};
+use trace::{BlockDepGraph, BlockRef, BlockTrace, DepGraphBuilder, ExecCtx, TraceRecorder};
+
+use crate::dag::{topo_order, CycleError};
+use crate::graph::{AppGraph, NodeId, NodeOp};
+
+/// The analyzed trace of one node: one [`BlockTrace`] per block (transfers
+/// get a single pseudo-block covering their whole buffer).
+#[derive(Debug, Clone)]
+pub struct NodeTrace {
+    /// Per-block traces, indexed by linear block id. Shared between nodes
+    /// with identical kernel signatures.
+    pub blocks: Arc<Vec<BlockTrace>>,
+}
+
+impl NodeTrace {
+    /// The replayable timing work of a subset of this node's blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block id is out of range.
+    pub fn work_of(&self, block_ids: impl IntoIterator<Item = u32>) -> Vec<&BlockWork> {
+        block_ids.into_iter().map(|b| &self.blocks[b as usize].work).collect()
+    }
+
+    /// Total memory lines touched by the node (with multiplicity across
+    /// blocks collapsed per block only).
+    pub fn num_blocks(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+}
+
+/// Result of analyzing an application graph.
+#[derive(Debug, Clone)]
+pub struct GraphTrace {
+    /// Per-node traces, indexed by `NodeId`.
+    pub nodes: Vec<NodeTrace>,
+    /// The block-level dependency graph.
+    pub deps: BlockDepGraph,
+    /// The default execution order used for the analysis run.
+    pub order: Vec<NodeId>,
+}
+
+impl GraphTrace {
+    /// The trace of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &NodeTrace {
+        &self.nodes[id.0 as usize]
+    }
+}
+
+/// Synthesizes the pseudo-trace of a transfer node: the word/line sets of
+/// the whole buffer, with no replayable warp work (transfers are timed by
+/// the DMA model, not the SM model).
+fn transfer_trace(buf: gpu_sim::Buffer, write: bool, line_bytes: u64) -> BlockTrace {
+    let words: Vec<u64> = (buf.addr >> 2..(buf.addr + buf.len + 3) >> 2).collect();
+    let lines: Vec<u64> = (buf.addr / line_bytes..=(buf.addr + buf.len - 1) / line_bytes).collect();
+    BlockTrace {
+        work: BlockWork::default(),
+        read_words: if write { Vec::new() } else { words.clone() },
+        write_words: if write { words } else { Vec::new() },
+        lines,
+    }
+}
+
+/// Runs the application once, functionally, in topological order, and
+/// returns every node's block traces plus the block dependency graph.
+///
+/// `line_bytes` must match the cache-line size of the device the schedule
+/// will later run on (footprints are counted in lines).
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the graph is not a DAG.
+pub fn analyze(
+    g: &AppGraph,
+    mem: &mut DeviceMemory,
+    line_bytes: u64,
+) -> Result<GraphTrace, CycleError> {
+    let order = topo_order(g)?;
+    let mut rec = TraceRecorder::new(line_bytes);
+    let mut dep = DepGraphBuilder::new();
+    let mut cache: HashMap<String, Arc<Vec<BlockTrace>>> = HashMap::new();
+    let mut nodes: Vec<Option<NodeTrace>> = (0..g.num_nodes()).map(|_| None).collect();
+
+    for &id in &order {
+        let node = g.node(id);
+        let traces: Arc<Vec<BlockTrace>> = match &node.op {
+            NodeOp::Kernel(k) => {
+                let dims = k.dims();
+                let sig = k.signature();
+                let cached = sig.as_ref().and_then(|s| cache.get(s).cloned());
+                if let Some(shared) = cached {
+                    // Re-execute functionally without recording: values may
+                    // differ, addresses cannot (that is what the signature
+                    // asserts).
+                    rec.set_enabled(false);
+                    for block in dims.blocks() {
+                        rec.begin_block(dims.threads_per_block());
+                        let mut ctx = ExecCtx::new(mem, &mut rec);
+                        k.execute_block(block, &mut ctx);
+                        let _ = rec.finish_block();
+                    }
+                    rec.set_enabled(true);
+                    shared
+                } else {
+                    let mut blocks = Vec::with_capacity(dims.num_blocks() as usize);
+                    for block in dims.blocks() {
+                        rec.begin_block(dims.threads_per_block());
+                        let mut ctx = ExecCtx::new(mem, &mut rec);
+                        k.execute_block(block, &mut ctx);
+                        blocks.push(rec.finish_block());
+                    }
+                    let shared = Arc::new(blocks);
+                    if let Some(s) = sig {
+                        cache.insert(s, Arc::clone(&shared));
+                    }
+                    shared
+                }
+            }
+            NodeOp::HostToDevice { buf, data } => {
+                mem.upload_u8(*buf, data);
+                Arc::new(vec![transfer_trace(*buf, true, line_bytes)])
+            }
+            NodeOp::DeviceToHost { buf } => {
+                Arc::new(vec![transfer_trace(*buf, false, line_bytes)])
+            }
+        };
+        for (b, t) in traces.iter().enumerate() {
+            dep.visit_block(BlockRef::new(id.0, b as u32), t);
+        }
+        nodes[id.0 as usize] = Some(NodeTrace { blocks: traces });
+    }
+
+    Ok(GraphTrace {
+        nodes: nodes.into_iter().map(|n| n.expect("topo order covers all nodes")).collect(),
+        deps: dep.finish(),
+        order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::AppGraph;
+    use crate::kernel::{threads, Kernel};
+    use gpu_sim::{BlockIdx, Buffer, Dim3, LaunchDims};
+
+    /// dst[i] = src[i] + 1, one element per thread, 32-thread blocks.
+    struct Inc {
+        src: Buffer,
+        dst: Buffer,
+        n: u32,
+        with_sig: bool,
+    }
+
+    impl Kernel for Inc {
+        fn label(&self) -> String {
+            "inc".into()
+        }
+        fn dims(&self) -> LaunchDims {
+            LaunchDims::new(Dim3::linear(self.n.div_ceil(32)), Dim3::linear(32))
+        }
+        fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+            for (tid, tx, _, _) in threads(&self.dims()) {
+                let gid = block.x * 32 + tx;
+                if gid < self.n {
+                    let v = ctx.ld_f32(self.src, gid as u64, tid);
+                    ctx.st_f32(self.dst, gid as u64, v + 1.0, tid);
+                    ctx.compute(tid, 2);
+                }
+            }
+        }
+        fn signature(&self) -> Option<String> {
+            self.with_sig.then(|| format!("inc:{}:{}:{}", self.src.addr, self.dst.addr, self.n))
+        }
+    }
+
+    fn pipeline(with_sig: bool) -> (AppGraph, DeviceMemory, Vec<NodeId>, Vec<Buffer>) {
+        let mut mem = DeviceMemory::new();
+        let bufs: Vec<Buffer> = (0..3).map(|i| mem.alloc_f32(64, &format!("b{i}"))).collect();
+        let mut g = AppGraph::new();
+        let h = g.add_htod(bufs[0], vec![0u8; 256]);
+        let k1 = g.add_kernel(Box::new(Inc { src: bufs[0], dst: bufs[1], n: 64, with_sig }));
+        let k2 = g.add_kernel(Box::new(Inc { src: bufs[1], dst: bufs[2], n: 64, with_sig }));
+        let d = g.add_dtoh(bufs[2]);
+        g.add_edge(h, k1, bufs[0]);
+        g.add_edge(k1, k2, bufs[1]);
+        g.add_edge(k2, d, bufs[2]);
+        (g, mem, vec![h, k1, k2, d], bufs)
+    }
+
+    #[test]
+    fn analyze_builds_traces_and_deps() {
+        let (g, mut mem, n, bufs) = pipeline(false);
+        let gt = analyze(&g, &mut mem, 128).unwrap();
+        assert_eq!(gt.nodes.len(), 4);
+        assert_eq!(gt.node(n[1]).num_blocks(), 2);
+        // Functional result: 0 + 1 + 1 = 2 everywhere.
+        assert_eq!(mem.read_f32(bufs[2], 10), 2.0);
+        // k1 blocks depend on the HtD pseudo-block.
+        let deps = gt.deps.deps_of(BlockRef::new(n[1].0, 0));
+        assert_eq!(deps, &[BlockRef::new(n[0].0, 0)]);
+        // k2 block b depends exactly on k1 block b (elementwise pipeline).
+        for b in 0..2u32 {
+            assert_eq!(gt.deps.deps_of(BlockRef::new(n[2].0, b)), &[BlockRef::new(n[1].0, b)]);
+        }
+        // DtH depends on both k2 blocks.
+        assert_eq!(gt.deps.deps_of(BlockRef::new(n[3].0, 0)).len(), 2);
+    }
+
+    #[test]
+    fn node_edges_match_app_graph() {
+        let (g, mut mem, _, _) = pipeline(false);
+        let gt = analyze(&g, &mut mem, 128).unwrap();
+        assert_eq!(gt.deps.node_edges(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn signature_cache_shares_traces_without_breaking_values() {
+        // Two graphs, identical except for signatures. Distinct dst buffers
+        // mean distinct signatures here, so build a graph where the SAME
+        // kernel config appears twice: k2a and k2b both do b1 -> b2.
+        let mut mem = DeviceMemory::new();
+        let b0 = mem.alloc_f32(64, "b0");
+        let b1 = mem.alloc_f32(64, "b1");
+        let mut g = AppGraph::new();
+        let k1 = g.add_kernel(Box::new(Inc { src: b0, dst: b1, n: 64, with_sig: true }));
+        let k2 = g.add_kernel(Box::new(Inc { src: b1, dst: b1, n: 64, with_sig: true }));
+        let k3 = g.add_kernel(Box::new(Inc { src: b1, dst: b1, n: 64, with_sig: true }));
+        g.add_edge(k1, k2, b1);
+        g.add_edge(k2, k3, b1);
+        let gt = analyze(&g, &mut mem, 128).unwrap();
+        // k2 and k3 share the same signature: traces must be shared.
+        assert!(Arc::ptr_eq(&gt.node(k2).blocks, &gt.node(k3).blocks));
+        assert!(!Arc::ptr_eq(&gt.node(k1).blocks, &gt.node(k2).blocks));
+        // Functional result: 1 (k1) + 1 (k2) + 1 (k3) = 3.
+        assert_eq!(mem.read_f32(b1, 0), 3.0);
+        // Dependencies still chain correctly through the shared traces.
+        assert_eq!(gt.deps.deps_of(BlockRef::new(k3.0, 0)), &[BlockRef::new(k2.0, 0)]);
+    }
+
+    #[test]
+    fn transfer_traces_cover_whole_buffer() {
+        let mut mem = DeviceMemory::new();
+        let b = mem.alloc_f32(64, "b"); // 256 bytes = 2 lines of 128
+        let mut g = AppGraph::new();
+        let h = g.add_htod(b, vec![1u8; 256]);
+        let gt = analyze(&g, &mut mem, 128).unwrap();
+        let t = &gt.node(h).blocks[0];
+        assert_eq!(t.write_words.len(), 64);
+        assert_eq!(t.lines.len(), 2);
+        assert!(t.read_words.is_empty());
+        assert_eq!(mem.read_u8(b, 0), 1);
+    }
+
+    #[test]
+    fn cyclic_graph_is_rejected() {
+        let mut mem = DeviceMemory::new();
+        let b = mem.alloc_f32(4, "b");
+        let mut g = AppGraph::new();
+        let a = g.add_dtoh(b);
+        let c = g.add_dtoh(b);
+        g.add_edge(a, c, b);
+        g.add_edge(c, a, b);
+        assert!(analyze(&g, &mut mem, 128).is_err());
+    }
+}

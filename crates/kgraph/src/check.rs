@@ -1,0 +1,120 @@
+//! Consistency checking between the declared application graph and the
+//! dependencies actually observed by the block analyzer.
+//!
+//! The paper's application graph is user-provided; the block analyzer
+//! derives ground truth from the memory trace. [`check_edges`] compares
+//! the two: an *undeclared* dependency means the graph is wrong (a tiled
+//! schedule could violate it at the kernel level), while an *unobserved*
+//! edge is usually harmless (declared conservatively, or value-dependent
+//! data that this input did not exercise).
+
+use trace::BlockDepGraph;
+
+use crate::graph::{AppGraph, NodeId};
+
+/// Result of comparing declared edges against traced dependencies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeCheck {
+    /// Node pairs with an observed read-after-write dependency but no
+    /// declared edge — graph bugs.
+    pub undeclared: Vec<(NodeId, NodeId)>,
+    /// Declared edges with no observed dependency for this input —
+    /// usually conservative declarations.
+    pub unobserved: Vec<(NodeId, NodeId)>,
+}
+
+impl EdgeCheck {
+    /// Whether the declared graph covers every observed dependency.
+    pub fn is_sound(&self) -> bool {
+        self.undeclared.is_empty()
+    }
+}
+
+/// Compares the declared edges of `g` with the node-level dependencies in
+/// the traced block-dependency graph.
+pub fn check_edges(g: &AppGraph, deps: &BlockDepGraph) -> EdgeCheck {
+    let mut declared: Vec<(u32, u32)> =
+        g.edge_ids().map(|e| (g.edge(e).src.0, g.edge(e).dst.0)).collect();
+    declared.sort_unstable();
+    declared.dedup();
+    let observed = deps.node_edges();
+
+    let undeclared = observed
+        .iter()
+        .filter(|e| declared.binary_search(e).is_err())
+        .map(|&(a, b)| (NodeId(a), NodeId(b)))
+        .collect();
+    let unobserved = declared
+        .iter()
+        .filter(|e| observed.binary_search(e).is_err())
+        .map(|&(a, b)| (NodeId(a), NodeId(b)))
+        .collect();
+    EdgeCheck { undeclared, unobserved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::{AccessKind, BlockRef, DepGraphBuilder, TraceRecorder};
+
+    fn traced_chain() -> BlockDepGraph {
+        // Node 0 writes word 1; node 1 reads word 1, writes word 2; node 2
+        // reads word 2.
+        let mut rec = TraceRecorder::new(128);
+        let mut b = DepGraphBuilder::new();
+        let mut visit = |node: u32, reads: &[u64], writes: &[u64]| {
+            rec.begin_block(1);
+            for &r in reads {
+                rec.record(0, r * 4, 4, AccessKind::Load);
+            }
+            for &w in writes {
+                rec.record(0, w * 4, 4, AccessKind::Store);
+            }
+            b.visit_block(BlockRef::new(node, 0), &rec.finish_block());
+        };
+        visit(0, &[], &[1]);
+        visit(1, &[1], &[2]);
+        visit(2, &[2], &[]);
+        b.finish()
+    }
+
+    #[test]
+    fn sound_graph_passes() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(4, "b");
+        let mut g = AppGraph::new();
+        let n: Vec<NodeId> = (0..3).map(|_| g.add_dtoh(buf)).collect();
+        g.add_edge(n[0], n[1], buf);
+        g.add_edge(n[1], n[2], buf);
+        let check = check_edges(&g, &traced_chain());
+        assert!(check.is_sound());
+        assert!(check.unobserved.is_empty());
+    }
+
+    #[test]
+    fn missing_edge_is_reported() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(4, "b");
+        let mut g = AppGraph::new();
+        let n: Vec<NodeId> = (0..3).map(|_| g.add_dtoh(buf)).collect();
+        g.add_edge(n[0], n[1], buf); // 1 -> 2 missing
+        let check = check_edges(&g, &traced_chain());
+        assert!(!check.is_sound());
+        assert_eq!(check.undeclared, vec![(n[1], n[2])]);
+    }
+
+    #[test]
+    fn conservative_edge_is_flagged_as_unobserved() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(4, "b");
+        let mut g = AppGraph::new();
+        let n: Vec<NodeId> = (0..3).map(|_| g.add_dtoh(buf)).collect();
+        g.add_edge(n[0], n[1], buf);
+        g.add_edge(n[1], n[2], buf);
+        g.add_edge(n[0], n[2], buf); // conservative extra
+        let check = check_edges(&g, &traced_chain());
+        assert!(check.is_sound());
+        assert_eq!(check.unobserved, vec![(n[0], n[2])]);
+    }
+}

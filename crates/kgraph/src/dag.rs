@@ -1,0 +1,179 @@
+//! DAG utilities over the application graph: topological order, cycle
+//! detection and reachability. The scheduler relies on these for the
+//! default execution order and for validating cluster partitions.
+
+use std::collections::VecDeque;
+
+use crate::graph::{AppGraph, NodeId};
+
+/// Error returned when the application graph is not a DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// A node participating in a cycle.
+    pub node: NodeId,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "application graph contains a cycle through {}", self.node)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Computes a topological order of the graph (Kahn's algorithm; ties broken
+/// by node id, so the order is deterministic and matches the insertion
+/// order for already-sorted graphs).
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::DeviceMemory;
+/// use kgraph::{topo_order, AppGraph};
+/// let mut mem = DeviceMemory::new();
+/// let buf = mem.alloc_f32(4, "b");
+/// let mut g = AppGraph::new();
+/// let a = g.add_htod(buf, vec![0u8; 16]);
+/// let b = g.add_dtoh(buf);
+/// g.add_edge(a, b, buf);
+/// assert_eq!(topo_order(&g)?, vec![a, b]);
+/// # Ok::<(), kgraph::CycleError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the graph has a cycle.
+pub fn topo_order(g: &AppGraph) -> Result<Vec<NodeId>, CycleError> {
+    let n = g.num_nodes();
+    let mut indeg = vec![0usize; n];
+    for e in g.edge_ids() {
+        indeg[g.edge(e).dst.0 as usize] += 1;
+    }
+    // BinaryHeap would give smallest-first; with a VecDeque seeded in id
+    // order and FIFO processing the result is deterministic, which is all
+    // the scheduler needs.
+    let mut queue: VecDeque<NodeId> =
+        g.node_ids().filter(|id| indeg[id.0 as usize] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for (_, v) in g.successors(u) {
+            indeg[v.0 as usize] -= 1;
+            if indeg[v.0 as usize] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let node = g
+            .node_ids()
+            .find(|id| indeg[id.0 as usize] > 0)
+            .expect("cycle implies a node with remaining in-degree");
+        Err(CycleError { node })
+    }
+}
+
+/// Whether `to` is reachable from `from` along directed edges.
+pub fn reachable(g: &AppGraph, from: NodeId, to: NodeId) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = vec![false; g.num_nodes()];
+    let mut stack = vec![from];
+    seen[from.0 as usize] = true;
+    while let Some(u) = stack.pop() {
+        for (_, v) in g.successors(u) {
+            if v == to {
+                return true;
+            }
+            if !seen[v.0 as usize] {
+                seen[v.0 as usize] = true;
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+/// Whether the node set `members` induces a weakly connected subgraph of
+/// `g` (the paper requires clusters to be connected subgraphs).
+pub fn is_connected_subgraph(g: &AppGraph, members: &[NodeId]) -> bool {
+    if members.is_empty() {
+        return false;
+    }
+    let in_set = |n: NodeId| members.contains(&n);
+    let mut seen = vec![members[0]];
+    let mut stack = vec![members[0]];
+    while let Some(u) = stack.pop() {
+        let neighbors = g
+            .successors(u)
+            .map(|(_, v)| v)
+            .chain(g.predecessors(u).map(|(_, v)| v));
+        for v in neighbors {
+            if in_set(v) && !seen.contains(&v) {
+                seen.push(v);
+                stack.push(v);
+            }
+        }
+    }
+    seen.len() == members.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+
+    /// Diamond: a -> b, a -> c, b -> d, c -> d.
+    fn diamond() -> (AppGraph, [NodeId; 4]) {
+        let mut mem = DeviceMemory::new();
+        let b = mem.alloc_f32(4, "b");
+        let mut g = AppGraph::new();
+        let n: Vec<NodeId> = (0..4).map(|_| g.add_dtoh(b)).collect();
+        g.add_edge(n[0], n[1], b);
+        g.add_edge(n[0], n[2], b);
+        g.add_edge(n[1], n[3], b);
+        g.add_edge(n[2], n[3], b);
+        (g, [n[0], n[1], n[2], n[3]])
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let (g, [a, b, c, d]) = diamond();
+        let order = topo_order(&g).unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b));
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(d));
+        assert!(pos(c) < pos(d));
+    }
+
+    #[test]
+    fn topo_order_is_deterministic() {
+        let (g, _) = diamond();
+        assert_eq!(topo_order(&g).unwrap(), topo_order(&g).unwrap());
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, [a, b, c, d]) = diamond();
+        assert!(reachable(&g, a, d));
+        assert!(reachable(&g, b, d));
+        assert!(!reachable(&g, b, c));
+        assert!(!reachable(&g, d, a));
+        assert!(reachable(&g, a, a));
+    }
+
+    #[test]
+    fn connected_subgraphs() {
+        let (g, [a, b, c, d]) = diamond();
+        assert!(is_connected_subgraph(&g, &[a, b]));
+        assert!(is_connected_subgraph(&g, &[a, b, c, d]));
+        assert!(!is_connected_subgraph(&g, &[b, c]), "b and c are not adjacent");
+        assert!(is_connected_subgraph(&g, &[b, d, c]), "connected through d");
+        assert!(!is_connected_subgraph(&g, &[]));
+        assert!(is_connected_subgraph(&g, &[a]));
+    }
+}

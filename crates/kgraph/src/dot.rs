@@ -1,0 +1,129 @@
+//! Graphviz DOT export of application graphs and block-dependency
+//! neighbourhoods — for rendering Fig. 4-style data-flow diagrams and
+//! Fig. 1(b)-style block-dependency pictures.
+
+use std::fmt::Write as _;
+
+use trace::{BlockDepGraph, BlockRef};
+
+use crate::graph::{AppGraph, NodeId, NodeOp};
+
+/// Renders the application graph in Graphviz DOT format.
+///
+/// Nodes are labelled with their kernel label and grid size; transfer
+/// nodes are drawn as boxes, kernels as ellipses. Pipe the output to
+/// `dot -Tsvg` to render.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::DeviceMemory;
+/// use kgraph::{to_dot, AppGraph};
+/// let mut mem = DeviceMemory::new();
+/// let buf = mem.alloc_f32(16, "b");
+/// let mut g = AppGraph::new();
+/// let a = g.add_htod(buf, vec![0u8; 64]);
+/// let b = g.add_dtoh(buf);
+/// g.add_edge(a, b, buf);
+/// let dot = to_dot(&g);
+/// assert!(dot.contains("digraph app"));
+/// assert!(dot.contains("n0 -> n1"));
+/// ```
+pub fn to_dot(g: &AppGraph) -> String {
+    let mut out = String::from("digraph app {\n  rankdir=TB;\n");
+    for id in g.node_ids() {
+        let node = g.node(id);
+        let (shape, label) = match &node.op {
+            NodeOp::Kernel(k) => {
+                ("ellipse", format!("{} [{} blk]", node.label, k.dims().num_blocks()))
+            }
+            NodeOp::HostToDevice { .. } => ("box", node.label.clone()),
+            NodeOp::DeviceToHost { .. } => ("box", node.label.clone()),
+        };
+        let _ = writeln!(out, "  {id} [shape={shape}, label=\"{label}\"];");
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let _ = writeln!(out, "  {} -> {} [label=\"{}\"];", edge.src, edge.dst, edge.buf.id);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the block-dependency neighbourhood of one node's blocks in DOT
+/// format: the given consumer blocks plus all their direct producers (the
+/// paper's Fig. 1(b) picture).
+pub fn block_deps_to_dot(
+    g: &AppGraph,
+    deps: &BlockDepGraph,
+    consumer: NodeId,
+    blocks: &[u32],
+) -> String {
+    let mut out = String::from("digraph blockdeps {\n  rankdir=BT;\n");
+    let name = |r: BlockRef| format!("\"{}b{}\"", g.node(NodeId(r.node)).label, r.block);
+    let mut emitted: Vec<BlockRef> = Vec::new();
+    for &b in blocks {
+        let c = BlockRef::new(consumer.0, b);
+        if !emitted.contains(&c) {
+            let _ = writeln!(out, "  {} [style=filled, fillcolor=lightblue];", name(c));
+            emitted.push(c);
+        }
+        for &p in deps.deps_of(c) {
+            if !emitted.contains(&p) {
+                let _ = writeln!(out, "  {};", name(p));
+                emitted.push(p);
+            }
+            let _ = writeln!(out, "  {} -> {};", name(c), name(p));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::DepGraphBuilder;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(16, "b");
+        let mut g = AppGraph::new();
+        let a = g.add_htod(buf, vec![]);
+        let b = g.add_dtoh(buf);
+        let c = g.add_dtoh(buf);
+        g.add_edge(a, b, buf);
+        g.add_edge(a, c, buf);
+        let dot = to_dot(&g);
+        assert_eq!(dot.matches("shape=box").count(), 3);
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn block_deps_dot_shows_producers() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(16, "b");
+        let mut g = AppGraph::new();
+        let a = g.add_htod(buf, vec![0u8; 64]);
+        let b = g.add_dtoh(buf);
+        g.add_edge(a, b, buf);
+
+        let mut builder = DepGraphBuilder::new();
+        let mut rec = trace::TraceRecorder::new(128);
+        rec.begin_block(1);
+        rec.record(0, buf.addr, 4, trace::AccessKind::Store);
+        builder.visit_block(BlockRef::new(a.0, 0), &rec.finish_block());
+        rec.begin_block(1);
+        rec.record(0, buf.addr, 4, trace::AccessKind::Load);
+        builder.visit_block(BlockRef::new(b.0, 0), &rec.finish_block());
+        let deps = builder.finish();
+
+        let dot = block_deps_to_dot(&g, &deps, b, &[0]);
+        assert!(dot.contains("\"DtHb0\" -> \"HtDb0\""));
+        assert!(dot.contains("fillcolor=lightblue"));
+    }
+}

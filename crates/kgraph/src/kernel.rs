@@ -1,0 +1,138 @@
+//! The [`Kernel`] trait: what a GPU kernel looks like to this suite.
+//!
+//! A kernel provides its launch geometry and a *functional, per-block*
+//! execution routine that performs every device-memory access through the
+//! instrumented [`ExecCtx`]. That single routine yields all three artifacts
+//! the system needs: the output values (functional correctness), the memory
+//! trace (timing replay) and the address sets (dependency analysis and
+//! footprints) — mirroring how the paper drives one instrumented execution
+//! of the application to feed its block analyzer.
+
+use gpu_sim::{BlockIdx, LaunchDims, LaunchResources};
+use trace::ExecCtx;
+
+/// A GPU kernel: launch geometry plus functional per-block execution.
+///
+/// Implementations must be deterministic and *input-size driven*: the set
+/// of addresses a block touches may depend on data values only if the
+/// kernel reports [`tileable`](Kernel::tileable)` == false` (the paper's
+/// third tiling condition — block dependencies of tileable kernels must not
+/// depend on input values).
+pub trait Kernel {
+    /// Human-readable label (e.g. `"JI"` or `"DS[level 2]"`).
+    fn label(&self) -> String;
+
+    /// Launch geometry (grid and block dimensions).
+    fn dims(&self) -> LaunchDims;
+
+    /// Executes one thread block functionally, performing all global-memory
+    /// accesses through `ctx`.
+    ///
+    /// The implementation should iterate its threads in linear-id order and
+    /// pass the linear thread id to every `ctx` access so the recorder can
+    /// group threads into warps.
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>);
+
+    /// Occupancy resources of one block: thread count from the launch
+    /// geometry plus register/shared-memory requirements. Override when a
+    /// kernel's register pressure or shared-memory usage limits residency
+    /// below the thread-count bound.
+    fn resources(&self) -> LaunchResources {
+        LaunchResources::with_threads(self.dims().threads_per_block())
+    }
+
+    /// Whether the kernel satisfies the paper's tiling conditions (most
+    /// importantly: block dependencies do not depend on input values).
+    /// Non-tileable kernels are never split; KTILER sets the weights of
+    /// their input edges to zero.
+    fn tileable(&self) -> bool {
+        true
+    }
+
+    /// A key identifying the kernel's *memory behaviour* (addresses and
+    /// instruction counts), if it is data-independent: two kernels with
+    /// equal signatures produce identical traces, so the analyzer records
+    /// only one of them and shares the result. Kernels whose addresses
+    /// depend on input values must return `None`.
+    ///
+    /// The key must cover everything addresses depend on: kernel kind,
+    /// geometry and the addresses of all buffers it touches.
+    fn signature(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Convenience: iterate the linear thread ids of a block given its launch
+/// geometry, yielding `(tid, tx, ty, tz)` with `tx` fastest.
+pub fn threads(dims: &LaunchDims) -> impl Iterator<Item = (u32, u32, u32, u32)> + '_ {
+    let block = dims.block;
+    (0..block.count()).map(move |i| {
+        let (x, y, z) = block.coords(i);
+        (i as u32, x, y, z)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceMemory, Dim3};
+    use trace::TraceRecorder;
+
+    /// A toy kernel: each thread copies one f32 from `src` to `dst`.
+    struct Copy1D {
+        src: gpu_sim::Buffer,
+        dst: gpu_sim::Buffer,
+        n: u32,
+    }
+
+    impl Kernel for Copy1D {
+        fn label(&self) -> String {
+            "copy".into()
+        }
+        fn dims(&self) -> LaunchDims {
+            LaunchDims::new(Dim3::linear(self.n.div_ceil(64)), Dim3::linear(64))
+        }
+        fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+            for (tid, tx, _, _) in threads(&self.dims()) {
+                let gid = block.x * 64 + tx;
+                if gid < self.n {
+                    let v = ctx.ld_f32(self.src, gid as u64, tid);
+                    ctx.st_f32(self.dst, gid as u64, v, tid);
+                    ctx.compute(tid, 2);
+                }
+            }
+        }
+        fn signature(&self) -> Option<String> {
+            Some(format!("copy:{}:{}:{}", self.src.addr, self.dst.addr, self.n))
+        }
+    }
+
+    #[test]
+    fn toy_kernel_executes_and_traces() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(100, "src");
+        let dst = mem.alloc_f32(100, "dst");
+        for i in 0..100 {
+            mem.write_f32(src, i, i as f32);
+        }
+        let k = Copy1D { src, dst, n: 100 };
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(&mut mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let t = rec.finish_block();
+            assert!(!t.read_words.is_empty());
+        }
+        assert_eq!(mem.read_f32(dst, 42), 42.0);
+    }
+
+    #[test]
+    fn threads_iterates_in_linear_order() {
+        let dims = LaunchDims::new(Dim3::linear(1), Dim3::xy(4, 2));
+        let v: Vec<_> = threads(&dims).collect();
+        assert_eq!(v.len(), 8);
+        assert_eq!(v[0], (0, 0, 0, 0));
+        assert_eq!(v[5], (5, 1, 1, 0));
+    }
+}

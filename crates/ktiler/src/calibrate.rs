@@ -1,0 +1,367 @@
+//! Calibration: builds the per-kernel performance tables and edge weights
+//! that the paper takes as *user-provided information* (Sec. IV-C).
+//!
+//! On real hardware the user measures each kernel at several grid sizes,
+//! with and without its inputs cache-resident. Here the same measurements
+//! are taken by probing the simulator: for every node, sub-kernels of
+//! several grid sizes are launched on a fresh device, optionally after
+//! pre-warming the L2 with the lines the sub-kernel will read from a given
+//! predecessor's output — yielding one table per in-cache input combination.
+//!
+//! Edge weights follow the paper's definition: the weight of edge `p → v`
+//! is the maximum time saved when the data carried by that edge is
+//! cache-resident, i.e. `ET_cold(v) − ET_warm(v, e)` at the default grid.
+//! Input edges of non-tileable nodes get weight zero.
+
+use std::collections::HashMap;
+
+use gpu_sim::{Engine, FreqConfig, GpuConfig};
+use kgraph::{AppGraph, GraphTrace, NodeId, NodeOp};
+
+use crate::perf_table::{PerfTable, PredMask};
+
+/// Calibrated performance model of an application on a device operating
+/// point.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Per-node performance table.
+    pub tables: Vec<PerfTable>,
+    /// Per-node default execution time (`kerExeTimes`): full grid, cold
+    /// cache. For transfer nodes, the DMA duration.
+    pub default_times: Vec<f64>,
+    /// Per-edge cache-sensitivity weight in nanoseconds.
+    pub edge_weights: Vec<f64>,
+    /// Per-node sorted predecessor list defining the [`PredMask`] bit
+    /// order: bit `i` of a node's mask refers to `preds[node][i]`.
+    pub preds: Vec<Vec<NodeId>>,
+}
+
+impl Calibration {
+    /// The predecessor mask of `node` selecting the predecessors for which
+    /// `in_cache` returns true.
+    pub fn pred_mask<F: Fn(NodeId) -> bool>(&self, node: NodeId, in_cache: F) -> PredMask {
+        let mut mask = 0u32;
+        for (i, &p) in self.preds[node.0 as usize].iter().enumerate().take(32) {
+            if in_cache(p) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// Estimated time of a `grid`-block sub-kernel of `node` with the given
+    /// in-cache predecessors.
+    pub fn estimate(&self, node: NodeId, mask: PredMask, grid: u32) -> f64 {
+        self.tables[node.0 as usize].lookup(mask, grid)
+    }
+}
+
+/// Tunables of the calibration pass.
+#[derive(Debug, Clone)]
+pub struct CalibrationConfig {
+    /// Grid sizes to sample, as fractions of the default grid. The default
+    /// covers the paper's 1/32 … 1 range.
+    pub grid_fractions: Vec<f64>,
+    /// Maximum number of predecessors represented in masks (bits beyond
+    /// this are ignored; the fallback lookup handles the rest).
+    pub max_mask_preds: usize,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            grid_fractions: vec![1.0 / 32.0, 1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0],
+            max_mask_preds: 8,
+        }
+    }
+}
+
+/// Line ranges `(first, last)` of the buffers carried by edges `p → v`.
+fn pred_line_ranges(g: &AppGraph, v: NodeId, p: NodeId, line_bytes: u64) -> Vec<(u64, u64)> {
+    g.edge_ids()
+        .map(|e| g.edge(e))
+        .filter(|e| e.dst == v && e.src == p)
+        .map(|e| (e.buf.addr / line_bytes, (e.buf.end() - 1) / line_bytes))
+        .collect()
+}
+
+/// Measures one sub-kernel launch of `node` over blocks `0..grid` on a
+/// fresh device, after installing in the L2 every line the sub-kernel
+/// reads that falls in one of `warm_ranges`.
+fn measure(
+    g: &AppGraph,
+    gt: &GraphTrace,
+    cfg: &GpuConfig,
+    freq: FreqConfig,
+    node: NodeId,
+    grid: u32,
+    warm_ranges: &[(u64, u64)],
+) -> f64 {
+    let NodeOp::Kernel(k) = &g.node(node).op else {
+        unreachable!("measure is only called for kernel nodes");
+    };
+    let nt = gt.node(node);
+    let mut eng = Engine::new(cfg.clone(), freq);
+    eng.set_inter_launch_gap_ns(0.0);
+    if !warm_ranges.is_empty() {
+        for b in 0..grid {
+            for &line in &nt.blocks[b as usize].lines {
+                if warm_ranges.iter().any(|&(lo, hi)| line >= lo && line <= hi) {
+                    eng.cache_mut().access_line(line, false);
+                }
+            }
+        }
+        eng.cache_mut().reset_stats();
+    }
+    let work = nt.work_of(0..grid);
+    eng.launch_res(&work, &k.resources()).time_ns
+}
+
+/// The DMA duration of a transfer node on a fresh device.
+fn transfer_time(g: &AppGraph, cfg: &GpuConfig, freq: FreqConfig, node: NodeId) -> f64 {
+    let mut eng = Engine::new(cfg.clone(), freq);
+    match &g.node(node).op {
+        NodeOp::HostToDevice { buf, .. } => eng.dma_host_to_device(buf.len, std::iter::empty()),
+        NodeOp::DeviceToHost { buf } => eng.dma_device_to_host(buf.len),
+        NodeOp::Kernel(_) => unreachable!("transfer_time is only called for transfer nodes"),
+    }
+}
+
+/// Memoization key for measurements: nodes with equal kernel signatures and
+/// equal warm configurations produce identical times.
+fn memo_key(
+    g: &AppGraph,
+    node: NodeId,
+    grid: u32,
+    warm_ranges: &[(u64, u64)],
+) -> Option<String> {
+    let NodeOp::Kernel(k) = &g.node(node).op else { return None };
+    let sig = k.signature()?;
+    let mut key = format!("{sig}|{grid}");
+    for (lo, hi) in warm_ranges {
+        key.push_str(&format!("|{lo}-{hi}"));
+    }
+    Some(key)
+}
+
+/// Runs the calibration pass: performance tables, default times and edge
+/// weights for every node and edge of the application.
+pub fn calibrate(
+    g: &AppGraph,
+    gt: &GraphTrace,
+    cfg: &GpuConfig,
+    freq: FreqConfig,
+    ccfg: &CalibrationConfig,
+) -> Calibration {
+    let line_bytes = cfg.cache.line_bytes;
+    let mut memo: HashMap<String, f64> = HashMap::new();
+    let mut measure_memo = |node: NodeId, grid: u32, warm: &[(u64, u64)]| -> f64 {
+        if let Some(key) = memo_key(g, node, grid, warm) {
+            if let Some(&t) = memo.get(&key) {
+                return t;
+            }
+            let t = measure(g, gt, cfg, freq, node, grid, warm);
+            memo.insert(key, t);
+            t
+        } else {
+            measure(g, gt, cfg, freq, node, grid, warm)
+        }
+    };
+
+    let mut tables = Vec::with_capacity(g.num_nodes());
+    let mut default_times = Vec::with_capacity(g.num_nodes());
+    let mut preds_per_node = Vec::with_capacity(g.num_nodes());
+
+    for v in g.node_ids() {
+        let mut preds: Vec<NodeId> = g.predecessors(v).map(|(_, p)| p).collect();
+        preds.sort_unstable();
+        preds.dedup();
+        preds.truncate(ccfg.max_mask_preds);
+
+        let node = g.node(v);
+        match &node.op {
+            NodeOp::Kernel(k) => {
+                let full = node.num_blocks();
+                let mut grids: Vec<u32> = ccfg
+                    .grid_fractions
+                    .iter()
+                    .map(|f| ((full as f64 * f).ceil() as u32).clamp(1, full))
+                    .collect();
+                // Anchor samples below the smallest fraction: one block, a
+                // fraction of a wave and one full dispatch wave. Without
+                // them, interpolation extrapolates tiny launches to near
+                // zero and hides the GPU-utilization cliff, which would
+                // make the tiler over-fragment.
+                let wave = cfg.wave_capacity_res(&k.resources());
+                for s in [1, wave / 4, wave] {
+                    grids.push(s.clamp(1, full));
+                }
+                grids.push(full);
+                grids.sort_unstable();
+                grids.dedup();
+
+                // Masks to sample: cold, each single predecessor, all.
+                let mut masks: Vec<PredMask> = vec![0];
+                for i in 0..preds.len() {
+                    masks.push(1 << i);
+                }
+                if preds.len() > 1 {
+                    masks.push((1u32 << preds.len()) - 1);
+                }
+
+                let mut table = PerfTable::new();
+                for &mask in &masks {
+                    let mut warm: Vec<(u64, u64)> = Vec::new();
+                    for (i, &p) in preds.iter().enumerate() {
+                        if mask & (1 << i) != 0 {
+                            warm.extend(pred_line_ranges(g, v, p, line_bytes));
+                        }
+                    }
+                    if mask != 0 && warm.is_empty() {
+                        continue; // predecessor with no traced buffer edge
+                    }
+                    for &grid in &grids {
+                        table.insert(mask, grid, measure_memo(v, grid, &warm));
+                    }
+                }
+                default_times.push(table.lookup(0, full));
+                tables.push(table);
+            }
+            _ => {
+                let t = transfer_time(g, cfg, freq, v);
+                let mut table = PerfTable::new();
+                table.insert(0, 1, t);
+                default_times.push(t);
+                tables.push(table);
+            }
+        }
+        preds_per_node.push(preds);
+    }
+
+    // Edge weights: the *maximum* time the consumer can save when the
+    // edge's data is cache-resident (paper Sec. IV-C). When the edge's
+    // buffer is larger than the cache, warming it at the full grid
+    // self-evicts and shows no benefit, so the per-block saving is probed
+    // at a cache-fitting sub-grid and scaled to the full grid. Zero for
+    // edges into non-tileable nodes.
+    let mut edge_weights = Vec::with_capacity(g.num_edges());
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let v = edge.dst;
+        let node = g.node(v);
+        let weight = if !node.tileable() || !matches!(node.op, NodeOp::Kernel(_)) {
+            0.0
+        } else {
+            let full = node.num_blocks();
+            let fitting = if 2 * edge.buf.len <= cfg.cache.capacity_bytes {
+                full
+            } else {
+                let frac = cfg.cache.capacity_bytes as f64 / (2.0 * edge.buf.len as f64);
+                ((full as f64 * frac).floor() as u32).clamp(1, full)
+            };
+            let cold = measure_memo(v, fitting, &[]);
+            let range = (edge.buf.addr / line_bytes, (edge.buf.end() - 1) / line_bytes);
+            let warm = measure_memo(v, fitting, &[range]);
+            (cold - warm).max(0.0) * full as f64 / fitting as f64
+        };
+        edge_weights.push(weight);
+    }
+
+    Calibration { tables, default_times, edge_weights, preds: preds_per_node }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{BlockIdx, Buffer, DeviceMemory, Dim3, LaunchDims};
+    use kgraph::{analyze, Kernel};
+    use trace::ExecCtx;
+
+    /// Streaming copy: the ideal cache-sensitive kernel.
+    struct Copy {
+        src: Buffer,
+        dst: Buffer,
+        n: u32,
+    }
+
+    impl Kernel for Copy {
+        fn label(&self) -> String {
+            "copy".into()
+        }
+        fn dims(&self) -> LaunchDims {
+            LaunchDims::new(Dim3::linear(self.n.div_ceil(256)), Dim3::linear(256))
+        }
+        fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+            for tid in 0..256 {
+                let gid = block.x as u64 * 256 + tid as u64;
+                if gid < self.n as u64 {
+                    let v = ctx.ld_f32(self.src, gid, tid);
+                    ctx.st_f32(self.dst, gid, v, tid);
+                    ctx.compute(tid, 2);
+                }
+            }
+        }
+        fn signature(&self) -> Option<String> {
+            Some(format!("copy:{}:{}:{}", self.src.addr, self.dst.addr, self.n))
+        }
+    }
+
+    fn setup() -> (AppGraph, GraphTrace, GpuConfig) {
+        let mut mem = DeviceMemory::new();
+        let n = 64 * 1024u32;
+        let b0 = mem.alloc_f32(n as u64, "b0");
+        let b1 = mem.alloc_f32(n as u64, "b1");
+        let b2 = mem.alloc_f32(n as u64, "b2");
+        let mut g = AppGraph::new();
+        let k1 = g.add_kernel(Box::new(Copy { src: b0, dst: b1, n }));
+        let k2 = g.add_kernel(Box::new(Copy { src: b1, dst: b2, n }));
+        g.add_edge(k1, k2, b1);
+        let gt = analyze(&g, &mut mem, 128).unwrap();
+        (g, gt, GpuConfig::gtx960m())
+    }
+
+    #[test]
+    fn warm_input_is_faster_and_weight_positive() {
+        let (g, gt, cfg) = setup();
+        let cal = calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+        let v = kgraph::NodeId(1);
+        let full = g.node(v).num_blocks();
+        let cold = cal.estimate(v, 0, full);
+        let warm = cal.estimate(v, 1, full);
+        assert!(warm < cold, "warm {warm} must be under cold {cold}");
+        assert!(cal.edge_weights[0] > 0.0);
+        assert!((cal.edge_weights[0] - (cold - warm)).abs() / cold < 0.05);
+    }
+
+    #[test]
+    fn default_times_cover_all_nodes() {
+        let (g, gt, cfg) = setup();
+        let cal = calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+        assert_eq!(cal.default_times.len(), 2);
+        assert!(cal.default_times.iter().all(|&t| t > 0.0));
+        assert_eq!(cal.preds[1], vec![kgraph::NodeId(0)]);
+        assert!(cal.preds[0].is_empty());
+    }
+
+    #[test]
+    fn pred_mask_selects_in_cache_preds() {
+        let (g, gt, cfg) = setup();
+        let cal = calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+        let v = kgraph::NodeId(1);
+        assert_eq!(cal.pred_mask(v, |_| true), 1);
+        assert_eq!(cal.pred_mask(v, |_| false), 0);
+    }
+
+    #[test]
+    fn table_interpolates_between_sampled_grids() {
+        let (g, gt, cfg) = setup();
+        let cal = calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+        let v = kgraph::NodeId(0);
+        let full = g.node(v).num_blocks();
+        // Monotone non-decreasing in grid size over the sampled range.
+        let quarter = cal.estimate(v, 0, full / 4);
+        let half = cal.estimate(v, 0, full / 2);
+        let whole = cal.estimate(v, 0, full);
+        assert!(quarter <= half && half <= whole, "{quarter} {half} {whole}");
+    }
+}

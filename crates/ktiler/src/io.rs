@@ -1,0 +1,183 @@
+//! Plain-text schedule serialization.
+//!
+//! The paper enforces a generated schedule at runtime "by slightly
+//! modifying the source code" of the application — the schedule is an
+//! artifact produced offline (about twenty minutes for the full optical
+//! flow application on the paper's laptop) and consumed by the runtime.
+//! This module provides that artifact as a stable, human-readable text
+//! format with run-length-compressed block lists:
+//!
+//! ```text
+//! # ktiler schedule v1
+//! launch 17 0-63
+//! launch 18 0-15,32-47
+//! ```
+
+use std::fmt;
+
+use kgraph::NodeId;
+
+use crate::subkernel::{Schedule, SubKernel};
+
+/// Error produced when parsing a serialized schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScheduleError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseScheduleError {}
+
+/// Compresses a sorted block list to `lo-hi,lo-hi,…` run notation.
+fn ranges(blocks: &[u32]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < blocks.len() {
+        let lo = blocks[i];
+        let mut hi = lo;
+        while i + 1 < blocks.len() && blocks[i + 1] == hi + 1 {
+            i += 1;
+            hi = blocks[i];
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        if lo == hi {
+            out.push_str(&lo.to_string());
+        } else {
+            out.push_str(&format!("{lo}-{hi}"));
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_ranges(s: &str, line: usize) -> Result<Vec<u32>, ParseScheduleError> {
+    let err = |m: &str| ParseScheduleError { line, message: m.to_string() };
+    let mut blocks = Vec::new();
+    for part in s.split(',') {
+        if let Some((lo, hi)) = part.split_once('-') {
+            let lo: u32 = lo.trim().parse().map_err(|_| err("bad range start"))?;
+            let hi: u32 = hi.trim().parse().map_err(|_| err("bad range end"))?;
+            if hi < lo {
+                return Err(err("descending range"));
+            }
+            blocks.extend(lo..=hi);
+        } else {
+            blocks.push(part.trim().parse().map_err(|_| err("bad block id"))?);
+        }
+    }
+    if blocks.is_empty() {
+        return Err(err("empty block list"));
+    }
+    Ok(blocks)
+}
+
+/// Serializes a schedule to the text format.
+pub fn schedule_to_text(s: &Schedule) -> String {
+    let mut out = String::from("# ktiler schedule v1\n");
+    for sk in &s.launches {
+        out.push_str(&format!("launch {} {}\n", sk.node.0, ranges(&sk.blocks)));
+    }
+    out
+}
+
+/// Parses a schedule from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseScheduleError`] on malformed lines; blank lines and
+/// `#` comments are ignored.
+pub fn schedule_from_text(text: &str) -> Result<Schedule, ParseScheduleError> {
+    let mut launches = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |m: &str| ParseScheduleError { line: line_no, message: m.to_string() };
+        match parts.next() {
+            Some("launch") => {
+                let node: u32 = parts
+                    .next()
+                    .ok_or_else(|| err("missing node id"))?
+                    .parse()
+                    .map_err(|_| err("bad node id"))?;
+                let blocks =
+                    parse_ranges(parts.next().ok_or_else(|| err("missing block list"))?, line_no)?;
+                if parts.next().is_some() {
+                    return Err(err("trailing tokens"));
+                }
+                launches.push(SubKernel::new(NodeId(node), blocks));
+            }
+            Some(other) => return Err(err(&format!("unknown directive '{other}'"))),
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    Ok(Schedule { launches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        Schedule {
+            launches: vec![
+                SubKernel::new(NodeId(3), (0..64).collect()),
+                SubKernel::new(NodeId(4), vec![0, 1, 2, 10, 12, 13]),
+                SubKernel::new(NodeId(3), vec![64]),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let text = schedule_to_text(&s);
+        let back = schedule_from_text(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn ranges_are_compressed() {
+        let text = schedule_to_text(&sample());
+        assert!(text.contains("launch 3 0-63"), "{text}");
+        assert!(text.contains("launch 4 0-2,10,12-13"), "{text}");
+        assert!(text.contains("launch 3 64"), "{text}");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let s = schedule_from_text("# hi\n\nlaunch 0 5\n  # indented\n").unwrap();
+        assert_eq!(s.launches.len(), 1);
+        assert_eq!(s.launches[0].blocks, vec![5]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = schedule_from_text("launch 0 1\nlunch 1 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown directive"));
+        assert_eq!(schedule_from_text("launch x 1").unwrap_err().message, "bad node id");
+        assert_eq!(schedule_from_text("launch 0 9-3").unwrap_err().message, "descending range");
+        assert_eq!(schedule_from_text("launch 0 1 extra").unwrap_err().message, "trailing tokens");
+        assert!(schedule_from_text("launch 0").is_err());
+    }
+
+    #[test]
+    fn parses_unsorted_input_normalized() {
+        let s = schedule_from_text("launch 0 7,3,5-6\n").unwrap();
+        assert_eq!(s.launches[0].blocks, vec![3, 5, 6, 7]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Performance tables (Sec. IV-C of the paper).
+//!
+//! For every kernel, KTILER keeps a table estimating its execution time as
+//! a function of (i) grid size and (ii) which of its inputs are provided
+//! via tiling and therefore likely cache-resident. Each in-cache input
+//! combination gets its own table over several sampled grid sizes; lookups
+//! between samples interpolate linearly, lookups outside extrapolate from
+//! the nearest segment — exactly the paper's "for the missing points, the
+//! duration is obtained by interpolation".
+//!
+//! In-cache combinations are encoded as a bitmask over the node's sorted
+//! predecessor list ([`PredMask`]): bit `i` set means the output of the
+//! `i`-th predecessor is cache-resident.
+
+use std::collections::HashMap;
+
+/// Bitmask over a node's predecessors: which inputs are cache-resident.
+pub type PredMask = u32;
+
+/// Execution-time table of one kernel: per in-cache combination, sampled
+/// `(grid size, time ns)` points.
+///
+/// # Examples
+///
+/// ```
+/// use ktiler::PerfTable;
+/// let mut t = PerfTable::new();
+/// t.insert(0, 10, 1000.0);
+/// t.insert(0, 20, 1800.0);
+/// assert_eq!(t.lookup(0, 15), 1400.0); // interpolated
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PerfTable {
+    combos: HashMap<PredMask, Vec<(u32, f64)>>,
+}
+
+impl PerfTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample: the kernel took `time_ns` at `grid` blocks with
+    /// the inputs in `mask` cache-resident. Re-inserting a grid point for
+    /// the same mask replaces it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is zero or `time_ns` is not finite and positive.
+    pub fn insert(&mut self, mask: PredMask, grid: u32, time_ns: f64) {
+        assert!(grid > 0, "grid size must be positive");
+        assert!(time_ns.is_finite() && time_ns > 0.0, "time must be positive");
+        let points = self.combos.entry(mask).or_default();
+        match points.binary_search_by_key(&grid, |&(g, _)| g) {
+            Ok(i) => points[i].1 = time_ns,
+            Err(i) => points.insert(i, (grid, time_ns)),
+        }
+    }
+
+    /// Whether any samples exist for `mask`.
+    pub fn has_mask(&self, mask: PredMask) -> bool {
+        self.combos.contains_key(&mask)
+    }
+
+    /// The sampled masks, sorted.
+    pub fn masks(&self) -> Vec<PredMask> {
+        let mut m: Vec<PredMask> = self.combos.keys().copied().collect();
+        m.sort_unstable();
+        m
+    }
+
+    /// Estimated execution time at `grid` blocks with the inputs in `mask`
+    /// cache-resident.
+    ///
+    /// If the exact mask was never sampled, the best sampled *subset* of it
+    /// is used (the estimate is then conservative: fewer warm inputs than
+    /// reality). Falls back to the cold table (mask 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is completely empty or `grid` is zero.
+    pub fn lookup(&self, mask: PredMask, grid: u32) -> f64 {
+        assert!(grid > 0, "grid size must be positive");
+        let points = self
+            .combos
+            .get(&self.best_mask(mask))
+            .expect("perf table must have at least the cold (mask 0) samples");
+        interpolate(points, grid)
+    }
+
+    /// The sampled mask that best approximates `mask`: the sampled subset
+    /// of it with the most bits, preferring the exact match.
+    fn best_mask(&self, mask: PredMask) -> PredMask {
+        if self.combos.contains_key(&mask) {
+            return mask;
+        }
+        self.combos
+            .keys()
+            .copied()
+            .filter(|&m| m & mask == m)
+            .max_by_key(|m| m.count_ones())
+            .unwrap_or(0)
+    }
+}
+
+/// Piecewise-linear interpolation over sorted `(grid, time)` points, with
+/// linear extrapolation from the outermost segment (or proportional
+/// scaling when only one sample exists).
+fn interpolate(points: &[(u32, f64)], grid: u32) -> f64 {
+    assert!(!points.is_empty(), "no samples");
+    if points.len() == 1 {
+        // Proportional to grid size through the single sample (exact at
+        // the sample itself).
+        let (g0, t0) = points[0];
+        if grid == g0 {
+            return t0;
+        }
+        return t0 * grid as f64 / g0 as f64;
+    }
+    let x = grid as f64;
+    let idx = match points.binary_search_by_key(&grid, |&(g, _)| g) {
+        Ok(i) => return points[i].1,
+        Err(i) => i,
+    };
+    let (i0, i1) = if idx == 0 {
+        (0, 1)
+    } else if idx >= points.len() {
+        (points.len() - 2, points.len() - 1)
+    } else {
+        (idx - 1, idx)
+    };
+    let (g0, t0) = points[i0];
+    let (g1, t1) = points[i1];
+    let slope = (t1 - t0) / (g1 as f64 - g0 as f64);
+    (t0 + slope * (x - g0 as f64)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PerfTable {
+        let mut t = PerfTable::new();
+        t.insert(0, 8, 800.0);
+        t.insert(0, 16, 1400.0);
+        t.insert(0, 32, 3200.0);
+        t
+    }
+
+    #[test]
+    fn exact_hits() {
+        let t = table();
+        assert_eq!(t.lookup(0, 8), 800.0);
+        assert_eq!(t.lookup(0, 32), 3200.0);
+    }
+
+    #[test]
+    fn interpolates_between_samples() {
+        let t = table();
+        assert_eq!(t.lookup(0, 12), 1100.0);
+        assert_eq!(t.lookup(0, 24), 2300.0);
+    }
+
+    #[test]
+    fn extrapolates_outside_range() {
+        let t = table();
+        // Below: slope of first segment = 75/blk; 800 - 4*75 = 500.
+        assert_eq!(t.lookup(0, 4), 500.0);
+        // Above: slope of last segment = 112.5/blk; 3200 + 8*112.5 = 4100.
+        assert_eq!(t.lookup(0, 40), 4100.0);
+    }
+
+    #[test]
+    fn extrapolation_never_goes_negative() {
+        let mut t = PerfTable::new();
+        t.insert(0, 10, 100.0);
+        t.insert(0, 20, 1000.0);
+        assert_eq!(t.lookup(0, 1), 0.0_f64.max(100.0 - 9.0 * 90.0));
+    }
+
+    #[test]
+    fn single_sample_scales_proportionally() {
+        let mut t = PerfTable::new();
+        t.insert(0, 10, 500.0);
+        assert_eq!(t.lookup(0, 20), 1000.0);
+        assert_eq!(t.lookup(0, 5), 250.0);
+    }
+
+    #[test]
+    fn mask_fallback_uses_best_subset() {
+        let mut t = PerfTable::new();
+        t.insert(0b00, 10, 1000.0);
+        t.insert(0b01, 10, 700.0);
+        t.insert(0b11, 10, 400.0);
+        assert_eq!(t.lookup(0b11, 10), 400.0);
+        // 0b10 was never sampled; its only sampled subset is 0b00.
+        assert_eq!(t.lookup(0b10, 10), 1000.0);
+        // 0b111: best sampled subset is 0b11.
+        assert_eq!(t.lookup(0b111, 10), 400.0);
+    }
+
+    #[test]
+    fn reinsert_replaces_point() {
+        let mut t = table();
+        t.insert(0, 16, 1500.0);
+        assert_eq!(t.lookup(0, 16), 1500.0);
+    }
+
+    #[test]
+    fn warm_mask_is_faster_when_calibrated_so() {
+        let mut t = table();
+        t.insert(1, 8, 300.0);
+        t.insert(1, 32, 1200.0);
+        assert!(t.lookup(1, 16) < t.lookup(0, 16));
+        assert!(t.has_mask(1));
+        assert_eq!(t.masks(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid size must be positive")]
+    fn zero_grid_rejected() {
+        let t = table();
+        let _ = t.lookup(0, 0);
+    }
+}

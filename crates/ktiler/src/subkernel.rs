@@ -1,0 +1,308 @@
+//! Sub-kernels and schedules (Sec. III of the paper).
+//!
+//! A kernel `v` is split into sub-kernels that partition its block set; a
+//! *schedule* is a total order over all sub-kernels of the application. A
+//! valid schedule respects every block-level data dependency: a sub-kernel
+//! may launch only after all producer blocks of all its blocks have run in
+//! earlier launches.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use gpu_sim::BlockId;
+use kgraph::{AppGraph, NodeId};
+use trace::{BlockDepGraph, BlockRef};
+
+/// A sub-kernel: a subset of one kernel's blocks launched together.
+///
+/// # Examples
+///
+/// ```
+/// use kgraph::NodeId;
+/// use ktiler::SubKernel;
+/// let sk = SubKernel::new(NodeId(3), vec![4, 2, 2, 7]);
+/// assert_eq!(sk.blocks, vec![2, 4, 7]); // sorted, deduplicated
+/// assert_eq!(sk.grid_size(), 3);
+/// assert_eq!(SubKernel::full(NodeId(0), 4).blocks, vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubKernel {
+    /// The kernel node this sub-kernel belongs to.
+    pub node: NodeId,
+    /// The linear block ids this launch processes (sorted, unique).
+    pub blocks: Vec<BlockId>,
+}
+
+impl SubKernel {
+    /// Creates a sub-kernel; blocks are sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn new(node: NodeId, mut blocks: Vec<BlockId>) -> Self {
+        assert!(!blocks.is_empty(), "a sub-kernel needs at least one block");
+        blocks.sort_unstable();
+        blocks.dedup();
+        SubKernel { node, blocks }
+    }
+
+    /// The full (untiled) sub-kernel of a node with `num_blocks` blocks.
+    pub fn full(node: NodeId, num_blocks: u32) -> Self {
+        SubKernel::new(node, (0..num_blocks).collect())
+    }
+
+    /// Grid size of this launch.
+    pub fn grid_size(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+}
+
+impl fmt::Display for SubKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} blocks]", self.node, self.blocks.len())
+    }
+}
+
+/// A total order of sub-kernel launches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// Launches in execution order.
+    pub launches: Vec<SubKernel>,
+}
+
+/// Why a schedule failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A block appears in two launches, or twice in one.
+    DuplicateBlock(BlockRef),
+    /// A block's producer had not run when the block launched.
+    DependencyViolation {
+        /// The block whose dependency was violated.
+        consumer: BlockRef,
+        /// The producer block that had not yet executed.
+        producer: BlockRef,
+    },
+    /// A node's blocks are not fully covered by the schedule.
+    MissingBlocks {
+        /// The node with missing blocks.
+        node: NodeId,
+        /// How many blocks the schedule covers.
+        covered: u32,
+        /// How many blocks the node has.
+        expected: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::DuplicateBlock(b) => {
+                write!(f, "block {}/{} scheduled more than once", b.node, b.block)
+            }
+            ScheduleError::DependencyViolation { consumer, producer } => write!(
+                f,
+                "block {}/{} launched before its producer {}/{}",
+                consumer.node, consumer.block, producer.node, producer.block
+            ),
+            ScheduleError::MissingBlocks { node, covered, expected } => {
+                write!(f, "node {node} has {covered}/{expected} blocks scheduled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// The default (untiled) schedule: one full launch per node in
+    /// topological order — the paper's baseline execution mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has a cycle (callers analyze the graph first,
+    /// which already rejects cycles).
+    pub fn default_order(g: &AppGraph) -> Self {
+        let order = kgraph::topo_order(g).expect("application graph must be a DAG");
+        let launches = order
+            .into_iter()
+            .map(|id| SubKernel::full(id, g.node(id).num_blocks()))
+            .collect();
+        Schedule { launches }
+    }
+
+    /// Number of launches.
+    pub fn num_launches(&self) -> usize {
+        self.launches.len()
+    }
+
+    /// Number of launches that split a kernel (grid smaller than the
+    /// node's full grid).
+    pub fn num_tiled_launches(&self, g: &AppGraph) -> usize {
+        self.launches
+            .iter()
+            .filter(|s| s.grid_size() < g.node(s.node).num_blocks())
+            .count()
+    }
+
+    /// Validates the schedule against the application graph and the block
+    /// dependency graph: every block of every node appears exactly once,
+    /// and every dependency is satisfied by an earlier launch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, g: &AppGraph, deps: &BlockDepGraph) -> Result<(), ScheduleError> {
+        let mut done: HashSet<BlockRef> = HashSet::new();
+        for launch in &self.launches {
+            // Dependencies must be satisfied by strictly earlier launches.
+            for &b in &launch.blocks {
+                let r = BlockRef::new(launch.node.0, b);
+                for &p in deps.deps_of(r) {
+                    if !done.contains(&p) {
+                        return Err(ScheduleError::DependencyViolation {
+                            consumer: r,
+                            producer: p,
+                        });
+                    }
+                }
+            }
+            for &b in &launch.blocks {
+                let r = BlockRef::new(launch.node.0, b);
+                if !done.insert(r) {
+                    return Err(ScheduleError::DuplicateBlock(r));
+                }
+            }
+        }
+        for id in g.node_ids() {
+            let expected = g.node(id).num_blocks();
+            let covered =
+                (0..expected).filter(|&b| done.contains(&BlockRef::new(id.0, b))).count() as u32;
+            if covered != expected {
+                return Err(ScheduleError::MissingBlocks { node: id, covered, expected });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::DepGraphBuilder;
+
+    fn two_node_graph() -> AppGraph {
+        let mut mem = DeviceMemory::new();
+        let b = mem.alloc_f32(4, "b");
+        let mut g = AppGraph::new();
+        let a = g.add_htod(b, vec![]);
+        let c = g.add_dtoh(b);
+        g.add_edge(a, c, b);
+        g
+    }
+
+    /// Dep graph where node 1 block b depends on node 0 block b, 4 blocks.
+    fn elementwise_deps() -> BlockDepGraph {
+        let mut builder = DepGraphBuilder::new();
+        let mut rec = trace::TraceRecorder::new(128);
+        for b in 0..4u32 {
+            rec.begin_block(1);
+            rec.record(0, (b as u64) * 4, 4, trace::AccessKind::Store);
+            builder.visit_block(BlockRef::new(0, b), &rec.finish_block());
+        }
+        for b in 0..4u32 {
+            rec.begin_block(1);
+            rec.record(0, (b as u64) * 4, 4, trace::AccessKind::Load);
+            builder.visit_block(BlockRef::new(1, b), &rec.finish_block());
+        }
+        builder.finish()
+    }
+
+    #[test]
+    fn subkernel_normalizes_blocks() {
+        let s = SubKernel::new(NodeId(0), vec![3, 1, 1, 2]);
+        assert_eq!(s.blocks, vec![1, 2, 3]);
+        assert_eq!(s.grid_size(), 3);
+        assert_eq!(SubKernel::full(NodeId(1), 4).blocks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn default_order_launches_every_node_once() {
+        let g = two_node_graph();
+        let s = Schedule::default_order(&g);
+        assert_eq!(s.num_launches(), 2);
+        assert_eq!(s.launches[0].node, NodeId(0));
+        assert_eq!(s.num_tiled_launches(&g), 0);
+    }
+
+    #[test]
+    fn validate_accepts_interleaved_tiling() {
+        let deps = elementwise_deps();
+        // Fake a 2-node graph with 4 blocks each: reuse dep counts.
+        // Interleave: A{0,1}, B{0,1}, A{2,3}, B{2,3}.
+        let sched = Schedule {
+            launches: vec![
+                SubKernel::new(NodeId(0), vec![0, 1]),
+                SubKernel::new(NodeId(1), vec![0, 1]),
+                SubKernel::new(NodeId(0), vec![2, 3]),
+                SubKernel::new(NodeId(1), vec![2, 3]),
+            ],
+        };
+        // Graph check needs matching block counts; build a kernel-free
+        // stand-in via the dep graph only.
+        let mut done = std::collections::HashSet::new();
+        for l in &sched.launches {
+            for &b in &l.blocks {
+                let r = BlockRef::new(l.node.0, b);
+                for p in deps.deps_of(r) {
+                    assert!(done.contains(p), "dep violated");
+                }
+            }
+            for &b in &l.blocks {
+                done.insert(BlockRef::new(l.node.0, b));
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_consumer_before_producer() {
+        let deps = elementwise_deps();
+        let g = two_node_graph(); // 1 block per node, but deps say 4 — use raw check
+        let sched = Schedule {
+            launches: vec![
+                SubKernel::new(NodeId(1), vec![0]),
+                SubKernel::new(NodeId(0), vec![0]),
+            ],
+        };
+        let err = sched.validate(&g, &deps).unwrap_err();
+        assert!(matches!(err, ScheduleError::DependencyViolation { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_and_missing() {
+        let g = two_node_graph();
+        let deps = BlockDepGraph::default();
+        let dup = Schedule {
+            launches: vec![
+                SubKernel::new(NodeId(0), vec![0]),
+                SubKernel::new(NodeId(0), vec![0]),
+            ],
+        };
+        assert!(matches!(dup.validate(&g, &deps), Err(ScheduleError::DuplicateBlock(_))));
+        let missing = Schedule { launches: vec![SubKernel::new(NodeId(0), vec![0])] };
+        assert!(matches!(missing.validate(&g, &deps), Err(ScheduleError::MissingBlocks { .. })));
+    }
+
+    #[test]
+    fn default_order_is_valid() {
+        let g = two_node_graph();
+        let deps = BlockDepGraph::default();
+        assert!(Schedule::default_order(&g).validate(&g, &deps).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_subkernel_rejected() {
+        let _ = SubKernel::new(NodeId(0), vec![]);
+    }
+}

@@ -1,0 +1,568 @@
+//! Cluster tiling (Sec. IV-C2, Algorithm 2 — the `ClusterTile` heuristic).
+//!
+//! Given a cluster of kernels, the heuristic assigns blocks to sub-kernels
+//! in repeated rounds:
+//!
+//! * **bottom-up** — take the next unassigned block(s) of the cluster's
+//!   bottom (leaf) kernel(s) and pull in all their direct and indirect
+//!   dependencies within the cluster;
+//! * **top-down** — add every block whose in-cluster dependencies are
+//!   already covered by the group (its inputs will be served from cache);
+//! * **cache constraint** — if the group's memory footprint (distinct
+//!   cache lines, from the block analyzer) exceeds the L2 capacity, the
+//!   group is frozen: one sub-kernel per participating node is emitted (in
+//!   topological order) and a new group starts.
+//!
+//! Non-tileable nodes are *atomic*: if any of their blocks joins a group,
+//! all of them do — reproducing the paper's pessimistic kernel-level
+//! handling of kernels that fail the tiling conditions.
+
+use std::collections::HashMap;
+
+use gpu_sim::BlockId;
+use kgraph::{AppGraph, GraphTrace, NodeId};
+use trace::{BlockRef, FootprintSet};
+
+use crate::calibrate::Calibration;
+use crate::subkernel::SubKernel;
+
+/// The tiling sequence of one cluster, plus its estimated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterTiling {
+    /// Sub-kernel launches in execution order.
+    pub launches: Vec<SubKernel>,
+    /// Estimated execution time of the sequence in nanoseconds (performance
+    /// tables plus the configured per-launch gap cost).
+    pub cost_ns: f64,
+}
+
+/// How `CheckCacheConst` decides whether a group still "fits".
+///
+/// The paper uses the memory footprint as a proxy for cache performance
+/// and argues an exact cache analysis "is not an efficient alternative"
+/// (Sec. IV-C2). Both options are provided so the claim can be evaluated
+/// (`ablation_exact_cache`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CacheConstraint {
+    /// The paper's choice: distinct-line footprint ≤ capacity.
+    Footprint,
+    /// Exact feedback: simulate the group's transactions through a real
+    /// set-associative cache model (same geometry as the device) and
+    /// require the *reuse* hit rate — hits among non-cold accesses — to
+    /// stay at or above the given fraction. Far more expensive: the
+    /// simulation is re-run from scratch on every growth step.
+    SimulatedHitRate {
+        /// Minimum acceptable reuse hit rate in `[0, 1]`.
+        min_reuse_hit: f64,
+        /// Associativity of the modeled cache.
+        ways: u32,
+    },
+}
+
+/// Cost-model and capacity parameters of the tiling pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileParams {
+    /// Cache capacity the group footprint must fit in (the L2 size).
+    pub cache_bytes: u64,
+    /// Cache line size (footprints count distinct lines).
+    pub line_bytes: u64,
+    /// Cost charged per launch for the inter-launch gap in the estimate.
+    /// Zero reproduces the paper's pure kernel-time cost model.
+    pub ig_cost_ns: f64,
+    /// Constraint policy (the paper's footprint proxy by default).
+    pub constraint: CacheConstraint,
+}
+
+impl TileParams {
+    /// The paper's configuration for a given device: footprint ≤ L2.
+    pub fn paper(cache_bytes: u64, line_bytes: u64, ig_cost_ns: f64) -> Self {
+        TileParams { cache_bytes, line_bytes, ig_cost_ns, constraint: CacheConstraint::Footprint }
+    }
+}
+
+/// Per-node bookkeeping during tiling.
+struct NodeState {
+    num_blocks: u32,
+    atomic: bool,
+    /// Blocks already emitted into sub-kernels.
+    assigned: Vec<bool>,
+    /// Blocks in the current group (`toBeAssigned ∪ newSubKBlks`).
+    in_group: Vec<bool>,
+    /// Current group blocks in addition order.
+    group: Vec<BlockId>,
+    /// Prefix of `group` that passed the cache check (`newSubKBlks`).
+    valid_len: usize,
+    /// Scan cursor for bottom-up selection.
+    cursor: u32,
+}
+
+impl NodeState {
+    fn next_selectable(&mut self) -> Option<BlockId> {
+        while self.cursor < self.num_blocks {
+            let b = self.cursor as usize;
+            if !self.assigned[b] && !self.in_group[b] {
+                return Some(self.cursor);
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+}
+
+/// Tiles one cluster. Returns `None` when the cluster cannot be tiled
+/// (some minimal dependency-closed group already exceeds the cache — the
+/// paper's "return COi ← inf").
+///
+/// `members` must be the sorted node list of a connected, valid cluster.
+pub fn cluster_tile(
+    members: &[NodeId],
+    g: &AppGraph,
+    gt: &GraphTrace,
+    cal: &Calibration,
+    params: &TileParams,
+) -> Option<ClusterTiling> {
+    let in_cluster: Vec<bool> = {
+        let mut v = vec![false; g.num_nodes()];
+        for m in members {
+            v[m.0 as usize] = true;
+        }
+        v
+    };
+    // Topological order of cluster members (the analysis order restricted
+    // to the cluster).
+    let topo: Vec<NodeId> =
+        gt.order.iter().copied().filter(|n| in_cluster[n.0 as usize]).collect();
+    // Bottom kernels: members with no successors inside the cluster.
+    let bottoms: Vec<NodeId> = members
+        .iter()
+        .copied()
+        .filter(|&m| g.successors(m).all(|(_, s)| !in_cluster[s.0 as usize]))
+        .collect();
+
+    let mut states: HashMap<u32, NodeState> = members
+        .iter()
+        .map(|&m| {
+            let n = g.node(m).num_blocks();
+            (
+                m.0,
+                NodeState {
+                    num_blocks: n,
+                    atomic: !g.node(m).tileable(),
+                    assigned: vec![false; n as usize],
+                    in_group: vec![false; n as usize],
+                    group: Vec::new(),
+                    valid_len: 0,
+                    cursor: 0,
+                },
+            )
+        })
+        .collect();
+    let total_blocks: u64 = states.values().map(|s| s.num_blocks as u64).sum();
+    let mut assigned_total = 0u64;
+
+    let mut footprint = FootprintSet::new(params.line_bytes);
+    let mut launches: Vec<SubKernel> = Vec::new();
+    let mut cost_ns = 0.0f64;
+
+    // Adds a block and, transitively, its in-cluster dependencies (and the
+    // full block set of any atomic node touched). Returns the refs added.
+    let add_with_deps = |states: &mut HashMap<u32, NodeState>,
+                         pending: &mut Vec<BlockRef>,
+                         added: &mut Vec<BlockRef>| {
+        while let Some(r) = pending.pop() {
+            let st = states.get_mut(&r.node).expect("dep inside cluster");
+            let b = r.block as usize;
+            if st.assigned[b] || st.in_group[b] {
+                continue;
+            }
+            if st.atomic {
+                // Non-tileable node: take every block, and — because its
+                // block-level dependencies may be input-dependent (that is
+                // why it is non-tileable) — fall back to the paper's
+                // pessimistic kernel-level dependency: pull ALL blocks of
+                // every in-cluster predecessor node. This keeps generated
+                // schedules valid for any input of the same size.
+                let all: Vec<BlockRef> = (0..st.num_blocks)
+                    .filter(|&x| !st.assigned[x as usize] && !st.in_group[x as usize])
+                    .map(|x| BlockRef::new(r.node, x))
+                    .collect();
+                for x in &all {
+                    let xb = x.block as usize;
+                    st.in_group[xb] = true;
+                    st.group.push(x.block);
+                    added.push(*x);
+                }
+                for (_, p) in g.predecessors(NodeId(r.node)) {
+                    if in_cluster[p.0 as usize] {
+                        let pn = g.node(p).num_blocks();
+                        for pb in 0..pn {
+                            pending.push(BlockRef::new(p.0, pb));
+                        }
+                    }
+                }
+            } else {
+                st.in_group[b] = true;
+                st.group.push(r.block);
+                added.push(r);
+                for &p in gt.deps.deps_of(r) {
+                    if in_cluster[p.node as usize] {
+                        pending.push(p);
+                    }
+                }
+            }
+        }
+    };
+
+    // Whether a block's in-cluster dependencies are covered by the group.
+    let covered = |states: &HashMap<u32, NodeState>, r: BlockRef| {
+        gt.deps.deps_of(r).iter().all(|p| {
+            if !in_cluster[p.node as usize] {
+                return true;
+            }
+            let st = &states[&p.node];
+            st.assigned[p.block as usize] || st.in_group[p.block as usize]
+        })
+    };
+
+    // Flushes the validated prefix of the current group into sub-kernels.
+    // Returns false if nothing could be flushed (untileable).
+    let flush = |states: &mut HashMap<u32, NodeState>,
+                 footprint: &mut FootprintSet,
+                 launches: &mut Vec<SubKernel>,
+                 cost_ns: &mut f64,
+                 assigned_total: &mut u64|
+     -> bool {
+        let mut any = false;
+        for &v in &topo {
+            let st = states.get_mut(&v.0).expect("topo member");
+            if st.valid_len == 0 {
+                // Discard unvalidated additions.
+                for &b in &st.group {
+                    st.in_group[b as usize] = false;
+                }
+                st.group.clear();
+                st.cursor = 0;
+                continue;
+            }
+            let blocks: Vec<BlockId> = st.group[..st.valid_len].to_vec();
+            for &b in &st.group[st.valid_len..] {
+                st.in_group[b as usize] = false;
+            }
+            for &b in &blocks {
+                st.assigned[b as usize] = true;
+                st.in_group[b as usize] = false;
+            }
+            *assigned_total += blocks.len() as u64;
+            let grid = blocks.len() as u32;
+            let mask = cal.pred_mask(v, |p| in_cluster[p.0 as usize]);
+            *cost_ns += cal.estimate(v, mask, grid) + params.ig_cost_ns;
+            launches.push(SubKernel::new(v, blocks));
+            st.group.clear();
+            st.valid_len = 0;
+            st.cursor = 0;
+            any = true;
+        }
+        footprint.clear();
+        any
+    };
+
+    while assigned_total < total_blocks {
+        let mut pending: Vec<BlockRef> = Vec::new();
+        let mut added: Vec<BlockRef> = Vec::new();
+
+        // Bottom-up round: next block of each bottom kernel.
+        for &bn in &bottoms {
+            if let Some(b) = states.get_mut(&bn.0).expect("bottom member").next_selectable() {
+                pending.push(BlockRef::new(bn.0, b));
+            }
+        }
+        if pending.is_empty() {
+            // Leftover sweep: blocks never demanded by a bottom kernel.
+            'sweep: for &v in &topo {
+                if let Some(b) = states.get_mut(&v.0).expect("member").next_selectable() {
+                    pending.push(BlockRef::new(v.0, b));
+                    break 'sweep;
+                }
+            }
+        }
+        if pending.is_empty() {
+            // Everything is in the group: final flush.
+            for st in states.values_mut() {
+                st.valid_len = st.group.len();
+            }
+            if !flush(&mut states, &mut footprint, &mut launches, &mut cost_ns, &mut assigned_total)
+            {
+                return None;
+            }
+            continue;
+        }
+        add_with_deps(&mut states, &mut pending, &mut added);
+
+        // Top-down round: cascade blocks whose dependencies are covered.
+        let mut frontier: Vec<BlockRef> = added.clone();
+        while !frontier.is_empty() {
+            let mut candidates: Vec<BlockRef> = frontier
+                .iter()
+                .flat_map(|&r| gt.deps.consumers_of(r).iter().copied())
+                .filter(|c| in_cluster[c.node as usize])
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            let mut pending2: Vec<BlockRef> = Vec::new();
+            for c in candidates {
+                let st = &states[&c.node];
+                if st.assigned[c.block as usize] || st.in_group[c.block as usize] {
+                    continue;
+                }
+                let ready = if st.atomic {
+                    // Kernel-level pessimism: every block of every
+                    // in-cluster predecessor must be in the group.
+                    g.predecessors(NodeId(c.node)).all(|(_, p)| {
+                        !in_cluster[p.0 as usize] || {
+                            let ps = &states[&p.0];
+                            (0..ps.num_blocks as usize)
+                                .all(|b| ps.assigned[b] || ps.in_group[b])
+                        }
+                    })
+                } else {
+                    covered(&states, c)
+                };
+                if ready {
+                    pending2.push(c);
+                }
+            }
+            let mark = added.len();
+            add_with_deps(&mut states, &mut pending2, &mut added);
+            frontier = added[mark..].to_vec();
+        }
+
+        // Cache-size constraint (CheckCacheConst).
+        let cp = footprint.checkpoint();
+        for r in &added {
+            footprint.add_block(&gt.node(NodeId(r.node)).blocks[r.block as usize]);
+        }
+        let fits = match params.constraint {
+            CacheConstraint::Footprint => footprint.fits(params.cache_bytes),
+            CacheConstraint::SimulatedHitRate { min_reuse_hit, ways } => simulated_reuse_ok(
+                &states,
+                &topo,
+                gt,
+                params,
+                ways,
+                min_reuse_hit,
+            ),
+        };
+        if fits {
+            for st in states.values_mut() {
+                st.valid_len = st.group.len();
+            }
+        } else {
+            footprint.rollback(cp);
+            if !flush(&mut states, &mut footprint, &mut launches, &mut cost_ns, &mut assigned_total)
+            {
+                return None;
+            }
+        }
+    }
+
+    Some(ClusterTiling { launches, cost_ns })
+}
+
+/// Exact-cache feedback for [`CacheConstraint::SimulatedHitRate`]: replay
+/// the current group's transactions (in cluster topological order, warps
+/// round-robin per node) through a fresh cache of the device's geometry
+/// and check that the group's *reuse* accesses — those whose line was
+/// touched before within the group — hit at the required rate. A group
+/// whose intermediate data stops fitting starts evicting its own reuse
+/// lines, which this detects directly.
+fn simulated_reuse_ok(
+    states: &HashMap<u32, NodeState>,
+    topo: &[NodeId],
+    gt: &GraphTrace,
+    params: &TileParams,
+    ways: u32,
+    min_reuse_hit: f64,
+) -> bool {
+    let cfg = gpu_sim::CacheConfig::new(params.cache_bytes, ways, params.line_bytes);
+    let mut cache = gpu_sim::L2Cache::new(cfg);
+    let mut first_touch: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut reuse_hits = 0u64;
+    let mut reuse_total = 0u64;
+    for &v in topo {
+        let st = &states[&v.0];
+        let nt = gt.node(v);
+        for &b in &st.group {
+            for warp in &nt.blocks[b as usize].work.warps {
+                for t in &warp.txns {
+                    let cold = first_touch.insert(t.line);
+                    let hit = cache.access_line(t.line, t.write).is_hit();
+                    if !cold {
+                        reuse_total += 1;
+                        if hit {
+                            reuse_hits += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    reuse_total == 0 || (reuse_hits as f64 / reuse_total as f64) >= min_reuse_hit
+}
+
+/// The trivial tiling of a single-node cluster: one full launch. Its cost
+/// is the node's default execution time plus the per-launch gap cost.
+pub fn singleton_tiling(
+    node: NodeId,
+    g: &AppGraph,
+    cal: &Calibration,
+    params: &TileParams,
+) -> ClusterTiling {
+    ClusterTiling {
+        launches: vec![SubKernel::full(node, g.node(node).num_blocks())],
+        cost_ns: cal.default_times[node.0 as usize] + params.ig_cost_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::{calibrate, CalibrationConfig};
+    use crate::subkernel::Schedule;
+    use gpu_sim::{BlockIdx, Buffer, DeviceMemory, Dim3, FreqConfig, GpuConfig, LaunchDims};
+    use kgraph::{analyze, Kernel};
+    use trace::ExecCtx;
+
+    /// Streaming elementwise kernel: dst[i] = f(src[i]).
+    struct Map {
+        src: Buffer,
+        dst: Buffer,
+        n: u32,
+    }
+
+    impl Kernel for Map {
+        fn label(&self) -> String {
+            "map".into()
+        }
+        fn dims(&self) -> LaunchDims {
+            LaunchDims::new(Dim3::linear(self.n.div_ceil(256)), Dim3::linear(256))
+        }
+        fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+            for tid in 0..256 {
+                let gid = block.x as u64 * 256 + tid as u64;
+                if gid < self.n as u64 {
+                    let v = ctx.ld_f32(self.src, gid, tid);
+                    ctx.st_f32(self.dst, gid, v + 1.0, tid);
+                    ctx.compute(tid, 2);
+                }
+            }
+        }
+        fn signature(&self) -> Option<String> {
+            Some(format!("map:{}:{}:{}", self.src.addr, self.dst.addr, self.n))
+        }
+    }
+
+    /// Two chained streaming kernels over `n` f32 elements.
+    fn chain(n: u32) -> (kgraph::AppGraph, GraphTrace, Calibration, GpuConfig) {
+        let mut mem = DeviceMemory::new();
+        let b0 = mem.alloc_f32(n as u64, "b0");
+        let b1 = mem.alloc_f32(n as u64, "b1");
+        let b2 = mem.alloc_f32(n as u64, "b2");
+        let mut g = kgraph::AppGraph::new();
+        let k1 = g.add_kernel(Box::new(Map { src: b0, dst: b1, n }));
+        let k2 = g.add_kernel(Box::new(Map { src: b1, dst: b2, n }));
+        g.add_edge(k1, k2, b1);
+        let gt = analyze(&g, &mut mem, 128).unwrap();
+        let cfg = GpuConfig::gtx960m();
+        let cal = calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+        (g, gt, cal, cfg)
+    }
+
+    fn params(cfg: &GpuConfig) -> TileParams {
+        TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0)
+    }
+
+    #[test]
+    fn small_cluster_fits_in_one_group() {
+        // 64 KiB of data: everything fits in the 2 MiB cache, so the tiling
+        // degenerates to one sub-kernel per node.
+        let (g, gt, cal, cfg) = chain(16 * 1024);
+        let t = cluster_tile(&[kgraph::NodeId(0), kgraph::NodeId(1)], &g, &gt, &cal, &params(&cfg))
+            .expect("tileable");
+        assert_eq!(t.launches.len(), 2);
+        assert_eq!(t.launches[0].node, kgraph::NodeId(0));
+        assert_eq!(t.launches[0].grid_size(), g.node(kgraph::NodeId(0)).num_blocks());
+    }
+
+    #[test]
+    fn large_cluster_splits_into_interleaved_subkernels() {
+        // 3 buffers x 4 MiB = 12 MiB >> 2 MiB cache: must tile.
+        let (g, gt, cal, cfg) = chain(1024 * 1024);
+        let t = cluster_tile(&[kgraph::NodeId(0), kgraph::NodeId(1)], &g, &gt, &cal, &params(&cfg))
+            .expect("tileable");
+        assert!(t.launches.len() > 2, "expected tiling, got {} launches", t.launches.len());
+        // Launch order interleaves producer and consumer.
+        let first_consumer =
+            t.launches.iter().position(|s| s.node == kgraph::NodeId(1)).unwrap();
+        let last_producer =
+            t.launches.iter().rposition(|s| s.node == kgraph::NodeId(0)).unwrap();
+        assert!(
+            first_consumer < last_producer,
+            "consumer sub-kernels must interleave with producer's"
+        );
+        // The tiling, wrapped as a schedule, must be dependency-valid.
+        let sched = Schedule { launches: t.launches.clone() };
+        sched.validate(&g, &gt.deps).unwrap();
+    }
+
+    #[test]
+    fn tiled_cost_estimate_reflects_cache_benefit() {
+        let (g, gt, cal, cfg) = chain(1024 * 1024);
+        let p = params(&cfg);
+        let tiled =
+            cluster_tile(&[kgraph::NodeId(0), kgraph::NodeId(1)], &g, &gt, &cal, &p).unwrap();
+        let untiled = cal.default_times[0] + cal.default_times[1];
+        assert!(
+            tiled.cost_ns < untiled,
+            "tiled estimate {} should beat default {}",
+            tiled.cost_ns,
+            untiled
+        );
+    }
+
+    #[test]
+    fn singleton_tiling_is_one_full_launch() {
+        let (g, _, cal, cfg) = chain(4096);
+        let t = singleton_tiling(kgraph::NodeId(0), &g, &cal, &params(&cfg));
+        assert_eq!(t.launches.len(), 1);
+        assert_eq!(t.launches[0].grid_size(), g.node(kgraph::NodeId(0)).num_blocks());
+        assert!(t.cost_ns > 0.0);
+    }
+
+    #[test]
+    fn exact_cache_constraint_also_tiles() {
+        let (g, gt, cal, cfg) = chain(1024 * 1024);
+        let mut p = params(&cfg);
+        p.constraint = crate::tile::CacheConstraint::SimulatedHitRate {
+            min_reuse_hit: 0.9,
+            ways: cfg.cache.ways,
+        };
+        let t = cluster_tile(&[kgraph::NodeId(0), kgraph::NodeId(1)], &g, &gt, &cal, &p)
+            .expect("tileable under exact feedback");
+        assert!(t.launches.len() > 2, "exact feedback must also split: {}", t.launches.len());
+        let sched = Schedule { launches: t.launches };
+        sched.validate(&g, &gt.deps).unwrap();
+    }
+
+    #[test]
+    fn ig_cost_charges_per_launch() {
+        let (g, gt, cal, cfg) = chain(1024 * 1024);
+        let p0 = params(&cfg);
+        let p1 = TileParams { ig_cost_ns: 10_000.0, ..p0 };
+        let t0 = cluster_tile(&[kgraph::NodeId(0), kgraph::NodeId(1)], &g, &gt, &cal, &p0).unwrap();
+        let t1 = cluster_tile(&[kgraph::NodeId(0), kgraph::NodeId(1)], &g, &gt, &cal, &p1).unwrap();
+        assert_eq!(t0.launches.len(), t1.launches.len());
+        let diff = t1.cost_ns - t0.cost_ns;
+        let expect = 10_000.0 * t0.launches.len() as f64;
+        assert!((diff - expect).abs() < 1e-6, "diff {diff} vs {expect}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Execution timelines — the analog of the NVIDIA Timeline View.
+//!
+//! The paper measures the inter-launch gap with the profiler's timeline
+//! ("To measure and then exclude the IG, we use the NVIDIA Timeline View
+//! tool", Sec. V). [`execute_with_timeline`] records the same view for a
+//! simulated run: every kernel launch, DMA transfer and gap with its start
+//! time and duration. The timeline can be exported as a Chrome trace
+//! (`chrome://tracing` / Perfetto JSON) for visual inspection, and its gap
+//! total is exactly what the paper's "KTILER w/o IG" mode subtracts.
+
+use gpu_sim::Engine;
+use kgraph::{AppGraph, GraphTrace};
+
+use crate::executor::{launch_subkernel, RunReport};
+use crate::subkernel::Schedule;
+
+/// What a timeline slice represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceKind {
+    /// A kernel (sub-kernel) launch.
+    Kernel,
+    /// A host↔device transfer.
+    Dma,
+    /// Idle time between launches (the IG).
+    Gap,
+}
+
+/// One slice of the execution timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slice {
+    /// Display name (node label plus grid size, or `gap`).
+    pub name: String,
+    /// Slice kind.
+    pub kind: SliceKind,
+    /// Start time in nanoseconds from the beginning of the run.
+    pub start_ns: f64,
+    /// Duration in nanoseconds.
+    pub dur_ns: f64,
+}
+
+/// A recorded execution timeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// Slices in chronological order.
+    pub slices: Vec<Slice>,
+}
+
+impl Timeline {
+    /// Total idle time spent in gaps.
+    pub fn total_gap_ns(&self) -> f64 {
+        self.slices.iter().filter(|s| s.kind == SliceKind::Gap).map(|s| s.dur_ns).sum()
+    }
+
+    /// Total busy (kernel + DMA) time.
+    pub fn total_busy_ns(&self) -> f64 {
+        self.slices.iter().filter(|s| s.kind != SliceKind::Gap).map(|s| s.dur_ns).sum()
+    }
+
+    /// End time of the last slice (the run's duration).
+    pub fn end_ns(&self) -> f64 {
+        self.slices.last().map_or(0.0, |s| s.start_ns + s.dur_ns)
+    }
+
+    /// Exports the timeline as Chrome trace-event JSON (open in
+    /// `chrome://tracing` or Perfetto). Timestamps are in microseconds as
+    /// the format requires.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ktiler::{Slice, SliceKind, Timeline};
+    /// let tl = Timeline {
+    ///     slices: vec![Slice {
+    ///         name: "JI[64]".into(),
+    ///         kind: SliceKind::Kernel,
+    ///         start_ns: 0.0,
+    ///         dur_ns: 1500.0,
+    ///     }],
+    /// };
+    /// let json = tl.to_chrome_trace();
+    /// assert!(json.contains("\"cat\": \"kernel\""));
+    /// ```
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, s) in self.slices.iter().enumerate() {
+            let cat = match s.kind {
+                SliceKind::Kernel => "kernel",
+                SliceKind::Dma => "dma",
+                SliceKind::Gap => "gap",
+            };
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \
+                 \"dur\": {:.3}, \"pid\": 1, \"tid\": 1}}{}\n",
+                s.name.replace('"', "'"),
+                cat,
+                s.start_ns / 1000.0,
+                s.dur_ns / 1000.0,
+                if i + 1 == self.slices.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// Executes a schedule on an existing engine while recording the timeline.
+///
+/// Returns the run report (identical to [`crate::execute_on`]) plus the
+/// recorded timeline.
+pub fn execute_with_timeline(
+    engine: &mut Engine,
+    sched: &Schedule,
+    g: &AppGraph,
+    gt: &GraphTrace,
+) -> (RunReport, Timeline) {
+    let run_start = engine.time_ns();
+    let c0 = *engine.counters();
+    let mut timeline = Timeline::default();
+    let mut gap_seen = c0.inter_launch_gap_ns;
+
+    for sk in &sched.launches {
+        let before = engine.time_ns();
+        let dur = launch_subkernel(engine, g, gt, sk);
+        // Any gap the engine charged shows up before the operation.
+        let gap_now = engine.counters().inter_launch_gap_ns;
+        let gap = gap_now - gap_seen;
+        gap_seen = gap_now;
+        if gap > 0.0 {
+            timeline.slices.push(Slice {
+                name: "gap".into(),
+                kind: SliceKind::Gap,
+                start_ns: before - run_start,
+                dur_ns: gap,
+            });
+        }
+        let node = g.node(sk.node);
+        let kind = if matches!(node.op, kgraph::NodeOp::Kernel(_)) {
+            SliceKind::Kernel
+        } else {
+            SliceKind::Dma
+        };
+        timeline.slices.push(Slice {
+            name: format!("{}[{}]", node.label, sk.grid_size()),
+            kind,
+            start_ns: before - run_start + gap,
+            dur_ns: dur,
+        });
+    }
+
+    let c1 = engine.counters();
+    let mut stats = c1.totals;
+    stats.time_ns -= c0.totals.time_ns;
+    stats.blocks -= c0.totals.blocks;
+    stats.waves -= c0.totals.waves;
+    stats.l2_hits -= c0.totals.l2_hits;
+    stats.l2_misses -= c0.totals.l2_misses;
+    stats.l2_read_hits -= c0.totals.l2_read_hits;
+    stats.l2_read_misses -= c0.totals.l2_read_misses;
+    stats.l1_hits -= c0.totals.l1_hits;
+    stats.dram_bytes -= c0.totals.dram_bytes;
+    stats.issued_cycles -= c0.totals.issued_cycles;
+    stats.active_cycles -= c0.totals.active_cycles;
+    stats.mem_stall_cycles -= c0.totals.mem_stall_cycles;
+    stats.other_stall_cycles -= c0.totals.other_stall_cycles;
+    let report = RunReport {
+        total_ns: engine.time_ns() - run_start,
+        kernel_ns: stats.time_ns,
+        ig_ns: c1.inter_launch_gap_ns - c0.inter_launch_gap_ns,
+        dma_ns: c1.dma_ns - c0.dma_ns,
+        launches: c1.launches - c0.launches,
+        stats,
+    };
+    (report, timeline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{BlockIdx, Buffer, DeviceMemory, Dim3, FreqConfig, GpuConfig, LaunchDims};
+    use kgraph::{analyze, Kernel};
+    use trace::ExecCtx;
+
+    struct Map {
+        src: Buffer,
+        dst: Buffer,
+        n: u32,
+    }
+
+    impl Kernel for Map {
+        fn label(&self) -> String {
+            "map".into()
+        }
+        fn dims(&self) -> LaunchDims {
+            LaunchDims::new(Dim3::linear(self.n.div_ceil(256)), Dim3::linear(256))
+        }
+        fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+            for tid in 0..256 {
+                let gid = block.x as u64 * 256 + tid as u64;
+                if gid < self.n as u64 {
+                    let v = ctx.ld_f32(self.src, gid, tid);
+                    ctx.st_f32(self.dst, gid, v + 1.0, tid);
+                    ctx.compute(tid, 2);
+                }
+            }
+        }
+    }
+
+    fn setup() -> (kgraph::AppGraph, kgraph::GraphTrace) {
+        let mut mem = DeviceMemory::new();
+        let b0 = mem.alloc_f32(65536, "b0");
+        let b1 = mem.alloc_f32(65536, "b1");
+        let b2 = mem.alloc_f32(65536, "b2");
+        let mut g = kgraph::AppGraph::new();
+        let h = g.add_htod(b0, vec![0u8; 1024]);
+        let k1 = g.add_kernel(Box::new(Map { src: b0, dst: b1, n: 65536 }));
+        let k2 = g.add_kernel(Box::new(Map { src: b1, dst: b2, n: 65536 }));
+        g.add_edge(h, k1, b0);
+        g.add_edge(k1, k2, b1);
+        let gt = analyze(&g, &mut mem, 128).unwrap();
+        (g, gt)
+    }
+
+    #[test]
+    fn timeline_accounts_for_every_nanosecond() {
+        let (g, gt) = setup();
+        let sched = Schedule::default_order(&g);
+        let mut eng = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
+        let (report, tl) = execute_with_timeline(&mut eng, &sched, &g, &gt);
+        assert!((tl.end_ns() - report.total_ns).abs() < 1e-6);
+        assert!((tl.total_gap_ns() - report.ig_ns).abs() < 1e-6);
+        assert!((tl.total_busy_ns() - (report.kernel_ns + report.dma_ns)).abs() < 1e-6);
+        // Slices are chronological and non-overlapping.
+        for w in tl.slices.windows(2) {
+            assert!(w[1].start_ns >= w[0].start_ns + w[0].dur_ns - 1e-9);
+        }
+    }
+
+    #[test]
+    fn gap_subtraction_equals_no_ig_execution() {
+        // The paper's methodology: measure with the timeline, subtract the
+        // gaps, and the result matches an execution with the IG removed.
+        let (g, gt) = setup();
+        let sched = Schedule::default_order(&g);
+        let mut eng = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
+        let (with_ig, tl) = execute_with_timeline(&mut eng, &sched, &g, &gt);
+        let no_ig = crate::executor::execute_schedule(
+            &sched,
+            &g,
+            &gt,
+            &GpuConfig::gtx960m(),
+            FreqConfig::default(),
+            Some(0.0),
+        );
+        let subtracted = with_ig.total_ns - tl.total_gap_ns();
+        assert!(
+            (subtracted - no_ig.total_ns).abs() < 1e-6,
+            "timeline subtraction {subtracted} vs w/o-IG run {}",
+            no_ig.total_ns
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let (g, gt) = setup();
+        let sched = Schedule::default_order(&g);
+        let mut eng = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
+        let (_, tl) = execute_with_timeline(&mut eng, &sched, &g, &gt);
+        let json = tl.to_chrome_trace();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), tl.slices.len());
+        assert!(json.contains("\"cat\": \"kernel\""));
+        assert!(json.contains("\"cat\": \"dma\""));
+        assert!(json.contains("\"cat\": \"gap\""));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn streamed_engine_shows_fewer_gaps() {
+        let (g, gt) = setup();
+        let sched = Schedule::default_order(&g);
+        let mut serial = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
+        let (_, tl_serial) = execute_with_timeline(&mut serial, &sched, &g, &gt);
+        let mut streamed = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
+        streamed.set_streamed(true);
+        let (_, tl_streamed) = execute_with_timeline(&mut streamed, &sched, &g, &gt);
+        assert!(tl_streamed.total_gap_ns() < tl_serial.total_gap_ns());
+    }
+}

@@ -1,0 +1,267 @@
+//! The multigrid V-cycle as a kernel graph.
+//!
+//! Each V-cycle unrolls into a chain of kernels per level — pre-smoothing
+//! sweeps (`SM`, ping-pong), residual (`RES`), restriction (`DS`, shared
+//! with the image zoo), the recursive coarse solve, prolongation (`US`),
+//! correction (`AD`) and post-smoothing — yielding a deep, multi-rate DAG
+//! that is structurally different from the optical-flow pyramid and an
+//! equally good KTILER target: every kernel is a memory-bound stencil or
+//! transfer with input-independent block dependencies.
+
+use gpu_sim::{Buffer, BufferId, DeviceMemory};
+use kernels::image::{AddField, Downscale};
+use kernels::pde::{PoissonSmooth, Prolong, Residual};
+use kgraph::{AppGraph, NodeId};
+use std::collections::HashMap;
+
+use crate::reference::{Grid, MgParams};
+
+/// A built multigrid application.
+#[derive(Debug)]
+pub struct MultigridApp {
+    /// The kernel graph.
+    pub graph: AppGraph,
+    /// Device memory with all buffers allocated.
+    pub mem: DeviceMemory,
+    /// The buffer holding the final iterate after all V-cycles.
+    pub u_out: Buffer,
+    /// The smoothing nodes (the bulk of the runtime, the tiling targets).
+    pub smooth_nodes: Vec<NodeId>,
+    /// Parameters used.
+    pub params: MgParams,
+}
+
+struct Level {
+    w: u32,
+    h: u32,
+    h2: f32,
+    ua: Buffer,
+    ub: Buffer,
+    f: Buffer,
+    r: Buffer,
+    /// Prolonged child error lands here (absent on the coarsest level).
+    pe: Option<Buffer>,
+}
+
+struct Builder {
+    graph: AppGraph,
+    producer: HashMap<BufferId, NodeId>,
+    /// Nodes that read each buffer since its last write. A new write must
+    /// be ordered after them (write-after-read), and after the previous
+    /// writer (write-after-write): the RAW-only dependency model would
+    /// otherwise let a topological execution re-zero a reused buffer while
+    /// an earlier cycle still reads it.
+    readers: HashMap<BufferId, Vec<NodeId>>,
+    smooth_nodes: Vec<NodeId>,
+}
+
+impl Builder {
+    fn order_write_after_hazards(&mut self, id: NodeId, w: &Buffer) {
+        for r in self.readers.remove(&w.id).unwrap_or_default() {
+            if r != id {
+                self.graph.add_edge(r, id, *w);
+            }
+        }
+        if let Some(&prev) = self.producer.get(&w.id) {
+            if prev != id {
+                self.graph.add_edge(prev, id, *w);
+            }
+        }
+    }
+
+    fn kernel(
+        &mut self,
+        kernel: Box<dyn kgraph::Kernel>,
+        reads: &[Buffer],
+        writes: &[Buffer],
+    ) -> NodeId {
+        let id = self.graph.add_kernel(kernel);
+        for r in reads {
+            if let Some(&p) = self.producer.get(&r.id) {
+                self.graph.add_edge(p, id, *r);
+            }
+            self.readers.entry(r.id).or_default().push(id);
+        }
+        for w in writes {
+            self.order_write_after_hazards(id, w);
+            self.producer.insert(w.id, id);
+        }
+        id
+    }
+
+    fn zero_upload(&mut self, buf: Buffer) {
+        let id = self.graph.add_htod(buf, vec![0u8; buf.len as usize]);
+        self.order_write_after_hazards(id, &buf);
+        self.producer.insert(buf.id, id);
+    }
+}
+
+/// Emits the kernels of one V-cycle at `level`; `cur` is the buffer
+/// currently holding the iterate. Returns the buffer holding it after.
+fn emit_vcycle(b: &mut Builder, levels: &[Level], level: usize, cur: Buffer, p: &MgParams) -> Buffer {
+    let lv = &levels[level];
+    let mut cur = cur;
+    let emit_smooth = |b: &mut Builder, cur: &mut Buffer, sweeps: u32| {
+        for _ in 0..sweeps {
+            let next = if cur.id == lv.ua.id { lv.ub } else { lv.ua };
+            let k = PoissonSmooth::new(*cur, lv.f, next, lv.w, lv.h, lv.h2, p.omega);
+            let id = b.kernel(Box::new(k), &[*cur, lv.f], &[next]);
+            b.smooth_nodes.push(id);
+            *cur = next;
+        }
+    };
+
+    if level + 1 == levels.len() {
+        emit_smooth(b, &mut cur, p.nu_coarse);
+        return cur;
+    }
+
+    emit_smooth(b, &mut cur, p.nu1);
+
+    // Residual and restriction to the coarse RHS.
+    let res = Residual::new(cur, lv.f, lv.r, lv.w, lv.h, lv.h2);
+    b.kernel(Box::new(res), &[cur, lv.f], &[lv.r]);
+    let coarse = &levels[level + 1];
+    let ds = Downscale::new(lv.r, coarse.f, lv.w, lv.h);
+    b.kernel(Box::new(ds), &[lv.r], &[coarse.f]);
+
+    // Coarse solve on the error equation, from a zero initial guess.
+    b.zero_upload(coarse.ua);
+    let e_coarse = emit_vcycle(b, levels, level + 1, coarse.ua, p);
+
+    // Prolong and correct.
+    let pe = lv.pe.expect("non-coarsest levels have a prolongation buffer");
+    let us = Prolong::new(e_coarse, pe, coarse.w, coarse.h);
+    b.kernel(Box::new(us), &[e_coarse], &[pe]);
+    let ad = AddField::new(cur, pe, lv.w, lv.h);
+    b.kernel(Box::new(ad), &[cur, pe], &[cur]);
+
+    emit_smooth(b, &mut cur, p.nu2);
+    cur
+}
+
+/// Builds the multigrid application for right-hand side `f` (finest
+/// spacing 1, Dirichlet zero boundaries, initial iterate 0).
+///
+/// # Panics
+///
+/// Panics if the grid is not divisible by `2^(levels-1)` or any parameter
+/// is zero where it must not be.
+pub fn build_app(f: &Grid, p: &MgParams) -> MultigridApp {
+    assert!(p.levels > 0 && p.cycles > 0, "need at least one level and one cycle");
+    let down = 1u32 << (p.levels - 1);
+    assert!(f.w.is_multiple_of(down) && f.h.is_multiple_of(down), "grid must be divisible by 2^(levels-1)");
+
+    let mut mem = DeviceMemory::new();
+    let mut levels = Vec::new();
+    for l in 0..p.levels {
+        let (w, h) = (f.w >> l, f.h >> l);
+        let n = w as u64 * h as u64;
+        levels.push(Level {
+            w,
+            h,
+            h2: 4.0f32.powi(l as i32),
+            ua: mem.alloc_f32(n, &format!("uA.l{l}")),
+            ub: mem.alloc_f32(n, &format!("uB.l{l}")),
+            f: mem.alloc_f32(n, &format!("f.l{l}")),
+            r: mem.alloc_f32(n, &format!("r.l{l}")),
+            pe: (l + 1 < p.levels).then(|| mem.alloc_f32(n, &format!("pe.l{l}"))),
+        });
+    }
+
+    let mut b = Builder {
+        graph: AppGraph::new(),
+        producer: HashMap::new(),
+        readers: HashMap::new(),
+        smooth_nodes: Vec::new(),
+    };
+
+    // Upload the RHS and the zero initial iterate.
+    let fine = &levels[0];
+    let rhs_id = b.graph.add_htod(fine.f, f.data.iter().flat_map(|v| v.to_le_bytes()).collect());
+    b.producer.insert(fine.f.id, rhs_id);
+    b.zero_upload(fine.ua);
+
+    let mut cur = levels[0].ua;
+    for _ in 0..p.cycles {
+        cur = emit_vcycle(&mut b, &levels, 0, cur, p);
+    }
+
+    // Read the solution back.
+    let dtoh = b.graph.add_dtoh(cur);
+    if let Some(&prod) = b.producer.get(&cur.id) {
+        b.graph.add_edge(prod, dtoh, cur);
+    }
+
+    MultigridApp {
+        graph: b.graph,
+        mem,
+        u_out: cur,
+        smooth_nodes: b.smooth_nodes,
+        params: *p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{residual_norm, solve};
+
+    fn rhs(w: u32, h: u32) -> Grid {
+        let mut f = Grid::zeros(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let sx = ((x as f32 + 1.0) * std::f32::consts::PI / (w as f32 + 1.0)).sin();
+                let sy = ((y as f32 + 1.0) * std::f32::consts::PI / (h as f32 + 1.0)).sin();
+                f.data[(y * w + x) as usize] = sx * sy;
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn graph_matches_cpu_reference_exactly() {
+        let f = rhs(32, 32);
+        let p = MgParams { cycles: 3, ..MgParams::default() };
+        let mut app = build_app(&f, &p);
+        kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap();
+        let u_ref = solve(&f, &p);
+        assert_eq!(app.mem.download_f32(app.u_out), u_ref.data);
+    }
+
+    #[test]
+    fn graph_solution_has_small_residual() {
+        let f = rhs(32, 32);
+        let p = MgParams { cycles: 8, ..MgParams::default() };
+        let mut app = build_app(&f, &p);
+        kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap();
+        let u = Grid { w: 32, h: 32, data: app.mem.download_f32(app.u_out) };
+        let r0 = residual_norm(&Grid::zeros(32, 32), &f);
+        let r = residual_norm(&u, &f);
+        assert!(r < 1e-3 * r0, "residual {r} vs initial {r0}");
+    }
+
+    #[test]
+    fn node_counts_match_vcycle_structure() {
+        let f = rhs(16, 16);
+        let p = MgParams { levels: 2, nu1: 2, nu2: 1, nu_coarse: 4, cycles: 2, omega: 0.8 };
+        let app = build_app(&f, &p);
+        // Per cycle: 2 pre + 4 coarse + 1 post = 7 smooths; plus RES, DS,
+        // US, AD; plus 1 zero upload for the coarse guess.
+        assert_eq!(app.smooth_nodes.len(), 2 * 7);
+        // Nodes: 2 initial HtD + per cycle (7 SM + RES + DS + HtD0 + US +
+        // AD) + final DtH = 2 + 2*12 + 1.
+        assert_eq!(app.graph.num_nodes(), 2 + 2 * 12 + 1);
+        assert!(kgraph::topo_order(&app.graph).is_ok());
+    }
+
+    #[test]
+    fn graph_edges_are_sound() {
+        let f = rhs(16, 16);
+        let p = MgParams { levels: 2, cycles: 2, ..MgParams::default() };
+        let mut app = build_app(&f, &p);
+        let gt = kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap();
+        let check = kgraph::check_edges(&app.graph, &gt.deps);
+        assert!(check.is_sound(), "undeclared deps: {:?}", check.undeclared);
+    }
+}

@@ -1,0 +1,266 @@
+//! Pure-CPU reference of the multigrid V-cycle, operation-for-operation
+//! identical to the kernel graph (bit-exact validation, as for the
+//! optical-flow application).
+
+/// A 2-D grid of `f32` values, row-major, with Dirichlet zero boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Width.
+    pub w: u32,
+    /// Height.
+    pub h: u32,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+
+impl Grid {
+    /// A zero grid.
+    pub fn zeros(w: u32, h: u32) -> Self {
+        Grid { w, h, data: vec![0.0; (w as usize) * (h as usize)] }
+    }
+
+    /// Value at `(x, y)`, zero outside the domain (Dirichlet).
+    pub fn at(&self, x: i64, y: i64) -> f32 {
+        if x < 0 || y < 0 || x >= self.w as i64 || y >= self.h as i64 {
+            0.0
+        } else {
+            self.data[(y as u32 * self.w + x as u32) as usize]
+        }
+    }
+
+    fn idx(&self, x: u32, y: u32) -> usize {
+        (y * self.w + x) as usize
+    }
+}
+
+/// Solver parameters shared by the reference and the kernel graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MgParams {
+    /// Grid levels (level 0 is the finest); the coarsest grid is
+    /// `w / 2^(levels-1)` wide.
+    pub levels: u32,
+    /// Pre-smoothing sweeps per level.
+    pub nu1: u32,
+    /// Post-smoothing sweeps per level.
+    pub nu2: u32,
+    /// Smoothing sweeps on the coarsest level (in place of a direct solve).
+    pub nu_coarse: u32,
+    /// Number of V-cycles.
+    pub cycles: u32,
+    /// Jacobi damping factor.
+    pub omega: f32,
+}
+
+impl Default for MgParams {
+    fn default() -> Self {
+        MgParams { levels: 3, nu1: 4, nu2: 4, nu_coarse: 64, cycles: 4, omega: 0.9 }
+    }
+}
+
+/// One weighted-Jacobi sweep (identical to the `SM` kernel).
+pub fn smooth(u: &Grid, f: &Grid, h2: f32, omega: f32) -> Grid {
+    let mut out = Grid::zeros(u.w, u.h);
+    for y in 0..u.h as i64 {
+        for x in 0..u.w as i64 {
+            let nb = u.at(x - 1, y) + u.at(x + 1, y) + u.at(x, y - 1) + u.at(x, y + 1);
+            let star = (nb + h2 * f.at(x, y)) * 0.25;
+            out.data[u.idx(x as u32, y as u32)] = (1.0 - omega) * u.at(x, y) + omega * star;
+        }
+    }
+    out
+}
+
+/// Residual `r = f − A u` (identical to the `RES` kernel).
+pub fn residual(u: &Grid, f: &Grid, h2: f32) -> Grid {
+    let inv_h2 = 1.0 / h2;
+    let mut out = Grid::zeros(u.w, u.h);
+    for y in 0..u.h as i64 {
+        for x in 0..u.w as i64 {
+            let nb = u.at(x - 1, y) + u.at(x + 1, y) + u.at(x, y - 1) + u.at(x, y + 1);
+            let au = (4.0 * u.at(x, y) - nb) * inv_h2;
+            out.data[u.idx(x as u32, y as u32)] = f.at(x, y) - au;
+        }
+    }
+    out
+}
+
+/// 2× box-filter restriction (identical to the `DS` kernel).
+pub fn restrict(src: &Grid) -> Grid {
+    let (ow, oh) = (src.w / 2, src.h / 2);
+    let mut out = Grid::zeros(ow, oh);
+    for y in 0..oh {
+        for x in 0..ow {
+            let (sx, sy) = (2 * x as i64, 2 * y as i64);
+            out.data[(y * ow + x) as usize] = 0.25
+                * (src.at(sx, sy) + src.at(sx + 1, sy) + src.at(sx, sy + 1)
+                    + src.at(sx + 1, sy + 1));
+        }
+    }
+    out
+}
+
+/// 2× bilinear prolongation with zero extension beyond the domain,
+/// matching the Dirichlet boundary (identical to the `PR` kernel).
+pub fn prolong(src: &Grid) -> Grid {
+    let (ow, oh) = (2 * src.w, 2 * src.h);
+    let mut out = Grid::zeros(ow, oh);
+    for y in 0..oh {
+        for x in 0..ow {
+            let fx = (x as f32 + 0.5) / 2.0 - 0.5;
+            let fy = (y as f32 + 0.5) / 2.0 - 0.5;
+            let x0 = fx.floor() as i64;
+            let y0 = fy.floor() as i64;
+            let ax = fx - x0 as f32;
+            let ay = fy - y0 as f32;
+            // Grid::at returns 0 outside the domain: the zero wall. The
+            // weight-gated terms mirror the kernel's guarded loads.
+            let sample = |sx: i64, sy: i64, wgt: f32| -> f32 {
+                if sx < 0 || sy < 0 || sx >= src.w as i64 || sy >= src.h as i64 || wgt == 0.0 {
+                    0.0
+                } else {
+                    wgt * src.at(sx, sy)
+                }
+            };
+            let v = sample(x0, y0, (1.0 - ax) * (1.0 - ay))
+                + sample(x0 + 1, y0, ax * (1.0 - ay))
+                + sample(x0, y0 + 1, (1.0 - ax) * ay)
+                + sample(x0 + 1, y0 + 1, ax * ay);
+            out.data[(y * ow + x) as usize] = v;
+        }
+    }
+    out
+}
+
+fn vcycle(u: Grid, f: &Grid, level: u32, p: &MgParams) -> Grid {
+    let h2 = 4.0f32.powi(level as i32);
+    if level + 1 == p.levels {
+        let mut u = u;
+        for _ in 0..p.nu_coarse {
+            u = smooth(&u, f, h2, p.omega);
+        }
+        return u;
+    }
+    let mut u = u;
+    for _ in 0..p.nu1 {
+        u = smooth(&u, f, h2, p.omega);
+    }
+    let r = residual(&u, f, h2);
+    let f_coarse = restrict(&r);
+    let e_coarse = vcycle(Grid::zeros(f_coarse.w, f_coarse.h), &f_coarse, level + 1, p);
+    let e = prolong(&e_coarse);
+    for i in 0..u.data.len() {
+        u.data[i] += e.data[i];
+    }
+    for _ in 0..p.nu2 {
+        u = smooth(&u, f, h2, p.omega);
+    }
+    u
+}
+
+/// Continues the iteration from an existing iterate with `p.cycles` more
+/// V-cycles.
+pub fn solve_from(u0: &Grid, f: &Grid, p: &MgParams) -> Grid {
+    let mut u = u0.clone();
+    for _ in 0..p.cycles {
+        u = vcycle(u, f, 0, p);
+    }
+    u
+}
+
+/// Solves `−∇²u = f` (finest spacing 1, Dirichlet zero boundaries) with
+/// `p.cycles` V-cycles starting from `u = 0`.
+///
+/// # Panics
+///
+/// Panics if the grid is not divisible by `2^(levels-1)`.
+pub fn solve(f: &Grid, p: &MgParams) -> Grid {
+    let down = 1u32 << (p.levels - 1);
+    assert!(f.w.is_multiple_of(down) && f.h.is_multiple_of(down), "grid must be divisible by 2^(levels-1)");
+    let mut u = Grid::zeros(f.w, f.h);
+    for _ in 0..p.cycles {
+        u = vcycle(u, f, 0, p);
+    }
+    u
+}
+
+/// L2 norm of the residual (a convergence metric).
+pub fn residual_norm(u: &Grid, f: &Grid) -> f64 {
+    let r = residual(u, f, 1.0);
+    (r.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / r.data.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Discrete RHS whose exact discrete solution is the given `u*`:
+    /// `f = A u*`.
+    fn manufactured(w: u32, h: u32) -> (Grid, Grid) {
+        let mut u_star = Grid::zeros(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let sx = ((x as f32 + 1.0) * std::f32::consts::PI / (w as f32 + 1.0)).sin();
+                let sy = ((y as f32 + 1.0) * std::f32::consts::PI / (h as f32 + 1.0)).sin();
+                u_star.data[(y * w + x) as usize] = sx * sy;
+            }
+        }
+        // f = A u*: residual(0, -A u*)... compute directly.
+        let zero = Grid::zeros(w, h);
+        let minus_au = residual(&u_star, &zero, 1.0); // 0 - A u* = -A u*
+        let f = Grid { w, h, data: minus_au.data.iter().map(|&v| -v).collect() };
+        (u_star, f)
+    }
+
+    #[test]
+    fn vcycles_reduce_residual_monotonically() {
+        let (_, f) = manufactured(64, 64);
+        let p = MgParams { cycles: 1, ..MgParams::default() };
+        let mut u = Grid::zeros(64, 64);
+        let mut last = residual_norm(&u, &f);
+        for _ in 0..4 {
+            u = vcycle(u, &f, 0, &p);
+            let now = residual_norm(&u, &f);
+            // Cell-centered transfers with Dirichlet walls give a modest
+            // asymptotic contraction factor; ~0.6 per cycle is the bound
+            // observed with these smoothing counts.
+            assert!(now < 0.65 * last, "V-cycle must contract: {now} vs {last}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn converges_to_manufactured_solution() {
+        let (u_star, f) = manufactured(32, 32);
+        let p = MgParams { cycles: 10, ..MgParams::default() };
+        let u = solve(&f, &p);
+        let err: f64 = u
+            .data
+            .iter()
+            .zip(&u_star.data)
+            .map(|(&a, &b)| ((a - b) as f64).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 2e-3, "max error {err}");
+    }
+
+    #[test]
+    fn transfer_operators_roundtrip_smooth_fields() {
+        let mut g = Grid::zeros(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                g.data[(y * 16 + x) as usize] = (x + y) as f32;
+            }
+        }
+        let up_down = restrict(&prolong(&g));
+        // Prolong-then-restrict approximately preserves smooth fields in
+        // the interior (the zero-extension wall pulls the border down by
+        // design).
+        let mut err = 0.0f32;
+        for y in 2..14u32 {
+            for x in 2..14u32 {
+                let i = (y * 16 + x) as usize;
+                err = err.max((g.data[i] - up_down.data[i]).abs());
+            }
+        }
+        assert!(err < 1e-4, "interior max deviation {err}");
+    }
+}

@@ -1,0 +1,298 @@
+//! Block-dependency-graph construction (Sec. IV-B1 of the paper).
+//!
+//! A block `B` depends on block `B'` iff a thread in `B` reads a memory
+//! address previously written by a thread in `B'`. Dependencies only exist
+//! between blocks of *different* kernels; blocks within one kernel are
+//! independent by the GPU execution model.
+//!
+//! The builder replays the application's default (topological) execution
+//! order, maintaining a last-writer map at 4-byte-word granularity — the
+//! same host-side pass the paper performs over the recorded SASSI trace.
+
+use std::collections::HashMap;
+
+use crate::record::BlockTrace;
+
+/// Identifies one thread block of one kernel node in the application graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockRef {
+    /// Kernel node id (index in the application graph).
+    pub node: u32,
+    /// Linear block id within the node's grid.
+    pub block: u32,
+}
+
+impl BlockRef {
+    /// Creates a block reference.
+    pub fn new(node: u32, block: u32) -> Self {
+        BlockRef { node, block }
+    }
+}
+
+/// Incrementally builds a [`BlockDepGraph`] by visiting blocks in the
+/// application's default execution order.
+#[derive(Debug, Default)]
+pub struct DepGraphBuilder {
+    last_writer: HashMap<u64, BlockRef>,
+    deps: HashMap<BlockRef, Vec<BlockRef>>,
+    num_blocks: HashMap<u32, u32>,
+}
+
+impl DepGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the reads and writes of `block`, which is being visited in
+    /// program order. Reads are resolved against the last-writer map before
+    /// the block's own writes are installed (a block that reads and writes
+    /// the same word sees the previous producer).
+    pub fn visit_block(&mut self, r: BlockRef, t: &BlockTrace) {
+        let mut found: Vec<BlockRef> = Vec::new();
+        for &word in &t.read_words {
+            if let Some(&producer) = self.last_writer.get(&word) {
+                if producer.node != r.node {
+                    found.push(producer);
+                }
+            }
+        }
+        found.sort_unstable();
+        found.dedup();
+        if !found.is_empty() {
+            self.deps.entry(r).or_default().extend(found);
+            let v = self.deps.get_mut(&r).unwrap();
+            v.sort_unstable();
+            v.dedup();
+        }
+        for &word in &t.write_words {
+            self.last_writer.insert(word, r);
+        }
+        let n = self.num_blocks.entry(r.node).or_insert(0);
+        *n = (*n).max(r.block + 1);
+    }
+
+    /// Finishes construction.
+    pub fn finish(self) -> BlockDepGraph {
+        let mut rdeps: HashMap<BlockRef, Vec<BlockRef>> = HashMap::new();
+        for (&consumer, producers) in &self.deps {
+            for &p in producers {
+                rdeps.entry(p).or_default().push(consumer);
+            }
+        }
+        for v in rdeps.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        BlockDepGraph { deps: self.deps, rdeps, num_blocks: self.num_blocks }
+    }
+}
+
+/// The block-level dependency graph of an application.
+///
+/// Edges point from a consumer block to the producer blocks it depends on
+/// (`deps_of`), with the reverse direction available as `consumers_of`.
+#[derive(Debug, Clone, Default)]
+pub struct BlockDepGraph {
+    deps: HashMap<BlockRef, Vec<BlockRef>>,
+    rdeps: HashMap<BlockRef, Vec<BlockRef>>,
+    num_blocks: HashMap<u32, u32>,
+}
+
+impl BlockDepGraph {
+    /// Producer blocks the given block directly depends on (sorted).
+    pub fn deps_of(&self, r: BlockRef) -> &[BlockRef] {
+        self.deps.get(&r).map_or(&[], Vec::as_slice)
+    }
+
+    /// Consumer blocks that directly depend on the given block (sorted).
+    pub fn consumers_of(&self, r: BlockRef) -> &[BlockRef] {
+        self.rdeps.get(&r).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of blocks observed for a node (0 if the node never appeared).
+    pub fn blocks_of_node(&self, node: u32) -> u32 {
+        self.num_blocks.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Total number of dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.deps.values().map(Vec::len).sum()
+    }
+
+    /// Iterates over all `(consumer, producers)` entries in unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockRef, &[BlockRef])> + '_ {
+        self.deps.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// The set of node-level edges `(producer_node, consumer_node)` implied
+    /// by the block dependencies, sorted and deduplicated. This recovers the
+    /// coarse application graph from the trace (useful to validate a
+    /// hand-built application graph).
+    pub fn node_edges(&self) -> Vec<(u32, u32)> {
+        let mut edges: Vec<(u32, u32)> = self
+            .deps
+            .iter()
+            .flat_map(|(&c, ps)| ps.iter().map(move |&p| (p.node, c.node)))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// Transitive closure of dependencies of `roots`, restricted to nodes
+    /// for which `in_scope` returns `true` (used by ClusterTile to gather
+    /// all direct and indirect dependencies *within a cluster*). The roots
+    /// themselves are not included unless reachable from another root.
+    pub fn transitive_deps<F: Fn(u32) -> bool>(
+        &self,
+        roots: &[BlockRef],
+        in_scope: F,
+    ) -> Vec<BlockRef> {
+        let mut seen: Vec<BlockRef> = Vec::new();
+        let mut stack: Vec<BlockRef> = roots.to_vec();
+        let mut visited = std::collections::HashSet::new();
+        for r in roots {
+            visited.insert(*r);
+        }
+        while let Some(r) = stack.pop() {
+            for &p in self.deps_of(r) {
+                if in_scope(p.node) && visited.insert(p) {
+                    seen.push(p);
+                    stack.push(p);
+                }
+            }
+        }
+        seen.sort_unstable();
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{AccessKind, TraceRecorder};
+
+    /// Builds a trace where one thread writes `writes` and reads `reads`
+    /// (word addresses scaled to bytes).
+    fn trace(reads: &[u64], writes: &[u64]) -> BlockTrace {
+        let mut rec = TraceRecorder::new(128);
+        rec.begin_block(1);
+        for &r in reads {
+            rec.record(0, r * 4, 4, AccessKind::Load);
+        }
+        for &w in writes {
+            rec.record(0, w * 4, 4, AccessKind::Store);
+        }
+        rec.finish_block()
+    }
+
+    #[test]
+    fn read_after_write_creates_dependency() {
+        let mut b = DepGraphBuilder::new();
+        b.visit_block(BlockRef::new(0, 0), &trace(&[], &[10, 11]));
+        b.visit_block(BlockRef::new(1, 0), &trace(&[10], &[20]));
+        let g = b.finish();
+        assert_eq!(g.deps_of(BlockRef::new(1, 0)), &[BlockRef::new(0, 0)]);
+        assert_eq!(g.consumers_of(BlockRef::new(0, 0)), &[BlockRef::new(1, 0)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn no_dependency_within_a_kernel() {
+        let mut b = DepGraphBuilder::new();
+        b.visit_block(BlockRef::new(0, 0), &trace(&[], &[10]));
+        b.visit_block(BlockRef::new(0, 1), &trace(&[10], &[11]));
+        let g = b.finish();
+        assert!(g.deps_of(BlockRef::new(0, 1)).is_empty());
+    }
+
+    #[test]
+    fn last_writer_wins() {
+        let mut b = DepGraphBuilder::new();
+        b.visit_block(BlockRef::new(0, 0), &trace(&[], &[10]));
+        b.visit_block(BlockRef::new(1, 0), &trace(&[], &[10])); // overwrites
+        b.visit_block(BlockRef::new(2, 0), &trace(&[10], &[]));
+        let g = b.finish();
+        assert_eq!(g.deps_of(BlockRef::new(2, 0)), &[BlockRef::new(1, 0)]);
+    }
+
+    #[test]
+    fn unwritten_reads_have_no_producer() {
+        let mut b = DepGraphBuilder::new();
+        b.visit_block(BlockRef::new(0, 0), &trace(&[99], &[1]));
+        let g = b.finish();
+        assert!(g.deps_of(BlockRef::new(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn in_place_update_sees_previous_producer() {
+        let mut b = DepGraphBuilder::new();
+        b.visit_block(BlockRef::new(0, 0), &trace(&[], &[10]));
+        // Node 1 reads word 10 and writes it back (in-place): dep on node 0.
+        b.visit_block(BlockRef::new(1, 0), &trace(&[10], &[10]));
+        b.visit_block(BlockRef::new(2, 0), &trace(&[10], &[]));
+        let g = b.finish();
+        assert_eq!(g.deps_of(BlockRef::new(1, 0)), &[BlockRef::new(0, 0)]);
+        assert_eq!(g.deps_of(BlockRef::new(2, 0)), &[BlockRef::new(1, 0)]);
+    }
+
+    #[test]
+    fn node_edges_recover_app_graph() {
+        let mut b = DepGraphBuilder::new();
+        b.visit_block(BlockRef::new(0, 0), &trace(&[], &[1, 2]));
+        b.visit_block(BlockRef::new(1, 0), &trace(&[1], &[3]));
+        b.visit_block(BlockRef::new(2, 0), &trace(&[2, 3], &[4]));
+        let g = b.finish();
+        assert_eq!(g.node_edges(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn transitive_deps_respect_scope() {
+        let mut b = DepGraphBuilder::new();
+        b.visit_block(BlockRef::new(0, 0), &trace(&[], &[1]));
+        b.visit_block(BlockRef::new(1, 0), &trace(&[1], &[2]));
+        b.visit_block(BlockRef::new(2, 0), &trace(&[2], &[3]));
+        let g = b.finish();
+        let root = [BlockRef::new(2, 0)];
+        // Full scope: both ancestors.
+        let all = g.transitive_deps(&root, |_| true);
+        assert_eq!(all, vec![BlockRef::new(0, 0), BlockRef::new(1, 0)]);
+        // Scope excluding node 0: the chain stops at node 1.
+        let partial = g.transitive_deps(&root, |n| n != 0);
+        assert_eq!(partial, vec![BlockRef::new(1, 0)]);
+        // Scope excluding node 1 cuts the chain entirely (indirect deps are
+        // only discovered through in-scope blocks, as in ClusterTile).
+        let cut = g.transitive_deps(&root, |n| n == 0);
+        assert!(cut.is_empty());
+    }
+
+    #[test]
+    fn stencil_pattern_matches_paper_fig1b() {
+        // Kernel A: 4 blocks in a row, block i writes words 10*i..10*i+10.
+        // Kernel B: block 0 reads the first 4 words of each A block
+        // (downscale-like), so B(0) depends on A(0..4) — Fig. 1(b).
+        let mut b = DepGraphBuilder::new();
+        for i in 0..4u32 {
+            let words: Vec<u64> = (0..10).map(|k| (10 * i + k) as u64).collect();
+            b.visit_block(BlockRef::new(0, i), &trace(&[], &words));
+        }
+        let reads: Vec<u64> = (0..4u64).flat_map(|i| (0..4).map(move |k| 10 * i + k)).collect();
+        b.visit_block(BlockRef::new(1, 0), &trace(&reads, &[100]));
+        let g = b.finish();
+        let deps = g.deps_of(BlockRef::new(1, 0));
+        assert_eq!(deps.len(), 4);
+        assert!(deps.iter().all(|d| d.node == 0));
+    }
+
+    #[test]
+    fn blocks_of_node_tracks_grid_size() {
+        let mut b = DepGraphBuilder::new();
+        b.visit_block(BlockRef::new(3, 0), &trace(&[], &[1]));
+        b.visit_block(BlockRef::new(3, 7), &trace(&[], &[2]));
+        let g = b.finish();
+        assert_eq!(g.blocks_of_node(3), 8);
+        assert_eq!(g.blocks_of_node(99), 0);
+    }
+}

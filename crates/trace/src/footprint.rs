@@ -1,0 +1,185 @@
+//! Memory-footprint accounting (Sec. IV-B2 and IV-C2 of the paper).
+//!
+//! The block analyzer provides, for every block, the list of memory lines it
+//! accesses. The scheduler uses those lists to compute the *memory
+//! footprint* of a prospective sub-kernel group — the number of distinct
+//! cache lines it touches — and constrains it to the L2 capacity
+//! (`CheckCacheConst` in Algorithm 2).
+//!
+//! [`FootprintSet`] supports the incremental grow-and-rollback pattern the
+//! tiling loop needs: lines are added block by block, and if the cache
+//! constraint fails the most recent additions are undone via a checkpoint.
+
+use std::collections::HashSet;
+
+use crate::record::BlockTrace;
+
+/// An incrementally grown set of distinct cache lines with checkpoint/rollback.
+///
+/// # Examples
+///
+/// ```
+/// use trace::FootprintSet;
+/// let mut fp = FootprintSet::new(128);
+/// fp.add_lines([0, 1, 2]);
+/// let cp = fp.checkpoint();
+/// fp.add_lines([2, 3]);
+/// assert_eq!(fp.bytes(), 4 * 128);
+/// fp.rollback(cp);
+/// assert_eq!(fp.bytes(), 3 * 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FootprintSet {
+    line_bytes: u64,
+    lines: HashSet<u64>,
+    journal: Vec<u64>,
+}
+
+impl FootprintSet {
+    /// Creates an empty footprint with the given cache-line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero.
+    pub fn new(line_bytes: u64) -> Self {
+        assert!(line_bytes > 0, "line size must be non-zero");
+        FootprintSet { line_bytes, lines: HashSet::new(), journal: Vec::new() }
+    }
+
+    /// Adds individual lines; duplicates are ignored.
+    pub fn add_lines(&mut self, lines: impl IntoIterator<Item = u64>) {
+        for line in lines {
+            if self.lines.insert(line) {
+                self.journal.push(line);
+            }
+        }
+    }
+
+    /// Adds all lines touched by a block.
+    pub fn add_block(&mut self, t: &BlockTrace) {
+        self.add_lines(t.lines.iter().copied());
+    }
+
+    /// Number of distinct lines currently in the set.
+    pub fn num_lines(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// Footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.num_lines() * self.line_bytes
+    }
+
+    /// Whether the footprint fits within `capacity_bytes` (the cache-size
+    /// constraint of Algorithm 2).
+    pub fn fits(&self, capacity_bytes: u64) -> bool {
+        self.bytes() <= capacity_bytes
+    }
+
+    /// Returns a token capturing the current contents.
+    pub fn checkpoint(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Undoes every addition made after `cp` was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cp` does not come from this set (is larger than the
+    /// journal).
+    pub fn rollback(&mut self, cp: usize) {
+        assert!(cp <= self.journal.len(), "invalid checkpoint");
+        for line in self.journal.drain(cp..) {
+            self.lines.remove(&line);
+        }
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        self.lines.clear();
+        self.journal.clear();
+    }
+}
+
+/// Computes the one-shot footprint in bytes of a group of blocks (the union
+/// of their lines) without building a reusable set.
+pub fn footprint_of<'a>(blocks: impl IntoIterator<Item = &'a BlockTrace>, line_bytes: u64) -> u64 {
+    let mut set = FootprintSet::new(line_bytes);
+    for b in blocks {
+        set.add_block(b);
+    }
+    set.bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::BlockWork;
+
+    fn block_with_lines(lines: &[u64]) -> BlockTrace {
+        BlockTrace {
+            work: BlockWork::default(),
+            read_words: Vec::new(),
+            write_words: Vec::new(),
+            lines: lines.to_vec(),
+        }
+    }
+
+    #[test]
+    fn union_not_sum() {
+        let a = block_with_lines(&[0, 1, 2]);
+        let b = block_with_lines(&[2, 3]);
+        assert_eq!(footprint_of([&a, &b], 128), 4 * 128);
+    }
+
+    #[test]
+    fn fits_is_inclusive() {
+        let mut fp = FootprintSet::new(128);
+        fp.add_lines(0..16);
+        assert!(fp.fits(16 * 128));
+        assert!(!fp.fits(16 * 128 - 1));
+    }
+
+    #[test]
+    fn rollback_restores_exactly() {
+        let mut fp = FootprintSet::new(64);
+        fp.add_lines([1, 2]);
+        let cp = fp.checkpoint();
+        fp.add_lines([2, 3, 4]);
+        assert_eq!(fp.num_lines(), 4);
+        fp.rollback(cp);
+        assert_eq!(fp.num_lines(), 2);
+        // Line 2 must still be present (it predates the checkpoint).
+        fp.add_lines([2]);
+        assert_eq!(fp.num_lines(), 2);
+    }
+
+    #[test]
+    fn nested_checkpoints() {
+        let mut fp = FootprintSet::new(64);
+        let cp0 = fp.checkpoint();
+        fp.add_lines([1]);
+        let cp1 = fp.checkpoint();
+        fp.add_lines([2]);
+        fp.rollback(cp1);
+        assert_eq!(fp.num_lines(), 1);
+        fp.rollback(cp0);
+        assert_eq!(fp.num_lines(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut fp = FootprintSet::new(64);
+        fp.add_lines([1, 2, 3]);
+        fp.clear();
+        assert_eq!(fp.bytes(), 0);
+        assert_eq!(fp.checkpoint(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid checkpoint")]
+    fn bad_checkpoint_panics() {
+        let mut fp = FootprintSet::new(64);
+        fp.rollback(5);
+    }
+}

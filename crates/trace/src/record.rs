@@ -1,0 +1,494 @@
+//! Memory-trace recording: the simulator's analog of SASSI instrumentation.
+//!
+//! The paper obtains, for every memory access of every thread, the effective
+//! address, access type (load/store/atomic), target memory space and access
+//! width, by compiling the application with a SASSI-augmented compiler
+//! (Sec. IV-B1). Here the same record is produced while the kernel executes
+//! functionally: kernels perform all device-memory accesses through
+//! [`ExecCtx`], which both moves the data and appends to the current block's
+//! trace.
+//!
+//! When a block finishes, its per-thread access streams are *coalesced* into
+//! warp-level line transactions — the lock-step SIMT model: the k-th access
+//! of the 32 threads of a warp issues as one memory instruction touching the
+//! union of the lines it covers.
+
+use gpu_sim::{BlockWork, Buffer, DeviceMemory, Txn, WarpWork, WARP_SIZE};
+
+/// Type of a recorded memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read from global memory.
+    Load,
+    /// Write to global memory.
+    Store,
+    /// Atomic read-modify-write.
+    Atomic,
+}
+
+impl AccessKind {
+    /// Whether this access reads the location (loads and atomics).
+    pub fn reads(&self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::Atomic)
+    }
+
+    /// Whether this access writes the location (stores and atomics).
+    pub fn writes(&self) -> bool {
+        matches!(self, AccessKind::Store | AccessKind::Atomic)
+    }
+}
+
+/// One recorded per-thread access: effective address, width, kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadAccess {
+    /// Effective global byte address.
+    pub addr: u64,
+    /// Access width in bytes (1, 4 or 8 for the kernels in this suite).
+    pub width: u8,
+    /// Load, store or atomic.
+    pub kind: AccessKind,
+}
+
+/// The analyzed trace of one thread block.
+///
+/// Contains everything the tiling machinery needs about the block:
+///
+/// * [`work`](Self::work) — replayable warp transactions for the timing
+///   engine;
+/// * [`read_words`](Self::read_words)/[`write_words`](Self::write_words) —
+///   4-byte-word-granularity address sets for dependency analysis;
+/// * [`lines`](Self::lines) — cache-line-granularity footprint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlockTrace {
+    /// Replayable timing work (coalesced warp transactions).
+    pub work: BlockWork,
+    /// Sorted, deduplicated 4-byte word addresses read by the block.
+    pub read_words: Vec<u64>,
+    /// Sorted, deduplicated 4-byte word addresses written by the block.
+    pub write_words: Vec<u64>,
+    /// Sorted, deduplicated cache lines touched by the block (reads and
+    /// writes). This is the block's memory footprint contribution.
+    pub lines: Vec<u64>,
+}
+
+impl BlockTrace {
+    /// Memory footprint of this single block in bytes.
+    pub fn footprint_bytes(&self, line_bytes: u64) -> u64 {
+        self.lines.len() as u64 * line_bytes
+    }
+}
+
+/// Records the accesses of one block at a time and coalesces them into a
+/// [`BlockTrace`].
+///
+/// Use via [`ExecCtx`], which couples a recorder with the device memory.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    line_bytes: u64,
+    threads: Vec<Vec<ThreadAccess>>,
+    compute: Vec<u64>,
+    active: bool,
+    enabled: bool,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder that coalesces to `line_bytes` cache lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    pub fn new(line_bytes: u64) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        TraceRecorder {
+            line_bytes,
+            threads: Vec::new(),
+            compute: Vec::new(),
+            active: false,
+            enabled: true,
+        }
+    }
+
+    /// Enables or disables recording. While disabled, accesses pass through
+    /// to device memory but no trace is collected and [`finish_block`]
+    /// returns an empty trace — used when a kernel's trace is already known
+    /// from an identical signature but its functional effects are still
+    /// needed.
+    ///
+    /// [`finish_block`]: TraceRecorder::finish_block
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Begins recording a block of `num_threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block is already being recorded.
+    pub fn begin_block(&mut self, num_threads: u32) {
+        if !self.enabled {
+            return;
+        }
+        assert!(!self.active, "finish_block must be called before begin_block");
+        self.threads.clear();
+        self.threads.resize(num_threads as usize, Vec::new());
+        self.compute.clear();
+        self.compute.resize(num_threads as usize, 0);
+        self.active = true;
+    }
+
+    /// Records one access of thread `tid` (linear id within the block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block is active or `tid` is out of range.
+    pub fn record(&mut self, tid: u32, addr: u64, width: u8, kind: AccessKind) {
+        if !self.enabled {
+            return;
+        }
+        assert!(self.active, "no active block");
+        self.threads[tid as usize].push(ThreadAccess { addr, width, kind });
+    }
+
+    /// Records `cycles` of compute work for thread `tid`.
+    pub fn record_compute(&mut self, tid: u32, cycles: u64) {
+        if !self.enabled {
+            return;
+        }
+        assert!(self.active, "no active block");
+        self.compute[tid as usize] += cycles;
+    }
+
+    /// Ends the current block and returns its coalesced trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block is active (unless recording is disabled, in which
+    /// case an empty trace is returned).
+    pub fn finish_block(&mut self) -> BlockTrace {
+        if !self.enabled {
+            return BlockTrace::default();
+        }
+        assert!(self.active, "no active block");
+        self.active = false;
+
+        let mut read_words = Vec::new();
+        let mut write_words = Vec::new();
+        let mut lines = Vec::new();
+        let mut warps = Vec::new();
+
+        for warp_threads in self.threads.chunks(WARP_SIZE as usize) {
+            let mut txns: Vec<Txn> = Vec::new();
+            let max_len = warp_threads.iter().map(Vec::len).max().unwrap_or(0);
+            for k in 0..max_len {
+                // The k-th memory instruction of this warp: coalesce the
+                // participating threads' addresses into line transactions.
+                let mut reads: Vec<u64> = Vec::new();
+                let mut writes: Vec<u64> = Vec::new();
+                for t in warp_threads {
+                    let Some(a) = t.get(k) else { continue };
+                    let first = a.addr / self.line_bytes;
+                    let last = (a.addr + a.width as u64 - 1) / self.line_bytes;
+                    for line in first..=last {
+                        if a.kind.reads() {
+                            reads.push(line);
+                        }
+                        if a.kind.writes() {
+                            writes.push(line);
+                        }
+                    }
+                    let w0 = a.addr >> 2;
+                    let w1 = (a.addr + a.width as u64 - 1) >> 2;
+                    for w in w0..=w1 {
+                        if a.kind.reads() {
+                            read_words.push(w);
+                        }
+                        if a.kind.writes() {
+                            write_words.push(w);
+                        }
+                    }
+                }
+                for set in [&mut reads, &mut writes] {
+                    set.sort_unstable();
+                    set.dedup();
+                }
+                txns.extend(reads.iter().map(|&line| Txn { line, write: false }));
+                txns.extend(writes.iter().map(|&line| Txn { line, write: true }));
+                lines.extend(reads);
+                lines.extend(writes);
+            }
+            warps.push(WarpWork { txns, compute_cycles: 0 });
+        }
+
+        // Per-warp compute cycles: the warp executes in lock step, so its
+        // compute cost is the maximum over its threads.
+        for (w, warp) in warps.iter_mut().enumerate() {
+            let lo = w * WARP_SIZE as usize;
+            let hi = (lo + WARP_SIZE as usize).min(self.compute.len());
+            warp.compute_cycles = self.compute[lo..hi].iter().copied().max().unwrap_or(0);
+        }
+
+        for set in [&mut read_words, &mut write_words, &mut lines] {
+            set.sort_unstable();
+            set.dedup();
+        }
+
+        BlockTrace { work: BlockWork { warps }, read_words, write_words, lines }
+    }
+}
+
+/// Execution context handed to a kernel's per-block function: typed device
+/// memory accessors that simultaneously record the SASSI-style trace.
+///
+/// Thread ids are linear within the block (`tid` in `0..threads_per_block`);
+/// the recorder groups threads into warps of 32 by linear id, exactly like
+/// the hardware.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::DeviceMemory;
+/// use trace::{ExecCtx, TraceRecorder};
+///
+/// let mut mem = DeviceMemory::new();
+/// let buf = mem.alloc_f32(64, "data");
+/// let mut rec = TraceRecorder::new(128);
+/// rec.begin_block(32);
+/// let mut ctx = ExecCtx::new(&mut mem, &mut rec);
+/// for tid in 0..32u32 {
+///     let v = ctx.ld_f32(buf, tid as u64, tid);
+///     ctx.st_f32(buf, 32 + tid as u64, v + 1.0, tid);
+///     ctx.compute(tid, 4);
+/// }
+/// let trace = rec.finish_block();
+/// assert_eq!(trace.work.warps.len(), 1);
+/// assert_eq!(trace.read_words.len(), 32);
+/// assert_eq!(trace.write_words.len(), 32);
+/// ```
+#[derive(Debug)]
+pub struct ExecCtx<'a> {
+    mem: &'a mut DeviceMemory,
+    rec: &'a mut TraceRecorder,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Couples a device memory with an active recorder.
+    pub fn new(mem: &'a mut DeviceMemory, rec: &'a mut TraceRecorder) -> Self {
+        ExecCtx { mem, rec }
+    }
+
+    /// Read-only view of the underlying device memory.
+    pub fn mem(&self) -> &DeviceMemory {
+        self.mem
+    }
+
+    /// Loads the `f32` element `idx` of `buf` as thread `tid`.
+    pub fn ld_f32(&mut self, buf: Buffer, idx: u64, tid: u32) -> f32 {
+        self.rec.record(tid, buf.f32_addr(idx), 4, AccessKind::Load);
+        self.mem.read_f32(buf, idx)
+    }
+
+    /// Stores `v` to the `f32` element `idx` of `buf` as thread `tid`.
+    pub fn st_f32(&mut self, buf: Buffer, idx: u64, v: f32, tid: u32) {
+        self.rec.record(tid, buf.f32_addr(idx), 4, AccessKind::Store);
+        self.mem.write_f32(buf, idx, v);
+    }
+
+    /// Loads byte `idx` of `buf` as thread `tid`.
+    pub fn ld_u8(&mut self, buf: Buffer, idx: u64, tid: u32) -> u8 {
+        self.rec.record(tid, buf.addr_of(idx), 1, AccessKind::Load);
+        self.mem.read_u8(buf, idx)
+    }
+
+    /// Stores byte `idx` of `buf` as thread `tid`.
+    pub fn st_u8(&mut self, buf: Buffer, idx: u64, v: u8, tid: u32) {
+        self.rec.record(tid, buf.addr_of(idx), 1, AccessKind::Store);
+        self.mem.write_u8(buf, idx, v);
+    }
+
+    /// Loads the `u32` element `idx` of `buf` as thread `tid`.
+    pub fn ld_u32(&mut self, buf: Buffer, idx: u64, tid: u32) -> u32 {
+        self.rec.record(tid, buf.addr_of(idx * 4), 4, AccessKind::Load);
+        self.mem.read_u32(buf, idx)
+    }
+
+    /// Stores the `u32` element `idx` of `buf` as thread `tid`.
+    pub fn st_u32(&mut self, buf: Buffer, idx: u64, v: u32, tid: u32) {
+        self.rec.record(tid, buf.addr_of(idx * 4), 4, AccessKind::Store);
+        self.mem.write_u32(buf, idx, v);
+    }
+
+    /// Atomically adds `v` to the `f32` element `idx` of `buf` as thread
+    /// `tid`, returning the previous value.
+    pub fn atomic_add_f32(&mut self, buf: Buffer, idx: u64, v: f32, tid: u32) -> f32 {
+        self.rec.record(tid, buf.f32_addr(idx), 4, AccessKind::Atomic);
+        let old = self.mem.read_f32(buf, idx);
+        self.mem.write_f32(buf, idx, old + v);
+        old
+    }
+
+    /// Records `cycles` of compute work for thread `tid` (ALU instructions
+    /// between memory operations).
+    pub fn compute(&mut self, tid: u32, cycles: u64) {
+        self.rec.record_compute(tid, cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_block<F: FnOnce(&mut ExecCtx<'_>)>(
+        mem: &mut DeviceMemory,
+        threads: u32,
+        f: F,
+    ) -> BlockTrace {
+        let mut rec = TraceRecorder::new(128);
+        rec.begin_block(threads);
+        let mut ctx = ExecCtx::new(mem, &mut rec);
+        f(&mut ctx);
+        rec.finish_block()
+    }
+
+    #[test]
+    fn coalesced_warp_load_is_one_txn_per_line() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(32, "a");
+        let t = record_block(&mut mem, 32, |ctx| {
+            for tid in 0..32 {
+                let _ = ctx.ld_f32(buf, tid as u64, tid);
+            }
+        });
+        // 32 consecutive f32 = 128 bytes = exactly one line transaction.
+        assert_eq!(t.work.warps.len(), 1);
+        assert_eq!(t.work.warps[0].txns.len(), 1);
+        assert!(!t.work.warps[0].txns[0].write);
+        assert_eq!(t.lines.len(), 1);
+        assert_eq!(t.read_words.len(), 32);
+    }
+
+    #[test]
+    fn strided_access_fans_out_to_many_lines() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(32 * 32, "a");
+        let t = record_block(&mut mem, 32, |ctx| {
+            for tid in 0..32 {
+                // Stride of 32 f32 = 128 B: every thread its own line.
+                let _ = ctx.ld_f32(buf, tid as u64 * 32, tid);
+            }
+        });
+        assert_eq!(t.work.warps[0].txns.len(), 32);
+        assert_eq!(t.lines.len(), 32);
+    }
+
+    #[test]
+    fn store_marks_write_sets() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(32, "a");
+        let t = record_block(&mut mem, 32, |ctx| {
+            for tid in 0..32 {
+                ctx.st_f32(buf, tid as u64, 1.0, tid);
+            }
+        });
+        assert!(t.read_words.is_empty());
+        assert_eq!(t.write_words.len(), 32);
+        assert!(t.work.warps[0].txns[0].write);
+        assert_eq!(mem.read_f32(buf, 5), 1.0);
+    }
+
+    #[test]
+    fn atomic_reads_and_writes() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(1, "acc");
+        let t = record_block(&mut mem, 2, |ctx| {
+            ctx.atomic_add_f32(buf, 0, 1.0, 0);
+            ctx.atomic_add_f32(buf, 0, 2.0, 1);
+        });
+        assert_eq!(mem.read_f32(buf, 0), 3.0);
+        assert_eq!(t.read_words, t.write_words);
+        assert_eq!(t.read_words.len(), 1);
+    }
+
+    #[test]
+    fn multiple_warps_split_by_linear_tid() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(64, "a");
+        let t = record_block(&mut mem, 64, |ctx| {
+            for tid in 0..64 {
+                let _ = ctx.ld_f32(buf, tid as u64, tid);
+            }
+        });
+        assert_eq!(t.work.warps.len(), 2);
+        assert_eq!(t.work.warps[0].txns.len(), 1);
+        assert_eq!(t.work.warps[1].txns.len(), 1);
+    }
+
+    #[test]
+    fn compute_cycles_take_warp_max() {
+        let mut mem = DeviceMemory::new();
+        let t = record_block(&mut mem, 32, |ctx| {
+            ctx.compute(0, 10);
+            ctx.compute(1, 25);
+        });
+        assert_eq!(t.work.warps[0].compute_cycles, 25);
+    }
+
+    #[test]
+    fn unaligned_u8_access_lands_in_one_word() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_u8(8, "b");
+        let t = record_block(&mut mem, 1, |ctx| {
+            let _ = ctx.ld_u8(buf, 5, 0);
+        });
+        assert_eq!(t.read_words.len(), 1);
+        assert_eq!(t.read_words[0], (buf.addr + 5) >> 2);
+    }
+
+    #[test]
+    fn sequence_of_instructions_preserved_per_warp() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(32, "a");
+        let b = mem.alloc_f32(32, "b");
+        let t = record_block(&mut mem, 32, |ctx| {
+            for tid in 0..32 {
+                let v = ctx.ld_f32(a, tid as u64, tid);
+                ctx.st_f32(b, tid as u64, v, tid);
+            }
+        });
+        let txns = &t.work.warps[0].txns;
+        assert_eq!(txns.len(), 2);
+        assert!(!txns[0].write, "load instruction comes first");
+        assert!(txns[1].write, "store instruction comes second");
+    }
+
+    #[test]
+    #[should_panic(expected = "no active block")]
+    fn record_without_block_panics() {
+        let mut rec = TraceRecorder::new(128);
+        rec.record(0, 0, 4, AccessKind::Load);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish_block")]
+    fn nested_begin_panics() {
+        let mut rec = TraceRecorder::new(128);
+        rec.begin_block(1);
+        rec.begin_block(1);
+    }
+
+    #[test]
+    fn footprint_bytes_counts_lines() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(64, "a");
+        let t = record_block(&mut mem, 64, |ctx| {
+            for tid in 0..64 {
+                let _ = ctx.ld_f32(buf, tid as u64, tid);
+            }
+        });
+        assert_eq!(t.footprint_bytes(128), 2 * 128);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of trace recording, coalescing, footprints and
+//! dependency construction.
+
+use gpu_sim::DeviceMemory;
+use proptest::prelude::*;
+use trace::{AccessKind, BlockRef, DepGraphBuilder, ExecCtx, FootprintSet, TraceRecorder};
+
+proptest! {
+    /// Coalescing never produces more transactions than raw accesses and
+    /// covers exactly the touched lines.
+    #[test]
+    fn coalescing_bounds(
+        idxs in proptest::collection::vec(0u64..4096, 1..200),
+        threads in 1u32..64,
+    ) {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(4096, "b");
+        let mut rec = TraceRecorder::new(128);
+        rec.begin_block(threads);
+        let mut ctx = ExecCtx::new(&mut mem, &mut rec);
+        for (i, &idx) in idxs.iter().enumerate() {
+            let tid = (i as u32) % threads;
+            let _ = ctx.ld_f32(buf, idx, tid);
+        }
+        let t = rec.finish_block();
+        let total_txns: usize = t.work.warps.iter().map(|w| w.txns.len()).sum();
+        prop_assert!(total_txns <= idxs.len());
+        // Lines recorded == distinct lines actually touched.
+        let mut want: Vec<u64> = idxs.iter().map(|&i| buf.f32_addr(i) / 128).collect();
+        want.sort_unstable();
+        want.dedup();
+        prop_assert_eq!(&t.lines, &want);
+        // Read words == distinct touched words.
+        let mut words: Vec<u64> = idxs.iter().map(|&i| buf.f32_addr(i) >> 2).collect();
+        words.sort_unstable();
+        words.dedup();
+        prop_assert_eq!(&t.read_words, &words);
+        prop_assert!(t.write_words.is_empty());
+    }
+
+    /// FootprintSet equals the size of the true union under arbitrary
+    /// add/checkpoint/rollback sequences.
+    #[test]
+    fn footprint_matches_reference(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                proptest::collection::vec(0u64..500, 1..20).prop_map(Some), // add batch
+                Just(None),                                                  // checkpoint+rollback later
+            ],
+            1..30
+        )
+    ) {
+        let mut fp = FootprintSet::new(64);
+        let mut reference: std::collections::HashSet<u64> = Default::default();
+        let mut checkpoints: Vec<(usize, std::collections::HashSet<u64>)> = Vec::new();
+        for op in ops {
+            match op {
+                Some(batch) => {
+                    fp.add_lines(batch.iter().copied());
+                    reference.extend(batch);
+                }
+                None => {
+                    if let Some((cp, snap)) = checkpoints.pop() {
+                        fp.rollback(cp);
+                        reference = snap;
+                    } else {
+                        checkpoints.push((fp.checkpoint(), reference.clone()));
+                    }
+                }
+            }
+            prop_assert_eq!(fp.num_lines(), reference.len() as u64);
+        }
+    }
+
+    /// Dependency construction: a consumer depends exactly on the set of
+    /// distinct producers of the words it reads.
+    #[test]
+    fn deps_match_last_writer_semantics(
+        writes in proptest::collection::vec((0u32..4, 0u64..64), 1..40),
+        reads in proptest::collection::vec(0u64..64, 1..20),
+    ) {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(64, "b");
+        let mut rec = TraceRecorder::new(128);
+        let mut builder = DepGraphBuilder::new();
+        let mut last: std::collections::HashMap<u64, u32> = Default::default();
+
+        // Producer nodes 0..4 write words in sequence.
+        for (i, &(node, word)) in writes.iter().enumerate() {
+            rec.begin_block(1);
+            rec.record(0, buf.f32_addr(word), 4, AccessKind::Store);
+            let t = rec.finish_block();
+            builder.visit_block(BlockRef::new(node, i as u32), &t);
+            last.insert(word, node);
+        }
+        // Consumer node 9 reads.
+        rec.begin_block(1);
+        for &word in &reads {
+            rec.record(0, buf.f32_addr(word), 4, AccessKind::Load);
+        }
+        let t = rec.finish_block();
+        builder.visit_block(BlockRef::new(9, 0), &t);
+        let g = builder.finish();
+
+        let mut want: Vec<u32> = reads.iter().filter_map(|w| last.get(w).copied()).collect();
+        want.sort_unstable();
+        want.dedup();
+        let got: Vec<u32> = g.deps_of(BlockRef::new(9, 0)).iter().map(|d| d.node).collect();
+        let mut got_nodes = got.clone();
+        got_nodes.sort_unstable();
+        got_nodes.dedup();
+        prop_assert_eq!(got_nodes, want);
+    }
+
+    /// Disabled recorders are true no-ops regardless of the call pattern.
+    #[test]
+    fn disabled_recorder_is_a_noop(
+        idxs in proptest::collection::vec(0u64..128, 0..50)
+    ) {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(128, "b");
+        let mut rec = TraceRecorder::new(128);
+        rec.set_enabled(false);
+        rec.begin_block(32);
+        let mut ctx = ExecCtx::new(&mut mem, &mut rec);
+        for &i in &idxs {
+            ctx.st_f32(buf, i, 1.0, (i % 32) as u32);
+        }
+        let t = rec.finish_block();
+        prop_assert!(t.write_words.is_empty());
+        prop_assert!(t.work.warps.is_empty());
+        // But the functional effect happened.
+        for &i in &idxs {
+            prop_assert_eq!(mem.read_f32(buf, i), 1.0);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: tile a two-kernel image pipeline with KTILER.
+//!
+//! Builds the paper's motivational pipeline (grayscale → downscale), lets
+//! the block analyzer discover block dependencies and footprints, runs the
+//! KTILER scheduler and compares the tiled schedule against the default
+//! execution on the simulated GTX 960M.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gpu_sim::{DeviceMemory, FreqConfig, GpuConfig};
+use kernels::image::{Downscale, Grayscale};
+use ktiler::{
+    calibrate, execute_schedule, ktiler_schedule, CalibrationConfig, KtilerConfig, Schedule,
+    TileParams,
+};
+
+fn main() {
+    // 1. Allocate device buffers and describe the application graph.
+    //    A large frame (2048x2048) makes the intermediate image exceed the
+    //    2 MiB L2, which is the regime KTILER targets.
+    let (w, h) = (2048u32, 2048u32);
+    let mut mem = DeviceMemory::new();
+    let rgba = mem.alloc_u8(4 * (w as u64) * (h as u64), "input rgba");
+    let gray = mem.alloc_f32((w as u64) * (h as u64), "grayscale");
+    let half = mem.alloc_f32((w as u64 / 2) * (h as u64 / 2), "downscaled");
+    for i in 0..(w as u64) * (h as u64) {
+        mem.write_u32(rgba, i, 0x00808080 ^ (i as u32).wrapping_mul(2654435761));
+    }
+
+    let mut graph = kgraph::AppGraph::new();
+    let a = graph.add_kernel(Box::new(Grayscale::new(rgba, gray, w, h)));
+    let b = graph.add_kernel(Box::new(Downscale::new(gray, half, w, h)));
+    graph.add_edge(a, b, gray);
+
+    // 2. Block analysis: one functional, instrumented run.
+    let cfg = GpuConfig::gtx960m();
+    let gt = kgraph::analyze(&graph, &mut mem, cfg.cache.line_bytes).expect("graph is a DAG");
+    println!(
+        "analyzed {} kernels: {} block-dependency edges",
+        graph.num_nodes(),
+        gt.deps.num_edges()
+    );
+
+    // 3. Calibration + scheduling.
+    let freq = FreqConfig::new(1324.0, 1600.0);
+    let cal = calibrate(&graph, &gt, &cfg, freq, &CalibrationConfig::default());
+    let kcfg = KtilerConfig {
+        weight_threshold_ns: 1_000.0,
+        tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
+    };
+    let out = ktiler_schedule(&graph, &gt, &cal, &kcfg);
+    out.schedule.validate(&graph, &gt.deps).expect("KTILER schedules are valid");
+    println!(
+        "KTILER: {} clusters, {} launches ({} tiled), estimated {:.2} ms",
+        out.clusters.len(),
+        out.schedule.num_launches(),
+        out.schedule.num_tiled_launches(&graph),
+        out.est_cost_ns / 1e6
+    );
+
+    // 4. Execute both schedules on the simulated device.
+    let default = execute_schedule(&Schedule::default_order(&graph), &graph, &gt, &cfg, freq, None);
+    let tiled = execute_schedule(&out.schedule, &graph, &gt, &cfg, freq, None);
+    println!(
+        "default: {:.2} ms (L2 hit rate {:.0}%)",
+        default.total_ns / 1e6,
+        default.stats.hit_rate() * 100.0
+    );
+    println!(
+        "ktiler : {:.2} ms (L2 hit rate {:.0}%) — {:.1}% faster",
+        tiled.total_ns / 1e6,
+        tiled.stats.hit_rate() * 100.0,
+        tiled.gain_over(&default) * 100.0
+    );
+
+    // 5. The functional result is unchanged: spot-check a pixel.
+    let v = mem.read_f32(half, 1234);
+    println!("downscaled[1234] = {v:.4} (identical under any valid schedule)");
+}

@@ -1,0 +1,6 @@
+//! Umbrella package for the KTILER reproduction workspace.
+//!
+//! The real functionality lives in the `crates/` members; this package
+//! hosts the runnable `examples/` and the cross-crate integration tests
+//! in `tests/`.
+pub use ktiler;

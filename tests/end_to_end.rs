@@ -1,0 +1,156 @@
+//! End-to-end integration: the full KTILER pipeline on the optical-flow
+//! application, including functional equivalence of tiled schedules.
+
+use gpu_sim::{FreqConfig, GpuConfig};
+use hsoptflow::{build_app, horn_schunck, synthetic_pair, HsParams, OptFlowApp};
+use kgraph::NodeOp;
+use ktiler::{
+    calibrate, execute_schedule, ktiler_schedule, CalibrationConfig, KtilerConfig, Schedule,
+    TileParams,
+};
+use trace::TraceRecorder;
+
+fn params() -> HsParams {
+    HsParams { levels: 2, jacobi_iters: 8, warp_iters: 1, alpha2: 0.1 }
+}
+
+fn build() -> (OptFlowApp, kgraph::GraphTrace, GpuConfig) {
+    let (f0, f1) = synthetic_pair(128, 128, 1.0, 0.5, 3);
+    let mut app = build_app(&f0, &f1, &params());
+    let cfg = GpuConfig::gtx960m();
+    let gt = kgraph::analyze(&app.graph, &mut app.mem, cfg.cache.line_bytes).unwrap();
+    (app, gt, cfg)
+}
+
+fn ktiler_config(cfg: &GpuConfig) -> KtilerConfig {
+    KtilerConfig {
+        weight_threshold_ns: 500.0,
+        tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
+    }
+}
+
+/// Executes a schedule *functionally* on a fresh copy of the application,
+/// returning the final flow buffers. Kernels run block by block in
+/// schedule order; HtD nodes upload at their scheduled position.
+fn run_functionally(schedule: &Schedule) -> (Vec<f32>, Vec<f32>) {
+    let (f0, f1) = synthetic_pair(128, 128, 1.0, 0.5, 3);
+    let mut app = build_app(&f0, &f1, &params());
+    let mut rec = TraceRecorder::new(128);
+    rec.set_enabled(false);
+    for sk in &schedule.launches {
+        match &app.graph.node(sk.node).op {
+            NodeOp::Kernel(k) => {
+                let dims = k.dims();
+                for &b in &sk.blocks {
+                    let block = gpu_sim::BlockIdx::from_id(b, dims.grid);
+                    let mut ctx = trace::ExecCtx::new(&mut app.mem, &mut rec);
+                    k.execute_block(block, &mut ctx);
+                }
+            }
+            NodeOp::HostToDevice { buf, data } => app.mem.upload_u8(*buf, data),
+            NodeOp::DeviceToHost { .. } => {}
+        }
+    }
+    (app.mem.download_f32(app.u_out), app.mem.download_f32(app.v_out))
+}
+
+#[test]
+fn ktiler_schedule_is_valid_and_tiled() {
+    let (app, gt, cfg) = build();
+    let freq = FreqConfig::new(1324.0, 1600.0);
+    let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg));
+    out.schedule.validate(&app.graph, &gt.deps).unwrap();
+    // Every block of every node is covered exactly once (validate checks
+    // this), and the schedule has at least as many launches as nodes.
+    assert!(out.schedule.num_launches() >= app.graph.num_nodes());
+}
+
+#[test]
+fn tiled_schedule_produces_identical_flow() {
+    let (app, gt, cfg) = build();
+    let freq = FreqConfig::new(1324.0, 1600.0);
+    let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg));
+
+    let (u_def, v_def) = run_functionally(&Schedule::default_order(&app.graph));
+    let (u_tiled, v_tiled) = run_functionally(&out.schedule);
+    assert_eq!(u_def, u_tiled, "tiled execution must be bit-identical");
+    assert_eq!(v_def, v_tiled, "tiled execution must be bit-identical");
+
+    // And both match the CPU reference.
+    let (f0, f1) = synthetic_pair(128, 128, 1.0, 0.5, 3);
+    let (u_ref, v_ref) = horn_schunck(&f0, &f1, &params());
+    assert_eq!(u_def, u_ref.data);
+    assert_eq!(v_def, v_ref.data);
+}
+
+#[test]
+fn ktiler_never_loses_without_ig() {
+    let (app, gt, cfg) = build();
+    for freq in gpu_sim::fig5_freq_configs() {
+        let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
+        let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg));
+        let def = execute_schedule(
+            &Schedule::default_order(&app.graph),
+            &app.graph,
+            &gt,
+            &cfg,
+            freq,
+            Some(0.0),
+        );
+        let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0));
+        // At this small scale gains may be tiny, but tiling must not hurt
+        // materially once the IG is excluded (<2% tolerance for launch
+        // overhead).
+        assert!(
+            tiled.total_ns <= def.total_ns * 1.02,
+            "{freq}: tiled {} vs default {}",
+            tiled.total_ns,
+            def.total_ns
+        );
+    }
+}
+
+#[test]
+fn hit_rate_never_decreases_under_tiling() {
+    let (app, gt, cfg) = build();
+    let freq = FreqConfig::new(1324.0, 1600.0);
+    let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg));
+    let def = execute_schedule(
+        &Schedule::default_order(&app.graph),
+        &app.graph,
+        &gt,
+        &cfg,
+        freq,
+        None,
+    );
+    let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None);
+    assert!(tiled.stats.hit_rate() >= def.stats.hit_rate() - 1e-9);
+}
+
+#[test]
+fn default_mode_statistics_are_consistent() {
+    let (app, gt, cfg) = build();
+    let r = execute_schedule(
+        &Schedule::default_order(&app.graph),
+        &app.graph,
+        &gt,
+        &cfg,
+        FreqConfig::default(),
+        None,
+    );
+    let transfers = app
+        .graph
+        .node_ids()
+        .filter(|&n| !matches!(app.graph.node(n).op, NodeOp::Kernel(_)))
+        .count();
+    assert_eq!(
+        r.launches as usize + transfers,
+        app.graph.num_nodes(),
+        "transfer nodes do not count as kernel launches"
+    );
+    assert!((r.total_ns - (r.kernel_ns + r.ig_ns + r.dma_ns)).abs() < 1e-6);
+    assert!(r.stats.hit_rate() > 0.0 && r.stats.hit_rate() < 1.0);
+}

@@ -1,0 +1,98 @@
+//! Property-based integration tests: KTILER invariants over randomized
+//! pipeline shapes.
+
+use gpu_sim::{Buffer, DeviceMemory, FreqConfig, GpuConfig};
+use kernels::compute::{FillSeq, ScanStep};
+use ktiler::{
+    calibrate, ktiler_schedule, CalibrationConfig, KtilerConfig, Schedule, SubKernel, TileParams,
+};
+use proptest::prelude::*;
+
+/// Builds a random chain: fill -> scan steps with random offsets.
+fn chain(n: u32, offsets: &[u32]) -> (kgraph::AppGraph, DeviceMemory, Vec<Buffer>) {
+    let mut mem = DeviceMemory::new();
+    let a = mem.alloc_f32(n as u64, "a");
+    let b = mem.alloc_f32(n as u64, "b");
+    let mut g = kgraph::AppGraph::new();
+    let mut prev = g.add_kernel(Box::new(FillSeq::new(a, n, 1.0, 0.0)));
+    let mut bufs = (a, b);
+    let mut prev_buf = a;
+    for &off in offsets {
+        let k = g.add_kernel(Box::new(ScanStep::new(bufs.0, bufs.1, n, off.clamp(1, n - 1))));
+        g.add_edge(prev, k, prev_buf);
+        prev = k;
+        prev_buf = bufs.1;
+        bufs = (bufs.1, bufs.0);
+    }
+    (g, mem, vec![a, b])
+}
+
+fn kcfg(cfg: &GpuConfig, thld: f64) -> KtilerConfig {
+    KtilerConfig {
+        weight_threshold_ns: thld,
+        tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any chain shape yields a dependency-valid, complete schedule.
+    #[test]
+    fn ktiler_schedules_are_always_valid(
+        n_exp in 12u32..16,
+        offsets in proptest::collection::vec(1u32..10_000, 1..5),
+        thld in prop_oneof![Just(0.0), Just(1_000.0), Just(100_000.0)],
+    ) {
+        let n = 1 << n_exp;
+        let (g, mut mem, _) = chain(n, &offsets);
+        let cfg = GpuConfig::gtx960m();
+        let gt = kgraph::analyze(&g, &mut mem, cfg.cache.line_bytes).unwrap();
+        let cal = calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+        let out = ktiler_schedule(&g, &gt, &cal, &kcfg(&cfg, thld));
+        out.schedule.validate(&g, &gt.deps).unwrap();
+    }
+
+    /// The validator rejects any schedule whose launches were reordered
+    /// against a dependency, and accepts the default order.
+    #[test]
+    fn validator_catches_reordering(
+        n_exp in 12u32..14,
+        offsets in proptest::collection::vec(1u32..100, 2..4),
+    ) {
+        let n = 1 << n_exp;
+        let (g, mut mem, _) = chain(n, &offsets);
+        let gt = kgraph::analyze(&g, &mut mem, 128).unwrap();
+        let default = Schedule::default_order(&g);
+        prop_assert!(default.validate(&g, &gt.deps).is_ok());
+        // Swap the first two launches: fill after its consumer.
+        let mut bad = default.clone();
+        bad.launches.swap(0, 1);
+        prop_assert!(bad.validate(&g, &gt.deps).is_err());
+    }
+
+    /// Dropping any single block from a full schedule is caught as
+    /// missing coverage (and dropping a producer block breaks deps).
+    #[test]
+    fn validator_catches_missing_blocks(
+        n_exp in 12u32..14,
+        victim in 0usize..200,
+    ) {
+        let n = 1 << n_exp;
+        let (g, mut mem, _) = chain(n, &[1]);
+        let gt = kgraph::analyze(&g, &mut mem, 128).unwrap();
+        let mut sched = Schedule::default_order(&g);
+        let launch = &mut sched.launches[0];
+        let victim = victim % launch.blocks.len();
+        let blocks: Vec<u32> = launch
+            .blocks
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(i, _)| i != victim)
+            .map(|(_, b)| b)
+            .collect();
+        *launch = SubKernel::new(launch.node, blocks);
+        prop_assert!(sched.validate(&g, &gt.deps).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration: schedule reuse across inputs of the same size.
+//!
+//! Sec. IV-A of the paper: "different input sizes may lead to different
+//! schedules … However, inputs of the same size result in similar grid
+//! sizes and identical block dependencies. Thus, for a given input size,
+//! it is sufficient to generate the schedule only once."
+//!
+//! The optical-flow application contains a value-dependent kernel (`WP`),
+//! which KTILER handles pessimistically (kernel-level dependencies), so a
+//! schedule generated on one frame pair must stay dependency-valid — and
+//! functionally correct — for *any* other frame pair of the same size.
+
+use gpu_sim::{FreqConfig, GpuConfig};
+use hsoptflow::{build_app, horn_schunck, synthetic_pair, HsParams};
+use ktiler::{calibrate, ktiler_schedule, CalibrationConfig, KtilerConfig, TileParams};
+
+fn params() -> HsParams {
+    HsParams { levels: 2, jacobi_iters: 6, warp_iters: 1, alpha2: 0.05 }
+}
+
+#[test]
+fn schedule_from_one_input_is_valid_for_another() {
+    let cfg = GpuConfig::gtx960m();
+    let kcfg = KtilerConfig {
+        weight_threshold_ns: 200.0,
+        tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
+    };
+
+    // Generate the schedule on input A (translation (1.0, 0.5), seed 3).
+    let (a0, a1) = synthetic_pair(128, 128, 1.0, 0.5, 3);
+    let mut app_a = build_app(&a0, &a1, &params());
+    let gt_a = kgraph::analyze(&app_a.graph, &mut app_a.mem, cfg.cache.line_bytes).unwrap();
+    let cal = calibrate(&app_a.graph, &gt_a, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+    let out = ktiler_schedule(&app_a.graph, &gt_a, &cal, &kcfg);
+    out.schedule.validate(&app_a.graph, &gt_a.deps).unwrap();
+
+    // Inputs B, C, D: different content, different motion, same size. The
+    // buffer layout is identical (same allocation sequence), so node ids
+    // and grids line up and the schedule can be validated against each
+    // input's own (value-dependent!) block dependency graph.
+    for (dx, dy, seed) in [(-0.8f32, 0.9f32, 77u64), (0.0, 0.0, 5), (2.0, -1.5, 123)] {
+        let (b0, b1) = synthetic_pair(128, 128, dx, dy, seed);
+        let mut app_b = build_app(&b0, &b1, &params());
+        let gt_b = kgraph::analyze(&app_b.graph, &mut app_b.mem, cfg.cache.line_bytes).unwrap();
+        out.schedule
+            .validate(&app_b.graph, &gt_b.deps)
+            .unwrap_or_else(|e| panic!("schedule invalid for ({dx},{dy},{seed}): {e}"));
+    }
+}
+
+#[test]
+fn reused_schedule_preserves_other_inputs_results() {
+    // Execute the reused schedule functionally on a different input and
+    // check bit-equality with that input's own reference result.
+    let cfg = GpuConfig::gtx960m();
+    let kcfg = KtilerConfig {
+        weight_threshold_ns: 200.0,
+        tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
+    };
+    let (a0, a1) = synthetic_pair(128, 128, 1.0, 0.5, 3);
+    let mut app_a = build_app(&a0, &a1, &params());
+    let gt_a = kgraph::analyze(&app_a.graph, &mut app_a.mem, cfg.cache.line_bytes).unwrap();
+    let cal = calibrate(&app_a.graph, &gt_a, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+    let out = ktiler_schedule(&app_a.graph, &gt_a, &cal, &kcfg);
+
+    // Functionally execute the schedule on input B.
+    let (b0, b1) = synthetic_pair(128, 128, -0.7, 0.8, 99);
+    let mut app_b = build_app(&b0, &b1, &params());
+    let mut rec = trace::TraceRecorder::new(128);
+    rec.set_enabled(false);
+    for sk in &out.schedule.launches {
+        match &app_b.graph.node(sk.node).op {
+            kgraph::NodeOp::Kernel(k) => {
+                for &b in &sk.blocks {
+                    let block = gpu_sim::BlockIdx::from_id(b, k.dims().grid);
+                    let mut ctx = trace::ExecCtx::new(&mut app_b.mem, &mut rec);
+                    k.execute_block(block, &mut ctx);
+                }
+            }
+            kgraph::NodeOp::HostToDevice { buf, data } => app_b.mem.upload_u8(*buf, data),
+            kgraph::NodeOp::DeviceToHost { .. } => {}
+        }
+    }
+    let (u_ref, v_ref) = horn_schunck(&b0, &b1, &params());
+    assert_eq!(app_b.mem.download_f32(app_b.u_out), u_ref.data);
+    assert_eq!(app_b.mem.download_f32(app_b.v_out), v_ref.data);
+}

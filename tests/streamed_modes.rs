@@ -1,0 +1,79 @@
+//! Integration: execution modes (serial, w/o IG, streamed) and timeline
+//! consistency on the optical-flow application.
+
+use gpu_sim::{Engine, FreqConfig, GpuConfig};
+use hsoptflow::{build_app, synthetic_pair, HsParams};
+use ktiler::{
+    execute_schedule, execute_schedule_opts, execute_with_timeline, ExecOptions, Schedule,
+    SliceKind,
+};
+
+fn setup() -> (kgraph::AppGraph, kgraph::GraphTrace, GpuConfig) {
+    let (f0, f1) = synthetic_pair(128, 128, 1.0, 0.5, 3);
+    let p = HsParams { levels: 2, jacobi_iters: 6, warp_iters: 1, alpha2: 0.1 };
+    let mut app = build_app(&f0, &f1, &p);
+    let cfg = GpuConfig::gtx960m();
+    let gt = kgraph::analyze(&app.graph, &mut app.mem, cfg.cache.line_bytes).unwrap();
+    (std::mem::take(&mut app.graph), gt, cfg)
+}
+
+#[test]
+fn streamed_mode_sits_between_serial_and_no_ig() {
+    let (g, gt, cfg) = setup();
+    let freq = FreqConfig::default();
+    let sched = Schedule::default_order(&g);
+    let serial = execute_schedule(&sched, &g, &gt, &cfg, freq, None);
+    let streamed = execute_schedule_opts(
+        &sched,
+        &g,
+        &gt,
+        &cfg,
+        freq,
+        ExecOptions { ig_override: None, streamed: true },
+    );
+    let no_ig = execute_schedule(&sched, &g, &gt, &cfg, freq, Some(0.0));
+    assert!(streamed.ig_ns <= serial.ig_ns);
+    assert!(streamed.total_ns <= serial.total_ns);
+    assert!(no_ig.total_ns <= streamed.total_ns);
+    // Kernel time itself is mode-independent (cache behaviour unchanged).
+    assert!((serial.kernel_ns - streamed.kernel_ns).abs() < 1e-6);
+    assert!((serial.kernel_ns - no_ig.kernel_ns).abs() < 1e-6);
+}
+
+#[test]
+fn timeline_gap_accounting_matches_modes() {
+    let (g, gt, cfg) = setup();
+    let freq = FreqConfig::default();
+    let sched = Schedule::default_order(&g);
+    let mut eng = Engine::new(cfg.clone(), freq);
+    let (report, tl) = execute_with_timeline(&mut eng, &sched, &g, &gt);
+    assert!((tl.total_gap_ns() - report.ig_ns).abs() < 1e-6);
+    // Number of kernel slices equals kernel launches; DMA slices equal
+    // transfer nodes.
+    let kernels = tl.slices.iter().filter(|s| s.kind == SliceKind::Kernel).count();
+    let dmas = tl.slices.iter().filter(|s| s.kind == SliceKind::Dma).count();
+    assert_eq!(kernels as u64, report.launches);
+    assert_eq!(kernels + dmas, sched.num_launches());
+    // Gap subtraction equals the w/o-IG run (the paper's methodology).
+    let no_ig = execute_schedule(&sched, &g, &gt, &cfg, freq, Some(0.0));
+    assert!((report.total_ns - tl.total_gap_ns() - no_ig.total_ns).abs() < 1e-6);
+}
+
+#[test]
+fn num_tiled_launches_counts_splits_only() {
+    let (g, _, _) = setup();
+    let sched = Schedule::default_order(&g);
+    assert_eq!(sched.num_tiled_launches(&g), 0, "full launches are not tiled");
+    // Split the first kernel node in two.
+    let mut tiled = sched.clone();
+    let pos = tiled
+        .launches
+        .iter()
+        .position(|sk| sk.grid_size() > 1)
+        .expect("some node has several blocks");
+    let sk = tiled.launches[pos].clone();
+    let (a, b) = sk.blocks.split_at(sk.blocks.len() / 2);
+    tiled.launches[pos] = ktiler::SubKernel::new(sk.node, a.to_vec());
+    tiled.launches.insert(pos + 1, ktiler::SubKernel::new(sk.node, b.to_vec()));
+    assert_eq!(tiled.num_tiled_launches(&g), 2);
+}
