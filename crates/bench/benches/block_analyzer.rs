@@ -1,29 +1,19 @@
-//! Criterion bench: block-analyzer throughput — the cost of one
-//! instrumented functional run (trace recording, coalescing and
-//! dependency-graph construction), the pass the paper performs once per
+//! Bench: block-analyzer throughput — the cost of one instrumented
+//! functional run (trace recording, coalescing and dependency-graph
+//! construction), the pass the paper performs once per
 //! application/input-size with SASSI plus host post-processing.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::timing::bench_throughput;
 use hsoptflow::{build_app, synthetic_pair, HsParams};
 
-fn bench_analyze(c: &mut Criterion) {
-    let mut group = c.benchmark_group("block_analyzer");
-    group.sample_size(10);
-
+fn main() {
     for (size, iters) in [(64u32, 5u32), (128, 10), (256, 10)] {
         let p = HsParams { levels: 2, jacobi_iters: iters, warp_iters: 1, alpha2: 0.1 };
         let (f0, f1) = synthetic_pair(size, size, 1.0, 0.5, 7);
         let pixels = (size as u64) * (size as u64) * (iters as u64 + 4);
-        group.throughput(Throughput::Elements(pixels));
-        group.bench_function(format!("optflow_{size}px_{iters}ji"), |b| {
-            b.iter(|| {
-                let mut app = build_app(&f0, &f1, &p);
-                kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap()
-            });
+        bench_throughput(&format!("block_analyzer/optflow_{size}px_{iters}ji"), pixels, 1, 10, || {
+            let mut app = build_app(&f0, &f1, &p);
+            kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_analyze);
-criterion_main!(benches);

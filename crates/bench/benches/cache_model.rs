@@ -1,45 +1,44 @@
-//! Criterion bench: raw throughput of the L2 cache model (probes/second).
+//! Bench: raw throughput of the L2 cache model (probes/second).
 //!
 //! The cache model is probed once per warp transaction of every simulated
 //! launch, so its probe cost bounds overall simulation speed.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use bench::timing::bench_throughput;
 use gpu_sim::{CacheConfig, L2Cache};
+use std::hint::black_box;
 
 const PROBES: u64 = 100_000;
 
-fn bench_cache(c: &mut Criterion) {
+fn main() {
     let cfg = CacheConfig::new(2 * 1024 * 1024, 16, 128);
-    let mut group = c.benchmark_group("l2_cache");
-    group.throughput(Throughput::Elements(PROBES));
 
-    group.bench_function("all_hits", |b| {
+    {
         let mut cache = L2Cache::new(cfg);
         // Resident working set: 1024 lines.
         for line in 0..1024 {
             cache.access_line(line, false);
         }
-        b.iter(|| {
+        bench_throughput("l2_cache/all_hits", PROBES, 2, 20, || {
             for i in 0..PROBES {
                 black_box(cache.access_line(i % 1024, false));
             }
         });
-    });
+    }
 
-    group.bench_function("streaming_misses", |b| {
+    {
         let mut cache = L2Cache::new(cfg);
         let mut next = 0u64;
-        b.iter(|| {
+        bench_throughput("l2_cache/streaming_misses", PROBES, 2, 20, || {
             for _ in 0..PROBES {
                 black_box(cache.access_line(next, false));
                 next += 1;
             }
         });
-    });
+    }
 
-    group.bench_function("mixed_stencil", |b| {
+    {
         let mut cache = L2Cache::new(cfg);
-        b.iter(|| {
+        bench_throughput("l2_cache/mixed_stencil", PROBES, 2, 20, || {
             // 5-point-stencil-like pattern over a 64k-line footprint.
             let mut line = 0u64;
             for i in 0..PROBES / 5 {
@@ -49,10 +48,5 @@ fn bench_cache(c: &mut Criterion) {
                 }
             }
         });
-    });
-
-    group.finish();
+    }
 }
-
-criterion_group!(benches, bench_cache);
-criterion_main!(benches);

@@ -1,13 +1,13 @@
-//! Criterion bench: scheduler cost — Algorithm 2 (`cluster_tile`) on JI
-//! chains of increasing depth, and the full Algorithm 1
-//! (`ktiler_schedule`) on a reduced optical-flow application.
+//! Bench: scheduler cost — Algorithm 2 (`cluster_tile`) on JI chains of
+//! increasing depth, and the full Algorithm 1 (`ktiler_schedule`) on a
+//! reduced optical-flow application.
 //!
 //! The paper reports that generating the schedule for the full application
 //! (~1500 kernels, 1024²) takes about twenty minutes on a laptop; these
 //! benches track the same cost at reduced scale so regressions in the
 //! heuristics are visible.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::bench;
 use gpu_sim::{FreqConfig, GpuConfig};
 use hsoptflow::{build_app, synthetic_pair, HsParams};
 use kgraph::NodeId;
@@ -28,7 +28,8 @@ fn setup(size: u32, iters: u32) -> Setup {
     let mut app = build_app(&f0, &f1, &p);
     let cfg = GpuConfig::gtx960m();
     let gt = kgraph::analyze(&app.graph, &mut app.mem, cfg.cache.line_bytes).unwrap();
-    let cal = calibrate(&app.graph, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+    let cal =
+        calibrate(&app.graph, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
     Setup { graph: std::mem::take(&mut app.graph), gt, cal, cfg }
 }
 
@@ -36,37 +37,30 @@ fn params(cfg: &GpuConfig) -> TileParams {
     TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0)
 }
 
-fn bench_cluster_tile(c: &mut Criterion) {
+fn bench_cluster_tile() {
     let s = setup(256, 16);
     let p = params(&s.cfg);
-    let mut group = c.benchmark_group("cluster_tile");
-    group.sample_size(10);
     // JI chains of the finest level: nodes are contiguous in the builder.
-    let ji: Vec<NodeId> = s
-        .graph
-        .node_ids()
-        .filter(|&n| s.graph.node(n).label == "JI")
-        .collect();
+    let ji: Vec<NodeId> =
+        s.graph.node_ids().filter(|&n| s.graph.node(n).label == "JI").collect();
     let finest: Vec<NodeId> = ji[ji.len() - 16..].to_vec();
     for depth in [2usize, 4, 8, 16] {
         let members: Vec<NodeId> = finest[..depth].to_vec();
-        group.bench_function(format!("ji_chain_depth_{depth}"), |b| {
-            b.iter(|| cluster_tile(&members, &s.graph, &s.gt, &s.cal, &p).unwrap());
+        bench(&format!("cluster_tile/ji_chain_depth_{depth}"), 2, 10, || {
+            cluster_tile(&members, &s.graph, &s.gt, &s.cal, &p).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_ktiler_schedule(c: &mut Criterion) {
+fn bench_ktiler_schedule() {
     let s = setup(256, 10);
     let kcfg = KtilerConfig { weight_threshold_ns: 1_000.0, tile: params(&s.cfg) };
-    let mut group = c.benchmark_group("application_tiling");
-    group.sample_size(10);
-    group.bench_function("optflow_256px_10ji", |b| {
-        b.iter(|| ktiler_schedule(&s.graph, &s.gt, &s.cal, &kcfg));
+    bench("application_tiling/optflow_256px_10ji", 2, 10, || {
+        ktiler_schedule(&s.graph, &s.gt, &s.cal, &kcfg)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_cluster_tile, bench_ktiler_schedule);
-criterion_main!(benches);
+fn main() {
+    bench_cluster_tile();
+    bench_ktiler_schedule();
+}

@@ -1,14 +1,14 @@
-//! Criterion bench: end-to-end timing-engine throughput — how many
-//! simulated thread blocks per second the replay engine sustains. This is
-//! the cost of one `execute_schedule` pass, paid per evaluated schedule and
-//! per calibration sample.
+//! Bench: end-to-end timing-engine throughput — how many simulated thread
+//! blocks per second the replay engine sustains. This is the cost of one
+//! `execute_schedule` pass, paid per evaluated schedule and per
+//! calibration sample.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::timing::bench_throughput;
 use gpu_sim::{Engine, FreqConfig, GpuConfig};
 use hsoptflow::{build_app, synthetic_pair, HsParams};
 use kgraph::NodeOp;
 
-fn bench_launch(c: &mut Criterion) {
+fn bench_launch() {
     let p = HsParams { levels: 1, jacobi_iters: 2, warp_iters: 1, alpha2: 0.1 };
     let (f0, f1) = synthetic_pair(512, 512, 1.0, 0.5, 7);
     let mut app = build_app(&f0, &f1, &p);
@@ -20,17 +20,14 @@ fn bench_launch(c: &mut Criterion) {
     let blocks = k.dims().num_blocks();
     let work = gt.node(ji).work_of(0..blocks);
 
-    let mut group = c.benchmark_group("sim_throughput");
-    group.throughput(Throughput::Elements(blocks as u64));
-    group.bench_function("jacobi_512px_launch", |b| {
-        let mut eng = Engine::new(cfg.clone(), FreqConfig::default());
-        eng.set_inter_launch_gap_ns(0.0);
-        b.iter(|| eng.launch(&work, tpb));
+    let mut eng = Engine::new(cfg.clone(), FreqConfig::default());
+    eng.set_inter_launch_gap_ns(0.0);
+    bench_throughput("sim_throughput/jacobi_512px_launch", blocks as u64, 2, 20, || {
+        eng.launch(&work, tpb)
     });
-    group.finish();
 }
 
-fn bench_execute_schedule(c: &mut Criterion) {
+fn bench_execute_schedule() {
     use ktiler::{execute_schedule, Schedule};
     let p = HsParams { levels: 2, jacobi_iters: 8, warp_iters: 1, alpha2: 0.1 };
     let (f0, f1) = synthetic_pair(256, 256, 1.0, 0.5, 7);
@@ -40,16 +37,12 @@ fn bench_execute_schedule(c: &mut Criterion) {
     let sched = Schedule::default_order(&app.graph);
     let blocks: u64 = sched.launches.iter().map(|s| s.grid_size() as u64).sum();
 
-    let mut group = c.benchmark_group("sim_throughput");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(blocks));
-    group.bench_function("optflow_256px_schedule", |b| {
-        b.iter(|| {
-            execute_schedule(&sched, &app.graph, &gt, &cfg, FreqConfig::default(), None)
-        });
+    bench_throughput("sim_throughput/optflow_256px_schedule", blocks, 1, 10, || {
+        execute_schedule(&sched, &app.graph, &gt, &cfg, FreqConfig::default(), None)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_launch, bench_execute_schedule);
-criterion_main!(benches);
+fn main() {
+    bench_launch();
+    bench_execute_schedule();
+}

@@ -1,0 +1,133 @@
+//! `bench_scheduler` — wall-clock cost of the offline scheduling pipeline
+//! (block analysis, calibration, Algorithm 1 + Algorithm 2) on the full
+//! HSOpticalFlow DFG, written as JSON for regression tracking.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_scheduler [--size N] [--iters N] [--samples K]
+//!                 [--baseline FILE] [--out FILE]
+//! ```
+//!
+//! With `--baseline FILE` (a previous run's JSON), the output embeds the
+//! baseline timings and the speedup of the current build over it. The
+//! default output path is `results/BENCH_scheduler.json`.
+
+use bench::timing::{bench, BenchStats};
+use bench::{paper_ktiler_config, prepare, schedule_at, Scale};
+use gpu_sim::FreqConfig;
+use ktiler::{calibrate, ktiler_schedule, CalibrationConfig};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Extracts `"key": number` pairs from the `"timings_ms"` object of a
+/// previous run's JSON (which this tool itself wrote — the parser only
+/// needs to understand its own output format).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let Some(start) = text.find("\"timings_ms\"") else { return Vec::new() };
+    let Some(open) = text[start..].find('{') else { return Vec::new() };
+    let body = &text[start + open + 1..];
+    let Some(close) = body.find('}') else { return Vec::new() };
+    body[..close]
+        .split(',')
+        .filter_map(|pair| {
+            let (k, v) = pair.split_once(':')?;
+            let key = k.trim().trim_matches('"').to_string();
+            let val: f64 = v.trim().parse().ok()?;
+            Some((key, val))
+        })
+        .collect()
+}
+
+fn json_object(pairs: &[(String, f64)], indent: &str) -> String {
+    let fields: Vec<String> =
+        pairs.iter().map(|(k, v)| format!("{indent}  \"{k}\": {v:.3}")).collect();
+    format!("{{\n{}\n{indent}}}", fields.join(",\n"))
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let samples: usize =
+        arg_value("--samples").map(|s| s.parse().expect("bad --samples")).unwrap_or(3);
+    let out_path =
+        arg_value("--out").unwrap_or_else(|| "results/BENCH_scheduler.json".to_string());
+    let freq = FreqConfig::default();
+
+    println!(
+        "== scheduler benchmark: HSOpticalFlow {}x{}, {} levels, {} JI/step, {} samples ==",
+        scale.size, scale.size, scale.levels, scale.iters, samples
+    );
+
+    // Stage 0 (untimed here, measured by block_analyzer bench): build+analyze.
+    let w = prepare(scale);
+    println!(
+        "graph: {} nodes, {} block-dependency edges",
+        w.app.graph.num_nodes(),
+        w.gt.deps.num_edges()
+    );
+
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: &str, s: BenchStats| timings.push((name.to_string(), s.median_ns / 1e6));
+
+    // Calibration: performance tables + edge weights (Sec. IV-B).
+    let cal_stats = bench("calibrate", 0, samples, || {
+        calibrate(&w.app.graph, &w.gt, &w.cfg, freq, &CalibrationConfig::default())
+    });
+    push("calibrate_ms", cal_stats);
+    let cal = calibrate(&w.app.graph, &w.gt, &w.cfg, freq, &CalibrationConfig::default());
+
+    // Algorithm 1 (greedy clustering) + Algorithm 2 (ClusterTile).
+    let kcfg = paper_ktiler_config(&w.cfg);
+    let sched_stats = bench("ktiler_schedule", 0, samples, || {
+        ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg)
+    });
+    push("ktiler_schedule_ms", sched_stats);
+
+    // End-to-end offline pass as an application would invoke it.
+    let e2e_stats = bench("calibrate+schedule", 0, samples, || schedule_at(&w, freq));
+    push("end_to_end_ms", e2e_stats);
+
+    let baseline = arg_value("--baseline").map(|p| {
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+        let b = parse_baseline(&text);
+        assert!(!b.is_empty(), "no timings_ms found in baseline {p}");
+        b
+    });
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"size\": {}, \"iters\": {}, \"levels\": {}, \"nodes\": {}, \"block_dep_edges\": {}}},\n",
+        scale.size,
+        scale.iters,
+        scale.levels,
+        w.app.graph.num_nodes(),
+        w.gt.deps.num_edges()
+    ));
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str(&format!("  \"timings_ms\": {}", json_object(&timings, "  ")));
+    if let Some(base) = &baseline {
+        json.push_str(&format!(",\n  \"baseline_ms\": {}", json_object(base, "  ")));
+        let speedups: Vec<(String, f64)> = timings
+            .iter()
+            .filter_map(|(k, v)| {
+                let (_, b) = base.iter().find(|(bk, _)| bk == k)?;
+                Some((k.clone(), b / v))
+            })
+            .collect();
+        json.push_str(&format!(",\n  \"speedup\": {}", json_object(&speedups, "  ")));
+        println!("\nspeedup over baseline:");
+        for (k, s) in &speedups {
+            println!("  {k:<24} {s:.2}x");
+        }
+    }
+    json.push_str("\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

@@ -1,0 +1,103 @@
+//! Minimal wall-clock benchmarking harness.
+//!
+//! The workspace builds fully offline, so the benches use this small
+//! in-repo harness instead of an external framework: warmup runs followed
+//! by timed samples, reporting min / median / mean. The `[[bench]]`
+//! targets declare `harness = false` and drive it from `main`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Summary statistics of one benchmark, all in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchStats {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl BenchStats {
+    /// Renders a duration human-readably (ns / µs / ms / s).
+    pub fn fmt_ns(ns: f64) -> String {
+        if ns < 1e3 {
+            format!("{ns:.1} ns")
+        } else if ns < 1e6 {
+            format!("{:.2} µs", ns / 1e3)
+        } else if ns < 1e9 {
+            format!("{:.2} ms", ns / 1e6)
+        } else {
+            format!("{:.3} s", ns / 1e9)
+        }
+    }
+}
+
+/// Times `f` over `samples` timed runs (after `warmup` untimed runs) and
+/// prints a one-line summary. The closure's result is passed through
+/// [`black_box`] so the work is not optimized away.
+pub fn bench<T>(name: &str, warmup: usize, samples: usize, mut f: impl FnMut() -> T) -> BenchStats {
+    assert!(samples > 0, "need at least one sample");
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        black_box(f());
+        times.push(t0.elapsed().as_nanos() as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let stats = BenchStats {
+        min_ns: times[0],
+        median_ns: times[times.len() / 2],
+        mean_ns: times.iter().sum::<f64>() / times.len() as f64,
+        samples,
+    };
+    println!(
+        "{name:<40} min {:>12}  median {:>12}  mean {:>12}  ({samples} samples)",
+        BenchStats::fmt_ns(stats.min_ns),
+        BenchStats::fmt_ns(stats.median_ns),
+        BenchStats::fmt_ns(stats.mean_ns),
+    );
+    stats
+}
+
+/// Like [`bench`], additionally reporting throughput in elements/second
+/// computed from `elements` processed per iteration.
+pub fn bench_throughput<T>(
+    name: &str,
+    elements: u64,
+    warmup: usize,
+    samples: usize,
+    f: impl FnMut() -> T,
+) -> BenchStats {
+    let stats = bench(name, warmup, samples, f);
+    let eps = elements as f64 / (stats.median_ns / 1e9);
+    println!("{:<40} {:.3} M elements/s (median)", format!("  └ {name}"), eps / 1e6);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_stats() {
+        let s = bench("noop", 1, 5, || 42u64);
+        assert_eq!(s.samples, 5);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.min_ns <= s.mean_ns);
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert!(BenchStats::fmt_ns(12.0).ends_with("ns"));
+        assert!(BenchStats::fmt_ns(12_000.0).ends_with("µs"));
+        assert!(BenchStats::fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(BenchStats::fmt_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

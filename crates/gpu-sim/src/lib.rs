@@ -51,6 +51,7 @@ mod geometry;
 mod memory;
 mod power;
 mod profiler;
+mod rng;
 mod work;
 
 pub use cache::{Access, CacheStats, L2Cache};
@@ -62,4 +63,5 @@ pub use geometry::{BlockId, BlockIdx, Dim3, LaunchDims, WARP_SIZE};
 pub use memory::{Buffer, BufferId, DeviceMemory};
 pub use power::PowerModel;
 pub use profiler::{LaunchStats, RunCounters};
+pub use rng::SplitMix64;
 pub use work::{BlockWork, Txn, WarpWork};

@@ -1,8 +1,12 @@
-//! Property-based tests of the cache model against a naive reference
-//! implementation, plus geometry invariants.
+//! Randomized model-based tests of the cache model against a naive
+//! reference implementation, plus geometry invariants.
+//!
+//! These are property-style tests driven by the in-repo [`SplitMix64`]
+//! PRNG (the workspace builds offline, so no external proptest crate):
+//! each property is checked over many seeded random cases, and failures
+//! report the seed so a case can be replayed exactly.
 
-use gpu_sim::{Access, CacheConfig, Dim3, L2Cache};
-use proptest::prelude::*;
+use gpu_sim::{Access, CacheConfig, Dim3, L2Cache, SplitMix64};
 use std::collections::VecDeque;
 
 /// Naive fully-explicit LRU set-associative cache used as the oracle.
@@ -41,29 +45,41 @@ impl RefCache {
     }
 }
 
-proptest! {
-    /// The production cache matches the oracle on arbitrary access
-    /// sequences (model-based testing).
-    #[test]
-    fn cache_matches_reference_model(
-        accesses in proptest::collection::vec((0u64..512, any::<bool>()), 1..2000)
-    ) {
+fn access_seq(
+    rng: &mut SplitMix64,
+    max_line: u64,
+    min_len: usize,
+    max_len: usize,
+) -> Vec<(u64, bool)> {
+    let len = rng.gen_range_usize(min_len, max_len);
+    (0..len).map(|_| (rng.gen_range_u64(0, max_line), rng.gen_bool())).collect()
+}
+
+/// The production cache matches the oracle on arbitrary access sequences
+/// (model-based testing).
+#[test]
+fn cache_matches_reference_model() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let accesses = access_seq(&mut rng, 512, 1, 2000);
         let cfg = CacheConfig::new(8 * 1024, 4, 64); // 32 sets, 128 lines
         let mut cache = L2Cache::new(cfg);
         let mut oracle = RefCache::new(&cfg);
         for (line, write) in accesses {
             let got = cache.access_line(line, write);
             let want = oracle.access(line, write);
-            prop_assert_eq!(got, want, "diverged at line {} write {}", line, write);
+            assert_eq!(got, want, "seed {seed}: diverged at line {line} write {write}");
         }
     }
+}
 
-    /// Hits + misses always equals the number of accesses, and the hit
-    /// rate is a valid probability.
-    #[test]
-    fn stats_are_consistent(
-        accesses in proptest::collection::vec((0u64..100, any::<bool>()), 1..500)
-    ) {
+/// Hits + misses always equals the number of accesses, and the hit rate is
+/// a valid probability.
+#[test]
+fn stats_are_consistent() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let accesses = access_seq(&mut rng, 100, 1, 500);
         let cfg = CacheConfig::new(4 * 1024, 2, 64);
         let mut cache = L2Cache::new(cfg);
         let n = accesses.len() as u64;
@@ -71,50 +87,58 @@ proptest! {
             cache.access_line(line, write);
         }
         let stats = cache.stats();
-        prop_assert_eq!(stats.accesses(), n);
-        prop_assert!((0.0..=1.0).contains(&stats.hit_rate()));
-        prop_assert!(stats.writebacks <= stats.misses);
+        assert_eq!(stats.accesses(), n, "seed {seed}");
+        assert!((0.0..=1.0).contains(&stats.hit_rate()), "seed {seed}");
+        assert!(stats.writebacks <= stats.misses, "seed {seed}");
     }
+}
 
-    /// Resident lines never exceed capacity, and a working set smaller
-    /// than one set's ways never self-evicts.
-    #[test]
-    fn capacity_invariants(
-        lines in proptest::collection::vec(0u64..10_000, 1..1000)
-    ) {
+/// Resident lines never exceed capacity, and the most recently touched
+/// line is always still resident.
+#[test]
+fn capacity_invariants() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let len = rng.gen_range_usize(1, 1000);
+        let lines = rng.vec_u64(len, 0, 10_000);
         let cfg = CacheConfig::new(8 * 1024, 4, 64);
         let mut cache = L2Cache::new(cfg);
         for &l in &lines {
             cache.access_line(l, false);
         }
-        prop_assert!(cache.resident_lines() <= cfg.num_lines());
-        // Every distinct recently-touched line within the last `ways`
-        // unique lines of its set must still be resident: check the very
-        // last access.
-        prop_assert!(cache.contains_line(*lines.last().unwrap()));
+        assert!(cache.resident_lines() <= cfg.num_lines(), "seed {seed}");
+        assert!(cache.contains_line(*lines.last().unwrap()), "seed {seed}");
     }
+}
 
-    /// Dim3 linear index <-> coordinates roundtrip for arbitrary extents.
-    #[test]
-    fn dim3_roundtrip(x in 1u32..40, y in 1u32..40, z in 1u32..8, pick in any::<u64>()) {
+/// Dim3 linear index <-> coordinates roundtrip for arbitrary extents.
+#[test]
+fn dim3_roundtrip() {
+    let mut rng = SplitMix64::new(99);
+    for _ in 0..500 {
+        let (x, y, z) =
+            (rng.gen_range_u32(1, 40), rng.gen_range_u32(1, 40), rng.gen_range_u32(1, 8));
         let d = Dim3::new(x, y, z);
-        let idx = pick % d.count();
+        let idx = rng.next_u64() % d.count();
         let (cx, cy, cz) = d.coords(idx);
-        prop_assert_eq!(d.linear_index(cx, cy, cz), idx);
-        prop_assert!(cx < x && cy < y && cz < z);
+        assert_eq!(d.linear_index(cx, cy, cz), idx);
+        assert!(cx < x && cy < y && cz < z);
     }
+}
 
-    /// Repeating the same access twice in a row: the second is always a
-    /// hit (temporal locality is never lost immediately).
-    #[test]
-    fn immediate_reuse_always_hits(
-        lines in proptest::collection::vec(0u64..100_000, 1..300)
-    ) {
+/// Repeating the same access twice in a row: the second is always a hit
+/// (temporal locality is never lost immediately).
+#[test]
+fn immediate_reuse_always_hits() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(seed);
+        let len = rng.gen_range_usize(1, 300);
+        let lines = rng.vec_u64(len, 0, 100_000);
         let cfg = CacheConfig::default();
         let mut cache = L2Cache::new(cfg);
         for &l in &lines {
             cache.access_line(l, false);
-            prop_assert!(cache.access_line(l, false).is_hit());
+            assert!(cache.access_line(l, false).is_hit(), "seed {seed} line {l}");
         }
     }
 }

@@ -1,28 +1,30 @@
-//! Property-based tests of the timing engine: monotonicity, determinism
-//! and accounting invariants over randomized workloads.
+//! Randomized tests of the timing engine: monotonicity, determinism and
+//! accounting invariants over randomized workloads (seeded [`SplitMix64`]
+//! cases; failures report the seed for exact replay).
 
-use gpu_sim::{BlockWork, Engine, FreqConfig, GpuConfig, Txn, WarpWork};
-use proptest::prelude::*;
+use gpu_sim::{BlockWork, Engine, FreqConfig, GpuConfig, SplitMix64, Txn, WarpWork};
 
-/// Strategy: a random block of 1..=8 warps, each with 1..=12 transactions
-/// over a bounded line space plus some compute.
-fn arb_block() -> impl Strategy<Value = BlockWork> {
-    proptest::collection::vec(
-        (
-            proptest::collection::vec((0u64..20_000, any::<bool>()), 1..12),
-            0u64..64,
-        ),
-        1..8,
-    )
-    .prop_map(|warps| BlockWork {
-        warps: warps
-            .into_iter()
-            .map(|(txns, compute_cycles)| WarpWork {
-                txns: txns.into_iter().map(|(line, write)| Txn { line, write }).collect(),
-                compute_cycles,
-            })
-            .collect(),
-    })
+/// A random block of 1..=8 warps, each with 1..=12 transactions over a
+/// bounded line space plus some compute.
+fn arb_block(rng: &mut SplitMix64) -> BlockWork {
+    let num_warps = rng.gen_range_usize(1, 8);
+    let warps = (0..num_warps)
+        .map(|_| {
+            let num_txns = rng.gen_range_usize(1, 12);
+            WarpWork {
+                txns: (0..num_txns)
+                    .map(|_| Txn { line: rng.gen_range_u64(0, 20_000), write: rng.gen_bool() })
+                    .collect(),
+                compute_cycles: rng.gen_range_u64(0, 64),
+            }
+        })
+        .collect();
+    BlockWork { warps }
+}
+
+fn arb_blocks(rng: &mut SplitMix64, min: usize, max: usize) -> Vec<BlockWork> {
+    let n = rng.gen_range_usize(min, max);
+    (0..n).map(|_| arb_block(rng)).collect()
 }
 
 fn run(blocks: &[BlockWork], freq: FreqConfig) -> gpu_sim::LaunchStats {
@@ -32,97 +34,120 @@ fn run(blocks: &[BlockWork], freq: FreqConfig) -> gpu_sim::LaunchStats {
     eng.launch(&refs, 256)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Simulation is deterministic: identical launches on identical
-    /// devices give identical statistics.
-    #[test]
-    fn launch_is_deterministic(blocks in proptest::collection::vec(arb_block(), 1..20)) {
+/// Simulation is deterministic: identical launches on identical devices
+/// give identical statistics.
+#[test]
+fn launch_is_deterministic() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let blocks = arb_blocks(&mut rng, 1, 20);
         let a = run(&blocks, FreqConfig::default());
         let b = run(&blocks, FreqConfig::default());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    /// Appending blocks beyond a full-wave boundary strictly increases the
-    /// launch time: the first k waves of both runs are identical (same
-    /// blocks, same dispatch order, same cache-state sequence), so the
-    /// extra wave can only add time.
-    ///
-    /// Note that *sub-wave* monotonicity deliberately does NOT hold: with
-    /// few resident blocks the device is latency-bound, and adding blocks
-    /// improves latency hiding — the rising segment of the paper's
-    /// Figure 3. The invariant lives at wave granularity only.
-    #[test]
-    fn appending_full_waves_adds_time(
-        blocks in proptest::collection::vec(arb_block(), 41..120),
-        waves in 1usize..2,
-    ) {
-        // 256-thread blocks: wave capacity = 40 on the GTX 960M model.
-        let wave = 40usize;
-        let cut = (waves * wave).min((blocks.len() / wave) * wave);
-        prop_assume!(cut >= wave && cut < blocks.len());
+/// Appending blocks beyond a full-wave boundary strictly increases the
+/// launch time: the first k waves of both runs are identical (same blocks,
+/// same dispatch order, same cache-state sequence), so the extra wave can
+/// only add time.
+///
+/// Note that *sub-wave* monotonicity deliberately does NOT hold: with few
+/// resident blocks the device is latency-bound, and adding blocks improves
+/// latency hiding — the rising segment of the paper's Figure 3. The
+/// invariant lives at wave granularity only.
+#[test]
+fn appending_full_waves_adds_time() {
+    // 256-thread blocks: wave capacity = 40 on the GTX 960M model.
+    let wave = 40usize;
+    let mut checked = 0;
+    for seed in 0..40u64 {
+        let mut rng = SplitMix64::new(seed);
+        let blocks = arb_blocks(&mut rng, 41, 120);
+        let cut = (blocks.len() / wave) * wave;
+        if cut < wave || cut >= blocks.len() {
+            continue;
+        }
         let small = run(&blocks[..cut], FreqConfig::default());
         let big = run(&blocks, FreqConfig::default());
-        prop_assert!(big.time_ns > small.time_ns,
-            "{} blocks: {} ns vs {} blocks: {} ns",
-            blocks.len(), big.time_ns, cut, small.time_ns);
+        assert!(
+            big.time_ns > small.time_ns,
+            "seed {seed}: {} blocks: {} ns vs {} blocks: {} ns",
+            blocks.len(),
+            big.time_ns,
+            cut,
+            small.time_ns
+        );
+        checked += 1;
     }
+    assert!(checked >= 10, "too few applicable cases: {checked}");
+}
 
-    /// Raising the core clock never slows a launch down (same memory
-    /// clock, cold cache in both runs).
-    #[test]
-    fn higher_core_clock_is_never_slower(
-        blocks in proptest::collection::vec(arb_block(), 1..12),
-        lo in 300.0f64..1000.0,
-    ) {
+/// Raising the core clock never slows a launch down (same memory clock,
+/// cold cache in both runs).
+#[test]
+fn higher_core_clock_is_never_slower() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let blocks = arb_blocks(&mut rng, 1, 12);
+        let lo = rng.gen_range_f64(300.0, 1000.0);
         let hi = lo * 2.0;
         let t_lo = run(&blocks, FreqConfig::new(lo, 2505.0)).time_ns;
         let t_hi = run(&blocks, FreqConfig::new(hi, 2505.0)).time_ns;
-        prop_assert!(t_hi <= t_lo + 1e-9, "{t_hi} vs {t_lo}");
+        assert!(t_hi <= t_lo + 1e-9, "seed {seed}: {t_hi} vs {t_lo}");
     }
+}
 
-    /// Raising the memory clock never slows a launch down.
-    #[test]
-    fn higher_mem_clock_is_never_slower(
-        blocks in proptest::collection::vec(arb_block(), 1..12),
-        lo in 400.0f64..2000.0,
-    ) {
+/// Raising the memory clock never slows a launch down.
+#[test]
+fn higher_mem_clock_is_never_slower() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let blocks = arb_blocks(&mut rng, 1, 12);
+        let lo = rng.gen_range_f64(400.0, 2000.0);
         let hi = lo * 2.5;
         let t_lo = run(&blocks, FreqConfig::new(1324.0, lo)).time_ns;
         let t_hi = run(&blocks, FreqConfig::new(1324.0, hi)).time_ns;
-        prop_assert!(t_hi <= t_lo + 1e-9, "{t_hi} vs {t_lo}");
+        assert!(t_hi <= t_lo + 1e-9, "seed {seed}: {t_hi} vs {t_lo}");
     }
+}
 
-    /// Accounting invariants: hits+misses = transactions; DRAM traffic is
-    /// at least one line per miss and bounded by two (fill + write-back);
-    /// stall/issue cycles are non-negative and finite.
-    #[test]
-    fn accounting_invariants(blocks in proptest::collection::vec(arb_block(), 1..16)) {
+/// Accounting invariants: hits+misses = transactions; DRAM traffic is at
+/// least one line per miss and bounded by two (fill + write-back);
+/// stall/issue cycles are non-negative and finite.
+#[test]
+fn accounting_invariants() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let blocks = arb_blocks(&mut rng, 1, 16);
         let stats = run(&blocks, FreqConfig::default());
         let txns: u64 = blocks.iter().map(|b| b.num_txns()).sum();
-        prop_assert_eq!(stats.l2_hits + stats.l2_misses, txns);
-        prop_assert!(stats.l2_read_hits <= stats.l2_hits);
-        prop_assert!(stats.l2_read_misses <= stats.l2_misses);
-        prop_assert!(stats.dram_bytes >= stats.l2_misses * 128);
-        prop_assert!(stats.dram_bytes <= stats.l2_misses * 256);
-        prop_assert!(stats.time_ns.is_finite() && stats.time_ns > 0.0);
-        prop_assert!(stats.issued_cycles >= 0.0);
-        prop_assert!(stats.mem_stall_cycles >= 0.0);
-        prop_assert!((0.0..=1.0).contains(&stats.issue_efficiency()));
-        prop_assert!((0.0..=1.0).contains(&stats.mem_dependency_stall_share()));
+        assert_eq!(stats.l2_hits + stats.l2_misses, txns, "seed {seed}");
+        assert!(stats.l2_read_hits <= stats.l2_hits, "seed {seed}");
+        assert!(stats.l2_read_misses <= stats.l2_misses, "seed {seed}");
+        assert!(stats.dram_bytes >= stats.l2_misses * 128, "seed {seed}");
+        assert!(stats.dram_bytes <= stats.l2_misses * 256, "seed {seed}");
+        assert!(stats.time_ns.is_finite() && stats.time_ns > 0.0, "seed {seed}");
+        assert!(stats.issued_cycles >= 0.0, "seed {seed}");
+        assert!(stats.mem_stall_cycles >= 0.0, "seed {seed}");
+        assert!((0.0..=1.0).contains(&stats.issue_efficiency()), "seed {seed}");
+        assert!((0.0..=1.0).contains(&stats.mem_dependency_stall_share()), "seed {seed}");
     }
+}
 
-    /// Warm relaunch of the same work never has fewer hits than the cold
-    /// launch and is never slower... (it can only benefit from residency).
-    #[test]
-    fn warm_relaunch_is_never_worse(blocks in proptest::collection::vec(arb_block(), 1..10)) {
+/// Warm relaunch of the same work never has fewer hits than the cold
+/// launch and is never slower (it can only benefit from residency).
+#[test]
+fn warm_relaunch_is_never_worse() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let blocks = arb_blocks(&mut rng, 1, 10);
         let mut eng = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
         eng.set_inter_launch_gap_ns(0.0);
         let refs: Vec<&BlockWork> = blocks.iter().collect();
         let cold = eng.launch(&refs, 256);
         let warm = eng.launch(&refs, 256);
-        prop_assert!(warm.l2_hits >= cold.l2_hits);
-        prop_assert!(warm.time_ns <= cold.time_ns + 1e-9);
+        assert!(warm.l2_hits >= cold.l2_hits, "seed {seed}");
+        assert!(warm.time_ns <= cold.time_ns + 1e-9, "seed {seed}");
     }
 }

@@ -7,8 +7,7 @@
 //! flow — exercises exactly the same code paths while also letting tests
 //! check flow accuracy against the ground truth.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpu_sim::SplitMix64;
 
 /// A grayscale image: `w * h` luma values in `[0, 1]`, row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,8 +58,8 @@ pub fn smooth_pattern(w: u32, h: u32, seed: u64) -> Frame {
     let cell = 16u32; // coarse grid resolution
     let gw = w.div_ceil(cell) + 2;
     let gh = h.div_ceil(cell) + 2;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let grid: Vec<f32> = (0..gw as usize * gh as usize).map(|_| rng.gen::<f32>()).collect();
+    let mut rng = SplitMix64::new(seed);
+    let grid: Vec<f32> = (0..gw as usize * gh as usize).map(|_| rng.gen_f32()).collect();
     let gat = |x: i64, y: i64| -> f32 {
         let xc = x.clamp(0, gw as i64 - 1) as usize;
         let yc = y.clamp(0, gh as i64 - 1) as usize;

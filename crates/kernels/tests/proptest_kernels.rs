@@ -1,13 +1,11 @@
-//! Property-based functional tests of the kernel zoo against scalar
-//! reference computations.
+//! Randomized functional tests of the kernel zoo against scalar
+//! reference computations (seeded [`SplitMix64`] cases; failures report
+//! the seed for exact replay).
 
-use gpu_sim::DeviceMemory;
-use kernels::compute::{
-    bitonic_steps, scan_steps, BitonicStep, ReduceSum, ScanStep, Transpose,
-};
+use gpu_sim::{DeviceMemory, SplitMix64};
+use kernels::compute::{bitonic_steps, scan_steps, BitonicStep, ReduceSum, ScanStep, Transpose};
 use kernels::image::{AddField, Downscale, JacobiIter};
 use kgraph::Kernel;
-use proptest::prelude::*;
 use trace::{ExecCtx, TraceRecorder};
 
 /// Runs a kernel functionally over its whole grid.
@@ -22,12 +20,14 @@ fn run<K: Kernel>(k: &K, mem: &mut DeviceMemory) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Full scan chain == prefix sums computed on the CPU.
-    #[test]
-    fn scan_matches_prefix_sums(values in proptest::collection::vec(-100i32..100, 2..500)) {
+/// Full scan chain == prefix sums computed on the CPU.
+#[test]
+fn scan_matches_prefix_sums() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(seed);
+        let values: Vec<i32> = (0..rng.gen_range_usize(2, 500))
+            .map(|_| rng.gen_range_u32(0, 200) as i32 - 100)
+            .collect();
         let n = values.len() as u32;
         let mut mem = DeviceMemory::new();
         let a = mem.alloc_f32(n as u64, "a");
@@ -43,17 +43,21 @@ proptest! {
         let mut acc = 0i64;
         for (i, &v) in values.iter().enumerate() {
             acc += v as i64;
-            prop_assert_eq!(mem.read_f32(bufs.0, i as u64), acc as f32);
+            assert_eq!(mem.read_f32(bufs.0, i as u64), acc as f32, "seed {seed}");
         }
     }
+}
 
-    /// Bitonic chain sorts arbitrary (power-of-two-sized) arrays.
-    #[test]
-    fn bitonic_sorts(exp in 2u32..9, seed in any::<u64>()) {
+/// Bitonic chain sorts arbitrary (power-of-two-sized) arrays.
+#[test]
+fn bitonic_sorts() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(seed);
+        let exp = rng.gen_range_u32(2, 9);
         let n = 1u32 << exp;
         let mut mem = DeviceMemory::new();
         let d = mem.alloc_f32(n as u64, "d");
-        let mut x = seed | 1;
+        let mut x = rng.next_u64() | 1;
         for i in 0..n as u64 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             mem.write_f32(d, i, ((x >> 40) as u32) as f32);
@@ -63,12 +67,17 @@ proptest! {
             run(&BitonicStep::new(d, n, k, j), &mut mem);
         }
         want.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assert_eq!(mem.download_f32(d), want);
+        assert_eq!(mem.download_f32(d), want, "seed {seed}");
     }
+}
 
-    /// Two-stage reduction equals the scalar sum (exactly, for integers).
-    #[test]
-    fn reduction_matches_sum(values in proptest::collection::vec(0u32..1000, 257..2000)) {
+/// Two-stage reduction equals the scalar sum (exactly, for integers).
+#[test]
+fn reduction_matches_sum() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(seed);
+        let values: Vec<u32> =
+            (0..rng.gen_range_usize(257, 2000)).map(|_| rng.gen_range_u32(0, 1000)).collect();
         let n = values.len() as u32;
         let mut mem = DeviceMemory::new();
         let src = mem.alloc_f32(n as u64, "src");
@@ -80,77 +89,96 @@ proptest! {
         run(&ReduceSum::new(src, p1, n), &mut mem);
         run(&ReduceSum::new(p1, p2, n.div_ceil(256)), &mut mem);
         let want: u64 = values.iter().map(|&v| v as u64).sum();
-        prop_assert_eq!(mem.read_f32(p2, 0) as u64, want);
+        assert_eq!(mem.read_f32(p2, 0) as u64, want, "seed {seed}");
     }
+}
 
-    /// Transposing twice is the identity for arbitrary shapes.
-    #[test]
-    fn transpose_involution(w in 1u32..70, h in 1u32..70, seed in any::<u32>()) {
+/// Transposing twice is the identity for arbitrary shapes.
+#[test]
+fn transpose_involution() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(seed);
+        let w = rng.gen_range_u32(1, 70);
+        let h = rng.gen_range_u32(1, 70);
+        let fill = rng.next_u32();
         let n = (w as u64) * (h as u64);
         let mut mem = DeviceMemory::new();
         let a = mem.alloc_f32(n, "a");
         let b = mem.alloc_f32(n, "b");
         let c = mem.alloc_f32(n, "c");
         for i in 0..n {
-            mem.write_f32(a, i, (seed.wrapping_add(i as u32)) as f32);
+            mem.write_f32(a, i, (fill.wrapping_add(i as u32)) as f32);
         }
         run(&Transpose::new(a, b, w, h), &mut mem);
         run(&Transpose::new(b, c, h, w), &mut mem);
-        prop_assert_eq!(mem.download_f32(a), mem.download_f32(c));
+        assert_eq!(mem.download_f32(a), mem.download_f32(c), "seed {seed}");
     }
+}
 
-    /// Downscale preserves the mean of the image exactly (it is a block
-    /// average with disjoint quads).
-    #[test]
-    fn downscale_preserves_mean(w2 in 2u32..40, h2 in 2u32..40, seed in any::<u32>()) {
-        let (w, h) = (2 * w2, 2 * h2);
+/// Downscale preserves the mean of the image exactly (it is a block
+/// average with disjoint quads).
+#[test]
+fn downscale_preserves_mean() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(seed);
+        let (w, h) = (2 * rng.gen_range_u32(2, 40), 2 * rng.gen_range_u32(2, 40));
+        let fill = rng.next_u32();
         let n = (w as u64) * (h as u64);
         let mut mem = DeviceMemory::new();
         let src = mem.alloc_f32(n, "src");
         let dst = mem.alloc_f32(n / 4, "dst");
         for i in 0..n {
             // Small integers: the 4-way average stays exact in f32.
-            mem.write_f32(src, i, ((seed as u64 + i * 7) % 16) as f32);
+            mem.write_f32(src, i, ((fill as u64 + i * 7) % 16) as f32);
         }
         run(&Downscale::new(src, dst, w, h), &mut mem);
         let src_sum: f64 = mem.download_f32(src).iter().map(|&v| v as f64).sum();
         let dst_sum: f64 = mem.download_f32(dst).iter().map(|&v| v as f64).sum();
-        prop_assert!((src_sum / 4.0 - dst_sum).abs() < 1e-3, "{src_sum} vs {dst_sum}");
+        assert!((src_sum / 4.0 - dst_sum).abs() < 1e-3, "seed {seed}: {src_sum} vs {dst_sum}");
     }
+}
 
-    /// AddField is elementwise addition for arbitrary fields.
-    #[test]
-    fn add_field_is_elementwise(w in 1u32..50, h in 1u32..20, seed in any::<u32>()) {
+/// AddField is elementwise addition for arbitrary fields.
+#[test]
+fn add_field_is_elementwise() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(seed);
+        let w = rng.gen_range_u32(1, 50);
+        let h = rng.gen_range_u32(1, 20);
+        let fill = rng.next_u32();
         let n = (w as u64) * (h as u64);
         let mut mem = DeviceMemory::new();
         let acc = mem.alloc_f32(n, "acc");
         let inc = mem.alloc_f32(n, "inc");
         for i in 0..n {
-            mem.write_f32(acc, i, (seed % 100) as f32 + i as f32);
+            mem.write_f32(acc, i, (fill % 100) as f32 + i as f32);
             mem.write_f32(inc, i, i as f32 * 0.5);
         }
         let before = mem.download_f32(acc);
         run(&AddField::new(acc, inc, w, h), &mut mem);
         let after = mem.download_f32(acc);
         for i in 0..n as usize {
-            prop_assert_eq!(after[i], before[i] + i as f32 * 0.5);
+            assert_eq!(after[i], before[i] + i as f32 * 0.5, "seed {seed}");
         }
     }
+}
 
-    /// Jacobi with zero derivatives is a convex neighbour average:
-    /// the output range never exceeds the input range (discrete maximum
-    /// principle).
-    #[test]
-    fn jacobi_smoothing_respects_max_principle(
-        w in 4u32..40, h in 4u32..20, seed in any::<u64>()
-    ) {
+/// Jacobi with zero derivatives is a convex neighbour average:
+/// the output range never exceeds the input range (discrete maximum
+/// principle).
+#[test]
+fn jacobi_smoothing_respects_max_principle() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(seed);
+        let w = rng.gen_range_u32(4, 40);
+        let h = rng.gen_range_u32(4, 20);
         let n = (w as u64) * (h as u64);
         let mut mem = DeviceMemory::new();
         let bufs: Vec<_> = ["du", "dv", "ix", "iy", "it", "duo", "dvo"]
             .iter()
             .map(|s| mem.alloc_f32(n, s))
             .collect();
-        let mut x = seed | 1;
+        let mut x = rng.next_u64() | 1;
         let mut lo = f32::INFINITY;
         let mut hi = f32::NEG_INFINITY;
         for i in 0..n {
@@ -167,7 +195,7 @@ proptest! {
             &mut mem,
         );
         for v in mem.download_f32(bufs[5]) {
-            prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5, "{v} outside [{lo}, {hi}]");
+            assert!(v >= lo - 1e-5 && v <= hi + 1e-5, "seed {seed}: {v} outside [{lo}, {hi}]");
         }
     }
 }

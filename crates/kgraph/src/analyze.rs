@@ -76,7 +76,8 @@ impl GraphTrace {
 /// the DMA model, not the SM model).
 fn transfer_trace(buf: gpu_sim::Buffer, write: bool, line_bytes: u64) -> BlockTrace {
     let words: Vec<u64> = (buf.addr >> 2..(buf.addr + buf.len + 3) >> 2).collect();
-    let lines: Vec<u64> = (buf.addr / line_bytes..=(buf.addr + buf.len - 1) / line_bytes).collect();
+    let lines =
+        trace::LineSet::from_range(buf.addr / line_bytes, (buf.addr + buf.len - 1) / line_bytes);
     BlockTrace {
         work: BlockWork::default(),
         read_words: if write { Vec::new() } else { words.clone() },

@@ -18,7 +18,7 @@ use trace::ExecCtx;
 /// kernel reports [`tileable`](Kernel::tileable)` == false` (the paper's
 /// third tiling condition — block dependencies of tileable kernels must not
 /// depend on input values).
-pub trait Kernel {
+pub trait Kernel: Send + Sync {
     /// Human-readable label (e.g. `"JI"` or `"DS[level 2]"`).
     fn label(&self) -> String;
 

@@ -65,6 +65,11 @@ pub struct CalibrationConfig {
     /// Maximum number of predecessors represented in masks (bits beyond
     /// this are ignored; the fallback lookup handles the rest).
     pub max_mask_preds: usize,
+    /// Worker threads for the simulator probes. Every probe runs on its own
+    /// fresh engine, so probes are independent; results are assembled in
+    /// probe order and are identical for any thread count. `1` is fully
+    /// serial.
+    pub threads: usize,
 }
 
 impl Default for CalibrationConfig {
@@ -72,6 +77,7 @@ impl Default for CalibrationConfig {
         CalibrationConfig {
             grid_fractions: vec![1.0 / 32.0, 1.0 / 16.0, 1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0, 1.0],
             max_mask_preds: 8,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
         }
     }
 }
@@ -105,7 +111,7 @@ fn measure(
     eng.set_inter_launch_gap_ns(0.0);
     if !warm_ranges.is_empty() {
         for b in 0..grid {
-            for &line in &nt.blocks[b as usize].lines {
+            for line in nt.blocks[b as usize].lines.iter() {
                 if warm_ranges.iter().any(|&(lo, hi)| line >= lo && line <= hi) {
                     eng.cache_mut().access_line(line, false);
                 }
@@ -144,8 +150,86 @@ fn memo_key(
     Some(key)
 }
 
+/// One planned simulator probe: a sub-kernel launch at a grid size with a
+/// set of pre-warmed line ranges.
+type Probe = (NodeId, u32, Vec<(u64, u64)>);
+
+/// Registers a probe, deduplicating by memoization key when the kernel has
+/// a signature. Returns the probe's job index.
+fn plan_probe(
+    g: &AppGraph,
+    jobs: &mut Vec<Probe>,
+    job_of: &mut HashMap<String, usize>,
+    node: NodeId,
+    grid: u32,
+    warm: Vec<(u64, u64)>,
+) -> usize {
+    match memo_key(g, node, grid, &warm) {
+        Some(key) => *job_of.entry(key).or_insert_with(|| {
+            jobs.push((node, grid, warm));
+            jobs.len() - 1
+        }),
+        None => {
+            jobs.push((node, grid, warm));
+            jobs.len() - 1
+        }
+    }
+}
+
+/// Runs every planned probe, fanning out over `threads` workers. Each probe
+/// simulates on its own fresh engine, so probes are fully independent; the
+/// result vector is indexed by job id, making the outcome identical for any
+/// thread count.
+fn run_probes(
+    g: &AppGraph,
+    gt: &GraphTrace,
+    cfg: &GpuConfig,
+    freq: FreqConfig,
+    jobs: &[Probe],
+    threads: usize,
+) -> Vec<f64> {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads == 1 {
+        return jobs
+            .iter()
+            .map(|(node, grid, warm)| measure(g, gt, cfg, freq, *node, *grid, warm))
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results = vec![0.0f64; jobs.len()];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<(usize, f64)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let (node, grid, warm) = &jobs[i];
+                        out.push((i, measure(g, gt, cfg, freq, *node, *grid, warm)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, t) in h.join().expect("calibration probe worker panicked") {
+                results[i] = t;
+            }
+        }
+    });
+    results
+}
+
 /// Runs the calibration pass: performance tables, default times and edge
 /// weights for every node and edge of the application.
+///
+/// The pass plans every simulator probe up front, runs the probes on a
+/// worker pool ([`CalibrationConfig::threads`]), then assembles tables and
+/// weights from the slot-ordered results — the outcome is bit-identical to
+/// a serial run.
 pub fn calibrate(
     g: &AppGraph,
     gt: &GraphTrace,
@@ -154,24 +238,14 @@ pub fn calibrate(
     ccfg: &CalibrationConfig,
 ) -> Calibration {
     let line_bytes = cfg.cache.line_bytes;
-    let mut memo: HashMap<String, f64> = HashMap::new();
-    let mut measure_memo = |node: NodeId, grid: u32, warm: &[(u64, u64)]| -> f64 {
-        if let Some(key) = memo_key(g, node, grid, warm) {
-            if let Some(&t) = memo.get(&key) {
-                return t;
-            }
-            let t = measure(g, gt, cfg, freq, node, grid, warm);
-            memo.insert(key, t);
-            t
-        } else {
-            measure(g, gt, cfg, freq, node, grid, warm)
-        }
-    };
+    let mut jobs: Vec<Probe> = Vec::new();
+    let mut job_of: HashMap<String, usize> = HashMap::new();
 
-    let mut tables = Vec::with_capacity(g.num_nodes());
-    let mut default_times = Vec::with_capacity(g.num_nodes());
+    // ---- Plan: enumerate every probe (node, grid, warm ranges). --------
+    // Per kernel node: the sampled (mask, grid, job) triples.
+    let mut node_plans: Vec<Option<Vec<(PredMask, u32, usize)>>> =
+        Vec::with_capacity(g.num_nodes());
     let mut preds_per_node = Vec::with_capacity(g.num_nodes());
-
     for v in g.node_ids() {
         let mut preds: Vec<NodeId> = g.predecessors(v).map(|(_, p)| p).collect();
         preds.sort_unstable();
@@ -179,55 +253,100 @@ pub fn calibrate(
         preds.truncate(ccfg.max_mask_preds);
 
         let node = g.node(v);
-        match &node.op {
-            NodeOp::Kernel(k) => {
-                let full = node.num_blocks();
-                let mut grids: Vec<u32> = ccfg
-                    .grid_fractions
-                    .iter()
-                    .map(|f| ((full as f64 * f).ceil() as u32).clamp(1, full))
-                    .collect();
-                // Anchor samples below the smallest fraction: one block, a
-                // fraction of a wave and one full dispatch wave. Without
-                // them, interpolation extrapolates tiny launches to near
-                // zero and hides the GPU-utilization cliff, which would
-                // make the tiler over-fragment.
-                let wave = cfg.wave_capacity_res(&k.resources());
-                for s in [1, wave / 4, wave] {
-                    grids.push(s.clamp(1, full));
-                }
-                grids.push(full);
-                grids.sort_unstable();
-                grids.dedup();
+        if let NodeOp::Kernel(k) = &node.op {
+            let full = node.num_blocks();
+            let mut grids: Vec<u32> = ccfg
+                .grid_fractions
+                .iter()
+                .map(|f| ((full as f64 * f).ceil() as u32).clamp(1, full))
+                .collect();
+            // Anchor samples below the smallest fraction: one block, a
+            // fraction of a wave and one full dispatch wave. Without
+            // them, interpolation extrapolates tiny launches to near
+            // zero and hides the GPU-utilization cliff, which would
+            // make the tiler over-fragment.
+            let wave = cfg.wave_capacity_res(&k.resources());
+            for s in [1, wave / 4, wave] {
+                grids.push(s.clamp(1, full));
+            }
+            grids.push(full);
+            grids.sort_unstable();
+            grids.dedup();
 
-                // Masks to sample: cold, each single predecessor, all.
-                let mut masks: Vec<PredMask> = vec![0];
-                for i in 0..preds.len() {
-                    masks.push(1 << i);
-                }
-                if preds.len() > 1 {
-                    masks.push((1u32 << preds.len()) - 1);
-                }
+            // Masks to sample: cold, each single predecessor, all.
+            let mut masks: Vec<PredMask> = vec![0];
+            for i in 0..preds.len() {
+                masks.push(1 << i);
+            }
+            if preds.len() > 1 {
+                masks.push((1u32 << preds.len()) - 1);
+            }
 
+            let mut samples: Vec<(PredMask, u32, usize)> = Vec::new();
+            for &mask in &masks {
+                let mut warm: Vec<(u64, u64)> = Vec::new();
+                for (i, &p) in preds.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        warm.extend(pred_line_ranges(g, v, p, line_bytes));
+                    }
+                }
+                if mask != 0 && warm.is_empty() {
+                    continue; // predecessor with no traced buffer edge
+                }
+                for &grid in &grids {
+                    let job = plan_probe(g, &mut jobs, &mut job_of, v, grid, warm.clone());
+                    samples.push((mask, grid, job));
+                }
+            }
+            node_plans.push(Some(samples));
+        } else {
+            node_plans.push(None);
+        }
+        preds_per_node.push(preds);
+    }
+
+    // Per edge: the cold/warm probe pair at a cache-fitting sub-grid (see
+    // the edge-weight comment below), or `None` for weight-zero edges.
+    let mut edge_plans: Vec<Option<(usize, usize, u32, u32)>> =
+        Vec::with_capacity(g.num_edges());
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let v = edge.dst;
+        let node = g.node(v);
+        if !node.tileable() || !matches!(node.op, NodeOp::Kernel(_)) {
+            edge_plans.push(None);
+            continue;
+        }
+        let full = node.num_blocks();
+        let fitting = if 2 * edge.buf.len <= cfg.cache.capacity_bytes {
+            full
+        } else {
+            let frac = cfg.cache.capacity_bytes as f64 / (2.0 * edge.buf.len as f64);
+            ((full as f64 * frac).floor() as u32).clamp(1, full)
+        };
+        let cold = plan_probe(g, &mut jobs, &mut job_of, v, fitting, Vec::new());
+        let range = (edge.buf.addr / line_bytes, (edge.buf.end() - 1) / line_bytes);
+        let warm = plan_probe(g, &mut jobs, &mut job_of, v, fitting, vec![range]);
+        edge_plans.push(Some((cold, warm, full, fitting)));
+    }
+
+    // ---- Measure: independent probes on the worker pool. ---------------
+    let results = run_probes(g, gt, cfg, freq, &jobs, ccfg.threads);
+
+    // ---- Assemble (serial, in node/edge order). ------------------------
+    let mut tables = Vec::with_capacity(g.num_nodes());
+    let mut default_times = Vec::with_capacity(g.num_nodes());
+    for (v, plan) in g.node_ids().zip(&node_plans) {
+        match plan {
+            Some(samples) => {
                 let mut table = PerfTable::new();
-                for &mask in &masks {
-                    let mut warm: Vec<(u64, u64)> = Vec::new();
-                    for (i, &p) in preds.iter().enumerate() {
-                        if mask & (1 << i) != 0 {
-                            warm.extend(pred_line_ranges(g, v, p, line_bytes));
-                        }
-                    }
-                    if mask != 0 && warm.is_empty() {
-                        continue; // predecessor with no traced buffer edge
-                    }
-                    for &grid in &grids {
-                        table.insert(mask, grid, measure_memo(v, grid, &warm));
-                    }
+                for &(mask, grid, job) in samples {
+                    table.insert(mask, grid, results[job]);
                 }
-                default_times.push(table.lookup(0, full));
+                default_times.push(table.lookup(0, g.node(v).num_blocks()));
                 tables.push(table);
             }
-            _ => {
+            None => {
                 let t = transfer_time(g, cfg, freq, v);
                 let mut table = PerfTable::new();
                 table.insert(0, 1, t);
@@ -235,7 +354,6 @@ pub fn calibrate(
                 tables.push(table);
             }
         }
-        preds_per_node.push(preds);
     }
 
     // Edge weights: the *maximum* time the consumer can save when the
@@ -244,28 +362,15 @@ pub fn calibrate(
     // self-evicts and shows no benefit, so the per-block saving is probed
     // at a cache-fitting sub-grid and scaled to the full grid. Zero for
     // edges into non-tileable nodes.
-    let mut edge_weights = Vec::with_capacity(g.num_edges());
-    for e in g.edge_ids() {
-        let edge = g.edge(e);
-        let v = edge.dst;
-        let node = g.node(v);
-        let weight = if !node.tileable() || !matches!(node.op, NodeOp::Kernel(_)) {
-            0.0
-        } else {
-            let full = node.num_blocks();
-            let fitting = if 2 * edge.buf.len <= cfg.cache.capacity_bytes {
-                full
-            } else {
-                let frac = cfg.cache.capacity_bytes as f64 / (2.0 * edge.buf.len as f64);
-                ((full as f64 * frac).floor() as u32).clamp(1, full)
-            };
-            let cold = measure_memo(v, fitting, &[]);
-            let range = (edge.buf.addr / line_bytes, (edge.buf.end() - 1) / line_bytes);
-            let warm = measure_memo(v, fitting, &[range]);
-            (cold - warm).max(0.0) * full as f64 / fitting as f64
-        };
-        edge_weights.push(weight);
-    }
+    let edge_weights: Vec<f64> = edge_plans
+        .iter()
+        .map(|plan| match *plan {
+            None => 0.0,
+            Some((cold, warm, full, fitting)) => {
+                (results[cold] - results[warm]).max(0.0) * full as f64 / fitting as f64
+            }
+        })
+        .collect();
 
     Calibration { tables, default_times, edge_weights, preds: preds_per_node }
 }

@@ -65,7 +65,7 @@ pub fn launch_subkernel(
             engine.launch_res(&work, &k.resources()).time_ns
         }
         NodeOp::HostToDevice { buf, .. } => {
-            let lines = nt.blocks[0].lines.clone();
+            let lines = nt.blocks[0].lines.to_vec();
             engine.dma_host_to_device(buf.len, lines)
         }
         NodeOp::DeviceToHost { buf } => engine.dma_device_to_host(buf.len),

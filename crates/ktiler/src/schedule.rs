@@ -9,6 +9,8 @@
 //! concatenates each cluster's tiling sequence in cluster topological
 //! order.
 
+use std::collections::HashMap;
+
 use kgraph::{AppGraph, GraphTrace, NodeId};
 
 use crate::calibrate::Calibration;
@@ -38,6 +40,8 @@ pub struct TilingReport {
     pub merges_rejected: usize,
     /// Merges skipped because the partition would have been invalid.
     pub merges_invalid: usize,
+    /// `cluster_tile` evaluations answered from the memo cache.
+    pub tilings_memoized: usize,
 }
 
 /// Result of the KTILER scheduler.
@@ -82,9 +86,27 @@ pub fn ktiler_schedule(
 
     let mut report =
         TilingReport { candidate_edges: candidates.len(), ..TilingReport::default() };
+    // Memo cache for Algorithm 2: `cluster_tile` is a pure function of the
+    // (sorted) member set, and Algorithm 1 re-evaluates the same candidate
+    // merges many times as the partition evolves — distinct edges between
+    // the same cluster pair, and re-scans after each accepted merge, all
+    // produce identical member sets.
+    let mut tiling_memo: HashMap<Vec<NodeId>, Option<ClusterTiling>> = HashMap::new();
+    // Validity memo: between accepted merges the partition is unchanged, so
+    // an edge found invalid stays invalid until the next accepted merge.
+    // Algorithm 1 rescans from the top after every removal, which makes the
+    // invalid prefix by far the most frequently re-evaluated work; caching
+    // it per partition version turns those rescans into O(1) lookups.
+    let mut version = 0u64;
+    let mut invalid_at: Vec<u64> = vec![u64::MAX; g.num_edges()];
     let mut eix = 0usize;
     while eix < candidates.len() {
         let (_, edge_id) = candidates[eix];
+        if invalid_at[edge_id as usize] == version {
+            report.merges_invalid += 1;
+            eix += 1;
+            continue;
+        }
         let edge = g.edge(kgraph::EdgeId(edge_id));
         let ca = partition.cluster_of(edge.src);
         let cb = partition.cluster_of(edge.dst);
@@ -96,13 +118,24 @@ pub fn ktiler_schedule(
         let merged = partition.merged(ca, cb);
         if !merged.is_valid(g) {
             report.merges_invalid += 1;
+            invalid_at[edge_id as usize] = version;
             eix += 1;
             continue;
         }
         let keep = ca.min(cb);
         let drop = ca.max(cb);
         let members = merged.members(keep).to_vec();
-        let merged_tiling = cluster_tile(&members, g, gt, cal, &cfg.tile);
+        let merged_tiling = match tiling_memo.get(&members) {
+            Some(cached) => {
+                report.tilings_memoized += 1;
+                cached.clone()
+            }
+            None => {
+                let t = cluster_tile(&members, g, gt, cal, &cfg.tile);
+                tiling_memo.insert(members, t.clone());
+                t
+            }
+        };
         let old_cost = tilings[ca].cost_ns + tilings[cb].cost_ns;
         match merged_tiling {
             Some(t) if t.cost_ns < old_cost => {
@@ -110,6 +143,7 @@ pub fn ktiler_schedule(
                 tilings.remove(drop);
                 tilings[keep] = t;
                 report.merges_accepted += 1;
+                version += 1;
             }
             _ => {
                 report.merges_rejected += 1;

@@ -17,8 +17,6 @@
 //! all of them do — reproducing the paper's pessimistic kernel-level
 //! handling of kernels that fail the tiling conditions.
 
-use std::collections::HashMap;
-
 use gpu_sim::BlockId;
 use kgraph::{AppGraph, GraphTrace, NodeId};
 use trace::{BlockRef, FootprintSet};
@@ -139,25 +137,32 @@ pub fn cluster_tile(
         .filter(|&m| g.successors(m).all(|(_, s)| !in_cluster[s.0 as usize]))
         .collect();
 
-    let mut states: HashMap<u32, NodeState> = members
+    // Dense state table indexed by cluster-local node id; `local` maps a
+    // global node id to its slot (sentinel for non-members, so an
+    // out-of-cluster access is an index panic rather than silent data).
+    let local: Vec<usize> = {
+        let mut v = vec![usize::MAX; g.num_nodes()];
+        for (i, m) in members.iter().enumerate() {
+            v[m.0 as usize] = i;
+        }
+        v
+    };
+    let mut states: Vec<NodeState> = members
         .iter()
         .map(|&m| {
             let n = g.node(m).num_blocks();
-            (
-                m.0,
-                NodeState {
-                    num_blocks: n,
-                    atomic: !g.node(m).tileable(),
-                    assigned: vec![false; n as usize],
-                    in_group: vec![false; n as usize],
-                    group: Vec::new(),
-                    valid_len: 0,
-                    cursor: 0,
-                },
-            )
+            NodeState {
+                num_blocks: n,
+                atomic: !g.node(m).tileable(),
+                assigned: vec![false; n as usize],
+                in_group: vec![false; n as usize],
+                group: Vec::new(),
+                valid_len: 0,
+                cursor: 0,
+            }
         })
         .collect();
-    let total_blocks: u64 = states.values().map(|s| s.num_blocks as u64).sum();
+    let total_blocks: u64 = states.iter().map(|s| s.num_blocks as u64).sum();
     let mut assigned_total = 0u64;
 
     let mut footprint = FootprintSet::new(params.line_bytes);
@@ -166,11 +171,11 @@ pub fn cluster_tile(
 
     // Adds a block and, transitively, its in-cluster dependencies (and the
     // full block set of any atomic node touched). Returns the refs added.
-    let add_with_deps = |states: &mut HashMap<u32, NodeState>,
+    let add_with_deps = |states: &mut Vec<NodeState>,
                          pending: &mut Vec<BlockRef>,
                          added: &mut Vec<BlockRef>| {
         while let Some(r) = pending.pop() {
-            let st = states.get_mut(&r.node).expect("dep inside cluster");
+            let st = &mut states[local[r.node as usize]];
             let b = r.block as usize;
             if st.assigned[b] || st.in_group[b] {
                 continue;
@@ -214,19 +219,19 @@ pub fn cluster_tile(
     };
 
     // Whether a block's in-cluster dependencies are covered by the group.
-    let covered = |states: &HashMap<u32, NodeState>, r: BlockRef| {
+    let covered = |states: &[NodeState], r: BlockRef| {
         gt.deps.deps_of(r).iter().all(|p| {
             if !in_cluster[p.node as usize] {
                 return true;
             }
-            let st = &states[&p.node];
+            let st = &states[local[p.node as usize]];
             st.assigned[p.block as usize] || st.in_group[p.block as usize]
         })
     };
 
     // Flushes the validated prefix of the current group into sub-kernels.
     // Returns false if nothing could be flushed (untileable).
-    let flush = |states: &mut HashMap<u32, NodeState>,
+    let flush = |states: &mut [NodeState],
                  footprint: &mut FootprintSet,
                  launches: &mut Vec<SubKernel>,
                  cost_ns: &mut f64,
@@ -234,7 +239,7 @@ pub fn cluster_tile(
      -> bool {
         let mut any = false;
         for &v in &topo {
-            let st = states.get_mut(&v.0).expect("topo member");
+            let st = &mut states[local[v.0 as usize]];
             if st.valid_len == 0 {
                 // Discard unvalidated additions.
                 for &b in &st.group {
@@ -272,14 +277,14 @@ pub fn cluster_tile(
 
         // Bottom-up round: next block of each bottom kernel.
         for &bn in &bottoms {
-            if let Some(b) = states.get_mut(&bn.0).expect("bottom member").next_selectable() {
+            if let Some(b) = states[local[bn.0 as usize]].next_selectable() {
                 pending.push(BlockRef::new(bn.0, b));
             }
         }
         if pending.is_empty() {
             // Leftover sweep: blocks never demanded by a bottom kernel.
             'sweep: for &v in &topo {
-                if let Some(b) = states.get_mut(&v.0).expect("member").next_selectable() {
+                if let Some(b) = states[local[v.0 as usize]].next_selectable() {
                     pending.push(BlockRef::new(v.0, b));
                     break 'sweep;
                 }
@@ -287,7 +292,7 @@ pub fn cluster_tile(
         }
         if pending.is_empty() {
             // Everything is in the group: final flush.
-            for st in states.values_mut() {
+            for st in states.iter_mut() {
                 st.valid_len = st.group.len();
             }
             if !flush(&mut states, &mut footprint, &mut launches, &mut cost_ns, &mut assigned_total)
@@ -310,7 +315,7 @@ pub fn cluster_tile(
             candidates.dedup();
             let mut pending2: Vec<BlockRef> = Vec::new();
             for c in candidates {
-                let st = &states[&c.node];
+                let st = &states[local[c.node as usize]];
                 if st.assigned[c.block as usize] || st.in_group[c.block as usize] {
                     continue;
                 }
@@ -319,7 +324,7 @@ pub fn cluster_tile(
                     // in-cluster predecessor must be in the group.
                     g.predecessors(NodeId(c.node)).all(|(_, p)| {
                         !in_cluster[p.0 as usize] || {
-                            let ps = &states[&p.0];
+                            let ps = &states[local[p.0 as usize]];
                             (0..ps.num_blocks as usize)
                                 .all(|b| ps.assigned[b] || ps.in_group[b])
                         }
@@ -345,6 +350,7 @@ pub fn cluster_tile(
             CacheConstraint::Footprint => footprint.fits(params.cache_bytes),
             CacheConstraint::SimulatedHitRate { min_reuse_hit, ways } => simulated_reuse_ok(
                 &states,
+                &local,
                 &topo,
                 gt,
                 params,
@@ -353,7 +359,7 @@ pub fn cluster_tile(
             ),
         };
         if fits {
-            for st in states.values_mut() {
+            for st in states.iter_mut() {
                 st.valid_len = st.group.len();
             }
         } else {
@@ -375,8 +381,10 @@ pub fn cluster_tile(
 /// touched before within the group — hit at the required rate. A group
 /// whose intermediate data stops fitting starts evicting its own reuse
 /// lines, which this detects directly.
+#[allow(clippy::too_many_arguments)]
 fn simulated_reuse_ok(
-    states: &HashMap<u32, NodeState>,
+    states: &[NodeState],
+    local: &[usize],
     topo: &[NodeId],
     gt: &GraphTrace,
     params: &TileParams,
@@ -389,7 +397,7 @@ fn simulated_reuse_ok(
     let mut reuse_hits = 0u64;
     let mut reuse_total = 0u64;
     for &v in topo {
-        let st = &states[&v.0];
+        let st = &states[local[v.0 as usize]];
         let nt = gt.node(v);
         for &b in &st.group {
             for warp in &nt.blocks[b as usize].work.warps {

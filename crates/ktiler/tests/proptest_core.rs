@@ -1,26 +1,31 @@
-//! Property-based tests of the scheduler's core data structures:
-//! performance-table interpolation, partitions and sub-kernel normalization.
+//! Randomized tests of the scheduler's core data structures:
+//! performance-table interpolation, partitions and sub-kernel
+//! normalization (seeded [`SplitMix64`] cases; failures report the seed).
 
-use gpu_sim::DeviceMemory;
+use gpu_sim::{DeviceMemory, SplitMix64};
 use kgraph::{AppGraph, NodeId};
 use ktiler::{Partition, PerfTable, SubKernel};
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
-proptest! {
-    /// Within the sampled range, interpolated lookups are bounded by the
-    /// neighbouring samples of a monotone table.
-    #[test]
-    fn interpolation_is_bounded_by_samples(
-        mut points in proptest::collection::btree_map(1u32..1000, 1.0f64..1e6, 2..12),
-        queries in proptest::collection::vec(1u32..1000, 1..20),
-    ) {
+/// Within the sampled range, interpolated lookups are bounded by the
+/// neighbouring samples of a monotone table.
+#[test]
+fn interpolation_is_bounded_by_samples() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let mut points: BTreeMap<u32, f64> = BTreeMap::new();
+        while points.len() < rng.gen_range_usize(2, 12) {
+            points.insert(rng.gen_range_u32(1, 1000), rng.gen_range_f64(1.0, 1e6));
+        }
+        let queries: Vec<u32> =
+            (0..rng.gen_range_usize(1, 20)).map(|_| rng.gen_range_u32(1, 1000)).collect();
         // Force a monotone table (grid up => time up), as real tables are.
         let mut t = PerfTable::new();
         let mut running = 0.0;
         let samples: Vec<(u32, f64)> = points
-            .iter_mut()
-            .map(|(&g, v)| {
-                running += *v;
+            .iter()
+            .map(|(&g, &v)| {
+                running += v;
                 (g, running)
             })
             .collect();
@@ -31,108 +36,112 @@ proptest! {
         let (max_g, max_v) = samples[samples.len() - 1];
         for q in queries {
             let v = t.lookup(0, q);
-            prop_assert!(v.is_finite() && v >= 0.0);
+            assert!(v.is_finite() && v >= 0.0, "seed {seed}");
             if q >= min_g && q <= max_g {
-                prop_assert!(
+                assert!(
                     v >= min_v - 1e-9 && v <= max_v + 1e-9,
-                    "interior lookup {} out of [{}, {}]",
-                    v, min_v, max_v
+                    "seed {seed}: interior lookup {v} out of [{min_v}, {max_v}]"
                 );
             }
         }
     }
+}
 
-    /// Exact sample points are returned verbatim.
-    #[test]
-    fn exact_samples_roundtrip(
-        samples in proptest::collection::btree_map(1u32..500, 1.0f64..1e6, 1..10)
-    ) {
+/// Exact sample points are returned verbatim.
+#[test]
+fn exact_samples_roundtrip() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let mut samples: BTreeMap<u32, f64> = BTreeMap::new();
+        while samples.len() < rng.gen_range_usize(1, 10) {
+            samples.insert(rng.gen_range_u32(1, 500), rng.gen_range_f64(1.0, 1e6));
+        }
         let mut t = PerfTable::new();
         for (&g, &v) in &samples {
             t.insert(0, g, v);
         }
         for (&g, &v) in &samples {
-            prop_assert_eq!(t.lookup(0, g), v);
+            assert_eq!(t.lookup(0, g), v, "seed {seed}");
         }
     }
+}
 
-    /// Sub-kernel construction sorts and deduplicates blocks.
-    #[test]
-    fn subkernel_normalization(blocks in proptest::collection::vec(0u32..1000, 1..100)) {
+/// Sub-kernel construction sorts and deduplicates blocks.
+#[test]
+fn subkernel_normalization() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let blocks: Vec<u32> =
+            (0..rng.gen_range_usize(1, 100)).map(|_| rng.gen_range_u32(0, 1000)).collect();
         let sk = SubKernel::new(NodeId(0), blocks.clone());
         let mut want = blocks;
         want.sort_unstable();
         want.dedup();
-        prop_assert_eq!(sk.blocks, want);
+        assert_eq!(sk.blocks, want, "seed {seed}");
     }
+}
 
-    /// Merging partitions preserves node coverage and disjointness, in any
-    /// merge order over a random chain.
-    #[test]
-    fn partition_merges_preserve_coverage(
-        n in 3usize..12,
-        merges in proptest::collection::vec((0usize..12, 0usize..12), 0..10),
-    ) {
-        let mut mem = DeviceMemory::new();
-        let buf = mem.alloc_f32(4, "b");
-        let mut g = AppGraph::new();
-        let nodes: Vec<NodeId> = (0..n).map(|_| g.add_dtoh(buf)).collect();
-        for i in 1..n {
-            g.add_edge(nodes[i - 1], nodes[i], buf);
-        }
-        let mut p = Partition::singletons(&g);
-        for (a, b) in merges {
-            let (a, b) = (a % p.num_clusters(), b % p.num_clusters());
-            if a != b {
-                let m = p.merged(a, b);
-                if m.is_valid(&g) {
-                    p = m;
-                }
+/// Builds a chain graph of `n` DtoH nodes and applies a random sequence of
+/// validity-checked merges.
+fn random_chain_partition(rng: &mut SplitMix64, n: usize, max_merges: usize) -> (AppGraph, Partition) {
+    let mut mem = DeviceMemory::new();
+    let buf = mem.alloc_f32(4, "b");
+    let mut g = AppGraph::new();
+    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_dtoh(buf)).collect();
+    for i in 1..n {
+        g.add_edge(nodes[i - 1], nodes[i], buf);
+    }
+    let mut p = Partition::singletons(&g);
+    for _ in 0..rng.gen_range_usize(0, max_merges + 1) {
+        let a = rng.gen_range_usize(0, p.num_clusters());
+        let b = rng.gen_range_usize(0, p.num_clusters());
+        if a != b {
+            let m = p.merged(a, b);
+            if m.is_valid(&g) {
+                p = m;
             }
         }
+    }
+    (g, p)
+}
+
+/// Merging partitions preserves node coverage and disjointness, in any
+/// merge order over a random chain.
+#[test]
+fn partition_merges_preserve_coverage() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = rng.gen_range_usize(3, 12);
+        let (g, p) = random_chain_partition(&mut rng, n, 10);
         // Coverage: every node is in exactly one cluster.
         let mut seen = vec![0u32; n];
         for c in 0..p.num_clusters() {
             for node in p.members(c) {
                 seen[node.0 as usize] += 1;
-                prop_assert_eq!(p.cluster_of(*node), c);
+                assert_eq!(p.cluster_of(*node), c, "seed {seed}");
             }
         }
-        prop_assert!(seen.iter().all(|&s| s == 1));
+        assert!(seen.iter().all(|&s| s == 1), "seed {seed}");
         // Valid partitions always admit a cluster order.
-        prop_assert!(p.cluster_order(&g).is_some());
+        assert!(p.cluster_order(&g).is_some(), "seed {seed}");
     }
+}
 
-    /// On a chain, any valid cluster is an interval of consecutive nodes.
-    #[test]
-    fn chain_clusters_are_intervals(
-        n in 3usize..10,
-        merges in proptest::collection::vec((0usize..10, 0usize..10), 1..8),
-    ) {
-        let mut mem = DeviceMemory::new();
-        let buf = mem.alloc_f32(4, "b");
-        let mut g = AppGraph::new();
-        let nodes: Vec<NodeId> = (0..n).map(|_| g.add_dtoh(buf)).collect();
-        for i in 1..n {
-            g.add_edge(nodes[i - 1], nodes[i], buf);
-        }
-        let mut p = Partition::singletons(&g);
-        for (a, b) in merges {
-            let (a, b) = (a % p.num_clusters(), b % p.num_clusters());
-            if a != b {
-                let m = p.merged(a, b);
-                if m.is_valid(&g) {
-                    p = m;
-                }
-            }
-        }
+/// On a chain, any valid cluster is an interval of consecutive nodes.
+#[test]
+fn chain_clusters_are_intervals() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = rng.gen_range_usize(3, 10);
+        let (_g, p) = random_chain_partition(&mut rng, n, 8);
         for c in 0..p.num_clusters() {
             let m = p.members(c);
             let lo = m[0].0;
             let hi = m[m.len() - 1].0;
-            prop_assert_eq!(
-                (hi - lo + 1) as usize, m.len(),
-                "cluster {:?} is not a contiguous interval", m
+            assert_eq!(
+                (hi - lo + 1) as usize,
+                m.len(),
+                "seed {seed}: cluster {m:?} is not a contiguous interval"
             );
         }
     }

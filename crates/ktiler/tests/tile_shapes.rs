@@ -3,7 +3,7 @@
 //! containing non-tileable (atomic) nodes.
 
 use gpu_sim::{BlockIdx, Buffer, DeviceMemory, Dim3, FreqConfig, GpuConfig, LaunchDims};
-use kgraph::{analyze, Kernel, NodeId};
+use kgraph::{analyze, Kernel};
 use ktiler::{calibrate, cluster_tile, CalibrationConfig, Schedule, TileParams};
 use trace::ExecCtx;
 

@@ -8,6 +8,16 @@
 //! The builder replays the application's default (topological) execution
 //! order, maintaining a last-writer map at 4-byte-word granularity — the
 //! same host-side pass the paper performs over the recorded SASSI trace.
+//!
+//! # Representation
+//!
+//! The finished graph is stored in *compressed sparse row* form, flat-
+//! indexed by `(node, block)`: node ids index a prefix-sum table of block
+//! counts, giving every block a dense slot, and each slot owns a
+//! contiguous edge range in a single producer array (with the reverse
+//! direction stored the same way). Dependency queries — the inner loop of
+//! Algorithm 2's `transitive_deps` walks — are two array lookups with no
+//! hashing, and the whole graph lives in six flat allocations.
 
 use std::collections::HashMap;
 
@@ -31,11 +41,16 @@ impl BlockRef {
 
 /// Incrementally builds a [`BlockDepGraph`] by visiting blocks in the
 /// application's default execution order.
+///
+/// Edges are accumulated as a flat `(consumer, producer)` list; [`finish`]
+/// sorts it once and lays out the CSR arrays.
+///
+/// [`finish`]: DepGraphBuilder::finish
 #[derive(Debug, Default)]
 pub struct DepGraphBuilder {
     last_writer: HashMap<u64, BlockRef>,
-    deps: HashMap<BlockRef, Vec<BlockRef>>,
-    num_blocks: HashMap<u32, u32>,
+    edges: Vec<(BlockRef, BlockRef)>,
+    num_blocks: Vec<u32>,
 }
 
 impl DepGraphBuilder {
@@ -49,81 +64,153 @@ impl DepGraphBuilder {
     /// the block's own writes are installed (a block that reads and writes
     /// the same word sees the previous producer).
     pub fn visit_block(&mut self, r: BlockRef, t: &BlockTrace) {
-        let mut found: Vec<BlockRef> = Vec::new();
+        let before = self.edges.len();
         for &word in &t.read_words {
             if let Some(&producer) = self.last_writer.get(&word) {
                 if producer.node != r.node {
-                    found.push(producer);
+                    self.edges.push((r, producer));
                 }
             }
         }
-        found.sort_unstable();
-        found.dedup();
-        if !found.is_empty() {
-            self.deps.entry(r).or_default().extend(found);
-            let v = self.deps.get_mut(&r).unwrap();
-            v.sort_unstable();
-            v.dedup();
-        }
+        // Light per-visit dedup keeps the edge list near its final size;
+        // finish() dedups globally.
+        self.edges[before..].sort_unstable();
+        self.edges.dedup();
         for &word in &t.write_words {
             self.last_writer.insert(word, r);
         }
-        let n = self.num_blocks.entry(r.node).or_insert(0);
+        if r.node as usize >= self.num_blocks.len() {
+            self.num_blocks.resize(r.node as usize + 1, 0);
+        }
+        let n = &mut self.num_blocks[r.node as usize];
         *n = (*n).max(r.block + 1);
     }
 
-    /// Finishes construction.
+    /// Finishes construction: one global sort of the edge list, then the
+    /// forward and reverse CSR layouts.
     pub fn finish(self) -> BlockDepGraph {
-        let mut rdeps: HashMap<BlockRef, Vec<BlockRef>> = HashMap::new();
-        for (&consumer, producers) in &self.deps {
-            for &p in producers {
-                rdeps.entry(p).or_default().push(consumer);
-            }
+        let DepGraphBuilder { mut edges, num_blocks, .. } = self;
+
+        // Flat slot index: node_base[n] + block.
+        let mut node_base: Vec<usize> = Vec::with_capacity(num_blocks.len() + 1);
+        let mut total = 0usize;
+        for &n in &num_blocks {
+            node_base.push(total);
+            total += n as usize;
         }
-        for v in rdeps.values_mut() {
-            v.sort_unstable();
-            v.dedup();
+        node_base.push(total);
+        let slot = |r: BlockRef| node_base[r.node as usize] + r.block as usize;
+
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut deps_off: Vec<u32> = vec![0; total + 1];
+        for &(consumer, _) in &edges {
+            deps_off[slot(consumer) + 1] += 1;
         }
-        BlockDepGraph { deps: self.deps, rdeps, num_blocks: self.num_blocks }
+        for i in 0..total {
+            deps_off[i + 1] += deps_off[i];
+        }
+        let deps_edges: Vec<BlockRef> = edges.iter().map(|&(_, p)| p).collect();
+
+        // Reverse direction: re-sort by (producer, consumer).
+        let mut redges: Vec<(BlockRef, BlockRef)> =
+            edges.iter().map(|&(c, p)| (p, c)).collect();
+        redges.sort_unstable();
+        let mut rdeps_off: Vec<u32> = vec![0; total + 1];
+        for &(producer, _) in &redges {
+            rdeps_off[slot(producer) + 1] += 1;
+        }
+        for i in 0..total {
+            rdeps_off[i + 1] += rdeps_off[i];
+        }
+        let rdeps_edges: Vec<BlockRef> = redges.iter().map(|&(_, c)| c).collect();
+
+        BlockDepGraph { num_blocks, node_base, deps_off, deps_edges, rdeps_off, rdeps_edges }
     }
 }
 
-/// The block-level dependency graph of an application.
+/// The block-level dependency graph of an application, in CSR form.
 ///
 /// Edges point from a consumer block to the producer blocks it depends on
 /// (`deps_of`), with the reverse direction available as `consumers_of`.
+/// Both adjacency lists are sorted.
 #[derive(Debug, Clone, Default)]
 pub struct BlockDepGraph {
-    deps: HashMap<BlockRef, Vec<BlockRef>>,
-    rdeps: HashMap<BlockRef, Vec<BlockRef>>,
-    num_blocks: HashMap<u32, u32>,
+    /// Blocks per node, indexed by node id.
+    num_blocks: Vec<u32>,
+    /// Prefix sums of `num_blocks`: flat slot of `(node, block)` is
+    /// `node_base[node] + block`. Length `num_blocks.len() + 1`.
+    node_base: Vec<usize>,
+    /// Forward CSR offsets into `deps_edges`, one range per slot.
+    deps_off: Vec<u32>,
+    /// Producers, grouped by consumer slot, sorted within each range.
+    deps_edges: Vec<BlockRef>,
+    /// Reverse CSR offsets into `rdeps_edges`.
+    rdeps_off: Vec<u32>,
+    /// Consumers, grouped by producer slot, sorted within each range.
+    rdeps_edges: Vec<BlockRef>,
 }
 
 impl BlockDepGraph {
+    /// Flat slot of a block reference, or `None` for unknown blocks.
+    #[inline]
+    fn slot(&self, r: BlockRef) -> Option<usize> {
+        let node = r.node as usize;
+        if node >= self.num_blocks.len() || r.block >= self.num_blocks[node] {
+            return None;
+        }
+        Some(self.node_base[node] + r.block as usize)
+    }
+
     /// Producer blocks the given block directly depends on (sorted).
     pub fn deps_of(&self, r: BlockRef) -> &[BlockRef] {
-        self.deps.get(&r).map_or(&[], Vec::as_slice)
+        match self.slot(r) {
+            Some(s) => {
+                &self.deps_edges[self.deps_off[s] as usize..self.deps_off[s + 1] as usize]
+            }
+            None => &[],
+        }
     }
 
     /// Consumer blocks that directly depend on the given block (sorted).
     pub fn consumers_of(&self, r: BlockRef) -> &[BlockRef] {
-        self.rdeps.get(&r).map_or(&[], Vec::as_slice)
+        match self.slot(r) {
+            Some(s) => {
+                &self.rdeps_edges[self.rdeps_off[s] as usize..self.rdeps_off[s + 1] as usize]
+            }
+            None => &[],
+        }
     }
 
     /// Number of blocks observed for a node (0 if the node never appeared).
     pub fn blocks_of_node(&self, node: u32) -> u32 {
-        self.num_blocks.get(&node).copied().unwrap_or(0)
+        self.num_blocks.get(node as usize).copied().unwrap_or(0)
     }
 
     /// Total number of dependency edges.
     pub fn num_edges(&self) -> usize {
-        self.deps.values().map(Vec::len).sum()
+        self.deps_edges.len()
     }
 
-    /// Iterates over all `(consumer, producers)` entries in unspecified
-    /// order.
+    /// Iterates over all `(consumer, producers)` entries with at least one
+    /// producer, in ascending consumer order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockRef, &[BlockRef])> + '_ {
-        self.deps.iter().map(|(&k, v)| (k, v.as_slice()))
+        (0..self.num_blocks.len())
+            .flat_map(move |node| {
+                let base = self.node_base[node];
+                (0..self.num_blocks[node]).map(move |block| {
+                    (BlockRef::new(node as u32, block), base + block as usize)
+                })
+            })
+            .filter_map(move |(r, s)| {
+                let range = self.deps_off[s] as usize..self.deps_off[s + 1] as usize;
+                if range.is_empty() {
+                    None
+                } else {
+                    Some((r, &self.deps_edges[range]))
+                }
+            })
     }
 
     /// The set of node-level edges `(producer_node, consumer_node)` implied
@@ -132,9 +219,8 @@ impl BlockDepGraph {
     /// hand-built application graph).
     pub fn node_edges(&self) -> Vec<(u32, u32)> {
         let mut edges: Vec<(u32, u32)> = self
-            .deps
             .iter()
-            .flat_map(|(&c, ps)| ps.iter().map(move |&p| (p.node, c.node)))
+            .flat_map(|(c, ps)| ps.iter().map(move |&p| (p.node, c.node)))
             .collect();
         edges.sort_unstable();
         edges.dedup();
@@ -150,17 +236,28 @@ impl BlockDepGraph {
         roots: &[BlockRef],
         in_scope: F,
     ) -> Vec<BlockRef> {
-        let mut seen: Vec<BlockRef> = Vec::new();
-        let mut stack: Vec<BlockRef> = roots.to_vec();
-        let mut visited = std::collections::HashSet::new();
-        for r in roots {
-            visited.insert(*r);
+        // Slot-indexed visited bitmap: the closure walk does no hashing.
+        let total = self.node_base.last().copied().unwrap_or(0);
+        let mut visited = vec![false; total];
+        let mut stack: Vec<usize> = Vec::with_capacity(roots.len());
+        for &r in roots {
+            if let Some(s) = self.slot(r) {
+                visited[s] = true;
+                stack.push(s);
+            }
         }
-        while let Some(r) = stack.pop() {
-            for &p in self.deps_of(r) {
-                if in_scope(p.node) && visited.insert(p) {
+        let mut seen: Vec<BlockRef> = Vec::new();
+        while let Some(s) = stack.pop() {
+            let range = self.deps_off[s] as usize..self.deps_off[s + 1] as usize;
+            for &p in &self.deps_edges[range] {
+                if !in_scope(p.node) {
+                    continue;
+                }
+                let ps = self.slot(p).expect("edge endpoints are always known blocks");
+                if !visited[ps] {
+                    visited[ps] = true;
                     seen.push(p);
-                    stack.push(p);
+                    stack.push(ps);
                 }
             }
         }
@@ -294,5 +391,23 @@ mod tests {
         let g = b.finish();
         assert_eq!(g.blocks_of_node(3), 8);
         assert_eq!(g.blocks_of_node(99), 0);
+    }
+
+    #[test]
+    fn iter_yields_sorted_nonempty_entries() {
+        let mut b = DepGraphBuilder::new();
+        b.visit_block(BlockRef::new(0, 0), &trace(&[], &[1, 2]));
+        b.visit_block(BlockRef::new(1, 0), &trace(&[1], &[]));
+        b.visit_block(BlockRef::new(1, 1), &trace(&[2], &[]));
+        let g = b.finish();
+        let entries: Vec<(BlockRef, Vec<BlockRef>)> =
+            g.iter().map(|(r, ps)| (r, ps.to_vec())).collect();
+        assert_eq!(
+            entries,
+            vec![
+                (BlockRef::new(1, 0), vec![BlockRef::new(0, 0)]),
+                (BlockRef::new(1, 1), vec![BlockRef::new(0, 0)]),
+            ]
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Memory-footprint accounting (Sec. IV-B2 and IV-C2 of the paper).
 //!
-//! The block analyzer provides, for every block, the list of memory lines it
-//! accesses. The scheduler uses those lists to compute the *memory
+//! The block analyzer provides, for every block, the set of memory lines it
+//! accesses. The scheduler uses those sets to compute the *memory
 //! footprint* of a prospective sub-kernel group — the number of distinct
 //! cache lines it touches — and constrains it to the L2 capacity
 //! (`CheckCacheConst` in Algorithm 2).
@@ -9,10 +9,24 @@
 //! [`FootprintSet`] supports the incremental grow-and-rollback pattern the
 //! tiling loop needs: lines are added block by block, and if the cache
 //! constraint fails the most recent additions are undone via a checkpoint.
+//!
+//! # Representation
+//!
+//! The set is a *generation-stamped dense bitmap* over the line universe:
+//! a `Vec<u32>` indexed directly by line number, where a slot equal to the
+//! current generation counter means "present". Line numbers are byte
+//! addresses divided by the line size, and device memory is allocated from
+//! address zero upward, so the universe is dense and bounded by the total
+//! allocation — direct indexing costs O(1) per insert with no hashing, and
+//! `clear` is O(1) (bump the generation). Rollback replays the insertion
+//! journal, exactly as the previous hash-set representation did, so the
+//! checkpoint semantics are unchanged.
 
-use std::collections::HashSet;
-
+use crate::lineset::LineSet;
 use crate::record::BlockTrace;
+
+/// Stamp value meaning "absent in every generation".
+const EMPTY: u32 = 0;
 
 /// An incrementally grown set of distinct cache lines with checkpoint/rollback.
 ///
@@ -31,7 +45,13 @@ use crate::record::BlockTrace;
 #[derive(Debug, Clone)]
 pub struct FootprintSet {
     line_bytes: u64,
-    lines: HashSet<u64>,
+    /// Current generation; a stamp equal to this value means present.
+    gen: u32,
+    /// Per-line generation stamps, indexed by line number.
+    stamps: Vec<u32>,
+    /// Number of lines present in the current generation.
+    count: u64,
+    /// Lines inserted since the last `clear`, in insertion order.
     journal: Vec<u64>,
 }
 
@@ -43,26 +63,57 @@ impl FootprintSet {
     /// Panics if `line_bytes` is zero.
     pub fn new(line_bytes: u64) -> Self {
         assert!(line_bytes > 0, "line size must be non-zero");
-        FootprintSet { line_bytes, lines: HashSet::new(), journal: Vec::new() }
+        FootprintSet { line_bytes, gen: 1, stamps: Vec::new(), count: 0, journal: Vec::new() }
+    }
+
+    /// Grows the stamp table to cover line index `max` (inclusive).
+    #[inline]
+    fn reserve_to(&mut self, max: u64) {
+        let needed = max as usize + 1;
+        if needed > self.stamps.len() {
+            self.stamps.resize(needed, EMPTY);
+        }
+    }
+
+    /// Inserts one line whose index is already covered by the stamp table.
+    #[inline]
+    fn insert_reserved(&mut self, line: u64) {
+        let slot = &mut self.stamps[line as usize];
+        if *slot != self.gen {
+            *slot = self.gen;
+            self.count += 1;
+            self.journal.push(line);
+        }
     }
 
     /// Adds individual lines; duplicates are ignored.
     pub fn add_lines(&mut self, lines: impl IntoIterator<Item = u64>) {
         for line in lines {
-            if self.lines.insert(line) {
-                self.journal.push(line);
+            self.reserve_to(line);
+            self.insert_reserved(line);
+        }
+    }
+
+    /// Adds all lines touched by a block, run-at-a-time.
+    pub fn add_block(&mut self, t: &BlockTrace) {
+        self.add_line_set(&t.lines);
+    }
+
+    /// Adds every line of a [`LineSet`], reserving once per run.
+    pub fn add_line_set(&mut self, lines: &LineSet) {
+        if let Some(max) = lines.max_line() {
+            self.reserve_to(max);
+        }
+        for &(start, len) in lines.runs() {
+            for line in start..start + len {
+                self.insert_reserved(line);
             }
         }
     }
 
-    /// Adds all lines touched by a block.
-    pub fn add_block(&mut self, t: &BlockTrace) {
-        self.add_lines(t.lines.iter().copied());
-    }
-
     /// Number of distinct lines currently in the set.
     pub fn num_lines(&self) -> u64 {
-        self.lines.len() as u64
+        self.count
     }
 
     /// Footprint in bytes.
@@ -90,25 +141,50 @@ impl FootprintSet {
     pub fn rollback(&mut self, cp: usize) {
         assert!(cp <= self.journal.len(), "invalid checkpoint");
         for line in self.journal.drain(cp..) {
-            self.lines.remove(&line);
+            self.stamps[line as usize] = EMPTY;
+            self.count -= 1;
         }
     }
 
-    /// Empties the set.
+    /// Empties the set in O(1) by advancing the generation counter.
     pub fn clear(&mut self) {
-        self.lines.clear();
+        if self.gen == u32::MAX {
+            // Stamp space exhausted: reset physically (effectively never
+            // reached — it takes 2^32 - 1 clears).
+            self.stamps.fill(EMPTY);
+            self.gen = 0;
+        }
+        self.gen += 1;
+        self.count = 0;
         self.journal.clear();
     }
 }
 
 /// Computes the one-shot footprint in bytes of a group of blocks (the union
-/// of their lines) without building a reusable set.
+/// of their lines) without journaling or checkpoint support — a plain
+/// seen-bitmap pass over the blocks' line runs.
 pub fn footprint_of<'a>(blocks: impl IntoIterator<Item = &'a BlockTrace>, line_bytes: u64) -> u64 {
-    let mut set = FootprintSet::new(line_bytes);
+    assert!(line_bytes > 0, "line size must be non-zero");
+    let mut seen: Vec<bool> = Vec::new();
+    let mut count = 0u64;
     for b in blocks {
-        set.add_block(b);
+        if let Some(max) = b.lines.max_line() {
+            let needed = max as usize + 1;
+            if needed > seen.len() {
+                seen.resize(needed, false);
+            }
+        }
+        for &(start, len) in b.lines.runs() {
+            for line in start..start + len {
+                let slot = &mut seen[line as usize];
+                if !*slot {
+                    *slot = true;
+                    count += 1;
+                }
+            }
+        }
     }
-    set.bytes()
+    count * line_bytes
 }
 
 #[cfg(test)]
@@ -117,11 +193,14 @@ mod tests {
     use gpu_sim::BlockWork;
 
     fn block_with_lines(lines: &[u64]) -> BlockTrace {
+        let mut sorted = lines.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
         BlockTrace {
             work: BlockWork::default(),
             read_words: Vec::new(),
             write_words: Vec::new(),
-            lines: lines.to_vec(),
+            lines: LineSet::from_sorted(&sorted),
         }
     }
 
@@ -174,6 +253,29 @@ mod tests {
         fp.clear();
         assert_eq!(fp.bytes(), 0);
         assert_eq!(fp.checkpoint(), 0);
+        // Lines from before the clear are gone, not resurrected.
+        fp.add_lines([2]);
+        assert_eq!(fp.num_lines(), 1);
+    }
+
+    #[test]
+    fn generations_do_not_leak_across_clear() {
+        let mut fp = FootprintSet::new(64);
+        for round in 0..5u64 {
+            fp.add_lines([round, 100 + round]);
+            assert_eq!(fp.num_lines(), 2, "round {round}");
+            fp.clear();
+            assert_eq!(fp.num_lines(), 0, "round {round}");
+        }
+    }
+
+    #[test]
+    fn add_block_uses_runs() {
+        let mut fp = FootprintSet::new(64);
+        fp.add_block(&block_with_lines(&[10, 11, 12, 40]));
+        assert_eq!(fp.num_lines(), 4);
+        fp.add_block(&block_with_lines(&[12, 13]));
+        assert_eq!(fp.num_lines(), 5);
     }
 
     #[test]

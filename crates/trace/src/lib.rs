@@ -21,8 +21,10 @@
 
 mod blockdep;
 mod footprint;
+mod lineset;
 mod record;
 
 pub use blockdep::{BlockDepGraph, BlockRef, DepGraphBuilder};
 pub use footprint::{footprint_of, FootprintSet};
+pub use lineset::LineSet;
 pub use record::{AccessKind, BlockTrace, ExecCtx, ThreadAccess, TraceRecorder};

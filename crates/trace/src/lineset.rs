@@ -1,0 +1,173 @@
+//! Run-compressed cache-line sets.
+//!
+//! The image-processing kernels the paper targets touch mostly contiguous
+//! memory: a block's line footprint is a handful of dense intervals (a few
+//! rows of a frame) rather than scattered singletons. [`LineSet`] stores a
+//! sorted, deduplicated set of line indices as maximal runs
+//! `(start, length)`, which shrinks per-block trace storage by an order of
+//! magnitude and lets consumers (footprint accounting, DMA replay) operate
+//! run-at-a-time instead of line-at-a-time.
+
+/// A sorted set of cache-line indices, stored as maximal contiguous runs.
+///
+/// Immutable after construction — block traces are written once by the
+/// recorder and then only read.
+///
+/// # Examples
+///
+/// ```
+/// use trace::LineSet;
+/// let s = LineSet::from_sorted(&[3, 4, 5, 9, 10, 20]);
+/// assert_eq!(s.len(), 6);
+/// assert_eq!(s.num_runs(), 3);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 4, 5, 9, 10, 20]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LineSet {
+    /// Maximal runs `(start, length)`, sorted by start, non-adjacent.
+    runs: Vec<(u64, u64)>,
+    /// Total number of lines (sum of run lengths), cached.
+    len: u64,
+}
+
+impl LineSet {
+    /// Builds a set from a sorted, deduplicated slice of line indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is not strictly ascending.
+    pub fn from_sorted(lines: &[u64]) -> Self {
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for &line in lines {
+            match runs.last_mut() {
+                Some((start, len)) if line == *start + *len => *len += 1,
+                _ => {
+                    if let Some(&(start, len)) = runs.last() {
+                        assert!(line > start + len - 1, "lines must be strictly ascending");
+                    }
+                    runs.push((line, 1));
+                }
+            }
+        }
+        LineSet { runs, len: lines.len() as u64 }
+    }
+
+    /// Builds a set covering the single contiguous range `[start, end]`.
+    pub fn from_range(start: u64, end: u64) -> Self {
+        assert!(end >= start, "empty range");
+        LineSet { runs: vec![(start, end - start + 1)], len: end - start + 1 }
+    }
+
+    /// Number of lines in the set.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The maximal runs `(start, length)` in ascending order.
+    pub fn runs(&self) -> &[(u64, u64)] {
+        &self.runs
+    }
+
+    /// Number of maximal runs (the compressed size).
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Iterates the line indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().flat_map(|&(start, len)| start..start + len)
+    }
+
+    /// Expands to a plain vector of line indices.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+
+    /// Largest line index in the set, if non-empty.
+    pub fn max_line(&self) -> Option<u64> {
+        self.runs.last().map(|&(start, len)| start + len - 1)
+    }
+}
+
+impl<'a> IntoIterator for &'a LineSet {
+    type Item = u64;
+    type IntoIter = Box<dyn Iterator<Item = u64> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl FromIterator<u64> for LineSet {
+    /// Collects from an iterator of line indices (need not be sorted).
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut v: Vec<u64> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        LineSet::from_sorted(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let s = LineSet::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.num_runs(), 0);
+        assert_eq!(s.max_line(), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn contiguous_input_is_one_run() {
+        let s = LineSet::from_sorted(&[10, 11, 12, 13]);
+        assert_eq!(s.num_runs(), 1);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.max_line(), Some(13));
+        assert_eq!(s.to_vec(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn scattered_input_roundtrips() {
+        let lines = vec![0, 2, 3, 7, 100, 101, 102, 500];
+        let s = LineSet::from_sorted(&lines);
+        assert_eq!(s.to_vec(), lines);
+        assert_eq!(s.num_runs(), 5);
+    }
+
+    #[test]
+    fn from_range_covers_inclusive() {
+        let s = LineSet::from_range(5, 8);
+        assert_eq!(s.to_vec(), vec![5, 6, 7, 8]);
+        assert_eq!(s.num_runs(), 1);
+    }
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let s: LineSet = [5u64, 1, 3, 1, 2].into_iter().collect();
+        assert_eq!(s.to_vec(), vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_input_panics() {
+        LineSet::from_sorted(&[3, 1]);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = LineSet::from_sorted(&[1, 2, 3]);
+        let b = LineSet::from_range(1, 3);
+        assert_eq!(a, b);
+    }
+}

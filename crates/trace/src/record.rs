@@ -15,6 +15,8 @@
 
 use gpu_sim::{BlockWork, Buffer, DeviceMemory, Txn, WarpWork, WARP_SIZE};
 
+use crate::lineset::LineSet;
+
 /// Type of a recorded memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
@@ -66,15 +68,15 @@ pub struct BlockTrace {
     pub read_words: Vec<u64>,
     /// Sorted, deduplicated 4-byte word addresses written by the block.
     pub write_words: Vec<u64>,
-    /// Sorted, deduplicated cache lines touched by the block (reads and
-    /// writes). This is the block's memory footprint contribution.
-    pub lines: Vec<u64>,
+    /// Cache lines touched by the block (reads and writes), run-compressed.
+    /// This is the block's memory footprint contribution.
+    pub lines: LineSet,
 }
 
 impl BlockTrace {
     /// Memory footprint of this single block in bytes.
     pub fn footprint_bytes(&self, line_bytes: u64) -> u64 {
-        self.lines.len() as u64 * line_bytes
+        self.lines.len() * line_bytes
     }
 }
 
@@ -237,7 +239,12 @@ impl TraceRecorder {
             set.dedup();
         }
 
-        BlockTrace { work: BlockWork { warps }, read_words, write_words, lines }
+        BlockTrace {
+            work: BlockWork { warps },
+            read_words,
+            write_words,
+            lines: LineSet::from_sorted(&lines),
+        }
     }
 }
 

@@ -1,18 +1,20 @@
-//! Property-based tests of trace recording, coalescing, footprints and
-//! dependency construction.
+//! Randomized tests of trace recording, coalescing, footprints and
+//! dependency construction (seeded [`SplitMix64`] cases; failures report
+//! the seed for exact replay).
 
-use gpu_sim::DeviceMemory;
-use proptest::prelude::*;
+use gpu_sim::{DeviceMemory, SplitMix64};
+use std::collections::{HashMap, HashSet};
 use trace::{AccessKind, BlockRef, DepGraphBuilder, ExecCtx, FootprintSet, TraceRecorder};
 
-proptest! {
-    /// Coalescing never produces more transactions than raw accesses and
-    /// covers exactly the touched lines.
-    #[test]
-    fn coalescing_bounds(
-        idxs in proptest::collection::vec(0u64..4096, 1..200),
-        threads in 1u32..64,
-    ) {
+/// Coalescing never produces more transactions than raw accesses and
+/// covers exactly the touched lines.
+#[test]
+fn coalescing_bounds() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let threads = rng.gen_range_u32(1, 64);
+        let len = rng.gen_range_usize(1, 200);
+        let idxs = rng.vec_u64(len, 0, 4096);
         let mut mem = DeviceMemory::new();
         let buf = mem.alloc_f32(4096, "b");
         let mut rec = TraceRecorder::new(128);
@@ -24,66 +26,88 @@ proptest! {
         }
         let t = rec.finish_block();
         let total_txns: usize = t.work.warps.iter().map(|w| w.txns.len()).sum();
-        prop_assert!(total_txns <= idxs.len());
+        assert!(total_txns <= idxs.len(), "seed {seed}");
         // Lines recorded == distinct lines actually touched.
         let mut want: Vec<u64> = idxs.iter().map(|&i| buf.f32_addr(i) / 128).collect();
         want.sort_unstable();
         want.dedup();
-        prop_assert_eq!(&t.lines, &want);
+        let got: Vec<u64> = t.lines.to_vec();
+        assert_eq!(got, want, "seed {seed}");
         // Read words == distinct touched words.
         let mut words: Vec<u64> = idxs.iter().map(|&i| buf.f32_addr(i) >> 2).collect();
         words.sort_unstable();
         words.dedup();
-        prop_assert_eq!(&t.read_words, &words);
-        prop_assert!(t.write_words.is_empty());
+        assert_eq!(&t.read_words, &words, "seed {seed}");
+        assert!(t.write_words.is_empty(), "seed {seed}");
     }
+}
 
-    /// FootprintSet equals the size of the true union under arbitrary
-    /// add/checkpoint/rollback sequences.
-    #[test]
-    fn footprint_matches_reference(
-        ops in proptest::collection::vec(
-            prop_oneof![
-                proptest::collection::vec(0u64..500, 1..20).prop_map(Some), // add batch
-                Just(None),                                                  // checkpoint+rollback later
-            ],
-            1..30
-        )
-    ) {
+/// FootprintSet equals a `HashSet` reference model under arbitrary
+/// add / checkpoint / rollback / clear sequences (the satellite
+/// equivalence suite for the dense-bitmap re-implementation).
+#[test]
+fn footprint_matches_reference() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed);
         let mut fp = FootprintSet::new(64);
-        let mut reference: std::collections::HashSet<u64> = Default::default();
-        let mut checkpoints: Vec<(usize, std::collections::HashSet<u64>)> = Vec::new();
-        for op in ops {
-            match op {
-                Some(batch) => {
+        let mut reference: HashSet<u64> = HashSet::new();
+        let mut checkpoints: Vec<(usize, HashSet<u64>)> = Vec::new();
+        let ops = rng.gen_range_usize(1, 40);
+        for _ in 0..ops {
+            match rng.gen_range_u32(0, 8) {
+                // add a batch of lines (biased: most frequent op)
+                0..=4 => {
+                    let len = rng.gen_range_usize(1, 20);
+                    // Mix contiguous runs and scattered singles, mirroring
+                    // image-kernel and strided access patterns.
+                    let batch: Vec<u64> = if rng.gen_bool() {
+                        let start = rng.gen_range_u64(0, 500);
+                        (start..start + len as u64).collect()
+                    } else {
+                        rng.vec_u64(len, 0, 500)
+                    };
                     fp.add_lines(batch.iter().copied());
                     reference.extend(batch);
                 }
-                None => {
+                // take a checkpoint
+                5 => checkpoints.push((fp.checkpoint(), reference.clone())),
+                // roll back to the most recent checkpoint
+                6 => {
                     if let Some((cp, snap)) = checkpoints.pop() {
                         fp.rollback(cp);
                         reference = snap;
-                    } else {
-                        checkpoints.push((fp.checkpoint(), reference.clone()));
                     }
                 }
+                // clear everything
+                _ => {
+                    fp.clear();
+                    reference.clear();
+                    checkpoints.clear();
+                }
             }
-            prop_assert_eq!(fp.num_lines(), reference.len() as u64);
+            assert_eq!(fp.num_lines(), reference.len() as u64, "seed {seed}");
+            assert_eq!(fp.bytes(), reference.len() as u64 * 64, "seed {seed}");
         }
     }
+}
 
-    /// Dependency construction: a consumer depends exactly on the set of
-    /// distinct producers of the words it reads.
-    #[test]
-    fn deps_match_last_writer_semantics(
-        writes in proptest::collection::vec((0u32..4, 0u64..64), 1..40),
-        reads in proptest::collection::vec(0u64..64, 1..20),
-    ) {
+/// Dependency construction: a consumer depends exactly on the set of
+/// distinct producers of the words it reads.
+#[test]
+fn deps_match_last_writer_semantics() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let writes: Vec<(u32, u64)> = (0..rng.gen_range_usize(1, 40))
+            .map(|_| (rng.gen_range_u32(0, 4), rng.gen_range_u64(0, 64)))
+            .collect();
+        let nreads = rng.gen_range_usize(1, 20);
+        let reads = rng.vec_u64(nreads, 0, 64);
+
         let mut mem = DeviceMemory::new();
         let buf = mem.alloc_f32(64, "b");
         let mut rec = TraceRecorder::new(128);
         let mut builder = DepGraphBuilder::new();
-        let mut last: std::collections::HashMap<u64, u32> = Default::default();
+        let mut last: HashMap<u64, u32> = HashMap::new();
 
         // Producer nodes 0..4 write words in sequence.
         for (i, &(node, word)) in writes.iter().enumerate() {
@@ -105,18 +129,99 @@ proptest! {
         let mut want: Vec<u32> = reads.iter().filter_map(|w| last.get(w).copied()).collect();
         want.sort_unstable();
         want.dedup();
-        let got: Vec<u32> = g.deps_of(BlockRef::new(9, 0)).iter().map(|d| d.node).collect();
-        let mut got_nodes = got.clone();
+        let mut got_nodes: Vec<u32> = g.deps_of(BlockRef::new(9, 0)).iter().map(|d| d.node).collect();
         got_nodes.sort_unstable();
         got_nodes.dedup();
-        prop_assert_eq!(got_nodes, want);
+        assert_eq!(got_nodes, want, "seed {seed}");
     }
+}
 
-    /// Disabled recorders are true no-ops regardless of the call pattern.
-    #[test]
-    fn disabled_recorder_is_a_noop(
-        idxs in proptest::collection::vec(0u64..128, 0..50)
-    ) {
+/// Regression: CSR `deps_of`/`consumers_of` match a naive adjacency model
+/// on a randomized multi-node, multi-block RAW trace (the satellite
+/// regression test for the CSR re-implementation).
+#[test]
+fn csr_matches_naive_adjacency_on_random_raw_trace() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let num_nodes = rng.gen_range_u32(2, 6);
+        let blocks_per_node = rng.gen_range_u32(1, 5);
+        let words = 96u64;
+
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc_f32(words, "b");
+        let mut rec = TraceRecorder::new(128);
+        let mut builder = DepGraphBuilder::new();
+
+        // Naive reference: last writer per word, adjacency as hash maps.
+        let mut last_writer: HashMap<u64, BlockRef> = HashMap::new();
+        let mut ref_deps: HashMap<BlockRef, Vec<BlockRef>> = HashMap::new();
+        let mut ref_rdeps: HashMap<BlockRef, Vec<BlockRef>> = HashMap::new();
+        let mut all_refs: Vec<BlockRef> = Vec::new();
+
+        for node in 0..num_nodes {
+            for block in 0..blocks_per_node {
+                let r = BlockRef::new(node, block);
+                all_refs.push(r);
+                let nr = rng.gen_range_usize(1, 8);
+                let reads = rng.vec_u64(nr, 0, words);
+                let nw = rng.gen_range_usize(1, 8);
+                let wr = rng.vec_u64(nw, 0, words);
+
+                rec.begin_block(1);
+                for &w in &reads {
+                    rec.record(0, buf.f32_addr(w), 4, AccessKind::Load);
+                }
+                for &w in &wr {
+                    rec.record(0, buf.f32_addr(w), 4, AccessKind::Store);
+                }
+                let t = rec.finish_block();
+                builder.visit_block(r, &t);
+
+                // Reference semantics: reads resolve before own writes land.
+                let mut producers: Vec<BlockRef> = reads
+                    .iter()
+                    .filter_map(|w| last_writer.get(w).copied())
+                    .filter(|p| p.node != r.node)
+                    .collect();
+                producers.sort_unstable();
+                producers.dedup();
+                for &p in &producers {
+                    ref_rdeps.entry(p).or_default().push(r);
+                }
+                if !producers.is_empty() {
+                    ref_deps.insert(r, producers);
+                }
+                for &w in &wr {
+                    last_writer.insert(w, r);
+                }
+            }
+        }
+        let g = builder.finish();
+        let mut num_edges = 0;
+        for &r in &all_refs {
+            let want = ref_deps.get(&r).cloned().unwrap_or_default();
+            assert_eq!(g.deps_of(r), &want[..], "seed {seed}: deps_of {r:?}");
+            let mut want_r = ref_rdeps.get(&r).cloned().unwrap_or_default();
+            want_r.sort_unstable();
+            want_r.dedup();
+            assert_eq!(g.consumers_of(r), &want_r[..], "seed {seed}: consumers_of {r:?}");
+            num_edges += want.len();
+        }
+        assert_eq!(g.num_edges(), num_edges, "seed {seed}");
+        // blocks_of_node observed every visited block.
+        for node in 0..num_nodes {
+            assert_eq!(g.blocks_of_node(node), blocks_per_node, "seed {seed}");
+        }
+    }
+}
+
+/// Disabled recorders are true no-ops regardless of the call pattern.
+#[test]
+fn disabled_recorder_is_a_noop() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(seed);
+        let len = rng.gen_range_usize(1, 50);
+        let idxs = rng.vec_u64(len, 0, 128);
         let mut mem = DeviceMemory::new();
         let buf = mem.alloc_f32(128, "b");
         let mut rec = TraceRecorder::new(128);
@@ -127,11 +232,11 @@ proptest! {
             ctx.st_f32(buf, i, 1.0, (i % 32) as u32);
         }
         let t = rec.finish_block();
-        prop_assert!(t.write_words.is_empty());
-        prop_assert!(t.work.warps.is_empty());
+        assert!(t.write_words.is_empty(), "seed {seed}");
+        assert!(t.work.warps.is_empty(), "seed {seed}");
         // But the functional effect happened.
         for &i in &idxs {
-            prop_assert_eq!(mem.read_f32(buf, i), 1.0);
+            assert_eq!(mem.read_f32(buf, i), 1.0, "seed {seed}");
         }
     }
 }

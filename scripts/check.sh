@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo health check: release build, full test suite, lints.
+# Usage: scripts/check.sh [--offline]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+if [[ "${1:-}" == "--offline" ]]; then
+    OFFLINE=(--offline)
+fi
+
+echo "== cargo build --release =="
+cargo build --workspace --release "${OFFLINE[@]}"
+
+echo "== cargo test =="
+cargo test --workspace -q "${OFFLINE[@]}"
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets "${OFFLINE[@]}" -- -D warnings
+
+echo "== OK =="

@@ -1,12 +1,11 @@
-//! Property-based integration tests: KTILER invariants over randomized
-//! pipeline shapes.
+//! Randomized integration tests: KTILER invariants over randomized
+//! pipeline shapes (seeded [`SplitMix64`] cases; failures report the seed).
 
-use gpu_sim::{Buffer, DeviceMemory, FreqConfig, GpuConfig};
+use gpu_sim::{Buffer, DeviceMemory, FreqConfig, GpuConfig, SplitMix64};
 use kernels::compute::{FillSeq, ScanStep};
 use ktiler::{
     calibrate, ktiler_schedule, CalibrationConfig, KtilerConfig, Schedule, SubKernel, TileParams,
 };
-use proptest::prelude::*;
 
 /// Builds a random chain: fill -> scan steps with random offsets.
 fn chain(n: u32, offsets: &[u32]) -> (kgraph::AppGraph, DeviceMemory, Vec<Buffer>) {
@@ -34,56 +33,57 @@ fn kcfg(cfg: &GpuConfig, thld: f64) -> KtilerConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any chain shape yields a dependency-valid, complete schedule.
-    #[test]
-    fn ktiler_schedules_are_always_valid(
-        n_exp in 12u32..16,
-        offsets in proptest::collection::vec(1u32..10_000, 1..5),
-        thld in prop_oneof![Just(0.0), Just(1_000.0), Just(100_000.0)],
-    ) {
-        let n = 1 << n_exp;
+/// Any chain shape yields a dependency-valid, complete schedule.
+#[test]
+fn ktiler_schedules_are_always_valid() {
+    let thresholds = [0.0, 1_000.0, 100_000.0];
+    for seed in 0..12u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = 1u32 << rng.gen_range_u32(12, 16);
+        let offsets: Vec<u32> =
+            (0..rng.gen_range_usize(1, 5)).map(|_| rng.gen_range_u32(1, 10_000)).collect();
+        let thld = thresholds[rng.gen_range_usize(0, thresholds.len())];
         let (g, mut mem, _) = chain(n, &offsets);
         let cfg = GpuConfig::gtx960m();
         let gt = kgraph::analyze(&g, &mut mem, cfg.cache.line_bytes).unwrap();
         let cal = calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
         let out = ktiler_schedule(&g, &gt, &cal, &kcfg(&cfg, thld));
-        out.schedule.validate(&g, &gt.deps).unwrap();
+        out.schedule.validate(&g, &gt.deps).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
     }
+}
 
-    /// The validator rejects any schedule whose launches were reordered
-    /// against a dependency, and accepts the default order.
-    #[test]
-    fn validator_catches_reordering(
-        n_exp in 12u32..14,
-        offsets in proptest::collection::vec(1u32..100, 2..4),
-    ) {
-        let n = 1 << n_exp;
+/// The validator rejects any schedule whose launches were reordered
+/// against a dependency, and accepts the default order.
+#[test]
+fn validator_catches_reordering() {
+    for seed in 0..8u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = 1u32 << rng.gen_range_u32(12, 14);
+        let offsets: Vec<u32> =
+            (0..rng.gen_range_usize(2, 4)).map(|_| rng.gen_range_u32(1, 100)).collect();
         let (g, mut mem, _) = chain(n, &offsets);
         let gt = kgraph::analyze(&g, &mut mem, 128).unwrap();
         let default = Schedule::default_order(&g);
-        prop_assert!(default.validate(&g, &gt.deps).is_ok());
+        assert!(default.validate(&g, &gt.deps).is_ok(), "seed {seed}");
         // Swap the first two launches: fill after its consumer.
         let mut bad = default.clone();
         bad.launches.swap(0, 1);
-        prop_assert!(bad.validate(&g, &gt.deps).is_err());
+        assert!(bad.validate(&g, &gt.deps).is_err(), "seed {seed}");
     }
+}
 
-    /// Dropping any single block from a full schedule is caught as
-    /// missing coverage (and dropping a producer block breaks deps).
-    #[test]
-    fn validator_catches_missing_blocks(
-        n_exp in 12u32..14,
-        victim in 0usize..200,
-    ) {
-        let n = 1 << n_exp;
+/// Dropping any single block from a full schedule is caught as
+/// missing coverage (and dropping a producer block breaks deps).
+#[test]
+fn validator_catches_missing_blocks() {
+    for seed in 0..8u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = 1u32 << rng.gen_range_u32(12, 14);
         let (g, mut mem, _) = chain(n, &[1]);
         let gt = kgraph::analyze(&g, &mut mem, 128).unwrap();
         let mut sched = Schedule::default_order(&g);
         let launch = &mut sched.launches[0];
-        let victim = victim % launch.blocks.len();
+        let victim = rng.gen_range_usize(0, launch.blocks.len());
         let blocks: Vec<u32> = launch
             .blocks
             .iter()
@@ -93,6 +93,6 @@ proptest! {
             .map(|(_, b)| b)
             .collect();
         *launch = SubKernel::new(launch.node, blocks);
-        prop_assert!(sched.validate(&g, &gt.deps).is_err());
+        assert!(sched.validate(&g, &gt.deps).is_err(), "seed {seed}");
     }
 }
