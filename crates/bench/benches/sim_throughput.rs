@@ -38,7 +38,7 @@ fn bench_execute_schedule() {
     let blocks: u64 = sched.launches.iter().map(|s| s.grid_size() as u64).sum();
 
     bench_throughput("sim_throughput/optflow_256px_schedule", blocks, 1, 10, || {
-        execute_schedule(&sched, &app.graph, &gt, &cfg, FreqConfig::default(), None)
+        execute_schedule(&sched, &app.graph, &gt, &cfg, FreqConfig::default(), None).unwrap()
     });
 }
 

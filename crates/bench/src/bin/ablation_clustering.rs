@@ -81,7 +81,7 @@ fn report(name: &str, r: &RunReport, baseline: &RunReport, launches: usize) {
         "{:<22} {:>8}ms {:>8} {:>9} {:>9.2}",
         name,
         ms(r.total_ns),
-        pct(r.gain_over(baseline)),
+        pct(r.gain_over(baseline).unwrap_or(0.0)),
         launches,
         r.stats.hit_rate()
     );
@@ -94,7 +94,7 @@ fn main() {
     let freq = FreqConfig::new(1324.0, 1600.0);
     let cal = calibrate(&w.app.graph, &w.gt, &w.cfg, freq, &CalibrationConfig::default());
 
-    let run = |s: &Schedule| execute_schedule(s, &w.app.graph, &w.gt, &w.cfg, freq, None);
+    let run = |s: &Schedule| execute_schedule(s, &w.app.graph, &w.gt, &w.cfg, freq, None).unwrap();
     let default = Schedule::default_order(&w.app.graph);
     let base = run(&default);
 
@@ -104,7 +104,7 @@ fn main() {
     );
     report("no merging (default)", &base, &base, default.num_launches());
 
-    let paper = ktiler_schedule(&w.app.graph, &w.gt, &cal, &paper_ktiler_config(&w.cfg));
+    let paper = ktiler_schedule(&w.app.graph, &w.gt, &cal, &paper_ktiler_config(&w.cfg)).unwrap();
     paper.schedule.validate(&w.app.graph, &w.gt.deps).unwrap();
     report("Algorithm 1 (paper)", &run(&paper.schedule), &base, paper.schedule.num_launches());
 

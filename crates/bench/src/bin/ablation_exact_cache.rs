@@ -40,7 +40,7 @@ fn main() {
         &w.cfg,
         freq,
         None,
-    );
+    ).unwrap();
     println!("default: {} ms\n", ms(default.total_ns));
     println!(
         "{:<28} {:>10} {:>8} {:>9} {:>9} {:>11}",
@@ -62,15 +62,15 @@ fn main() {
         let mut kcfg = paper_ktiler_config(&w.cfg);
         kcfg.tile.constraint = constraint;
         let t0 = Instant::now();
-        let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg);
+        let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg).unwrap();
         let sched_time = t0.elapsed();
         out.schedule.validate(&w.app.graph, &w.gt.deps).unwrap();
-        let r = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None);
+        let r = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None).unwrap();
         println!(
             "{:<28} {:>8}ms {:>8} {:>9} {:>9.2} {:>10.2}s",
             name,
             ms(r.total_ns),
-            pct(r.gain_over(&default)),
+            pct(r.gain_over(&default).unwrap_or(0.0)),
             out.schedule.num_launches(),
             r.stats.hit_rate(),
             sched_time.as_secs_f64()

@@ -29,7 +29,7 @@ fn main() {
         &w.cfg,
         freq,
         None,
-    );
+    ).unwrap();
     println!("default (untiled): {} ms\n", ms(default.total_ns));
     println!(
         "{:>14} {:>10} {:>10} {:>8} {:>9}",
@@ -46,14 +46,14 @@ fn main() {
     ] {
         let mut kcfg = paper_ktiler_config(&w.cfg);
         kcfg.tile.cache_bytes = bound;
-        let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg);
+        let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg).unwrap();
         out.schedule.validate(&w.app.graph, &w.gt.deps).unwrap();
-        let r = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None);
+        let r = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None).unwrap();
         println!(
             "{:>14} {:>8}ms {:>10} {:>8} {:>9.2}",
             label,
             ms(r.total_ns),
-            pct(r.gain_over(&default)),
+            pct(r.gain_over(&default).unwrap_or(0.0)),
             out.schedule.num_launches(),
             r.stats.hit_rate()
         );

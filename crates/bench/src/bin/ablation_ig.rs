@@ -19,7 +19,7 @@ fn main() {
     let freq = FreqConfig::new(1324.0, 1600.0);
     let cal = calibrate(&w.app.graph, &w.gt, &w.cfg, freq, &CalibrationConfig::default());
     let kcfg = paper_ktiler_config(&w.cfg);
-    let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg);
+    let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg).unwrap();
     out.schedule.validate(&w.app.graph, &w.gt.deps).unwrap();
     let default = Schedule::default_order(&w.app.graph);
     println!(
@@ -31,35 +31,35 @@ fn main() {
     println!("{:>10} {:>12} {:>12} {:>8}", "IG (us)", "default", "ktiler", "gain");
     for ig_us in [0.0, 1.0, 2.5, 5.0, 10.0, 20.0, 50.0] {
         let ig = Some(ig_us * 1000.0);
-        let d = execute_schedule(&default, &w.app.graph, &w.gt, &w.cfg, freq, ig);
-        let k = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &w.cfg, freq, ig);
+        let d = execute_schedule(&default, &w.app.graph, &w.gt, &w.cfg, freq, ig).unwrap();
+        let k = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &w.cfg, freq, ig).unwrap();
         println!(
             "{:>10} {:>10}ms {:>10}ms {:>8}",
             ig_us,
             ms(d.total_ns),
             ms(k.total_ns),
-            pct(k.gain_over(&d))
+            pct(k.gain_over(&d).unwrap_or(0.0))
         );
     }
 
     // IG-aware cost model: charge the device gap per launch while tiling.
     let mut aware_cfg = paper_ktiler_config(&w.cfg);
     aware_cfg.tile.ig_cost_ns = w.cfg.inter_launch_gap_ns;
-    let aware = ktiler_schedule(&w.app.graph, &w.gt, &cal, &aware_cfg);
+    let aware = ktiler_schedule(&w.app.graph, &w.gt, &cal, &aware_cfg).unwrap();
     aware.schedule.validate(&w.app.graph, &w.gt.deps).unwrap();
-    let d = execute_schedule(&default, &w.app.graph, &w.gt, &w.cfg, freq, None);
-    let plain = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None);
-    let aware_r = execute_schedule(&aware.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None);
+    let d = execute_schedule(&default, &w.app.graph, &w.gt, &w.cfg, freq, None).unwrap();
+    let plain = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None).unwrap();
+    let aware_r = execute_schedule(&aware.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None).unwrap();
     println!("\ncost model (at the device IG of {} us):", w.cfg.inter_launch_gap_ns / 1000.0);
     println!(
         "  paper (IG-blind):  {} launches, gain {}",
         out.schedule.num_launches(),
-        pct(plain.gain_over(&d))
+        pct(plain.gain_over(&d).unwrap_or(0.0))
     );
     println!(
         "  IG-aware:          {} launches, gain {}",
         aware.schedule.num_launches(),
-        pct(aware_r.gain_over(&d))
+        pct(aware_r.gain_over(&d).unwrap_or(0.0))
     );
     println!("\nexpected: gains shrink as the IG grows (each extra sub-kernel launch");
     println!("pays it); the IG-aware cost model tiles less aggressively and defends");

@@ -60,7 +60,7 @@ fn main() {
         ("with L1", GpuConfig::gtx960m().with_l1()),
     ] {
         let cal = calibrate(&w.app.graph, &w.gt, &cfg, freq, &CalibrationConfig::default());
-        let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &paper_ktiler_config(&cfg));
+        let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &paper_ktiler_config(&cfg)).unwrap();
         out.schedule.validate(&w.app.graph, &w.gt.deps).unwrap();
         let def = execute_schedule(
             &Schedule::default_order(&w.app.graph),
@@ -69,13 +69,13 @@ fn main() {
             &cfg,
             freq,
             None,
-        );
-        let tiled = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &cfg, freq, None);
+        ).unwrap();
+        let tiled = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &cfg, freq, None).unwrap();
         println!(
             "\n{name}: default {} ms -> ktiler {} ms (gain {}, {} launches, L1 hits {} -> {})",
             ms(def.total_ns),
             ms(tiled.total_ns),
-            pct(tiled.gain_over(&def)),
+            pct(tiled.gain_over(&def).unwrap_or(0.0)),
             out.schedule.num_launches(),
             def.stats.l1_hits,
             tiled.stats.l1_hits,

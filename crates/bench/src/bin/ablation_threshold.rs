@@ -25,7 +25,7 @@ fn main() {
         &w.cfg,
         freq,
         None,
-    );
+    ).unwrap();
 
     println!(
         "{:>12} {:>11} {:>10} {:>10} {:>8} {:>9}",
@@ -35,17 +35,17 @@ fn main() {
         let mut kcfg = paper_ktiler_config(&w.cfg);
         kcfg.weight_threshold_ns = thld;
         let t0 = Instant::now();
-        let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg);
+        let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg).unwrap();
         let sched_time = t0.elapsed();
         out.schedule.validate(&w.app.graph, &w.gt.deps).unwrap();
-        let r = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None);
+        let r = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None).unwrap();
         println!(
             "{:>12} {:>11} {:>9.2}s {:>8}ms {:>8} {:>9}",
             if thld.is_infinite() { "inf".into() } else { format!("{thld:.0}") },
             out.report.candidate_edges,
             sched_time.as_secs_f64(),
             ms(r.total_ns),
-            pct(r.gain_over(&default)),
+            pct(r.gain_over(&default).unwrap_or(0.0)),
             out.schedule.num_launches()
         );
     }

@@ -88,7 +88,7 @@ fn main() {
     let gt = kgraph::analyze(&g, &mut mem, cfg.cache.line_bytes).unwrap();
 
     let seq = Schedule::default_order(&g);
-    let seq_r = ktiler::execute_schedule(&seq, &g, &gt, &cfg, freq, Some(0.0));
+    let seq_r = ktiler::execute_schedule(&seq, &g, &gt, &cfg, freq, Some(0.0)).unwrap();
 
     // Interleave row-bands of A with the matching row-band of B, exactly
     // the paper's narrative schedule (A rows 2y, 2y+1 before B row y),
@@ -118,7 +118,7 @@ fn main() {
     }
     let tiled = Schedule { launches };
     tiled.validate(&g, &gt.deps).unwrap();
-    let tiled_r = ktiler::execute_schedule(&tiled, &g, &gt, &cfg, freq, Some(0.0));
+    let tiled_r = ktiler::execute_schedule(&tiled, &g, &gt, &cfg, freq, Some(0.0)).unwrap();
 
     println!("\nsame pipeline at 2048x2048 (intm = 16 MiB >> L2):");
     println!(
@@ -130,6 +130,6 @@ fn main() {
         "interleaved: {:>8.1} us, B read hit rate {:.2}  (gain {:.1}%)",
         tiled_r.total_ns / 1e3,
         tiled_r.stats.read_hit_rate(),
-        tiled_r.gain_over(&seq_r) * 100.0
+        tiled_r.gain_over(&seq_r).unwrap_or(0.0) * 100.0
     );
 }

@@ -36,8 +36,8 @@ fn main() {
     let mut results = Vec::new();
     for freq in fig5_freq_configs() {
         let r = run_modes(&w, freq);
-        let g1 = r.ktiler.gain_over(&r.default);
-        let g2 = r.ktiler_no_ig.gain_over(&r.default);
+        let g1 = r.ktiler.gain_over(&r.default).unwrap_or(0.0);
+        let g2 = r.ktiler_no_ig.gain_over(&r.default).unwrap_or(0.0);
         println!(
             "{:<14} {:>8}ms {:>8}ms {:>8} {:>10}ms {:>8} {:>4.2}/{:<4.2} {:>9}",
             freq.to_string(),

@@ -67,7 +67,7 @@ fn main() {
             if let Some(t) = arg_value("--thld") {
                 kcfg.weight_threshold_ns = t.parse().expect("bad --thld");
             }
-            let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg);
+            let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg).unwrap();
             out.schedule.validate(&w.app.graph, &w.gt.deps).expect("valid schedule");
             eprintln!(
                 "schedule: {} launches, {} clusters, est {} ms ({:?})",
@@ -104,6 +104,7 @@ fn main() {
                         &CalibrationConfig::default(),
                     );
                     ktiler_schedule(&w.app.graph, &w.gt, &cal, &paper_ktiler_config(&w.cfg))
+                        .expect("fresh calibration always matches the workload graph")
                         .schedule
                 }
             };
@@ -119,7 +120,7 @@ fn main() {
                     usage()
                 }
             }
-            let (report, tl) = execute_with_timeline(&mut engine, &schedule, &w.app.graph, &w.gt);
+            let (report, tl) = execute_with_timeline(&mut engine, &schedule, &w.app.graph, &w.gt).unwrap();
             println!(
                 "mode {mode} at {freq}: total {} ms = kernels {} + gaps {} + dma {} ms",
                 ms(report.total_ns),

@@ -1,0 +1,75 @@
+//! `verify_schedule` — standalone static checker for schedule files.
+//!
+//! Parses a serialized schedule and runs the full [`ktiler::verify_schedule`]
+//! pass against the optical-flow workload it is meant for: block coverage,
+//! duplicate launches, dependency order, and L2 footprint windows. This is
+//! the offline half of the paper's "runtime enforcement" story — a schedule
+//! is an artifact generated once and replayed many times, so it can (and
+//! should) be checked before it ever reaches the device.
+//!
+//! ```text
+//! verify_schedule --schedule FILE [--size N] [--iters N] [--strict]
+//! ```
+//!
+//! Exit status: `0` when the schedule is clean (warnings allowed unless
+//! `--strict`), `1` when violations were found, `2` on usage errors.
+
+use bench::{prepare, Scale};
+use ktiler::{verify_schedule, Severity, TileParams};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: verify_schedule --schedule FILE [--size N] [--iters N] [--strict]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let Some(path) = arg_value("--schedule") else { usage() };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let sched = match ktiler::schedule_from_text(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let w = prepare(Scale::from_args());
+    let params = TileParams::paper(w.cfg.cache.capacity_bytes, w.cfg.cache.line_bytes, 0.0);
+    let report = verify_schedule(&sched, &w.app.graph, &w.gt, &params);
+
+    for v in &report.violations {
+        let tag = match v.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        println!("{tag}: {v}");
+    }
+    if report.suppressed > 0 {
+        println!("note: {} further violation(s) suppressed", report.suppressed);
+    }
+    println!(
+        "{path}: {} launches, {} error(s), {} warning(s)",
+        sched.num_launches(),
+        report.num_errors(),
+        report.num_warnings()
+    );
+
+    let strict = has_flag("--strict");
+    let failed = !report.is_clean() || (strict && report.num_warnings() > 0);
+    std::process::exit(i32::from(failed));
+}

@@ -103,7 +103,8 @@ pub fn paper_ktiler_config(cfg: &GpuConfig) -> KtilerConfig {
 /// Calibrates and runs KTILER on a workload at one operating point.
 pub fn schedule_at(w: &Workload, freq: FreqConfig) -> (Calibration, TilingOutcome) {
     let cal = calibrate(&w.app.graph, &w.gt, &w.cfg, freq, &CalibrationConfig::default());
-    let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &paper_ktiler_config(&w.cfg));
+    let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &paper_ktiler_config(&w.cfg))
+        .expect("benchmark workloads are non-empty and freshly calibrated");
     out.schedule
         .validate(&w.app.graph, &w.gt.deps)
         .expect("KTILER schedules are dependency-valid by construction");
@@ -133,10 +134,13 @@ pub fn run_modes(w: &Workload, freq: FreqConfig) -> ModeResults {
         &w.cfg,
         freq,
         None,
-    );
-    let ktiler = execute_schedule(&outcome.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None);
+    )
+    .expect("default-order schedules launch in-trace blocks only");
+    let ktiler = execute_schedule(&outcome.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None)
+        .expect("KTILER schedules launch in-trace blocks only");
     let ktiler_no_ig =
-        execute_schedule(&outcome.schedule, &w.app.graph, &w.gt, &w.cfg, freq, Some(0.0));
+        execute_schedule(&outcome.schedule, &w.app.graph, &w.gt, &w.cfg, freq, Some(0.0))
+            .expect("KTILER schedules launch in-trace blocks only");
     ModeResults { default, ktiler, ktiler_no_ig, outcome }
 }
 

@@ -69,6 +69,6 @@ fn video_graph_edges_are_sound_and_schedulable() {
         weight_threshold_ns: 500.0,
         tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
     };
-    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg);
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg).unwrap();
     out.schedule.validate(&app.graph, &gt.deps).unwrap();
 }

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use gpu_sim::{Engine, FreqConfig, GpuConfig};
 use kgraph::{AppGraph, GraphTrace, NodeId, NodeOp};
 
+use crate::error::KtilerError;
 use crate::perf_table::{PerfTable, PredMask};
 
 /// Calibrated performance model of an application on a device operating
@@ -51,8 +52,54 @@ impl Calibration {
 
     /// Estimated time of a `grid`-block sub-kernel of `node` with the given
     /// in-cache predecessors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `grid` is outside what this calibration covers.
+    /// Callers on untrusted paths check first via [`Self::validate_for`]
+    /// (as [`crate::ktiler_schedule`] does); [`calibrate`] itself always
+    /// produces tables with cold samples for every node.
     pub fn estimate(&self, node: NodeId, mask: PredMask, grid: u32) -> f64 {
-        self.tables[node.0 as usize].lookup(mask, grid)
+        self.tables[node.0 as usize]
+            .lookup(mask, grid)
+            .expect("calibrated tables always hold cold samples (validate_for checks this)")
+    }
+
+    /// Checks that this calibration structurally matches the application
+    /// graph it is about to be used with: one table, default time and
+    /// predecessor list per node, one weight per edge, and cold (mask 0)
+    /// samples in every table.
+    ///
+    /// # Errors
+    ///
+    /// [`KtilerError::CalibrationMismatch`] on any count mismatch, or
+    /// [`KtilerError::EmptyPerfTable`] naming the first node whose table
+    /// lacks cold samples.
+    pub fn validate_for(&self, g: &AppGraph) -> Result<(), KtilerError> {
+        let n = g.num_nodes();
+        let mismatch = |what, found| KtilerError::CalibrationMismatch { what, expected: n, found };
+        if self.tables.len() != n {
+            return Err(mismatch("performance tables", self.tables.len()));
+        }
+        if self.default_times.len() != n {
+            return Err(mismatch("default times", self.default_times.len()));
+        }
+        if self.preds.len() != n {
+            return Err(mismatch("predecessor lists", self.preds.len()));
+        }
+        if self.edge_weights.len() != g.num_edges() {
+            return Err(KtilerError::CalibrationMismatch {
+                what: "edge weights",
+                expected: g.num_edges(),
+                found: self.edge_weights.len(),
+            });
+        }
+        for (i, t) in self.tables.iter().enumerate() {
+            if !t.has_mask(0) {
+                return Err(KtilerError::EmptyPerfTable { node: Some(NodeId(i as u32)) });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -343,7 +390,10 @@ pub fn calibrate(
                 for &(mask, grid, job) in samples {
                     table.insert(mask, grid, results[job]);
                 }
-                default_times.push(table.lookup(0, g.node(v).num_blocks()));
+                let t = table
+                    .lookup(0, g.node(v).num_blocks())
+                    .expect("the plan always samples the cold mask at a positive grid");
+                default_times.push(t);
                 tables.push(table);
             }
             None => {
@@ -455,6 +505,27 @@ mod tests {
         let v = kgraph::NodeId(1);
         assert_eq!(cal.pred_mask(v, |_| true), 1);
         assert_eq!(cal.pred_mask(v, |_| false), 0);
+    }
+
+    #[test]
+    fn validate_for_checks_shape_and_cold_samples() {
+        let (g, gt, cfg) = setup();
+        let cal = calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+        assert!(cal.validate_for(&g).is_ok());
+
+        let mut short = cal.clone();
+        short.edge_weights.pop();
+        assert!(matches!(
+            short.validate_for(&g),
+            Err(KtilerError::CalibrationMismatch { what: "edge weights", .. })
+        ));
+
+        let mut cold_missing = cal;
+        cold_missing.tables[1] = PerfTable::new();
+        assert!(matches!(
+            cold_missing.validate_for(&g),
+            Err(KtilerError::EmptyPerfTable { node: Some(kgraph::NodeId(1)) })
+        ));
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! The typed error layer of `ktiler`'s public API.
+//!
+//! The schedule is an offline artifact "enforced at runtime" (Sec. IV-A of
+//! the paper), which makes it *user input* to everything downstream of the
+//! scheduler: the parser, the verifier and the executor all consume
+//! schedules that may come from a file written by anyone. Those paths
+//! return [`KtilerError`] instead of panicking.
+//!
+//! Error policy (see `DESIGN.md` for the full table):
+//!
+//! * APIs that consume **external input** (schedule text, `Schedule`
+//!   values, lookup queries) return `Result<_, KtilerError>`.
+//! * APIs whose preconditions are **established by this crate itself**
+//!   (e.g. [`crate::calibrate`] always samples the cold mask) keep those
+//!   invariants with `expect` and a message naming the invariant.
+//! * Plain construction bugs (an empty [`crate::SubKernel`]) stay
+//!   `assert!`-guarded: they cannot be produced by any parser path.
+
+use std::fmt;
+
+use kgraph::NodeId;
+
+use crate::io::ParseScheduleError;
+use crate::verify::VerifyReport;
+
+/// Error produced by `ktiler`'s fallible public APIs.
+///
+/// Hand-rolled (`thiserror`-style, but dependency-free): every variant
+/// carries the data needed to act on the failure programmatically, and
+/// [`fmt::Display`] renders a one-line human message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KtilerError {
+    /// The application graph has no nodes; there is nothing to schedule.
+    EmptyGraph,
+    /// A performance-table lookup found no samples at all (not even the
+    /// cold, mask-0 table). `node` is set when the failing table is known.
+    EmptyPerfTable {
+        /// The node whose table was empty, if the lookup was per-node.
+        node: Option<NodeId>,
+    },
+    /// A lookup or launch was requested for a zero-block grid.
+    ZeroGrid,
+    /// A schedule entry references a node the application graph (or its
+    /// trace) does not have.
+    UnknownNode {
+        /// The out-of-range node id.
+        node: NodeId,
+        /// Number of nodes the graph actually has.
+        num_nodes: usize,
+    },
+    /// A sub-kernel references a block outside its node's grid/trace.
+    BlockOutOfRange {
+        /// The node being launched.
+        node: NodeId,
+        /// The offending block id.
+        block: u32,
+        /// Number of blocks the node's trace actually has.
+        num_blocks: u32,
+    },
+    /// A node has no recorded trace to launch from (e.g. a transfer node
+    /// paired with a trace analyzed from a different graph).
+    MissingTrace {
+        /// The node without a trace.
+        node: NodeId,
+    },
+    /// A sub-kernel was constructed with an empty block list.
+    EmptySubKernel {
+        /// The node the empty sub-kernel belongs to.
+        node: NodeId,
+    },
+    /// A [`crate::Calibration`] does not match the application graph it is
+    /// being used with (wrong table/weight/predecessor counts).
+    CalibrationMismatch {
+        /// Which calibration component mismatched.
+        what: &'static str,
+        /// The size the graph requires.
+        expected: usize,
+        /// The size the calibration provides.
+        found: usize,
+    },
+    /// The schedule failed static verification before execution; the
+    /// report carries every structured violation found.
+    InvalidSchedule(VerifyReport),
+    /// The schedule text could not be parsed.
+    Parse(ParseScheduleError),
+}
+
+impl fmt::Display for KtilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KtilerError::EmptyGraph => {
+                write!(f, "cannot schedule an empty application graph")
+            }
+            KtilerError::EmptyPerfTable { node: Some(n) } => {
+                write!(f, "performance table of node {n} has no samples")
+            }
+            KtilerError::EmptyPerfTable { node: None } => {
+                write!(f, "performance table has no samples (not even the cold mask)")
+            }
+            KtilerError::ZeroGrid => write!(f, "grid size must be positive"),
+            KtilerError::UnknownNode { node, num_nodes } => {
+                write!(f, "schedule references node {node}, but the graph has {num_nodes} nodes")
+            }
+            KtilerError::BlockOutOfRange { node, block, num_blocks } => write!(
+                f,
+                "sub-kernel of node {node} references block {block}, but the node has \
+                 {num_blocks} blocks"
+            ),
+            KtilerError::MissingTrace { node } => {
+                write!(f, "node {node} has no recorded block trace")
+            }
+            KtilerError::EmptySubKernel { node } => {
+                write!(f, "sub-kernel of node {node} has no blocks")
+            }
+            KtilerError::CalibrationMismatch { what, expected, found } => write!(
+                f,
+                "calibration does not match the graph: {expected} {what} required, {found} found"
+            ),
+            KtilerError::InvalidSchedule(report) => {
+                write!(f, "schedule failed verification: {report}")
+            }
+            KtilerError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for KtilerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KtilerError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseScheduleError> for KtilerError {
+    fn from(e: ParseScheduleError) -> Self {
+        KtilerError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = KtilerError::BlockOutOfRange { node: NodeId(3), block: 9, num_blocks: 4 };
+        let s = e.to_string();
+        assert!(s.contains("n3") && s.contains('9') && s.contains('4'), "{s}");
+        assert!(KtilerError::EmptyGraph.to_string().contains("empty application"));
+        assert!(KtilerError::EmptyPerfTable { node: None }.to_string().contains("no samples"));
+        assert!(KtilerError::EmptyPerfTable { node: Some(NodeId(1)) }.to_string().contains("n1"));
+    }
+
+    #[test]
+    fn parse_error_converts_and_chains() {
+        let p = ParseScheduleError { line: 7, message: "bad block id".into() };
+        let e: KtilerError = p.clone().into();
+        assert_eq!(e, KtilerError::Parse(p));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("line 7"));
+    }
+}

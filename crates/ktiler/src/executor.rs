@@ -13,7 +13,10 @@
 use gpu_sim::{Engine, FreqConfig, GpuConfig, LaunchStats};
 use kgraph::{AppGraph, GraphTrace, NodeOp};
 
+use crate::error::KtilerError;
 use crate::subkernel::{Schedule, SubKernel};
+use crate::tile::TileParams;
+use crate::verify::verify_schedule;
 
 /// Timing result of one simulated application run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -34,42 +37,65 @@ pub struct RunReport {
 
 impl RunReport {
     /// Speedup of this run relative to `baseline` (>1 means faster).
-    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
-        baseline.total_ns / self.total_ns
+    ///
+    /// `None` when the ratio is meaningless: either run's total is
+    /// non-finite, or this run took no time (an empty schedule) — the old
+    /// unchecked division silently produced `inf`/`NaN` here.
+    pub fn speedup_over(&self, baseline: &RunReport) -> Option<f64> {
+        (self.total_ns.is_finite() && baseline.total_ns.is_finite() && self.total_ns > 0.0)
+            .then(|| baseline.total_ns / self.total_ns)
     }
 
     /// Gain relative to `baseline` as reported in the paper's Figure 5:
     /// `(baseline - this) / baseline`.
-    pub fn gain_over(&self, baseline: &RunReport) -> f64 {
-        (baseline.total_ns - self.total_ns) / baseline.total_ns
+    ///
+    /// `None` when either total is non-finite or the baseline took no time.
+    pub fn gain_over(&self, baseline: &RunReport) -> Option<f64> {
+        (self.total_ns.is_finite() && baseline.total_ns.is_finite() && baseline.total_ns > 0.0)
+            .then(|| (baseline.total_ns - self.total_ns) / baseline.total_ns)
     }
 }
 
 /// Executes one sub-kernel (or transfer) on the engine, returning its
 /// duration in nanoseconds.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the sub-kernel references blocks outside the node's trace.
+/// [`KtilerError::UnknownNode`] when the sub-kernel names a node the graph
+/// or trace lacks; [`KtilerError::BlockOutOfRange`] when it references a
+/// block outside the node's trace (for a transfer node this includes an
+/// empty recorded trace, which the old code indexed blindly).
 pub fn launch_subkernel(
     engine: &mut Engine,
     g: &AppGraph,
     gt: &GraphTrace,
     sk: &SubKernel,
-) -> f64 {
+) -> Result<f64, KtilerError> {
+    let idx = sk.node.0 as usize;
+    if idx >= g.num_nodes() || idx >= gt.nodes.len() {
+        return Err(KtilerError::UnknownNode {
+            node: sk.node,
+            num_nodes: g.num_nodes().min(gt.nodes.len()),
+        });
+    }
     let node = g.node(sk.node);
     let nt = gt.node(sk.node);
-    match &node.op {
+    let num_blocks = nt.num_blocks();
+    if let Some(&bad) = sk.blocks.iter().find(|&&b| b >= num_blocks) {
+        return Err(KtilerError::BlockOutOfRange { node: sk.node, block: bad, num_blocks });
+    }
+    Ok(match &node.op {
         NodeOp::Kernel(k) => {
             let work = nt.work_of(sk.blocks.iter().copied());
             engine.launch_res(&work, &k.resources()).time_ns
         }
         NodeOp::HostToDevice { buf, .. } => {
-            let lines = nt.blocks[0].lines.to_vec();
-            engine.dma_host_to_device(buf.len, lines)
+            let first =
+                nt.blocks.first().ok_or(KtilerError::MissingTrace { node: sk.node })?;
+            engine.dma_host_to_device(buf.len, first.lines.to_vec())
         }
         NodeOp::DeviceToHost { buf } => engine.dma_device_to_host(buf.len),
-    }
+    })
 }
 
 /// Execution-mode options for [`execute_schedule_opts`].
@@ -82,11 +108,20 @@ pub struct ExecOptions {
     /// only paid when the previous operation was shorter than the driver
     /// round trip (the paper's CUDA-streams mitigation).
     pub streamed: bool,
+    /// Runs [`crate::verify_schedule`] against the device's cache geometry
+    /// before executing; a schedule with error-severity violations is
+    /// rejected with [`KtilerError::InvalidSchedule`] instead of run.
+    pub verify: bool,
 }
 
 /// Executes a whole schedule on a fresh engine at the given operating
 /// point. `ig_override` replaces the device's inter-launch gap (pass
 /// `Some(0.0)` for the paper's "KTILER w/o IG" mode).
+///
+/// # Errors
+///
+/// Propagates [`launch_subkernel`] failures (unknown nodes, out-of-range
+/// blocks) without executing further launches.
 pub fn execute_schedule(
     sched: &Schedule,
     g: &AppGraph,
@@ -94,11 +129,20 @@ pub fn execute_schedule(
     cfg: &GpuConfig,
     freq: FreqConfig,
     ig_override: Option<f64>,
-) -> RunReport {
-    execute_schedule_opts(sched, g, gt, cfg, freq, ExecOptions { ig_override, streamed: false })
+) -> Result<RunReport, KtilerError> {
+    execute_schedule_opts(sched, g, gt, cfg, freq, ExecOptions {
+        ig_override,
+        ..ExecOptions::default()
+    })
 }
 
 /// Executes a whole schedule with full execution-mode control.
+///
+/// # Errors
+///
+/// [`KtilerError::InvalidSchedule`] when [`ExecOptions::verify`] is set
+/// and the schedule has error-severity violations; otherwise propagates
+/// [`launch_subkernel`] failures.
 pub fn execute_schedule_opts(
     sched: &Schedule,
     g: &AppGraph,
@@ -106,7 +150,14 @@ pub fn execute_schedule_opts(
     cfg: &GpuConfig,
     freq: FreqConfig,
     opts: ExecOptions,
-) -> RunReport {
+) -> Result<RunReport, KtilerError> {
+    if opts.verify {
+        let params = TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0);
+        let report = verify_schedule(sched, g, gt, &params);
+        if !report.is_clean() {
+            return Err(KtilerError::InvalidSchedule(report));
+        }
+    }
     let mut engine = Engine::new(cfg.clone(), freq);
     if let Some(ig) = opts.ig_override {
         engine.set_inter_launch_gap_ns(ig);
@@ -117,16 +168,21 @@ pub fn execute_schedule_opts(
 
 /// Executes a schedule on an existing engine (cache state and clock carry
 /// over), returning the report for this schedule only.
+///
+/// # Errors
+///
+/// Propagates the first [`launch_subkernel`] failure; launches before it
+/// have already run on the engine.
 pub fn execute_on(
     engine: &mut Engine,
     sched: &Schedule,
     g: &AppGraph,
     gt: &GraphTrace,
-) -> RunReport {
+) -> Result<RunReport, KtilerError> {
     let t0 = engine.time_ns();
     let c0 = *engine.counters();
     for sk in &sched.launches {
-        launch_subkernel(engine, g, gt, sk);
+        launch_subkernel(engine, g, gt, sk)?;
     }
     let c1 = engine.counters();
     let mut stats = c1.totals;
@@ -144,14 +200,14 @@ pub fn execute_on(
     stats.active_cycles -= c0.totals.active_cycles;
     stats.mem_stall_cycles -= c0.totals.mem_stall_cycles;
     stats.other_stall_cycles -= c0.totals.other_stall_cycles;
-    RunReport {
+    Ok(RunReport {
         total_ns: engine.time_ns() - t0,
         kernel_ns: stats.time_ns,
         ig_ns: c1.inter_launch_gap_ns - c0.inter_launch_gap_ns,
         dma_ns: c1.dma_ns - c0.dma_ns,
         launches: c1.launches - c0.launches,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -212,7 +268,7 @@ mod tests {
     fn default_schedule_runs_and_accounts_time() {
         let (g, gt, cfg) = pipeline();
         let sched = Schedule::default_order(&g);
-        let r = execute_schedule(&sched, &g, &gt, &cfg, FreqConfig::default(), None);
+        let r = execute_schedule(&sched, &g, &gt, &cfg, FreqConfig::default(), None).unwrap();
         assert_eq!(r.launches, 2, "two kernel launches");
         assert!(r.dma_ns > 0.0, "transfers accounted");
         assert!(r.ig_ns > 0.0, "gaps accounted");
@@ -244,8 +300,10 @@ mod tests {
             &cfg,
             FreqConfig::default(),
             Some(0.0),
-        );
-        let ti = execute_schedule(&tiled, &g, &gt, &cfg, FreqConfig::default(), Some(0.0));
+        )
+        .unwrap();
+        let ti =
+            execute_schedule(&tiled, &g, &gt, &cfg, FreqConfig::default(), Some(0.0)).unwrap();
         assert!(
             ti.stats.hit_rate() > def.stats.hit_rate(),
             "tiled {} vs default {}",
@@ -258,11 +316,91 @@ mod tests {
     fn without_ig_is_faster() {
         let (g, gt, cfg) = pipeline();
         let sched = Schedule::default_order(&g);
-        let with = execute_schedule(&sched, &g, &gt, &cfg, FreqConfig::default(), None);
-        let without = execute_schedule(&sched, &g, &gt, &cfg, FreqConfig::default(), Some(0.0));
+        let with = execute_schedule(&sched, &g, &gt, &cfg, FreqConfig::default(), None).unwrap();
+        let without =
+            execute_schedule(&sched, &g, &gt, &cfg, FreqConfig::default(), Some(0.0)).unwrap();
         assert!(without.total_ns < with.total_ns);
         assert_eq!(without.ig_ns, 0.0);
-        assert!(with.gain_over(&with).abs() < 1e-12);
-        assert!(without.speedup_over(&with) > 1.0);
+        assert!(with.gain_over(&with).unwrap().abs() < 1e-12);
+        assert!(without.speedup_over(&with).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn speedup_and_gain_are_checked() {
+        let idle = RunReport::default(); // total_ns == 0.0
+        let busy = RunReport { total_ns: 100.0, ..RunReport::default() };
+        assert_eq!(busy.speedup_over(&idle), Some(0.0));
+        assert_eq!(idle.speedup_over(&busy), None, "division by a zero total");
+        assert_eq!(busy.gain_over(&idle), None, "zero baseline");
+        assert_eq!(idle.gain_over(&busy), Some(1.0));
+        let nan = RunReport { total_ns: f64::NAN, ..RunReport::default() };
+        assert_eq!(nan.speedup_over(&busy), None);
+        assert_eq!(busy.gain_over(&nan), None);
+    }
+
+    #[test]
+    fn out_of_trace_block_is_a_typed_error() {
+        let (g, gt, cfg) = pipeline();
+        let mut sched = Schedule::default_order(&g);
+        sched.launches[1] = SubKernel::new(NodeId(1), vec![0, 1 << 30]);
+        let err = execute_schedule(&sched, &g, &gt, &cfg, FreqConfig::default(), None)
+            .unwrap_err();
+        assert!(
+            matches!(err, KtilerError::BlockOutOfRange { node: NodeId(1), .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_node_is_a_typed_error() {
+        let (g, gt, cfg) = pipeline();
+        let mut eng = Engine::new(cfg, FreqConfig::default());
+        let sched = Schedule { launches: vec![SubKernel::new(NodeId(77), vec![0])] };
+        let err = execute_on(&mut eng, &sched, &g, &gt).unwrap_err();
+        assert!(matches!(err, KtilerError::UnknownNode { node: NodeId(77), .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_transfer_trace_is_a_typed_error() {
+        let (g, mut gt, cfg) = pipeline();
+        // Corrupt the HtD node's trace: no recorded pseudo-block.
+        gt.nodes[0].blocks = std::sync::Arc::new(Vec::new());
+        let mut eng = Engine::new(cfg, FreqConfig::default());
+        let sched = Schedule { launches: vec![SubKernel::full(NodeId(0), 1)] };
+        let err = execute_on(&mut eng, &sched, &g, &gt).unwrap_err();
+        // The range check catches it first: block 0 of 0 recorded blocks.
+        assert!(
+            matches!(
+                err,
+                KtilerError::BlockOutOfRange { node: NodeId(0), block: 0, num_blocks: 0 }
+                    | KtilerError::MissingTrace { node: NodeId(0) }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn verify_option_rejects_invalid_schedules_before_running() {
+        let (g, gt, cfg) = pipeline();
+        let mut sched = Schedule::default_order(&g);
+        sched.launches.reverse();
+        let opts = ExecOptions { verify: true, ..ExecOptions::default() };
+        let err = execute_schedule_opts(&sched, &g, &gt, &cfg, FreqConfig::default(), opts)
+            .unwrap_err();
+        let KtilerError::InvalidSchedule(report) = err else {
+            panic!("expected InvalidSchedule, got {err}");
+        };
+        assert!(report.num_errors() > 0);
+
+        // The same (valid) schedule passes with verification on.
+        let ok = execute_schedule_opts(
+            &Schedule::default_order(&g),
+            &g,
+            &gt,
+            &cfg,
+            FreqConfig::default(),
+            opts,
+        );
+        assert!(ok.is_ok());
     }
 }

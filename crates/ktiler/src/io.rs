@@ -36,6 +36,28 @@ impl fmt::Display for ParseScheduleError {
 
 impl std::error::Error for ParseScheduleError {}
 
+/// Limits applied while parsing a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseOptions {
+    /// Maximum total number of blocks across all launches. A single line
+    /// like `launch 0 0-4294967295` describes 2³² blocks — without a cap
+    /// the parser would materialize gigabytes before any later validation
+    /// could reject the schedule. The cap is enforced *before* a range is
+    /// expanded.
+    pub max_total_blocks: u64,
+}
+
+/// Default block budget: 16 Mi blocks (64 MiB of ids) — far above any real
+/// schedule (the paper's full-scale optical flow is ~100 k blocks) but far
+/// below memory-exhaustion territory.
+pub const DEFAULT_MAX_TOTAL_BLOCKS: u64 = 16 * 1024 * 1024;
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { max_total_blocks: DEFAULT_MAX_TOTAL_BLOCKS }
+    }
+}
+
 /// Compresses a sorted block list to `lo-hi,lo-hi,…` run notation.
 fn ranges(blocks: &[u32]) -> String {
     let mut out = String::new();
@@ -60,23 +82,47 @@ fn ranges(blocks: &[u32]) -> String {
     out
 }
 
-fn parse_ranges(s: &str, line: usize) -> Result<Vec<u32>, ParseScheduleError> {
-    let err = |m: &str| ParseScheduleError { line, message: m.to_string() };
+/// Parses one `lo-hi,b,…` block list. `budget` is the remaining block
+/// allowance across the whole schedule; range sizes are charged against it
+/// (in `u64`, since `0-4294967295` alone holds 2³² blocks) *before*
+/// anything is materialized.
+fn parse_ranges(s: &str, line: usize, budget: &mut u64) -> Result<Vec<u32>, ParseScheduleError> {
+    let err = |m: String| ParseScheduleError { line, message: m };
+    let charge = |count: u64, budget: &mut u64| {
+        if count > *budget {
+            return Err(err(format!(
+                "block list exceeds the remaining budget of {budget} blocks \
+                 (see ParseOptions::max_total_blocks)"
+            )));
+        }
+        *budget -= count;
+        Ok(())
+    };
     let mut blocks = Vec::new();
     for part in s.split(',') {
         if let Some((lo, hi)) = part.split_once('-') {
-            let lo: u32 = lo.trim().parse().map_err(|_| err("bad range start"))?;
-            let hi: u32 = hi.trim().parse().map_err(|_| err("bad range end"))?;
+            let lo: u32 = lo.trim().parse().map_err(|_| err("bad range start".into()))?;
+            let hi: u32 = hi.trim().parse().map_err(|_| err("bad range end".into()))?;
             if hi < lo {
-                return Err(err("descending range"));
+                return Err(err("descending range".into()));
             }
+            charge(u64::from(hi) - u64::from(lo) + 1, budget)?;
             blocks.extend(lo..=hi);
         } else {
-            blocks.push(part.trim().parse().map_err(|_| err("bad block id"))?);
+            charge(1, budget)?;
+            blocks.push(part.trim().parse().map_err(|_| err("bad block id".into()))?);
         }
     }
     if blocks.is_empty() {
-        return Err(err("empty block list"));
+        return Err(err("empty block list".into()));
+    }
+    // Reject duplicate/overlapping blocks instead of silently normalizing:
+    // a launch listing a block twice is a malformed schedule, and the
+    // executor would otherwise run the block twice unnoticed.
+    let mut sorted = blocks.clone();
+    sorted.sort_unstable();
+    if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+        return Err(err(format!("block {} listed more than once in this launch", w[0])));
     }
     Ok(blocks)
 }
@@ -90,14 +136,30 @@ pub fn schedule_to_text(s: &Schedule) -> String {
     out
 }
 
-/// Parses a schedule from the text format.
+/// Parses a schedule from the text format with the default
+/// [`ParseOptions`].
 ///
 /// # Errors
 ///
-/// Returns [`ParseScheduleError`] on malformed lines; blank lines and
-/// `#` comments are ignored.
+/// Returns [`ParseScheduleError`] on malformed lines, duplicate blocks
+/// within a launch, or schedules exceeding the default block budget;
+/// blank lines and `#` comments are ignored.
 pub fn schedule_from_text(text: &str) -> Result<Schedule, ParseScheduleError> {
+    schedule_from_text_opts(text, &ParseOptions::default())
+}
+
+/// Parses a schedule from the text format under explicit limits.
+///
+/// # Errors
+///
+/// Returns [`ParseScheduleError`] on malformed lines, duplicate blocks
+/// within a launch, or schedules exceeding `opts.max_total_blocks`.
+pub fn schedule_from_text_opts(
+    text: &str,
+    opts: &ParseOptions,
+) -> Result<Schedule, ParseScheduleError> {
     let mut launches = Vec::new();
+    let mut budget = opts.max_total_blocks;
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
         let line = raw.trim();
@@ -113,8 +175,11 @@ pub fn schedule_from_text(text: &str) -> Result<Schedule, ParseScheduleError> {
                     .ok_or_else(|| err("missing node id"))?
                     .parse()
                     .map_err(|_| err("bad node id"))?;
-                let blocks =
-                    parse_ranges(parts.next().ok_or_else(|| err("missing block list"))?, line_no)?;
+                let blocks = parse_ranges(
+                    parts.next().ok_or_else(|| err("missing block list"))?,
+                    line_no,
+                    &mut budget,
+                )?;
                 if parts.next().is_some() {
                     return Err(err("trailing tokens"));
                 }
@@ -179,5 +244,35 @@ mod tests {
     fn parses_unsorted_input_normalized() {
         let s = schedule_from_text("launch 0 7,3,5-6\n").unwrap();
         assert_eq!(s.launches[0].blocks, vec![3, 5, 6, 7]);
+    }
+
+    #[test]
+    fn giant_range_rejected_without_materializing() {
+        // 2^32 blocks: the old parser allocated 16 GiB here. The budget
+        // check must fire before the range is expanded.
+        let err = schedule_from_text("launch 0 0-4294967295").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("budget"), "{}", err.message);
+    }
+
+    #[test]
+    fn budget_is_cumulative_across_lines() {
+        let opts = ParseOptions { max_total_blocks: 10 };
+        assert!(schedule_from_text_opts("launch 0 0-9", &opts).is_ok());
+        let err = schedule_from_text_opts("launch 0 0-5\nlaunch 1 0-5\n", &opts).unwrap_err();
+        assert_eq!(err.line, 2, "second line exhausts the budget");
+        // Exactly at the cap still parses.
+        assert!(schedule_from_text_opts("launch 0 0-4\nlaunch 1 0-4\n", &opts).is_ok());
+    }
+
+    #[test]
+    fn duplicate_blocks_in_one_launch_rejected() {
+        for text in ["launch 0 3,3", "launch 0 1-4,2", "launch 0 0-3,3-5"] {
+            let err = schedule_from_text(text).unwrap_err();
+            assert_eq!(err.line, 1, "{text}");
+            assert!(err.message.contains("listed more than once"), "{text}: {}", err.message);
+        }
+        // Across launches is the verifier's job, not the parser's.
+        assert!(schedule_from_text("launch 0 3\nlaunch 0 3\n").is_ok());
     }
 }

@@ -37,10 +37,11 @@
 //!     weight_threshold_ns: 1_000.0,
 //!     tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
 //! };
-//! let out = ktiler_schedule(&graph, &gt, &cal, &kcfg);
-//! let tiled = execute_schedule(&out.schedule, &graph, &gt, &cfg, freq, None);
-//! let default = execute_schedule(&Schedule::default_order(&graph), &graph, &gt, &cfg, freq, None);
-//! println!("gain: {:.1}%", tiled.gain_over(&default) * 100.0);
+//! let out = ktiler_schedule(&graph, &gt, &cal, &kcfg).unwrap();
+//! let tiled = execute_schedule(&out.schedule, &graph, &gt, &cfg, freq, None).unwrap();
+//! let default = execute_schedule(&Schedule::default_order(&graph), &graph, &gt, &cfg, freq, None)
+//!     .unwrap();
+//! println!("gain: {:.1}%", tiled.gain_over(&default).unwrap_or(0.0) * 100.0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -48,6 +49,7 @@
 
 mod calibrate;
 mod cluster;
+mod error;
 mod executor;
 mod io;
 mod perf_table;
@@ -55,15 +57,21 @@ mod schedule;
 mod subkernel;
 mod tile;
 mod timeline;
+mod verify;
 
 pub use calibrate::{calibrate, Calibration, CalibrationConfig};
 pub use cluster::Partition;
+pub use error::KtilerError;
 pub use executor::{
     execute_on, execute_schedule, execute_schedule_opts, launch_subkernel, ExecOptions, RunReport,
 };
-pub use io::{schedule_from_text, schedule_to_text, ParseScheduleError};
+pub use io::{
+    schedule_from_text, schedule_from_text_opts, schedule_to_text, ParseOptions,
+    ParseScheduleError, DEFAULT_MAX_TOTAL_BLOCKS,
+};
 pub use perf_table::{PerfTable, PredMask};
 pub use schedule::{ktiler_schedule, KtilerConfig, TilingOutcome, TilingReport};
 pub use subkernel::{Schedule, ScheduleError, SubKernel};
 pub use tile::{cluster_tile, singleton_tiling, CacheConstraint, ClusterTiling, TileParams};
 pub use timeline::{execute_with_timeline, Slice, SliceKind, Timeline};
+pub use verify::{verify_schedule, Severity, VerifyReport, Violation};

@@ -14,8 +14,17 @@
 
 use std::collections::HashMap;
 
+use crate::error::KtilerError;
+
 /// Bitmask over a node's predecessors: which inputs are cache-resident.
 pub type PredMask = u32;
+
+/// Extrapolation floor, as a fraction of the nearest sample's time: a
+/// lookup never returns less than this fraction of the closest measured
+/// point. Steeply decreasing tables would otherwise extrapolate small
+/// grids to zero (or below), letting Algorithm 2 price a sub-kernel launch
+/// as free and over-fragment the schedule.
+const EXTRAPOLATION_FLOOR_FRAC: f64 = 1e-3;
 
 /// Execution-time table of one kernel: per in-cache combination, sampled
 /// `(grid size, time ns)` points.
@@ -27,7 +36,7 @@ pub type PredMask = u32;
 /// let mut t = PerfTable::new();
 /// t.insert(0, 10, 1000.0);
 /// t.insert(0, 20, 1800.0);
-/// assert_eq!(t.lookup(0, 15), 1400.0); // interpolated
+/// assert_eq!(t.lookup(0, 15).unwrap(), 1400.0); // interpolated
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PerfTable {
@@ -76,16 +85,20 @@ impl PerfTable {
     /// is used (the estimate is then conservative: fewer warm inputs than
     /// reality). Falls back to the cold table (mask 0).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the table is completely empty or `grid` is zero.
-    pub fn lookup(&self, mask: PredMask, grid: u32) -> f64 {
-        assert!(grid > 0, "grid size must be positive");
+    /// [`KtilerError::ZeroGrid`] when `grid` is zero;
+    /// [`KtilerError::EmptyPerfTable`] when the table has no samples at all
+    /// (not even the cold mask).
+    pub fn lookup(&self, mask: PredMask, grid: u32) -> Result<f64, KtilerError> {
+        if grid == 0 {
+            return Err(KtilerError::ZeroGrid);
+        }
         let points = self
             .combos
             .get(&self.best_mask(mask))
-            .expect("perf table must have at least the cold (mask 0) samples");
-        interpolate(points, grid)
+            .ok_or(KtilerError::EmptyPerfTable { node: None })?;
+        Ok(interpolate(points, grid))
     }
 
     /// The sampled mask that best approximates `mask`: the sampled subset
@@ -105,7 +118,9 @@ impl PerfTable {
 
 /// Piecewise-linear interpolation over sorted `(grid, time)` points, with
 /// linear extrapolation from the outermost segment (or proportional
-/// scaling when only one sample exists).
+/// scaling when only one sample exists). Extrapolation is floored at
+/// [`EXTRAPOLATION_FLOOR_FRAC`] of the nearest sample's time so a steep
+/// table can never price a launch at (or below) zero.
 fn interpolate(points: &[(u32, f64)], grid: u32) -> f64 {
     assert!(!points.is_empty(), "no samples");
     if points.len() == 1 {
@@ -132,7 +147,8 @@ fn interpolate(points: &[(u32, f64)], grid: u32) -> f64 {
     let (g0, t0) = points[i0];
     let (g1, t1) = points[i1];
     let slope = (t1 - t0) / (g1 as f64 - g0 as f64);
-    (t0 + slope * (x - g0 as f64)).max(0.0)
+    let nearest_t = if (x - g0 as f64).abs() <= (g1 as f64 - x).abs() { t0 } else { t1 };
+    (t0 + slope * (x - g0 as f64)).max(nearest_t * EXTRAPOLATION_FLOOR_FRAC)
 }
 
 #[cfg(test)]
@@ -150,40 +166,57 @@ mod tests {
     #[test]
     fn exact_hits() {
         let t = table();
-        assert_eq!(t.lookup(0, 8), 800.0);
-        assert_eq!(t.lookup(0, 32), 3200.0);
+        assert_eq!(t.lookup(0, 8).unwrap(), 800.0);
+        assert_eq!(t.lookup(0, 32).unwrap(), 3200.0);
     }
 
     #[test]
     fn interpolates_between_samples() {
         let t = table();
-        assert_eq!(t.lookup(0, 12), 1100.0);
-        assert_eq!(t.lookup(0, 24), 2300.0);
+        assert_eq!(t.lookup(0, 12).unwrap(), 1100.0);
+        assert_eq!(t.lookup(0, 24).unwrap(), 2300.0);
     }
 
     #[test]
     fn extrapolates_outside_range() {
         let t = table();
         // Below: slope of first segment = 75/blk; 800 - 4*75 = 500.
-        assert_eq!(t.lookup(0, 4), 500.0);
+        assert_eq!(t.lookup(0, 4).unwrap(), 500.0);
         // Above: slope of last segment = 112.5/blk; 3200 + 8*112.5 = 4100.
-        assert_eq!(t.lookup(0, 40), 4100.0);
+        assert_eq!(t.lookup(0, 40).unwrap(), 4100.0);
     }
 
     #[test]
-    fn extrapolation_never_goes_negative() {
+    fn steep_table_never_yields_a_free_launch() {
+        // Raw extrapolation at grid 1 would give 100 - 9*90 = -710 ns; the
+        // old `.max(0.0)` floor silently turned that into a *free* launch,
+        // which let Algorithm 2 over-fragment. The floor is now a positive
+        // fraction of the nearest sample.
         let mut t = PerfTable::new();
         t.insert(0, 10, 100.0);
         t.insert(0, 20, 1000.0);
-        assert_eq!(t.lookup(0, 1), 0.0_f64.max(100.0 - 9.0 * 90.0));
+        assert_eq!(t.lookup(0, 1).unwrap(), 100.0 * EXTRAPOLATION_FLOOR_FRAC);
+        for grid in 1..=30 {
+            assert!(t.lookup(0, grid).unwrap() > 0.0, "free launch at grid {grid}");
+        }
+    }
+
+    #[test]
+    fn floor_does_not_disturb_in_range_lookups() {
+        let t = table();
+        for grid in [4, 8, 12, 16, 24, 32, 40] {
+            assert!(t.lookup(0, grid).unwrap() >= 800.0 * EXTRAPOLATION_FLOOR_FRAC);
+        }
+        // In-range values are untouched by the floor.
+        assert_eq!(t.lookup(0, 12).unwrap(), 1100.0);
     }
 
     #[test]
     fn single_sample_scales_proportionally() {
         let mut t = PerfTable::new();
         t.insert(0, 10, 500.0);
-        assert_eq!(t.lookup(0, 20), 1000.0);
-        assert_eq!(t.lookup(0, 5), 250.0);
+        assert_eq!(t.lookup(0, 20).unwrap(), 1000.0);
+        assert_eq!(t.lookup(0, 5).unwrap(), 250.0);
     }
 
     #[test]
@@ -192,18 +225,18 @@ mod tests {
         t.insert(0b00, 10, 1000.0);
         t.insert(0b01, 10, 700.0);
         t.insert(0b11, 10, 400.0);
-        assert_eq!(t.lookup(0b11, 10), 400.0);
+        assert_eq!(t.lookup(0b11, 10).unwrap(), 400.0);
         // 0b10 was never sampled; its only sampled subset is 0b00.
-        assert_eq!(t.lookup(0b10, 10), 1000.0);
+        assert_eq!(t.lookup(0b10, 10).unwrap(), 1000.0);
         // 0b111: best sampled subset is 0b11.
-        assert_eq!(t.lookup(0b111, 10), 400.0);
+        assert_eq!(t.lookup(0b111, 10).unwrap(), 400.0);
     }
 
     #[test]
     fn reinsert_replaces_point() {
         let mut t = table();
         t.insert(0, 16, 1500.0);
-        assert_eq!(t.lookup(0, 16), 1500.0);
+        assert_eq!(t.lookup(0, 16).unwrap(), 1500.0);
     }
 
     #[test]
@@ -211,15 +244,16 @@ mod tests {
         let mut t = table();
         t.insert(1, 8, 300.0);
         t.insert(1, 32, 1200.0);
-        assert!(t.lookup(1, 16) < t.lookup(0, 16));
+        assert!(t.lookup(1, 16).unwrap() < t.lookup(0, 16).unwrap());
         assert!(t.has_mask(1));
         assert_eq!(t.masks(), vec![0, 1]);
     }
 
     #[test]
-    #[should_panic(expected = "grid size must be positive")]
-    fn zero_grid_rejected() {
+    fn zero_grid_and_empty_table_are_typed_errors() {
         let t = table();
-        let _ = t.lookup(0, 0);
+        assert_eq!(t.lookup(0, 0), Err(KtilerError::ZeroGrid));
+        let empty = PerfTable::new();
+        assert_eq!(empty.lookup(0, 4), Err(KtilerError::EmptyPerfTable { node: None }));
     }
 }

@@ -15,6 +15,7 @@ use kgraph::{AppGraph, GraphTrace, NodeId};
 
 use crate::calibrate::Calibration;
 use crate::cluster::Partition;
+use crate::error::KtilerError;
 use crate::subkernel::Schedule;
 use crate::tile::{cluster_tile, singleton_tiling, ClusterTiling, TileParams};
 
@@ -59,16 +60,21 @@ pub struct TilingOutcome {
 
 /// Runs Algorithm 1 and returns the tiled schedule.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the graph is empty.
+/// [`KtilerError::EmptyGraph`] for a graph with no nodes, or a
+/// [`Calibration::validate_for`] failure when the calibration does not
+/// match the graph (the old code panicked on an index later instead).
 pub fn ktiler_schedule(
     g: &AppGraph,
     gt: &GraphTrace,
     cal: &Calibration,
     cfg: &KtilerConfig,
-) -> TilingOutcome {
-    assert!(g.num_nodes() > 0, "cannot schedule an empty application");
+) -> Result<TilingOutcome, KtilerError> {
+    if g.num_nodes() == 0 {
+        return Err(KtilerError::EmptyGraph);
+    }
+    cal.validate_for(g)?;
     let mut partition = Partition::singletons(g);
     // Tilings and costs, parallel to the partition's cluster indices.
     let mut tilings: Vec<ClusterTiling> =
@@ -164,7 +170,7 @@ pub fn ktiler_schedule(
         est_cost_ns += tilings[c].cost_ns;
     }
     let clusters = partition.iter().map(<[NodeId]>::to_vec).collect();
-    TilingOutcome { schedule, clusters, est_cost_ns, report }
+    Ok(TilingOutcome { schedule, clusters, est_cost_ns, report })
 }
 
 #[cfg(test)]
@@ -236,7 +242,7 @@ mod tests {
         let cfg = GpuConfig::gtx960m();
         let freq = FreqConfig::default();
         let cal = calibrate(&g, &gt, &cfg, freq, &CalibrationConfig::default());
-        let out = ktiler_schedule(&g, &gt, &cal, &config(&cfg));
+        let out = ktiler_schedule(&g, &gt, &cal, &config(&cfg)).unwrap();
         assert!(out.report.merges_accepted > 0, "expected merges: {:?}", out.report);
         out.schedule.validate(&g, &gt.deps).unwrap();
 
@@ -249,8 +255,10 @@ mod tests {
             &cfg,
             freq,
             Some(0.0),
-        );
-        let tiled = execute_schedule(&out.schedule, &g, &gt, &cfg, freq, Some(0.0));
+        )
+        .unwrap();
+        let tiled =
+            execute_schedule(&out.schedule, &g, &gt, &cfg, freq, Some(0.0)).unwrap();
         assert!(
             tiled.total_ns < def.total_ns,
             "tiled {} must beat default {}",
@@ -266,10 +274,10 @@ mod tests {
         let cfg = GpuConfig::gtx960m();
         let freq = FreqConfig::default();
         let cal = calibrate(&g, &gt, &cfg, freq, &CalibrationConfig::default());
-        let plain = ktiler_schedule(&g, &gt, &cal, &config(&cfg));
+        let plain = ktiler_schedule(&g, &gt, &cal, &config(&cfg)).unwrap();
         let mut ig_cfg = config(&cfg);
         ig_cfg.tile.ig_cost_ns = cfg.inter_launch_gap_ns;
-        let ig_aware = ktiler_schedule(&g, &gt, &cal, &ig_cfg);
+        let ig_aware = ktiler_schedule(&g, &gt, &cal, &ig_cfg).unwrap();
         // Charging the gap per launch can only make tiling less attractive.
         assert!(ig_aware.schedule.num_launches() <= plain.schedule.num_launches());
     }
@@ -281,7 +289,7 @@ mod tests {
         let cal = calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
         let mut kcfg = config(&cfg);
         kcfg.weight_threshold_ns = f64::INFINITY;
-        let out = ktiler_schedule(&g, &gt, &cal, &kcfg);
+        let out = ktiler_schedule(&g, &gt, &cal, &kcfg).unwrap();
         assert_eq!(out.report.candidate_edges, 0);
         assert_eq!(out.schedule.num_launches(), 3, "default one-launch-per-node");
         assert_eq!(out.clusters.len(), 3);
@@ -294,9 +302,29 @@ mod tests {
             let cfg = GpuConfig::gtx960m();
             let cal =
                 calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
-            let out = ktiler_schedule(&g, &gt, &cal, &config(&cfg));
+            let out = ktiler_schedule(&g, &gt, &cal, &config(&cfg)).unwrap();
             out.schedule.validate(&g, &gt.deps).unwrap();
         }
+    }
+
+    #[test]
+    fn typed_errors_for_empty_graph_and_mismatched_calibration() {
+        let (g, gt, _mem) = chain(2, 4096);
+        let cfg = GpuConfig::gtx960m();
+        let cal = calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+
+        let empty = kgraph::AppGraph::new();
+        assert!(matches!(
+            ktiler_schedule(&empty, &gt, &cal, &config(&cfg)),
+            Err(KtilerError::EmptyGraph)
+        ));
+
+        let mut bad = cal.clone();
+        bad.tables.pop();
+        assert!(matches!(
+            ktiler_schedule(&g, &gt, &bad, &config(&cfg)),
+            Err(KtilerError::CalibrationMismatch { what: "performance tables", .. })
+        ));
     }
 
     #[test]
@@ -305,10 +333,10 @@ mod tests {
         let cfg = GpuConfig::gtx960m();
         let freq = FreqConfig::default();
         let cal = calibrate(&g, &gt, &cfg, freq, &CalibrationConfig::default());
-        let out = ktiler_schedule(&g, &gt, &cal, &config(&cfg));
+        let out = ktiler_schedule(&g, &gt, &cal, &config(&cfg)).unwrap();
         // The cost model excludes the inter-launch gap, so compare against
         // the "w/o IG" execution mode.
-        let tiled = execute_schedule(&out.schedule, &g, &gt, &cfg, freq, Some(0.0));
+        let tiled = execute_schedule(&out.schedule, &g, &gt, &cfg, freq, Some(0.0)).unwrap();
         let ratio = out.est_cost_ns / tiled.total_ns;
         assert!((0.4..2.5).contains(&ratio), "estimate off by {ratio}x");
     }

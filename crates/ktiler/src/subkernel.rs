@@ -38,12 +38,30 @@ impl SubKernel {
     ///
     /// # Panics
     ///
-    /// Panics if `blocks` is empty.
-    pub fn new(node: NodeId, mut blocks: Vec<BlockId>) -> Self {
+    /// Panics if `blocks` is empty — an empty sub-kernel is a construction
+    /// bug, not a runtime input. Code handling untrusted block lists uses
+    /// [`SubKernel::try_new`].
+    pub fn new(node: NodeId, blocks: Vec<BlockId>) -> Self {
         assert!(!blocks.is_empty(), "a sub-kernel needs at least one block");
+        Self::try_new(node, blocks).expect("non-empty block list just checked")
+    }
+
+    /// Fallible [`SubKernel::new`]: returns a typed error instead of
+    /// panicking when `blocks` is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::KtilerError::EmptySubKernel`] when `blocks` is empty.
+    pub fn try_new(
+        node: NodeId,
+        mut blocks: Vec<BlockId>,
+    ) -> Result<Self, crate::KtilerError> {
+        if blocks.is_empty() {
+            return Err(crate::KtilerError::EmptySubKernel { node });
+        }
         blocks.sort_unstable();
         blocks.dedup();
-        SubKernel { node, blocks }
+        Ok(SubKernel { node, blocks })
     }
 
     /// The full (untiled) sub-kernel of a node with `num_blocks` blocks.
@@ -304,5 +322,13 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn empty_subkernel_rejected() {
         let _ = SubKernel::new(NodeId(0), vec![]);
+    }
+
+    #[test]
+    fn try_new_returns_typed_error_for_empty_blocks() {
+        let err = SubKernel::try_new(NodeId(5), vec![]).unwrap_err();
+        assert_eq!(err, crate::KtilerError::EmptySubKernel { node: NodeId(5) });
+        let ok = SubKernel::try_new(NodeId(5), vec![2, 0, 2]).unwrap();
+        assert_eq!(ok.blocks, vec![0, 2]);
     }
 }

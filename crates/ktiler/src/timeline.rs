@@ -11,6 +11,7 @@
 use gpu_sim::Engine;
 use kgraph::{AppGraph, GraphTrace};
 
+use crate::error::KtilerError;
 use crate::executor::{launch_subkernel, RunReport};
 use crate::subkernel::Schedule;
 
@@ -107,12 +108,17 @@ impl Timeline {
 ///
 /// Returns the run report (identical to [`crate::execute_on`]) plus the
 /// recorded timeline.
+///
+/// # Errors
+///
+/// Propagates the first [`launch_subkernel`] failure; launches before it
+/// have already run on the engine.
 pub fn execute_with_timeline(
     engine: &mut Engine,
     sched: &Schedule,
     g: &AppGraph,
     gt: &GraphTrace,
-) -> (RunReport, Timeline) {
+) -> Result<(RunReport, Timeline), KtilerError> {
     let run_start = engine.time_ns();
     let c0 = *engine.counters();
     let mut timeline = Timeline::default();
@@ -120,7 +126,7 @@ pub fn execute_with_timeline(
 
     for sk in &sched.launches {
         let before = engine.time_ns();
-        let dur = launch_subkernel(engine, g, gt, sk);
+        let dur = launch_subkernel(engine, g, gt, sk)?;
         // Any gap the engine charged shows up before the operation.
         let gap_now = engine.counters().inter_launch_gap_ns;
         let gap = gap_now - gap_seen;
@@ -170,7 +176,7 @@ pub fn execute_with_timeline(
         launches: c1.launches - c0.launches,
         stats,
     };
-    (report, timeline)
+    Ok((report, timeline))
 }
 
 #[cfg(test)]
@@ -225,7 +231,7 @@ mod tests {
         let (g, gt) = setup();
         let sched = Schedule::default_order(&g);
         let mut eng = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
-        let (report, tl) = execute_with_timeline(&mut eng, &sched, &g, &gt);
+        let (report, tl) = execute_with_timeline(&mut eng, &sched, &g, &gt).unwrap();
         assert!((tl.end_ns() - report.total_ns).abs() < 1e-6);
         assert!((tl.total_gap_ns() - report.ig_ns).abs() < 1e-6);
         assert!((tl.total_busy_ns() - (report.kernel_ns + report.dma_ns)).abs() < 1e-6);
@@ -242,7 +248,7 @@ mod tests {
         let (g, gt) = setup();
         let sched = Schedule::default_order(&g);
         let mut eng = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
-        let (with_ig, tl) = execute_with_timeline(&mut eng, &sched, &g, &gt);
+        let (with_ig, tl) = execute_with_timeline(&mut eng, &sched, &g, &gt).unwrap();
         let no_ig = crate::executor::execute_schedule(
             &sched,
             &g,
@@ -250,7 +256,8 @@ mod tests {
             &GpuConfig::gtx960m(),
             FreqConfig::default(),
             Some(0.0),
-        );
+        )
+        .unwrap();
         let subtracted = with_ig.total_ns - tl.total_gap_ns();
         assert!(
             (subtracted - no_ig.total_ns).abs() < 1e-6,
@@ -264,7 +271,7 @@ mod tests {
         let (g, gt) = setup();
         let sched = Schedule::default_order(&g);
         let mut eng = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
-        let (_, tl) = execute_with_timeline(&mut eng, &sched, &g, &gt);
+        let (_, tl) = execute_with_timeline(&mut eng, &sched, &g, &gt).unwrap();
         let json = tl.to_chrome_trace();
         assert!(json.starts_with("[\n"));
         assert!(json.trim_end().ends_with(']'));
@@ -281,10 +288,10 @@ mod tests {
         let (g, gt) = setup();
         let sched = Schedule::default_order(&g);
         let mut serial = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
-        let (_, tl_serial) = execute_with_timeline(&mut serial, &sched, &g, &gt);
+        let (_, tl_serial) = execute_with_timeline(&mut serial, &sched, &g, &gt).unwrap();
         let mut streamed = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
         streamed.set_streamed(true);
-        let (_, tl_streamed) = execute_with_timeline(&mut streamed, &sched, &g, &gt);
+        let (_, tl_streamed) = execute_with_timeline(&mut streamed, &sched, &g, &gt).unwrap();
         assert!(tl_streamed.total_gap_ns() < tl_serial.total_gap_ns());
     }
 }

@@ -1,0 +1,580 @@
+//! Standalone schedule verification.
+//!
+//! The paper's schedule is generated offline and "enforced at runtime"
+//! (Sec. IV-A), so a schedule file is untrusted input by the time the
+//! runtime sees it. [`verify_schedule`] checks a schedule against the
+//! application graph, the block-level trace and the tiling parameters
+//! *independently of the scheduler that produced it*, and reports every
+//! problem found as a structured [`Violation`]:
+//!
+//! * **Structural errors** — launches naming unknown nodes, empty block
+//!   lists, out-of-range block ids, blocks duplicated within one launch.
+//! * **Coverage errors** — blocks launched more than once across the
+//!   schedule, or nodes whose grid is not fully covered.
+//! * **Dependency errors** — a consumer block launched before one of its
+//!   producer blocks (checked through the CSR block-dependency graph, at
+//!   block granularity like `Schedule::validate` but reporting *all*
+//!   violations instead of the first).
+//! * **Capacity warnings** — interleaving windows whose combined memory
+//!   footprint exceeds the configured L2 capacity. Over-capacity is legal
+//!   (the device just misses) but defeats the point of tiling, so it is a
+//!   [`Severity::Warning`], not an error.
+//!
+//! A *window* is a maximal run of kernel launches whose node positions are
+//! strictly increasing in the analysis topological order — exactly the
+//! shape Algorithm 2 emits for one group (each group is flushed in
+//! topological order, and the next group restarts from an earlier
+//! producer). Transfer launches break windows: DMA does not pass data
+//! through the L2 interleaving that tiling relies on.
+
+use std::fmt;
+
+use kgraph::{AppGraph, GraphTrace, NodeId, NodeOp};
+use trace::{BlockRef, FootprintSet};
+
+use crate::subkernel::Schedule;
+use crate::tile::TileParams;
+
+/// Hard cap on reported violations; the rest are counted in
+/// [`VerifyReport::suppressed`]. A shuffled large schedule can violate
+/// nearly every block's dependencies, and an unbounded report would be as
+/// unusable as the panic it replaces.
+const MAX_VIOLATIONS: usize = 1024;
+
+/// How serious a [`Violation`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The schedule cannot run correctly (wrong results or unexecutable).
+    Error,
+    /// The schedule runs correctly but defeats the purpose of tiling.
+    Warning,
+}
+
+/// One structured verification finding.
+///
+/// `launch` fields are 0-based indices into [`Schedule::launches`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A launch names a node the application graph (or trace) lacks.
+    UnknownNode {
+        /// Index of the offending launch.
+        launch: usize,
+        /// The node id that does not exist.
+        node: NodeId,
+        /// Number of nodes the graph actually has.
+        num_nodes: usize,
+    },
+    /// A launch has an empty block list.
+    EmptyLaunch {
+        /// Index of the offending launch.
+        launch: usize,
+        /// The node of the empty launch.
+        node: NodeId,
+    },
+    /// A launch references a block id outside the node's grid.
+    BlockOutOfRange {
+        /// Index of the offending launch.
+        launch: usize,
+        /// The node being launched.
+        node: NodeId,
+        /// The out-of-range block id.
+        block: u32,
+        /// Number of blocks the node actually has.
+        num_blocks: u32,
+    },
+    /// A block appears more than once within a single launch.
+    DuplicateBlockInLaunch {
+        /// Index of the offending launch.
+        launch: usize,
+        /// The node being launched.
+        node: NodeId,
+        /// The duplicated block id.
+        block: u32,
+    },
+    /// A block is launched again after an earlier launch already ran it.
+    DoubleLaunchedBlock {
+        /// Index of the re-launching launch.
+        launch: usize,
+        /// Index of the launch that first ran the block.
+        prev_launch: usize,
+        /// The node being launched.
+        node: NodeId,
+        /// The re-launched block id.
+        block: u32,
+    },
+    /// A consumer block launched before one of its producer blocks.
+    DependencyViolation {
+        /// Index of the consumer's launch.
+        launch: usize,
+        /// The consumer block.
+        consumer: BlockRef,
+        /// The producer block that has not run in any earlier launch.
+        producer: BlockRef,
+    },
+    /// A node's grid is not fully covered by the schedule.
+    MissingBlocks {
+        /// The node with uncovered blocks.
+        node: NodeId,
+        /// How many distinct blocks the schedule launches.
+        covered: u32,
+        /// How many blocks the node has.
+        expected: u32,
+    },
+    /// An interleaving window's combined footprint exceeds the cache
+    /// capacity, so its producer→consumer traffic will not stay resident.
+    OverCapacityWindow {
+        /// First launch of the window.
+        first_launch: usize,
+        /// Last launch of the window.
+        last_launch: usize,
+        /// Distinct-line footprint of the window in bytes.
+        footprint_bytes: u64,
+        /// The configured cache capacity in bytes.
+        capacity_bytes: u64,
+    },
+}
+
+impl Violation {
+    /// The severity class of this violation.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Violation::OverCapacityWindow { .. } => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnknownNode { launch, node, num_nodes } => {
+                write!(f, "launch {launch}: node {node} does not exist ({num_nodes} nodes)")
+            }
+            Violation::EmptyLaunch { launch, node } => {
+                write!(f, "launch {launch}: empty block list for node {node}")
+            }
+            Violation::BlockOutOfRange { launch, node, block, num_blocks } => write!(
+                f,
+                "launch {launch}: block {block} of node {node} out of range \
+                 (node has {num_blocks} blocks)"
+            ),
+            Violation::DuplicateBlockInLaunch { launch, node, block } => {
+                write!(f, "launch {launch}: block {block} of node {node} listed twice")
+            }
+            Violation::DoubleLaunchedBlock { launch, prev_launch, node, block } => write!(
+                f,
+                "launch {launch}: block {block} of node {node} already ran in launch \
+                 {prev_launch}"
+            ),
+            Violation::DependencyViolation { launch, consumer, producer } => write!(
+                f,
+                "launch {launch}: block {}/{} runs before its producer {}/{}",
+                consumer.node, consumer.block, producer.node, producer.block
+            ),
+            Violation::MissingBlocks { node, covered, expected } => {
+                write!(f, "node {node}: only {covered}/{expected} blocks scheduled")
+            }
+            Violation::OverCapacityWindow {
+                first_launch,
+                last_launch,
+                footprint_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "launches {first_launch}-{last_launch}: window footprint {footprint_bytes} B \
+                 exceeds the {capacity_bytes} B cache"
+            ),
+        }
+    }
+}
+
+/// Everything [`verify_schedule`] found, in schedule order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyReport {
+    /// The violations, capped at an internal maximum.
+    pub violations: Vec<Violation>,
+    /// Violations beyond the cap, counted but not stored.
+    pub suppressed: usize,
+}
+
+impl VerifyReport {
+    fn push(&mut self, v: Violation) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    /// Whether the schedule is safe to execute: no error-severity
+    /// violations (warnings are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.num_errors() == 0 && self.suppressed == 0
+    }
+
+    /// The error-severity violations.
+    pub fn errors(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| v.severity() == Severity::Error)
+    }
+
+    /// The warning-severity violations.
+    pub fn warnings(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| v.severity() == Severity::Warning)
+    }
+
+    /// Number of reported errors (suppressed violations not included).
+    pub fn num_errors(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// Number of reported warnings.
+    pub fn num_warnings(&self) -> usize {
+        self.warnings().count()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error(s), {} warning(s)", self.num_errors(), self.num_warnings())?;
+        if self.suppressed > 0 {
+            write!(f, " (+{} suppressed)", self.suppressed)?;
+        }
+        if let Some(e) = self.errors().next() {
+            write!(f, "; first: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Closes the current interleaving window, reporting it when its footprint
+/// exceeds the cache capacity.
+fn flush_window(
+    cur: &mut Option<(usize, usize, usize)>,
+    fp: &mut FootprintSet,
+    capacity_bytes: u64,
+    rep: &mut VerifyReport,
+) {
+    if let Some((first_launch, last_launch, _)) = cur.take() {
+        if fp.bytes() > capacity_bytes {
+            rep.push(Violation::OverCapacityWindow {
+                first_launch,
+                last_launch,
+                footprint_bytes: fp.bytes(),
+                capacity_bytes,
+            });
+        }
+    }
+    fp.clear();
+}
+
+/// Verifies a schedule against the application, its block-level trace and
+/// the tiling parameters. Never panics: every problem — including ones
+/// that would crash the executor, like unknown nodes or out-of-range
+/// blocks — becomes a [`Violation`] in the report.
+///
+/// `params` supplies the cache geometry for the footprint-window check
+/// ([`TileParams::cache_bytes`] / [`TileParams::line_bytes`]); its cost
+/// fields are ignored.
+pub fn verify_schedule(
+    sched: &Schedule,
+    g: &AppGraph,
+    gt: &GraphTrace,
+    params: &TileParams,
+) -> VerifyReport {
+    let mut rep = VerifyReport::default();
+    // Nodes known to both the graph and the trace; anything beyond is an
+    // UnknownNode violation rather than a slice panic.
+    let n = g.num_nodes().min(gt.nodes.len());
+
+    // Flat (node, block) → slot table, CSR-style.
+    let mut base = vec![0usize; n + 1];
+    for i in 0..n {
+        base[i + 1] = base[i] + g.node(NodeId(i as u32)).num_blocks() as usize;
+    }
+    let slot = |r: BlockRef| -> Option<usize> {
+        let idx = r.node as usize;
+        if idx < n && (r.block as usize) < base[idx + 1] - base[idx] {
+            Some(base[idx] + r.block as usize)
+        } else {
+            None
+        }
+    };
+    // Which launch first ran each block; usize::MAX = not launched yet.
+    let mut launched_at: Vec<usize> = vec![usize::MAX; base[n]];
+
+    for (i, sk) in sched.launches.iter().enumerate() {
+        let idx = sk.node.0 as usize;
+        if idx >= n {
+            rep.push(Violation::UnknownNode {
+                launch: i,
+                node: sk.node,
+                num_nodes: g.num_nodes(),
+            });
+            continue;
+        }
+        if sk.blocks.is_empty() {
+            rep.push(Violation::EmptyLaunch { launch: i, node: sk.node });
+            continue;
+        }
+        let num_blocks = (base[idx + 1] - base[idx]) as u32;
+        // Dependency pass first: all producers must have run in *strictly
+        // earlier* launches, so this launch's own blocks must not count.
+        for &b in &sk.blocks {
+            if b >= num_blocks {
+                continue; // reported below
+            }
+            let r = BlockRef::new(sk.node.0, b);
+            for &p in gt.deps.deps_of(r) {
+                let done = slot(p).is_some_and(|s| launched_at[s] != usize::MAX);
+                if !done {
+                    rep.push(Violation::DependencyViolation {
+                        launch: i,
+                        consumer: r,
+                        producer: p,
+                    });
+                }
+            }
+        }
+        // Range / duplicate / double-launch bookkeeping.
+        for &b in &sk.blocks {
+            if b >= num_blocks {
+                rep.push(Violation::BlockOutOfRange {
+                    launch: i,
+                    node: sk.node,
+                    block: b,
+                    num_blocks,
+                });
+                continue;
+            }
+            let s = base[idx] + b as usize;
+            match launched_at[s] {
+                usize::MAX => launched_at[s] = i,
+                j if j == i => rep.push(Violation::DuplicateBlockInLaunch {
+                    launch: i,
+                    node: sk.node,
+                    block: b,
+                }),
+                j => rep.push(Violation::DoubleLaunchedBlock {
+                    launch: i,
+                    prev_launch: j,
+                    node: sk.node,
+                    block: b,
+                }),
+            }
+        }
+    }
+
+    // Coverage: every block of every known node exactly once.
+    for idx in 0..n {
+        let expected = (base[idx + 1] - base[idx]) as u32;
+        let covered =
+            launched_at[base[idx]..base[idx + 1]].iter().filter(|&&l| l != usize::MAX).count()
+                as u32;
+        if covered != expected {
+            rep.push(Violation::MissingBlocks { node: NodeId(idx as u32), covered, expected });
+        }
+    }
+
+    // Footprint windows (warnings). A window is a maximal run of kernel
+    // launches with strictly increasing topological positions; transfers
+    // break windows (DMA traffic is not served by tiling).
+    let mut pos = vec![usize::MAX; n];
+    for (p, id) in gt.order.iter().enumerate() {
+        if (id.0 as usize) < n {
+            pos[id.0 as usize] = p;
+        }
+    }
+    let mut fp = FootprintSet::new(params.line_bytes);
+    // (first launch, last launch, topo position of the last launch's node)
+    let mut cur: Option<(usize, usize, usize)> = None;
+    for (i, sk) in sched.launches.iter().enumerate() {
+        let idx = sk.node.0 as usize;
+        if idx >= n {
+            continue;
+        }
+        if !matches!(g.node(sk.node).op, NodeOp::Kernel(_)) {
+            flush_window(&mut cur, &mut fp, params.cache_bytes, &mut rep);
+            continue;
+        }
+        let p = pos[idx];
+        if let Some((_, _, last_pos)) = cur {
+            if p <= last_pos {
+                flush_window(&mut cur, &mut fp, params.cache_bytes, &mut rep);
+            }
+        }
+        let nt = gt.node(sk.node);
+        for &b in &sk.blocks {
+            if let Some(t) = nt.blocks.get(b as usize) {
+                fp.add_block(t);
+            }
+        }
+        cur = Some((cur.map_or(i, |(first, _, _)| first), i, p));
+    }
+    flush_window(&mut cur, &mut fp, params.cache_bytes, &mut rep);
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subkernel::SubKernel;
+    use gpu_sim::{BlockIdx, Buffer, DeviceMemory, Dim3, LaunchDims};
+    use kgraph::{analyze, Kernel};
+    use trace::ExecCtx;
+
+    struct Map {
+        src: Buffer,
+        dst: Buffer,
+        n: u32,
+    }
+
+    impl Kernel for Map {
+        fn label(&self) -> String {
+            "map".into()
+        }
+        fn dims(&self) -> LaunchDims {
+            LaunchDims::new(Dim3::linear(self.n.div_ceil(256)), Dim3::linear(256))
+        }
+        fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+            for tid in 0..256 {
+                let gid = block.x as u64 * 256 + tid as u64;
+                if gid < self.n as u64 {
+                    let v = ctx.ld_f32(self.src, gid, tid);
+                    ctx.st_f32(self.dst, gid, v + 1.0, tid);
+                    ctx.compute(tid, 2);
+                }
+            }
+        }
+    }
+
+    /// HtD → k1 → k2 → DtH over `n` elements (n/256 blocks per kernel).
+    fn pipeline(n: u32) -> (AppGraph, GraphTrace) {
+        let mut mem = DeviceMemory::new();
+        let b0 = mem.alloc_f32(n as u64, "b0");
+        let b1 = mem.alloc_f32(n as u64, "b1");
+        let b2 = mem.alloc_f32(n as u64, "b2");
+        let mut g = AppGraph::new();
+        let h = g.add_htod(b0, vec![0u8; 256]);
+        let k1 = g.add_kernel(Box::new(Map { src: b0, dst: b1, n }));
+        let k2 = g.add_kernel(Box::new(Map { src: b1, dst: b2, n }));
+        let d = g.add_dtoh(b2);
+        g.add_edge(h, k1, b0);
+        g.add_edge(k1, k2, b1);
+        g.add_edge(k2, d, b2);
+        let gt = analyze(&g, &mut mem, 128).unwrap();
+        (g, gt)
+    }
+
+    fn params() -> TileParams {
+        TileParams::paper(2 * 1024 * 1024, 128, 0.0)
+    }
+
+    #[test]
+    fn default_schedule_is_clean() {
+        let (g, gt) = pipeline(4096);
+        let rep = verify_schedule(&Schedule::default_order(&g), &g, &gt, &params());
+        assert!(rep.is_clean(), "{rep}");
+        assert_eq!(rep.num_errors(), 0);
+    }
+
+    #[test]
+    fn reversed_order_reports_dependency_violations() {
+        let (g, gt) = pipeline(4096);
+        let mut sched = Schedule::default_order(&g);
+        sched.launches.reverse();
+        let rep = verify_schedule(&sched, &g, &gt, &params());
+        assert!(!rep.is_clean());
+        assert!(
+            rep.errors().any(|v| matches!(v, Violation::DependencyViolation { .. })),
+            "{rep}"
+        );
+        // Coverage is still complete: only ordering is wrong.
+        assert!(!rep.violations.iter().any(|v| matches!(v, Violation::MissingBlocks { .. })));
+    }
+
+    #[test]
+    fn dropped_launch_reports_missing_blocks() {
+        let (g, gt) = pipeline(4096);
+        let mut sched = Schedule::default_order(&g);
+        sched.launches.remove(1); // drop k1
+        let rep = verify_schedule(&sched, &g, &gt, &params());
+        assert!(rep.violations.iter().any(|v| matches!(
+            v,
+            Violation::MissingBlocks { node: NodeId(1), covered: 0, .. }
+        )));
+    }
+
+    #[test]
+    fn duplicated_block_reports_double_launch() {
+        let (g, gt) = pipeline(4096);
+        let mut sched = Schedule::default_order(&g);
+        let dup = sched.launches[1].clone();
+        sched.launches.insert(2, dup);
+        let rep = verify_schedule(&sched, &g, &gt, &params());
+        assert!(rep
+            .errors()
+            .any(|v| matches!(v, Violation::DoubleLaunchedBlock { prev_launch: 1, .. })));
+    }
+
+    #[test]
+    fn within_launch_duplicate_detected() {
+        let (g, gt) = pipeline(4096);
+        let mut sched = Schedule::default_order(&g);
+        // Bypass SubKernel::new's dedup to model a hand-built bad launch.
+        sched.launches[1].blocks.push(0);
+        let rep = verify_schedule(&sched, &g, &gt, &params());
+        assert!(rep.errors().any(|v| matches!(
+            v,
+            Violation::DuplicateBlockInLaunch { launch: 1, block: 0, .. }
+        )));
+    }
+
+    #[test]
+    fn unknown_node_and_out_of_range_block_detected() {
+        let (g, gt) = pipeline(4096);
+        let mut sched = Schedule::default_order(&g);
+        sched.launches.push(SubKernel::new(NodeId(99), vec![0]));
+        sched.launches[1].blocks.push(10_000);
+        let rep = verify_schedule(&sched, &g, &gt, &params());
+        assert!(rep.errors().any(|v| matches!(v, Violation::UnknownNode { node: NodeId(99), .. })));
+        assert!(rep
+            .errors()
+            .any(|v| matches!(v, Violation::BlockOutOfRange { block: 10_000, .. })));
+    }
+
+    #[test]
+    fn over_capacity_window_is_a_warning_not_an_error() {
+        let (g, gt) = pipeline(4096);
+        let mut p = params();
+        p.cache_bytes = 64; // absurdly small: any kernel window overflows
+        let rep = verify_schedule(&Schedule::default_order(&g), &g, &gt, &p);
+        assert!(rep.is_clean(), "warnings must not make the schedule dirty: {rep}");
+        assert!(rep
+            .warnings()
+            .any(|v| matches!(v, Violation::OverCapacityWindow { .. })), "{rep}");
+        assert!(rep.warnings().all(|v| v.severity() == Severity::Warning));
+    }
+
+    #[test]
+    fn report_display_summarizes() {
+        let (g, gt) = pipeline(4096);
+        let mut sched = Schedule::default_order(&g);
+        sched.launches.remove(1);
+        let rep = verify_schedule(&sched, &g, &gt, &params());
+        let s = rep.to_string();
+        assert!(s.contains("error"), "{s}");
+        assert!(s.contains("first:"), "{s}");
+    }
+
+    #[test]
+    fn violation_cap_counts_suppressed() {
+        let (g, gt) = pipeline(1024 * 1024); // 4096 blocks per kernel
+        let mut sched = Schedule::default_order(&g);
+        sched.launches.reverse(); // violates nearly every consumer block
+        let rep = verify_schedule(&sched, &g, &gt, &params());
+        assert_eq!(rep.violations.len(), MAX_VIOLATIONS);
+        assert!(rep.suppressed > 0);
+        assert!(!rep.is_clean());
+    }
+}

@@ -36,7 +36,7 @@ fn multigrid_schedule_is_valid_and_preserves_solution() {
     let gt = kgraph::analyze(&app.graph, &mut app.mem, cfg.cache.line_bytes).unwrap();
     let freq = FreqConfig::new(1324.0, 1600.0);
     let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
-    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg(&cfg));
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg(&cfg)).unwrap();
     out.schedule.validate(&app.graph, &gt.deps).unwrap();
 
     // Functional re-execution in tiled order reproduces the reference.
@@ -71,7 +71,7 @@ fn multigrid_tiling_gains_on_large_grids() {
     let gt = kgraph::analyze(&app.graph, &mut app.mem, cfg.cache.line_bytes).unwrap();
     let freq = FreqConfig::new(1324.0, 1600.0);
     let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
-    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg(&cfg));
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg(&cfg)).unwrap();
     out.schedule.validate(&app.graph, &gt.deps).unwrap();
     assert!(out.report.merges_accepted > 0, "smoothing chain should merge: {:?}", out.report);
 
@@ -82,8 +82,8 @@ fn multigrid_tiling_gains_on_large_grids() {
         &cfg,
         freq,
         Some(0.0),
-    );
-    let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0));
+    ).unwrap();
+    let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0)).unwrap();
     assert!(
         tiled.total_ns < def.total_ns,
         "tiled {} vs default {}",

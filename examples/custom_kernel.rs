@@ -120,7 +120,7 @@ fn main() {
         weight_threshold_ns: 1_000.0,
         tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
     };
-    let out = ktiler_schedule(&g, &gt, &cal, &kcfg);
+    let out = ktiler_schedule(&g, &gt, &cal, &kcfg).unwrap();
     out.schedule.validate(&g, &gt.deps).unwrap();
     println!(
         "KTILER: {} clusters, {} launches",
@@ -128,15 +128,15 @@ fn main() {
         out.schedule.num_launches()
     );
 
-    let def = execute_schedule(&Schedule::default_order(&g), &g, &gt, &cfg, freq, None);
-    let tiled = execute_schedule(&out.schedule, &g, &gt, &cfg, freq, None);
+    let def = execute_schedule(&Schedule::default_order(&g), &g, &gt, &cfg, freq, None).unwrap();
+    let tiled = execute_schedule(&out.schedule, &g, &gt, &cfg, freq, None).unwrap();
     println!(
         "default: {:.2} ms (hit {:.0}%) | ktiler: {:.2} ms (hit {:.0}%) | gain {:.1}%",
         def.total_ns / 1e6,
         def.stats.hit_rate() * 100.0,
         tiled.total_ns / 1e6,
         tiled.stats.hit_rate() * 100.0,
-        tiled.gain_over(&def) * 100.0
+        tiled.gain_over(&def).unwrap_or(0.0) * 100.0
     );
 
     // Serialize the schedule as the runtime-enforcement artifact.

@@ -57,13 +57,13 @@ fn main() {
         weight_threshold_ns: 1_000.0,
         tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
     };
-    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg);
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg).unwrap();
     out.schedule.validate(&app.graph, &gt.deps).unwrap();
 
     let default =
-        execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None);
-    let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None);
-    let tiled_noig = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0));
+        execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None).unwrap();
+    let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None).unwrap();
+    let tiled_noig = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0)).unwrap();
     println!(
         "\n{} kernels -> {} sub-kernel launches in {} clusters",
         app.graph.num_nodes(),
@@ -79,12 +79,12 @@ fn main() {
         "ktiler       : {:8.2} ms  (hit {:.0}%)  gain {:.1}%",
         tiled.total_ns / 1e6,
         tiled.stats.hit_rate() * 100.0,
-        tiled.gain_over(&default) * 100.0
+        tiled.gain_over(&default).unwrap_or(0.0) * 100.0
     );
     println!(
         "ktiler w/o IG: {:8.2} ms              gain {:.1}%",
         tiled_noig.total_ns / 1e6,
-        tiled_noig.gain_over(&default) * 100.0
+        tiled_noig.gain_over(&default).unwrap_or(0.0) * 100.0
     );
     println!("\n(at 256x256 the coarse pyramid levels fit in the L2; try --size 512");
     println!(" or --size 1024 for the paper's regime — analysis takes longer)");

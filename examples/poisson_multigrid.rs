@@ -55,7 +55,7 @@ fn main() {
         weight_threshold_ns: 1_000.0,
         tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
     };
-    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg);
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg).unwrap();
     out.schedule.validate(&app.graph, &gt.deps).unwrap();
     println!(
         "KTILER: {} clusters, {} launches ({:?})",
@@ -64,14 +64,14 @@ fn main() {
         out.report
     );
 
-    let def = execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None);
-    let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None);
+    let def = execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None).unwrap();
+    let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None).unwrap();
     println!(
         "default: {:.2} ms (hit {:.0}%) | ktiler: {:.2} ms (hit {:.0}%) | gain {:.1}%",
         def.total_ns / 1e6,
         def.stats.hit_rate() * 100.0,
         tiled.total_ns / 1e6,
         tiled.stats.hit_rate() * 100.0,
-        tiled.gain_over(&def) * 100.0
+        tiled.gain_over(&def).unwrap_or(0.0) * 100.0
     );
 }

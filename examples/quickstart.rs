@@ -48,7 +48,7 @@ fn main() {
         weight_threshold_ns: 1_000.0,
         tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
     };
-    let out = ktiler_schedule(&graph, &gt, &cal, &kcfg);
+    let out = ktiler_schedule(&graph, &gt, &cal, &kcfg).unwrap();
     out.schedule.validate(&graph, &gt.deps).expect("KTILER schedules are valid");
     println!(
         "KTILER: {} clusters, {} launches ({} tiled), estimated {:.2} ms",
@@ -59,8 +59,8 @@ fn main() {
     );
 
     // 4. Execute both schedules on the simulated device.
-    let default = execute_schedule(&Schedule::default_order(&graph), &graph, &gt, &cfg, freq, None);
-    let tiled = execute_schedule(&out.schedule, &graph, &gt, &cfg, freq, None);
+    let default = execute_schedule(&Schedule::default_order(&graph), &graph, &gt, &cfg, freq, None).unwrap();
+    let tiled = execute_schedule(&out.schedule, &graph, &gt, &cfg, freq, None).unwrap();
     println!(
         "default: {:.2} ms (L2 hit rate {:.0}%)",
         default.total_ns / 1e6,
@@ -70,7 +70,7 @@ fn main() {
         "ktiler : {:.2} ms (L2 hit rate {:.0}%) — {:.1}% faster",
         tiled.total_ns / 1e6,
         tiled.stats.hit_rate() * 100.0,
-        tiled.gain_over(&default) * 100.0
+        tiled.gain_over(&default).unwrap_or(0.0) * 100.0
     );
 
     // 5. The functional result is unchanged: spot-check a pixel.

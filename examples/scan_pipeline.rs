@@ -52,7 +52,7 @@ fn main() {
         weight_threshold_ns: 1_000.0,
         tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
     };
-    let out = ktiler_schedule(&graph, &gt, &cal, &kcfg);
+    let out = ktiler_schedule(&graph, &gt, &cal, &kcfg).unwrap();
     out.schedule.validate(&graph, &gt.deps).unwrap();
     println!(
         "KTILER: {} clusters, {} launches",
@@ -67,14 +67,14 @@ fn main() {
         }
     }
 
-    let default = execute_schedule(&Schedule::default_order(&graph), &graph, &gt, &cfg, freq, None);
-    let tiled = execute_schedule(&out.schedule, &graph, &gt, &cfg, freq, None);
+    let default = execute_schedule(&Schedule::default_order(&graph), &graph, &gt, &cfg, freq, None).unwrap();
+    let tiled = execute_schedule(&out.schedule, &graph, &gt, &cfg, freq, None).unwrap();
     println!(
         "\ndefault: {:.2} ms (hit {:.0}%) | ktiler: {:.2} ms (hit {:.0}%) | gain {:.1}%",
         default.total_ns / 1e6,
         default.stats.hit_rate() * 100.0,
         tiled.total_ns / 1e6,
         tiled.stats.hit_rate() * 100.0,
-        tiled.gain_over(&default) * 100.0
+        tiled.gain_over(&default).unwrap_or(0.0) * 100.0
     );
 }

@@ -55,17 +55,17 @@ fn main() {
         weight_threshold_ns: 1_000.0,
         tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
     };
-    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg);
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg).unwrap();
     out.schedule.validate(&app.graph, &gt.deps).unwrap();
-    let def = execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None);
-    let kt = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None);
+    let def = execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None).unwrap();
+    let kt = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None).unwrap();
     println!(
         "\ndefault: {:.2} ms (hit {:.0}%) | ktiler: {:.2} ms (hit {:.0}%) | gain {:.1}%",
         def.total_ns / 1e6,
         def.stats.hit_rate() * 100.0,
         kt.total_ns / 1e6,
         kt.stats.hit_rate() * 100.0,
-        kt.gain_over(&def) * 100.0
+        kt.gain_over(&def).unwrap_or(0.0) * 100.0
     );
     println!("(try larger frames for the paper's over-capacity regime)");
 }

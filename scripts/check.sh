@@ -18,4 +18,28 @@ cargo test --workspace -q "${OFFLINE[@]}"
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets "${OFFLINE[@]}" -- -D warnings
 
+echo "== verify committed example schedule =="
+cargo run --release -p bench --bin verify_schedule "${OFFLINE[@]}" -- \
+    --schedule examples/schedules/optflow_64px.sched --size 64 --iters 2 --strict
+
+echo "== panic-free gate (ktiler non-test sources) =="
+# No .unwrap() / panic!() on ktiler's library paths: scan each source file
+# up to its #[cfg(test)] marker, skipping comment lines (doctests live in
+# doc comments and may unwrap freely). `expect`/`assert!` with invariant
+# messages remain allowed — see the error-policy table in DESIGN.md.
+GATE_FAIL=0
+for f in crates/ktiler/src/*.rs; do
+    hits=$(awk '/^#\[cfg\(test\)\]/ { exit }
+                /^[[:space:]]*\/\// { next }
+                /\.unwrap\(\)|panic!\(/ { print FILENAME ":" FNR ": " $0 }' "$f")
+    if [[ -n "$hits" ]]; then
+        echo "$hits"
+        GATE_FAIL=1
+    fi
+done
+if [[ "$GATE_FAIL" -ne 0 ]]; then
+    echo "error: .unwrap()/panic!() found on ktiler library paths" >&2
+    exit 1
+fi
+
 echo "== OK =="

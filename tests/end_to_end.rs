@@ -59,7 +59,7 @@ fn ktiler_schedule_is_valid_and_tiled() {
     let (app, gt, cfg) = build();
     let freq = FreqConfig::new(1324.0, 1600.0);
     let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
-    let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg));
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg)).unwrap();
     out.schedule.validate(&app.graph, &gt.deps).unwrap();
     // Every block of every node is covered exactly once (validate checks
     // this), and the schedule has at least as many launches as nodes.
@@ -71,7 +71,7 @@ fn tiled_schedule_produces_identical_flow() {
     let (app, gt, cfg) = build();
     let freq = FreqConfig::new(1324.0, 1600.0);
     let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
-    let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg));
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg)).unwrap();
 
     let (u_def, v_def) = run_functionally(&Schedule::default_order(&app.graph));
     let (u_tiled, v_tiled) = run_functionally(&out.schedule);
@@ -90,7 +90,7 @@ fn ktiler_never_loses_without_ig() {
     let (app, gt, cfg) = build();
     for freq in gpu_sim::fig5_freq_configs() {
         let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
-        let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg));
+        let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg)).unwrap();
         let def = execute_schedule(
             &Schedule::default_order(&app.graph),
             &app.graph,
@@ -98,8 +98,8 @@ fn ktiler_never_loses_without_ig() {
             &cfg,
             freq,
             Some(0.0),
-        );
-        let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0));
+        ).unwrap();
+        let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0)).unwrap();
         // At this small scale gains may be tiny, but tiling must not hurt
         // materially once the IG is excluded (<2% tolerance for launch
         // overhead).
@@ -117,7 +117,7 @@ fn hit_rate_never_decreases_under_tiling() {
     let (app, gt, cfg) = build();
     let freq = FreqConfig::new(1324.0, 1600.0);
     let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
-    let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg));
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg)).unwrap();
     let def = execute_schedule(
         &Schedule::default_order(&app.graph),
         &app.graph,
@@ -125,8 +125,8 @@ fn hit_rate_never_decreases_under_tiling() {
         &cfg,
         freq,
         None,
-    );
-    let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None);
+    ).unwrap();
+    let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None).unwrap();
     assert!(tiled.stats.hit_rate() >= def.stats.hit_rate() - 1e-9);
 }
 
@@ -140,7 +140,7 @@ fn default_mode_statistics_are_consistent() {
         &cfg,
         FreqConfig::default(),
         None,
-    );
+    ).unwrap();
     let transfers = app
         .graph
         .node_ids()

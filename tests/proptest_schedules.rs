@@ -47,7 +47,7 @@ fn ktiler_schedules_are_always_valid() {
         let cfg = GpuConfig::gtx960m();
         let gt = kgraph::analyze(&g, &mut mem, cfg.cache.line_bytes).unwrap();
         let cal = calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
-        let out = ktiler_schedule(&g, &gt, &cal, &kcfg(&cfg, thld));
+        let out = ktiler_schedule(&g, &gt, &cal, &kcfg(&cfg, thld)).unwrap();
         out.schedule.validate(&g, &gt.deps).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
     }
 }

@@ -31,7 +31,7 @@ fn schedule_from_one_input_is_valid_for_another() {
     let mut app_a = build_app(&a0, &a1, &params());
     let gt_a = kgraph::analyze(&app_a.graph, &mut app_a.mem, cfg.cache.line_bytes).unwrap();
     let cal = calibrate(&app_a.graph, &gt_a, &cfg, FreqConfig::default(), &CalibrationConfig::default());
-    let out = ktiler_schedule(&app_a.graph, &gt_a, &cal, &kcfg);
+    let out = ktiler_schedule(&app_a.graph, &gt_a, &cal, &kcfg).unwrap();
     out.schedule.validate(&app_a.graph, &gt_a.deps).unwrap();
 
     // Inputs B, C, D: different content, different motion, same size. The
@@ -61,7 +61,7 @@ fn reused_schedule_preserves_other_inputs_results() {
     let mut app_a = build_app(&a0, &a1, &params());
     let gt_a = kgraph::analyze(&app_a.graph, &mut app_a.mem, cfg.cache.line_bytes).unwrap();
     let cal = calibrate(&app_a.graph, &gt_a, &cfg, FreqConfig::default(), &CalibrationConfig::default());
-    let out = ktiler_schedule(&app_a.graph, &gt_a, &cal, &kcfg);
+    let out = ktiler_schedule(&app_a.graph, &gt_a, &cal, &kcfg).unwrap();
 
     // Functionally execute the schedule on input B.
     let (b0, b1) = synthetic_pair(128, 128, -0.7, 0.8, 99);

@@ -98,14 +98,14 @@ fn fig5_shape_ktiler_wins_where_the_paper_says() {
         tile: TileParams::paper(w.cfg.cache.capacity_bytes, w.cfg.cache.line_bytes, 0.0),
     };
     let run = |freq: FreqConfig, ig: Option<f64>, sched: &Schedule| {
-        execute_schedule(sched, &w.graph, &w.gt, &w.cfg, freq, ig)
+        execute_schedule(sched, &w.graph, &w.gt, &w.cfg, freq, ig).unwrap()
     };
     let default = Schedule::default_order(&w.graph);
 
     let mut gains_no_ig = Vec::new();
     for freq in [FreqConfig::new(1324.0, 5010.0), FreqConfig::new(1324.0, 1600.0)] {
         let cal = calibrate(&w.graph, &w.gt, &w.cfg, freq, &CalibrationConfig::default());
-        let out = ktiler_schedule(&w.graph, &w.gt, &cal, &kcfg);
+        let out = ktiler_schedule(&w.graph, &w.gt, &cal, &kcfg).unwrap();
         out.schedule.validate(&w.graph, &w.gt.deps).unwrap();
         let d = run(freq, None, &default);
         let t = run(freq, None, &out.schedule);
@@ -114,7 +114,7 @@ fn fig5_shape_ktiler_wins_where_the_paper_says() {
         // w/o IG, KTILER must win; hit rate must rise.
         assert!(tn.total_ns < d0.total_ns, "{freq}: {} vs {}", tn.total_ns, d0.total_ns);
         assert!(t.stats.hit_rate() > d.stats.hit_rate());
-        gains_no_ig.push(tn.gain_over(&d0));
+        gains_no_ig.push(tn.gain_over(&d0).unwrap());
     }
     // Gains are larger at the memory-constrained point (the paper's first
     // observation about Fig. 5).

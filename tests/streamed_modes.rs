@@ -22,16 +22,16 @@ fn streamed_mode_sits_between_serial_and_no_ig() {
     let (g, gt, cfg) = setup();
     let freq = FreqConfig::default();
     let sched = Schedule::default_order(&g);
-    let serial = execute_schedule(&sched, &g, &gt, &cfg, freq, None);
+    let serial = execute_schedule(&sched, &g, &gt, &cfg, freq, None).unwrap();
     let streamed = execute_schedule_opts(
         &sched,
         &g,
         &gt,
         &cfg,
         freq,
-        ExecOptions { ig_override: None, streamed: true },
-    );
-    let no_ig = execute_schedule(&sched, &g, &gt, &cfg, freq, Some(0.0));
+        ExecOptions { ig_override: None, streamed: true, verify: false },
+    ).unwrap();
+    let no_ig = execute_schedule(&sched, &g, &gt, &cfg, freq, Some(0.0)).unwrap();
     assert!(streamed.ig_ns <= serial.ig_ns);
     assert!(streamed.total_ns <= serial.total_ns);
     assert!(no_ig.total_ns <= streamed.total_ns);
@@ -46,7 +46,7 @@ fn timeline_gap_accounting_matches_modes() {
     let freq = FreqConfig::default();
     let sched = Schedule::default_order(&g);
     let mut eng = Engine::new(cfg.clone(), freq);
-    let (report, tl) = execute_with_timeline(&mut eng, &sched, &g, &gt);
+    let (report, tl) = execute_with_timeline(&mut eng, &sched, &g, &gt).unwrap();
     assert!((tl.total_gap_ns() - report.ig_ns).abs() < 1e-6);
     // Number of kernel slices equals kernel launches; DMA slices equal
     // transfer nodes.
@@ -55,7 +55,7 @@ fn timeline_gap_accounting_matches_modes() {
     assert_eq!(kernels as u64, report.launches);
     assert_eq!(kernels + dmas, sched.num_launches());
     // Gap subtraction equals the w/o-IG run (the paper's methodology).
-    let no_ig = execute_schedule(&sched, &g, &gt, &cfg, freq, Some(0.0));
+    let no_ig = execute_schedule(&sched, &g, &gt, &cfg, freq, Some(0.0)).unwrap();
     assert!((report.total_ns - tl.total_gap_ns() - no_ig.total_ns).abs() < 1e-6);
 }
 

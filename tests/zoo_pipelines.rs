@@ -44,12 +44,12 @@ fn scan_chain_tiles_and_stays_correct() {
 
     let freq = FreqConfig::new(1324.0, 1600.0);
     let cal = calibrate(&g, &gt, &cfg, freq, &CalibrationConfig::default());
-    let out = ktiler_schedule(&g, &gt, &cal, &kcfg(&cfg));
+    let out = ktiler_schedule(&g, &gt, &cal, &kcfg(&cfg)).unwrap();
     out.schedule.validate(&g, &gt.deps).unwrap();
     assert!(out.report.merges_accepted > 0, "scan chain should merge: {:?}", out.report);
 
-    let def = execute_schedule(&Schedule::default_order(&g), &g, &gt, &cfg, freq, Some(0.0));
-    let tiled = execute_schedule(&out.schedule, &g, &gt, &cfg, freq, Some(0.0));
+    let def = execute_schedule(&Schedule::default_order(&g), &g, &gt, &cfg, freq, Some(0.0)).unwrap();
+    let tiled = execute_schedule(&out.schedule, &g, &gt, &cfg, freq, Some(0.0)).unwrap();
     assert!(
         tiled.total_ns < def.total_ns,
         "tiled {} vs default {}",
@@ -80,7 +80,7 @@ fn bitonic_chain_schedules_validly() {
 
     let freq = FreqConfig::new(1324.0, 1600.0);
     let cal = calibrate(&g, &gt, &cfg, freq, &CalibrationConfig::default());
-    let out = ktiler_schedule(&g, &gt, &cal, &kcfg(&cfg));
+    let out = ktiler_schedule(&g, &gt, &cal, &kcfg(&cfg)).unwrap();
     out.schedule.validate(&g, &gt.deps).unwrap();
 }
 
@@ -102,7 +102,7 @@ fn disconnected_components_schedule_independently() {
     let gt = kgraph::analyze(&g, &mut mem, cfg.cache.line_bytes).unwrap();
     let freq = FreqConfig::default();
     let cal = calibrate(&g, &gt, &cfg, freq, &CalibrationConfig::default());
-    let out = ktiler_schedule(&g, &gt, &cal, &kcfg(&cfg));
+    let out = ktiler_schedule(&g, &gt, &cal, &kcfg(&cfg)).unwrap();
     out.schedule.validate(&g, &gt.deps).unwrap();
     for cluster in &out.clusters {
         // No cluster mixes the two components (nodes 0,1 vs 2,3).
