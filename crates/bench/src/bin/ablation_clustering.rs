@@ -83,7 +83,7 @@ fn report(name: &str, r: &RunReport, baseline: &RunReport, launches: usize) {
         ms(r.total_ns),
         pct(r.gain_over(baseline).unwrap_or(0.0)),
         launches,
-        r.stats.hit_rate()
+        r.stats.hit_rate().unwrap_or(f64::NAN)
     );
 }
 

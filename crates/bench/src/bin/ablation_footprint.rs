@@ -55,7 +55,7 @@ fn main() {
             ms(r.total_ns),
             pct(r.gain_over(&default).unwrap_or(0.0)),
             out.schedule.num_launches(),
-            r.stats.hit_rate()
+            r.stats.hit_rate().unwrap_or(f64::NAN)
         );
     }
     println!("\nexpected shape: too-small bounds over-fragment (launch overhead),");

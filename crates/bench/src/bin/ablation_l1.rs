@@ -45,7 +45,7 @@ fn main() {
             "{:<12} {:>9} {:>8.1}% {:>10.0} {:>10}",
             name,
             s.l1_hits,
-            s.hit_rate() * 100.0,
+            s.hit_rate().unwrap_or(f64::NAN) * 100.0,
             s.time_ns / s.blocks as f64,
             s.l2_hits + s.l2_misses
         );

@@ -12,11 +12,20 @@
 //! With `--baseline FILE` (a previous run's JSON), the output embeds the
 //! baseline timings and the speedup of the current build over it. The
 //! default output path is `results/BENCH_scheduler.json`.
+//!
+//! Besides the three phase timings (`analyze_ms`, `calibrate_ms`,
+//! `ktiler_schedule_ms`), the run cross-checks the parallel sharded
+//! analyzer against the serial `DepGraphBuilder` (`analyzer_match`) and
+//! hashes the emitted schedule from both dependency graphs
+//! (`schedule_hash`, `schedule_hash_match`) — the CI smoke test fails on
+//! any mismatch.
 
 use bench::timing::{bench, BenchStats};
-use bench::{paper_ktiler_config, prepare, schedule_at, Scale};
+use bench::{build_workload_app, paper_ktiler_config, prepare, schedule_at, Scale};
 use gpu_sim::FreqConfig;
-use ktiler::{calibrate, ktiler_schedule, CalibrationConfig};
+use kgraph::GraphTrace;
+use ktiler::{calibrate, ktiler_schedule, schedule_to_text, CalibrationConfig};
+use trace::{build_dep_graph, BlockRef, BlockTrace, DepGraphBuilder};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -48,6 +57,16 @@ fn json_object(pairs: &[(String, f64)], indent: &str) -> String {
     format!("{{\n{}\n{indent}}}", fields.join(",\n"))
 }
 
+/// FNV-1a over a byte string: stable schedule fingerprint across runs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 fn main() {
     let scale = Scale::from_args();
     let samples: usize =
@@ -61,7 +80,6 @@ fn main() {
         scale.size, scale.size, scale.levels, scale.iters, samples
     );
 
-    // Stage 0 (untimed here, measured by block_analyzer bench): build+analyze.
     let w = prepare(scale);
     println!(
         "graph: {} nodes, {} block-dependency edges",
@@ -72,7 +90,19 @@ fn main() {
     let mut timings: Vec<(String, f64)> = Vec::new();
     let mut push = |name: &str, s: BenchStats| timings.push((name.to_string(), s.median_ns / 1e6));
 
-    // Calibration: performance tables + edge weights (Sec. IV-B).
+    // Block analysis (Sec. IV-B): trace replay + dependency graph. Each
+    // run needs a freshly built application — analysis executes the graph
+    // functionally and mutates device memory.
+    let mut apps: Vec<_> = (0..samples).map(|_| build_workload_app(scale)).collect();
+    let line_bytes = w.cfg.cache.line_bytes;
+    let analyze_stats = bench("analyze", 0, samples, || {
+        let mut app = apps.pop().expect("one prebuilt app per sample");
+        kgraph::analyze(&app.graph, &mut app.mem, line_bytes)
+            .expect("optical-flow graph is a DAG")
+    });
+    push("analyze_ms", analyze_stats);
+
+    // Calibration: performance tables + edge weights (Sec. IV-C).
     let cal_stats = bench("calibrate", 0, samples, || {
         calibrate(&w.app.graph, &w.gt, &w.cfg, freq, &CalibrationConfig::default())
     });
@@ -89,6 +119,47 @@ fn main() {
     // End-to-end offline pass as an application would invoke it.
     let e2e_stats = bench("calibrate+schedule", 0, samples, || schedule_at(&w, freq));
     push("end_to_end_ms", e2e_stats);
+
+    // ---- Cross-check: parallel sharded analyzer vs serial builder. -----
+    // Replay the exact visit order of the analysis run through the serial
+    // `DepGraphBuilder` and through the sharded parallel builder, and
+    // require all three graphs (including the one the workload was
+    // actually analyzed with) to be identical.
+    let visits: Vec<(BlockRef, &BlockTrace)> = w
+        .gt
+        .order
+        .iter()
+        .flat_map(|&id| {
+            w.gt.nodes[id.0 as usize]
+                .blocks
+                .iter()
+                .enumerate()
+                .map(move |(b, t)| (BlockRef::new(id.0, b as u32), t))
+        })
+        .collect();
+    let mut builder = DepGraphBuilder::new();
+    for &(r, t) in &visits {
+        builder.visit_block(r, t);
+    }
+    let serial_deps = builder.finish();
+    let parallel_deps = build_dep_graph(&visits, 4);
+    drop(visits);
+    let analyzer_match = serial_deps == parallel_deps && serial_deps == w.gt.deps;
+    println!("analyzer serial/parallel graphs identical: {analyzer_match}");
+
+    // Schedule fingerprint: the emitted schedule must be byte-identical
+    // whether the tiler consumed the workload's dependency graph or the
+    // serial builder's.
+    let (_, out) = schedule_at(&w, freq);
+    let schedule_hash = fnv1a(schedule_to_text(&out.schedule).as_bytes());
+    let gt_serial =
+        GraphTrace { nodes: w.gt.nodes.clone(), deps: serial_deps, order: w.gt.order.clone() };
+    let cal_serial = calibrate(&w.app.graph, &gt_serial, &w.cfg, freq, &CalibrationConfig::default());
+    let out_serial = ktiler_schedule(&w.app.graph, &gt_serial, &cal_serial, &kcfg)
+        .expect("benchmark workloads are non-empty and freshly calibrated");
+    let serial_hash = fnv1a(schedule_to_text(&out_serial.schedule).as_bytes());
+    let schedule_hash_match = schedule_hash == serial_hash;
+    println!("schedule hash {schedule_hash:#018x} (serial-path match: {schedule_hash_match})");
 
     let baseline = arg_value("--baseline").map(|p| {
         let text = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p}: {e}"));
@@ -107,6 +178,9 @@ fn main() {
         w.gt.deps.num_edges()
     ));
     json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str(&format!("  \"schedule_hash\": \"{schedule_hash:#018x}\",\n"));
+    json.push_str(&format!("  \"analyzer_match\": {analyzer_match},\n"));
+    json.push_str(&format!("  \"schedule_hash_match\": {schedule_hash_match},\n"));
     json.push_str(&format!("  \"timings_ms\": {}", json_object(&timings, "  ")));
     if let Some(base) = &baseline {
         json.push_str(&format!(",\n  \"baseline_ms\": {}", json_object(base, "  ")));

@@ -70,7 +70,7 @@ fn main() {
         let b_stats = eng.launch(&b_work, kb.dims().threads_per_block());
         println!(
             "\nB after full A at 256x256 (intm = 256 KiB fits the 2 MiB L2): read hit {:.2}",
-            b_stats.read_hit_rate()
+            b_stats.read_hit_rate().unwrap_or(f64::NAN)
         );
     }
 
@@ -124,12 +124,12 @@ fn main() {
     println!(
         "sequential:  {:>8.1} us, B read hit rate {:.2}",
         seq_r.total_ns / 1e3,
-        seq_r.stats.read_hit_rate()
+        seq_r.stats.read_hit_rate().unwrap_or(f64::NAN)
     );
     println!(
         "interleaved: {:>8.1} us, B read hit rate {:.2}  (gain {:.1}%)",
         tiled_r.total_ns / 1e3,
-        tiled_r.stats.read_hit_rate(),
+        tiled_r.stats.read_hit_rate().unwrap_or(f64::NAN),
         tiled_r.gain_over(&seq_r).unwrap_or(0.0) * 100.0
     );
 }

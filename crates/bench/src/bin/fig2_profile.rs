@@ -61,7 +61,12 @@ fn main() {
     let row = |name: &str, a: f64, b: f64, paper: &str| {
         println!("{:<34} {:>12} {:>14}   paper: {}", name, pct(a), pct(b), paper);
     };
-    row("L2 cache hit rate", d.hit_rate(), t.hit_rate(), "35% -> 100%");
+    row(
+        "L2 cache hit rate",
+        d.hit_rate().unwrap_or(f64::NAN),
+        t.hit_rate().unwrap_or(f64::NAN),
+        "35% -> 100%",
+    );
     row(
         "warp issue efficiency",
         d.issue_efficiency(),

@@ -46,8 +46,8 @@ fn main() {
             pct(g1),
             ms(r.ktiler_no_ig.total_ns),
             pct(g2),
-            r.default.stats.hit_rate(),
-            r.ktiler.stats.hit_rate(),
+            r.default.stats.hit_rate().unwrap_or(f64::NAN),
+            r.ktiler.stats.hit_rate().unwrap_or(f64::NAN),
             r.outcome.schedule.num_launches(),
         );
         gains_ig.push(g1);

@@ -14,7 +14,7 @@
 //! Modes: `default` (one launch per kernel), `ktiler` (tile if no
 //! `--schedule` file given), `noig`, `streamed`.
 
-use bench::{ms, paper_ktiler_config, pct, prepare, Scale};
+use bench::{ms, paper_ktiler_config, pct_opt, prepare, Scale};
 use gpu_sim::{Engine, FreqConfig};
 use ktiler::{
     calibrate, execute_with_timeline, ktiler_schedule, CalibrationConfig, Schedule,
@@ -131,8 +131,8 @@ fn main() {
             println!(
                 "{} launches, L2 hit rate {}, read hit rate {}",
                 report.launches,
-                pct(report.stats.hit_rate()),
-                pct(report.stats.read_hit_rate())
+                pct_opt(report.stats.hit_rate()),
+                pct_opt(report.stats.read_hit_rate())
             );
             if let Some(path) = arg_value("--timeline") {
                 std::fs::write(&path, tl.to_chrome_trace()).expect("write timeline");

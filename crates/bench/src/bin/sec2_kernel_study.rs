@@ -232,9 +232,9 @@ fn main() {
         println!(
             "{:<22} {:>9.1}% {:>9.1}% {:>5.0}pp {:>8.1}% {:>10}  {}",
             s.name,
-            full.read_hit_rate() * 100.0,
-            tiled.read_hit_rate() * 100.0,
-            (tiled.read_hit_rate() - full.read_hit_rate()) * 100.0,
+            full.read_hit_rate().unwrap_or(f64::NAN) * 100.0,
+            tiled.read_hit_rate().unwrap_or(f64::NAN) * 100.0,
+            (tiled.read_hit_rate().unwrap_or(f64::NAN) - full.read_hit_rate().unwrap_or(f64::NAN)) * 100.0,
             full.mem_dependency_stall_share() * 100.0,
             tileable,
             s.paper_verdict

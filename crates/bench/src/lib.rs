@@ -79,12 +79,21 @@ pub struct Workload {
     pub cfg: GpuConfig,
 }
 
+/// Builds the optical-flow application at the given scale without running
+/// the block analyzer (deterministic synthetic frames, ground-truth flow
+/// (1.0, 0.5)). Useful when the analysis pass itself is the thing being
+/// measured — each analysis run needs a freshly built application because
+/// analysis executes the graph and mutates device memory.
+pub fn build_workload_app(scale: Scale) -> OptFlowApp {
+    let p = HsParams { levels: scale.levels, jacobi_iters: scale.iters, warp_iters: 1, alpha2: 0.1 };
+    let (f0, f1) = synthetic_pair(scale.size, scale.size, 1.0, 0.5, 7);
+    build_app(&f0, &f1, &p)
+}
+
 /// Builds and analyzes the optical-flow application at the given scale
 /// (deterministic synthetic frames, ground-truth flow (1.0, 0.5)).
 pub fn prepare(scale: Scale) -> Workload {
-    let p = HsParams { levels: scale.levels, jacobi_iters: scale.iters, warp_iters: 1, alpha2: 0.1 };
-    let (f0, f1) = synthetic_pair(scale.size, scale.size, 1.0, 0.5, 7);
-    let mut app = build_app(&f0, &f1, &p);
+    let mut app = build_workload_app(scale);
     let cfg = GpuConfig::gtx960m();
     let gt = kgraph::analyze(&app.graph, &mut app.mem, cfg.cache.line_bytes)
         .expect("optical-flow graph is a DAG");
@@ -152,6 +161,14 @@ pub fn ms(ns: f64) -> String {
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(frac: f64) -> String {
     format!("{:.1}%", frac * 100.0)
+}
+
+/// Formats an optional fraction (e.g. [`LaunchStats::hit_rate`]) as a
+/// percentage, or `"n/a"` when no accesses occurred.
+///
+/// [`LaunchStats::hit_rate`]: gpu_sim::LaunchStats::hit_rate
+pub fn pct_opt(frac: Option<f64>) -> String {
+    frac.map(pct).unwrap_or_else(|| "n/a".into())
 }
 
 #[cfg(test)]

@@ -8,6 +8,22 @@
 //! The model is probed with *line addresses* (byte address divided by the
 //! line size); the trace layer performs coalescing from thread accesses to
 //! line transactions. Replacement is true LRU per set.
+//!
+//! # Representation
+//!
+//! LRU order is tracked by *timestamps* over packed flat arrays rather than
+//! by physically keeping each set in MRU order: every probe stamps the
+//! touched slot with a monotonically increasing access counter, and the
+//! victim of a miss is the valid slot with the smallest stamp (or any
+//! invalid slot). This replaces the old per-set `Vec` model — whose every
+//! hit paid a `remove` + `insert(0)` memmove and whose construction paid
+//! one heap allocation per set — with a few flat arrays and a handful of
+//! word writes per probe. The observable behavior (the exact hit/miss/
+//! writeback sequence) is identical: the stamp order of the valid slots
+//! *is* the MRU order, and which invalid slot a miss fills is
+//! unobservable because invalid slots have no content. An equivalence test
+//! below replays a randomized probe stream against a replica of the old
+//! model.
 
 use crate::config::CacheConfig;
 
@@ -48,22 +64,27 @@ impl CacheStats {
         self.hits + self.misses
     }
 
-    /// Hit rate in `[0, 1]`; zero when no accesses have occurred.
-    pub fn hit_rate(&self) -> f64 {
-        if self.accesses() == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.accesses() as f64
-        }
+    /// Whether any access has been recorded (guard for [`hit_rate`]).
+    ///
+    /// [`hit_rate`]: CacheStats::hit_rate
+    pub fn has_accesses(&self) -> bool {
+        self.accesses() > 0
+    }
+
+    /// Hit rate in `[0, 1]`, or `None` when no accesses have occurred —
+    /// callers can tell an untouched cache apart from a genuinely cold run.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.accesses();
+        (total > 0).then(|| self.hits as f64 / total as f64)
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct LineSlot {
-    tag: u64,
-    dirty: bool,
-    valid: bool,
-}
+/// Tag stored in empty (invalid) slots. Real tags are line addresses
+/// shifted right by the set bits, far below this sentinel (a line address
+/// is a byte address divided by the line size); using a sentinel keeps the
+/// hit scan a single branchless tag compare over the set's slots, with no
+/// separate validity check.
+const TAG_EMPTY: u64 = u64::MAX;
 
 /// The shared L2 cache.
 ///
@@ -78,19 +99,50 @@ struct LineSlot {
 #[derive(Debug, Clone)]
 pub struct L2Cache {
     cfg: CacheConfig,
-    /// Per set: slots ordered most-recently-used first.
-    sets: Vec<Vec<LineSlot>>,
+    /// `num_sets - 1`; set geometry is power-of-two, so the set index is a
+    /// mask and the tag a shift — no division on the access path.
+    set_mask: u64,
+    /// `log2(num_sets)`.
+    tag_shift: u32,
+    /// Cached `cfg.ways as usize`.
+    ways: usize,
+    /// Slot tags, `num_sets * ways` long; set `s` owns `[s*ways, (s+1)*ways)`.
+    /// Invalid slots hold [`TAG_EMPTY`].
+    tags: Vec<u64>,
+    /// Last-touch stamp per slot; among the valid slots of a set, ascending
+    /// stamp order is LRU→MRU order.
+    stamps: Vec<u64>,
+    /// Per-slot dirty flag (meaningful for valid slots only).
+    dirty: Vec<u8>,
+    /// Occupied-slot count per set. Valid slots are kept compacted at the
+    /// front of the set (`invalidate_line` back-fills holes), so a miss in
+    /// a non-full set installs at slot `occ` without scanning for an empty
+    /// slot. Which empty slot a miss fills is unobservable — empty slots
+    /// have no content — so compaction preserves exact model behavior.
+    occ: Vec<u8>,
+    /// Monotonic access counter feeding `stamps`.
+    tick: u64,
     stats: CacheStats,
 }
 
 impl L2Cache {
     /// Creates an empty (all-invalid) cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
-        let sets = vec![
-            vec![LineSlot { tag: 0, dirty: false, valid: false }; cfg.ways as usize];
-            cfg.num_sets() as usize
-        ];
-        L2Cache { cfg, sets, stats: CacheStats::default() }
+        let num_sets = cfg.num_sets();
+        debug_assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        let slots = (num_sets * cfg.ways as u64) as usize;
+        L2Cache {
+            cfg,
+            set_mask: num_sets - 1,
+            tag_shift: num_sets.trailing_zeros(),
+            ways: cfg.ways as usize,
+            tags: vec![TAG_EMPTY; slots],
+            stamps: vec![0; slots],
+            dirty: vec![0; slots],
+            occ: vec![0; num_sets as usize],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -112,18 +164,27 @@ impl L2Cache {
 
     /// Invalidates every line (contents and statistics are reset).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for slot in set.iter_mut() {
-                slot.valid = false;
-                slot.dirty = false;
+        // Only occupied slots can deviate from the empty state (tags are
+        // TAG_EMPTY and dirty is 0 beyond each set's occupancy), so clear
+        // per set rather than memset the whole arrays: a flush after a
+        // small-footprint run touches a few sets, not all of them. The
+        // calibration pass resets the engine once per probe, so this is on
+        // its hot path.
+        for (s, occ) in self.occ.iter_mut().enumerate() {
+            if *occ > 0 {
+                let base = s * self.ways;
+                let used = base + *occ as usize;
+                self.tags[base..used].fill(TAG_EMPTY);
+                self.dirty[base..used].fill(0);
+                *occ = 0;
             }
         }
         self.stats = CacheStats::default();
     }
 
+    #[inline]
     fn set_and_tag(&self, line: u64) -> (usize, u64) {
-        let num_sets = self.cfg.num_sets();
-        ((line % num_sets) as usize, line / num_sets)
+        ((line & self.set_mask) as usize, line >> self.tag_shift)
     }
 
     /// Probes the cache with a line address (`byte_addr / line_bytes`).
@@ -131,28 +192,100 @@ impl L2Cache {
     /// `write` marks the line dirty (write-allocate policy: missing writes
     /// install the line too). Updates LRU order and statistics, and reports
     /// whether a dirty eviction occurred.
+    #[inline]
     pub fn access_line(&mut self, line: u64, write: bool) -> Access {
         let (set_idx, tag) = self.set_and_tag(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|s| s.valid && s.tag == tag) {
-            let mut slot = set.remove(pos);
-            slot.dirty |= write;
-            set.insert(0, slot);
+        debug_assert!(tag < TAG_EMPTY, "line address collides with the empty sentinel");
+        self.tick += 1;
+        let base = set_idx * self.ways;
+        // Branchless hit scan: empty slots hold TAG_EMPTY and never match,
+        // and a set holds each tag at most once.
+        let set_tags = &self.tags[base..base + self.ways];
+        let mut hit = usize::MAX;
+        for (i, &t) in set_tags.iter().enumerate() {
+            if t == tag {
+                hit = i;
+            }
+        }
+        if hit != usize::MAX {
+            let slot = base + hit;
+            if write {
+                self.dirty[slot] = 1;
+            }
+            self.stamps[slot] = self.tick;
             self.stats.hits += 1;
             return Access::Hit;
         }
         self.stats.misses += 1;
-        // Victim: last (LRU) slot; prefer an invalid slot if one exists.
-        let victim_pos =
-            set.iter().rposition(|s| !s.valid).unwrap_or(set.len() - 1);
-        let victim = set.remove(victim_pos);
-        set.insert(0, LineSlot { tag, dirty: write, valid: true });
-        if victim.valid && victim.dirty {
+        // Victim: the next empty slot if the set is not full (occupied
+        // slots are compacted at the front), else the valid slot with the
+        // smallest stamp (true LRU).
+        let occ = self.occ[set_idx] as usize;
+        let (victim, dirty_evict) = if occ < self.ways {
+            self.occ[set_idx] = occ as u8 + 1;
+            (base + occ, false)
+        } else {
+            let mut lru = base;
+            let mut lru_stamp = self.stamps[base];
+            for i in base + 1..base + self.ways {
+                if self.stamps[i] < lru_stamp {
+                    lru_stamp = self.stamps[i];
+                    lru = i;
+                }
+            }
+            (lru, self.dirty[lru] != 0)
+        };
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.tick;
+        self.dirty[victim] = write as u8;
+        if dirty_evict {
             self.stats.writebacks += 1;
             Access::MissDirtyEvict
         } else {
             Access::Miss
         }
+    }
+
+    /// Touches a line as a read without recording statistics: behaviorally
+    /// identical to `access_line(line, false)` (same residency, LRU order
+    /// and eviction choices) minus the hit/miss bookkeeping. For harnesses
+    /// that pre-warm the cache and then discard the warm-up statistics —
+    /// the calibration pass issues millions of these per schedule.
+    #[inline]
+    pub fn warm_line(&mut self, line: u64) {
+        let (set_idx, tag) = self.set_and_tag(line);
+        debug_assert!(tag < TAG_EMPTY, "line address collides with the empty sentinel");
+        self.tick += 1;
+        let base = set_idx * self.ways;
+        let set_tags = &self.tags[base..base + self.ways];
+        let mut hit = usize::MAX;
+        for (i, &t) in set_tags.iter().enumerate() {
+            if t == tag {
+                hit = i;
+            }
+        }
+        if hit != usize::MAX {
+            self.stamps[base + hit] = self.tick;
+            return;
+        }
+        let occ = self.occ[set_idx] as usize;
+        let victim = if occ < self.ways {
+            self.occ[set_idx] = occ as u8 + 1;
+            base + occ
+        } else {
+            let mut lru = base;
+            let mut lru_stamp = self.stamps[base];
+            for i in base + 1..base + self.ways {
+                if self.stamps[i] < lru_stamp {
+                    lru_stamp = self.stamps[i];
+                    lru = i;
+                }
+            }
+            lru
+        };
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.tick;
+        self.dirty[victim] = 0;
     }
 
     /// Probes the cache with a byte address (convenience for tests).
@@ -164,7 +297,8 @@ impl L2Cache {
     /// order or statistics).
     pub fn contains_line(&self, line: u64) -> bool {
         let (set_idx, tag) = self.set_and_tag(line);
-        self.sets[set_idx].iter().any(|s| s.valid && s.tag == tag)
+        let base = set_idx * self.ways;
+        self.tags[base..base + self.ways].contains(&tag)
     }
 
     /// Invalidates one line if present, dropping its contents without a
@@ -172,26 +306,34 @@ impl L2Cache {
     /// cached copy stale.
     pub fn invalidate_line(&mut self, line: u64) {
         let (set_idx, tag) = self.set_and_tag(line);
-        if let Some(pos) =
-            self.sets[set_idx].iter().position(|s| s.valid && s.tag == tag)
-        {
-            self.sets[set_idx][pos].valid = false;
-            self.sets[set_idx][pos].dirty = false;
+        let base = set_idx * self.ways;
+        for i in base..base + self.ways {
+            if self.tags[i] == tag {
+                // Back-fill the hole with the set's last occupied slot so
+                // valid slots stay compacted at the front (slot order
+                // within a set is not observable).
+                let last = base + self.occ[set_idx] as usize - 1;
+                self.tags[i] = self.tags[last];
+                self.stamps[i] = self.stamps[last];
+                self.dirty[i] = self.dirty[last];
+                self.tags[last] = TAG_EMPTY;
+                self.dirty[last] = 0;
+                self.occ[set_idx] -= 1;
+                return;
+            }
         }
     }
 
     /// Number of currently valid lines (diagnostic).
     pub fn resident_lines(&self) -> u64 {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|slot| slot.valid).count() as u64)
-            .sum()
+        self.tags.iter().filter(|&&t| t != TAG_EMPTY).count() as u64
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64;
 
     fn small_cache() -> L2Cache {
         // 4 sets x 2 ways x 64 B lines = 512 B.
@@ -205,7 +347,15 @@ mod tests {
         assert_eq!(c.access_line(5, false), Access::Hit);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
-        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert!(c.stats().has_accesses());
+        assert!((c.stats().hit_rate().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_is_none_without_accesses() {
+        let c = small_cache();
+        assert!(!c.stats().has_accesses());
+        assert_eq!(c.stats().hit_rate(), None);
     }
 
     #[test]
@@ -310,5 +460,140 @@ mod tests {
         c.access_line(8, false); // evicts LRU = 0
         assert!(!c.contains_line(0));
         assert!(c.contains_line(4));
+    }
+
+    /// `warm_line` leaves the cache in exactly the state of a read probe —
+    /// same residency, LRU order and eviction choices — differing only in
+    /// the recorded statistics.
+    #[test]
+    fn warm_line_matches_read_access() {
+        for seed in 16..24u64 {
+            let mut rng = SplitMix64::new(seed);
+            let cfg = CacheConfig::new(2048, 4, 64);
+            let mut warmed = L2Cache::new(cfg);
+            let mut probed = L2Cache::new(cfg);
+            for _ in 0..4_000 {
+                let line = rng.gen_range_u64(0, 96);
+                if rng.gen_bool() {
+                    warmed.warm_line(line);
+                    probed.access_line(line, false);
+                } else {
+                    // Interleave ordinary (possibly writing) probes so the
+                    // comparison covers dirty lines and full sets.
+                    let w = rng.gen_bool();
+                    assert_eq!(warmed.access_line(line, w), probed.access_line(line, w));
+                }
+                assert_eq!(warmed.tags, probed.tags);
+                assert_eq!(warmed.stamps, probed.stamps);
+                assert_eq!(warmed.dirty, probed.dirty);
+                assert_eq!(warmed.occ, probed.occ);
+            }
+        }
+    }
+
+    /// Replica of the pre-packed-array model: per-set `Vec` kept in MRU
+    /// order, hits `remove` + `insert(0)`, misses prefer the last invalid
+    /// slot (`rposition`) and otherwise evict the final (LRU) slot.
+    struct MruVecCache {
+        num_sets: u64,
+        sets: Vec<Vec<(u64, bool, bool)>>, // (tag, dirty, valid)
+        stats: CacheStats,
+    }
+
+    impl MruVecCache {
+        fn new(cfg: &CacheConfig) -> Self {
+            MruVecCache {
+                num_sets: cfg.num_sets(),
+                sets: vec![vec![(0, false, false); cfg.ways as usize]; cfg.num_sets() as usize],
+                stats: CacheStats::default(),
+            }
+        }
+
+        fn access_line(&mut self, line: u64, write: bool) -> Access {
+            let (set_idx, tag) = ((line % self.num_sets) as usize, line / self.num_sets);
+            let set = &mut self.sets[set_idx];
+            if let Some(pos) = set.iter().position(|s| s.2 && s.0 == tag) {
+                let mut slot = set.remove(pos);
+                slot.1 |= write;
+                set.insert(0, slot);
+                self.stats.hits += 1;
+                return Access::Hit;
+            }
+            self.stats.misses += 1;
+            let victim_pos = set.iter().rposition(|s| !s.2).unwrap_or(set.len() - 1);
+            let victim = set.remove(victim_pos);
+            set.insert(0, (tag, write, true));
+            if victim.2 && victim.1 {
+                self.stats.writebacks += 1;
+                Access::MissDirtyEvict
+            } else {
+                Access::Miss
+            }
+        }
+
+        fn contains_line(&self, line: u64) -> bool {
+            let (set_idx, tag) = ((line % self.num_sets) as usize, line / self.num_sets);
+            self.sets[set_idx].iter().any(|s| s.2 && s.0 == tag)
+        }
+
+        fn invalidate_line(&mut self, line: u64) {
+            let (set_idx, tag) = ((line % self.num_sets) as usize, line / self.num_sets);
+            if let Some(pos) = self.sets[set_idx].iter().position(|s| s.2 && s.0 == tag) {
+                self.sets[set_idx][pos].2 = false;
+                self.sets[set_idx][pos].1 = false;
+            }
+        }
+
+        fn flush(&mut self) {
+            for set in &mut self.sets {
+                for slot in set.iter_mut() {
+                    slot.2 = false;
+                    slot.1 = false;
+                }
+            }
+            self.stats = CacheStats::default();
+        }
+    }
+
+    /// The packed timestamp model reproduces the exact hit/miss/writeback
+    /// sequence of the old MRU-ordered-`Vec` true-LRU model on recorded
+    /// randomized probe streams (including invalidations and flushes,
+    /// which the cross-crate property test does not exercise).
+    #[test]
+    fn packed_model_matches_mru_vec_model() {
+        for seed in 0..16u64 {
+            let mut rng = SplitMix64::new(seed);
+            let cfg = CacheConfig::new(2048, 4, 64); // 8 sets x 4 ways
+            let mut packed = L2Cache::new(cfg);
+            let mut reference = MruVecCache::new(&cfg);
+            for step in 0..4_000usize {
+                // Small line universe (3x capacity) so sets stay contended.
+                let line = rng.gen_range_u64(0, 96);
+                match rng.gen_range_u32(0, 16) {
+                    0 => {
+                        packed.invalidate_line(line);
+                        reference.invalidate_line(line);
+                    }
+                    1 => assert_eq!(
+                        packed.contains_line(line),
+                        reference.contains_line(line),
+                        "seed {seed} step {step}"
+                    ),
+                    2 if step % 1_000 == 999 => {
+                        packed.flush();
+                        reference.flush();
+                    }
+                    k => {
+                        let write = k % 2 == 0;
+                        assert_eq!(
+                            packed.access_line(line, write),
+                            reference.access_line(line, write),
+                            "seed {seed} step {step} line {line} write {write}"
+                        );
+                    }
+                }
+                assert_eq!(packed.stats(), reference.stats, "seed {seed} step {step}");
+            }
+        }
     }
 }

@@ -34,7 +34,7 @@ use crate::work::BlockWork;
 /// use gpu_sim::{Engine, GpuConfig, FreqConfig, BlockWork, WarpWork, Txn};
 /// let mut gpu = Engine::new(GpuConfig::gtx960m(), FreqConfig::default());
 /// let block = BlockWork {
-///     warps: vec![WarpWork { txns: vec![Txn { line: 0, write: false }], compute_cycles: 8 }],
+///     warps: vec![WarpWork { txns: vec![Txn::new(0, false)], compute_cycles: 8 }],
 /// };
 /// let stats = gpu.launch(&[&block], 32);
 /// assert_eq!(stats.l2_misses, 1); // cold cache
@@ -179,23 +179,30 @@ impl Engine {
         let mut stats = LaunchStats { blocks: blocks.len() as u32, ..Default::default() };
         let mut total_cycles = 0.0_f64;
 
+        // Cursor over each resident warp's transaction stream.
+        struct WarpCursor<'a> {
+            sm: usize,
+            txns: &'a [crate::work::Txn],
+            next: usize,
+            service: f64,
+            miss_service: f64,
+        }
+        // Per-wave scratch, allocated once and reused across waves.
+        let mut cursors: Vec<WarpCursor<'_>> = Vec::new();
+        let mut sm_issue = vec![0.0_f64; num_sms];
+        let mut sm_warps = vec![0u32; num_sms];
+        let mut sm_service = vec![0.0_f64; num_sms];
+        let mut sm_miss_service = vec![0.0_f64; num_sms];
+        let mut sm_txns = vec![0u64; num_sms];
+
         for wave in blocks.chunks(wave_cap) {
             stats.waves += 1;
-            // Cursor over each resident warp's transaction stream:
-            // (sm, service_cycles_accumulator ref handled below).
-            struct WarpCursor<'a> {
-                sm: usize,
-                txns: &'a [crate::work::Txn],
-                next: usize,
-                service: f64,
-                miss_service: f64,
-            }
-            let mut cursors: Vec<WarpCursor<'_>> = Vec::new();
-            let mut sm_issue = vec![0.0_f64; num_sms];
-            let mut sm_warps = vec![0u32; num_sms];
-            let mut sm_service = vec![0.0_f64; num_sms];
-            let mut sm_miss_service = vec![0.0_f64; num_sms];
-            let mut sm_txns = vec![0u64; num_sms];
+            cursors.clear();
+            sm_issue.fill(0.0);
+            sm_warps.fill(0);
+            sm_service.fill(0.0);
+            sm_miss_service.fill(0.0);
+            sm_txns.fill(0);
             let mut wave_dram_bytes = 0u64;
 
             for (i, block) in wave.iter().enumerate() {
@@ -222,28 +229,29 @@ impl Engine {
                         let t = c.txns[c.next];
                         c.next += 1;
                         remaining -= 1;
+                        let (line, write) = (t.line(), t.write());
                         if !l1s.is_empty() {
-                            if t.write {
+                            if write {
                                 // Stores bypass the L1 but invalidate any
                                 // stale copy in the issuing SM's L1.
-                                l1s[c.sm].invalidate_line(t.line);
-                            } else if l1s[c.sm].access_line(t.line, false).is_hit() {
+                                l1s[c.sm].invalidate_line(line);
+                            } else if l1s[c.sm].access_line(line, false).is_hit() {
                                 stats.l1_hits += 1;
                                 c.service += l1_lat;
                                 continue;
                             }
                         }
-                        match self.cache.access_line(t.line, t.write) {
+                        match self.cache.access_line(line, write) {
                             Access::Hit => {
                                 stats.l2_hits += 1;
-                                if !t.write {
+                                if !write {
                                     stats.l2_read_hits += 1;
                                 }
                                 c.service += hit_lat;
                             }
                             Access::Miss => {
                                 stats.l2_misses += 1;
-                                if !t.write {
+                                if !write {
                                     stats.l2_read_misses += 1;
                                 }
                                 c.service += miss_lat;
@@ -252,7 +260,7 @@ impl Engine {
                             }
                             Access::MissDirtyEvict => {
                                 stats.l2_misses += 1;
-                                if !t.write {
+                                if !write {
                                     stats.l2_read_misses += 1;
                                 }
                                 c.service += miss_lat;
@@ -377,7 +385,7 @@ mod tests {
             warps: (0..warps as u64)
                 .map(|w| WarpWork {
                     txns: (0..lines_per_warp)
-                        .map(|i| Txn { line: base + w * lines_per_warp + i, write: false })
+                        .map(|i| Txn::new(base + w * lines_per_warp + i, false))
                         .collect(),
                     compute_cycles: 4 * lines_per_warp,
                 })
@@ -409,7 +417,7 @@ mod tests {
         let b = block(0, 8, 6);
         let cold = gpu.launch(&[&b], 256);
         let warm = gpu.launch(&[&b], 256);
-        assert!(warm.hit_rate() > cold.hit_rate());
+        assert!(warm.hit_rate().unwrap() > cold.hit_rate().unwrap());
         assert!(warm.issue_efficiency() >= cold.issue_efficiency());
         assert!(warm.mem_dependency_stall_share() <= cold.mem_dependency_stall_share());
         assert_eq!(warm.dram_bytes, 0);
@@ -586,7 +594,7 @@ mod tests {
         let reuse_block = BlockWork {
             warps: (0..4)
                 .map(|_| WarpWork {
-                    txns: (0..8).map(|i| Txn { line: i % 2, write: false }).collect(),
+                    txns: (0..8).map(|i| Txn::new(i % 2, false)).collect(),
                     compute_cycles: 8,
                 })
                 .collect(),
@@ -628,9 +636,9 @@ mod tests {
         let block = BlockWork {
             warps: vec![WarpWork {
                 txns: vec![
-                    Txn { line: 5, write: false },
-                    Txn { line: 5, write: true },
-                    Txn { line: 5, write: false },
+                    Txn::new(5, false),
+                    Txn::new(5, true),
+                    Txn::new(5, false),
                 ],
                 compute_cycles: 2,
             }],

@@ -31,10 +31,10 @@
 //!
 //! let mut gpu = Engine::new(GpuConfig::gtx960m(), FreqConfig::new(1324.0, 5010.0));
 //! let producer = BlockWork {
-//!     warps: vec![WarpWork { txns: vec![Txn { line: 7, write: true }], compute_cycles: 4 }],
+//!     warps: vec![WarpWork { txns: vec![Txn::new(7, true)], compute_cycles: 4 }],
 //! };
 //! let consumer = BlockWork {
-//!     warps: vec![WarpWork { txns: vec![Txn { line: 7, write: false }], compute_cycles: 4 }],
+//!     warps: vec![WarpWork { txns: vec![Txn::new(7, false)], compute_cycles: 4 }],
 //! };
 //! gpu.launch(&[&producer], 32);
 //! let stats = gpu.launch(&[&consumer], 32);

@@ -42,26 +42,21 @@ pub struct LaunchStats {
 }
 
 impl LaunchStats {
-    /// L2 hit rate over the launch's transactions, in `[0, 1]`.
-    pub fn hit_rate(&self) -> f64 {
+    /// L2 hit rate over the launch's transactions, in `[0, 1]`, or `None`
+    /// when the launch issued no memory transactions — distinguishable from
+    /// a genuinely cold (all-miss) run.
+    pub fn hit_rate(&self) -> Option<f64> {
         let total = self.l2_hits + self.l2_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.l2_hits as f64 / total as f64
-        }
+        (total > 0).then(|| self.l2_hits as f64 / total as f64)
     }
 
-    /// L2 hit rate over read (load) transactions only, in `[0, 1]` — the
-    /// metric the NVIDIA profiler reports as "L2 hit rate (reads)". Write
-    /// misses are write-allocate fills and do not stall warps the same way.
-    pub fn read_hit_rate(&self) -> f64 {
+    /// L2 hit rate over read (load) transactions only — the metric the
+    /// NVIDIA profiler reports as "L2 hit rate (reads)"; write misses are
+    /// write-allocate fills and do not stall warps the same way. `None`
+    /// when the launch issued no read transactions.
+    pub fn read_hit_rate(&self) -> Option<f64> {
         let total = self.l2_read_hits + self.l2_read_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.l2_read_hits as f64 / total as f64
-        }
+        (total > 0).then(|| self.l2_read_hits as f64 / total as f64)
     }
 
     /// Warp issue efficiency: share of active scheduler cycles in which at
@@ -153,7 +148,7 @@ mod tests {
             other_stall_cycles: 360.0,
             ..Default::default()
         };
-        assert!((s.hit_rate() - 0.35).abs() < 1e-12);
+        assert!((s.hit_rate().unwrap() - 0.35).abs() < 1e-12);
         assert!((s.issue_efficiency() - 0.31).abs() < 1e-12);
         assert!((s.mem_dependency_stall_share() - 0.64).abs() < 1e-12);
         assert!((s.blocks_per_usec() - 20.0).abs() < 1e-12);
@@ -166,13 +161,14 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.time_ns, 15.0);
         assert_eq!(a.blocks, 3);
-        assert!((a.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((a.hit_rate().unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn empty_stats_are_well_defined() {
         let s = LaunchStats::default();
-        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.hit_rate(), None);
+        assert_eq!(s.read_hit_rate(), None);
         assert_eq!(s.issue_efficiency(), 0.0);
         assert_eq!(s.mem_dependency_stall_share(), 0.0);
         assert_eq!(s.blocks_per_usec(), 0.0);

@@ -10,12 +10,46 @@
 
 /// A coalesced memory transaction: one cache line touched by one warp
 /// memory instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Txn {
-    /// Line address (`byte_addr / line_bytes`).
-    pub line: u64,
+///
+/// Packed into a single word — the write flag lives in the top bit — so a
+/// trace streams through the replay loop at 8 bytes per transaction
+/// instead of 16. Transaction streams are the bulk of what calibration
+/// reads from memory, so the layout is half its DRAM traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Txn(u64);
+
+impl Txn {
+    const WRITE_BIT: u64 = 1 << 63;
+
+    /// Creates a transaction touching `line` (`byte_addr / line_bytes`).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `line` uses the top bit (line addresses are byte
+    /// addresses divided by the line size, far below `2^63`).
+    #[inline]
+    pub fn new(line: u64, write: bool) -> Self {
+        debug_assert!(line < Self::WRITE_BIT, "line address overflows the packed layout");
+        Txn(line | if write { Self::WRITE_BIT } else { 0 })
+    }
+
+    /// The line address.
+    #[inline]
+    pub fn line(self) -> u64 {
+        self.0 & !Self::WRITE_BIT
+    }
+
     /// Whether the transaction writes the line.
-    pub write: bool,
+    #[inline]
+    pub fn write(self) -> bool {
+        self.0 & Self::WRITE_BIT != 0
+    }
+}
+
+impl std::fmt::Debug for Txn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn").field("line", &self.line()).field("write", &self.write()).finish()
+    }
 }
 
 /// The replayable work of one warp: ordered transactions plus compute issue
@@ -62,7 +96,7 @@ mod tests {
     #[test]
     fn issue_cycles_count_memory_and_compute() {
         let w = WarpWork {
-            txns: vec![Txn { line: 1, write: false }, Txn { line: 2, write: true }],
+            txns: vec![Txn::new(1, false), Txn::new(2, true)],
             compute_cycles: 10,
         };
         assert_eq!(w.issue_cycles(), 12);

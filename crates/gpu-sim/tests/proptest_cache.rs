@@ -88,7 +88,8 @@ fn stats_are_consistent() {
         }
         let stats = cache.stats();
         assert_eq!(stats.accesses(), n, "seed {seed}");
-        assert!((0.0..=1.0).contains(&stats.hit_rate()), "seed {seed}");
+        let rate = stats.hit_rate().expect("accesses were recorded");
+        assert!((0.0..=1.0).contains(&rate), "seed {seed}");
         assert!(stats.writebacks <= stats.misses, "seed {seed}");
     }
 }

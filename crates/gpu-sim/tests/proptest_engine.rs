@@ -13,7 +13,7 @@ fn arb_block(rng: &mut SplitMix64) -> BlockWork {
             let num_txns = rng.gen_range_usize(1, 12);
             WarpWork {
                 txns: (0..num_txns)
-                    .map(|_| Txn { line: rng.gen_range_u64(0, 20_000), write: rng.gen_bool() })
+                    .map(|_| Txn::new(rng.gen_range_u64(0, 20_000), rng.gen_bool()))
                     .collect(),
                 compute_cycles: rng.gen_range_u64(0, 64),
             }

@@ -115,8 +115,8 @@ mod tests {
         // A warp's loads coalesce to 1 line, but its stores stride across
         // 32 different rows = 32 lines: store transactions dominate.
         let w0 = &t.work.warps[0];
-        let loads = w0.txns.iter().filter(|t| !t.write).count();
-        let stores = w0.txns.iter().filter(|t| t.write).count();
+        let loads = w0.txns.iter().filter(|t| !t.write()).count();
+        let stores = w0.txns.iter().filter(|t| t.write()).count();
         assert!(stores > 8 * loads, "loads {loads}, stores {stores}");
     }
 }

@@ -18,7 +18,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use gpu_sim::{BlockWork, DeviceMemory};
-use trace::{BlockDepGraph, BlockRef, BlockTrace, DepGraphBuilder, ExecCtx, TraceRecorder};
+use trace::{
+    build_dep_graph, coalesce_blocks, BlockDepGraph, BlockRef, BlockTrace, ExecCtx,
+    RawBlockTrace, TraceRecorder,
+};
 
 use crate::dag::{topo_order, CycleError};
 use crate::graph::{AppGraph, NodeId, NodeOp};
@@ -92,6 +95,8 @@ fn transfer_trace(buf: gpu_sim::Buffer, write: bool, line_bytes: u64) -> BlockTr
 /// `line_bytes` must match the cache-line size of the device the schedule
 /// will later run on (footprints are counted in lines).
 ///
+/// Equivalent to [`analyze_with`] at the machine's available parallelism.
+///
 /// # Errors
 ///
 /// Returns [`CycleError`] if the graph is not a DAG.
@@ -100,9 +105,30 @@ pub fn analyze(
     mem: &mut DeviceMemory,
     line_bytes: u64,
 ) -> Result<GraphTrace, CycleError> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+    analyze_with(g, mem, line_bytes, threads)
+}
+
+/// [`analyze`] with an explicit worker count for the host-side passes.
+///
+/// Kernel execution itself stays serial (later nodes read earlier nodes'
+/// output values), but the two post-processing passes fan out across
+/// `threads` workers: per-block trace coalescing (sort/dedup/`LineSet`,
+/// via [`coalesce_blocks`]) and the sharded last-writer dependency pass
+/// (via [`build_dep_graph`]). Both are deterministic — the result is
+/// identical for every `threads` value, including 1.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the graph is not a DAG.
+pub fn analyze_with(
+    g: &AppGraph,
+    mem: &mut DeviceMemory,
+    line_bytes: u64,
+    threads: usize,
+) -> Result<GraphTrace, CycleError> {
     let order = topo_order(g)?;
     let mut rec = TraceRecorder::new(line_bytes);
-    let mut dep = DepGraphBuilder::new();
     let mut cache: HashMap<String, Arc<Vec<BlockTrace>>> = HashMap::new();
     let mut nodes: Vec<Option<NodeTrace>> = (0..g.num_nodes()).map(|_| None).collect();
 
@@ -122,19 +148,20 @@ pub fn analyze(
                         rec.begin_block(dims.threads_per_block());
                         let mut ctx = ExecCtx::new(mem, &mut rec);
                         k.execute_block(block, &mut ctx);
-                        let _ = rec.finish_block();
+                        let _ = rec.finish_block_raw();
                     }
                     rec.set_enabled(true);
                     shared
                 } else {
-                    let mut blocks = Vec::with_capacity(dims.num_blocks() as usize);
+                    let mut raw: Vec<RawBlockTrace> =
+                        Vec::with_capacity(dims.num_blocks() as usize);
                     for block in dims.blocks() {
                         rec.begin_block(dims.threads_per_block());
                         let mut ctx = ExecCtx::new(mem, &mut rec);
                         k.execute_block(block, &mut ctx);
-                        blocks.push(rec.finish_block());
+                        raw.push(rec.finish_block_raw());
                     }
-                    let shared = Arc::new(blocks);
+                    let shared = Arc::new(coalesce_blocks(raw, threads));
                     if let Some(s) = sig {
                         cache.insert(s, Arc::clone(&shared));
                     }
@@ -149,15 +176,28 @@ pub fn analyze(
                 Arc::new(vec![transfer_trace(*buf, false, line_bytes)])
             }
         };
-        for (b, t) in traces.iter().enumerate() {
-            dep.visit_block(BlockRef::new(id.0, b as u32), t);
-        }
         nodes[id.0 as usize] = Some(NodeTrace { blocks: traces });
     }
 
+    // Dependency pass over the completed traces, in the same program order
+    // the execution loop used (traces are immutable once recorded, so
+    // resolving reads here is equivalent to resolving them during the run).
+    let visits: Vec<(BlockRef, &BlockTrace)> = order
+        .iter()
+        .flat_map(|&id| {
+            let nt = nodes[id.0 as usize].as_ref().expect("topo order covers all nodes");
+            nt.blocks
+                .iter()
+                .enumerate()
+                .map(move |(b, t)| (BlockRef::new(id.0, b as u32), t))
+        })
+        .collect();
+    let deps = build_dep_graph(&visits, threads);
+    drop(visits);
+
     Ok(GraphTrace {
         nodes: nodes.into_iter().map(|n| n.expect("topo order covers all nodes")).collect(),
-        deps: dep.finish(),
+        deps,
         order,
     })
 }
@@ -261,6 +301,21 @@ mod tests {
         assert_eq!(mem.read_f32(b1, 0), 3.0);
         // Dependencies still chain correctly through the shared traces.
         assert_eq!(gt.deps.deps_of(BlockRef::new(k3.0, 0)), &[BlockRef::new(k2.0, 0)]);
+    }
+
+    #[test]
+    fn analyze_with_is_thread_invariant() {
+        let (g, mut mem, _, _) = pipeline(false);
+        let serial = analyze_with(&g, &mut mem, 128, 1).unwrap();
+        for threads in [2usize, 4] {
+            let (g2, mut mem2, _, _) = pipeline(false);
+            let parallel = analyze_with(&g2, &mut mem2, 128, threads).unwrap();
+            assert_eq!(parallel.deps, serial.deps, "threads {threads}");
+            assert_eq!(parallel.order, serial.order, "threads {threads}");
+            for (a, b) in serial.nodes.iter().zip(&parallel.nodes) {
+                assert_eq!(*a.blocks, *b.blocks, "threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ mod dot;
 mod graph;
 mod kernel;
 
-pub use analyze::{analyze, GraphTrace, NodeTrace};
+pub use analyze::{analyze, analyze_with, GraphTrace, NodeTrace};
 pub use check::{check_edges, EdgeCheck};
 pub use dag::{is_connected_subgraph, reachable, topo_order, CycleError};
 pub use dot::{block_deps_to_dot, to_dot};

@@ -112,10 +112,10 @@ pub struct CalibrationConfig {
     /// Maximum number of predecessors represented in masks (bits beyond
     /// this are ignored; the fallback lookup handles the rest).
     pub max_mask_preds: usize,
-    /// Worker threads for the simulator probes. Every probe runs on its own
-    /// fresh engine, so probes are independent; results are assembled in
-    /// probe order and are identical for any thread count. `1` is fully
-    /// serial.
+    /// Worker threads for the simulator probes. Probes are batched by
+    /// kernel/grid shape with a fixed batch→worker assignment, and every
+    /// probe starts from a reset engine, so results are assembled in probe
+    /// order and are identical for any thread count. `1` is fully serial.
     pub threads: usize,
 }
 
@@ -138,14 +138,31 @@ fn pred_line_ranges(g: &AppGraph, v: NodeId, p: NodeId, line_bytes: u64) -> Vec<
         .collect()
 }
 
+/// Sorts `(first, last)` line ranges and merges overlapping or adjacent
+/// ones, so range intersection below visits each line at most once.
+fn merge_ranges(mut ranges: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    ranges.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+    for (lo, hi) in ranges {
+        match merged.last_mut() {
+            Some(last) if lo <= last.1 + 1 => last.1 = last.1.max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    merged
+}
+
 /// Measures one sub-kernel launch of `node` over blocks `0..grid` on a
-/// fresh device, after installing in the L2 every line the sub-kernel
+/// reset device, after installing in the L2 every line the sub-kernel
 /// reads that falls in one of `warm_ranges`.
+///
+/// The engine is reset to its cold state first, so reusing one engine
+/// across many probes (as [`run_probes`] workers do) yields the same times
+/// as a fresh engine per probe — without re-paying cache construction.
 fn measure(
     g: &AppGraph,
     gt: &GraphTrace,
-    cfg: &GpuConfig,
-    freq: FreqConfig,
+    eng: &mut Engine,
     node: NodeId,
     grid: u32,
     warm_ranges: &[(u64, u64)],
@@ -154,17 +171,28 @@ fn measure(
         unreachable!("measure is only called for kernel nodes");
     };
     let nt = gt.node(node);
-    let mut eng = Engine::new(cfg.clone(), freq);
-    eng.set_inter_launch_gap_ns(0.0);
+    eng.reset();
     if !warm_ranges.is_empty() {
+        // Intersect each block's run-compressed footprint with the merged
+        // warm ranges: the same ascending per-block line sequence the old
+        // per-line membership scan produced, in O(runs + ranges) per block.
+        let warm = merge_ranges(warm_ranges.to_vec());
         for b in 0..grid {
-            for line in nt.blocks[b as usize].lines.iter() {
-                if warm_ranges.iter().any(|&(lo, hi)| line >= lo && line <= hi) {
-                    eng.cache_mut().access_line(line, false);
+            for &(start, len) in nt.blocks[b as usize].lines.runs() {
+                let run_end = start + len - 1;
+                for &(lo, hi) in &warm {
+                    if hi < start {
+                        continue;
+                    }
+                    if lo > run_end {
+                        break;
+                    }
+                    for line in start.max(lo)..=run_end.min(hi) {
+                        eng.cache_mut().warm_line(line);
+                    }
                 }
             }
         }
-        eng.cache_mut().reset_stats();
     }
     let work = nt.work_of(0..grid);
     eng.launch_res(&work, &k.resources()).time_ns
@@ -223,10 +251,15 @@ fn plan_probe(
     }
 }
 
-/// Runs every planned probe, fanning out over `threads` workers. Each probe
-/// simulates on its own fresh engine, so probes are fully independent; the
-/// result vector is indexed by job id, making the outcome identical for any
-/// thread count.
+/// Runs every planned probe, fanning out over `threads` workers.
+///
+/// Probes are batched by kernel/grid shape — jobs sharing a `(node, grid)`
+/// pair form one group, and a whole group always runs back-to-back on one
+/// worker, which reuses a single engine (resetting it between probes)
+/// instead of re-paying engine construction per probe. Groups are assigned
+/// to workers by a fixed rule (group index modulo `threads`), and the
+/// result vector is indexed by job id, so the outcome is identical for any
+/// thread count — including 1 — and independent of thread scheduling.
 fn run_probes(
     g: &AppGraph,
     gt: &GraphTrace,
@@ -235,32 +268,42 @@ fn run_probes(
     jobs: &[Probe],
     threads: usize,
 ) -> Vec<f64> {
-    let threads = threads.max(1).min(jobs.len().max(1));
-    if threads == 1 {
-        return jobs
-            .iter()
-            .map(|(node, grid, warm)| measure(g, gt, cfg, freq, *node, *grid, warm))
-            .collect();
+    let threads = threads.clamp(1, jobs.len().max(1));
+
+    // Group job ids by (node, grid) in first-seen order.
+    let mut group_of: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, (node, grid, _)) in jobs.iter().enumerate() {
+        let gid = *group_of.entry((node.0, *grid)).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[gid].push(i);
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    let run_worker = |worker: usize| -> Vec<(usize, f64)> {
+        let mut eng = Engine::new(cfg.clone(), freq);
+        eng.set_inter_launch_gap_ns(0.0);
+        let mut out: Vec<(usize, f64)> = Vec::new();
+        for group in groups.iter().skip(worker).step_by(threads) {
+            for &i in group {
+                let (node, grid, warm) = &jobs[i];
+                out.push((i, measure(g, gt, &mut eng, *node, *grid, warm)));
+            }
+        }
+        out
+    };
+
     let mut results = vec![0.0f64; jobs.len()];
+    if threads == 1 {
+        for (i, t) in run_worker(0) {
+            results[i] = t;
+        }
+        return results;
+    }
     std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out: Vec<(usize, f64)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        let (node, grid, warm) = &jobs[i];
-                        out.push((i, measure(g, gt, cfg, freq, *node, *grid, warm)));
-                    }
-                    out
-                })
-            })
-            .collect();
+        let run_worker = &run_worker;
+        let handles: Vec<_> = (0..threads).map(|w| s.spawn(move || run_worker(w))).collect();
         for h in handles {
             for (i, t) in h.join().expect("calibration probe worker panicked") {
                 results[i] = t;
@@ -526,6 +569,29 @@ mod tests {
             cold_missing.validate_for(&g),
             Err(KtilerError::EmptyPerfTable { node: Some(kgraph::NodeId(1)) })
         ));
+    }
+
+    #[test]
+    fn calibration_is_thread_invariant() {
+        let (g, gt, cfg) = setup();
+        let mk = |threads| {
+            let ccfg = CalibrationConfig { threads, ..CalibrationConfig::default() };
+            calibrate(&g, &gt, &cfg, FreqConfig::default(), &ccfg)
+        };
+        let serial = mk(1);
+        for threads in [2usize, 3] {
+            let par = mk(threads);
+            assert_eq!(par.default_times, serial.default_times, "threads {threads}");
+            assert_eq!(par.edge_weights, serial.edge_weights, "threads {threads}");
+            for v in g.node_ids() {
+                let full = g.node(v).num_blocks();
+                assert_eq!(
+                    par.estimate(v, 0, full),
+                    serial.estimate(v, 0, full),
+                    "threads {threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -305,8 +305,8 @@ mod tests {
         let ti =
             execute_schedule(&tiled, &g, &gt, &cfg, FreqConfig::default(), Some(0.0)).unwrap();
         assert!(
-            ti.stats.hit_rate() > def.stats.hit_rate(),
-            "tiled {} vs default {}",
+            ti.stats.hit_rate().unwrap() > def.stats.hit_rate().unwrap(),
+            "tiled {:?} vs default {:?}",
             ti.stats.hit_rate(),
             def.stats.hit_rate()
         );

@@ -12,8 +12,6 @@
 //! predecessor list ([`PredMask`]): bit `i` set means the output of the
 //! `i`-th predecessor is cache-resident.
 
-use std::collections::HashMap;
-
 use crate::error::KtilerError;
 
 /// Bitmask over a node's predecessors: which inputs are cache-resident.
@@ -40,7 +38,12 @@ const EXTRAPOLATION_FLOOR_FRAC: f64 = 1e-3;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PerfTable {
-    combos: HashMap<PredMask, Vec<(u32, f64)>>,
+    /// Sampled combinations, sorted by mask. The masks are few (cold,
+    /// one per predecessor, all) and lookups run in Algorithm 2's inner
+    /// loop, so a sorted `Vec` beats hashing — and, unlike a hash map,
+    /// iterating it is deterministic, which [`Self::best_mask`]'s
+    /// tie-break relies on.
+    combos: Vec<(PredMask, Vec<(u32, f64)>)>,
 }
 
 impl PerfTable {
@@ -59,23 +62,36 @@ impl PerfTable {
     pub fn insert(&mut self, mask: PredMask, grid: u32, time_ns: f64) {
         assert!(grid > 0, "grid size must be positive");
         assert!(time_ns.is_finite() && time_ns > 0.0, "time must be positive");
-        let points = self.combos.entry(mask).or_default();
+        let slot = match self.combos.binary_search_by_key(&mask, |&(m, _)| m) {
+            Ok(i) => i,
+            Err(i) => {
+                self.combos.insert(i, (mask, Vec::new()));
+                i
+            }
+        };
+        let points = &mut self.combos[slot].1;
         match points.binary_search_by_key(&grid, |&(g, _)| g) {
             Ok(i) => points[i].1 = time_ns,
             Err(i) => points.insert(i, (grid, time_ns)),
         }
     }
 
+    /// The sample points of `mask`, if any were recorded.
+    fn points_of(&self, mask: PredMask) -> Option<&[(u32, f64)]> {
+        self.combos
+            .binary_search_by_key(&mask, |&(m, _)| m)
+            .ok()
+            .map(|i| self.combos[i].1.as_slice())
+    }
+
     /// Whether any samples exist for `mask`.
     pub fn has_mask(&self, mask: PredMask) -> bool {
-        self.combos.contains_key(&mask)
+        self.points_of(mask).is_some()
     }
 
     /// The sampled masks, sorted.
     pub fn masks(&self) -> Vec<PredMask> {
-        let mut m: Vec<PredMask> = self.combos.keys().copied().collect();
-        m.sort_unstable();
-        m
+        self.combos.iter().map(|&(m, _)| m).collect()
     }
 
     /// Estimated execution time at `grid` blocks with the inputs in `mask`
@@ -95,23 +111,24 @@ impl PerfTable {
             return Err(KtilerError::ZeroGrid);
         }
         let points = self
-            .combos
-            .get(&self.best_mask(mask))
+            .points_of(self.best_mask(mask))
             .ok_or(KtilerError::EmptyPerfTable { node: None })?;
         Ok(interpolate(points, grid))
     }
 
     /// The sampled mask that best approximates `mask`: the sampled subset
-    /// of it with the most bits, preferring the exact match.
+    /// of it with the most bits, preferring the exact match. Popcount ties
+    /// go to the numerically smallest mask — a fixed rule, so the estimate
+    /// (and every schedule derived from it) is reproducible across runs.
     fn best_mask(&self, mask: PredMask) -> PredMask {
-        if self.combos.contains_key(&mask) {
+        if self.has_mask(mask) {
             return mask;
         }
         self.combos
-            .keys()
-            .copied()
+            .iter()
+            .map(|&(m, _)| m)
             .filter(|&m| m & mask == m)
-            .max_by_key(|m| m.count_ones())
+            .max_by_key(|&m| (m.count_ones(), std::cmp::Reverse(m)))
             .unwrap_or(0)
     }
 }
@@ -230,6 +247,21 @@ mod tests {
         assert_eq!(t.lookup(0b10, 10).unwrap(), 1000.0);
         // 0b111: best sampled subset is 0b11.
         assert_eq!(t.lookup(0b111, 10).unwrap(), 400.0);
+    }
+
+    #[test]
+    fn mask_fallback_ties_break_to_smallest_mask() {
+        // 0b011 and 0b101 are both 2-bit sampled subsets of 0b111; the
+        // tie must resolve the same way every run (and regardless of
+        // insertion order), or calibration-derived schedules would not be
+        // reproducible.
+        for order in [[0b011u32, 0b101], [0b101, 0b011]] {
+            let mut t = PerfTable::new();
+            t.insert(0b000, 10, 1000.0);
+            t.insert(order[0], 10, if order[0] == 0b011 { 600.0 } else { 700.0 });
+            t.insert(order[1], 10, if order[1] == 0b011 { 600.0 } else { 700.0 });
+            assert_eq!(t.lookup(0b111, 10).unwrap(), 600.0);
+        }
     }
 
     #[test]

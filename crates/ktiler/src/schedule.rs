@@ -265,7 +265,7 @@ mod tests {
             tiled.total_ns,
             def.total_ns
         );
-        assert!(tiled.stats.hit_rate() > def.stats.hit_rate());
+        assert!(tiled.stats.hit_rate().unwrap() > def.stats.hit_rate().unwrap());
     }
 
     #[test]

@@ -402,8 +402,8 @@ fn simulated_reuse_ok(
         for &b in &st.group {
             for warp in &nt.blocks[b as usize].work.warps {
                 for t in &warp.txns {
-                    let cold = first_touch.insert(t.line);
-                    let hit = cache.access_line(t.line, t.write).is_hit();
+                    let cold = first_touch.insert(t.line());
+                    let hit = cache.access_line(t.line(), t.write()).is_hit();
                     if !cold {
                         reuse_total += 1;
                         if hit {

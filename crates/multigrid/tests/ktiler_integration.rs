@@ -90,5 +90,5 @@ fn multigrid_tiling_gains_on_large_grids() {
         tiled.total_ns,
         def.total_ns
     );
-    assert!(tiled.stats.hit_rate() > def.stats.hit_rate());
+    assert!(tiled.stats.hit_rate().unwrap() > def.stats.hit_rate().unwrap());
 }

@@ -19,9 +19,8 @@
 //! Algorithm 2's `transitive_deps` walks — are two array lookups with no
 //! hashing, and the whole graph lives in six flat allocations.
 
-use std::collections::HashMap;
-
 use crate::record::BlockTrace;
+use crate::wordmap::WordMap;
 
 /// Identifies one thread block of one kernel node in the application graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,7 +47,7 @@ impl BlockRef {
 /// [`finish`]: DepGraphBuilder::finish
 #[derive(Debug, Default)]
 pub struct DepGraphBuilder {
-    last_writer: HashMap<u64, BlockRef>,
+    last_writer: WordMap,
     edges: Vec<(BlockRef, BlockRef)>,
     num_blocks: Vec<u32>,
 }
@@ -66,16 +65,17 @@ impl DepGraphBuilder {
     pub fn visit_block(&mut self, r: BlockRef, t: &BlockTrace) {
         let before = self.edges.len();
         for &word in &t.read_words {
-            if let Some(&producer) = self.last_writer.get(&word) {
+            if let Some(producer) = self.last_writer.get(word) {
                 if producer.node != r.node {
                     self.edges.push((r, producer));
                 }
             }
         }
         // Light per-visit dedup keeps the edge list near its final size;
-        // finish() dedups globally.
-        self.edges[before..].sort_unstable();
-        self.edges.dedup();
+        // finish() dedups globally. Only the freshly pushed tail is sorted
+        // and compacted — rescanning the full accumulated list here would
+        // make graph construction quadratic in the edge count.
+        dedup_tail(&mut self.edges, before);
         for &word in &t.write_words {
             self.last_writer.insert(word, r);
         }
@@ -89,45 +89,156 @@ impl DepGraphBuilder {
     /// Finishes construction: one global sort of the edge list, then the
     /// forward and reverse CSR layouts.
     pub fn finish(self) -> BlockDepGraph {
-        let DepGraphBuilder { mut edges, num_blocks, .. } = self;
-
-        // Flat slot index: node_base[n] + block.
-        let mut node_base: Vec<usize> = Vec::with_capacity(num_blocks.len() + 1);
-        let mut total = 0usize;
-        for &n in &num_blocks {
-            node_base.push(total);
-            total += n as usize;
-        }
-        node_base.push(total);
-        let slot = |r: BlockRef| node_base[r.node as usize] + r.block as usize;
-
-        edges.sort_unstable();
-        edges.dedup();
-
-        let mut deps_off: Vec<u32> = vec![0; total + 1];
-        for &(consumer, _) in &edges {
-            deps_off[slot(consumer) + 1] += 1;
-        }
-        for i in 0..total {
-            deps_off[i + 1] += deps_off[i];
-        }
-        let deps_edges: Vec<BlockRef> = edges.iter().map(|&(_, p)| p).collect();
-
-        // Reverse direction: re-sort by (producer, consumer).
-        let mut redges: Vec<(BlockRef, BlockRef)> =
-            edges.iter().map(|&(c, p)| (p, c)).collect();
-        redges.sort_unstable();
-        let mut rdeps_off: Vec<u32> = vec![0; total + 1];
-        for &(producer, _) in &redges {
-            rdeps_off[slot(producer) + 1] += 1;
-        }
-        for i in 0..total {
-            rdeps_off[i + 1] += rdeps_off[i];
-        }
-        let rdeps_edges: Vec<BlockRef> = redges.iter().map(|&(_, c)| c).collect();
-
-        BlockDepGraph { num_blocks, node_base, deps_off, deps_edges, rdeps_off, rdeps_edges }
+        let DepGraphBuilder { edges, num_blocks, .. } = self;
+        csr_from_edges(edges, num_blocks)
     }
+}
+
+/// Sorts and compacts the freshly pushed `edges[start..]` tail in place.
+///
+/// `visit_block` pushes one candidate edge per resolved read, so a block
+/// that reads a producer's words many times floods the tail with
+/// duplicates; this keeps the accumulated list near its final size without
+/// rescanning the (already tail-deduped) prefix.
+fn dedup_tail(edges: &mut Vec<(BlockRef, BlockRef)>, start: usize) {
+    let tail = &mut edges[start..];
+    if tail.len() < 2 {
+        return;
+    }
+    tail.sort_unstable();
+    let mut write = 1usize;
+    for read in 1..tail.len() {
+        if tail[read] != tail[write - 1] {
+            tail[write] = tail[read];
+            write += 1;
+        }
+    }
+    edges.truncate(start + write);
+}
+
+/// Lays out the forward and reverse CSR arrays from a raw edge list.
+///
+/// The edge list may contain duplicates and be in any order; one global
+/// sort + dedup canonicalizes it, which is what makes the sharded parallel
+/// builder's output byte-identical to the serial builder's.
+fn csr_from_edges(mut edges: Vec<(BlockRef, BlockRef)>, num_blocks: Vec<u32>) -> BlockDepGraph {
+    // Flat slot index: node_base[n] + block.
+    let mut node_base: Vec<usize> = Vec::with_capacity(num_blocks.len() + 1);
+    let mut total = 0usize;
+    for &n in &num_blocks {
+        node_base.push(total);
+        total += n as usize;
+    }
+    node_base.push(total);
+    let slot = |r: BlockRef| node_base[r.node as usize] + r.block as usize;
+
+    edges.sort_unstable();
+    edges.dedup();
+
+    let mut deps_off: Vec<u32> = vec![0; total + 1];
+    for &(consumer, _) in &edges {
+        deps_off[slot(consumer) + 1] += 1;
+    }
+    for i in 0..total {
+        deps_off[i + 1] += deps_off[i];
+    }
+    let deps_edges: Vec<BlockRef> = edges.iter().map(|&(_, p)| p).collect();
+
+    // Reverse direction: re-sort by (producer, consumer).
+    let mut redges: Vec<(BlockRef, BlockRef)> = edges.iter().map(|&(c, p)| (p, c)).collect();
+    redges.sort_unstable();
+    let mut rdeps_off: Vec<u32> = vec![0; total + 1];
+    for &(producer, _) in &redges {
+        rdeps_off[slot(producer) + 1] += 1;
+    }
+    for i in 0..total {
+        rdeps_off[i + 1] += rdeps_off[i];
+    }
+    let rdeps_edges: Vec<BlockRef> = redges.iter().map(|&(_, c)| c).collect();
+
+    BlockDepGraph { num_blocks, node_base, deps_off, deps_edges, rdeps_off, rdeps_edges }
+}
+
+/// Number of word-address shards of the parallel dependency builder.
+///
+/// The shard of a word is `word % DEP_SHARDS`; shard `s` is always handled
+/// by worker `s % threads`, so the worker→shard assignment (and therefore
+/// the output) does not depend on scheduling.
+pub const DEP_SHARDS: usize = 16;
+
+/// Builds a [`BlockDepGraph`] from a complete visit order by sharding the
+/// last-writer resolution across `threads` workers.
+///
+/// Each worker owns the word addresses with `word % DEP_SHARDS` in its
+/// shard set and replays the *full* visit order over only those words,
+/// maintaining a private [`WordMap`] and emitting a local edge list.
+/// Because a word's entire read/write history is seen by exactly one
+/// worker, in order, each local list is exactly the subset of the serial
+/// builder's edges contributed by that worker's words; concatenating the
+/// lists and canonicalizing through [`csr_from_edges`]'s global sort +
+/// dedup therefore yields a graph byte-identical to the serial
+/// [`DepGraphBuilder`]'s (asserted by a property test).
+///
+/// `visits` is the program-order sequence of `(block, trace)` pairs —
+/// the same sequence that would be fed to
+/// [`visit_block`](DepGraphBuilder::visit_block).
+pub fn build_dep_graph(visits: &[(BlockRef, &BlockTrace)], threads: usize) -> BlockDepGraph {
+    let threads = threads.clamp(1, DEP_SHARDS);
+
+    // Grid sizes are scheduling-independent; compute them serially.
+    let mut num_blocks: Vec<u32> = Vec::new();
+    for &(r, _) in visits {
+        if r.node as usize >= num_blocks.len() {
+            num_blocks.resize(r.node as usize + 1, 0);
+        }
+        let n = &mut num_blocks[r.node as usize];
+        *n = (*n).max(r.block + 1);
+    }
+
+    let worker = |id: usize| -> Vec<(BlockRef, BlockRef)> {
+        let mut last_writer = WordMap::new();
+        let mut edges: Vec<(BlockRef, BlockRef)> = Vec::new();
+        let owns = |word: u64| (word as usize % DEP_SHARDS) % threads == id;
+        for &(r, t) in visits {
+            let before = edges.len();
+            for &word in &t.read_words {
+                if !owns(word) {
+                    continue;
+                }
+                if let Some(producer) = last_writer.get(word) {
+                    if producer.node != r.node {
+                        edges.push((r, producer));
+                    }
+                }
+            }
+            dedup_tail(&mut edges, before);
+            for &word in &t.write_words {
+                if owns(word) {
+                    last_writer.insert(word, r);
+                }
+            }
+        }
+        edges
+    };
+
+    let edges = if threads == 1 {
+        worker(0)
+    } else {
+        let locals: Vec<Vec<(BlockRef, BlockRef)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads).map(|id| s.spawn(move || worker(id))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("dep-graph workers do not panic"))
+                .collect()
+        });
+        let mut merged = Vec::with_capacity(locals.iter().map(Vec::len).sum());
+        for local in locals {
+            merged.extend(local);
+        }
+        merged
+    };
+
+    csr_from_edges(edges, num_blocks)
 }
 
 /// The block-level dependency graph of an application, in CSR form.
@@ -135,7 +246,7 @@ impl DepGraphBuilder {
 /// Edges point from a consumer block to the producer blocks it depends on
 /// (`deps_of`), with the reverse direction available as `consumers_of`.
 /// Both adjacency lists are sorted.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BlockDepGraph {
     /// Blocks per node, indexed by node id.
     num_blocks: Vec<u32>,
@@ -391,6 +502,30 @@ mod tests {
         let g = b.finish();
         assert_eq!(g.blocks_of_node(3), 8);
         assert_eq!(g.blocks_of_node(99), 0);
+    }
+
+    #[test]
+    fn parallel_builder_matches_serial_on_stencil() {
+        // Same workload as `stencil_pattern_matches_paper_fig1b`, built
+        // serially and via the sharded builder at several thread counts.
+        let mut traces: Vec<(BlockRef, BlockTrace)> = Vec::new();
+        for i in 0..4u32 {
+            let words: Vec<u64> = (0..10).map(|k| (10 * i + k) as u64).collect();
+            traces.push((BlockRef::new(0, i), trace(&[], &words)));
+        }
+        let reads: Vec<u64> = (0..4u64).flat_map(|i| (0..4).map(move |k| 10 * i + k)).collect();
+        traces.push((BlockRef::new(1, 0), trace(&reads, &[100])));
+
+        let mut b = DepGraphBuilder::new();
+        for (r, t) in &traces {
+            b.visit_block(*r, t);
+        }
+        let serial = b.finish();
+
+        let visits: Vec<(BlockRef, &BlockTrace)> = traces.iter().map(|(r, t)| (*r, t)).collect();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(build_dep_graph(&visits, threads), serial, "threads {threads}");
+        }
     }
 
     #[test]

@@ -23,8 +23,12 @@ mod blockdep;
 mod footprint;
 mod lineset;
 mod record;
+mod wordmap;
 
-pub use blockdep::{BlockDepGraph, BlockRef, DepGraphBuilder};
+pub use blockdep::{build_dep_graph, BlockDepGraph, BlockRef, DepGraphBuilder, DEP_SHARDS};
 pub use footprint::{footprint_of, FootprintSet};
 pub use lineset::LineSet;
-pub use record::{AccessKind, BlockTrace, ExecCtx, ThreadAccess, TraceRecorder};
+pub use record::{
+    coalesce_blocks, AccessKind, BlockTrace, ExecCtx, RawBlockTrace, ThreadAccess, TraceRecorder,
+};
+pub use wordmap::WordMap;

@@ -80,6 +80,72 @@ impl BlockTrace {
     }
 }
 
+/// The uncoalesced trace of one finished block: warp transactions are
+/// final, but the word/line address sets are still unsorted multisets.
+///
+/// Produced by [`TraceRecorder::finish_block_raw`] when the caller wants to
+/// defer the sort/dedup/[`LineSet`] pass — the expensive part of trace
+/// finalization — e.g. to run it for many blocks in parallel via
+/// [`coalesce_blocks`]. [`coalesce`](RawBlockTrace::coalesce) turns it into
+/// the canonical [`BlockTrace`].
+#[derive(Debug, Clone, Default)]
+pub struct RawBlockTrace {
+    work: BlockWork,
+    read_words: Vec<u64>,
+    write_words: Vec<u64>,
+    lines: Vec<u64>,
+}
+
+impl RawBlockTrace {
+    /// Sorts and deduplicates the address sets and builds the
+    /// run-compressed line footprint, yielding the canonical trace. The
+    /// result is identical to what [`TraceRecorder::finish_block`] returns
+    /// for the same block.
+    pub fn coalesce(mut self) -> BlockTrace {
+        for set in [&mut self.read_words, &mut self.write_words, &mut self.lines] {
+            set.sort_unstable();
+            set.dedup();
+        }
+        BlockTrace {
+            work: self.work,
+            lines: LineSet::from_sorted(&self.lines),
+            read_words: self.read_words,
+            write_words: self.write_words,
+        }
+    }
+}
+
+/// Coalesces many raw block traces across `threads` workers.
+///
+/// Blocks are assigned to workers by contiguous index ranges and results
+/// are returned in input order, so the output is deterministic for any
+/// thread count (each element equals `raw[i].coalesce()`).
+pub fn coalesce_blocks(raw: Vec<RawBlockTrace>, threads: usize) -> Vec<BlockTrace> {
+    let threads = threads.clamp(1, raw.len().max(1));
+    if threads == 1 {
+        return raw.into_iter().map(RawBlockTrace::coalesce).collect();
+    }
+    let chunk = raw.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<RawBlockTrace>> = Vec::with_capacity(threads);
+    let mut rest = raw;
+    while !rest.is_empty() {
+        let tail = rest.split_off(chunk.min(rest.len()));
+        chunks.push(rest);
+        rest = tail;
+    }
+    let parts: Vec<Vec<BlockTrace>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(RawBlockTrace::coalesce).collect()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("coalesce workers do not panic"))
+            .collect()
+    });
+    parts.into_iter().flatten().collect()
+}
+
 /// Records the accesses of one block at a time and coalesces them into a
 /// [`BlockTrace`].
 ///
@@ -172,8 +238,19 @@ impl TraceRecorder {
     /// Panics if no block is active (unless recording is disabled, in which
     /// case an empty trace is returned).
     pub fn finish_block(&mut self) -> BlockTrace {
+        self.finish_block_raw().coalesce()
+    }
+
+    /// Ends the current block and returns its trace with the final
+    /// sort/dedup/[`LineSet`] pass deferred (see [`RawBlockTrace`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block is active (unless recording is disabled, in which
+    /// case an empty trace is returned).
+    pub fn finish_block_raw(&mut self) -> RawBlockTrace {
         if !self.enabled {
-            return BlockTrace::default();
+            return RawBlockTrace::default();
         }
         assert!(self.active, "no active block");
         self.active = false;
@@ -218,8 +295,8 @@ impl TraceRecorder {
                     set.sort_unstable();
                     set.dedup();
                 }
-                txns.extend(reads.iter().map(|&line| Txn { line, write: false }));
-                txns.extend(writes.iter().map(|&line| Txn { line, write: true }));
+                txns.extend(reads.iter().map(|&line| Txn::new(line, false)));
+                txns.extend(writes.iter().map(|&line| Txn::new(line, true)));
                 lines.extend(reads);
                 lines.extend(writes);
             }
@@ -234,17 +311,7 @@ impl TraceRecorder {
             warp.compute_cycles = self.compute[lo..hi].iter().copied().max().unwrap_or(0);
         }
 
-        for set in [&mut read_words, &mut write_words, &mut lines] {
-            set.sort_unstable();
-            set.dedup();
-        }
-
-        BlockTrace {
-            work: BlockWork { warps },
-            read_words,
-            write_words,
-            lines: LineSet::from_sorted(&lines),
-        }
+        RawBlockTrace { work: BlockWork { warps }, read_words, write_words, lines }
     }
 }
 
@@ -373,7 +440,7 @@ mod tests {
         // 32 consecutive f32 = 128 bytes = exactly one line transaction.
         assert_eq!(t.work.warps.len(), 1);
         assert_eq!(t.work.warps[0].txns.len(), 1);
-        assert!(!t.work.warps[0].txns[0].write);
+        assert!(!t.work.warps[0].txns[0].write());
         assert_eq!(t.lines.len(), 1);
         assert_eq!(t.read_words.len(), 32);
     }
@@ -403,7 +470,7 @@ mod tests {
         });
         assert!(t.read_words.is_empty());
         assert_eq!(t.write_words.len(), 32);
-        assert!(t.work.warps[0].txns[0].write);
+        assert!(t.work.warps[0].txns[0].write());
         assert_eq!(mem.read_f32(buf, 5), 1.0);
     }
 
@@ -468,8 +535,8 @@ mod tests {
         });
         let txns = &t.work.warps[0].txns;
         assert_eq!(txns.len(), 2);
-        assert!(!txns[0].write, "load instruction comes first");
-        assert!(txns[1].write, "store instruction comes second");
+        assert!(!txns[0].write(), "load instruction comes first");
+        assert!(txns[1].write(), "store instruction comes second");
     }
 
     #[test]
@@ -485,6 +552,56 @@ mod tests {
         let mut rec = TraceRecorder::new(128);
         rec.begin_block(1);
         rec.begin_block(1);
+    }
+
+    #[test]
+    fn raw_coalesce_matches_finish_block() {
+        // Record the same block twice — once through each path.
+        let run = |raw: bool| -> BlockTrace {
+            let mut mem = DeviceMemory::new();
+            let a = mem.alloc_f32(256, "a");
+            let b = mem.alloc_f32(256, "b");
+            let mut rec = TraceRecorder::new(128);
+            rec.begin_block(64);
+            let mut ctx = ExecCtx::new(&mut mem, &mut rec);
+            for tid in 0..64u32 {
+                // Strided + overlapping accesses so dedup has work to do.
+                let v = ctx.ld_f32(a, (tid as u64 * 3) % 256, tid);
+                let _ = ctx.ld_f32(a, (tid as u64 * 3) % 256, tid);
+                ctx.st_f32(b, tid as u64 / 2, v, tid);
+                ctx.compute(tid, tid as u64);
+            }
+            if raw {
+                rec.finish_block_raw().coalesce()
+            } else {
+                rec.finish_block()
+            }
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn coalesce_blocks_is_order_preserving_and_thread_invariant() {
+        let record_raw = |stride: u64| -> RawBlockTrace {
+            let mut mem = DeviceMemory::new();
+            let buf = mem.alloc_f32(32 * 32, "a");
+            let mut rec = TraceRecorder::new(128);
+            rec.begin_block(32);
+            let mut ctx = ExecCtx::new(&mut mem, &mut rec);
+            for tid in 0..32u32 {
+                let _ = ctx.ld_f32(buf, (tid as u64 * stride) % 1024, tid);
+            }
+            rec.finish_block_raw()
+        };
+        let raws: Vec<RawBlockTrace> = (1..=7).map(record_raw).collect();
+        let serial = coalesce_blocks(raws.clone(), 1);
+        for threads in [2, 3, 16] {
+            assert_eq!(coalesce_blocks(raws.clone(), threads), serial, "threads {threads}");
+        }
+        // Order preserved: block i is raws[i] coalesced.
+        for (i, t) in serial.iter().enumerate() {
+            assert_eq!(*t, raws[i].clone().coalesce(), "index {i}");
+        }
     }
 
     #[test]

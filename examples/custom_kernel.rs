@@ -133,9 +133,9 @@ fn main() {
     println!(
         "default: {:.2} ms (hit {:.0}%) | ktiler: {:.2} ms (hit {:.0}%) | gain {:.1}%",
         def.total_ns / 1e6,
-        def.stats.hit_rate() * 100.0,
+        def.stats.hit_rate().unwrap_or(f64::NAN) * 100.0,
         tiled.total_ns / 1e6,
-        tiled.stats.hit_rate() * 100.0,
+        tiled.stats.hit_rate().unwrap_or(f64::NAN) * 100.0,
         tiled.gain_over(&def).unwrap_or(0.0) * 100.0
     );
 

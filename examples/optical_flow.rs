@@ -73,12 +73,12 @@ fn main() {
     println!(
         "default      : {:8.2} ms  (hit {:.0}%)",
         default.total_ns / 1e6,
-        default.stats.hit_rate() * 100.0
+        default.stats.hit_rate().unwrap_or(f64::NAN) * 100.0
     );
     println!(
         "ktiler       : {:8.2} ms  (hit {:.0}%)  gain {:.1}%",
         tiled.total_ns / 1e6,
-        tiled.stats.hit_rate() * 100.0,
+        tiled.stats.hit_rate().unwrap_or(f64::NAN) * 100.0,
         tiled.gain_over(&default).unwrap_or(0.0) * 100.0
     );
     println!(

@@ -64,12 +64,12 @@ fn main() {
     println!(
         "default: {:.2} ms (L2 hit rate {:.0}%)",
         default.total_ns / 1e6,
-        default.stats.hit_rate() * 100.0
+        default.stats.hit_rate().unwrap_or(f64::NAN) * 100.0
     );
     println!(
         "ktiler : {:.2} ms (L2 hit rate {:.0}%) — {:.1}% faster",
         tiled.total_ns / 1e6,
-        tiled.stats.hit_rate() * 100.0,
+        tiled.stats.hit_rate().unwrap_or(f64::NAN) * 100.0,
         tiled.gain_over(&default).unwrap_or(0.0) * 100.0
     );
 

@@ -62,9 +62,9 @@ fn main() {
     println!(
         "\ndefault: {:.2} ms (hit {:.0}%) | ktiler: {:.2} ms (hit {:.0}%) | gain {:.1}%",
         def.total_ns / 1e6,
-        def.stats.hit_rate() * 100.0,
+        def.stats.hit_rate().unwrap_or(f64::NAN) * 100.0,
         kt.total_ns / 1e6,
-        kt.stats.hit_rate() * 100.0,
+        kt.stats.hit_rate().unwrap_or(f64::NAN) * 100.0,
         kt.gain_over(&def).unwrap_or(0.0) * 100.0
     );
     println!("(try larger frames for the paper's over-capacity regime)");

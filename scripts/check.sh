@@ -42,4 +42,25 @@ if [[ "$GATE_FAIL" -ne 0 ]]; then
     exit 1
 fi
 
+echo "== bench_scheduler smoke test =="
+# One-sample run on a small workload: the JSON must carry all three phase
+# timings and both determinism cross-checks must pass (parallel sharded
+# analyzer == serial builder; schedule hash identical on both paths).
+SMOKE_JSON=$(mktemp /tmp/bench_scheduler_smoke.XXXXXX.json)
+trap 'rm -f "$SMOKE_JSON"' EXIT
+cargo run --release -p bench --bin bench_scheduler "${OFFLINE[@]}" -- \
+    --size 64 --iters 3 --samples 1 --out "$SMOKE_JSON"
+for key in analyze_ms calibrate_ms ktiler_schedule_ms; do
+    if ! grep -q "\"$key\"" "$SMOKE_JSON"; then
+        echo "error: $key missing from bench_scheduler output" >&2
+        exit 1
+    fi
+done
+for check in '"analyzer_match": true' '"schedule_hash_match": true'; do
+    if ! grep -qF "$check" "$SMOKE_JSON"; then
+        echo "error: bench_scheduler determinism check failed: expected $check" >&2
+        exit 1
+    fi
+done
+
 echo "== OK =="

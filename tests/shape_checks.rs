@@ -52,8 +52,8 @@ fn fig2_shape_tiling_transforms_the_profile() {
     let d = ji_profile(&w, freq, full);
     let t = ji_profile(&w, freq, full / 32);
     // Paper: 35->100% hit, 31->69% efficiency, 64->21% memory stalls.
-    assert!(t.hit_rate() > 0.95, "tile hit {}", t.hit_rate());
-    assert!(d.hit_rate() < 0.75, "default hit {}", d.hit_rate());
+    assert!(t.hit_rate().unwrap_or(0.0) > 0.95, "tile hit {:?}", t.hit_rate());
+    assert!(d.hit_rate().unwrap_or(1.0) < 0.75, "default hit {:?}", d.hit_rate());
     assert!(t.issue_efficiency() > 2.0 * d.issue_efficiency());
     assert!(t.mem_dependency_stall_share() < 0.5 * d.mem_dependency_stall_share());
     assert!(t.time_ns / (t.blocks as f64) < 0.5 * d.time_ns / d.blocks as f64);
@@ -157,7 +157,7 @@ fn sec2_shape_streaming_kernels_gap_dwarfs_convolution() {
                     }
                 }
             }
-            total.read_hit_rate()
+            total.read_hit_rate().unwrap_or(0.0)
         };
         profile(32) - profile(1)
     };

@@ -56,7 +56,7 @@ fn scan_chain_tiles_and_stays_correct() {
         tiled.total_ns,
         def.total_ns
     );
-    assert!(tiled.stats.hit_rate() > def.stats.hit_rate());
+    assert!(tiled.stats.hit_rate().unwrap_or(0.0) > def.stats.hit_rate().unwrap_or(0.0));
 }
 
 #[test]
