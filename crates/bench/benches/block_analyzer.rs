@@ -11,9 +11,15 @@ fn main() {
         let p = HsParams { levels: 2, jacobi_iters: iters, warp_iters: 1, alpha2: 0.1 };
         let (f0, f1) = synthetic_pair(size, size, 1.0, 0.5, 7);
         let pixels = (size as u64) * (size as u64) * (iters as u64 + 4);
-        bench_throughput(&format!("block_analyzer/optflow_{size}px_{iters}ji"), pixels, 1, 10, || {
-            let mut app = build_app(&f0, &f1, &p);
-            kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap()
-        });
+        bench_throughput(
+            &format!("block_analyzer/optflow_{size}px_{iters}ji"),
+            pixels,
+            1,
+            10,
+            || {
+                let mut app = build_app(&f0, &f1, &p);
+                kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap()
+            },
+        );
     }
 }

@@ -41,8 +41,7 @@ fn bench_cluster_tile() {
     let s = setup(256, 16);
     let p = params(&s.cfg);
     // JI chains of the finest level: nodes are contiguous in the builder.
-    let ji: Vec<NodeId> =
-        s.graph.node_ids().filter(|&n| s.graph.node(n).label == "JI").collect();
+    let ji: Vec<NodeId> = s.graph.node_ids().filter(|&n| s.graph.node(n).label == "JI").collect();
     let finest: Vec<NodeId> = ji[ji.len() - 16..].to_vec();
     for depth in [2usize, 4, 8, 16] {
         let members: Vec<NodeId> = finest[..depth].to_vec();

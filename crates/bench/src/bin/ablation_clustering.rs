@@ -16,8 +16,8 @@ use bench::{ms, paper_ktiler_config, pct, prepare, Scale, Workload};
 use gpu_sim::FreqConfig;
 use kgraph::NodeId;
 use ktiler::{
-    calibrate, cluster_tile, execute_schedule, ktiler_schedule, singleton_tiling,
-    CalibrationConfig, Calibration, Partition, RunReport, Schedule,
+    calibrate, cluster_tile, execute_schedule, ktiler_schedule, singleton_tiling, Calibration,
+    CalibrationConfig, Partition, RunReport, Schedule,
 };
 
 /// Greedy merge-everything: accept every valid merge along every positive-
@@ -58,18 +58,17 @@ fn merge_all(w: &Workload, cal: &Calibration) -> Schedule {
         let tiling = if members.len() == 1 {
             singleton_tiling(members[0], g, cal, &kcfg.tile)
         } else {
-            cluster_tile(&members, g, &w.gt, cal, &kcfg.tile)
-                .unwrap_or_else(|| {
-                    // Untileable mega-cluster: fall back to per-node launches.
-                    let mut launches = Vec::new();
-                    let mut cost = 0.0;
-                    for &m in &members {
-                        let t = singleton_tiling(m, g, cal, &kcfg.tile);
-                        cost += t.cost_ns;
-                        launches.extend(t.launches);
-                    }
-                    ktiler::ClusterTiling { launches, cost_ns: cost }
-                })
+            cluster_tile(&members, g, &w.gt, cal, &kcfg.tile).unwrap_or_else(|| {
+                // Untileable mega-cluster: fall back to per-node launches.
+                let mut launches = Vec::new();
+                let mut cost = 0.0;
+                for &m in &members {
+                    let t = singleton_tiling(m, g, cal, &kcfg.tile);
+                    cost += t.cost_ns;
+                    launches.extend(t.launches);
+                }
+                ktiler::ClusterTiling { launches, cost_ns: cost }
+            })
         };
         sched.launches.extend(tiling.launches);
     }
@@ -98,10 +97,7 @@ fn main() {
     let default = Schedule::default_order(&w.app.graph);
     let base = run(&default);
 
-    println!(
-        "{:<22} {:>10} {:>8} {:>9} {:>9}",
-        "policy", "time", "gain", "launches", "hit rate"
-    );
+    println!("{:<22} {:>10} {:>8} {:>9} {:>9}", "policy", "time", "gain", "launches", "hit rate");
     report("no merging (default)", &base, &base, default.num_launches());
 
     let paper = ktiler_schedule(&w.app.graph, &w.gt, &cal, &paper_ktiler_config(&w.cfg)).unwrap();

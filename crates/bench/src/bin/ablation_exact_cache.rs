@@ -40,7 +40,8 @@ fn main() {
         &w.cfg,
         freq,
         None,
-    ).unwrap();
+    )
+    .unwrap();
     println!("default: {} ms\n", ms(default.total_ns));
     println!(
         "{:<28} {:>10} {:>8} {:>9} {:>9} {:>11}",

@@ -29,12 +29,10 @@ fn main() {
         &w.cfg,
         freq,
         None,
-    ).unwrap();
+    )
+    .unwrap();
     println!("default (untiled): {} ms\n", ms(default.total_ns));
-    println!(
-        "{:>14} {:>10} {:>10} {:>8} {:>9}",
-        "bound", "time", "gain", "launches", "hit rate"
-    );
+    println!("{:>14} {:>10} {:>10} {:>8} {:>9}", "bound", "time", "gain", "launches", "hit rate");
 
     for (label, bound) in [
         ("L2/4", l2 / 4),

@@ -49,7 +49,8 @@ fn main() {
     aware.schedule.validate(&w.app.graph, &w.gt.deps).unwrap();
     let d = execute_schedule(&default, &w.app.graph, &w.gt, &w.cfg, freq, None).unwrap();
     let plain = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None).unwrap();
-    let aware_r = execute_schedule(&aware.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None).unwrap();
+    let aware_r =
+        execute_schedule(&aware.schedule, &w.app.graph, &w.gt, &w.cfg, freq, None).unwrap();
     println!("\ncost model (at the device IG of {} us):", w.cfg.inter_launch_gap_ns / 1000.0);
     println!(
         "  paper (IG-blind):  {} launches, gain {}",

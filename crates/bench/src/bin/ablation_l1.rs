@@ -33,10 +33,9 @@ fn main() {
         "{:<12} {:>9} {:>9} {:>10} {:>10}",
         "config", "L1 hits", "L2 hit%", "ns/block", "L2 traffic"
     );
-    for (name, cfg) in [
-        ("no L1", GpuConfig::gtx960m()),
-        ("with L1", GpuConfig::gtx960m().with_l1()),
-    ] {
+    for (name, cfg) in
+        [("no L1", GpuConfig::gtx960m()), ("with L1", GpuConfig::gtx960m().with_l1())]
+    {
         let mut eng = Engine::new(cfg, freq);
         eng.set_inter_launch_gap_ns(0.0);
         eng.launch(&w.gt.node(prev).work_of(0..full), pk.dims().threads_per_block());
@@ -55,10 +54,9 @@ fn main() {
     // regenerated per device (calibration sees the L1), and the gain
     // should survive: the inter-kernel traffic KTILER saves never lived
     // in the L1.
-    for (name, cfg) in [
-        ("no L1", GpuConfig::gtx960m()),
-        ("with L1", GpuConfig::gtx960m().with_l1()),
-    ] {
+    for (name, cfg) in
+        [("no L1", GpuConfig::gtx960m()), ("with L1", GpuConfig::gtx960m().with_l1())]
+    {
         let cal = calibrate(&w.app.graph, &w.gt, &cfg, freq, &CalibrationConfig::default());
         let out = ktiler_schedule(&w.app.graph, &w.gt, &cal, &paper_ktiler_config(&cfg)).unwrap();
         out.schedule.validate(&w.app.graph, &w.gt.deps).unwrap();
@@ -69,7 +67,8 @@ fn main() {
             &cfg,
             freq,
             None,
-        ).unwrap();
+        )
+        .unwrap();
         let tiled = execute_schedule(&out.schedule, &w.app.graph, &w.gt, &cfg, freq, None).unwrap();
         println!(
             "\n{name}: default {} ms -> ktiler {} ms (gain {}, {} launches, L1 hits {} -> {})",

@@ -25,7 +25,8 @@ fn main() {
         &w.cfg,
         freq,
         None,
-    ).unwrap();
+    )
+    .unwrap();
 
     println!(
         "{:>12} {:>11} {:>10} {:>10} {:>8} {:>9}",

@@ -71,8 +71,7 @@ fn main() {
     let scale = Scale::from_args();
     let samples: usize =
         arg_value("--samples").map(|s| s.parse().expect("bad --samples")).unwrap_or(3);
-    let out_path =
-        arg_value("--out").unwrap_or_else(|| "results/BENCH_scheduler.json".to_string());
+    let out_path = arg_value("--out").unwrap_or_else(|| "results/BENCH_scheduler.json".to_string());
     let freq = FreqConfig::default();
 
     println!(
@@ -97,8 +96,7 @@ fn main() {
     let line_bytes = w.cfg.cache.line_bytes;
     let analyze_stats = bench("analyze", 0, samples, || {
         let mut app = apps.pop().expect("one prebuilt app per sample");
-        kgraph::analyze(&app.graph, &mut app.mem, line_bytes)
-            .expect("optical-flow graph is a DAG")
+        kgraph::analyze(&app.graph, &mut app.mem, line_bytes).expect("optical-flow graph is a DAG")
     });
     push("analyze_ms", analyze_stats);
 
@@ -111,9 +109,8 @@ fn main() {
 
     // Algorithm 1 (greedy clustering) + Algorithm 2 (ClusterTile).
     let kcfg = paper_ktiler_config(&w.cfg);
-    let sched_stats = bench("ktiler_schedule", 0, samples, || {
-        ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg)
-    });
+    let sched_stats =
+        bench("ktiler_schedule", 0, samples, || ktiler_schedule(&w.app.graph, &w.gt, &cal, &kcfg));
     push("ktiler_schedule_ms", sched_stats);
 
     // End-to-end offline pass as an application would invoke it.
@@ -125,18 +122,17 @@ fn main() {
     // `DepGraphBuilder` and through the sharded parallel builder, and
     // require all three graphs (including the one the workload was
     // actually analyzed with) to be identical.
-    let visits: Vec<(BlockRef, &BlockTrace)> = w
-        .gt
-        .order
-        .iter()
-        .flat_map(|&id| {
-            w.gt.nodes[id.0 as usize]
-                .blocks
-                .iter()
-                .enumerate()
-                .map(move |(b, t)| (BlockRef::new(id.0, b as u32), t))
-        })
-        .collect();
+    let visits: Vec<(BlockRef, &BlockTrace)> =
+        w.gt.order
+            .iter()
+            .flat_map(|&id| {
+                w.gt.nodes[id.0 as usize]
+                    .blocks
+                    .iter()
+                    .enumerate()
+                    .map(move |(b, t)| (BlockRef::new(id.0, b as u32), t))
+            })
+            .collect();
     let mut builder = DepGraphBuilder::new();
     for &(r, t) in &visits {
         builder.visit_block(r, t);
@@ -154,7 +150,8 @@ fn main() {
     let schedule_hash = fnv1a(schedule_to_text(&out.schedule).as_bytes());
     let gt_serial =
         GraphTrace { nodes: w.gt.nodes.clone(), deps: serial_deps, order: w.gt.order.clone() };
-    let cal_serial = calibrate(&w.app.graph, &gt_serial, &w.cfg, freq, &CalibrationConfig::default());
+    let cal_serial =
+        calibrate(&w.app.graph, &gt_serial, &w.cfg, freq, &CalibrationConfig::default());
     let out_serial = ktiler_schedule(&w.app.graph, &gt_serial, &cal_serial, &kcfg)
         .expect("benchmark workloads are non-empty and freshly calibrated");
     let serial_hash = fnv1a(schedule_to_text(&out_serial.schedule).as_bytes());

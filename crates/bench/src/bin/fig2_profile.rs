@@ -37,10 +37,7 @@ fn main() {
     let dims = k.dims();
     let full = dims.num_blocks();
     let tile = (full / 32).max(1);
-    println!(
-        "kernel: JI {} ({} blocks); profiled after its producer JI iteration",
-        dims, full
-    );
+    println!("kernel: JI {} ({} blocks); profiled after its producer JI iteration", dims, full);
 
     let profile = |grid: u32| -> LaunchStats {
         let mut eng = Engine::new(w.cfg.clone(), FreqConfig::new(PROFILE_FREQ.0, PROFILE_FREQ.1));
@@ -67,12 +64,7 @@ fn main() {
         t.hit_rate().unwrap_or(f64::NAN),
         "35% -> 100%",
     );
-    row(
-        "warp issue efficiency",
-        d.issue_efficiency(),
-        t.issue_efficiency(),
-        "31% -> 69%",
-    );
+    row("warp issue efficiency", d.issue_efficiency(), t.issue_efficiency(), "31% -> 69%");
     row(
         "issue stalls: memory dependency",
         d.mem_dependency_stall_share(),

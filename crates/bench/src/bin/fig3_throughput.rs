@@ -56,29 +56,30 @@ fn main() {
     grids.retain(|&x| x <= full);
     grids.dedup();
 
-    println!("{:>6} {:>14} {:>14} {:>14} {:>14}  (blocks/usec)", "grid", labels[0], labels[1], labels[2], labels[3]);
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}  (blocks/usec)",
+        "grid", labels[0], labels[1], labels[2], labels[3]
+    );
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for &grid in &grids {
         let tp: Vec<f64> = freqs.iter().map(|&f| throughput(&w, f, grid)).collect();
-        println!(
-            "{:>6} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
-            grid, tp[0], tp[1], tp[2], tp[3]
-        );
+        println!("{:>6} {:>14.2} {:>14.2} {:>14.2} {:>14.2}", grid, tp[0], tp[1], tp[2], tp[3]);
         for (s, v) in series.iter_mut().zip(&tp) {
             s.push(*v);
         }
     }
 
     // Shape checks echoed for the reader.
-    let peak = |s: &[f64]| {
-        s.iter().cloned().enumerate().fold((0usize, 0.0f64), |acc, (i, v)| {
-            if v > acc.1 {
-                (i, v)
-            } else {
-                acc
-            }
-        })
-    };
+    let peak =
+        |s: &[f64]| {
+            s.iter().cloned().enumerate().fold((0usize, 0.0f64), |acc, (i, v)| {
+                if v > acc.1 {
+                    (i, v)
+                } else {
+                    acc
+                }
+            })
+        };
     println!();
     for (i, s) in series.iter().enumerate() {
         let (pi, pv) = peak(s);

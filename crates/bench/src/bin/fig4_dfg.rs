@@ -25,7 +25,11 @@ fn main() {
     for role in w.app.roles.values() {
         *counts.entry(role).or_default() += 1;
     }
-    println!("\nnode inventory ({} nodes, {} edges):", w.app.graph.num_nodes(), w.app.graph.num_edges());
+    println!(
+        "\nnode inventory ({} nodes, {} edges):",
+        w.app.graph.num_nodes(),
+        w.app.graph.num_edges()
+    );
     for (role, n) in &counts {
         println!("  {role:<10} x{n}");
     }
@@ -39,12 +43,7 @@ fn main() {
         &CalibrationConfig::default(),
     );
     let total: f64 = cal.default_times.iter().sum();
-    let ji: f64 = w
-        .app
-        .ji_nodes
-        .iter()
-        .map(|n| cal.default_times[n.0 as usize])
-        .sum();
+    let ji: f64 = w.app.ji_nodes.iter().map(|n| cal.default_times[n.0 as usize]).sum();
     println!(
         "\nJI nodes: {} of {} kernels, {} of total kernel time (paper: 98.5% at 500 JI/step)",
         w.app.ji_nodes.len(),

@@ -1,0 +1,80 @@
+//! `ktiler_serve` — run the KTILER scheduling service over TCP.
+//!
+//! Starts a [`ktiler_svc::Service`] with an on-disk schedule cache and
+//! serves the framed line protocol until a `SHUTDOWN` request arrives,
+//! then dumps the metrics registry as JSON and exits.
+//!
+//! ```text
+//! ktiler_serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
+//!              [--queue N] [--port-file PATH] [--stats-out PATH]
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:0` (ephemeral port; the bound address is
+//! printed to stdout and, with `--port-file`, written to a file for
+//! scripts), `--cache-dir .ktiler-cache`, 2 workers, a 64-deep queue.
+//! The final metrics JSON goes to `--stats-out` when given, stderr always.
+
+use std::sync::Arc;
+
+use ktiler_svc::{serve, Service, ServiceConfig};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ktiler_serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] \
+         [--queue N] [--port-file PATH] [--stats-out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let cache_dir = arg_value("--cache-dir").unwrap_or_else(|| ".ktiler-cache".into());
+
+    let mut cfg = ServiceConfig::new(&cache_dir);
+    if let Some(n) = arg_value("--workers") {
+        cfg.workers = n.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(n) = arg_value("--queue") {
+        cfg.queue_capacity = n.parse().unwrap_or_else(|_| usage());
+    }
+
+    let svc = match Service::start(cfg) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("error: cannot start service (cache dir {cache_dir}): {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match serve(addr.as_str(), Arc::clone(&svc)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let local = server.local_addr();
+    println!("listening on {local} (cache dir {cache_dir})");
+    if let Some(path) = arg_value("--port-file") {
+        if let Err(e) = std::fs::write(&path, format!("{local}\n")) {
+            eprintln!("error: cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Block until a SHUTDOWN request winds the front-end down.
+    let svc = server.join();
+    let stats = svc.metrics_json();
+    eprintln!("{stats}");
+    if let Some(path) = arg_value("--stats-out") {
+        if let Err(e) = std::fs::write(&path, &stats) {
+            eprintln!("error: cannot write stats file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,16 +9,25 @@
 //! ktiler_tool run      [--size N] [--iters N] [--freq G,M]
 //!                      [--schedule FILE] [--mode MODE]
 //!                      [--timeline FILE]                       execute and report
+//! ktiler_tool client <schedule|stats|ping|shutdown> --addr H:P
+//!                      [--size N] [--iters N] [--levels N]
+//!                      [--freq G,M] [--deadline-ms N]
+//!                      [--out FILE]                            talk to ktiler_serve
 //! ```
 //!
 //! Modes: `default` (one launch per kernel), `ktiler` (tile if no
 //! `--schedule` file given), `noig`, `streamed`.
+//!
+//! `client schedule` prints the outcome line (`MISS key=<hex> launches=N`,
+//! likewise `HIT`/`RECOMPUTE`) to stdout and writes the schedule text to
+//! `--out` (or stdout when omitted), so scripts can both grep the cache
+//! behaviour and capture the artifact.
 
 use bench::{ms, paper_ktiler_config, pct_opt, prepare, Scale};
 use gpu_sim::{Engine, FreqConfig};
-use ktiler::{
-    calibrate, execute_with_timeline, ktiler_schedule, CalibrationConfig, Schedule,
-};
+use ktiler::{calibrate, execute_with_timeline, ktiler_schedule, CalibrationConfig, Schedule};
+use ktiler_svc::proto::{Request, Response};
+use ktiler_svc::{NetClient, ScheduleRequest, WorkloadSpec};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -39,12 +48,87 @@ fn parse_freq() -> FreqConfig {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: ktiler_tool <graph|schedule|run> [options] (see source header)");
+    eprintln!("usage: ktiler_tool <graph|schedule|run|client> [options] (see source header)");
     std::process::exit(2);
+}
+
+/// The `client` subcommand: one request to a running `ktiler_serve`.
+fn client_main() {
+    let Some(addr) = arg_value("--addr") else {
+        eprintln!("error: client needs --addr HOST:PORT");
+        usage()
+    };
+    let action = std::env::args().nth(2).unwrap_or_else(|| usage());
+    let request = match action.as_str() {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "schedule" => {
+            let scale = Scale::from_args();
+            let workload = WorkloadSpec::OptFlow {
+                size: scale.size,
+                iters: scale.iters,
+                levels: arg_value("--levels")
+                    .map(|v| v.parse().expect("--levels needs a number"))
+                    .unwrap_or(scale.levels),
+            };
+            let mut req = ScheduleRequest::new(workload);
+            if let Some(s) = arg_value("--freq") {
+                let (g, m) = s.split_once(',').expect("--freq wants GPU,MEM in MHz");
+                req.gpu_mhz = g.trim().parse().expect("bad GPU MHz");
+                req.mem_mhz = m.trim().parse().expect("bad MEM MHz");
+            }
+            if let Some(ms) = arg_value("--deadline-ms") {
+                req.deadline_ms = Some(ms.parse().expect("bad --deadline-ms"));
+            }
+            Request::Schedule(req)
+        }
+        other => {
+            eprintln!("error: unknown client action '{other}'");
+            usage()
+        }
+    };
+
+    let mut client = match NetClient::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let response = match client.request(&request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: request failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match response {
+        Response::Pong => println!("PONG"),
+        Response::Bye => println!("BYE"),
+        Response::Stats(json) => println!("{json}"),
+        Response::Schedule(r) => {
+            println!("{} key={} launches={}", r.outcome.as_str(), r.key, r.launches);
+            match arg_value("--out") {
+                Some(path) => {
+                    std::fs::write(&path, &r.text).expect("write schedule file");
+                    println!("wrote {path}");
+                }
+                None => print!("{}", r.text),
+            }
+        }
+        Response::Err(e) => {
+            eprintln!("error: server answered: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let cmd = std::env::args().nth(1).unwrap_or_else(|| usage());
+    if cmd == "client" {
+        return client_main();
+    }
     let scale = Scale::from_args();
     match cmd.as_str() {
         "graph" => {
@@ -61,8 +145,7 @@ fn main() {
         "schedule" => {
             let w = prepare(scale);
             let freq = parse_freq();
-            let cal =
-                calibrate(&w.app.graph, &w.gt, &w.cfg, freq, &CalibrationConfig::default());
+            let cal = calibrate(&w.app.graph, &w.gt, &w.cfg, freq, &CalibrationConfig::default());
             let mut kcfg = paper_ktiler_config(&w.cfg);
             if let Some(t) = arg_value("--thld") {
                 kcfg.weight_threshold_ns = t.parse().expect("bad --thld");
@@ -96,13 +179,8 @@ fn main() {
                 }
                 None if mode == "default" => Schedule::default_order(&w.app.graph),
                 None => {
-                    let cal = calibrate(
-                        &w.app.graph,
-                        &w.gt,
-                        &w.cfg,
-                        freq,
-                        &CalibrationConfig::default(),
-                    );
+                    let cal =
+                        calibrate(&w.app.graph, &w.gt, &w.cfg, freq, &CalibrationConfig::default());
                     ktiler_schedule(&w.app.graph, &w.gt, &cal, &paper_ktiler_config(&w.cfg))
                         .expect("fresh calibration always matches the workload graph")
                         .schedule
@@ -120,7 +198,8 @@ fn main() {
                     usage()
                 }
             }
-            let (report, tl) = execute_with_timeline(&mut engine, &schedule, &w.app.graph, &w.gt).unwrap();
+            let (report, tl) =
+                execute_with_timeline(&mut engine, &schedule, &w.app.graph, &w.gt).unwrap();
             println!(
                 "mode {mode} at {freq}: total {} ms = kernels {} + gaps {} + dma {} ms",
                 ms(report.total_ns),

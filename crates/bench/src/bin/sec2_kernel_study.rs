@@ -31,7 +31,12 @@ struct Subject {
     paper_verdict: &'static str,
 }
 
-fn analyze(name: &'static str, mut g: AppGraph, mem: &mut DeviceMemory, verdict: &'static str) -> Subject {
+fn analyze(
+    name: &'static str,
+    mut g: AppGraph,
+    mem: &mut DeviceMemory,
+    verdict: &'static str,
+) -> Subject {
     let gt = kgraph::analyze(&g, mem, 128).expect("study graphs are DAGs");
     // Keep the graph alive alongside its trace.
     let graph = std::mem::take(&mut g);
@@ -105,10 +110,8 @@ fn subjects() -> Vec<Subject> {
     {
         let mut mem = DeviceMemory::new();
         let n = 1024 * 1024u32;
-        let bufs: Vec<_> = ["p", "x", "t", "c", "q"]
-            .iter()
-            .map(|s| mem.alloc_f32(n as u64, s))
-            .collect();
+        let bufs: Vec<_> =
+            ["p", "x", "t", "c", "q"].iter().map(|s| mem.alloc_f32(n as u64, s)).collect();
         let mut g = AppGraph::new();
         let p0 = g.add_kernel(Box::new(FillSeq::new(bufs[0], n, 0.0001, 50.0)));
         let p1 = g.add_kernel(Box::new(FillSeq::new(bufs[1], n, 0.0, 60.0)));
@@ -132,9 +135,7 @@ fn subjects() -> Vec<Subject> {
             .collect();
         let mut g = AppGraph::new();
         let producers: Vec<kgraph::NodeId> = (0..5)
-            .map(|i| {
-                g.add_kernel(Box::new(FillSeq::new(b[i], w * h, 0.0001, i as f32)))
-            })
+            .map(|i| g.add_kernel(Box::new(FillSeq::new(b[i], w * h, 0.0001, i as f32))))
             .collect();
         let k = g.add_kernel(Box::new(JacobiIter::new(
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], w, h, 0.1,
@@ -176,14 +177,8 @@ fn subjects() -> Vec<Subject> {
         let b = mem.alloc_f32(w as u64 * h as u64, "b");
         let mut g = AppGraph::new();
         let p = g.add_kernel(Box::new(FillSeq::new(a, w * h, 1.0, 0.0)));
-        let k = g.add_kernel(Box::new(Convolution2D::new(
-            a,
-            b,
-            w,
-            h,
-            Convolution2D::box_filter(5),
-            5,
-        )));
+        let k =
+            g.add_kernel(Box::new(Convolution2D::new(a, b, w, h, Convolution2D::box_filter(5), 5)));
         g.add_edge(p, k, a);
         v.push(analyze("convolution 5x5", g, &mut mem, "poor (small gap)"));
     }
@@ -211,7 +206,8 @@ fn profile(s: &Subject, chunks: u32) -> LaunchStats {
         let nb = dims(last).num_blocks();
         let (lo, hi) = (c * nb / chunks, (c + 1) * nb / chunks);
         if lo < hi {
-            let stats = eng.launch(&s.gt.node(last).work_of(lo..hi), dims(last).threads_per_block());
+            let stats =
+                eng.launch(&s.gt.node(last).work_of(lo..hi), dims(last).threads_per_block());
             total.merge(&stats);
         }
     }
@@ -234,7 +230,8 @@ fn main() {
             s.name,
             full.read_hit_rate().unwrap_or(f64::NAN) * 100.0,
             tiled.read_hit_rate().unwrap_or(f64::NAN) * 100.0,
-            (tiled.read_hit_rate().unwrap_or(f64::NAN) - full.read_hit_rate().unwrap_or(f64::NAN)) * 100.0,
+            (tiled.read_hit_rate().unwrap_or(f64::NAN) - full.read_hit_rate().unwrap_or(f64::NAN))
+                * 100.0,
             full.mem_dependency_stall_share() * 100.0,
             tileable,
             s.paper_verdict

@@ -8,11 +8,17 @@
 //! should) be checked before it ever reaches the device.
 //!
 //! ```text
-//! verify_schedule --schedule FILE [--size N] [--iters N] [--strict]
+//! verify_schedule --schedule FILE [--size N] [--iters N] [--strict] [--json]
 //! ```
 //!
 //! Exit status: `0` when the schedule is clean (warnings allowed unless
 //! `--strict`), `1` when violations were found, `2` on usage errors.
+//!
+//! With `--json`, the report is a single JSON object on stdout instead of
+//! prose: the schedule path, launch count, error/warning/suppressed
+//! counts, a `clean` flag and one `{severity, kind, message}` object per
+//! violation (`kind` is [`ktiler::Violation::kind`], a stable
+//! machine-readable class name). Exit codes are unchanged.
 
 use bench::{prepare, Scale};
 use ktiler::{verify_schedule, Severity, TileParams};
@@ -27,12 +33,30 @@ fn has_flag(name: &str) -> bool {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: verify_schedule --schedule FILE [--size N] [--iters N] [--strict]");
+    eprintln!("usage: verify_schedule --schedule FILE [--size N] [--iters N] [--strict] [--json]");
     std::process::exit(2);
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn main() {
     let Some(path) = arg_value("--schedule") else { usage() };
+    let json = has_flag("--json");
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -43,7 +67,15 @@ fn main() {
     let sched = match ktiler::schedule_from_text(&text) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: {e}");
+            if json {
+                println!(
+                    "{{\"schedule\": \"{}\", \"parse_error\": \"{}\"}}",
+                    json_escape(&path),
+                    json_escape(&e.to_string())
+                );
+            } else {
+                eprintln!("error: {e}");
+            }
             std::process::exit(1);
         }
     };
@@ -52,22 +84,56 @@ fn main() {
     let params = TileParams::paper(w.cfg.cache.capacity_bytes, w.cfg.cache.line_bytes, 0.0);
     let report = verify_schedule(&sched, &w.app.graph, &w.gt, &params);
 
-    for v in &report.violations {
-        let tag = match v.severity() {
-            Severity::Error => "error",
-            Severity::Warning => "warning",
+    if json {
+        let violations: Vec<String> = report
+            .violations
+            .iter()
+            .map(|v| {
+                let tag = match v.severity() {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                };
+                format!(
+                    "    {{\"severity\": \"{tag}\", \"kind\": \"{}\", \"message\": \"{}\"}}",
+                    v.kind(),
+                    json_escape(&v.to_string())
+                )
+            })
+            .collect();
+        let violations = if violations.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{}\n  ]", violations.join(",\n"))
         };
-        println!("{tag}: {v}");
+        println!(
+            "{{\n  \"schedule\": \"{}\",\n  \"launches\": {},\n  \"errors\": {},\n  \
+             \"warnings\": {},\n  \"suppressed\": {},\n  \"clean\": {},\n  \"violations\": {}\n}}",
+            json_escape(&path),
+            sched.num_launches(),
+            report.num_errors(),
+            report.num_warnings(),
+            report.suppressed,
+            report.is_clean(),
+            violations
+        );
+    } else {
+        for v in &report.violations {
+            let tag = match v.severity() {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            println!("{tag}: {v}");
+        }
+        if report.suppressed > 0 {
+            println!("note: {} further violation(s) suppressed", report.suppressed);
+        }
+        println!(
+            "{path}: {} launches, {} error(s), {} warning(s)",
+            sched.num_launches(),
+            report.num_errors(),
+            report.num_warnings()
+        );
     }
-    if report.suppressed > 0 {
-        println!("note: {} further violation(s) suppressed", report.suppressed);
-    }
-    println!(
-        "{path}: {} launches, {} error(s), {} warning(s)",
-        sched.num_launches(),
-        report.num_errors(),
-        report.num_warnings()
-    );
 
     let strict = has_flag("--strict");
     let failed = !report.is_clean() || (strict && report.num_warnings() > 0);

@@ -50,10 +50,8 @@ impl Scale {
         for i in 0..args.len() {
             match args[i].as_str() {
                 "--size" => {
-                    scale.size = args
-                        .get(i + 1)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--size needs a number")
+                    scale.size =
+                        args.get(i + 1).and_then(|s| s.parse().ok()).expect("--size needs a number")
                 }
                 "--iters" => {
                     scale.iters = args
@@ -85,7 +83,8 @@ pub struct Workload {
 /// measured — each analysis run needs a freshly built application because
 /// analysis executes the graph and mutates device memory.
 pub fn build_workload_app(scale: Scale) -> OptFlowApp {
-    let p = HsParams { levels: scale.levels, jacobi_iters: scale.iters, warp_iters: 1, alpha2: 0.1 };
+    let p =
+        HsParams { levels: scale.levels, jacobi_iters: scale.iters, warp_iters: 1, alpha2: 0.1 };
     let (f0, f1) = synthetic_pair(scale.size, scale.size, 1.0, 0.5, 7);
     build_app(&f0, &f1, &p)
 }

@@ -428,8 +428,8 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = small_cache(); // 8 lines capacity
-        // Stream 16 distinct lines twice: second pass still misses because
-        // the working set is twice the capacity (LRU streaming pattern).
+                                   // Stream 16 distinct lines twice: second pass still misses because
+                                   // the working set is twice the capacity (LRU streaming pattern).
         for _ in 0..2 {
             for l in 0..16 {
                 c.access_line(l, false);

@@ -285,8 +285,8 @@ impl GpuConfig {
             res.threads_per_block,
             self.max_threads_per_sm
         );
-        let mut blocks = (self.max_threads_per_sm / res.threads_per_block)
-            .min(self.max_blocks_per_sm);
+        let mut blocks =
+            (self.max_threads_per_sm / res.threads_per_block).min(self.max_blocks_per_sm);
         let regs_per_block = res.regs_per_thread * res.threads_per_block;
         if regs_per_block > 0 {
             assert!(
@@ -391,7 +391,8 @@ mod tests {
         let c = GpuConfig::gtx960m();
         // 256 threads x 64 regs = 16384 regs/block; 65536/16384 = 4 blocks,
         // below the 8 allowed by the thread limit.
-        let res = LaunchResources { threads_per_block: 256, regs_per_thread: 64, shared_mem_bytes: 0 };
+        let res =
+            LaunchResources { threads_per_block: 256, regs_per_thread: 64, shared_mem_bytes: 0 };
         assert_eq!(c.blocks_per_sm_res(&res), 4);
         // Light register pressure leaves the thread limit binding.
         let light = LaunchResources { regs_per_thread: 16, ..res };
@@ -426,11 +427,8 @@ mod tests {
     #[should_panic(expected = "registers")]
     fn register_starved_block_rejected() {
         let c = GpuConfig::gtx960m();
-        let res = LaunchResources {
-            threads_per_block: 1024,
-            regs_per_thread: 255,
-            shared_mem_bytes: 0,
-        };
+        let res =
+            LaunchResources { threads_per_block: 1024, regs_per_thread: 255, shared_mem_bytes: 0 };
         let _ = c.blocks_per_sm_res(&res);
     }
 

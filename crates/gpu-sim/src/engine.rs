@@ -296,8 +296,8 @@ impl Engine {
                     0.0
                 } else {
                     let avg_lat = sm_service[sm] / sm_txns[sm] as f64;
-                    let mwp = (avg_lat / self.cfg.mem_departure_cycles)
-                        .clamp(1.0, sm_warps[sm] as f64);
+                    let mwp =
+                        (avg_lat / self.cfg.mem_departure_cycles).clamp(1.0, sm_warps[sm] as f64);
                     sm_service[sm] / mwp
                 };
                 let sm_cycles = issue_busy.max(mem_term);
@@ -309,11 +309,8 @@ impl Engine {
                 // misses: L2 hits are largely overlapped by other warps,
                 // which is why the profiler's memory-dependency share
                 // collapses for cache-resident tiles (Fig. 2).
-                let miss_frac = if sm_service[sm] > 0.0 {
-                    sm_miss_service[sm] / sm_service[sm]
-                } else {
-                    0.0
-                };
+                let miss_frac =
+                    if sm_service[sm] > 0.0 { sm_miss_service[sm] / sm_service[sm] } else { 0.0 };
                 stats.mem_stall_cycles += (mem_term - issue_term).max(0.0) * miss_frac;
                 stats.other_stall_cycles += issue_term * self.cfg.other_stall_factor;
             }
@@ -332,11 +329,8 @@ impl Engine {
 
     fn pay_gap(&mut self) {
         if self.counters.launches > 0 || self.counters.dma_ns > 0.0 {
-            let gap = if self.streamed {
-                (self.ig_ns - self.last_op_ns).max(0.0)
-            } else {
-                self.ig_ns
-            };
+            let gap =
+                if self.streamed { (self.ig_ns - self.last_op_ns).max(0.0) } else { self.ig_ns };
             self.counters.inter_launch_gap_ns += gap;
         }
     }
@@ -608,10 +602,7 @@ mod tests {
         let l1 = with_l1.launch(&[&reuse_block], 128);
         assert!(l1.l1_hits > 0, "repeats must hit in L1");
         assert_eq!(l1.l1_hits + l1.l2_hits + l1.l2_misses, 32);
-        assert!(
-            l1.l2_hits + l1.l2_misses < 32,
-            "L1 must filter traffic from the L2"
-        );
+        assert!(l1.l2_hits + l1.l2_misses < 32, "L1 must filter traffic from the L2");
         assert!(l1.time_ns <= plain.time_ns, "L1 hits are cheaper");
     }
 
@@ -635,11 +626,7 @@ mod tests {
         // L1 copy (which the stats would show as an L1 hit).
         let block = BlockWork {
             warps: vec![WarpWork {
-                txns: vec![
-                    Txn::new(5, false),
-                    Txn::new(5, true),
-                    Txn::new(5, false),
-                ],
+                txns: vec![Txn::new(5, false), Txn::new(5, true), Txn::new(5, false)],
                 compute_cycles: 2,
             }],
         };

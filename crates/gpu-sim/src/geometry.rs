@@ -145,10 +145,7 @@ impl BlockIdx {
     ///
     /// Panics if the coordinate lies outside `grid`.
     pub fn new(x: u32, y: u32, z: u32, grid: Dim3) -> Self {
-        assert!(
-            x < grid.x && y < grid.y && z < grid.z,
-            "block ({x},{y},{z}) out of grid {grid}"
-        );
+        assert!(x < grid.x && y < grid.y && z < grid.z, "block ({x},{y},{z}) out of grid {grid}");
         BlockIdx { x, y, z, grid }
     }
 

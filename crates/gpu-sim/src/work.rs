@@ -95,10 +95,7 @@ mod tests {
 
     #[test]
     fn issue_cycles_count_memory_and_compute() {
-        let w = WarpWork {
-            txns: vec![Txn::new(1, false), Txn::new(2, true)],
-            compute_cycles: 10,
-        };
+        let w = WarpWork { txns: vec![Txn::new(1, false), Txn::new(2, true)], compute_cycles: 10 };
         assert_eq!(w.issue_cycles(), 12);
         let b = BlockWork { warps: vec![w.clone(), w] };
         assert_eq!(b.num_txns(), 4);

@@ -119,7 +119,6 @@ impl Builder {
     }
 }
 
-
 /// Per-level `(width, height)` pairs, coarsest (level 0) first.
 fn level_dims(w: u32, h: u32, levels: u32) -> Vec<(u32, u32)> {
     (0..levels).map(|l| (w >> (levels - 1 - l), h >> (levels - 1 - l))).collect()
@@ -197,8 +196,7 @@ fn emit_flow_pair(
             let mut cur = (du0, dv0);
             for k in 0..p.jacobi_iters {
                 let out = if k % 2 == 0 { (du_a, dv_a) } else { (du_b, dv_b) };
-                let ji =
-                    JacobiIter::new(cur.0, cur.1, ix, iy, it, out.0, out.1, w, h, p.alpha2);
+                let ji = JacobiIter::new(cur.0, cur.1, ix, iy, it, out.0, out.1, w, h, p.alpha2);
                 let id =
                     b.add_kernel("JI", Box::new(ji), &[cur.0, cur.1, ix, iy, it], &[out.0, out.1]);
                 ji_nodes.push(id);
@@ -279,7 +277,6 @@ pub fn build_app(frame0: &Frame, frame1: &Frame, p: &HsParams) -> OptFlowApp {
     }
 }
 
-
 /// A built multi-frame (video) optical-flow application: flow is computed
 /// for every consecutive frame pair, with the frame *pyramids shared*
 /// between the pair that consumes a frame as `I1` and the next pair that
@@ -332,14 +329,10 @@ pub fn build_video_app(frames: &[Frame], p: &HsParams) -> VideoFlowApp {
     let mut ji_nodes = Vec::new();
     for pair in 0..frames.len() - 1 {
         let u: Vec<Buffer> = (0..p.levels as usize)
-            .map(|l| {
-                mem.alloc_f32(dims[l].0 as u64 * dims[l].1 as u64, &format!("u{pair}.l{l}"))
-            })
+            .map(|l| mem.alloc_f32(dims[l].0 as u64 * dims[l].1 as u64, &format!("u{pair}.l{l}")))
             .collect();
         let v: Vec<Buffer> = (0..p.levels as usize)
-            .map(|l| {
-                mem.alloc_f32(dims[l].0 as u64 * dims[l].1 as u64, &format!("v{pair}.l{l}"))
-            })
+            .map(|l| mem.alloc_f32(dims[l].0 as u64 * dims[l].1 as u64, &format!("v{pair}.l{l}")))
             .collect();
         b.add_htod("HtD-zero", u[0], vec![0u8; (npix0 * 4) as usize]);
         b.add_htod("HtD-zero", v[0], vec![0u8; (npix0 * 4) as usize]);

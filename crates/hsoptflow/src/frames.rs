@@ -181,10 +181,8 @@ mod tests {
         let f = smooth_pattern(8, 8, 1);
         let bytes = f.to_bytes();
         assert_eq!(bytes.len(), 8 * 8 * 4);
-        let back: Vec<f32> = bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let back: Vec<f32> =
+            bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(back, f.data);
     }
 }

@@ -26,6 +26,4 @@ mod reference;
 
 pub use app::{build_app, build_video_app, OptFlowApp, VideoFlowApp};
 pub use frames::{average_endpoint_error, smooth_pattern, synthetic_pair, Frame};
-pub use reference::{
-    derivatives, downscale, horn_schunck, jacobi_step, upscale, warp, HsParams,
-};
+pub use reference::{derivatives, downscale, horn_schunck, jacobi_step, upscale, warp, HsParams};

@@ -48,7 +48,9 @@ pub fn downscale(src: &Frame) -> Frame {
         for x in 0..ow {
             let (sx, sy) = (2 * x as i64, 2 * y as i64);
             out.data[(y * ow + x) as usize] = 0.25
-                * (src.at(sx, sy) + src.at(sx + 1, sy) + src.at(sx, sy + 1)
+                * (src.at(sx, sy)
+                    + src.at(sx + 1, sy)
+                    + src.at(sx, sy + 1)
                     + src.at(sx + 1, sy + 1));
         }
     }

@@ -64,7 +64,8 @@ fn video_graph_edges_are_sound_and_schedulable() {
     let check = kgraph::check_edges(&app.graph, &gt.deps);
     assert!(check.is_sound(), "undeclared deps: {:?}", check.undeclared);
 
-    let cal = calibrate(&app.graph, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+    let cal =
+        calibrate(&app.graph, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
     let kcfg = KtilerConfig {
         weight_threshold_ns: 500.0,
         tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),

@@ -30,11 +30,7 @@ pub fn grid_for(w: u32, h: u32) -> LaunchDims {
 /// `(tid, x, y)` for the threads whose global pixel `(x, y)` lies inside the
 /// `w`×`h` image (out-of-range threads exit immediately, like the guard
 /// `if (x >= w || y >= h) return;` in CUDA code).
-pub fn pixel_threads(
-    block: BlockIdx,
-    w: u32,
-    h: u32,
-) -> impl Iterator<Item = (u32, u32, u32)> {
+pub fn pixel_threads(block: BlockIdx, w: u32, h: u32) -> impl Iterator<Item = (u32, u32, u32)> {
     let (bw, bh) = IMG_BLOCK;
     (0..bw * bh).filter_map(move |tid| {
         let tx = tid % bw;

@@ -58,8 +58,8 @@ fn cnd(d: f32) -> f32 {
 /// Reference scalar Black–Scholes (used by the kernel and by tests).
 pub fn black_scholes_ref(s: f32, x: f32, t: f32) -> (f32, f32) {
     let sqrt_t = t.sqrt();
-    let d1 = ((s / x).ln() + (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY) * t)
-        / (VOLATILITY * sqrt_t);
+    let d1 =
+        ((s / x).ln() + (RISK_FREE + 0.5 * VOLATILITY * VOLATILITY) * t) / (VOLATILITY * sqrt_t);
     let d2 = d1 - VOLATILITY * sqrt_t;
     let exp_rt = (-RISK_FREE * t).exp();
     let call = s * cnd(d1) - x * exp_rt * cnd(d2);
@@ -73,7 +73,14 @@ impl BlackScholes {
     /// # Panics
     ///
     /// Panics if any buffer is too small.
-    pub fn new(price: Buffer, strike: Buffer, years: Buffer, call: Buffer, put: Buffer, n: u32) -> Self {
+    pub fn new(
+        price: Buffer,
+        strike: Buffer,
+        years: Buffer,
+        call: Buffer,
+        put: Buffer,
+        n: u32,
+    ) -> Self {
         for (b, name) in
             [(price, "price"), (strike, "strike"), (years, "years"), (call, "call"), (put, "put")]
         {
@@ -111,7 +118,12 @@ impl Kernel for BlackScholes {
     fn signature(&self) -> Option<String> {
         Some(format!(
             "BS:{}:{}:{}:{}:{}:{}",
-            self.n, self.price.addr, self.strike.addr, self.years.addr, self.call.addr, self.put.addr
+            self.n,
+            self.price.addr,
+            self.strike.addr,
+            self.years.addr,
+            self.call.addr,
+            self.put.addr
         ))
     }
 }
@@ -145,10 +157,8 @@ mod tests {
     fn kernel_matches_reference() {
         let mut mem = DeviceMemory::new();
         let n = 300u32;
-        let bufs: Vec<Buffer> = ["p", "x", "t", "c", "q"]
-            .iter()
-            .map(|s| mem.alloc_f32(n as u64, s))
-            .collect();
+        let bufs: Vec<Buffer> =
+            ["p", "x", "t", "c", "q"].iter().map(|s| mem.alloc_f32(n as u64, s)).collect();
         for i in 0..n as u64 {
             mem.write_f32(bufs[0], i, 50.0 + i as f32 * 0.3);
             mem.write_f32(bufs[1], i, 60.0);

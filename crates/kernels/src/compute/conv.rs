@@ -72,8 +72,7 @@ impl Kernel for Convolution2D {
                 for fx in -r..=r {
                     let sx = clampi(x as i64 + fx, self.w);
                     let sy = clampi(y as i64 + fy, self.h);
-                    let coeff =
-                        self.filter[((fy + r) * self.taps as i64 + fx + r) as usize];
+                    let coeff = self.filter[((fy + r) * self.taps as i64 + fx + r) as usize];
                     acc += coeff * ctx.ld_f32(self.src, pix(sx, sy, self.w), tid);
                 }
             }

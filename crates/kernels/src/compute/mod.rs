@@ -4,11 +4,11 @@
 //! high-locality counter-example.
 
 mod bitonic;
+mod blackscholes;
+mod conv;
 mod fill;
 mod heat;
 mod histogram;
-mod blackscholes;
-mod conv;
 mod matmul;
 mod reduce;
 mod saxpy;

@@ -39,7 +39,15 @@ impl Derivatives {
     /// # Panics
     ///
     /// Panics if any buffer is too small.
-    pub fn new(i0: Buffer, i1w: Buffer, ix: Buffer, iy: Buffer, it: Buffer, w: u32, h: u32) -> Self {
+    pub fn new(
+        i0: Buffer,
+        i1w: Buffer,
+        ix: Buffer,
+        iy: Buffer,
+        it: Buffer,
+        w: u32,
+        h: u32,
+    ) -> Self {
         let n = w as u64 * h as u64;
         for (b, name) in [(i0, "i0"), (i1w, "i1w"), (ix, "ix"), (iy, "iy"), (it, "it")] {
             assert!(b.f32_len() >= n, "{name} buffer too small");

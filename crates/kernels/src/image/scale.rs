@@ -32,7 +32,10 @@ impl Downscale {
     /// Panics if the input dimensions are not even or the buffers are too
     /// small.
     pub fn new(src: Buffer, dst: Buffer, w: u32, h: u32) -> Self {
-        assert!(w.is_multiple_of(2) && h.is_multiple_of(2), "downscale input must have even dimensions");
+        assert!(
+            w.is_multiple_of(2) && h.is_multiple_of(2),
+            "downscale input must have even dimensions"
+        );
         assert!(src.f32_len() >= w as u64 * h as u64, "src too small");
         assert!(dst.f32_len() >= (w as u64 / 2) * (h as u64 / 2), "dst too small");
         Downscale { src, dst, w, h }
@@ -144,10 +147,7 @@ impl Kernel for Upscale {
     }
 
     fn signature(&self) -> Option<String> {
-        Some(format!(
-            "US:{}x{}:{}:{}:{}",
-            self.w, self.h, self.src.addr, self.dst.addr, self.scale
-        ))
+        Some(format!("US:{}x{}:{}:{}:{}", self.w, self.h, self.src.addr, self.dst.addr, self.scale))
     }
 }
 

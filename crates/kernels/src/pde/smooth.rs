@@ -43,7 +43,15 @@ impl PoissonSmooth {
     /// Panics if buffers are too small, `u_in` aliases `u_out`, or the
     /// parameters are outside their valid ranges.
     #[allow(clippy::too_many_arguments)]
-    pub fn new(u_in: Buffer, f: Buffer, u_out: Buffer, w: u32, h: u32, h2: f32, omega: f32) -> Self {
+    pub fn new(
+        u_in: Buffer,
+        f: Buffer,
+        u_out: Buffer,
+        w: u32,
+        h: u32,
+        h2: f32,
+        omega: f32,
+    ) -> Self {
         let n = w as u64 * h as u64;
         for (b, name) in [(u_in, "u_in"), (f, "f"), (u_out, "u_out")] {
             assert!(b.f32_len() >= n, "{name} buffer too small");

@@ -19,8 +19,8 @@ use std::sync::Arc;
 
 use gpu_sim::{BlockWork, DeviceMemory};
 use trace::{
-    build_dep_graph, coalesce_blocks, BlockDepGraph, BlockRef, BlockTrace, ExecCtx,
-    RawBlockTrace, TraceRecorder,
+    build_dep_graph, coalesce_blocks, BlockDepGraph, BlockRef, BlockTrace, ExecCtx, RawBlockTrace,
+    TraceRecorder,
 };
 
 use crate::dag::{topo_order, CycleError};
@@ -172,9 +172,7 @@ pub fn analyze_with(
                 mem.upload_u8(*buf, data);
                 Arc::new(vec![transfer_trace(*buf, true, line_bytes)])
             }
-            NodeOp::DeviceToHost { buf } => {
-                Arc::new(vec![transfer_trace(*buf, false, line_bytes)])
-            }
+            NodeOp::DeviceToHost { buf } => Arc::new(vec![transfer_trace(*buf, false, line_bytes)]),
         };
         nodes[id.0 as usize] = Some(NodeTrace { blocks: traces });
     }
@@ -186,10 +184,7 @@ pub fn analyze_with(
         .iter()
         .flat_map(|&id| {
             let nt = nodes[id.0 as usize].as_ref().expect("topo order covers all nodes");
-            nt.blocks
-                .iter()
-                .enumerate()
-                .map(move |(b, t)| (BlockRef::new(id.0, b as u32), t))
+            nt.blocks.iter().enumerate().map(move |(b, t)| (BlockRef::new(id.0, b as u32), t))
         })
         .collect();
     let deps = build_dep_graph(&visits, threads);

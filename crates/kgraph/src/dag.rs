@@ -52,8 +52,7 @@ pub fn topo_order(g: &AppGraph) -> Result<Vec<NodeId>, CycleError> {
     // BinaryHeap would give smallest-first; with a VecDeque seeded in id
     // order and FIFO processing the result is deterministic, which is all
     // the scheduler needs.
-    let mut queue: VecDeque<NodeId> =
-        g.node_ids().filter(|id| indeg[id.0 as usize] == 0).collect();
+    let mut queue: VecDeque<NodeId> = g.node_ids().filter(|id| indeg[id.0 as usize] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(u) = queue.pop_front() {
         order.push(u);
@@ -107,10 +106,7 @@ pub fn is_connected_subgraph(g: &AppGraph, members: &[NodeId]) -> bool {
     let mut seen = vec![members[0]];
     let mut stack = vec![members[0]];
     while let Some(u) = stack.pop() {
-        let neighbors = g
-            .successors(u)
-            .map(|(_, v)| v)
-            .chain(g.predecessors(u).map(|(_, v)| v));
+        let neighbors = g.successors(u).map(|(_, v)| v).chain(g.predecessors(u).map(|(_, v)| v));
         for v in neighbors {
             if in_set(v) && !seen.contains(&v) {
                 seen.push(v);

@@ -1,0 +1,145 @@
+//! The on-disk, content-addressed schedule cache.
+//!
+//! Artifacts are the existing `.sched` text format (see `ktiler::io`),
+//! stored as `<dir>/<key>.sched` where `<key>` is the 32-hex-digit
+//! [`CacheKey`] of the request's content hash. The format and the naming
+//! are the whole contract: a cache directory can be inspected with a
+//! pager, primed by `ktiler_tool schedule --out`, or shipped to another
+//! machine.
+//!
+//! **Trust model.** An artifact on disk is untrusted input — it may be
+//! truncated, hand-edited, produced by an older binary whose tiler had a
+//! bug, or simply corrupted. Every load therefore re-runs the full
+//! [`ktiler::verify_schedule`] pass against the *current* request's graph,
+//! trace and tiling parameters; anything short of a clean report degrades
+//! to a cache miss (and a recompute that overwrites the bad artifact),
+//! never to a bad schedule.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use kgraph::{AppGraph, GraphTrace};
+use ktiler::{schedule_from_text, verify_schedule, Schedule, TileParams};
+
+use crate::key::CacheKey;
+
+/// Outcome of probing the cache for a key.
+#[derive(Debug)]
+pub enum CacheProbe {
+    /// A verified artifact was found; the stored text and parsed schedule.
+    Hit {
+        /// The artifact's exact bytes as stored on disk.
+        text: String,
+        /// The parsed schedule.
+        schedule: Schedule,
+    },
+    /// No artifact exists for this key.
+    Absent,
+    /// An artifact exists but failed parsing or verification; the reason
+    /// is reported so the caller can count and log it before recomputing.
+    Invalid(String),
+}
+
+/// A directory of content-addressed `.sched` artifacts.
+#[derive(Debug, Clone)]
+pub struct ScheduleCache {
+    dir: PathBuf,
+}
+
+impl ScheduleCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Any error from creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ScheduleCache { dir })
+    }
+
+    /// The directory this cache lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The artifact path of a key (whether or not it exists).
+    pub fn path_of(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{key}.sched"))
+    }
+
+    /// Probes the cache: loads, parses and verifies the artifact of `key`
+    /// against the request's graph, trace and tiling parameters.
+    ///
+    /// I/O errors other than "not found" are treated as [`CacheProbe::Invalid`]
+    /// — a cache must degrade to recomputation, not fail the request.
+    pub fn probe(
+        &self,
+        key: &CacheKey,
+        g: &AppGraph,
+        gt: &GraphTrace,
+        params: &TileParams,
+    ) -> CacheProbe {
+        let path = self.path_of(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return CacheProbe::Absent,
+            Err(e) => return CacheProbe::Invalid(format!("read {}: {e}", path.display())),
+        };
+        let schedule = match schedule_from_text(&text) {
+            Ok(s) => s,
+            Err(e) => return CacheProbe::Invalid(format!("parse {}: {e}", path.display())),
+        };
+        let report = verify_schedule(&schedule, g, gt, params);
+        if !report.is_clean() {
+            return CacheProbe::Invalid(format!("verify {}: {report}", path.display()));
+        }
+        CacheProbe::Hit { text, schedule }
+    }
+
+    /// Persists an artifact atomically: the text is written to a temporary
+    /// file in the same directory and renamed over the final path, so a
+    /// concurrent reader sees either the old artifact or the new one,
+    /// never a torn write.
+    ///
+    /// # Errors
+    ///
+    /// Any error from writing or renaming the temporary file.
+    pub fn store(&self, key: &CacheKey, text: &str) -> io::Result<()> {
+        let final_path = self.path_of(key);
+        let tmp_path = self.dir.join(format!("{key}.sched.tmp.{}", std::process::id()));
+        std::fs::write(&tmp_path, text)?;
+        match std::fs::rename(&tmp_path, &final_path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp_path);
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of `.sched` artifacts currently in the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Any error from reading the directory.
+    pub fn len(&self) -> io::Result<usize> {
+        let mut n = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "sched") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Whether the cache directory holds no artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Any error from reading the directory.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}

@@ -1,0 +1,39 @@
+//! A long-running scheduling service over the KTILER pipeline.
+//!
+//! The pipeline (analyze → calibrate → tile, see the `ktiler` crate) is
+//! deterministic and pure in its inputs, which makes its output — the
+//! schedule — cacheable by content: two requests with the same kernel
+//! graph, grid geometry, cache configuration and performance model get the
+//! byte-identical `.sched` artifact. This crate wraps the pipeline in a
+//! service that exploits exactly that:
+//!
+//! * [`key`] — the content-addressed [`CacheKey`] over the tiler's inputs;
+//! * [`cache`] — the on-disk artifact store, re-verified on every load
+//!   ([`ScheduleCache`]);
+//! * [`service`] — the worker pool, bounded queue with shedding, per-request
+//!   deadlines and single-flight deduplication ([`Service`] / [`Client`]);
+//! * [`metrics`] — lock-free counters and latency histograms ([`Metrics`]);
+//! * [`proto`] / [`server`] — a length-prefixed line protocol over TCP
+//!   ([`serve`], [`NetClient`]), so one warmed cache can serve many
+//!   processes.
+//!
+//! Everything is `std`-only, like the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod key;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheProbe, ScheduleCache};
+pub use key::{schedule_cache_key, CacheKey, KeyHasher};
+pub use metrics::Metrics;
+pub use server::{serve, NetClient, Server};
+pub use service::{
+    Client, Outcome, ScheduleRequest, ScheduleResponse, Service, ServiceConfig, SvcError,
+    WorkloadSpec,
+};

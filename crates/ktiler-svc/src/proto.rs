@@ -1,0 +1,401 @@
+//! The wire protocol: length-prefixed frames carrying one-line requests
+//! and text responses.
+//!
+//! A **frame** is the ASCII decimal byte length of the payload, a newline,
+//! then exactly that many payload bytes. The header is human-typable and
+//! the payload is the existing text formats (request lines, `.sched`
+//! artifacts, metrics JSON), so a session can be driven or inspected with
+//! standard tools.
+//!
+//! Request payloads are a single line:
+//!
+//! ```text
+//! SCHEDULE optflow size=64 iters=3 levels=2 freq=1324,5010 deadline_ms=500
+//! STATS
+//! PING
+//! SHUTDOWN
+//! ```
+//!
+//! Response payloads are a status line plus an optional body:
+//!
+//! ```text
+//! OK HIT key=<32 hex> launches=<n>   (body: the .sched text)
+//! OK STATS                           (body: metrics JSON)
+//! OK PONG
+//! OK BYE
+//! ERR <CODE> <message>
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use crate::service::{Outcome, ScheduleRequest, ScheduleResponse, SvcError, WorkloadSpec};
+
+/// Largest accepted frame payload (64 MiB) — far above any real schedule,
+/// small enough that a malformed header cannot ask the server to allocate
+/// unbounded memory.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Longest accepted frame header (decimal digits before the newline).
+const MAX_HEADER_DIGITS: usize = 20;
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidInput`] when the payload exceeds [`MAX_FRAME`];
+/// otherwise any transport error.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the {MAX_FRAME}-byte limit", payload.len()),
+        ));
+    }
+    writeln!(w, "{}", payload.len())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean end-of-stream (EOF before the
+/// first header byte).
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] for malformed or oversized headers and
+/// for EOF mid-frame; otherwise any transport error (including
+/// `WouldBlock`/`TimedOut` from a read timeout, which callers polling an
+/// idle connection should treat as "no frame yet").
+pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+    let mut header = Vec::with_capacity(MAX_HEADER_DIGITS);
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if header.is_empty() {
+                    return Ok(None);
+                }
+                return Err(bad("end of stream inside a frame header".into()));
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        if !byte[0].is_ascii_digit() || header.len() >= MAX_HEADER_DIGITS {
+            return Err(bad(format!("malformed frame header byte 0x{:02x}", byte[0])));
+        }
+        header.push(byte[0]);
+    }
+    if header.is_empty() {
+        return Err(bad("empty frame header".into()));
+    }
+    let len: usize = std::str::from_utf8(&header)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("unparseable frame length".into()))?;
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| bad(format!("short frame ({len} bytes promised): {e}")))?;
+    Ok(Some(payload))
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Request a schedule.
+    Schedule(ScheduleRequest),
+    /// Request the metrics registry as JSON.
+    Stats,
+    /// Liveness check.
+    Ping,
+    /// Ask the server to stop accepting connections and shut down.
+    Shutdown,
+}
+
+impl Request {
+    /// Renders the request line.
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Schedule(req) => {
+                let mut line =
+                    format!("SCHEDULE {} freq={},{}", req.workload, req.gpu_mhz, req.mem_mhz);
+                if let Some(ms) = req.deadline_ms {
+                    line.push_str(&format!(" deadline_ms={ms}"));
+                }
+                line
+            }
+            Request::Stats => "STATS".into(),
+            Request::Ping => "PING".into(),
+            Request::Shutdown => "SHUTDOWN".into(),
+        }
+    }
+
+    /// Encodes the request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_line().into_bytes()
+    }
+
+    /// Parses a request line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed line.
+    pub fn parse_line(line: &str) -> Result<Self, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.split_first() {
+            Some((&"SCHEDULE", rest)) => {
+                let mut gpu_mhz = None;
+                let mut mem_mhz = None;
+                let mut deadline_ms = None;
+                let mut workload_tokens = Vec::new();
+                for tok in rest {
+                    if let Some(v) = tok.strip_prefix("freq=") {
+                        let (g, m) = v
+                            .split_once(',')
+                            .ok_or_else(|| format!("freq must be gpu,mem MHz, got '{v}'"))?;
+                        gpu_mhz = Some(g.parse().map_err(|_| format!("bad gpu MHz in '{tok}'"))?);
+                        mem_mhz = Some(m.parse().map_err(|_| format!("bad mem MHz in '{tok}'"))?);
+                    } else if let Some(v) = tok.strip_prefix("deadline_ms=") {
+                        deadline_ms =
+                            Some(v.parse().map_err(|_| format!("bad deadline in '{tok}'"))?);
+                    } else {
+                        workload_tokens.push(*tok);
+                    }
+                }
+                let workload = WorkloadSpec::parse(&workload_tokens)?;
+                let defaults = ScheduleRequest::new(workload);
+                Ok(Request::Schedule(ScheduleRequest {
+                    workload,
+                    gpu_mhz: gpu_mhz.unwrap_or(defaults.gpu_mhz),
+                    mem_mhz: mem_mhz.unwrap_or(defaults.mem_mhz),
+                    deadline_ms,
+                }))
+            }
+            Some((&"STATS", [])) => Ok(Request::Stats),
+            Some((&"PING", [])) => Ok(Request::Ping),
+            Some((&"SHUTDOWN", [])) => Ok(Request::Shutdown),
+            Some((&verb, _)) => Err(format!("unknown or malformed request '{verb}'")),
+            None => Err("empty request".into()),
+        }
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let line = std::str::from_utf8(payload).map_err(|_| "request is not UTF-8".to_string())?;
+        Self::parse_line(line.trim_end_matches(['\r', '\n']))
+    }
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A served schedule.
+    Schedule(ScheduleResponse),
+    /// The metrics registry as JSON.
+    Stats(String),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Acknowledgement of [`Request::Shutdown`].
+    Bye,
+    /// The request failed.
+    Err(SvcError),
+}
+
+impl Response {
+    /// Encodes the response as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Schedule(r) => format!(
+                "OK {} key={} launches={}\n{}",
+                r.outcome.as_str(),
+                r.key,
+                r.launches,
+                r.text
+            )
+            .into_bytes(),
+            Response::Stats(json) => format!("OK STATS\n{json}").into_bytes(),
+            Response::Pong => b"OK PONG".to_vec(),
+            Response::Bye => b"OK BYE".to_vec(),
+            Response::Err(e) => {
+                let msg = match e {
+                    SvcError::BadRequest(m) | SvcError::Pipeline(m) => m.as_str(),
+                    _ => "",
+                };
+                // The message must stay on the status line.
+                let msg = msg.replace('\n', " ");
+                format!("ERR {} {msg}", e.code()).trim_end().to_string().into_bytes()
+            }
+        }
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "response is not UTF-8".to_string())?;
+        let (status, body) = match text.split_once('\n') {
+            Some((s, b)) => (s, b),
+            None => (text, ""),
+        };
+        let tokens: Vec<&str> = status.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["OK", "PONG"] => Ok(Response::Pong),
+            ["OK", "BYE"] => Ok(Response::Bye),
+            ["OK", "STATS"] => Ok(Response::Stats(body.to_string())),
+            ["OK", outcome, key, launches] => {
+                let outcome = Outcome::from_str_token(outcome)
+                    .ok_or_else(|| format!("unknown outcome '{outcome}'"))?;
+                let key = key
+                    .strip_prefix("key=")
+                    .and_then(|k| k.parse().ok())
+                    .ok_or_else(|| format!("bad key field '{key}'"))?;
+                let launches = launches
+                    .strip_prefix("launches=")
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| format!("bad launches field '{launches}'"))?;
+                Ok(Response::Schedule(ScheduleResponse {
+                    outcome,
+                    key,
+                    launches,
+                    text: body.to_string(),
+                }))
+            }
+            ["ERR", code, rest @ ..] => {
+                Ok(Response::Err(SvcError::from_code(code, &rest.join(" "))))
+            }
+            _ => Err(format!("malformed status line '{status}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::CacheKey;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        for bad in ["x\nzz", "5\nab", "99999999999999999999999\n", "\n"] {
+            let mut r = Cursor::new(bad.as_bytes().to_vec());
+            assert!(read_frame(&mut r).is_err(), "{bad:?} should be rejected");
+        }
+        // Oversized declared length.
+        let mut r = Cursor::new(format!("{}\n", MAX_FRAME + 1).into_bytes());
+        assert!(read_frame(&mut r).is_err());
+        // Oversized write.
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &vec![0u8; MAX_FRAME + 1]).is_err());
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Schedule(ScheduleRequest {
+                workload: WorkloadSpec::OptFlow { size: 64, iters: 3, levels: 2 },
+                gpu_mhz: 1324.0,
+                mem_mhz: 5010.0,
+                deadline_ms: Some(250),
+            }),
+            Request::Schedule(ScheduleRequest::new(WorkloadSpec::OptFlow {
+                size: 512,
+                iters: 30,
+                levels: 3,
+            })),
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let decoded = Request::decode(&req.encode()).unwrap();
+            assert_eq!(decoded, req, "{}", req.to_line());
+        }
+    }
+
+    #[test]
+    fn schedule_request_defaults_apply() {
+        let req = Request::parse_line("SCHEDULE optflow size=64 iters=3 levels=2").unwrap();
+        let Request::Schedule(req) = req else { panic!("not a schedule request") };
+        assert_eq!(req.gpu_mhz, 1324.0);
+        assert_eq!(req.mem_mhz, 5010.0);
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        for bad in [
+            "",
+            "FETCH optflow",
+            "SCHEDULE mandelbrot",
+            "SCHEDULE optflow freq=fast,5010",
+            "SCHEDULE optflow freq=1324",
+            "SCHEDULE optflow deadline_ms=soon",
+            "PING extra",
+            "STATS now",
+        ] {
+            assert!(Request::parse_line(bad).is_err(), "{bad:?} should be rejected");
+        }
+        assert!(Request::decode(&[0xff, 0xfe]).is_err(), "non-UTF-8 rejected");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resps = [
+            Response::Schedule(ScheduleResponse {
+                outcome: Outcome::Hit,
+                key: CacheKey { hi: 0xdead_beef, lo: 0x1234 },
+                launches: 7,
+                text: "# schedule\nlaunch k0: all\n".to_string(),
+            }),
+            Response::Stats("{\"requests\": 3}".to_string()),
+            Response::Pong,
+            Response::Bye,
+            Response::Err(SvcError::Shed),
+            Response::Err(SvcError::DeadlineExceeded),
+            Response::Err(SvcError::BadRequest("size must be in 16..=2048".into())),
+            Response::Err(SvcError::Pipeline("tiling failed".into())),
+        ];
+        for resp in resps {
+            let decoded = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn schedule_response_body_is_byte_exact() {
+        let text = "line one\n\nline three with  spaces\n".to_string();
+        let resp = Response::Schedule(ScheduleResponse {
+            outcome: Outcome::Miss,
+            key: CacheKey { hi: 1, lo: 2 },
+            launches: 1,
+            text: text.clone(),
+        });
+        let Response::Schedule(back) = Response::decode(&resp.encode()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(back.text, text);
+    }
+}

@@ -1,0 +1,195 @@
+//! The TCP front-end: accepts connections, decodes framed requests and
+//! drives the in-process [`Service`] — the network path and the in-process
+//! [`crate::Client`] path share the identical queue, single-flight table
+//! and cache.
+//!
+//! The accept loop and each connection handler poll a shared stop flag
+//! (non-blocking accept, short read timeouts) so a `SHUTDOWN` request —
+//! or [`Server::request_stop`] — winds the whole front-end down without
+//! help from the OS: no signals, no socket shootdown.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::service::{Service, SvcError};
+
+/// How long the accept loop sleeps between polls of an idle listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Read timeout of an idle connection; bounds how stale the stop flag can
+/// be when a client goes quiet.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// A running TCP front-end over a [`Service`].
+pub struct Server {
+    local_addr: SocketAddr,
+    svc: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Starts serving `svc` on `addr` (e.g. `127.0.0.1:0` for an ephemeral
+/// port; the bound address is [`Server::local_addr`]).
+///
+/// # Errors
+///
+/// Any error from binding the listener.
+pub fn serve<A: ToSocketAddrs>(addr: A, svc: Arc<Service>) -> io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let svc = Arc::clone(&svc);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("ktiler-svc-accept".into())
+            .spawn(move || accept_loop(listener, svc, stop))
+            .expect("spawn accept thread")
+    };
+    Ok(Server { local_addr, svc, stop, accept_thread: Some(accept_thread) })
+}
+
+impl Server {
+    /// The address the listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service behind this server.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.svc
+    }
+
+    /// Whether a stop was requested (by a `SHUTDOWN` request or
+    /// [`Server::request_stop`]).
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests a stop; the accept loop and all handlers notice within
+    /// their poll intervals.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until a stop is requested, then joins the front-end and
+    /// shuts the service down (draining queued requests). Returns the
+    /// service so the caller can dump final metrics.
+    pub fn join(mut self) -> Arc<Service> {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        self.svc.shutdown();
+        Arc::clone(&self.svc)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.request_stop();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, svc: Arc<Service>, stop: Arc<AtomicBool>) {
+    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let svc = Arc::clone(&svc);
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::Builder::new()
+                    .name("ktiler-svc-conn".into())
+                    .spawn(move || handle_connection(stream, &svc, &stop))
+                    .expect("spawn connection thread");
+                handlers.lock().expect("handler list poisoned").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    for h in std::mem::take(&mut *handlers.lock().expect("handler list poisoned")) {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, svc: &Service, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let client = svc.client();
+    while !stop.load(Ordering::SeqCst) {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // client hung up cleanly
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue; // idle poll; go re-check the stop flag
+            }
+            Err(_) => return, // torn frame or transport error: drop the connection
+        };
+        let response = match Request::decode(&payload) {
+            Err(msg) => Response::Err(SvcError::BadRequest(msg)),
+            Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Stats) => Response::Stats(client.metrics_json()),
+            Ok(Request::Schedule(req)) => match client.schedule(req) {
+                Ok(resp) => Response::Schedule(resp),
+                Err(e) => Response::Err(e),
+            },
+            Ok(Request::Shutdown) => {
+                let _ = write_frame(&mut writer, &Response::Bye.encode());
+                stop.store(true, Ordering::SeqCst);
+                return;
+            }
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// A blocking TCP client speaking the framed protocol; used by
+/// `ktiler_tool client` and the end-to-end tests.
+pub struct NetClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl NetClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Any error from connecting or cloning the stream.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(NetClient { writer, reader: BufReader::new(stream) })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`io::ErrorKind::InvalidData`] when the server
+    /// answers with an undecodable frame;
+    /// [`io::ErrorKind::UnexpectedEof`] when it hangs up first.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Response::decode(&payload).map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+    }
+}

@@ -1,0 +1,712 @@
+//! The scheduling service: request types, worker pool, bounded queue,
+//! single-flight deduplication and the cached pipeline.
+//!
+//! A request names a workload and an operating point; the service answers
+//! with a verified schedule, preferring a content-addressed artifact from
+//! the on-disk cache over recomputation. Concurrency shape:
+//!
+//! * **Bounded queue, shed on full** — `submit` never blocks: when the
+//!   queue is at capacity the request is rejected immediately with
+//!   [`SvcError::Shed`]. Under overload it is better to fail fast (the
+//!   client can retry, back off or fall back to computing locally) than to
+//!   build an unbounded backlog of requests that will all miss their
+//!   deadlines anyway.
+//! * **Per-request deadlines** — a job whose deadline passes while queued
+//!   is dropped by the worker that dequeues it ([`SvcError::DeadlineExceeded`]);
+//!   the waiting client enforces the same deadline on its side.
+//! * **Single-flight** — identical requests (same workload, same operating
+//!   point) that arrive while one is being computed attach to that
+//!   computation instead of starting their own; N concurrent identical
+//!   requests run the pipeline exactly once.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use gpu_sim::{FreqConfig, GpuConfig};
+use hsoptflow::{build_app, synthetic_pair, HsParams, OptFlowApp};
+use kgraph::GraphTrace;
+use ktiler::{
+    calibrate, ktiler_schedule, schedule_to_text, CalibrationConfig, KtilerConfig, TileParams,
+};
+
+use crate::cache::{CacheProbe, ScheduleCache};
+use crate::key::{schedule_cache_key, CacheKey, KeyHasher};
+use crate::metrics::{bump, Metrics};
+
+/// The workload a schedule is requested for.
+///
+/// Today the service knows one application family — the paper's
+/// HSOpticalFlow pyramid at a configurable scale; the enum leaves room
+/// for more without a protocol change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadSpec {
+    /// The HSOpticalFlow application on synthetic frames.
+    OptFlow {
+        /// Frame width and height in pixels.
+        size: u32,
+        /// Jacobi iterations per pyramid step.
+        iters: u32,
+        /// Pyramid levels.
+        levels: u32,
+    },
+}
+
+impl WorkloadSpec {
+    /// Checks the spec against the service's sanity bounds, so one absurd
+    /// request (a 10⁶-pixel frame, a 10⁵-iteration solve) cannot pin a
+    /// worker for hours.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::BadRequest`] describing the offending field.
+    pub fn validate(&self) -> Result<(), SvcError> {
+        let WorkloadSpec::OptFlow { size, iters, levels } = *self;
+        let bad = |m: String| Err(SvcError::BadRequest(m));
+        if !(1..=6).contains(&levels) {
+            return bad(format!("levels must be in 1..=6, got {levels}"));
+        }
+        if !(1..=500).contains(&iters) {
+            return bad(format!("iters must be in 1..=500, got {iters}"));
+        }
+        if !(16..=2048).contains(&size) {
+            return bad(format!("size must be in 16..=2048, got {size}"));
+        }
+        if size >> levels < 4 {
+            return bad(format!("size {size} too small for {levels} pyramid levels"));
+        }
+        Ok(())
+    }
+
+    /// Builds the application (graph + device memory) for this spec.
+    fn build(&self) -> OptFlowApp {
+        let WorkloadSpec::OptFlow { size, iters, levels } = *self;
+        let p = HsParams { levels, jacobi_iters: iters, warp_iters: 1, alpha2: 0.1 };
+        let (f0, f1) = synthetic_pair(size, size, 1.0, 0.5, 7);
+        build_app(&f0, &f1, &p)
+    }
+
+    /// Parses the wire form, e.g. `optflow size=64 iters=3 levels=2`.
+    /// Omitted fields default to the harness scale (512 / 30 / 3).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed token.
+    pub fn parse(tokens: &[&str]) -> Result<Self, String> {
+        let Some((&family, rest)) = tokens.split_first() else {
+            return Err("missing workload family".into());
+        };
+        if family != "optflow" {
+            return Err(format!("unknown workload family '{family}' (expected 'optflow')"));
+        }
+        let (mut size, mut iters, mut levels) = (512u32, 30u32, 3u32);
+        for tok in rest {
+            let Some((k, v)) = tok.split_once('=') else {
+                return Err(format!("malformed token '{tok}' (expected key=value)"));
+            };
+            let v: u32 = v.parse().map_err(|_| format!("bad value in '{tok}'"))?;
+            match k {
+                "size" => size = v,
+                "iters" => iters = v,
+                "levels" => levels = v,
+                _ => return Err(format!("unknown workload field '{k}'")),
+            }
+        }
+        Ok(WorkloadSpec::OptFlow { size, iters, levels })
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let WorkloadSpec::OptFlow { size, iters, levels } = self;
+        write!(f, "optflow size={size} iters={iters} levels={levels}")
+    }
+}
+
+/// One schedule request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRequest {
+    /// The workload to schedule.
+    pub workload: WorkloadSpec,
+    /// GPU core clock in MHz.
+    pub gpu_mhz: f64,
+    /// Effective memory clock in MHz.
+    pub mem_mhz: f64,
+    /// Optional deadline, measured from submission. `None` waits forever.
+    pub deadline_ms: Option<u64>,
+}
+
+impl ScheduleRequest {
+    /// A request at the default operating point (1324, 5010) and no
+    /// deadline.
+    pub fn new(workload: WorkloadSpec) -> Self {
+        let f = FreqConfig::default();
+        ScheduleRequest { workload, gpu_mhz: f.gpu_mhz, mem_mhz: f.mem_mhz, deadline_ms: None }
+    }
+
+    /// The single-flight / memo identity of this request: everything that
+    /// feeds the pipeline (workload and operating point), excluding the
+    /// deadline — two requests differing only in patience are identical
+    /// work.
+    fn flight_key(&self) -> CacheKey {
+        let mut h = KeyHasher::new();
+        h.write_str("ktiler-svc request-key v1");
+        h.write_str(&self.workload.to_string());
+        h.write_f64(self.gpu_mhz);
+        h.write_f64(self.mem_mhz);
+        h.finish()
+    }
+
+    fn validate(&self) -> Result<(), SvcError> {
+        self.workload.validate()?;
+        for (name, v) in [("gpu_mhz", self.gpu_mhz), ("mem_mhz", self.mem_mhz)] {
+            if !(v.is_finite() && v > 0.0 && v <= 100_000.0) {
+                return Err(SvcError::BadRequest(format!(
+                    "{name} must be in (0, 100000], got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How a response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served from a verified on-disk artifact.
+    Hit,
+    /// No artifact existed; the pipeline ran and the artifact was stored.
+    Miss,
+    /// An artifact existed but failed verification; the pipeline ran and
+    /// the artifact was replaced.
+    Recompute,
+}
+
+impl Outcome {
+    /// The wire token of this outcome.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Outcome::Hit => "HIT",
+            Outcome::Miss => "MISS",
+            Outcome::Recompute => "RECOMPUTE",
+        }
+    }
+
+    /// Parses a wire token.
+    pub fn from_str_token(s: &str) -> Option<Self> {
+        match s {
+            "HIT" => Some(Outcome::Hit),
+            "MISS" => Some(Outcome::Miss),
+            "RECOMPUTE" => Some(Outcome::Recompute),
+            _ => None,
+        }
+    }
+}
+
+/// A served schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleResponse {
+    /// How the schedule was produced (single-flight followers inherit
+    /// their leader's outcome).
+    pub outcome: Outcome,
+    /// The content-addressed key of the artifact.
+    pub key: CacheKey,
+    /// Number of launches in the schedule.
+    pub launches: usize,
+    /// The schedule in `.sched` text form — byte-identical between the
+    /// miss that stored it and every later hit.
+    pub text: String,
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvcError {
+    /// The queue was full; try again later.
+    Shed,
+    /// The deadline passed before the request was served.
+    DeadlineExceeded,
+    /// The service is shutting down.
+    ShuttingDown,
+    /// The request itself is invalid.
+    BadRequest(String),
+    /// The pipeline failed (analysis, calibration or tiling).
+    Pipeline(String),
+}
+
+impl SvcError {
+    /// Stable wire code of this error.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SvcError::Shed => "SHED",
+            SvcError::DeadlineExceeded => "DEADLINE",
+            SvcError::ShuttingDown => "SHUTDOWN",
+            SvcError::BadRequest(_) => "BAD_REQUEST",
+            SvcError::Pipeline(_) => "PIPELINE",
+        }
+    }
+
+    /// Reconstructs an error from its wire code and message.
+    pub fn from_code(code: &str, message: &str) -> Self {
+        match code {
+            "SHED" => SvcError::Shed,
+            "DEADLINE" => SvcError::DeadlineExceeded,
+            "SHUTDOWN" => SvcError::ShuttingDown,
+            "BAD_REQUEST" => SvcError::BadRequest(message.to_string()),
+            _ => SvcError::Pipeline(message.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for SvcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvcError::Shed => write!(f, "queue full, request shed"),
+            SvcError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            SvcError::ShuttingDown => write!(f, "service shutting down"),
+            SvcError::BadRequest(m) => write!(f, "bad request: {m}"),
+            SvcError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SvcError {}
+
+/// Tunables of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Directory of the content-addressed schedule cache.
+    pub cache_dir: PathBuf,
+    /// Worker threads consuming the request queue.
+    pub workers: usize,
+    /// Queue capacity; a submit beyond it sheds.
+    pub queue_capacity: usize,
+    /// Entries kept in the in-memory workload memo (analyzed + calibrated
+    /// workloads). The memo is cleared wholesale when full — crude, but
+    /// bounded, and the on-disk schedule cache carries the durable state.
+    pub memo_capacity: usize,
+    /// Device model used for analysis, calibration and verification.
+    pub gpu: GpuConfig,
+    /// Merge threshold forwarded to Algorithm 1 (the paper's `thld`).
+    pub weight_threshold_ns: f64,
+}
+
+impl ServiceConfig {
+    /// A config with the paper's defaults: 2 workers, a 64-deep queue,
+    /// the GTX 960M device model and a 1 µs merge threshold.
+    pub fn new(cache_dir: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            cache_dir: cache_dir.into(),
+            workers: 2,
+            queue_capacity: 64,
+            memo_capacity: 16,
+            gpu: GpuConfig::gtx960m(),
+            weight_threshold_ns: 1_000.0,
+        }
+    }
+}
+
+/// An analyzed + calibrated workload, shared read-only between workers.
+struct Prepared {
+    app: OptFlowApp,
+    gt: GraphTrace,
+    cal: ktiler::Calibration,
+    kcfg: KtilerConfig,
+    key: CacheKey,
+}
+
+/// One waiter's slot for a response.
+struct Cell {
+    state: Mutex<Option<Result<ScheduleResponse, SvcError>>>,
+    cv: Condvar,
+}
+
+impl Cell {
+    fn new() -> Arc<Self> {
+        Arc::new(Cell { state: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    fn fulfill(&self, r: Result<ScheduleResponse, SvcError>) {
+        let mut st = self.state.lock().expect("cell lock poisoned");
+        if st.is_none() {
+            *st = Some(r);
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self, deadline: Option<Instant>) -> Result<ScheduleResponse, SvcError> {
+        let mut st = self.state.lock().expect("cell lock poisoned");
+        loop {
+            if let Some(r) = st.take() {
+                return r;
+            }
+            match deadline {
+                None => st = self.cv.wait(st).expect("cell lock poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(SvcError::DeadlineExceeded);
+                    }
+                    let (guard, _) = self.cv.wait_timeout(st, d - now).expect("cell lock poisoned");
+                    st = guard;
+                }
+            }
+        }
+    }
+}
+
+struct Job {
+    req: ScheduleRequest,
+    deadline: Option<Instant>,
+    cell: Arc<Cell>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    cache: ScheduleCache,
+    metrics: Arc<Metrics>,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    /// Single-flight table: flight key → followers waiting on the leader.
+    inflight: Mutex<HashMap<CacheKey, Vec<Arc<Cell>>>>,
+    /// Workload memo: flight key → prepared workload.
+    memo: Mutex<HashMap<CacheKey, Arc<Prepared>>>,
+}
+
+/// The scheduling service: owns the worker pool; hand out [`Client`]s to
+/// talk to it.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// An in-process handle to a [`Service`]; cheap to clone, sharable across
+/// threads. Network clients go through `ktiler_serve` instead — both paths
+/// drive the identical queue and pipeline.
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<Inner>,
+}
+
+impl Service {
+    /// Starts a service: opens the cache directory and spawns the workers.
+    ///
+    /// # Errors
+    ///
+    /// Any error from creating the cache directory.
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Service> {
+        let cache = ScheduleCache::open(&cfg.cache_dir)?;
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            cfg,
+            cache,
+            metrics: Arc::new(Metrics::default()),
+            queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            queue_cv: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ktiler-svc-worker-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn worker thread"),
+            );
+        }
+        Ok(Service { inner, workers: Mutex::new(handles) })
+    }
+
+    /// A new in-process client.
+    pub fn client(&self) -> Client {
+        Client { inner: Arc::clone(&self.inner) }
+    }
+
+    /// The service's metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// Renders the metrics registry as JSON.
+    pub fn metrics_json(&self) -> String {
+        self.inner.metrics.to_json()
+    }
+
+    /// Stops accepting requests, finishes the queued ones and joins the
+    /// workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+            q.shutdown = true;
+            self.inner.queue_cv.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Client {
+    /// Requests a schedule, blocking until it is served, the deadline
+    /// passes, or the request is shed.
+    ///
+    /// # Errors
+    ///
+    /// See [`SvcError`]; [`SvcError::Shed`] and
+    /// [`SvcError::DeadlineExceeded`] are expected under load and should
+    /// be retried or degraded by the caller.
+    pub fn schedule(&self, req: ScheduleRequest) -> Result<ScheduleResponse, SvcError> {
+        req.validate()?;
+        let deadline = req.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let cell = Cell::new();
+        {
+            let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+            if q.shutdown {
+                return Err(SvcError::ShuttingDown);
+            }
+            if q.jobs.len() >= self.inner.cfg.queue_capacity {
+                bump(&self.inner.metrics.sheds);
+                return Err(SvcError::Shed);
+            }
+            bump(&self.inner.metrics.requests);
+            q.jobs.push_back(Job { req, deadline, cell: Arc::clone(&cell) });
+            self.inner.queue_cv.notify_one();
+        }
+        cell.wait(deadline)
+    }
+
+    /// Renders the metrics registry as JSON.
+    pub fn metrics_json(&self) -> String {
+        self.inner.metrics.to_json()
+    }
+}
+
+impl Inner {
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("queue lock poisoned");
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        break job;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.queue_cv.wait(q).expect("queue lock poisoned");
+                }
+            };
+            if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                bump(&self.metrics.deadline_expired);
+                job.cell.fulfill(Err(SvcError::DeadlineExceeded));
+                continue;
+            }
+            let fk = job.req.flight_key();
+            {
+                let mut inflight = self.inflight.lock().expect("inflight lock poisoned");
+                if let Some(waiters) = inflight.get_mut(&fk) {
+                    // An identical request is already being computed:
+                    // attach and let the leader's result serve this one.
+                    waiters.push(Arc::clone(&job.cell));
+                    bump(&self.metrics.coalesced);
+                    continue;
+                }
+                inflight.insert(fk, Vec::new());
+            }
+            let result = self.run_pipeline(&job.req);
+            if result.is_err() {
+                bump(&self.metrics.errors);
+            }
+            let waiters = self
+                .inflight
+                .lock()
+                .expect("inflight lock poisoned")
+                .remove(&fk)
+                .unwrap_or_default();
+            for w in &waiters {
+                w.fulfill(result.clone());
+            }
+            job.cell.fulfill(result);
+        }
+    }
+
+    /// Memo lookup or analyze + calibrate.
+    fn prepare(&self, req: &ScheduleRequest, fk: CacheKey) -> Result<Arc<Prepared>, SvcError> {
+        if let Some(p) = self.memo.lock().expect("memo lock poisoned").get(&fk) {
+            return Ok(Arc::clone(p));
+        }
+        let t0 = Instant::now();
+        let mut app = req.workload.build();
+        let gpu = self.cfg.gpu.clone();
+        let gt = kgraph::analyze(&app.graph, &mut app.mem, gpu.cache.line_bytes)
+            .map_err(|e| SvcError::Pipeline(format!("analysis failed: {e}")))?;
+        let freq = FreqConfig::new(req.gpu_mhz, req.mem_mhz);
+        let cal = calibrate(&app.graph, &gt, &gpu, freq, &CalibrationConfig::default());
+        let kcfg = KtilerConfig {
+            weight_threshold_ns: self.cfg.weight_threshold_ns,
+            tile: TileParams::paper(gpu.cache.capacity_bytes, gpu.cache.line_bytes, 0.0),
+        };
+        let key = schedule_cache_key(&app.graph, &gt, &gpu.cache, &cal, &kcfg);
+        bump(&self.metrics.analysis_runs);
+        self.metrics.analyze_latency.record(t0.elapsed());
+        let prepared = Arc::new(Prepared { app, gt, cal, kcfg, key });
+        let mut memo = self.memo.lock().expect("memo lock poisoned");
+        if memo.len() >= self.cfg.memo_capacity {
+            memo.clear();
+        }
+        memo.insert(fk, Arc::clone(&prepared));
+        Ok(prepared)
+    }
+
+    /// The full cached pipeline: prepare → probe cache → compute + store.
+    fn run_pipeline(&self, req: &ScheduleRequest) -> Result<ScheduleResponse, SvcError> {
+        let t_total = Instant::now();
+        let p = self.prepare(req, req.flight_key())?;
+
+        let t_load = Instant::now();
+        let probe = self.cache.probe(&p.key, &p.app.graph, &p.gt, &p.kcfg.tile);
+        self.metrics.cache_load_latency.record(t_load.elapsed());
+        let outcome = match probe {
+            CacheProbe::Hit { text, schedule } => {
+                bump(&self.metrics.cache_hits);
+                self.metrics.total_latency.record(t_total.elapsed());
+                return Ok(ScheduleResponse {
+                    outcome: Outcome::Hit,
+                    key: p.key,
+                    launches: schedule.num_launches(),
+                    text,
+                });
+            }
+            CacheProbe::Absent => {
+                bump(&self.metrics.cache_misses);
+                Outcome::Miss
+            }
+            CacheProbe::Invalid(_reason) => {
+                bump(&self.metrics.verify_failures);
+                Outcome::Recompute
+            }
+        };
+
+        let t_tile = Instant::now();
+        let out = ktiler_schedule(&p.app.graph, &p.gt, &p.cal, &p.kcfg)
+            .map_err(|e| SvcError::Pipeline(format!("tiling failed: {e}")))?;
+        out.schedule
+            .validate(&p.app.graph, &p.gt.deps)
+            .map_err(|e| SvcError::Pipeline(format!("emitted schedule invalid: {e}")))?;
+        bump(&self.metrics.pipeline_runs);
+        self.metrics.tile_latency.record(t_tile.elapsed());
+
+        let text = schedule_to_text(&out.schedule);
+        if self.cache.store(&p.key, &text).is_err() {
+            // The response is still good; only persistence was lost.
+            bump(&self.metrics.store_failures);
+        }
+        self.metrics.total_latency.record(t_total.elapsed());
+        Ok(ScheduleResponse { outcome, key: p.key, launches: out.schedule.num_launches(), text })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_spec_parse_and_display_roundtrip() {
+        let spec = WorkloadSpec::OptFlow { size: 64, iters: 3, levels: 2 };
+        let shown = spec.to_string();
+        assert_eq!(shown, "optflow size=64 iters=3 levels=2");
+        let tokens: Vec<&str> = shown.split_whitespace().collect();
+        assert_eq!(WorkloadSpec::parse(&tokens).unwrap(), spec);
+        // Defaults fill omitted fields.
+        assert_eq!(
+            WorkloadSpec::parse(&["optflow"]).unwrap(),
+            WorkloadSpec::OptFlow { size: 512, iters: 30, levels: 3 }
+        );
+        assert!(WorkloadSpec::parse(&["mandelbrot"]).is_err());
+        assert!(WorkloadSpec::parse(&["optflow", "size"]).is_err());
+        assert!(WorkloadSpec::parse(&["optflow", "size=abc"]).is_err());
+        assert!(WorkloadSpec::parse(&["optflow", "frames=2"]).is_err());
+        assert!(WorkloadSpec::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn spec_validation_bounds() {
+        assert!(WorkloadSpec::OptFlow { size: 64, iters: 3, levels: 2 }.validate().is_ok());
+        for bad in [
+            WorkloadSpec::OptFlow { size: 8, iters: 3, levels: 2 },
+            WorkloadSpec::OptFlow { size: 4096, iters: 3, levels: 2 },
+            WorkloadSpec::OptFlow { size: 64, iters: 0, levels: 2 },
+            WorkloadSpec::OptFlow { size: 64, iters: 501, levels: 2 },
+            WorkloadSpec::OptFlow { size: 64, iters: 3, levels: 0 },
+            WorkloadSpec::OptFlow { size: 64, iters: 3, levels: 7 },
+            WorkloadSpec::OptFlow { size: 16, iters: 3, levels: 3 },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(SvcError::BadRequest(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn flight_key_ignores_deadline_but_not_operating_point() {
+        let spec = WorkloadSpec::OptFlow { size: 64, iters: 3, levels: 2 };
+        let a = ScheduleRequest::new(spec);
+        let b = ScheduleRequest { deadline_ms: Some(5), ..a.clone() };
+        assert_eq!(a.flight_key(), b.flight_key());
+        let c = ScheduleRequest { mem_mhz: 1600.0, ..a.clone() };
+        assert_ne!(a.flight_key(), c.flight_key());
+    }
+
+    #[test]
+    fn request_validation_rejects_bad_frequencies() {
+        let spec = WorkloadSpec::OptFlow { size: 64, iters: 3, levels: 2 };
+        for (g, m) in [(0.0, 5010.0), (-1.0, 5010.0), (1324.0, f64::NAN), (1324.0, 1e9)] {
+            let req = ScheduleRequest { gpu_mhz: g, mem_mhz: m, ..ScheduleRequest::new(spec) };
+            assert!(matches!(req.validate(), Err(SvcError::BadRequest(_))), "({g}, {m})");
+        }
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for e in [
+            SvcError::Shed,
+            SvcError::DeadlineExceeded,
+            SvcError::ShuttingDown,
+            SvcError::BadRequest("x".into()),
+            SvcError::Pipeline("y".into()),
+        ] {
+            let back = SvcError::from_code(
+                e.code(),
+                match &e {
+                    SvcError::BadRequest(m) | SvcError::Pipeline(m) => m,
+                    _ => "",
+                },
+            );
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn outcome_tokens_roundtrip() {
+        for o in [Outcome::Hit, Outcome::Miss, Outcome::Recompute] {
+            assert_eq!(Outcome::from_str_token(o.as_str()), Some(o));
+        }
+        assert_eq!(Outcome::from_str_token("NOPE"), None);
+    }
+}

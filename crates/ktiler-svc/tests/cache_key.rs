@@ -1,0 +1,101 @@
+//! Stability tests of the content-addressed schedule cache key: identical
+//! inputs built from scratch twice must produce the identical key, and
+//! perturbing any key ingredient — L2 geometry, launch grid, or the
+//! calibrated performance tables — must change it.
+
+use gpu_sim::{FreqConfig, GpuConfig};
+use hsoptflow::{build_app, synthetic_pair, HsParams};
+use kgraph::GraphTrace;
+use ktiler::{calibrate, Calibration, CalibrationConfig, KtilerConfig, TileParams};
+use ktiler_svc::{schedule_cache_key, CacheKey};
+
+struct Built {
+    graph: kgraph::AppGraph,
+    gt: GraphTrace,
+    gpu: GpuConfig,
+    cal: Calibration,
+    kcfg: KtilerConfig,
+}
+
+/// Builds the full pipeline state for a workload from scratch — each call
+/// is an independent "fresh build" of every key ingredient.
+fn build(size: u32) -> Built {
+    let gpu = GpuConfig::gtx960m();
+    let p = HsParams { levels: 2, jacobi_iters: 3, warp_iters: 1, alpha2: 0.1 };
+    let (f0, f1) = synthetic_pair(size, size, 1.0, 0.5, 7);
+    let mut app = build_app(&f0, &f1, &p);
+    let gt = kgraph::analyze(&app.graph, &mut app.mem, gpu.cache.line_bytes).unwrap();
+    let cal =
+        calibrate(&app.graph, &gt, &gpu, FreqConfig::default(), &CalibrationConfig::default());
+    let kcfg = KtilerConfig {
+        weight_threshold_ns: 1_000.0,
+        tile: TileParams::paper(gpu.cache.capacity_bytes, gpu.cache.line_bytes, 0.0),
+    };
+    Built { graph: app.graph, gt, gpu, cal, kcfg }
+}
+
+fn key_of(b: &Built) -> CacheKey {
+    schedule_cache_key(&b.graph, &b.gt, &b.gpu.cache, &b.cal, &b.kcfg)
+}
+
+#[test]
+fn same_inputs_from_fresh_builds_share_one_key() {
+    let a = build(64);
+    let b = build(64);
+    assert_eq!(key_of(&a), key_of(&b), "key must be stable across fresh builds");
+}
+
+#[test]
+fn changing_the_l2_configuration_changes_the_key() {
+    let a = build(64);
+    let base = key_of(&a);
+
+    // Halve the modelled L2 capacity (and the derived tile budget with it).
+    let mut b = build(64);
+    b.gpu.cache.capacity_bytes /= 2;
+    b.kcfg.tile.cache_bytes /= 2;
+    assert_ne!(key_of(&b), base, "L2 capacity must be part of the key");
+
+    // Associativity alone (tile params untouched).
+    let mut c = build(64);
+    c.gpu.cache.ways *= 2;
+    assert_ne!(key_of(&c), base, "associativity must be part of the key");
+}
+
+#[test]
+fn changing_the_grid_changes_the_key() {
+    // A different frame size changes every kernel's launch grid.
+    assert_ne!(key_of(&build(64)), key_of(&build(128)));
+}
+
+#[test]
+fn changing_the_perf_table_changes_the_key() {
+    let a = build(64);
+    let base = key_of(&a);
+
+    let mut b = build(64);
+    let table = b
+        .cal
+        .tables
+        .iter_mut()
+        .find(|t| !t.masks().is_empty())
+        .expect("at least one calibrated kernel");
+    // One extra sampled point on one kernel's cold curve.
+    table.insert(0, 123_457, 9_876.5);
+    assert_ne!(key_of(&b), base, "perf-table samples must be part of the key");
+}
+
+#[test]
+fn changing_the_tiling_policy_changes_the_key() {
+    let a = build(64);
+    let base = key_of(&a);
+
+    let mut b = build(64);
+    b.kcfg.weight_threshold_ns += 1.0;
+    assert_ne!(key_of(&b), base, "merge threshold must be part of the key");
+
+    let mut c = build(64);
+    c.kcfg.tile.constraint =
+        ktiler::CacheConstraint::SimulatedHitRate { min_reuse_hit: 0.9, ways: c.gpu.cache.ways };
+    assert_ne!(key_of(&c), base, "constraint policy must be part of the key");
+}

@@ -1,0 +1,293 @@
+//! End-to-end tests of the scheduling service: cache miss/hit identity,
+//! verify-on-load recovery, single-flight deduplication, shedding,
+//! deadlines and the TCP front-end.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ktiler_svc::metrics::Metrics;
+use ktiler_svc::proto::{write_frame, Request, Response};
+use ktiler_svc::{
+    serve, NetClient, Outcome, ScheduleRequest, Service, ServiceConfig, SvcError, WorkloadSpec,
+};
+
+/// A fresh scratch directory unique to this test invocation; callers clean
+/// it up with [`cleanup`] on success (left behind on failure for
+/// inspection).
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("ktiler-svc-test-{}-{tag}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn cleanup(dir: &PathBuf) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+fn small_request() -> ScheduleRequest {
+    ScheduleRequest::new(WorkloadSpec::OptFlow { size: 64, iters: 3, levels: 2 })
+}
+
+#[test]
+fn miss_then_hit_is_byte_identical_64px() {
+    let dir = temp_dir("hit64");
+    let svc = Service::start(ServiceConfig::new(&dir)).unwrap();
+    let client = svc.client();
+
+    let first = client.schedule(small_request()).unwrap();
+    assert_eq!(first.outcome, Outcome::Miss);
+    assert!(first.launches > 0);
+    assert!(!first.text.is_empty());
+
+    let second = client.schedule(small_request()).unwrap();
+    assert_eq!(second.outcome, Outcome::Hit);
+    assert_eq!(second.key, first.key);
+    assert_eq!(second.launches, first.launches);
+    assert_eq!(second.text, first.text, "hit must be byte-identical to the miss");
+
+    let m = svc.metrics();
+    assert_eq!(Metrics::get(&m.cache_misses), 1);
+    assert_eq!(Metrics::get(&m.cache_hits), 1);
+    assert_eq!(Metrics::get(&m.pipeline_runs), 1);
+    assert_eq!(Metrics::get(&m.verify_failures), 0);
+
+    // The artifact on disk is exactly the served text.
+    let artifact = dir.join(format!("{}.sched", first.key));
+    assert_eq!(std::fs::read_to_string(&artifact).unwrap(), first.text);
+
+    svc.shutdown();
+    cleanup(&dir);
+}
+
+#[test]
+fn miss_then_hit_is_byte_identical_512px() {
+    let dir = temp_dir("hit512");
+    let svc = Service::start(ServiceConfig::new(&dir)).unwrap();
+    let client = svc.client();
+    // Full frame size, reduced solver work to keep the test quick.
+    let req = ScheduleRequest::new(WorkloadSpec::OptFlow { size: 512, iters: 3, levels: 2 });
+
+    let first = client.schedule(req.clone()).unwrap();
+    assert_eq!(first.outcome, Outcome::Miss);
+    let second = client.schedule(req).unwrap();
+    assert_eq!(second.outcome, Outcome::Hit);
+    assert_eq!(second.text, first.text, "hit must be byte-identical to the miss");
+
+    svc.shutdown();
+    cleanup(&dir);
+}
+
+#[test]
+fn corrupted_artifact_is_detected_and_recomputed() {
+    let dir = temp_dir("corrupt");
+    let svc = Service::start(ServiceConfig::new(&dir)).unwrap();
+    let client = svc.client();
+
+    let first = client.schedule(small_request()).unwrap();
+    let artifact = dir.join(format!("{}.sched", first.key));
+
+    // Outright garbage: fails parsing.
+    std::fs::write(&artifact, "not a schedule at all\n\x01\x02").unwrap();
+    let second = client.schedule(small_request()).unwrap();
+    assert_eq!(second.outcome, Outcome::Recompute);
+    assert_eq!(second.text, first.text, "recompute must reproduce the original schedule");
+    assert_eq!(
+        std::fs::read_to_string(&artifact).unwrap(),
+        first.text,
+        "recompute must restore the on-disk artifact"
+    );
+
+    // Parseable but semantically wrong: drop the final launch so blocks go
+    // missing. Parsing succeeds; only verify-on-load can catch this.
+    let truncated: String = {
+        let lines: Vec<&str> = first.text.lines().collect();
+        lines[..lines.len() - 1].join("\n") + "\n"
+    };
+    std::fs::write(&artifact, truncated).unwrap();
+    let third = client.schedule(small_request()).unwrap();
+    assert_eq!(third.outcome, Outcome::Recompute);
+    assert_eq!(third.text, first.text);
+
+    // And the cache is healthy again.
+    let fourth = client.schedule(small_request()).unwrap();
+    assert_eq!(fourth.outcome, Outcome::Hit);
+
+    let m = svc.metrics();
+    assert_eq!(Metrics::get(&m.verify_failures), 2);
+    assert_eq!(Metrics::get(&m.cache_hits), 1);
+    assert_eq!(Metrics::get(&m.cache_misses), 1);
+    assert_eq!(Metrics::get(&m.pipeline_runs), 3);
+
+    svc.shutdown();
+    cleanup(&dir);
+}
+
+#[test]
+fn eight_concurrent_identical_requests_run_the_pipeline_once() {
+    let dir = temp_dir("singleflight");
+    let mut cfg = ServiceConfig::new(&dir);
+    cfg.workers = 4; // real worker concurrency, so coalescing is exercised
+    let svc = Arc::new(Service::start(cfg).unwrap());
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let client = svc.client();
+            std::thread::spawn(move || client.schedule(small_request()))
+        })
+        .collect();
+    let mut texts = Vec::new();
+    for t in threads {
+        let resp = t.join().unwrap().expect("request should succeed");
+        texts.push(resp.text);
+    }
+    assert!(texts.windows(2).all(|w| w[0] == w[1]), "all responses identical");
+
+    let m = svc.metrics();
+    assert_eq!(Metrics::get(&m.pipeline_runs), 1, "single-flight must dedup to one run");
+    assert_eq!(Metrics::get(&m.cache_misses), 1);
+    assert_eq!(
+        Metrics::get(&m.cache_hits) + Metrics::get(&m.coalesced),
+        7,
+        "the other 7 must be coalesced onto the leader or served from cache"
+    );
+    assert_eq!(Metrics::get(&m.requests), 8);
+
+    svc.shutdown();
+    cleanup(&dir);
+}
+
+#[test]
+fn full_queue_sheds_instead_of_blocking() {
+    let dir = temp_dir("shed");
+    let mut cfg = ServiceConfig::new(&dir);
+    cfg.queue_capacity = 0; // every submit finds the queue "full"
+    let svc = Service::start(cfg).unwrap();
+    let client = svc.client();
+
+    let t0 = Instant::now();
+    let err = client.schedule(small_request()).unwrap_err();
+    assert_eq!(err, SvcError::Shed);
+    assert!(t0.elapsed() < Duration::from_secs(1), "shedding must not block");
+
+    let m = svc.metrics();
+    assert_eq!(Metrics::get(&m.sheds), 1);
+    assert_eq!(Metrics::get(&m.requests), 0, "shed requests are never admitted");
+
+    svc.shutdown();
+    cleanup(&dir);
+}
+
+#[test]
+fn expired_deadline_is_reported() {
+    let dir = temp_dir("deadline");
+    let svc = Service::start(ServiceConfig::new(&dir)).unwrap();
+    let client = svc.client();
+
+    let req = ScheduleRequest { deadline_ms: Some(0), ..small_request() };
+    let err = client.schedule(req).unwrap_err();
+    assert_eq!(err, SvcError::DeadlineExceeded);
+
+    // The worker that dequeued it records the expiry (poll briefly: the
+    // client may observe its own deadline before the worker pops the job).
+    let m = svc.metrics();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Metrics::get(&m.deadline_expired) == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(Metrics::get(&m.deadline_expired), 1);
+    assert_eq!(Metrics::get(&m.pipeline_runs), 0, "expired work must not run");
+
+    svc.shutdown();
+    cleanup(&dir);
+}
+
+#[test]
+fn bad_requests_are_rejected_before_queueing() {
+    let dir = temp_dir("badreq");
+    let svc = Service::start(ServiceConfig::new(&dir)).unwrap();
+    let client = svc.client();
+
+    let req = ScheduleRequest::new(WorkloadSpec::OptFlow { size: 7, iters: 3, levels: 2 });
+    assert!(matches!(client.schedule(req), Err(SvcError::BadRequest(_))));
+
+    let mut req = small_request();
+    req.gpu_mhz = -5.0;
+    assert!(matches!(client.schedule(req), Err(SvcError::BadRequest(_))));
+
+    let m = svc.metrics();
+    assert_eq!(Metrics::get(&m.requests), 0);
+
+    svc.shutdown();
+    cleanup(&dir);
+}
+
+#[test]
+fn shutdown_rejects_new_requests_and_joins() {
+    let dir = temp_dir("shutdown");
+    let svc = Service::start(ServiceConfig::new(&dir)).unwrap();
+    let client = svc.client();
+    svc.shutdown();
+    assert_eq!(client.schedule(small_request()).unwrap_err(), SvcError::ShuttingDown);
+    svc.shutdown(); // idempotent
+    cleanup(&dir);
+}
+
+#[test]
+fn tcp_end_to_end() {
+    let dir = temp_dir("tcp");
+    let svc = Arc::new(Service::start(ServiceConfig::new(&dir)).unwrap());
+    let server = serve("127.0.0.1:0", Arc::clone(&svc)).unwrap();
+    let addr = server.local_addr();
+
+    let mut client = NetClient::connect(addr).unwrap();
+    assert_eq!(client.request(&Request::Ping).unwrap(), Response::Pong);
+
+    // Miss, then hit, over the wire.
+    let req = Request::Schedule(small_request());
+    let Response::Schedule(first) = client.request(&req).unwrap() else {
+        panic!("expected a schedule response");
+    };
+    assert_eq!(first.outcome, Outcome::Miss);
+    let Response::Schedule(second) = client.request(&req).unwrap() else {
+        panic!("expected a schedule response");
+    };
+    assert_eq!(second.outcome, Outcome::Hit);
+    assert_eq!(second.text, first.text);
+
+    // An invalid request gets a typed error, not a dropped connection.
+    let Response::Err(e) = client
+        .request(&Request::Schedule(ScheduleRequest::new(WorkloadSpec::OptFlow {
+            size: 16,
+            iters: 1,
+            levels: 6,
+        })))
+        .unwrap()
+    else {
+        panic!("expected an error response");
+    };
+    assert!(matches!(e, SvcError::BadRequest(_)));
+
+    // A malformed line gets a BAD_REQUEST too — a second connection, so
+    // this test also covers concurrent connections.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    write_frame(&mut raw, b"FROBNICATE now").unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let payload = ktiler_svc::proto::read_frame(&mut reader).unwrap().unwrap();
+    assert!(matches!(Response::decode(&payload), Ok(Response::Err(SvcError::BadRequest(_)))));
+
+    let Response::Stats(json) = client.request(&Request::Stats).unwrap() else {
+        panic!("expected a stats response");
+    };
+    assert!(json.contains("\"cache_hits\": 1"), "{json}");
+    assert!(json.contains("\"cache_misses\": 1"), "{json}");
+
+    assert_eq!(client.request(&Request::Shutdown).unwrap(), Response::Bye);
+    let svc = server.join(); // returns once the front-end wound down
+    assert_eq!(Metrics::get(&svc.metrics().requests), 2);
+    cleanup(&dir);
+}

@@ -210,12 +210,7 @@ fn transfer_time(g: &AppGraph, cfg: &GpuConfig, freq: FreqConfig, node: NodeId) 
 
 /// Memoization key for measurements: nodes with equal kernel signatures and
 /// equal warm configurations produce identical times.
-fn memo_key(
-    g: &AppGraph,
-    node: NodeId,
-    grid: u32,
-    warm_ranges: &[(u64, u64)],
-) -> Option<String> {
+fn memo_key(g: &AppGraph, node: NodeId, grid: u32, warm_ranges: &[(u64, u64)]) -> Option<String> {
     let NodeOp::Kernel(k) = &g.node(node).op else { return None };
     let sig = k.signature()?;
     let mut key = format!("{sig}|{grid}");
@@ -397,8 +392,7 @@ pub fn calibrate(
 
     // Per edge: the cold/warm probe pair at a cache-fitting sub-grid (see
     // the edge-weight comment below), or `None` for weight-zero edges.
-    let mut edge_plans: Vec<Option<(usize, usize, u32, u32)>> =
-        Vec::with_capacity(g.num_edges());
+    let mut edge_plans: Vec<Option<(usize, usize, u32, u32)>> = Vec::with_capacity(g.num_edges());
     for e in g.edge_ids() {
         let edge = g.edge(e);
         let v = edge.dst;

@@ -90,8 +90,7 @@ pub fn launch_subkernel(
             engine.launch_res(&work, &k.resources()).time_ns
         }
         NodeOp::HostToDevice { buf, .. } => {
-            let first =
-                nt.blocks.first().ok_or(KtilerError::MissingTrace { node: sk.node })?;
+            let first = nt.blocks.first().ok_or(KtilerError::MissingTrace { node: sk.node })?;
             engine.dma_host_to_device(buf.len, first.lines.to_vec())
         }
         NodeOp::DeviceToHost { buf } => engine.dma_device_to_host(buf.len),
@@ -130,10 +129,14 @@ pub fn execute_schedule(
     freq: FreqConfig,
     ig_override: Option<f64>,
 ) -> Result<RunReport, KtilerError> {
-    execute_schedule_opts(sched, g, gt, cfg, freq, ExecOptions {
-        ig_override,
-        ..ExecOptions::default()
-    })
+    execute_schedule_opts(
+        sched,
+        g,
+        gt,
+        cfg,
+        freq,
+        ExecOptions { ig_override, ..ExecOptions::default() },
+    )
 }
 
 /// Executes a whole schedule with full execution-mode control.
@@ -284,8 +287,7 @@ mod tests {
         let chunk_blocks = 512u32;
         let mut launches = vec![SubKernel::full(NodeId(0), 1)];
         for chunk in 0..num_blocks / chunk_blocks {
-            let blocks: Vec<u32> =
-                (chunk * chunk_blocks..(chunk + 1) * chunk_blocks).collect();
+            let blocks: Vec<u32> = (chunk * chunk_blocks..(chunk + 1) * chunk_blocks).collect();
             launches.push(SubKernel::new(NodeId(1), blocks.clone()));
             launches.push(SubKernel::new(NodeId(2), blocks));
         }
@@ -302,8 +304,7 @@ mod tests {
             Some(0.0),
         )
         .unwrap();
-        let ti =
-            execute_schedule(&tiled, &g, &gt, &cfg, FreqConfig::default(), Some(0.0)).unwrap();
+        let ti = execute_schedule(&tiled, &g, &gt, &cfg, FreqConfig::default(), Some(0.0)).unwrap();
         assert!(
             ti.stats.hit_rate().unwrap() > def.stats.hit_rate().unwrap(),
             "tiled {:?} vs default {:?}",
@@ -343,12 +344,8 @@ mod tests {
         let (g, gt, cfg) = pipeline();
         let mut sched = Schedule::default_order(&g);
         sched.launches[1] = SubKernel::new(NodeId(1), vec![0, 1 << 30]);
-        let err = execute_schedule(&sched, &g, &gt, &cfg, FreqConfig::default(), None)
-            .unwrap_err();
-        assert!(
-            matches!(err, KtilerError::BlockOutOfRange { node: NodeId(1), .. }),
-            "{err}"
-        );
+        let err = execute_schedule(&sched, &g, &gt, &cfg, FreqConfig::default(), None).unwrap_err();
+        assert!(matches!(err, KtilerError::BlockOutOfRange { node: NodeId(1), .. }), "{err}");
     }
 
     #[test]
@@ -385,8 +382,8 @@ mod tests {
         let mut sched = Schedule::default_order(&g);
         sched.launches.reverse();
         let opts = ExecOptions { verify: true, ..ExecOptions::default() };
-        let err = execute_schedule_opts(&sched, &g, &gt, &cfg, FreqConfig::default(), opts)
-            .unwrap_err();
+        let err =
+            execute_schedule_opts(&sched, &g, &gt, &cfg, FreqConfig::default(), opts).unwrap_err();
         let KtilerError::InvalidSchedule(report) = err else {
             panic!("expected InvalidSchedule, got {err}");
         };

@@ -94,6 +94,14 @@ impl PerfTable {
         self.combos.iter().map(|&(m, _)| m).collect()
     }
 
+    /// Iterates every sampled combination in mask order; each item is the
+    /// mask and its `(grid, time ns)` points sorted by grid. The order is
+    /// fully deterministic, which makes this suitable for fingerprinting a
+    /// table (e.g. the schedule cache key in `ktiler-svc`).
+    pub fn samples(&self) -> impl Iterator<Item = (PredMask, &[(u32, f64)])> {
+        self.combos.iter().map(|(m, pts)| (*m, pts.as_slice()))
+    }
+
     /// Estimated execution time at `grid` blocks with the inputs in `mask`
     /// cache-resident.
     ///

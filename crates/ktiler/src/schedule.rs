@@ -87,11 +87,11 @@ pub fn ktiler_schedule(
         .map(|e| (cal.edge_weights[e.0 as usize], e.0))
         .filter(|&(w, _)| w >= cfg.weight_threshold_ns && w > 0.0)
         .collect();
-    candidates
-        .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+    candidates.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+    });
 
-    let mut report =
-        TilingReport { candidate_edges: candidates.len(), ..TilingReport::default() };
+    let mut report = TilingReport { candidate_edges: candidates.len(), ..TilingReport::default() };
     // Memo cache for Algorithm 2: `cluster_tile` is a pure function of the
     // (sorted) member set, and Algorithm 1 re-evaluates the same candidate
     // merges many times as the partition evolves — distinct edges between
@@ -160,9 +160,7 @@ pub fn ktiler_schedule(
     }
 
     // Final schedule: cluster tilings in cluster topological order.
-    let order = partition
-        .cluster_order(g)
-        .expect("a valid partition always has a cluster order");
+    let order = partition.cluster_order(g).expect("a valid partition always has a cluster order");
     let mut schedule = Schedule::default();
     let mut est_cost_ns = 0.0;
     for c in order {
@@ -248,17 +246,10 @@ mod tests {
 
         // The "w/o IG" comparison isolates the cache effect (Fig. 5's
         // right bars): the tiled schedule must win.
-        let def = execute_schedule(
-            &crate::Schedule::default_order(&g),
-            &g,
-            &gt,
-            &cfg,
-            freq,
-            Some(0.0),
-        )
-        .unwrap();
-        let tiled =
-            execute_schedule(&out.schedule, &g, &gt, &cfg, freq, Some(0.0)).unwrap();
+        let def =
+            execute_schedule(&crate::Schedule::default_order(&g), &g, &gt, &cfg, freq, Some(0.0))
+                .unwrap();
+        let tiled = execute_schedule(&out.schedule, &g, &gt, &cfg, freq, Some(0.0)).unwrap();
         assert!(
             tiled.total_ns < def.total_ns,
             "tiled {} must beat default {}",

@@ -52,10 +52,7 @@ impl SubKernel {
     /// # Errors
     ///
     /// [`crate::KtilerError::EmptySubKernel`] when `blocks` is empty.
-    pub fn try_new(
-        node: NodeId,
-        mut blocks: Vec<BlockId>,
-    ) -> Result<Self, crate::KtilerError> {
+    pub fn try_new(node: NodeId, mut blocks: Vec<BlockId>) -> Result<Self, crate::KtilerError> {
         if blocks.is_empty() {
             return Err(crate::KtilerError::EmptySubKernel { node });
         }
@@ -141,10 +138,8 @@ impl Schedule {
     /// which already rejects cycles).
     pub fn default_order(g: &AppGraph) -> Self {
         let order = kgraph::topo_order(g).expect("application graph must be a DAG");
-        let launches = order
-            .into_iter()
-            .map(|id| SubKernel::full(id, g.node(id).num_blocks()))
-            .collect();
+        let launches =
+            order.into_iter().map(|id| SubKernel::full(id, g.node(id).num_blocks())).collect();
         Schedule { launches }
     }
 
@@ -156,10 +151,7 @@ impl Schedule {
     /// Number of launches that split a kernel (grid smaller than the
     /// node's full grid).
     pub fn num_tiled_launches(&self, g: &AppGraph) -> usize {
-        self.launches
-            .iter()
-            .filter(|s| s.grid_size() < g.node(s.node).num_blocks())
-            .count()
+        self.launches.iter().filter(|s| s.grid_size() < g.node(s.node).num_blocks()).count()
     }
 
     /// Validates the schedule against the application graph and the block
@@ -287,10 +279,7 @@ mod tests {
         let deps = elementwise_deps();
         let g = two_node_graph(); // 1 block per node, but deps say 4 — use raw check
         let sched = Schedule {
-            launches: vec![
-                SubKernel::new(NodeId(1), vec![0]),
-                SubKernel::new(NodeId(0), vec![0]),
-            ],
+            launches: vec![SubKernel::new(NodeId(1), vec![0]), SubKernel::new(NodeId(0), vec![0])],
         };
         let err = sched.validate(&g, &deps).unwrap_err();
         assert!(matches!(err, ScheduleError::DependencyViolation { .. }));
@@ -301,10 +290,7 @@ mod tests {
         let g = two_node_graph();
         let deps = BlockDepGraph::default();
         let dup = Schedule {
-            launches: vec![
-                SubKernel::new(NodeId(0), vec![0]),
-                SubKernel::new(NodeId(0), vec![0]),
-            ],
+            launches: vec![SubKernel::new(NodeId(0), vec![0]), SubKernel::new(NodeId(0), vec![0])],
         };
         assert!(matches!(dup.validate(&g, &deps), Err(ScheduleError::DuplicateBlock(_))));
         let missing = Schedule { launches: vec![SubKernel::new(NodeId(0), vec![0])] };

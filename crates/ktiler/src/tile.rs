@@ -128,8 +128,7 @@ pub fn cluster_tile(
     };
     // Topological order of cluster members (the analysis order restricted
     // to the cluster).
-    let topo: Vec<NodeId> =
-        gt.order.iter().copied().filter(|n| in_cluster[n.0 as usize]).collect();
+    let topo: Vec<NodeId> = gt.order.iter().copied().filter(|n| in_cluster[n.0 as usize]).collect();
     // Bottom kernels: members with no successors inside the cluster.
     let bottoms: Vec<NodeId> = members
         .iter()
@@ -171,52 +170,51 @@ pub fn cluster_tile(
 
     // Adds a block and, transitively, its in-cluster dependencies (and the
     // full block set of any atomic node touched). Returns the refs added.
-    let add_with_deps = |states: &mut Vec<NodeState>,
-                         pending: &mut Vec<BlockRef>,
-                         added: &mut Vec<BlockRef>| {
-        while let Some(r) = pending.pop() {
-            let st = &mut states[local[r.node as usize]];
-            let b = r.block as usize;
-            if st.assigned[b] || st.in_group[b] {
-                continue;
-            }
-            if st.atomic {
-                // Non-tileable node: take every block, and — because its
-                // block-level dependencies may be input-dependent (that is
-                // why it is non-tileable) — fall back to the paper's
-                // pessimistic kernel-level dependency: pull ALL blocks of
-                // every in-cluster predecessor node. This keeps generated
-                // schedules valid for any input of the same size.
-                let all: Vec<BlockRef> = (0..st.num_blocks)
-                    .filter(|&x| !st.assigned[x as usize] && !st.in_group[x as usize])
-                    .map(|x| BlockRef::new(r.node, x))
-                    .collect();
-                for x in &all {
-                    let xb = x.block as usize;
-                    st.in_group[xb] = true;
-                    st.group.push(x.block);
-                    added.push(*x);
+    let add_with_deps =
+        |states: &mut Vec<NodeState>, pending: &mut Vec<BlockRef>, added: &mut Vec<BlockRef>| {
+            while let Some(r) = pending.pop() {
+                let st = &mut states[local[r.node as usize]];
+                let b = r.block as usize;
+                if st.assigned[b] || st.in_group[b] {
+                    continue;
                 }
-                for (_, p) in g.predecessors(NodeId(r.node)) {
-                    if in_cluster[p.0 as usize] {
-                        let pn = g.node(p).num_blocks();
-                        for pb in 0..pn {
-                            pending.push(BlockRef::new(p.0, pb));
+                if st.atomic {
+                    // Non-tileable node: take every block, and — because its
+                    // block-level dependencies may be input-dependent (that is
+                    // why it is non-tileable) — fall back to the paper's
+                    // pessimistic kernel-level dependency: pull ALL blocks of
+                    // every in-cluster predecessor node. This keeps generated
+                    // schedules valid for any input of the same size.
+                    let all: Vec<BlockRef> = (0..st.num_blocks)
+                        .filter(|&x| !st.assigned[x as usize] && !st.in_group[x as usize])
+                        .map(|x| BlockRef::new(r.node, x))
+                        .collect();
+                    for x in &all {
+                        let xb = x.block as usize;
+                        st.in_group[xb] = true;
+                        st.group.push(x.block);
+                        added.push(*x);
+                    }
+                    for (_, p) in g.predecessors(NodeId(r.node)) {
+                        if in_cluster[p.0 as usize] {
+                            let pn = g.node(p).num_blocks();
+                            for pb in 0..pn {
+                                pending.push(BlockRef::new(p.0, pb));
+                            }
+                        }
+                    }
+                } else {
+                    st.in_group[b] = true;
+                    st.group.push(r.block);
+                    added.push(r);
+                    for &p in gt.deps.deps_of(r) {
+                        if in_cluster[p.node as usize] {
+                            pending.push(p);
                         }
                     }
                 }
-            } else {
-                st.in_group[b] = true;
-                st.group.push(r.block);
-                added.push(r);
-                for &p in gt.deps.deps_of(r) {
-                    if in_cluster[p.node as usize] {
-                        pending.push(p);
-                    }
-                }
             }
-        }
-    };
+        };
 
     // Whether a block's in-cluster dependencies are covered by the group.
     let covered = |states: &[NodeState], r: BlockRef| {
@@ -325,8 +323,7 @@ pub fn cluster_tile(
                     g.predecessors(NodeId(c.node)).all(|(_, p)| {
                         !in_cluster[p.0 as usize] || {
                             let ps = &states[local[p.0 as usize]];
-                            (0..ps.num_blocks as usize)
-                                .all(|b| ps.assigned[b] || ps.in_group[b])
+                            (0..ps.num_blocks as usize).all(|b| ps.assigned[b] || ps.in_group[b])
                         }
                     })
                 } else {
@@ -348,15 +345,9 @@ pub fn cluster_tile(
         }
         let fits = match params.constraint {
             CacheConstraint::Footprint => footprint.fits(params.cache_bytes),
-            CacheConstraint::SimulatedHitRate { min_reuse_hit, ways } => simulated_reuse_ok(
-                &states,
-                &local,
-                &topo,
-                gt,
-                params,
-                ways,
-                min_reuse_hit,
-            ),
+            CacheConstraint::SimulatedHitRate { min_reuse_hit, ways } => {
+                simulated_reuse_ok(&states, &local, &topo, gt, params, ways, min_reuse_hit)
+            }
         };
         if fits {
             for st in states.iter_mut() {
@@ -509,10 +500,8 @@ mod tests {
             .expect("tileable");
         assert!(t.launches.len() > 2, "expected tiling, got {} launches", t.launches.len());
         // Launch order interleaves producer and consumer.
-        let first_consumer =
-            t.launches.iter().position(|s| s.node == kgraph::NodeId(1)).unwrap();
-        let last_producer =
-            t.launches.iter().rposition(|s| s.node == kgraph::NodeId(0)).unwrap();
+        let first_consumer = t.launches.iter().position(|s| s.node == kgraph::NodeId(1)).unwrap();
+        let last_producer = t.launches.iter().rposition(|s| s.node == kgraph::NodeId(0)).unwrap();
         assert!(
             first_consumer < last_producer,
             "consumer sub-kernels must interleave with producer's"

@@ -142,6 +142,21 @@ impl Violation {
             _ => Severity::Error,
         }
     }
+
+    /// A stable machine-readable name of the violation class, for
+    /// structured reports (e.g. `verify_schedule --json`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::UnknownNode { .. } => "unknown_node",
+            Violation::EmptyLaunch { .. } => "empty_launch",
+            Violation::BlockOutOfRange { .. } => "block_out_of_range",
+            Violation::DuplicateBlockInLaunch { .. } => "duplicate_block_in_launch",
+            Violation::DoubleLaunchedBlock { .. } => "double_launched_block",
+            Violation::DependencyViolation { .. } => "dependency_violation",
+            Violation::MissingBlocks { .. } => "missing_blocks",
+            Violation::OverCapacityWindow { .. } => "over_capacity_window",
+        }
+    }
 }
 
 impl fmt::Display for Violation {
@@ -305,11 +320,7 @@ pub fn verify_schedule(
     for (i, sk) in sched.launches.iter().enumerate() {
         let idx = sk.node.0 as usize;
         if idx >= n {
-            rep.push(Violation::UnknownNode {
-                launch: i,
-                node: sk.node,
-                num_nodes: g.num_nodes(),
-            });
+            rep.push(Violation::UnknownNode { launch: i, node: sk.node, num_nodes: g.num_nodes() });
             continue;
         }
         if sk.blocks.is_empty() {
@@ -485,10 +496,7 @@ mod tests {
         sched.launches.reverse();
         let rep = verify_schedule(&sched, &g, &gt, &params());
         assert!(!rep.is_clean());
-        assert!(
-            rep.errors().any(|v| matches!(v, Violation::DependencyViolation { .. })),
-            "{rep}"
-        );
+        assert!(rep.errors().any(|v| matches!(v, Violation::DependencyViolation { .. })), "{rep}");
         // Coverage is still complete: only ordering is wrong.
         assert!(!rep.violations.iter().any(|v| matches!(v, Violation::MissingBlocks { .. })));
     }
@@ -499,10 +507,10 @@ mod tests {
         let mut sched = Schedule::default_order(&g);
         sched.launches.remove(1); // drop k1
         let rep = verify_schedule(&sched, &g, &gt, &params());
-        assert!(rep.violations.iter().any(|v| matches!(
-            v,
-            Violation::MissingBlocks { node: NodeId(1), covered: 0, .. }
-        )));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingBlocks { node: NodeId(1), covered: 0, .. })));
     }
 
     #[test]
@@ -524,10 +532,9 @@ mod tests {
         // Bypass SubKernel::new's dedup to model a hand-built bad launch.
         sched.launches[1].blocks.push(0);
         let rep = verify_schedule(&sched, &g, &gt, &params());
-        assert!(rep.errors().any(|v| matches!(
-            v,
-            Violation::DuplicateBlockInLaunch { launch: 1, block: 0, .. }
-        )));
+        assert!(rep
+            .errors()
+            .any(|v| matches!(v, Violation::DuplicateBlockInLaunch { launch: 1, block: 0, .. })));
     }
 
     #[test]
@@ -550,9 +557,7 @@ mod tests {
         p.cache_bytes = 64; // absurdly small: any kernel window overflows
         let rep = verify_schedule(&Schedule::default_order(&g), &g, &gt, &p);
         assert!(rep.is_clean(), "warnings must not make the schedule dirty: {rep}");
-        assert!(rep
-            .warnings()
-            .any(|v| matches!(v, Violation::OverCapacityWindow { .. })), "{rep}");
+        assert!(rep.warnings().any(|v| matches!(v, Violation::OverCapacityWindow { .. })), "{rep}");
         assert!(rep.warnings().all(|v| v.severity() == Severity::Warning));
     }
 

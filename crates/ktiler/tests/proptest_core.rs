@@ -83,7 +83,11 @@ fn subkernel_normalization() {
 
 /// Builds a chain graph of `n` DtoH nodes and applies a random sequence of
 /// validity-checked merges.
-fn random_chain_partition(rng: &mut SplitMix64, n: usize, max_merges: usize) -> (AppGraph, Partition) {
+fn random_chain_partition(
+    rng: &mut SplitMix64,
+    n: usize,
+    max_merges: usize,
+) -> (AppGraph, Partition) {
     let mut mem = DeviceMemory::new();
     let buf = mem.alloc_f32(4, "b");
     let mut g = AppGraph::new();

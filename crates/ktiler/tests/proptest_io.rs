@@ -1,0 +1,102 @@
+//! Randomized round-trip tests of the schedule text format: any valid
+//! schedule must survive `schedule_to_text` → `schedule_from_text`
+//! unchanged (seeded [`SplitMix64`] cases; failures report the seed), junk
+//! input must never panic the parser, and the block budget must be exact
+//! at its boundary.
+
+use std::collections::BTreeSet;
+
+use gpu_sim::SplitMix64;
+use kgraph::NodeId;
+use ktiler::{
+    schedule_from_text, schedule_from_text_opts, schedule_to_text, ParseOptions, Schedule,
+    SubKernel,
+};
+
+/// A random valid schedule: up to 20 launches, each over a random node
+/// with a random non-empty duplicate-free block set (dense runs and
+/// isolated blocks both occur, so the run-length compressor is exercised
+/// on every shape).
+fn random_schedule(rng: &mut SplitMix64) -> Schedule {
+    let num_launches = rng.gen_range_usize(1, 21);
+    let mut launches = Vec::with_capacity(num_launches);
+    for _ in 0..num_launches {
+        let node = NodeId(rng.gen_range_u32(0, 200));
+        let mut blocks: BTreeSet<u32> = BTreeSet::new();
+        // A few contiguous runs...
+        for _ in 0..rng.gen_range_usize(0, 4) {
+            let lo = rng.gen_range_u32(0, 4000);
+            let len = rng.gen_range_u32(1, 64);
+            blocks.extend(lo..lo.saturating_add(len));
+        }
+        // ...plus scattered single blocks.
+        for _ in 0..rng.gen_range_usize(0, 8) {
+            blocks.insert(rng.gen_range_u32(0, 5000));
+        }
+        if blocks.is_empty() {
+            blocks.insert(rng.gen_range_u32(0, 5000));
+        }
+        launches.push(SubKernel::new(node, blocks.into_iter().collect()));
+    }
+    Schedule { launches }
+}
+
+#[test]
+fn serialize_parse_roundtrip_preserves_every_schedule() {
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::new(seed);
+        let schedule = random_schedule(&mut rng);
+        let text = schedule_to_text(&schedule);
+        let back = schedule_from_text(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: emitted text failed to parse: {e}\n{text}"));
+        assert_eq!(back, schedule, "seed {seed}: round-trip changed the schedule\n{text}");
+        // And the text itself is a fixed point of the round-trip.
+        assert_eq!(schedule_to_text(&back), text, "seed {seed}");
+    }
+}
+
+#[test]
+fn parser_never_panics_on_junk() {
+    // Mutated valid text and raw garbage: the parser must return
+    // `Ok`/`Err`, never panic, whatever the bytes.
+    for seed in 0..200u64 {
+        let mut rng = SplitMix64::new(seed);
+        let mut text = schedule_to_text(&random_schedule(&mut rng)).into_bytes();
+        for _ in 0..rng.gen_range_usize(1, 8) {
+            let pos = rng.gen_range_usize(0, text.len());
+            match rng.gen_range_u32(0, 3) {
+                0 => text[pos] = (rng.gen_range_u32(32, 127)) as u8,
+                1 => drop(text.remove(pos)),
+                _ => text.insert(pos, (rng.gen_range_u32(32, 127)) as u8),
+            }
+        }
+        if let Ok(text) = String::from_utf8(text) {
+            let _ = schedule_from_text(&text);
+        }
+    }
+    for junk in ["launch", "launch 1", "launch 1 ", "launch \u{1F600} 3", "-", ",", "0-", "- 1 2"] {
+        let _ = schedule_from_text(junk);
+    }
+}
+
+#[test]
+fn block_budget_boundary_is_exact() {
+    for seed in 0..50u64 {
+        let mut rng = SplitMix64::new(seed);
+        let schedule = random_schedule(&mut rng);
+        let total: u64 = schedule.launches.iter().map(|sk| sk.blocks.len() as u64).sum();
+        let text = schedule_to_text(&schedule);
+        // Exactly at the budget: parses.
+        let exact = ParseOptions { max_total_blocks: total };
+        assert_eq!(
+            schedule_from_text_opts(&text, &exact).expect("budget == total must parse"),
+            schedule,
+            "seed {seed}"
+        );
+        // One below: must be rejected, with the budget named in the error.
+        let short = ParseOptions { max_total_blocks: total - 1 };
+        let err = schedule_from_text_opts(&text, &short)
+            .expect_err("budget == total - 1 must be rejected");
+        assert!(err.message.contains("budget"), "seed {seed}: {}", err.message);
+    }
+}

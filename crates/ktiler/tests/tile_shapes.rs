@@ -121,8 +121,7 @@ fn atomic_node_in_cluster_launches_whole() {
     let b3 = mem.alloc_f32(N as u64, "b3");
     let mut g = kgraph::AppGraph::new();
     let p = g.add_kernel(Box::new(Combine { a: b0, b: None, dst: b1, n: N, tileable: true }));
-    let atomic =
-        g.add_kernel(Box::new(Combine { a: b1, b: None, dst: b2, n: N, tileable: false }));
+    let atomic = g.add_kernel(Box::new(Combine { a: b1, b: None, dst: b2, n: N, tileable: false }));
     let c = g.add_kernel(Box::new(Combine { a: b2, b: None, dst: b3, n: N, tileable: true }));
     g.add_edge(p, atomic, b1);
     g.add_edge(atomic, c, b2);

@@ -40,11 +40,7 @@ fn params(cfg: &GpuConfig) -> TileParams {
     TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0)
 }
 
-fn tiled_schedule(
-    g: &kgraph::AppGraph,
-    gt: &kgraph::GraphTrace,
-    cfg: &GpuConfig,
-) -> Schedule {
+fn tiled_schedule(g: &kgraph::AppGraph, gt: &kgraph::GraphTrace, cfg: &GpuConfig) -> Schedule {
     let freq = gpu_sim::FreqConfig::default();
     let cal = calibrate(g, gt, cfg, freq, &CalibrationConfig::default());
     let kcfg = KtilerConfig { weight_threshold_ns: 1_000.0, tile: params(cfg) };

@@ -98,7 +98,13 @@ impl Builder {
 
 /// Emits the kernels of one V-cycle at `level`; `cur` is the buffer
 /// currently holding the iterate. Returns the buffer holding it after.
-fn emit_vcycle(b: &mut Builder, levels: &[Level], level: usize, cur: Buffer, p: &MgParams) -> Buffer {
+fn emit_vcycle(
+    b: &mut Builder,
+    levels: &[Level],
+    level: usize,
+    cur: Buffer,
+    p: &MgParams,
+) -> Buffer {
     let lv = &levels[level];
     let mut cur = cur;
     let emit_smooth = |b: &mut Builder, cur: &mut Buffer, sweeps: u32| {
@@ -150,7 +156,10 @@ fn emit_vcycle(b: &mut Builder, levels: &[Level], level: usize, cur: Buffer, p: 
 pub fn build_app(f: &Grid, p: &MgParams) -> MultigridApp {
     assert!(p.levels > 0 && p.cycles > 0, "need at least one level and one cycle");
     let down = 1u32 << (p.levels - 1);
-    assert!(f.w.is_multiple_of(down) && f.h.is_multiple_of(down), "grid must be divisible by 2^(levels-1)");
+    assert!(
+        f.w.is_multiple_of(down) && f.h.is_multiple_of(down),
+        "grid must be divisible by 2^(levels-1)"
+    );
 
     let mut mem = DeviceMemory::new();
     let mut levels = Vec::new();
@@ -193,13 +202,7 @@ pub fn build_app(f: &Grid, p: &MgParams) -> MultigridApp {
         b.graph.add_edge(prod, dtoh, cur);
     }
 
-    MultigridApp {
-        graph: b.graph,
-        mem,
-        u_out: cur,
-        smooth_nodes: b.smooth_nodes,
-        params: *p,
-    }
+    MultigridApp { graph: b.graph, mem, u_out: cur, smooth_nodes: b.smooth_nodes, params: *p }
 }
 
 #[cfg(test)]

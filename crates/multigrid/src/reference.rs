@@ -92,7 +92,9 @@ pub fn restrict(src: &Grid) -> Grid {
         for x in 0..ow {
             let (sx, sy) = (2 * x as i64, 2 * y as i64);
             out.data[(y * ow + x) as usize] = 0.25
-                * (src.at(sx, sy) + src.at(sx + 1, sy) + src.at(sx, sy + 1)
+                * (src.at(sx, sy)
+                    + src.at(sx + 1, sy)
+                    + src.at(sx, sy + 1)
                     + src.at(sx + 1, sy + 1));
         }
     }
@@ -175,7 +177,10 @@ pub fn solve_from(u0: &Grid, f: &Grid, p: &MgParams) -> Grid {
 /// Panics if the grid is not divisible by `2^(levels-1)`.
 pub fn solve(f: &Grid, p: &MgParams) -> Grid {
     let down = 1u32 << (p.levels - 1);
-    assert!(f.w.is_multiple_of(down) && f.h.is_multiple_of(down), "grid must be divisible by 2^(levels-1)");
+    assert!(
+        f.w.is_multiple_of(down) && f.h.is_multiple_of(down),
+        "grid must be divisible by 2^(levels-1)"
+    );
     let mut u = Grid::zeros(f.w, f.h);
     for _ in 0..p.cycles {
         u = vcycle(u, f, 0, p);

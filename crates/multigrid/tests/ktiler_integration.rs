@@ -82,13 +82,9 @@ fn multigrid_tiling_gains_on_large_grids() {
         &cfg,
         freq,
         Some(0.0),
-    ).unwrap();
+    )
+    .unwrap();
     let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0)).unwrap();
-    assert!(
-        tiled.total_ns < def.total_ns,
-        "tiled {} vs default {}",
-        tiled.total_ns,
-        def.total_ns
-    );
+    assert!(tiled.total_ns < def.total_ns, "tiled {} vs default {}", tiled.total_ns, def.total_ns);
     assert!(tiled.stats.hit_rate().unwrap() > def.stats.hit_rate().unwrap());
 }

@@ -226,10 +226,7 @@ pub fn build_dep_graph(visits: &[(BlockRef, &BlockTrace)], threads: usize) -> Bl
     } else {
         let locals: Vec<Vec<(BlockRef, BlockRef)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads).map(|id| s.spawn(move || worker(id))).collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("dep-graph workers do not panic"))
-                .collect()
+            handles.into_iter().map(|h| h.join().expect("dep-graph workers do not panic")).collect()
         });
         let mut merged = Vec::with_capacity(locals.iter().map(Vec::len).sum());
         for local in locals {
@@ -277,9 +274,7 @@ impl BlockDepGraph {
     /// Producer blocks the given block directly depends on (sorted).
     pub fn deps_of(&self, r: BlockRef) -> &[BlockRef] {
         match self.slot(r) {
-            Some(s) => {
-                &self.deps_edges[self.deps_off[s] as usize..self.deps_off[s + 1] as usize]
-            }
+            Some(s) => &self.deps_edges[self.deps_off[s] as usize..self.deps_off[s + 1] as usize],
             None => &[],
         }
     }
@@ -310,9 +305,8 @@ impl BlockDepGraph {
         (0..self.num_blocks.len())
             .flat_map(move |node| {
                 let base = self.node_base[node];
-                (0..self.num_blocks[node]).map(move |block| {
-                    (BlockRef::new(node as u32, block), base + block as usize)
-                })
+                (0..self.num_blocks[node])
+                    .map(move |block| (BlockRef::new(node as u32, block), base + block as usize))
             })
             .filter_map(move |(r, s)| {
                 let range = self.deps_off[s] as usize..self.deps_off[s + 1] as usize;
@@ -329,10 +323,8 @@ impl BlockDepGraph {
     /// coarse application graph from the trace (useful to validate a
     /// hand-built application graph).
     pub fn node_edges(&self) -> Vec<(u32, u32)> {
-        let mut edges: Vec<(u32, u32)> = self
-            .iter()
-            .flat_map(|(c, ps)| ps.iter().map(move |&p| (p.node, c.node)))
-            .collect();
+        let mut edges: Vec<(u32, u32)> =
+            self.iter().flat_map(|(c, ps)| ps.iter().map(move |&p| (p.node, c.node))).collect();
         edges.sort_unstable();
         edges.dedup();
         edges

@@ -138,10 +138,7 @@ pub fn coalesce_blocks(raw: Vec<RawBlockTrace>, threads: usize) -> Vec<BlockTrac
             .into_iter()
             .map(|c| s.spawn(move || c.into_iter().map(RawBlockTrace::coalesce).collect()))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("coalesce workers do not panic"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("coalesce workers do not panic")).collect()
     });
     parts.into_iter().flatten().collect()
 }

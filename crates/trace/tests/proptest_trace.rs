@@ -132,7 +132,8 @@ fn deps_match_last_writer_semantics() {
         let mut want: Vec<u32> = reads.iter().filter_map(|w| last.get(w).copied()).collect();
         want.sort_unstable();
         want.dedup();
-        let mut got_nodes: Vec<u32> = g.deps_of(BlockRef::new(9, 0)).iter().map(|d| d.node).collect();
+        let mut got_nodes: Vec<u32> =
+            g.deps_of(BlockRef::new(9, 0)).iter().map(|d| d.node).collect();
         got_nodes.sort_unstable();
         got_nodes.dedup();
         assert_eq!(got_nodes, want, "seed {seed}");

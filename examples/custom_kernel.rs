@@ -122,11 +122,7 @@ fn main() {
     };
     let out = ktiler_schedule(&g, &gt, &cal, &kcfg).unwrap();
     out.schedule.validate(&g, &gt.deps).unwrap();
-    println!(
-        "KTILER: {} clusters, {} launches",
-        out.clusters.len(),
-        out.schedule.num_launches()
-    );
+    println!("KTILER: {} clusters, {} launches", out.clusters.len(), out.schedule.num_launches());
 
     let def = execute_schedule(&Schedule::default_order(&g), &g, &gt, &cfg, freq, None).unwrap();
     let tiled = execute_schedule(&out.schedule, &g, &gt, &cfg, freq, None).unwrap();

@@ -20,10 +20,8 @@ fn main() {
     let (w, h) = (1024u32, 512u32);
     let n = w as u64 * h as u64;
     let mut mem = DeviceMemory::new();
-    let bufs: Vec<_> = ["du", "dv", "ix", "iy", "it", "duo", "dvo"]
-        .iter()
-        .map(|s| mem.alloc_f32(n, s))
-        .collect();
+    let bufs: Vec<_> =
+        ["du", "dv", "ix", "iy", "it", "duo", "dvo"].iter().map(|s| mem.alloc_f32(n, s)).collect();
     let mut g = kgraph::AppGraph::new();
     let mut producers = Vec::new();
     for (i, buf) in bufs.iter().take(5).enumerate() {
@@ -67,9 +65,7 @@ fn main() {
                             .time_ns;
                     }
                 }
-                t += eng
-                    .launch(&gt.node(ji).work_of(start..end), dims.threads_per_block())
-                    .time_ns;
+                t += eng.launch(&gt.node(ji).work_of(start..end), dims.threads_per_block()).time_ns;
                 start = end;
             }
             print!(" {:>13.2}ms", t / 1e6);

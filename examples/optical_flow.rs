@@ -61,9 +61,11 @@ fn main() {
     out.schedule.validate(&app.graph, &gt.deps).unwrap();
 
     let default =
-        execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None).unwrap();
+        execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None)
+            .unwrap();
     let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None).unwrap();
-    let tiled_noig = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0)).unwrap();
+    let tiled_noig =
+        execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0)).unwrap();
     println!(
         "\n{} kernels -> {} sub-kernel launches in {} clusters",
         app.graph.num_nodes(),

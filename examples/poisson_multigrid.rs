@@ -21,8 +21,7 @@ fn main() {
     let mut f = Grid::zeros(w, h);
     for y in 0..h {
         for x in 0..w {
-            f.data[(y * w + x) as usize] =
-                (x as f32 * 0.02).sin() * (y as f32 * 0.015).cos();
+            f.data[(y * w + x) as usize] = (x as f32 * 0.02).sin() * (y as f32 * 0.015).cos();
         }
     }
     // Four levels: the depth at which the cell-centered transfers still
@@ -64,7 +63,9 @@ fn main() {
         out.report
     );
 
-    let def = execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None).unwrap();
+    let def =
+        execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None)
+            .unwrap();
     let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None).unwrap();
     println!(
         "default: {:.2} ms (hit {:.0}%) | ktiler: {:.2} ms (hit {:.0}%) | gain {:.1}%",

@@ -59,7 +59,8 @@ fn main() {
     );
 
     // 4. Execute both schedules on the simulated device.
-    let default = execute_schedule(&Schedule::default_order(&graph), &graph, &gt, &cfg, freq, None).unwrap();
+    let default =
+        execute_schedule(&Schedule::default_order(&graph), &graph, &gt, &cfg, freq, None).unwrap();
     let tiled = execute_schedule(&out.schedule, &graph, &gt, &cfg, freq, None).unwrap();
     println!(
         "default: {:.2} ms (L2 hit rate {:.0}%)",

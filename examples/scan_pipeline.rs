@@ -54,20 +54,16 @@ fn main() {
     };
     let out = ktiler_schedule(&graph, &gt, &cal, &kcfg).unwrap();
     out.schedule.validate(&graph, &gt.deps).unwrap();
-    println!(
-        "KTILER: {} clusters, {} launches",
-        out.clusters.len(),
-        out.schedule.num_launches()
-    );
+    println!("KTILER: {} clusters, {} launches", out.clusters.len(), out.schedule.num_launches());
     for (i, c) in out.clusters.iter().enumerate() {
         if c.len() > 1 {
-            let labels: Vec<String> =
-                c.iter().map(|&n| graph.node(n).label.clone()).collect();
+            let labels: Vec<String> = c.iter().map(|&n| graph.node(n).label.clone()).collect();
             println!("  cluster {i}: {}", labels.join(" + "));
         }
     }
 
-    let default = execute_schedule(&Schedule::default_order(&graph), &graph, &gt, &cfg, freq, None).unwrap();
+    let default =
+        execute_schedule(&Schedule::default_order(&graph), &graph, &gt, &cfg, freq, None).unwrap();
     let tiled = execute_schedule(&out.schedule, &graph, &gt, &cfg, freq, None).unwrap();
     println!(
         "\ndefault: {:.2} ms (hit {:.0}%) | ktiler: {:.2} ms (hit {:.0}%) | gain {:.1}%",

@@ -57,7 +57,9 @@ fn main() {
     };
     let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg).unwrap();
     out.schedule.validate(&app.graph, &gt.deps).unwrap();
-    let def = execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None).unwrap();
+    let def =
+        execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None)
+            .unwrap();
     let kt = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None).unwrap();
     println!(
         "\ndefault: {:.2} ms (hit {:.0}%) | ktiler: {:.2} ms (hit {:.0}%) | gain {:.1}%",

@@ -9,6 +9,9 @@ if [[ "${1:-}" == "--offline" ]]; then
     OFFLINE=(--offline)
 fi
 
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
 echo "== cargo build --release =="
 cargo build --workspace --release "${OFFLINE[@]}"
 
@@ -47,7 +50,8 @@ echo "== bench_scheduler smoke test =="
 # timings and both determinism cross-checks must pass (parallel sharded
 # analyzer == serial builder; schedule hash identical on both paths).
 SMOKE_JSON=$(mktemp /tmp/bench_scheduler_smoke.XXXXXX.json)
-trap 'rm -f "$SMOKE_JSON"' EXIT
+SVC_DIR=$(mktemp -d /tmp/ktiler_svc_smoke.XXXXXX)
+trap 'rm -f "$SMOKE_JSON"; rm -rf "$SVC_DIR"; [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
 cargo run --release -p bench --bin bench_scheduler "${OFFLINE[@]}" -- \
     --size 64 --iters 3 --samples 1 --out "$SMOKE_JSON"
 for key in analyze_ms calibrate_ms ktiler_schedule_ms; do
@@ -62,5 +66,65 @@ for check in '"analyzer_match": true' '"schedule_hash_match": true'; do
         exit 1
     fi
 done
+
+echo "== ktiler-svc service smoke test =="
+# Full service loop against the release binaries: start the server on an
+# ephemeral port, drive miss -> hit -> corrupted-artifact -> recompute
+# through the network client, check the counters, shut down cleanly.
+CLIENT=(target/release/ktiler_tool client)
+target/release/ktiler_serve --addr 127.0.0.1:0 --cache-dir "$SVC_DIR/cache" \
+    --port-file "$SVC_DIR/port" --stats-out "$SVC_DIR/stats.json" \
+    >"$SVC_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [[ -s "$SVC_DIR/port" ]] && break
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "error: ktiler_serve exited early" >&2
+        cat "$SVC_DIR/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$SVC_DIR/port")
+SCHED_ARGS=(schedule --addr "$ADDR" --size 64 --iters 3 --levels 2)
+
+"${CLIENT[@]}" "${SCHED_ARGS[@]}" --out "$SVC_DIR/first.sched" | grep -q '^MISS ' \
+    || { echo "error: first request should be a MISS" >&2; exit 1; }
+"${CLIENT[@]}" "${SCHED_ARGS[@]}" --out "$SVC_DIR/second.sched" | grep -q '^HIT ' \
+    || { echo "error: second request should be a HIT" >&2; exit 1; }
+cmp -s "$SVC_DIR/first.sched" "$SVC_DIR/second.sched" \
+    || { echo "error: cache hit is not byte-identical to the miss" >&2; exit 1; }
+
+# Corrupt the single cached artifact; the service must detect it on load
+# and transparently recompute.
+ARTIFACT=$(ls "$SVC_DIR"/cache/*.sched)
+echo "garbage, not a schedule" > "$ARTIFACT"
+"${CLIENT[@]}" "${SCHED_ARGS[@]}" --out "$SVC_DIR/third.sched" | grep -q '^RECOMPUTE ' \
+    || { echo "error: corrupted artifact should trigger a RECOMPUTE" >&2; exit 1; }
+cmp -s "$SVC_DIR/first.sched" "$SVC_DIR/third.sched" \
+    || { echo "error: recompute did not reproduce the original schedule" >&2; exit 1; }
+
+"${CLIENT[@]}" stats --addr "$ADDR" > "$SVC_DIR/live_stats.json"
+for check in '"cache_hits": 1' '"cache_misses": 1' '"verify_failures": 1'; do
+    if ! grep -qF "$check" "$SVC_DIR/live_stats.json"; then
+        echo "error: service stats check failed: expected $check" >&2
+        cat "$SVC_DIR/live_stats.json" >&2
+        exit 1
+    fi
+done
+
+"${CLIENT[@]}" shutdown --addr "$ADDR" | grep -q '^BYE$' \
+    || { echo "error: shutdown not acknowledged" >&2; exit 1; }
+for _ in $(seq 1 100); do
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "error: ktiler_serve did not exit after SHUTDOWN" >&2
+    exit 1
+fi
+SERVE_PID=""
+grep -qF '"requests": 3' "$SVC_DIR/stats.json" \
+    || { echo "error: final stats dump missing or wrong" >&2; cat "$SVC_DIR/stats.json" >&2; exit 1; }
 
 echo "== OK =="

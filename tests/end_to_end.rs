@@ -98,8 +98,10 @@ fn ktiler_never_loses_without_ig() {
             &cfg,
             freq,
             Some(0.0),
-        ).unwrap();
-        let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0)).unwrap();
+        )
+        .unwrap();
+        let tiled =
+            execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0)).unwrap();
         // At this small scale gains may be tiny, but tiling must not hurt
         // materially once the IG is excluded (<2% tolerance for launch
         // overhead).
@@ -118,14 +120,9 @@ fn hit_rate_never_decreases_under_tiling() {
     let freq = FreqConfig::new(1324.0, 1600.0);
     let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
     let out = ktiler_schedule(&app.graph, &gt, &cal, &ktiler_config(&cfg)).unwrap();
-    let def = execute_schedule(
-        &Schedule::default_order(&app.graph),
-        &app.graph,
-        &gt,
-        &cfg,
-        freq,
-        None,
-    ).unwrap();
+    let def =
+        execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None)
+            .unwrap();
     let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None).unwrap();
     assert!(tiled.stats.hit_rate().unwrap_or(0.0) >= def.stats.hit_rate().unwrap_or(0.0) - 1e-9);
 }
@@ -140,7 +137,8 @@ fn default_mode_statistics_are_consistent() {
         &cfg,
         FreqConfig::default(),
         None,
-    ).unwrap();
+    )
+    .unwrap();
     let transfers = app
         .graph
         .node_ids()

@@ -30,7 +30,8 @@ fn schedule_from_one_input_is_valid_for_another() {
     let (a0, a1) = synthetic_pair(128, 128, 1.0, 0.5, 3);
     let mut app_a = build_app(&a0, &a1, &params());
     let gt_a = kgraph::analyze(&app_a.graph, &mut app_a.mem, cfg.cache.line_bytes).unwrap();
-    let cal = calibrate(&app_a.graph, &gt_a, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+    let cal =
+        calibrate(&app_a.graph, &gt_a, &cfg, FreqConfig::default(), &CalibrationConfig::default());
     let out = ktiler_schedule(&app_a.graph, &gt_a, &cal, &kcfg).unwrap();
     out.schedule.validate(&app_a.graph, &gt_a.deps).unwrap();
 
@@ -60,7 +61,8 @@ fn reused_schedule_preserves_other_inputs_results() {
     let (a0, a1) = synthetic_pair(128, 128, 1.0, 0.5, 3);
     let mut app_a = build_app(&a0, &a1, &params());
     let gt_a = kgraph::analyze(&app_a.graph, &mut app_a.mem, cfg.cache.line_bytes).unwrap();
-    let cal = calibrate(&app_a.graph, &gt_a, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+    let cal =
+        calibrate(&app_a.graph, &gt_a, &cfg, FreqConfig::default(), &CalibrationConfig::default());
     let out = ktiler_schedule(&app_a.graph, &gt_a, &cal, &kcfg).unwrap();
 
     // Functionally execute the schedule on input B.

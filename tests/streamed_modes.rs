@@ -30,7 +30,8 @@ fn streamed_mode_sits_between_serial_and_no_ig() {
         &cfg,
         freq,
         ExecOptions { ig_override: None, streamed: true, verify: false },
-    ).unwrap();
+    )
+    .unwrap();
     let no_ig = execute_schedule(&sched, &g, &gt, &cfg, freq, Some(0.0)).unwrap();
     assert!(streamed.ig_ns <= serial.ig_ns);
     assert!(streamed.total_ns <= serial.total_ns);

@@ -48,14 +48,10 @@ fn scan_chain_tiles_and_stays_correct() {
     out.schedule.validate(&g, &gt.deps).unwrap();
     assert!(out.report.merges_accepted > 0, "scan chain should merge: {:?}", out.report);
 
-    let def = execute_schedule(&Schedule::default_order(&g), &g, &gt, &cfg, freq, Some(0.0)).unwrap();
+    let def =
+        execute_schedule(&Schedule::default_order(&g), &g, &gt, &cfg, freq, Some(0.0)).unwrap();
     let tiled = execute_schedule(&out.schedule, &g, &gt, &cfg, freq, Some(0.0)).unwrap();
-    assert!(
-        tiled.total_ns < def.total_ns,
-        "tiled {} vs default {}",
-        tiled.total_ns,
-        def.total_ns
-    );
+    assert!(tiled.total_ns < def.total_ns, "tiled {} vs default {}", tiled.total_ns, def.total_ns);
     assert!(tiled.stats.hit_rate().unwrap_or(0.0) > def.stats.hit_rate().unwrap_or(0.0));
 }
 
