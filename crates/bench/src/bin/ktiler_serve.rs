@@ -7,16 +7,23 @@
 //! ```text
 //! ktiler_serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
 //!              [--queue N] [--port-file PATH] [--stats-out PATH]
+//!              [--read-poll-ms N] [--write-timeout-ms N]
+//!              [--stall-timeout-ms N]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:0` (ephemeral port; the bound address is
 //! printed to stdout and, with `--port-file`, written to a file for
 //! scripts), `--cache-dir .ktiler-cache`, 2 workers, a 64-deep queue.
 //! The final metrics JSON goes to `--stats-out` when given, stderr always.
+//! The timeout flags tune how the front-end treats misbehaving peers
+//! (see [`ktiler_svc::ServerTuning`]): how often an idle socket re-checks
+//! the stop flag, how long a non-reading client may block a write, and
+//! how long a peer may sit mid-frame before it is dropped as stalled.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use ktiler_svc::{serve, Service, ServiceConfig};
+use ktiler_svc::{serve_with, ServerTuning, Service, ServiceConfig};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -26,9 +33,19 @@ fn arg_value(name: &str) -> Option<String> {
 fn usage() -> ! {
     eprintln!(
         "usage: ktiler_serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] \
-         [--queue N] [--port-file PATH] [--stats-out PATH]"
+         [--queue N] [--port-file PATH] [--stats-out PATH] [--read-poll-ms N] \
+         [--write-timeout-ms N] [--stall-timeout-ms N]"
     );
     std::process::exit(2);
+}
+
+/// Parses `--<name> <millis>` into a [`Duration`], keeping `default`
+/// when the flag is absent.
+fn arg_millis(name: &str, default: Duration) -> Duration {
+    match arg_value(name) {
+        None => default,
+        Some(n) => Duration::from_millis(n.parse().unwrap_or_else(|_| usage())),
+    }
 }
 
 fn main() {
@@ -42,6 +59,12 @@ fn main() {
     if let Some(n) = arg_value("--queue") {
         cfg.queue_capacity = n.parse().unwrap_or_else(|_| usage());
     }
+    let defaults = ServerTuning::default();
+    let tuning = ServerTuning {
+        read_poll: arg_millis("--read-poll-ms", defaults.read_poll),
+        write_timeout: arg_millis("--write-timeout-ms", defaults.write_timeout),
+        stall_timeout: arg_millis("--stall-timeout-ms", defaults.stall_timeout),
+    };
 
     let svc = match Service::start(cfg) {
         Ok(s) => Arc::new(s),
@@ -50,7 +73,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let server = match serve(addr.as_str(), Arc::clone(&svc)) {
+    let server = match serve_with(addr.as_str(), Arc::clone(&svc), tuning) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot bind {addr}: {e}");

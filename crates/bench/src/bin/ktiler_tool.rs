@@ -12,6 +12,8 @@
 //! ktiler_tool client <schedule|stats|ping|shutdown> --addr H:P
 //!                      [--size N] [--iters N] [--levels N]
 //!                      [--freq G,M] [--deadline-ms N]
+//!                      [--retries N] [--retry-base-ms N]
+//!                      [--retry-seed N]
 //!                      [--out FILE]                            talk to ktiler_serve
 //! ```
 //!
@@ -19,15 +21,20 @@
 //! `--schedule` file given), `noig`, `streamed`.
 //!
 //! `client schedule` prints the outcome line (`MISS key=<hex> launches=N`,
-//! likewise `HIT`/`RECOMPUTE`) to stdout and writes the schedule text to
-//! `--out` (or stdout when omitted), so scripts can both grep the cache
-//! behaviour and capture the artifact.
+//! likewise `HIT`/`RECOMPUTE`/`DEGRADED`) to stdout and writes the
+//! schedule text to `--out` (or stdout when omitted), so scripts can both
+//! grep the cache behaviour and capture the artifact.
+//!
+//! With `--retries N` (N total attempts) the client reconnects and
+//! resends after a transport error, with seeded jittered exponential
+//! backoff (`--retry-base-ms`, `--retry-seed`) — idempotent requests
+//! only; a `shutdown` is never resent.
 
 use bench::{ms, paper_ktiler_config, pct_opt, prepare, Scale};
 use gpu_sim::{Engine, FreqConfig};
 use ktiler::{calibrate, execute_with_timeline, ktiler_schedule, CalibrationConfig, Schedule};
 use ktiler_svc::proto::{Request, Response};
-use ktiler_svc::{NetClient, ScheduleRequest, WorkloadSpec};
+use ktiler_svc::{NetClient, RetryPolicy, ScheduleRequest, WorkloadSpec};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -96,7 +103,21 @@ fn client_main() {
             std::process::exit(1);
         }
     };
-    let response = match client.request(&request) {
+    let policy = {
+        let mut p = RetryPolicy { attempts: 1, ..RetryPolicy::default() };
+        if let Some(n) = arg_value("--retries") {
+            p.attempts = n.parse().expect("bad --retries");
+        }
+        if let Some(base) = arg_value("--retry-base-ms") {
+            p.base_delay =
+                std::time::Duration::from_millis(base.parse().expect("bad --retry-base-ms"));
+        }
+        if let Some(seed) = arg_value("--retry-seed") {
+            p.seed = seed.parse().expect("bad --retry-seed");
+        }
+        p
+    };
+    let response = match client.request_with_retry(&request, &policy) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: request failed: {e}");

@@ -12,8 +12,14 @@
 //! bug, or simply corrupted. Every load therefore re-runs the full
 //! [`ktiler::verify_schedule`] pass against the *current* request's graph,
 //! trace and tiling parameters; anything short of a clean report degrades
-//! to a cache miss (and a recompute that overwrites the bad artifact),
+//! to a cache miss (and a recompute that replaces the bad artifact),
 //! never to a bad schedule.
+//!
+//! **Quarantine.** A bad artifact is evidence — of bit rot, of a tiler
+//! bug, of operator error — so instead of silently overwriting it, the
+//! probe renames it to `<key>.sched.bad` for inspection. At most one
+//! quarantined file is kept per key: a second corruption of the same key
+//! replaces the first, so a flapping artifact cannot fill the disk.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -68,8 +74,23 @@ impl ScheduleCache {
         self.dir.join(format!("{key}.sched"))
     }
 
+    /// Where a bad artifact of `key` is quarantined for inspection.
+    pub fn quarantine_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{key}.sched.bad"))
+    }
+
+    /// Moves a bad artifact aside to [`Self::quarantine_path`], replacing
+    /// any earlier quarantined file of the same key (cap: one per key).
+    /// Failure to quarantine is ignored — the recompute that follows will
+    /// replace the artifact either way.
+    fn quarantine(&self, key: &CacheKey) {
+        let _ = std::fs::rename(self.path_of(key), self.quarantine_path(key));
+    }
+
     /// Probes the cache: loads, parses and verifies the artifact of `key`
-    /// against the request's graph, trace and tiling parameters.
+    /// against the request's graph, trace and tiling parameters. A bad
+    /// artifact is quarantined (renamed to `<key>.sched.bad`) before the
+    /// probe reports it invalid.
     ///
     /// I/O errors other than "not found" are treated as [`CacheProbe::Invalid`]
     /// — a cache must degrade to recomputation, not fail the request.
@@ -84,14 +105,21 @@ impl ScheduleCache {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return CacheProbe::Absent,
-            Err(e) => return CacheProbe::Invalid(format!("read {}: {e}", path.display())),
+            Err(e) => {
+                self.quarantine(key);
+                return CacheProbe::Invalid(format!("read {}: {e}", path.display()));
+            }
         };
         let schedule = match schedule_from_text(&text) {
             Ok(s) => s,
-            Err(e) => return CacheProbe::Invalid(format!("parse {}: {e}", path.display())),
+            Err(e) => {
+                self.quarantine(key);
+                return CacheProbe::Invalid(format!("parse {}: {e}", path.display()));
+            }
         };
         let report = verify_schedule(&schedule, g, gt, params);
         if !report.is_clean() {
+            self.quarantine(key);
             return CacheProbe::Invalid(format!("verify {}: {report}", path.display()));
         }
         CacheProbe::Hit { text, schedule }

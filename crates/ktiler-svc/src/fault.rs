@@ -1,0 +1,435 @@
+//! Deterministic fault injection and panic-containment primitives.
+//!
+//! The service's hot paths are compiled with **named fault points**
+//! ([`points`]): cache load/store, the pipeline stages (frame I/O,
+//! analyze, calibrate, schedule) and the queue dequeue. In production the
+//! injector is inert — each point costs one relaxed atomic load. A test
+//! arms a seeded [`FaultPlan`] against the service's [`FaultInjector`],
+//! and the named points then fire as panics, [`io::Error`]s or injected
+//! delays on the Nth hit, deterministically: the same plan against the
+//! same request sequence fires the same faults with the same (seeded)
+//! delay jitter.
+//!
+//! The module also owns the **poison-recovery** lock helpers
+//! ([`lock`], [`cv_wait`], [`cv_wait_timeout`]): a panic while a
+//! `Mutex` guard is live poisons the mutex, and `.lock().expect(..)`
+//! would then convert every later access into a second panic — one
+//! injected fault cascading into a dead service. All service locks go
+//! through these helpers instead, which take the poisoned guard and move
+//! on; every structure they protect (queues, memo tables, waiter lists)
+//! is valid after any prefix of its mutations, so recovering the guard is
+//! sound. `scripts/check.sh` greps the non-test sources of this crate to
+//! keep bare `.lock().expect(` / `.unwrap()` from creeping back in.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+use gpu_sim::SplitMix64;
+
+/// The named fault points compiled into the service.
+pub mod points {
+    /// Before the cache probe (artifact load + verify).
+    pub const CACHE_LOAD: &str = "cache.load";
+    /// Before the artifact store.
+    pub const CACHE_STORE: &str = "cache.store";
+    /// Before the synthetic frame pair is built (the workload's frame I/O).
+    pub const FRAME_IO: &str = "frame.io";
+    /// Before block-level analysis.
+    pub const PIPELINE_ANALYZE: &str = "pipeline.analyze";
+    /// Before calibration.
+    pub const PIPELINE_CALIBRATE: &str = "pipeline.calibrate";
+    /// Before the tiling computation (Algorithms 1 + 2).
+    pub const PIPELINE_SCHEDULE: &str = "pipeline.schedule";
+    /// After a worker is woken with work available, before it pops the
+    /// job — a panic here kills the worker but loses no job.
+    pub const QUEUE_DEQUEUE: &str = "queue.dequeue";
+}
+
+/// What an armed fault does when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with an "injected fault" message.
+    Panic,
+    /// Return an [`io::Error`] carrying this message (only meaningful at
+    /// points fired through [`FaultInjector::fire_io`]; at a plain
+    /// [`FaultInjector::fire`] point it escalates to a panic).
+    Io(String),
+    /// Sleep for this base duration plus a seeded jitter of up to a
+    /// quarter of it.
+    Delay(Duration),
+}
+
+/// One armed fault: what to do, when to start, how often.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The action taken when the fault fires.
+    pub kind: FaultKind,
+    /// Hits of the point to let pass before the first firing (0 = fire on
+    /// the very first hit).
+    pub skip: u64,
+    /// Maximum number of firings before the fault disarms itself.
+    pub times: u64,
+}
+
+impl FaultSpec {
+    fn new(kind: FaultKind) -> Self {
+        FaultSpec { kind, skip: 0, times: 1 }
+    }
+
+    /// A fault that panics, once, on the first hit.
+    pub fn panic() -> Self {
+        Self::new(FaultKind::Panic)
+    }
+
+    /// A fault that returns an [`io::Error`] with this message, once, on
+    /// the first hit.
+    pub fn io(message: impl Into<String>) -> Self {
+        Self::new(FaultKind::Io(message.into()))
+    }
+
+    /// A fault that sleeps for `ms` milliseconds (plus seeded jitter),
+    /// once, on the first hit.
+    pub fn delay_ms(ms: u64) -> Self {
+        Self::new(FaultKind::Delay(Duration::from_millis(ms)))
+    }
+
+    /// Lets the first `n` hits pass before firing (fire on hit `n + 1`).
+    pub fn skip(mut self, n: u64) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Fires up to `n` times instead of once.
+    pub fn times(mut self, n: u64) -> Self {
+        self.times = n;
+        self
+    }
+}
+
+/// A seeded set of armed fault points, built once and loaded into a
+/// [`FaultInjector`]. The seed drives the jitter of [`FaultKind::Delay`]
+/// faults; two plans with equal seeds and arms behave identically.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    arms: Vec<(String, FaultSpec)>,
+}
+
+impl FaultPlan {
+    /// An empty plan with this seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, arms: Vec::new() }
+    }
+
+    /// Arms `spec` at `point` (builder-style).
+    pub fn arm(mut self, point: &str, spec: FaultSpec) -> Self {
+        self.arms.push((point.to_string(), spec));
+        self
+    }
+}
+
+/// Per-point arming state.
+#[derive(Debug)]
+struct Armed {
+    spec: FaultSpec,
+    hits: u64,
+    fired: u64,
+}
+
+#[derive(Debug, Default)]
+struct InjectorState {
+    seed: u64,
+    arms: HashMap<String, Armed>,
+    total_fired: u64,
+}
+
+/// The runtime side of fault injection: owned by the service, shared with
+/// tests that arm plans against it. Inert (one relaxed atomic load per
+/// point) until a plan is loaded.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    enabled: AtomicBool,
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// A new, inert injector.
+    pub fn inert() -> Arc<Self> {
+        Arc::new(FaultInjector::default())
+    }
+
+    /// Replaces the armed set with `plan`'s and enables the injector.
+    /// Hit and fire counters restart from zero.
+    pub fn load_plan(&self, plan: &FaultPlan) {
+        let mut st = lock(&self.state);
+        st.seed = plan.seed;
+        st.arms.clear();
+        for (point, spec) in &plan.arms {
+            st.arms.insert(point.clone(), Armed { spec: spec.clone(), hits: 0, fired: 0 });
+        }
+        st.total_fired = 0;
+        self.enabled.store(!st.arms.is_empty(), Ordering::SeqCst);
+    }
+
+    /// Disarms every point and returns the injector to its inert state.
+    pub fn clear(&self) {
+        self.enabled.store(false, Ordering::SeqCst);
+        let mut st = lock(&self.state);
+        st.arms.clear();
+        st.total_fired = 0;
+    }
+
+    /// Total firings (all points) since the last plan load.
+    pub fn total_fired(&self) -> u64 {
+        lock(&self.state).total_fired
+    }
+
+    /// Firings of one point since the last plan load.
+    pub fn fired(&self, point: &str) -> u64 {
+        lock(&self.state).arms.get(point).map_or(0, |a| a.fired)
+    }
+
+    /// Decides whether this hit of `point` fires; returns the action and
+    /// the firing ordinal (1-based). Updates the counters.
+    fn trigger(&self, point: &str) -> Option<(FaultKind, u64)> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut st = lock(&self.state);
+        let seed = st.seed;
+        let armed = st.arms.get_mut(point)?;
+        armed.hits += 1;
+        if armed.hits <= armed.spec.skip || armed.fired >= armed.spec.times {
+            return None;
+        }
+        armed.fired += 1;
+        let firing = armed.fired;
+        let mut kind = armed.spec.kind.clone();
+        if let FaultKind::Delay(base) = &mut kind {
+            *base += delay_jitter(seed, point, firing, *base);
+        }
+        st.total_fired += 1;
+        Some((kind, firing))
+    }
+
+    /// Hits a fault point on an I/O-shaped path: may panic, sleep, or
+    /// return an injected error.
+    ///
+    /// # Errors
+    ///
+    /// The injected [`io::Error`] when an armed [`FaultKind::Io`] fires.
+    ///
+    /// # Panics
+    ///
+    /// When an armed [`FaultKind::Panic`] fires.
+    pub fn fire_io(&self, point: &str) -> io::Result<()> {
+        match self.trigger(point) {
+            None => Ok(()),
+            Some((FaultKind::Panic, n)) => {
+                panic!("injected fault: {point} (firing {n})")
+            }
+            Some((FaultKind::Io(msg), n)) => {
+                Err(io::Error::other(format!("injected fault: {point} (firing {n}): {msg}")))
+            }
+            Some((FaultKind::Delay(d), _)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
+    }
+
+    /// Hits a fault point on a non-I/O path: may panic or sleep. An armed
+    /// [`FaultKind::Io`] here escalates to a panic — the point has no
+    /// error channel to surface it on, and silently swallowing an armed
+    /// fault would make a chaos run lie.
+    ///
+    /// # Panics
+    ///
+    /// When an armed [`FaultKind::Panic`] or [`FaultKind::Io`] fires.
+    pub fn fire(&self, point: &str) {
+        if let Err(e) = self.fire_io(point) {
+            panic!("{e} (io fault armed at a non-io point)");
+        }
+    }
+}
+
+/// Seeded, deterministic jitter for delay faults: up to a quarter of the
+/// base delay, derived from (plan seed, point name, firing ordinal).
+fn delay_jitter(seed: u64, point: &str, firing: u64, base: Duration) -> Duration {
+    let quarter = base.as_nanos() as u64 / 4;
+    if quarter == 0 {
+        return Duration::ZERO;
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in point.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = SplitMix64::new(seed ^ h ^ firing);
+    Duration::from_nanos(rng.next_u64() % (quarter + 1))
+}
+
+/// Locks a mutex, recovering from poisoning: if a panicking thread
+/// poisoned it, the guard is taken anyway. Sound for every structure this
+/// crate protects — all are valid after any prefix of their mutations —
+/// and essential for containment: one caught panic must not convert every
+/// later lock into a second panic.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock`].
+pub fn cv_wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// [`Condvar::wait_timeout`] with the same poison recovery as [`lock`].
+pub fn cv_wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    match cv.wait_timeout(guard, timeout) {
+        Ok(r) => r,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Renders a caught panic payload (from [`std::panic::catch_unwind`]) as a
+/// message, for conversion into a structured error.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn inert_injector_never_fires() {
+        let inj = FaultInjector::inert();
+        for _ in 0..100 {
+            inj.fire_io(points::CACHE_LOAD).unwrap();
+            inj.fire(points::QUEUE_DEQUEUE);
+        }
+        assert_eq!(inj.total_fired(), 0);
+    }
+
+    #[test]
+    fn io_fault_fires_on_the_nth_hit_and_disarms() {
+        let inj = FaultInjector::inert();
+        inj.load_plan(
+            &FaultPlan::new(7).arm(points::CACHE_STORE, FaultSpec::io("disk full").skip(2)),
+        );
+        assert!(inj.fire_io(points::CACHE_STORE).is_ok(), "hit 1 passes");
+        assert!(inj.fire_io(points::CACHE_STORE).is_ok(), "hit 2 passes");
+        let err = inj.fire_io(points::CACHE_STORE).unwrap_err();
+        assert!(err.to_string().contains("disk full"), "{err}");
+        assert!(inj.fire_io(points::CACHE_STORE).is_ok(), "disarmed after one firing");
+        assert_eq!(inj.fired(points::CACHE_STORE), 1);
+        assert_eq!(inj.total_fired(), 1);
+        // Other points are untouched.
+        assert!(inj.fire_io(points::CACHE_LOAD).is_ok());
+    }
+
+    #[test]
+    fn times_bounds_repeat_firings() {
+        let inj = FaultInjector::inert();
+        inj.load_plan(&FaultPlan::new(1).arm(points::FRAME_IO, FaultSpec::io("x").times(2)));
+        assert!(inj.fire_io(points::FRAME_IO).is_err());
+        assert!(inj.fire_io(points::FRAME_IO).is_err());
+        assert!(inj.fire_io(points::FRAME_IO).is_ok());
+        assert_eq!(inj.fired(points::FRAME_IO), 2);
+    }
+
+    #[test]
+    fn panic_fault_panics_and_is_catchable() {
+        let inj = FaultInjector::inert();
+        inj.load_plan(&FaultPlan::new(1).arm(points::PIPELINE_SCHEDULE, FaultSpec::panic()));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inj.fire(points::PIPELINE_SCHEDULE)
+        }));
+        let payload = r.expect_err("armed panic must fire");
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("pipeline.schedule"), "{msg}");
+        // After the panic the injector (and its lock) still works.
+        assert_eq!(inj.total_fired(), 1);
+        inj.fire(points::PIPELINE_SCHEDULE);
+    }
+
+    #[test]
+    fn delay_fault_sleeps_with_deterministic_seeded_jitter() {
+        let measured = |seed: u64| {
+            let inj = FaultInjector::inert();
+            inj.load_plan(
+                &FaultPlan::new(seed).arm(points::QUEUE_DEQUEUE, FaultSpec::delay_ms(20)),
+            );
+            let t0 = Instant::now();
+            inj.fire(points::QUEUE_DEQUEUE);
+            t0.elapsed()
+        };
+        let d = measured(42);
+        assert!(d >= Duration::from_millis(20), "slept at least the base: {d:?}");
+        // The jitter itself is a pure function of (seed, point, firing).
+        let base = Duration::from_millis(20);
+        let j1 = delay_jitter(42, points::QUEUE_DEQUEUE, 1, base);
+        let j2 = delay_jitter(42, points::QUEUE_DEQUEUE, 1, base);
+        assert_eq!(j1, j2, "equal seeds give equal jitter");
+        assert!(j1 <= base / 4, "jitter bounded by a quarter of the base");
+        assert_ne!(
+            delay_jitter(42, points::QUEUE_DEQUEUE, 1, base),
+            delay_jitter(43, points::QUEUE_DEQUEUE, 1, base),
+            "seed changes the jitter"
+        );
+    }
+
+    #[test]
+    fn clear_disarms_everything() {
+        let inj = FaultInjector::inert();
+        inj.load_plan(&FaultPlan::new(1).arm(points::CACHE_LOAD, FaultSpec::io("x").times(100)));
+        assert!(inj.fire_io(points::CACHE_LOAD).is_err());
+        inj.clear();
+        assert!(inj.fire_io(points::CACHE_LOAD).is_ok());
+        assert_eq!(inj.total_fired(), 0);
+    }
+
+    #[test]
+    fn lock_recovers_from_poisoning() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().expect("first lock");
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        let mut g = lock(&m);
+        *g += 1;
+        assert_eq!(*g, 8);
+    }
+
+    #[test]
+    fn panic_message_decodes_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(s.as_ref()), "static str");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(s.as_ref()), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(17u8);
+        assert!(panic_message(s.as_ref()).contains("non-string"));
+    }
+}

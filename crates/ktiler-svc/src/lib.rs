@@ -15,7 +15,12 @@
 //! * [`metrics`] — lock-free counters and latency histograms ([`Metrics`]);
 //! * [`proto`] / [`server`] — a length-prefixed line protocol over TCP
 //!   ([`serve`], [`NetClient`]), so one warmed cache can serve many
-//!   processes.
+//!   processes;
+//! * [`fault`] — a deterministic fault-injection layer ([`FaultInjector`],
+//!   [`FaultPlan`]): named fault points compiled into the hot paths, armed
+//!   by seeded plans, used by the chaos suite to prove the service
+//!   contains panics, respawns crashed workers and degrades to verified
+//!   untiled schedules instead of failing requests.
 //!
 //! Everything is `std`-only, like the rest of the workspace.
 
@@ -23,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fault;
 pub mod key;
 pub mod metrics;
 pub mod proto;
@@ -30,9 +36,10 @@ pub mod server;
 pub mod service;
 
 pub use cache::{CacheProbe, ScheduleCache};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use key::{schedule_cache_key, CacheKey, KeyHasher};
 pub use metrics::Metrics;
-pub use server::{serve, NetClient, Server};
+pub use server::{serve, serve_with, NetClient, RetryPolicy, Server, ServerTuning};
 pub use service::{
     Client, Outcome, ScheduleRequest, ScheduleResponse, Service, ServiceConfig, SvcError,
     WorkloadSpec,

@@ -93,6 +93,14 @@ impl LatencyHistogram {
 /// * `store_failures` — artifacts that could not be persisted (the
 ///   response is still served; only the cache write is lost).
 /// * `errors` — requests that failed with a pipeline or bad-request error.
+/// * `worker_panics` — panics caught by a worker while running a request;
+///   each one produced a structured response (degraded or
+///   `SvcError::Internal`), never a hung client.
+/// * `workers_respawned` — crashed worker threads replaced by the
+///   supervisor, so the pool never shrinks.
+/// * `degraded_total` — requests answered with a verified **untiled**
+///   schedule (`Outcome::DegradedUntiled`) because the cache-aware
+///   pipeline failed.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Schedule requests accepted into the queue.
@@ -117,6 +125,13 @@ pub struct Metrics {
     pub store_failures: AtomicU64,
     /// Requests that failed with an error.
     pub errors: AtomicU64,
+    /// Panics caught by workers while running a request.
+    pub worker_panics: AtomicU64,
+    /// Crashed workers replaced by the supervisor.
+    pub workers_respawned: AtomicU64,
+    /// Requests served a verified untiled schedule after a pipeline
+    /// failure.
+    pub degraded_total: AtomicU64,
     /// Latency of analyze + calibrate (memo-miss prepare).
     pub analyze_latency: LatencyHistogram,
     /// Latency of the tiling computation.
@@ -145,7 +160,8 @@ impl Metrics {
             "{{\n  \"requests\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
              \"verify_failures\": {},\n  \"sheds\": {},\n  \"deadline_expired\": {},\n  \
              \"coalesced\": {},\n  \"pipeline_runs\": {},\n  \"analysis_runs\": {},\n  \
-             \"store_failures\": {},\n  \"errors\": {},\n  \"latency_us\": {{\n    \
+             \"store_failures\": {},\n  \"errors\": {},\n  \"worker_panics\": {},\n  \
+             \"workers_respawned\": {},\n  \"degraded_total\": {},\n  \"latency_us\": {{\n    \
              \"analyze\": {},\n    \"tile\": {},\n    \"cache_load\": {},\n    \"total\": {}\n  \
              }}\n}}",
             c(&self.requests),
@@ -159,6 +175,9 @@ impl Metrics {
             c(&self.analysis_runs),
             c(&self.store_failures),
             c(&self.errors),
+            c(&self.worker_panics),
+            c(&self.workers_respawned),
+            c(&self.degraded_total),
             self.analyze_latency.to_json(),
             self.tile_latency.to_json(),
             self.cache_load_latency.to_json(),
@@ -215,6 +234,9 @@ mod tests {
             "analysis_runs",
             "store_failures",
             "errors",
+            "worker_panics",
+            "workers_respawned",
+            "degraded_total",
             "latency_us",
         ] {
             assert!(json.contains(&format!("\"{field}\"")), "{field} missing from {json}");

@@ -66,6 +66,28 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
 /// `WouldBlock`/`TimedOut` from a read timeout, which callers polling an
 /// idle connection should treat as "no frame yet").
 pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    read_frame_polled(r, |_, e| Err(e))
+}
+
+/// Reads one frame from a stream with a read timeout, retrying timed-out
+/// reads **without losing partial progress** — the piece [`read_frame`]
+/// cannot offer, since a `WouldBlock` surfacing mid-header or mid-payload
+/// abandons the bytes already consumed.
+///
+/// On every `WouldBlock`/`TimedOut` read, `on_block(mid_frame, err)` is
+/// consulted: return `Ok(())` to retry the read (the socket's own read
+/// timeout paces the polling), or `Err(..)` to abort with that error.
+/// `mid_frame` is true once at least one byte of the current frame has
+/// been consumed — the flag that separates "idle connection" (fine to
+/// wait on indefinitely) from "stalled sender" (worth a deadline).
+///
+/// # Errors
+///
+/// As [`read_frame`], plus whatever `on_block` returns to abort.
+pub fn read_frame_polled<R: BufRead>(
+    r: &mut R,
+    mut on_block: impl FnMut(bool, io::Error) -> io::Result<()>,
+) -> io::Result<Option<Vec<u8>>> {
     let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
     let mut header = Vec::with_capacity(MAX_HEADER_DIGITS);
     let mut byte = [0u8; 1];
@@ -79,6 +101,10 @@ pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
             }
             Ok(_) => {}
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                on_block(!header.is_empty(), e)?;
+                continue;
+            }
             Err(e) => return Err(e),
         }
         if byte[0] == b'\n' {
@@ -100,8 +126,20 @@ pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
         return Err(bad(format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit")));
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)
-        .map_err(|e| bad(format!("short frame ({len} bytes promised): {e}")))?;
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(bad(format!("short frame ({len} bytes promised, {filled} received)")))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                on_block(true, e)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
     Ok(Some(payload))
 }
 
@@ -119,6 +157,17 @@ pub enum Request {
 }
 
 impl Request {
+    /// Whether retrying this request after a transport failure is safe.
+    /// Scheduling is a pure function of its inputs and `STATS`/`PING` are
+    /// read-only, so all three are idempotent; `SHUTDOWN` is not — a
+    /// retry could reach (and kill) a freshly restarted server.
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            Request::Schedule(_) | Request::Stats | Request::Ping => true,
+            Request::Shutdown => false,
+        }
+    }
+
     /// Renders the request line.
     pub fn to_line(&self) -> String {
         match self {
@@ -228,7 +277,9 @@ impl Response {
             Response::Bye => b"OK BYE".to_vec(),
             Response::Err(e) => {
                 let msg = match e {
-                    SvcError::BadRequest(m) | SvcError::Pipeline(m) => m.as_str(),
+                    SvcError::BadRequest(m) | SvcError::Pipeline(m) | SvcError::Internal(m) => {
+                        m.as_str()
+                    }
                     _ => "",
                 };
                 // The message must stay on the status line.
@@ -361,6 +412,89 @@ mod tests {
         assert!(Request::decode(&[0xff, 0xfe]).is_err(), "non-UTF-8 rejected");
     }
 
+    /// A reader that interleaves `WouldBlock` pauses between the chunks of
+    /// a frame, like a socket with a read timeout receiving a slow sender.
+    struct Trickle {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+        blocked: bool,
+    }
+
+    impl std::io::Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.next >= self.chunks.len() {
+                return Ok(0);
+            }
+            if !self.blocked {
+                self.blocked = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "not yet"));
+            }
+            self.blocked = false;
+            let chunk = &self.chunks[self.next];
+            let n = chunk.len().min(buf.len());
+            buf[..n].copy_from_slice(&chunk[..n]);
+            if n == chunk.len() {
+                self.next += 1;
+            } else {
+                self.chunks[self.next] = chunk[n..].to_vec();
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn polled_reads_survive_mid_frame_timeouts_without_losing_bytes() {
+        // "5\nhello" delivered one byte at a time, a WouldBlock before each.
+        let bytes = b"5\nhello";
+        let r =
+            Trickle { chunks: bytes.iter().map(|&b| vec![b]).collect(), next: 0, blocked: false };
+        let mut blocks = 0u32;
+        let mut mid_frames = 0u32;
+        let mut reader = std::io::BufReader::with_capacity(1, r);
+        let payload = read_frame_polled(&mut reader, |mid, _e| {
+            blocks += 1;
+            if mid {
+                mid_frames += 1;
+            }
+            Ok(())
+        })
+        .unwrap()
+        .unwrap();
+        assert_eq!(payload, b"hello");
+        assert!(blocks >= bytes.len() as u32, "one block per byte at least: {blocks}");
+        assert!(mid_frames >= blocks - 1, "all but the first block are mid-frame");
+    }
+
+    #[test]
+    fn polled_reads_abort_when_the_callback_says_so() {
+        let r = Trickle { chunks: vec![b"5\nhe".to_vec()], next: 0, blocked: false };
+        let mut reader = std::io::BufReader::with_capacity(1, r);
+        // Allow two blocks, then give up: simulates a stall deadline.
+        let mut budget = 2u32;
+        let err = read_frame_polled(&mut reader, |_mid, e| {
+            if budget == 0 {
+                return Err(e);
+            }
+            budget -= 1;
+            Ok(())
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn idempotency_flags() {
+        assert!(Request::Ping.is_idempotent());
+        assert!(Request::Stats.is_idempotent());
+        assert!(Request::Schedule(ScheduleRequest::new(WorkloadSpec::OptFlow {
+            size: 64,
+            iters: 3,
+            levels: 2
+        }))
+        .is_idempotent());
+        assert!(!Request::Shutdown.is_idempotent());
+    }
+
     #[test]
     fn response_roundtrip() {
         let resps = [
@@ -377,6 +511,13 @@ mod tests {
             Response::Err(SvcError::DeadlineExceeded),
             Response::Err(SvcError::BadRequest("size must be in 16..=2048".into())),
             Response::Err(SvcError::Pipeline("tiling failed".into())),
+            Response::Err(SvcError::Internal("injected fault: pipeline.schedule".into())),
+            Response::Schedule(ScheduleResponse {
+                outcome: Outcome::DegradedUntiled,
+                key: CacheKey { hi: 3, lo: 4 },
+                launches: 12,
+                text: "# untiled\n".to_string(),
+            }),
         ];
         for resp in resps {
             let decoded = Response::decode(&resp.encode()).unwrap();

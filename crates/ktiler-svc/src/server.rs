@@ -7,51 +7,104 @@
 //! (non-blocking accept, short read timeouts) so a `SHUTDOWN` request —
 //! or [`Server::request_stop`] — winds the whole front-end down without
 //! help from the OS: no signals, no socket shootdown.
+//!
+//! **Misbehaving peers.** A connection handler distinguishes an *idle*
+//! client (no bytes of a frame received — allowed to sit quietly forever)
+//! from a *stalled* one (a frame started but not finished): a stalled
+//! peer holding half a frame is cut off after
+//! [`ServerTuning::stall_timeout`], and writes are bounded by
+//! [`ServerTuning::write_timeout`], so a client that stops reading cannot
+//! pin a handler thread. Finished handler threads are reaped on every
+//! accept, so a long-lived server's handler list stays proportional to
+//! the number of *live* connections, not to the total ever accepted.
 
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::proto::{read_frame, write_frame, Request, Response};
+use gpu_sim::SplitMix64;
+
+use crate::fault;
+use crate::proto::{read_frame, read_frame_polled, write_frame, Request, Response};
 use crate::service::{Service, SvcError};
 
 /// How long the accept loop sleeps between polls of an idle listener.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
-/// Read timeout of an idle connection; bounds how stale the stop flag can
-/// be when a client goes quiet.
-const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Socket-level knobs of the TCP front-end. [`ServerTuning::default`] is
+/// right for production; tests shrink the timeouts to fail fast.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerTuning {
+    /// Read timeout of a connection socket; bounds how stale the stop
+    /// flag can be when a client goes quiet, and sets the granularity of
+    /// the stall check.
+    pub read_poll: Duration,
+    /// Write timeout of a connection socket; a client that stops reading
+    /// is dropped instead of pinning the handler thread.
+    pub write_timeout: Duration,
+    /// How long a connection may sit mid-frame (some bytes of a frame
+    /// received, the rest missing) before it is dropped as stalled. Idle
+    /// connections — no frame in progress — are never timed out.
+    pub stall_timeout: Duration,
+}
+
+impl Default for ServerTuning {
+    fn default() -> Self {
+        ServerTuning {
+            read_poll: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(10),
+            stall_timeout: Duration::from_secs(10),
+        }
+    }
+}
 
 /// A running TCP front-end over a [`Service`].
 pub struct Server {
     local_addr: SocketAddr,
     svc: Arc<Service>,
     stop: Arc<AtomicBool>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
-/// Starts serving `svc` on `addr` (e.g. `127.0.0.1:0` for an ephemeral
-/// port; the bound address is [`Server::local_addr`]).
+/// Starts serving `svc` on `addr` with default [`ServerTuning`]
+/// (e.g. `127.0.0.1:0` for an ephemeral port; the bound address is
+/// [`Server::local_addr`]).
 ///
 /// # Errors
 ///
 /// Any error from binding the listener.
 pub fn serve<A: ToSocketAddrs>(addr: A, svc: Arc<Service>) -> io::Result<Server> {
+    serve_with(addr, svc, ServerTuning::default())
+}
+
+/// Starts serving `svc` on `addr` with explicit socket tuning.
+///
+/// # Errors
+///
+/// Any error from binding the listener.
+pub fn serve_with<A: ToSocketAddrs>(
+    addr: A,
+    svc: Arc<Service>,
+    tuning: ServerTuning,
+) -> io::Result<Server> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let accept_thread = {
         let svc = Arc::clone(&svc);
         let stop = Arc::clone(&stop);
+        let handlers = Arc::clone(&handlers);
         std::thread::Builder::new()
             .name("ktiler-svc-accept".into())
-            .spawn(move || accept_loop(listener, svc, stop))
-            .expect("spawn accept thread")
+            .spawn(move || accept_loop(listener, svc, stop, handlers, tuning))?
     };
-    Ok(Server { local_addr, svc, stop, accept_thread: Some(accept_thread) })
+    Ok(Server { local_addr, svc, stop, handlers, accept_thread: Some(accept_thread) })
 }
 
 impl Server {
@@ -77,6 +130,15 @@ impl Server {
         self.stop.store(true, Ordering::SeqCst);
     }
 
+    /// Number of connection handler threads still running. Reaps finished
+    /// handles first, so the count reflects live connections, not the
+    /// total ever accepted.
+    pub fn live_connections(&self) -> usize {
+        let mut handlers = fault::lock(&self.handlers);
+        reap_finished(&mut handlers);
+        handlers.len()
+    }
+
     /// Blocks until a stop is requested, then joins the front-end and
     /// shuts the service down (draining queued requests). Returns the
     /// service so the caller can dump final metrics.
@@ -98,30 +160,55 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, svc: Arc<Service>, stop: Arc<AtomicBool>) {
-    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+/// Joins (and drops) every finished handler in `handlers`, keeping the
+/// live ones. A handler that panicked is still reaped — the panic is
+/// contained to its own connection.
+fn reap_finished(handlers: &mut Vec<JoinHandle<()>>) {
+    let mut live = Vec::with_capacity(handlers.len());
+    for h in handlers.drain(..) {
+        if h.is_finished() {
+            let _ = h.join();
+        } else {
+            live.push(h);
+        }
+    }
+    *handlers = live;
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    svc: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    tuning: ServerTuning,
+) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let svc = Arc::clone(&svc);
                 let stop = Arc::clone(&stop);
-                let handle = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name("ktiler-svc-conn".into())
-                    .spawn(move || handle_connection(stream, &svc, &stop))
-                    .expect("spawn connection thread");
-                handlers.lock().expect("handler list poisoned").push(handle);
+                    .spawn(move || handle_connection(stream, &svc, &stop, tuning));
+                let mut handlers = fault::lock(&handlers);
+                reap_finished(&mut handlers);
+                match spawned {
+                    Ok(handle) => handlers.push(handle),
+                    Err(_) => continue, // connection dropped; client will retry
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
             Err(_) => std::thread::sleep(ACCEPT_POLL),
         }
     }
-    for h in std::mem::take(&mut *handlers.lock().expect("handler list poisoned")) {
+    for h in std::mem::take(&mut *fault::lock(&handlers)) {
         let _ = h.join();
     }
 }
 
-fn handle_connection(stream: TcpStream, svc: &Service, stop: &AtomicBool) {
-    let _ = stream.set_read_timeout(Some(READ_POLL));
+fn handle_connection(stream: TcpStream, svc: &Service, stop: &AtomicBool, tuning: ServerTuning) {
+    let _ = stream.set_read_timeout(Some(tuning.read_poll));
+    let _ = stream.set_write_timeout(Some(tuning.write_timeout));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(s) => s,
@@ -129,14 +216,29 @@ fn handle_connection(stream: TcpStream, svc: &Service, stop: &AtomicBool) {
     };
     let mut reader = BufReader::new(stream);
     let client = svc.client();
-    while !stop.load(Ordering::SeqCst) {
-        let payload = match read_frame(&mut reader) {
+    loop {
+        // Each blocked read re-checks the stop flag; a frame left half
+        // received past the stall deadline drops the connection, while an
+        // idle peer (no frame started) may wait indefinitely.
+        let mut stalled_since: Option<Instant> = None;
+        let frame = read_frame_polled(&mut reader, |mid_frame, e| {
+            if stop.load(Ordering::SeqCst) {
+                return Err(io::Error::other("server stopping"));
+            }
+            if !mid_frame {
+                stalled_since = None;
+                return Ok(());
+            }
+            let since = *stalled_since.get_or_insert_with(Instant::now);
+            if since.elapsed() >= tuning.stall_timeout {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, e.to_string()));
+            }
+            Ok(())
+        });
+        let payload = match frame {
             Ok(Some(p)) => p,
             Ok(None) => return, // client hung up cleanly
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                continue; // idle poll; go re-check the stop flag
-            }
-            Err(_) => return, // torn frame or transport error: drop the connection
+            Err(_) => return,   // stop requested, stalled peer, torn frame or transport error
         };
         let response = match Request::decode(&payload) {
             Err(msg) => Response::Err(SvcError::BadRequest(msg)),
@@ -158,9 +260,74 @@ fn handle_connection(stream: TcpStream, svc: &Service, stop: &AtomicBool) {
     }
 }
 
+/// Retry discipline of [`NetClient::request_with_retry`]: bounded
+/// attempts with seeded, jittered exponential backoff.
+///
+/// The delay before retry `i` (1-based) is `base_delay * 2^(i-1)` capped
+/// at `max_delay`, then jittered into the upper half of that range
+/// (`[d/2, d]`) by a [`SplitMix64`] stream seeded from `seed` — two
+/// clients with different seeds desynchronize instead of stampeding a
+/// recovering server, and a fixed seed makes test timing reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `attempts: 1` never
+    /// retries). Zero is treated as one.
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling of the exponential backoff.
+    pub max_delay: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            seed: 0x6b74_696c_6572, // "ktiler"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `retry` (1-based).
+    /// Deterministic in `(seed, retry)`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (retry.saturating_sub(1)).min(20))
+            .min(self.max_delay);
+        let mut rng = SplitMix64::new(self.seed ^ u64::from(retry));
+        let half = exp / 2;
+        let span_ns = exp.saturating_sub(half).as_nanos().min(u128::from(u64::MAX)) as u64;
+        let jitter_ns = if span_ns == 0 { 0 } else { rng.next_u64() % (span_ns + 1) };
+        half + Duration::from_nanos(jitter_ns)
+    }
+}
+
+/// Whether a transport error is worth a reconnect-and-retry: the kinds a
+/// crashing or restarting server produces, not protocol violations.
+fn is_retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::Interrupted
+    )
+}
+
 /// A blocking TCP client speaking the framed protocol; used by
 /// `ktiler_tool client` and the end-to-end tests.
 pub struct NetClient {
+    addr: SocketAddr,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
@@ -170,12 +337,34 @@ impl NetClient {
     ///
     /// # Errors
     ///
-    /// Any error from connecting or cloning the stream.
+    /// Any error from resolving the address, connecting or cloning the
+    /// stream.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other("address resolved to nothing"))?;
+        let (writer, reader) = Self::open(addr)?;
+        Ok(NetClient { addr, writer, reader })
+    }
+
+    fn open(addr: SocketAddr) -> io::Result<(TcpStream, BufReader<TcpStream>)> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
-        Ok(NetClient { writer, reader: BufReader::new(stream) })
+        Ok((writer, BufReader::new(stream)))
+    }
+
+    /// Drops the current connection and dials the server again.
+    ///
+    /// # Errors
+    ///
+    /// Any error from connecting or cloning the stream.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let (writer, reader) = Self::open(self.addr)?;
+        self.writer = writer;
+        self.reader = reader;
+        Ok(())
     }
 
     /// Sends one request and waits for its response.
@@ -191,5 +380,88 @@ impl NetClient {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
         })?;
         Response::decode(&payload).map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+    }
+
+    /// Like [`NetClient::request`], but on a retryable transport error
+    /// the client reconnects and tries again, up to
+    /// [`RetryPolicy::attempts`] total attempts with
+    /// [`RetryPolicy::backoff`] between them.
+    ///
+    /// Only [idempotent](Request::is_idempotent) requests are retried —
+    /// resending `SHUTDOWN` after a torn reply could kill a server that
+    /// was restarted in between. Non-idempotent requests and
+    /// non-retryable errors (e.g. a protocol violation) fail on the first
+    /// error, exactly like [`NetClient::request`].
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once the budget is exhausted.
+    pub fn request_with_retry(
+        &mut self,
+        req: &Request,
+        policy: &RetryPolicy,
+    ) -> io::Result<Response> {
+        let attempts = policy.attempts.max(1);
+        let mut last_err = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                std::thread::sleep(policy.backoff(attempt - 1));
+                if let Err(e) = self.reconnect() {
+                    if is_retryable(&e) && attempt < attempts {
+                        last_err = Some(e);
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+            match self.request(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if req.is_idempotent() && is_retryable(&e) && attempt < attempts => {
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("retry budget exhausted")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_monotone_capped_and_jittered_into_upper_half() {
+        let p = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(400),
+            seed: 7,
+        };
+        for retry in 1..=8 {
+            let d = p.backoff(retry);
+            assert_eq!(d, p.backoff(retry), "deterministic at retry {retry}");
+            let exp = p.base_delay.saturating_mul(1u32 << (retry - 1).min(20)).min(p.max_delay);
+            assert!(
+                d >= exp / 2 && d <= exp,
+                "retry {retry}: {d:?} outside [{:?}, {exp:?}]",
+                exp / 2
+            );
+        }
+        assert!(p.backoff(20) <= p.max_delay, "capped at max_delay");
+        assert_ne!(
+            RetryPolicy { seed: 8, ..p }.backoff(3),
+            p.backoff(3),
+            "seed changes the jitter"
+        );
+    }
+
+    #[test]
+    fn retryable_kinds() {
+        assert!(is_retryable(&io::Error::new(io::ErrorKind::UnexpectedEof, "x")));
+        assert!(is_retryable(&io::Error::new(io::ErrorKind::ConnectionRefused, "x")));
+        assert!(is_retryable(&io::Error::new(io::ErrorKind::TimedOut, "x")));
+        assert!(!is_retryable(&io::Error::new(io::ErrorKind::InvalidData, "x")));
+        assert!(!is_retryable(&io::Error::other("x")));
     }
 }

@@ -18,23 +18,39 @@
 //!   point) that arrive while one is being computed attach to that
 //!   computation instead of starting their own; N concurrent identical
 //!   requests run the pipeline exactly once.
+//!
+//! Failure shape (see `DESIGN.md` §12 and the [`crate::fault`] module):
+//! workers run each job under `catch_unwind`, so a panic becomes a
+//! structured [`SvcError::Internal`] instead of a hung client; a
+//! supervisor respawns any crashed worker so the pool never shrinks; all
+//! locks recover from poisoning; and a failed pipeline degrades to a
+//! verified **untiled** schedule ([`Outcome::DegradedUntiled`]) rather
+//! than an error whenever that fallback itself succeeds.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gpu_sim::{FreqConfig, GpuConfig};
 use hsoptflow::{build_app, synthetic_pair, HsParams, OptFlowApp};
 use kgraph::GraphTrace;
 use ktiler::{
-    calibrate, ktiler_schedule, schedule_to_text, CalibrationConfig, KtilerConfig, TileParams,
+    calibrate, ktiler_schedule, schedule_to_text, verify_schedule, CalibrationConfig, KtilerConfig,
+    Schedule, TileParams,
 };
 
 use crate::cache::{CacheProbe, ScheduleCache};
+use crate::fault::{self, points, FaultInjector};
 use crate::key::{schedule_cache_key, CacheKey, KeyHasher};
 use crate::metrics::{bump, Metrics};
+
+/// How often the supervisor scans the pool for crashed workers.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(10);
 
 /// The workload a schedule is requested for.
 ///
@@ -182,6 +198,11 @@ pub enum Outcome {
     /// An artifact existed but failed verification; the pipeline ran and
     /// the artifact was replaced.
     Recompute,
+    /// The cache-aware pipeline failed; the service fell back to a
+    /// verified **untiled** schedule (one launch per kernel, the paper's
+    /// baseline order). Correct, never cached, and slower on the device —
+    /// degraded, not an outage.
+    DegradedUntiled,
 }
 
 impl Outcome {
@@ -191,6 +212,7 @@ impl Outcome {
             Outcome::Hit => "HIT",
             Outcome::Miss => "MISS",
             Outcome::Recompute => "RECOMPUTE",
+            Outcome::DegradedUntiled => "DEGRADED",
         }
     }
 
@@ -200,6 +222,7 @@ impl Outcome {
             "HIT" => Some(Outcome::Hit),
             "MISS" => Some(Outcome::Miss),
             "RECOMPUTE" => Some(Outcome::Recompute),
+            "DEGRADED" => Some(Outcome::DegradedUntiled),
             _ => None,
         }
     }
@@ -233,6 +256,10 @@ pub enum SvcError {
     BadRequest(String),
     /// The pipeline failed (analysis, calibration or tiling).
     Pipeline(String),
+    /// A worker panicked while running the request; the panic was
+    /// contained and converted into this structured response (the waiting
+    /// client is answered, never left hung).
+    Internal(String),
 }
 
 impl SvcError {
@@ -244,6 +271,7 @@ impl SvcError {
             SvcError::ShuttingDown => "SHUTDOWN",
             SvcError::BadRequest(_) => "BAD_REQUEST",
             SvcError::Pipeline(_) => "PIPELINE",
+            SvcError::Internal(_) => "INTERNAL",
         }
     }
 
@@ -254,6 +282,7 @@ impl SvcError {
             "DEADLINE" => SvcError::DeadlineExceeded,
             "SHUTDOWN" => SvcError::ShuttingDown,
             "BAD_REQUEST" => SvcError::BadRequest(message.to_string()),
+            "INTERNAL" => SvcError::Internal(message.to_string()),
             _ => SvcError::Pipeline(message.to_string()),
         }
     }
@@ -267,6 +296,7 @@ impl fmt::Display for SvcError {
             SvcError::ShuttingDown => write!(f, "service shutting down"),
             SvcError::BadRequest(m) => write!(f, "bad request: {m}"),
             SvcError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            SvcError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -328,7 +358,7 @@ impl Cell {
     }
 
     fn fulfill(&self, r: Result<ScheduleResponse, SvcError>) {
-        let mut st = self.state.lock().expect("cell lock poisoned");
+        let mut st = fault::lock(&self.state);
         if st.is_none() {
             *st = Some(r);
             self.cv.notify_all();
@@ -336,19 +366,19 @@ impl Cell {
     }
 
     fn wait(&self, deadline: Option<Instant>) -> Result<ScheduleResponse, SvcError> {
-        let mut st = self.state.lock().expect("cell lock poisoned");
+        let mut st = fault::lock(&self.state);
         loop {
             if let Some(r) = st.take() {
                 return r;
             }
             match deadline {
-                None => st = self.cv.wait(st).expect("cell lock poisoned"),
+                None => st = fault::cv_wait(&self.cv, st),
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
                         return Err(SvcError::DeadlineExceeded);
                     }
-                    let (guard, _) = self.cv.wait_timeout(st, d - now).expect("cell lock poisoned");
+                    let (guard, _) = fault::cv_wait_timeout(&self.cv, st, d - now);
                     st = guard;
                 }
             }
@@ -371,19 +401,23 @@ struct Inner {
     cfg: ServiceConfig,
     cache: ScheduleCache,
     metrics: Arc<Metrics>,
+    faults: Arc<FaultInjector>,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     /// Single-flight table: flight key → followers waiting on the leader.
     inflight: Mutex<HashMap<CacheKey, Vec<Arc<Cell>>>>,
     /// Workload memo: flight key → prepared workload.
     memo: Mutex<HashMap<CacheKey, Arc<Prepared>>>,
+    /// Worker threads currently running their loop; decremented on any
+    /// exit, including a panic unwind.
+    live_workers: AtomicUsize,
 }
 
-/// The scheduling service: owns the worker pool; hand out [`Client`]s to
-/// talk to it.
+/// The scheduling service: owns the worker pool (and the supervisor that
+/// keeps it at full strength); hand out [`Client`]s to talk to it.
 pub struct Service {
     inner: Arc<Inner>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// An in-process handle to a [`Service`]; cheap to clone, sharable across
@@ -395,11 +429,13 @@ pub struct Client {
 }
 
 impl Service {
-    /// Starts a service: opens the cache directory and spawns the workers.
+    /// Starts a service: opens the cache directory and spawns the workers
+    /// plus the supervisor that respawns any worker that crashes.
     ///
     /// # Errors
     ///
-    /// Any error from creating the cache directory.
+    /// Any error from creating the cache directory or spawning the
+    /// threads.
     pub fn start(cfg: ServiceConfig) -> std::io::Result<Service> {
         let cache = ScheduleCache::open(&cfg.cache_dir)?;
         let workers = cfg.workers.max(1);
@@ -407,22 +443,24 @@ impl Service {
             cfg,
             cache,
             metrics: Arc::new(Metrics::default()),
+            faults: FaultInjector::inert(),
             queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
             queue_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
             memo: Mutex::new(HashMap::new()),
+            live_workers: AtomicUsize::new(0),
         });
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
-            let inner = Arc::clone(&inner);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("ktiler-svc-worker-{i}"))
-                    .spawn(move || inner.worker_loop())
-                    .expect("spawn worker thread"),
-            );
+            handles.push(spawn_worker(&inner, i)?);
         }
-        Ok(Service { inner, workers: Mutex::new(handles) })
+        let supervisor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("ktiler-svc-supervisor".into())
+                .spawn(move || supervisor_loop(&inner, handles))?
+        };
+        Ok(Service { inner, supervisor: Mutex::new(Some(supervisor)) })
     }
 
     /// A new in-process client.
@@ -435,23 +473,70 @@ impl Service {
         Arc::clone(&self.inner.metrics)
     }
 
+    /// The service's fault injector — inert unless a
+    /// [`crate::fault::FaultPlan`] is loaded into it (chaos tests do;
+    /// production never does).
+    pub fn faults(&self) -> Arc<FaultInjector> {
+        Arc::clone(&self.inner.faults)
+    }
+
+    /// Number of worker threads currently running. Dips below the
+    /// configured pool size only for the instant between a worker crash
+    /// and its respawn by the supervisor.
+    pub fn live_workers(&self) -> usize {
+        self.inner.live_workers.load(Ordering::SeqCst)
+    }
+
     /// Renders the metrics registry as JSON.
     pub fn metrics_json(&self) -> String {
         self.inner.metrics.to_json()
     }
 
     /// Stops accepting requests, finishes the queued ones and joins the
-    /// workers. Idempotent.
+    /// supervisor (which joins the workers). Idempotent.
     pub fn shutdown(&self) {
         {
-            let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+            let mut q = fault::lock(&self.inner.queue);
             q.shutdown = true;
             self.inner.queue_cv.notify_all();
         }
-        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock poisoned"));
-        for h in handles {
+        if let Some(h) = fault::lock(&self.supervisor).take() {
             let _ = h.join();
         }
+    }
+}
+
+fn spawn_worker(inner: &Arc<Inner>, id: usize) -> std::io::Result<JoinHandle<()>> {
+    let inner = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name(format!("ktiler-svc-worker-{id}"))
+        .spawn(move || inner.worker_loop())
+}
+
+/// Keeps the pool at full strength: any worker that exits while the
+/// service is running (i.e. crashed — a clean exit only happens at
+/// shutdown) is joined and replaced in place.
+fn supervisor_loop(inner: &Arc<Inner>, mut handles: Vec<JoinHandle<()>>) {
+    loop {
+        if fault::lock(&inner.queue).shutdown {
+            for h in handles {
+                let _ = h.join();
+            }
+            return;
+        }
+        for (id, slot) in handles.iter_mut().enumerate() {
+            if !slot.is_finished() {
+                continue;
+            }
+            // Spawn the replacement first so the pool shrinks for at most
+            // one poll interval; if the OS refuses, retry next tick.
+            if let Ok(fresh) = spawn_worker(inner, id) {
+                let crashed = std::mem::replace(slot, fresh);
+                let _ = crashed.join();
+                bump(&inner.metrics.workers_respawned);
+            }
+        }
+        std::thread::sleep(SUPERVISOR_POLL);
     }
 }
 
@@ -475,7 +560,7 @@ impl Client {
         let deadline = req.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         let cell = Cell::new();
         {
-            let mut q = self.inner.queue.lock().expect("queue lock poisoned");
+            let mut q = fault::lock(&self.inner.queue);
             if q.shutdown {
                 return Err(SvcError::ShuttingDown);
             }
@@ -498,63 +583,155 @@ impl Client {
 
 impl Inner {
     fn worker_loop(&self) {
+        // Live-worker accounting that survives a panic unwind: the guard's
+        // Drop runs whether the loop returns or unwinds.
+        struct Live<'a>(&'a AtomicUsize);
+        impl Drop for Live<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        self.live_workers.fetch_add(1, Ordering::SeqCst);
+        let _live = Live(&self.live_workers);
         loop {
-            let job = {
-                let mut q = self.queue.lock().expect("queue lock poisoned");
+            // Wait until work is queued (or the queue drained at
+            // shutdown) — without popping yet.
+            {
+                let mut q = fault::lock(&self.queue);
                 loop {
-                    if let Some(job) = q.jobs.pop_front() {
-                        break job;
+                    if !q.jobs.is_empty() {
+                        break;
                     }
                     if q.shutdown {
                         return;
                     }
-                    q = self.queue_cv.wait(q).expect("queue lock poisoned");
+                    q = fault::cv_wait(&self.queue_cv, q);
                 }
-            };
-            if job.deadline.is_some_and(|d| Instant::now() >= d) {
-                bump(&self.metrics.deadline_expired);
-                job.cell.fulfill(Err(SvcError::DeadlineExceeded));
-                continue;
             }
-            let fk = job.req.flight_key();
-            {
-                let mut inflight = self.inflight.lock().expect("inflight lock poisoned");
-                if let Some(waiters) = inflight.get_mut(&fk) {
-                    // An identical request is already being computed:
-                    // attach and let the leader's result serve this one.
-                    waiters.push(Arc::clone(&job.cell));
-                    bump(&self.metrics.coalesced);
-                    continue;
-                }
-                inflight.insert(fk, Vec::new());
-            }
-            let result = self.run_pipeline(&job.req);
-            if result.is_err() {
-                bump(&self.metrics.errors);
-            }
-            let waiters = self
-                .inflight
-                .lock()
-                .expect("inflight lock poisoned")
-                .remove(&fk)
-                .unwrap_or_default();
-            for w in &waiters {
-                w.fulfill(result.clone());
-            }
-            job.cell.fulfill(result);
+            // Fault point outside any job's scope: a panic here kills this
+            // worker, but the job is still queued and survives to whatever
+            // worker (respawned or sibling) pops it next; a delay here
+            // models a slow dequeue.
+            self.faults.fire(points::QUEUE_DEQUEUE);
+            let popped = fault::lock(&self.queue).jobs.pop_front();
+            let Some(job) = popped else { continue };
+            self.process_job(job);
         }
+    }
+
+    /// Runs one job start to finish: deadline check, single-flight
+    /// attachment, the pipeline under `catch_unwind`, the degraded
+    /// fallback, and fulfillment of every waiter. A panic anywhere in the
+    /// pipeline becomes a structured response — the waiting client is
+    /// always answered and the single-flight entry always removed.
+    fn process_job(&self, job: Job) {
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            bump(&self.metrics.deadline_expired);
+            job.cell.fulfill(Err(SvcError::DeadlineExceeded));
+            return;
+        }
+        let fk = job.req.flight_key();
+        {
+            let mut inflight = fault::lock(&self.inflight);
+            if let Some(waiters) = inflight.get_mut(&fk) {
+                // An identical request is already being computed:
+                // attach and let the leader's result serve this one.
+                waiters.push(Arc::clone(&job.cell));
+                bump(&self.metrics.coalesced);
+                return;
+            }
+            inflight.insert(fk, Vec::new());
+        }
+        // AssertUnwindSafe: everything the closure shares is either atomic
+        // or behind the poison-recovering lock helpers, so observing a
+        // post-panic state is safe by construction.
+        let result = match catch_unwind(AssertUnwindSafe(|| self.run_pipeline(&job.req))) {
+            Ok(r) => r,
+            Err(payload) => {
+                bump(&self.metrics.worker_panics);
+                Err(SvcError::Internal(fault::panic_message(payload.as_ref())))
+            }
+        };
+        // Degraded-mode fallback: when the cache-aware pipeline failed (or
+        // panicked), a correct cache-oblivious answer is still safe to
+        // serve — degrade to the untiled schedule, never to an outage.
+        let result = match result {
+            Err(primary @ (SvcError::Pipeline(_) | SvcError::Internal(_))) => {
+                match catch_unwind(AssertUnwindSafe(|| self.degraded_untiled(&job.req, fk))) {
+                    Ok(Ok(resp)) => {
+                        bump(&self.metrics.degraded_total);
+                        Ok(resp)
+                    }
+                    // The fallback failed too; report the primary error.
+                    Ok(Err(_)) | Err(_) => Err(primary),
+                }
+            }
+            r => r,
+        };
+        if result.is_err() {
+            bump(&self.metrics.errors);
+        }
+        let waiters = fault::lock(&self.inflight).remove(&fk).unwrap_or_default();
+        for w in &waiters {
+            w.fulfill(result.clone());
+        }
+        job.cell.fulfill(result);
+    }
+
+    /// The degraded fallback: the untiled baseline schedule (one launch
+    /// per kernel in topological order), verified before serving. Runs
+    /// only the minimal pipeline prefix it needs (build + analyze), skips
+    /// calibration and tiling entirely, and never touches the cache — the
+    /// artifact store is reserved for cache-aware schedules. The response
+    /// is keyed by the flight key, since no content-addressed artifact
+    /// exists for it.
+    fn degraded_untiled(
+        &self,
+        req: &ScheduleRequest,
+        fk: CacheKey,
+    ) -> Result<ScheduleResponse, SvcError> {
+        let t0 = Instant::now();
+        let mut app = req.workload.build();
+        let gpu = &self.cfg.gpu;
+        let gt = kgraph::analyze(&app.graph, &mut app.mem, gpu.cache.line_bytes)
+            .map_err(|e| SvcError::Internal(format!("degraded fallback: analysis failed: {e}")))?;
+        let schedule = Schedule::default_order(&app.graph);
+        let params = TileParams::paper(gpu.cache.capacity_bytes, gpu.cache.line_bytes, 0.0);
+        let report = verify_schedule(&schedule, &app.graph, &gt, &params);
+        if !report.is_clean() {
+            return Err(SvcError::Internal(format!(
+                "degraded fallback: untiled schedule failed verification: {report}"
+            )));
+        }
+        let text = schedule_to_text(&schedule);
+        self.metrics.total_latency.record(t0.elapsed());
+        Ok(ScheduleResponse {
+            outcome: Outcome::DegradedUntiled,
+            key: fk,
+            launches: schedule.num_launches(),
+            text,
+        })
     }
 
     /// Memo lookup or analyze + calibrate.
     fn prepare(&self, req: &ScheduleRequest, fk: CacheKey) -> Result<Arc<Prepared>, SvcError> {
-        if let Some(p) = self.memo.lock().expect("memo lock poisoned").get(&fk) {
+        if let Some(p) = fault::lock(&self.memo).get(&fk) {
             return Ok(Arc::clone(p));
         }
         let t0 = Instant::now();
+        self.faults
+            .fire_io(points::FRAME_IO)
+            .map_err(|e| SvcError::Pipeline(format!("frame I/O failed: {e}")))?;
         let mut app = req.workload.build();
         let gpu = self.cfg.gpu.clone();
+        self.faults
+            .fire_io(points::PIPELINE_ANALYZE)
+            .map_err(|e| SvcError::Pipeline(format!("analysis failed: {e}")))?;
         let gt = kgraph::analyze(&app.graph, &mut app.mem, gpu.cache.line_bytes)
             .map_err(|e| SvcError::Pipeline(format!("analysis failed: {e}")))?;
+        self.faults
+            .fire_io(points::PIPELINE_CALIBRATE)
+            .map_err(|e| SvcError::Pipeline(format!("calibration failed: {e}")))?;
         let freq = FreqConfig::new(req.gpu_mhz, req.mem_mhz);
         let cal = calibrate(&app.graph, &gt, &gpu, freq, &CalibrationConfig::default());
         let kcfg = KtilerConfig {
@@ -565,7 +742,7 @@ impl Inner {
         bump(&self.metrics.analysis_runs);
         self.metrics.analyze_latency.record(t0.elapsed());
         let prepared = Arc::new(Prepared { app, gt, cal, kcfg, key });
-        let mut memo = self.memo.lock().expect("memo lock poisoned");
+        let mut memo = fault::lock(&self.memo);
         if memo.len() >= self.cfg.memo_capacity {
             memo.clear();
         }
@@ -579,7 +756,12 @@ impl Inner {
         let p = self.prepare(req, req.flight_key())?;
 
         let t_load = Instant::now();
-        let probe = self.cache.probe(&p.key, &p.app.graph, &p.gt, &p.kcfg.tile);
+        let probe = match self.faults.fire_io(points::CACHE_LOAD) {
+            // An injected load failure degrades to a recompute, exactly
+            // like a real unreadable artifact.
+            Err(e) => CacheProbe::Invalid(format!("injected load failure: {e}")),
+            Ok(()) => self.cache.probe(&p.key, &p.app.graph, &p.gt, &p.kcfg.tile),
+        };
         self.metrics.cache_load_latency.record(t_load.elapsed());
         let outcome = match probe {
             CacheProbe::Hit { text, schedule } => {
@@ -603,6 +785,9 @@ impl Inner {
         };
 
         let t_tile = Instant::now();
+        self.faults
+            .fire_io(points::PIPELINE_SCHEDULE)
+            .map_err(|e| SvcError::Pipeline(format!("tiling failed: {e}")))?;
         let out = ktiler_schedule(&p.app.graph, &p.gt, &p.cal, &p.kcfg)
             .map_err(|e| SvcError::Pipeline(format!("tiling failed: {e}")))?;
         out.schedule
@@ -612,7 +797,9 @@ impl Inner {
         self.metrics.tile_latency.record(t_tile.elapsed());
 
         let text = schedule_to_text(&out.schedule);
-        if self.cache.store(&p.key, &text).is_err() {
+        let stored =
+            self.faults.fire_io(points::CACHE_STORE).and_then(|()| self.cache.store(&p.key, &text));
+        if stored.is_err() {
             // The response is still good; only persistence was lost.
             bump(&self.metrics.store_failures);
         }
@@ -690,11 +877,12 @@ mod tests {
             SvcError::ShuttingDown,
             SvcError::BadRequest("x".into()),
             SvcError::Pipeline("y".into()),
+            SvcError::Internal("z".into()),
         ] {
             let back = SvcError::from_code(
                 e.code(),
                 match &e {
-                    SvcError::BadRequest(m) | SvcError::Pipeline(m) => m,
+                    SvcError::BadRequest(m) | SvcError::Pipeline(m) | SvcError::Internal(m) => m,
                     _ => "",
                 },
             );
@@ -704,7 +892,7 @@ mod tests {
 
     #[test]
     fn outcome_tokens_roundtrip() {
-        for o in [Outcome::Hit, Outcome::Miss, Outcome::Recompute] {
+        for o in [Outcome::Hit, Outcome::Miss, Outcome::Recompute, Outcome::DegradedUntiled] {
             assert_eq!(Outcome::from_str_token(o.as_str()), Some(o));
         }
         assert_eq!(Outcome::from_str_token("NOPE"), None);

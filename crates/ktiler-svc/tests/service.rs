@@ -102,16 +102,39 @@ fn corrupted_artifact_is_detected_and_recomputed() {
         "recompute must restore the on-disk artifact"
     );
 
+    // The garbage was quarantined, not destroyed: it sits at
+    // `<key>.sched.bad` for inspection.
+    let quarantined = dir.join(format!("{}.sched.bad", first.key));
+    assert_eq!(
+        std::fs::read_to_string(&quarantined).unwrap(),
+        "not a schedule at all\n\x01\x02",
+        "quarantine must preserve the corrupt bytes"
+    );
+
     // Parseable but semantically wrong: drop the final launch so blocks go
     // missing. Parsing succeeds; only verify-on-load can catch this.
     let truncated: String = {
         let lines: Vec<&str> = first.text.lines().collect();
         lines[..lines.len() - 1].join("\n") + "\n"
     };
-    std::fs::write(&artifact, truncated).unwrap();
+    std::fs::write(&artifact, truncated.clone()).unwrap();
     let third = client.schedule(small_request()).unwrap();
     assert_eq!(third.outcome, Outcome::Recompute);
     assert_eq!(third.text, first.text);
+
+    // A second corruption of the same key replaces the first quarantined
+    // file — the cap is one `.bad` per key, so a flapping artifact cannot
+    // fill the disk.
+    assert_eq!(
+        std::fs::read_to_string(&quarantined).unwrap(),
+        truncated,
+        "the newer corruption replaces the older quarantined file"
+    );
+    let bad_files = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| e.as_ref().unwrap().path().to_string_lossy().ends_with(".sched.bad"))
+        .count();
+    assert_eq!(bad_files, 1, "at most one quarantined file per key");
 
     // And the cache is healthy again.
     let fourth = client.schedule(small_request()).unwrap();
@@ -289,5 +312,33 @@ fn tcp_end_to_end() {
     assert_eq!(client.request(&Request::Shutdown).unwrap(), Response::Bye);
     let svc = server.join(); // returns once the front-end wound down
     assert_eq!(Metrics::get(&svc.metrics().requests), 2);
+    cleanup(&dir);
+}
+
+#[test]
+fn finished_connection_handlers_are_reaped_not_accumulated() {
+    let dir = temp_dir("reap");
+    let svc = Arc::new(Service::start(ServiceConfig::new(&dir)).unwrap());
+    let server = serve("127.0.0.1:0", Arc::clone(&svc)).unwrap();
+    let addr = server.local_addr();
+
+    // 100 sequential short-lived connections. Before handler reaping the
+    // accept loop kept every JoinHandle it ever spawned; now the list must
+    // stay proportional to *live* connections.
+    for _ in 0..100 {
+        let mut client = NetClient::connect(addr).unwrap();
+        assert_eq!(client.request(&Request::Ping).unwrap(), Response::Pong);
+    }
+    // Handlers notice the hangup within their read poll; give them that
+    // plus scheduling slack.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.live_connections() > 4 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let live = server.live_connections();
+    assert!(live <= 4, "100 closed connections left {live} live handler threads");
+
+    server.request_stop();
+    server.join();
     cleanup(&dir);
 }

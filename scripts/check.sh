@@ -45,6 +45,35 @@ if [[ "$GATE_FAIL" -ne 0 ]]; then
     exit 1
 fi
 
+echo "== containment gate (ktiler-svc non-test sources) =="
+# The service survives injected panics only because every lock goes
+# through the poison-recovering helpers in the fault module and nothing
+# on a library path unwraps. Forbid bare .unwrap() / .lock().expect(
+# outside crates/ktiler-svc/src/fault.rs (same scan shape as above).
+GATE_FAIL=0
+for f in crates/ktiler-svc/src/*.rs; do
+    [[ "$f" == */fault.rs ]] && continue
+    hits=$(awk '/^#\[cfg\(test\)\]/ { exit }
+                /^[[:space:]]*\/\// { next }
+                /\.unwrap\(\)|\.lock\(\)\.expect\(/ { print FILENAME ":" FNR ": " $0 }' "$f")
+    if [[ -n "$hits" ]]; then
+        echo "$hits"
+        GATE_FAIL=1
+    fi
+done
+if [[ "$GATE_FAIL" -ne 0 ]]; then
+    echo "error: bare .unwrap()/.lock().expect( found on ktiler-svc library paths" >&2
+    echo "       (use the fault::lock/cv_wait helpers or propagate the error)" >&2
+    exit 1
+fi
+
+echo "== chaos suite (fixed seed) =="
+# The seeded fault-injection suite: panics mid-pipeline, crashed workers,
+# failed stores, corrupt artifacts, stalled sockets, dropped connections.
+# A fixed seed pins the delay jitter and backoff streams so a failure
+# here reproduces byte-for-byte.
+KTILER_CHAOS_SEED=20260806 cargo test -p ktiler-svc --test chaos_service -q "${OFFLINE[@]}"
+
 echo "== bench_scheduler smoke test =="
 # One-sample run on a small workload: the JSON must carry all three phase
 # timings and both determinism cross-checks must pass (parallel sharded
