@@ -13,12 +13,16 @@
 //! baseline timings and the speedup of the current build over it. The
 //! default output path is `results/BENCH_scheduler.json`.
 //!
-//! Besides the three phase timings (`analyze_ms`, `calibrate_ms`,
-//! `ktiler_schedule_ms`), the run cross-checks the parallel sharded
-//! analyzer against the serial `DepGraphBuilder` (`analyzer_match`) and
-//! hashes the emitted schedule from both dependency graphs
-//! (`schedule_hash`, `schedule_hash_match`) — the CI smoke test fails on
-//! any mismatch.
+//! Besides the phase timings (`analyze_ms` — the fast structural/affine
+//! path a cold service request runs, `analyze_full_ms` — the classical
+//! record-everything pipeline, `calibrate_ms`, `ktiler_schedule_ms`, and
+//! `cold_request_ms` — analyze + calibrate + schedule on a fresh
+//! application), the run cross-checks the fast analyzer against the
+//! full-trace reference (`analyze_match`, with `analyze_speedup` derived
+//! from the same run), the parallel sharded analyzer against the serial
+//! `DepGraphBuilder` (`analyzer_match`), and hashes the emitted schedule
+//! from both dependency graphs (`schedule_hash`, `schedule_hash_match`) —
+//! the CI smoke test fails on any mismatch or on `analyze_speedup < 5`.
 
 use bench::timing::{bench, BenchStats};
 use bench::{build_workload_app, paper_ktiler_config, prepare, schedule_at, Scale};
@@ -89,16 +93,45 @@ fn main() {
     let mut timings: Vec<(String, f64)> = Vec::new();
     let mut push = |name: &str, s: BenchStats| timings.push((name.to_string(), s.median_ns / 1e6));
 
-    // Block analysis (Sec. IV-B): trace replay + dependency graph. Each
-    // run needs a freshly built application — analysis executes the graph
-    // functionally and mutates device memory.
+    // Block analysis (Sec. IV-B), fast path: structural trace reuse +
+    // analytical affine footprints, functional execution only where a
+    // recorded kernel needs the values. This is what a cold service
+    // request pays. Each run needs a freshly built application — analysis
+    // executes (part of) the graph and mutates device memory.
     let mut apps: Vec<_> = (0..samples).map(|_| build_workload_app(scale)).collect();
     let line_bytes = w.cfg.cache.line_bytes;
-    let analyze_stats = bench("analyze", 0, samples, || {
+    let analyze_stats = bench("analyze (fast)", 0, samples, || {
         let mut app = apps.pop().expect("one prebuilt app per sample");
-        kgraph::analyze(&app.graph, &mut app.mem, line_bytes).expect("optical-flow graph is a DAG")
+        kgraph::analyze_fast(&app.graph, &mut app.mem, line_bytes)
+            .expect("optical-flow graph is a DAG")
     });
     push("analyze_ms", analyze_stats);
+    let analyze_ms = analyze_stats.median_ns / 1e6;
+
+    // Full-trace reference: the classical record-every-kernel pipeline the
+    // fast path must match byte for byte. One sample — this is the slow
+    // oracle the speedup is measured against.
+    let mut app_fast = build_workload_app(scale);
+    let gt_fast = kgraph::analyze_fast(&app_fast.graph, &mut app_fast.mem, line_bytes)
+        .expect("optical-flow graph is a DAG");
+    let mut app_ref = build_workload_app(scale);
+    let full_stats = bench("analyze (full-trace reference)", 0, 1, || {
+        kgraph::analyze_reference_with(&app_ref.graph, &mut app_ref.mem, line_bytes, 1)
+            .expect("optical-flow graph is a DAG")
+    });
+    push("analyze_full_ms", full_stats);
+    let analyze_full_ms = full_stats.median_ns / 1e6;
+    let analyze_speedup = analyze_full_ms / analyze_ms;
+    let mut app_ref = build_workload_app(scale);
+    let gt_ref = kgraph::analyze_reference_with(&app_ref.graph, &mut app_ref.mem, line_bytes, 1)
+        .expect("optical-flow graph is a DAG");
+    let analyze_match = gt_fast.deps == gt_ref.deps
+        && gt_fast.order == gt_ref.order
+        && gt_fast.nodes.len() == gt_ref.nodes.len()
+        && gt_fast.nodes.iter().zip(&gt_ref.nodes).all(|(a, b)| *a.blocks == *b.blocks);
+    println!(
+        "fast analyzer == full-trace reference: {analyze_match} ({analyze_speedup:.1}x speedup)"
+    );
 
     // Calibration: performance tables + edge weights (Sec. IV-C).
     let cal_stats = bench("calibrate", 0, samples, || {
@@ -116,6 +149,20 @@ fn main() {
     // End-to-end offline pass as an application would invoke it.
     let e2e_stats = bench("calibrate+schedule", 0, samples, || schedule_at(&w, freq));
     push("end_to_end_ms", e2e_stats);
+
+    // A true cold request: what the scheduling service pays on a cache
+    // miss with an empty workload memo — analyze + calibrate + schedule,
+    // starting from a freshly built application.
+    let mut cold_apps: Vec<_> = (0..samples).map(|_| build_workload_app(scale)).collect();
+    let cold_stats = bench("cold request (analyze+calibrate+schedule)", 0, samples, || {
+        let mut app = cold_apps.pop().expect("one prebuilt app per sample");
+        let gt = kgraph::analyze_fast(&app.graph, &mut app.mem, line_bytes)
+            .expect("optical-flow graph is a DAG");
+        let cal = calibrate(&app.graph, &gt, &w.cfg, freq, &CalibrationConfig::default());
+        ktiler_schedule(&app.graph, &gt, &cal, &kcfg)
+            .expect("benchmark workloads are non-empty and freshly calibrated")
+    });
+    push("cold_request_ms", cold_stats);
 
     // ---- Cross-check: parallel sharded analyzer vs serial builder. -----
     // Replay the exact visit order of the analysis run through the serial
@@ -176,6 +223,8 @@ fn main() {
     ));
     json.push_str(&format!("  \"samples\": {samples},\n"));
     json.push_str(&format!("  \"schedule_hash\": \"{schedule_hash:#018x}\",\n"));
+    json.push_str(&format!("  \"analyze_match\": {analyze_match},\n"));
+    json.push_str(&format!("  \"analyze_speedup\": {analyze_speedup:.1},\n"));
     json.push_str(&format!("  \"analyzer_match\": {analyzer_match},\n"));
     json.push_str(&format!("  \"schedule_hash_match\": {schedule_hash_match},\n"));
     json.push_str(&format!("  \"timings_ms\": {}", json_object(&timings, "  ")));

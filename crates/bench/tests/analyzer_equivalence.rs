@@ -1,0 +1,65 @@
+//! The fast analyzer (structural trace reuse + analytical affine
+//! footprints) must be indistinguishable from the full-trace reference:
+//! same node order, byte-identical per-block traces, identical dependency
+//! CSR. These tests prove it on the HSOpticalFlow workload for serial and
+//! multi-threaded host-side builds.
+//!
+//! The small-scale test runs in the normal suite; the 512²/30-iter/3-level
+//! workload from the paper replication is `#[ignore]`d (tens of seconds in
+//! release, minutes in debug) and exercised by `scripts/check.sh`.
+
+use bench::{build_workload_app, Scale};
+use kgraph::GraphTrace;
+
+/// The GTX 960M cache-line size used by the paper replication.
+fn line_bytes() -> u64 {
+    gpu_sim::GpuConfig::gtx960m().cache.line_bytes
+}
+
+/// Asserts two analysis results are fully equivalent: identical execution
+/// order, identical per-node block traces (work, word footprints,
+/// transactions, line sets), and identical dependency CSR.
+fn assert_equivalent(a: &GraphTrace, b: &GraphTrace, label: &str) {
+    assert_eq!(a.order, b.order, "{label}: node order differs");
+    assert_eq!(a.nodes.len(), b.nodes.len(), "{label}: node count differs");
+    for (id, (na, nb)) in a.nodes.iter().zip(&b.nodes).enumerate() {
+        assert_eq!(*na.blocks, *nb.blocks, "{label}: traces differ at node {id}");
+    }
+    assert_eq!(a.deps, b.deps, "{label}: dependency graphs differ");
+}
+
+fn check_all_paths(scale: Scale) {
+    let mut app = build_workload_app(scale);
+    let reference = kgraph::analyze_reference_with(&app.graph, &mut app.mem, line_bytes(), 1)
+        .expect("optical-flow graph is a DAG");
+
+    for threads in [1, 4] {
+        let mut app = build_workload_app(scale);
+        let fast = kgraph::analyze_fast_with(&app.graph, &mut app.mem, line_bytes(), threads)
+            .expect("optical-flow graph is a DAG");
+        assert_equivalent(&fast, &reference, &format!("analyze_fast, {threads} threads"));
+
+        let mut app = build_workload_app(scale);
+        let full = kgraph::analyze_with(&app.graph, &mut app.mem, line_bytes(), threads)
+            .expect("optical-flow graph is a DAG");
+        assert_equivalent(&full, &reference, &format!("analyze, {threads} threads"));
+    }
+
+    let mut app = build_workload_app(scale);
+    let reference4 = kgraph::analyze_reference_with(&app.graph, &mut app.mem, line_bytes(), 4)
+        .expect("optical-flow graph is a DAG");
+    assert_equivalent(&reference4, &reference, "reference, 4 threads");
+}
+
+#[test]
+fn fast_analyzer_matches_reference_small() {
+    check_all_paths(Scale { size: 128, iters: 4, levels: 3 });
+}
+
+/// The acceptance-bar workload: 512², 30 Jacobi iterations, 3 pyramid
+/// levels. Run with `cargo test --release -p bench -- --ignored`.
+#[test]
+#[ignore = "tens of seconds in release; exercised by scripts/check.sh"]
+fn fast_analyzer_matches_reference_paper_scale() {
+    check_all_paths(Scale::default());
+}

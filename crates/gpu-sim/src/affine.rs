@@ -1,0 +1,200 @@
+//! Affine access summaries: a declarative description of a kernel's memory
+//! behaviour.
+//!
+//! The paper's block analyzer obtains per-block address sets by recording a
+//! SASSI trace of a functional execution. For the stencil/transfer kernels
+//! the evaluation targets (the `pde`/`image` families), every address a
+//! thread touches is an *affine* function of its pixel coordinate: a fixed
+//! list of accesses of the form `buf[(clamp(f(y)) * w + clamp(g(x))) *
+//! width]` with `f`, `g` integer affine maps. A kernel that declares an
+//! [`AffineSummary`] lets the analyzer *synthesize* its block traces
+//! directly from grid geometry — byte-identical to what the recorder would
+//! produce — without running the functional simulator at all (the
+//! polyhedral shortcut of PCOT-style analyzers).
+//!
+//! The types live here (next to [`BlockWork`](crate::BlockWork), whose
+//! replayable transactions they ultimately describe); the synthesis pass
+//! that turns a summary into block traces lives in the `trace` crate.
+
+use crate::memory::Buffer;
+
+/// An integer affine map from one pixel coordinate to one source
+/// coordinate: `raw = floor((mul * c + add) / div)`, bounded by `max`.
+///
+/// How the bound is applied depends on the access's [`Border`] policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxisMap {
+    /// Multiplier applied to the thread's pixel coordinate.
+    pub mul: i64,
+    /// Offset added after multiplication.
+    pub add: i64,
+    /// Divisor (floor division); must be positive.
+    pub div: i64,
+    /// Exclusive coordinate bound (the image extent along this axis).
+    pub max: u32,
+}
+
+impl AxisMap {
+    /// The identity map bounded by `max`: `c ↦ c`.
+    pub fn identity(max: u32) -> Self {
+        AxisMap { mul: 1, add: 0, div: 1, max }
+    }
+
+    /// A pure offset map bounded by `max`: `c ↦ c + add`.
+    pub fn offset(add: i64, max: u32) -> Self {
+        AxisMap { mul: 1, add, div: 1, max }
+    }
+
+    /// The raw (unbounded) source coordinate for pixel coordinate `c`.
+    #[inline]
+    pub fn raw(&self, c: u32) -> i64 {
+        (self.mul * c as i64 + self.add).div_euclid(self.div)
+    }
+
+    /// The clamped source coordinate for pixel coordinate `c`.
+    #[inline]
+    pub fn clamped(&self, c: u32) -> u32 {
+        self.raw(c).clamp(0, self.max as i64 - 1) as u32
+    }
+}
+
+/// Border policy of one affine access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Border {
+    /// Out-of-range raw coordinates are clamped into the image (replicate
+    /// borders — the `clampi` pattern). The access always issues.
+    Clamp,
+    /// The access is *skipped* when either raw coordinate falls outside its
+    /// axis bound (the guarded-tap pattern `if x > 0 { load(x - 1) }`).
+    /// Boundary threads then record fewer accesses than interior threads.
+    Skip,
+}
+
+/// One affine access of a kernel: which buffer, load or store, and the two
+/// axis maps giving the source pixel for a thread's `(x, y)` coordinate.
+///
+/// The effective address is
+/// `buffer.addr + (sy * target_w + sx) * width` where `sx = x_map(x)` and
+/// `sy = y_map(y)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffineAccess {
+    /// The buffer accessed.
+    pub buffer: Buffer,
+    /// `true` for stores, `false` for loads.
+    pub store: bool,
+    /// Access width in bytes (the element size; 4 for `f32` kernels).
+    pub width: u8,
+    /// Row width (in elements) of the indexed image.
+    pub target_w: u32,
+    /// Affine map from the thread's pixel `x` to the source column.
+    pub x: AxisMap,
+    /// Affine map from the thread's pixel `y` to the source row.
+    pub y: AxisMap,
+    /// Clamp or skip at the image border.
+    pub border: Border,
+}
+
+impl AffineAccess {
+    /// A clamped `f32` load of `buffer[(y_map(y), x_map(x))]`.
+    pub fn load_f32(buffer: Buffer, target_w: u32, x: AxisMap, y: AxisMap) -> Self {
+        AffineAccess { buffer, store: false, width: 4, target_w, x, y, border: Border::Clamp }
+    }
+
+    /// A clamped `f32` store of `buffer[(y_map(y), x_map(x))]`.
+    pub fn store_f32(buffer: Buffer, target_w: u32, x: AxisMap, y: AxisMap) -> Self {
+        AffineAccess { buffer, store: true, width: 4, target_w, x, y, border: Border::Clamp }
+    }
+
+    /// The same access with [`Border::Skip`] semantics.
+    pub fn skipping(mut self) -> Self {
+        self.border = Border::Skip;
+        self
+    }
+
+    /// Effective address for a thread at pixel `(x, y)`, or `None` if the
+    /// access is skipped at this coordinate.
+    #[inline]
+    pub fn addr_at(&self, x: u32, y: u32) -> Option<u64> {
+        let (sx, sy) = match self.border {
+            Border::Clamp => (self.x.clamped(x), self.y.clamped(y)),
+            Border::Skip => {
+                let rx = self.x.raw(x);
+                let ry = self.y.raw(y);
+                if rx < 0 || rx >= self.x.max as i64 || ry < 0 || ry >= self.y.max as i64 {
+                    return None;
+                }
+                (rx as u32, ry as u32)
+            }
+        };
+        Some(self.buffer.addr + (sy as u64 * self.target_w as u64 + sx as u64) * self.width as u64)
+    }
+}
+
+/// The complete affine memory behaviour of one kernel: its active-thread
+/// domain, its ordered access list and its per-thread compute cost.
+///
+/// The contract (checked against the recorder by property tests and the
+/// full-workload equivalence test):
+///
+/// * a thread at block-local `(tx, ty)` has linear id `ty * bw + tx` and
+///   global pixel `(block.x * bw + tx, block.y * bh + ty)`;
+/// * the thread is *active* iff its pixel lies inside `domain`; inactive
+///   threads perform no accesses and no compute (the CUDA guard-and-return
+///   idiom of `pixel_threads`);
+/// * an active thread performs exactly the accesses of `accesses`, in
+///   order, minus any [`Border::Skip`] accesses whose raw coordinates fall
+///   outside their bounds, and then `compute_cycles` cycles of compute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineSummary {
+    /// Active-thread domain `(w, h)`: the pixel guard `x < w && y < h`.
+    pub domain: (u32, u32),
+    /// The per-thread access list, in program order.
+    pub accesses: Vec<AffineAccess>,
+    /// Compute cycles recorded by each active thread.
+    pub compute_cycles: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::DeviceMemory;
+
+    fn buf() -> Buffer {
+        DeviceMemory::new().alloc_f32(64, "b")
+    }
+
+    #[test]
+    fn axis_map_floor_divides_and_clamps() {
+        // x0 = floor((x - 1) / 2), the upscale left-neighbour map.
+        let m = AxisMap { mul: 1, add: -1, div: 2, max: 4 };
+        assert_eq!(m.raw(0), -1);
+        assert_eq!(m.raw(1), 0);
+        assert_eq!(m.raw(2), 0);
+        assert_eq!(m.raw(7), 3);
+        assert_eq!(m.clamped(0), 0, "negative raw clamps to 0");
+        assert_eq!(m.clamped(7), 3);
+        let wide = AxisMap { mul: 2, add: 1, div: 1, max: 4 };
+        assert_eq!(wide.clamped(3), 3, "overflowing raw clamps to max - 1");
+    }
+
+    #[test]
+    fn clamp_access_always_issues() {
+        let b = buf();
+        let a = AffineAccess::load_f32(b, 8, AxisMap::offset(-1, 8), AxisMap::identity(8));
+        // x = 0 clamps the column to 0.
+        assert_eq!(a.addr_at(0, 2), Some(b.addr + (2 * 8) * 4));
+        assert_eq!(a.addr_at(3, 2), Some(b.addr + (2 * 8 + 2) * 4));
+    }
+
+    #[test]
+    fn skip_access_guards_the_border() {
+        let b = buf();
+        let a =
+            AffineAccess::load_f32(b, 8, AxisMap::offset(-1, 8), AxisMap::identity(8)).skipping();
+        assert_eq!(a.addr_at(0, 2), None, "x - 1 < 0 skips");
+        assert_eq!(a.addr_at(1, 2), Some(b.addr + (2 * 8) * 4));
+        let right =
+            AffineAccess::load_f32(b, 8, AxisMap::offset(1, 8), AxisMap::identity(8)).skipping();
+        assert_eq!(right.addr_at(7, 0), None, "x + 1 >= w skips");
+    }
+}

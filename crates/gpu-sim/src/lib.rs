@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod affine;
 mod cache;
 mod config;
 mod engine;
@@ -54,6 +55,7 @@ mod profiler;
 mod rng;
 mod work;
 
+pub use affine::{AffineAccess, AffineSummary, AxisMap, Border};
 pub use cache::{Access, CacheStats, L2Cache};
 pub use config::{
     fig3_freq_configs, fig5_freq_configs, CacheConfig, FreqConfig, GpuConfig, LaunchResources,

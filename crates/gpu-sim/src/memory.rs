@@ -41,12 +41,14 @@ impl Buffer {
     /// # Panics
     ///
     /// Panics if `offset >= self.len`.
+    #[inline]
     pub fn addr_of(&self, offset: u64) -> u64 {
         assert!(offset < self.len, "offset {offset} out of buffer of {} bytes", self.len);
         self.addr + offset
     }
 
     /// Effective address of element `idx` of a `f32` view of the buffer.
+    #[inline]
     pub fn f32_addr(&self, idx: u64) -> u64 {
         self.addr_of(idx * 4)
     }
@@ -150,6 +152,7 @@ impl DeviceMemory {
     /// # Panics
     ///
     /// Panics if the element is out of bounds.
+    #[inline]
     pub fn read_f32(&self, buf: Buffer, idx: u64) -> f32 {
         let a = buf.f32_addr(idx) as usize;
         f32::from_le_bytes(self.data[a..a + 4].try_into().unwrap())
@@ -160,29 +163,34 @@ impl DeviceMemory {
     /// # Panics
     ///
     /// Panics if the element is out of bounds.
+    #[inline]
     pub fn write_f32(&mut self, buf: Buffer, idx: u64, v: f32) {
         let a = buf.f32_addr(idx) as usize;
         self.data[a..a + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Reads byte `idx` of `buf`.
+    #[inline]
     pub fn read_u8(&self, buf: Buffer, idx: u64) -> u8 {
         self.data[buf.addr_of(idx) as usize]
     }
 
     /// Writes byte `idx` of `buf`.
+    #[inline]
     pub fn write_u8(&mut self, buf: Buffer, idx: u64, v: u8) {
         let a = buf.addr_of(idx) as usize;
         self.data[a] = v;
     }
 
     /// Reads the `u32` element `idx` (4-byte stride) of `buf`.
+    #[inline]
     pub fn read_u32(&self, buf: Buffer, idx: u64) -> u32 {
         let a = buf.addr_of(idx * 4) as usize;
         u32::from_le_bytes(self.data[a..a + 4].try_into().unwrap())
     }
 
     /// Writes the `u32` element `idx` (4-byte stride) of `buf`.
+    #[inline]
     pub fn write_u32(&mut self, buf: Buffer, idx: u64, v: u32) {
         let a = buf.addr_of(idx * 4) as usize;
         self.data[a..a + 4].copy_from_slice(&v.to_le_bytes());

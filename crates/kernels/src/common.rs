@@ -51,6 +51,30 @@ pub fn clampi(v: i64, max: u32) -> u32 {
     v.clamp(0, max as i64 - 1) as u32
 }
 
+/// Asserts that a kernel's declared [`affine_summary`] synthesizes exactly
+/// the block traces the recorder produces for a functional execution —
+/// the contract the analyzer's no-execution fast path relies on.
+///
+/// [`affine_summary`]: kgraph::Kernel::affine_summary
+#[cfg(test)]
+pub(crate) fn assert_affine_summary_matches<K: kgraph::Kernel>(
+    k: &K,
+    mem: &mut gpu_sim::DeviceMemory,
+) {
+    let dims = k.dims();
+    let summary = k.affine_summary().expect("kernel declares an affine summary");
+    let synthesized = trace::synthesize_affine(&summary, &dims, 128).expect("2-D geometry");
+    let mut rec = trace::TraceRecorder::new(128);
+    let mut recorded = Vec::new();
+    for block in dims.blocks().collect::<Vec<_>>() {
+        rec.begin_block(dims.threads_per_block());
+        let mut ctx = trace::ExecCtx::new(mem, &mut rec);
+        k.execute_block(block, &mut ctx);
+        recorded.push(rec.finish_block());
+    }
+    assert_eq!(synthesized, recorded);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,8 +1,8 @@
 //! Elementwise field addition — the `AD` node of the HSOpticalFlow DFG
 //! (accumulates the solved flow increment into the running flow field).
 
-use gpu_sim::{BlockIdx, Buffer, LaunchDims};
-use kgraph::Kernel;
+use gpu_sim::{AffineAccess, AffineSummary, AxisMap, BlockIdx, Buffer, LaunchDims};
+use kgraph::{Kernel, StructuralSig};
 use trace::ExecCtx;
 
 use crate::common::{grid_for, pix, pixel_threads};
@@ -59,6 +59,27 @@ impl Kernel for AddField {
     fn signature(&self) -> Option<String> {
         Some(format!("AD:{}x{}:{}:{}", self.w, self.h, self.acc.addr, self.inc.addr))
     }
+
+    fn structural_signature(&self) -> Option<StructuralSig> {
+        Some(StructuralSig {
+            class: format!("AD:{}x{}", self.w, self.h),
+            roles: vec![self.acc, self.inc],
+        })
+    }
+
+    fn affine_summary(&self) -> Option<AffineSummary> {
+        let x = AxisMap::identity(self.w);
+        let y = AxisMap::identity(self.h);
+        Some(AffineSummary {
+            domain: (self.w, self.h),
+            accesses: vec![
+                AffineAccess::load_f32(self.acc, self.w, x, y),
+                AffineAccess::load_f32(self.inc, self.w, x, y),
+                AffineAccess::store_f32(self.acc, self.w, x, y),
+            ],
+            compute_cycles: 2,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +107,15 @@ mod tests {
         }
         assert_eq!(mem.read_f32(acc, 7), 8.0);
         assert_eq!(mem.read_f32(inc, 7), 7.0, "increment must be untouched");
+    }
+
+    #[test]
+    fn affine_summary_reproduces_recorded_traces() {
+        let mut mem = DeviceMemory::new();
+        let acc = mem.alloc_f32(50 * 13, "acc");
+        let inc = mem.alloc_f32(50 * 13, "inc");
+        let k = AddField::new(acc, inc, 50, 13);
+        crate::common::assert_affine_summary_matches(&k, &mut mem);
     }
 
     #[test]

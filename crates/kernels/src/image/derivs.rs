@@ -1,7 +1,7 @@
 //! Image-derivative computation — the `DV` node of the HSOpticalFlow DFG.
 
-use gpu_sim::{BlockIdx, Buffer, LaunchDims};
-use kgraph::Kernel;
+use gpu_sim::{AffineAccess, AffineSummary, AxisMap, BlockIdx, Buffer, LaunchDims};
+use kgraph::{Kernel, StructuralSig};
 use trace::ExecCtx;
 
 use crate::common::{clampi, grid_for, pix, pixel_threads};
@@ -100,6 +100,35 @@ impl Kernel for Derivatives {
             self.w, self.h, self.i0.addr, self.i1w.addr, self.ix.addr, self.iy.addr, self.it.addr
         ))
     }
+
+    fn structural_signature(&self) -> Option<StructuralSig> {
+        Some(StructuralSig {
+            class: format!("DV:{}x{}", self.w, self.h),
+            roles: vec![self.i0, self.i1w, self.ix, self.iy, self.it],
+        })
+    }
+
+    fn affine_summary(&self) -> Option<AffineSummary> {
+        let (w, h) = (self.w, self.h);
+        let x = AxisMap::identity(w);
+        let y = AxisMap::identity(h);
+        let frame = |b: Buffer| {
+            [
+                AffineAccess::load_f32(b, w, AxisMap::offset(-1, w), y),
+                AffineAccess::load_f32(b, w, AxisMap::offset(1, w), y),
+                AffineAccess::load_f32(b, w, x, AxisMap::offset(-1, h)),
+                AffineAccess::load_f32(b, w, x, AxisMap::offset(1, h)),
+                AffineAccess::load_f32(b, w, x, y),
+            ]
+        };
+        let mut accesses = Vec::with_capacity(13);
+        accesses.extend(frame(self.i0));
+        accesses.extend(frame(self.i1w));
+        accesses.push(AffineAccess::store_f32(self.ix, w, x, y));
+        accesses.push(AffineAccess::store_f32(self.iy, w, x, y));
+        accesses.push(AffineAccess::store_f32(self.it, w, x, y));
+        Some(AffineSummary { domain: (w, h), accesses, compute_cycles: 10 })
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +182,12 @@ mod tests {
         run(&k, &mut mem);
         assert_eq!(mem.read_f32(k.it, pix(16, 3, 32)), 3.0);
         assert_eq!(mem.read_f32(k.ix, pix(16, 3, 32)), 0.0);
+    }
+
+    #[test]
+    fn affine_summary_reproduces_recorded_traces() {
+        let (mut mem, k) = setup(50, 13);
+        crate::common::assert_affine_summary_matches(&k, &mut mem);
     }
 
     #[test]

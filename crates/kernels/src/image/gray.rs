@@ -1,7 +1,7 @@
 //! Grayscale conversion — kernel `A` of the paper's motivational example.
 
-use gpu_sim::{BlockIdx, Buffer, LaunchDims};
-use kgraph::Kernel;
+use gpu_sim::{AffineAccess, AffineSummary, AxisMap, BlockIdx, Buffer, LaunchDims};
+use kgraph::{Kernel, StructuralSig};
 use trace::ExecCtx;
 
 use crate::common::{grid_for, pix, pixel_threads};
@@ -62,6 +62,27 @@ impl Kernel for Grayscale {
     fn signature(&self) -> Option<String> {
         Some(format!("GS:{}x{}:{}:{}", self.w, self.h, self.rgba.addr, self.gray.addr))
     }
+
+    fn structural_signature(&self) -> Option<StructuralSig> {
+        Some(StructuralSig {
+            class: format!("GS:{}x{}", self.w, self.h),
+            roles: vec![self.rgba, self.gray],
+        })
+    }
+
+    fn affine_summary(&self) -> Option<AffineSummary> {
+        let x = AxisMap::identity(self.w);
+        let y = AxisMap::identity(self.h);
+        Some(AffineSummary {
+            domain: (self.w, self.h),
+            accesses: vec![
+                // The RGBA texel load is 4 bytes wide, like the f32s.
+                AffineAccess::load_f32(self.rgba, self.w, x, y),
+                AffineAccess::store_f32(self.gray, self.w, x, y),
+            ],
+            compute_cycles: 8,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +128,15 @@ mod tests {
         assert!((mem.read_f32(gray, 0) - 0.299).abs() < 1e-5);
         assert!((mem.read_f32(gray, 1) - 0.587).abs() < 1e-5);
         assert!((mem.read_f32(gray, 2) - 0.114).abs() < 1e-5);
+    }
+
+    #[test]
+    fn affine_summary_reproduces_recorded_traces() {
+        let mut mem = DeviceMemory::new();
+        let rgba = mem.alloc_u8(4 * 50 * 13, "rgba");
+        let gray = mem.alloc_f32(50 * 13, "gray");
+        let k = Grayscale::new(rgba, gray, 50, 13);
+        crate::common::assert_affine_summary_matches(&k, &mut mem);
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! times), memory-bound, and a 5-point stencil whose block dependencies are
 //! fixed by geometry (input-value independent).
 
-use gpu_sim::{BlockIdx, Buffer, LaunchDims};
-use kgraph::Kernel;
+use gpu_sim::{AffineAccess, AffineSummary, AxisMap, BlockIdx, Buffer, LaunchDims};
+use kgraph::{Kernel, StructuralSig};
 use trace::ExecCtx;
 
 use crate::common::{clampi, grid_for, pix, pixel_threads};
@@ -142,6 +142,36 @@ impl Kernel for JacobiIter {
             self.dv_out.addr
         ))
     }
+
+    fn structural_signature(&self) -> Option<StructuralSig> {
+        Some(StructuralSig {
+            class: format!("JI:{}x{}", self.w, self.h),
+            roles: vec![self.du, self.dv, self.ix, self.iy, self.it, self.du_out, self.dv_out],
+        })
+    }
+
+    fn affine_summary(&self) -> Option<AffineSummary> {
+        let (w, h) = (self.w, self.h);
+        let x = AxisMap::identity(w);
+        let y = AxisMap::identity(h);
+        let stencil = |b: Buffer| {
+            [
+                AffineAccess::load_f32(b, w, AxisMap::offset(-1, w), y),
+                AffineAccess::load_f32(b, w, AxisMap::offset(1, w), y),
+                AffineAccess::load_f32(b, w, x, AxisMap::offset(-1, h)),
+                AffineAccess::load_f32(b, w, x, AxisMap::offset(1, h)),
+            ]
+        };
+        let mut accesses = Vec::with_capacity(13);
+        accesses.extend(stencil(self.du));
+        accesses.extend(stencil(self.dv));
+        accesses.push(AffineAccess::load_f32(self.ix, w, x, y));
+        accesses.push(AffineAccess::load_f32(self.iy, w, x, y));
+        accesses.push(AffineAccess::load_f32(self.it, w, x, y));
+        accesses.push(AffineAccess::store_f32(self.du_out, w, x, y));
+        accesses.push(AffineAccess::store_f32(self.dv_out, w, x, y));
+        Some(AffineSummary { domain: (w, h), accesses, compute_cycles: 24 })
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +250,13 @@ mod tests {
         assert_eq!(t.work.warps.len(), 8);
         assert!(t.work.warps.iter().all(|w| w.txns.len() >= 13));
         assert!(t.work.warps.iter().all(|w| w.compute_cycles == 24));
+    }
+
+    #[test]
+    fn affine_summary_reproduces_recorded_traces() {
+        // Odd sizes exercise partial blocks and the clamped borders.
+        let (mut mem, k) = setup(50, 13);
+        crate::common::assert_affine_summary_matches(&k, &mut mem);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Resolution-changing kernels: `DS` (downscale) and `US` (upscale) of the
 //! HSOpticalFlow DFG.
 
-use gpu_sim::{BlockIdx, Buffer, LaunchDims};
-use kgraph::Kernel;
+use gpu_sim::{AffineAccess, AffineSummary, AxisMap, BlockIdx, Buffer, LaunchDims};
+use kgraph::{Kernel, StructuralSig};
 use trace::ExecCtx;
 
 use crate::common::{clampi, grid_for, pix, pixel_threads};
@@ -77,6 +77,31 @@ impl Kernel for Downscale {
     fn signature(&self) -> Option<String> {
         Some(format!("DS:{}x{}:{}:{}", self.w, self.h, self.src.addr, self.dst.addr))
     }
+
+    fn structural_signature(&self) -> Option<StructuralSig> {
+        Some(StructuralSig {
+            class: format!("DS:{}x{}", self.w, self.h),
+            roles: vec![self.src, self.dst],
+        })
+    }
+
+    fn affine_summary(&self) -> Option<AffineSummary> {
+        let (ow, oh) = (self.out_w(), self.out_h());
+        // Source column/row of the quad's top-left corner: 2x (2y).
+        let even = |max: u32| AxisMap { mul: 2, add: 0, div: 1, max };
+        let odd = |max: u32| AxisMap { mul: 2, add: 1, div: 1, max };
+        Some(AffineSummary {
+            domain: (ow, oh),
+            accesses: vec![
+                AffineAccess::load_f32(self.src, self.w, even(self.w), even(self.h)),
+                AffineAccess::load_f32(self.src, self.w, odd(self.w), even(self.h)),
+                AffineAccess::load_f32(self.src, self.w, even(self.w), odd(self.h)),
+                AffineAccess::load_f32(self.src, self.w, odd(self.w), odd(self.h)),
+                AffineAccess::store_f32(self.dst, ow, AxisMap::identity(ow), AxisMap::identity(oh)),
+            ],
+            compute_cycles: 6,
+        })
+    }
 }
 
 /// Upscales an `f32` field by 2× in each dimension with bilinear
@@ -148,6 +173,32 @@ impl Kernel for Upscale {
 
     fn signature(&self) -> Option<String> {
         Some(format!("US:{}x{}:{}:{}:{}", self.w, self.h, self.src.addr, self.dst.addr, self.scale))
+    }
+
+    fn structural_signature(&self) -> Option<StructuralSig> {
+        Some(StructuralSig {
+            class: format!("US:{}x{}", self.w, self.h),
+            roles: vec![self.src, self.dst],
+        })
+    }
+
+    fn affine_summary(&self) -> Option<AffineSummary> {
+        let (ow, oh) = (2 * self.w, 2 * self.h);
+        // floor((c + 0.5) / 2 - 0.5) = floor((c - 1) / 2): the left/top
+        // sample; the right/bottom one is that plus 1 = floor((c + 1) / 2).
+        let lo = |max: u32| AxisMap { mul: 1, add: -1, div: 2, max };
+        let hi = |max: u32| AxisMap { mul: 1, add: 1, div: 2, max };
+        Some(AffineSummary {
+            domain: (ow, oh),
+            accesses: vec![
+                AffineAccess::load_f32(self.src, self.w, lo(self.w), lo(self.h)),
+                AffineAccess::load_f32(self.src, self.w, hi(self.w), lo(self.h)),
+                AffineAccess::load_f32(self.src, self.w, lo(self.w), hi(self.h)),
+                AffineAccess::load_f32(self.src, self.w, hi(self.w), hi(self.h)),
+                AffineAccess::store_f32(self.dst, ow, AxisMap::identity(ow), AxisMap::identity(oh)),
+            ],
+            compute_cycles: 12,
+        })
     }
 }
 
@@ -225,6 +276,24 @@ mod tests {
         // Output x=2 maps to source fx = (2.5/2)-0.5 = 0.75 -> value 0.75.
         let v = mem.read_f32(dst, pix(2, 4, 8));
         assert!((v - 0.75).abs() < 1e-6, "v = {v}");
+    }
+
+    #[test]
+    fn downscale_affine_summary_reproduces_recorded_traces() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(100 * 26, "src");
+        let dst = mem.alloc_f32(50 * 13, "dst");
+        let k = Downscale::new(src, dst, 100, 26);
+        crate::common::assert_affine_summary_matches(&k, &mut mem);
+    }
+
+    #[test]
+    fn upscale_affine_summary_reproduces_recorded_traces() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(25 * 7, "src");
+        let dst = mem.alloc_f32(50 * 14, "dst");
+        let k = Upscale::new(src, dst, 25, 7, 2.0);
+        crate::common::assert_affine_summary_matches(&k, &mut mem);
     }
 
     #[test]

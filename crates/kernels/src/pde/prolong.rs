@@ -1,6 +1,6 @@
 //! Dirichlet-consistent prolongation for multigrid.
 
-use gpu_sim::{BlockIdx, Buffer, LaunchDims};
+use gpu_sim::{AffineAccess, AffineSummary, AxisMap, BlockIdx, Buffer, LaunchDims};
 use kgraph::Kernel;
 use trace::ExecCtx;
 
@@ -74,6 +74,31 @@ impl Kernel for Prolong {
     fn signature(&self) -> Option<String> {
         Some(format!("PR:{}x{}:{}:{}", self.w, self.h, self.src.addr, self.dst.addr))
     }
+
+    // No structural signature: the zero-extension guard makes boundary
+    // warps lane-divergent (see `PoissonSmooth`); the skipping affine
+    // summary stands in. The interpolation weights are never zero (they
+    // are products of 0.25 and 0.75), so the only skipped samples are the
+    // out-of-domain ones the summary's `Skip` border models.
+
+    fn affine_summary(&self) -> Option<AffineSummary> {
+        let (ow, oh) = (2 * self.w, 2 * self.h);
+        // floor((c + 0.5) / 2 - 0.5) = floor((c - 1) / 2) and that plus 1,
+        // as in `Upscale` — but sampled with zero extension, not clamping.
+        let lo = |max: u32| AxisMap { mul: 1, add: -1, div: 2, max };
+        let hi = |max: u32| AxisMap { mul: 1, add: 1, div: 2, max };
+        Some(AffineSummary {
+            domain: (ow, oh),
+            accesses: vec![
+                AffineAccess::load_f32(self.src, self.w, lo(self.w), lo(self.h)).skipping(),
+                AffineAccess::load_f32(self.src, self.w, hi(self.w), lo(self.h)).skipping(),
+                AffineAccess::load_f32(self.src, self.w, lo(self.w), hi(self.h)).skipping(),
+                AffineAccess::load_f32(self.src, self.w, hi(self.w), hi(self.h)).skipping(),
+                AffineAccess::store_f32(self.dst, ow, AxisMap::identity(ow), AxisMap::identity(oh)),
+            ],
+            compute_cycles: 12,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +132,15 @@ mod tests {
         // Fine x=2 -> coarse 0.75 on the x-ramp.
         let v = mem.read_f32(dst, pix(2, 4, 8));
         assert!((v - 0.75).abs() < 1e-6, "v = {v}");
+    }
+
+    #[test]
+    fn affine_summary_reproduces_recorded_traces() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.alloc_f32(25 * 7, "src");
+        let dst = mem.alloc_f32(50 * 14, "dst");
+        let k = Prolong::new(src, dst, 25, 7);
+        crate::common::assert_affine_summary_matches(&k, &mut mem);
     }
 
     #[test]

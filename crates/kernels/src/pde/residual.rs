@@ -1,6 +1,6 @@
 //! Residual computation for the discrete Poisson equation.
 
-use gpu_sim::{BlockIdx, Buffer, LaunchDims};
+use gpu_sim::{AffineAccess, AffineSummary, AxisMap, BlockIdx, Buffer, LaunchDims};
 use kgraph::Kernel;
 use trace::ExecCtx;
 
@@ -86,6 +86,28 @@ impl Kernel for Residual {
             self.w, self.h, self.h2, self.u.addr, self.f.addr, self.r.addr
         ))
     }
+
+    // No structural signature: guarded boundary taps diverge within warps
+    // (see `PoissonSmooth`); the skipping affine summary stands in.
+
+    fn affine_summary(&self) -> Option<AffineSummary> {
+        let (w, h) = (self.w, self.h);
+        let x = AxisMap::identity(w);
+        let y = AxisMap::identity(h);
+        Some(AffineSummary {
+            domain: (w, h),
+            accesses: vec![
+                AffineAccess::load_f32(self.u, w, AxisMap::offset(-1, w), y).skipping(),
+                AffineAccess::load_f32(self.u, w, AxisMap::offset(1, w), y).skipping(),
+                AffineAccess::load_f32(self.u, w, x, AxisMap::offset(-1, h)).skipping(),
+                AffineAccess::load_f32(self.u, w, x, AxisMap::offset(1, h)).skipping(),
+                AffineAccess::load_f32(self.u, w, x, y),
+                AffineAccess::load_f32(self.f, w, x, y),
+                AffineAccess::store_f32(self.r, w, x, y),
+            ],
+            compute_cycles: 12,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +164,17 @@ mod tests {
         assert_eq!(mem.read_f32(r, pix(10, 4, w)), 0.0);
         // At the left wall the missing neighbour biases the operator.
         assert_ne!(mem.read_f32(r, pix(0, 4, w)), 0.0);
+    }
+
+    #[test]
+    fn affine_summary_reproduces_recorded_traces() {
+        let mut mem = DeviceMemory::new();
+        let n = 50 * 13;
+        let u = mem.alloc_f32(n, "u");
+        let f = mem.alloc_f32(n, "f");
+        let r = mem.alloc_f32(n, "r");
+        let k = Residual::new(u, f, r, 50, 13, 1.0);
+        crate::common::assert_affine_summary_matches(&k, &mut mem);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Weighted-Jacobi smoothing for the discrete Poisson equation.
 
-use gpu_sim::{BlockIdx, Buffer, LaunchDims};
+use gpu_sim::{AffineAccess, AffineSummary, AxisMap, BlockIdx, Buffer, LaunchDims};
 use kgraph::Kernel;
 use trace::ExecCtx;
 
@@ -104,6 +104,30 @@ impl Kernel for PoissonSmooth {
             self.w, self.h, self.h2, self.omega, self.u_in.addr, self.f.addr, self.u_out.addr
         ))
     }
+
+    // No structural signature: the guarded boundary taps make warp
+    // instruction streams lane-divergent, so a single warp instruction can
+    // mix buffers — the trace-rebase contract does not hold. The affine
+    // summary below (with skipping taps) covers trace derivation instead.
+
+    fn affine_summary(&self) -> Option<AffineSummary> {
+        let (w, h) = (self.w, self.h);
+        let x = AxisMap::identity(w);
+        let y = AxisMap::identity(h);
+        Some(AffineSummary {
+            domain: (w, h),
+            accesses: vec![
+                AffineAccess::load_f32(self.u_in, w, AxisMap::offset(-1, w), y).skipping(),
+                AffineAccess::load_f32(self.u_in, w, AxisMap::offset(1, w), y).skipping(),
+                AffineAccess::load_f32(self.u_in, w, x, AxisMap::offset(-1, h)).skipping(),
+                AffineAccess::load_f32(self.u_in, w, x, AxisMap::offset(1, h)).skipping(),
+                AffineAccess::load_f32(self.f, w, x, y),
+                AffineAccess::load_f32(self.u_in, w, x, y),
+                AffineAccess::store_f32(self.u_out, w, x, y),
+            ],
+            compute_cycles: 14,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +180,17 @@ mod tests {
         run(&k, &mut mem);
         // From u=0: u' = omega * (0 + h2*f)/4 = 1 everywhere.
         assert_eq!(mem.read_f32(u1, pix(10, 3, w)), 1.0);
+    }
+
+    #[test]
+    fn affine_summary_reproduces_recorded_traces() {
+        let mut mem = DeviceMemory::new();
+        let n = 50 * 13;
+        let u0 = mem.alloc_f32(n, "u0");
+        let f = mem.alloc_f32(n, "f");
+        let u1 = mem.alloc_f32(n, "u1");
+        let k = PoissonSmooth::new(u0, f, u1, 50, 13, 1.0, 0.8);
+        crate::common::assert_affine_summary_matches(&k, &mut mem);
     }
 
     #[test]

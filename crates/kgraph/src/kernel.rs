@@ -8,8 +8,41 @@
 //! footprints) — mirroring how the paper drives one instrumented execution
 //! of the application to feed its block analyzer.
 
-use gpu_sim::{BlockIdx, LaunchDims, LaunchResources};
+use gpu_sim::{AffineSummary, BlockIdx, Buffer, LaunchDims, LaunchResources};
 use trace::ExecCtx;
+
+/// A *structural-class* descriptor: the extension of
+/// [`Kernel::signature`] that powers trace replication.
+///
+/// Two kernel instances with the same `class` differ only in *where* their
+/// buffers live: instance addresses are `roles[i].addr`-relative, so the
+/// analyzer can analyze one instance per class and replicate its traces
+/// onto every sibling with a per-role address-offset transform
+/// ([`trace::OffsetMap`]) instead of re-executing it. The 30 Jacobi
+/// iterations of a pyramid level (ping-ponging between two buffer pairs)
+/// collapse to one analysis this way.
+///
+/// # Contract
+///
+/// * `class` covers everything addresses depend on **except** buffer base
+///   addresses: kernel kind, launch geometry, image extents, strides and
+///   the buffer-role *pattern* (which role is read/written where). Equal
+///   classes ⇒ traces identical up to per-role base offsets.
+/// * `roles` lists the instance's buffers in a fixed, class-defined order;
+///   every address the kernel touches lies inside one of its roles, and
+///   roles must not alias.
+/// * within any single warp memory instruction, all lanes access one role
+///   (see [`trace::OffsetMap`]) — true for the usual stencil shape where
+///   each source line of code touches one buffer. Kernels with guarded
+///   (lane-divergent, stream-compacting) accesses should not declare a
+///   structural signature and rely on their affine summary instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructuralSig {
+    /// Shape descriptor shared by all instances of the class.
+    pub class: String,
+    /// This instance's buffer roles, in class-defined order.
+    pub roles: Vec<Buffer>,
+}
 
 /// A GPU kernel: launch geometry plus functional per-block execution.
 ///
@@ -58,6 +91,25 @@ pub trait Kernel: Send + Sync {
     /// The key must cover everything addresses depend on: kernel kind,
     /// geometry and the addresses of all buffers it touches.
     fn signature(&self) -> Option<String> {
+        None
+    }
+
+    /// The kernel's structural class, if its memory behaviour is identical
+    /// to that of other instances up to per-buffer base offsets (see
+    /// [`StructuralSig`] for the exact contract). Enables the analyzer to
+    /// replicate one analyzed instance's traces across the whole class via
+    /// [`trace::rebase_traces`]. Default: no class (full analysis).
+    fn structural_signature(&self) -> Option<StructuralSig> {
+        None
+    }
+
+    /// The kernel's affine access summary, if every address it touches is
+    /// an affine function of the thread's pixel coordinate (see
+    /// [`AffineSummary`] for the exact execution contract). Enables the
+    /// analyzer to synthesize the kernel's traces from grid geometry alone
+    /// via [`trace::synthesize_affine`], skipping functional execution for
+    /// analysis purposes. Default: no summary (functional tracing).
+    fn affine_summary(&self) -> Option<AffineSummary> {
         None
     }
 }

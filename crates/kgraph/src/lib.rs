@@ -21,9 +21,12 @@ mod dot;
 mod graph;
 mod kernel;
 
-pub use analyze::{analyze, analyze_with, GraphTrace, NodeTrace};
+pub use analyze::{
+    analyze, analyze_fast, analyze_fast_with, analyze_reference_with, analyze_with, GraphTrace,
+    NodeTrace,
+};
 pub use check::{check_edges, EdgeCheck};
 pub use dag::{is_connected_subgraph, reachable, topo_order, CycleError};
 pub use dot::{block_deps_to_dot, to_dot};
 pub use graph::{AppGraph, Edge, EdgeId, Node, NodeId, NodeOp};
-pub use kernel::{threads, Kernel};
+pub use kernel::{threads, Kernel, StructuralSig};

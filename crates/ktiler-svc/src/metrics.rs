@@ -132,7 +132,8 @@ pub struct Metrics {
     /// Requests served a verified untiled schedule after a pipeline
     /// failure.
     pub degraded_total: AtomicU64,
-    /// Latency of analyze + calibrate (memo-miss prepare).
+    /// Latency of the block-analysis pass alone (`kgraph::analyze_fast`),
+    /// recorded once per memo-miss recompute.
     pub analyze_latency: LatencyHistogram,
     /// Latency of the tiling computation.
     pub tile_latency: LatencyHistogram,

@@ -1,0 +1,538 @@
+//! Analytical trace synthesis for affine kernels.
+//!
+//! [`synthesize_affine`] turns a kernel's declared
+//! [`AffineSummary`] into the exact per-block [`BlockTrace`]s the recorder
+//! would produce for a functional execution — without running the kernel.
+//! This is front (b) of the analyzer optimization: for stencil/transfer
+//! kernels whose addresses are affine in the thread's pixel coordinate,
+//! footprints and dependency word sets follow from grid geometry alone, so
+//! the functional simulator can be skipped entirely for analysis purposes.
+//!
+//! Byte-exactness is the contract, not an approximation: the synthesis loop
+//! below mirrors [`TraceRecorder::finish_block_raw`]'s coalescing — the
+//! k-th surviving access of each warp lane forms the warp's k-th memory
+//! instruction, per-instruction line sets are sorted and deduplicated into
+//! read-then-write transactions, and the block-level word/line multisets get
+//! the same final sort/dedup pass. [`Border::Skip`] accesses compact each
+//! lane's access stream exactly like the guarded `if` in the kernel source
+//! does, so boundary warps produce the same ragged instruction mix as a
+//! recorded run. Equivalence is enforced by per-kernel tests, a seeded
+//! property test and the full-workload analyzer equivalence test.
+//!
+//! Large grids take a row-translation fast path: when every access steps by
+//! a fixed, line-aligned number of words per block row and no clamp or skip
+//! triggers away from the top and bottom rows ([`row_step`]), only rows 0,
+//! 1 and the last row are synthesized per-lane — each remaining block is
+//! the block one step up in its column shifted by a constant
+//! ([`translate_block`]). The per-kernel equivalence tests cover both
+//! paths.
+//!
+//! [`TraceRecorder::finish_block_raw`]: crate::TraceRecorder::finish_block_raw
+
+use gpu_sim::{AffineSummary, BlockWork, LaunchDims, Txn, WarpWork, WARP_SIZE};
+
+use crate::lineset::LineSet;
+use crate::record::BlockTrace;
+
+/// Per-block-row address deltas for the row-translation fast path.
+///
+/// When a summary's y-maps all step by whole rows per block row (see
+/// [`row_step`]), the trace of a y-interior block is the trace of the block
+/// one row up shifted by a constant: every load moves by `load_words` 4-byte
+/// words and every store by `store_words`. The line deltas are the same
+/// shifts at cache-line granularity (the word deltas are checked to be
+/// line-aligned before this path is taken).
+struct RowStep {
+    load_words: u64,
+    store_words: u64,
+    load_lines: u64,
+    store_lines: u64,
+}
+
+/// Decides whether block rows `1..grid.y-1` are exact translates of each
+/// other, and by how much.
+///
+/// Requirements, checked per access:
+/// - 4-byte width and a non-negative y-slope, so addresses move forward by
+///   a fixed whole number of words per block row (`y.div` must divide
+///   `y.mul * block.y` for the floor division to shift exactly);
+/// - no clamping or skipping in y anywhere in rows `1..grid.y-1` (the
+///   y-map stays strictly inside `[0, max)` there), and those rows fully
+///   active (`block.y * (grid.y - 1) <= domain height`) — x-direction
+///   behavior is identical across rows by construction;
+/// - all loads agree on one word delta and all stores on another (true for
+///   every kernel here: loads share the input resolution, stores the
+///   output), and both deltas are line-aligned so transactions shift too.
+///
+/// Returns `None` when any condition fails — the caller then synthesizes
+/// every block directly, which is always correct.
+fn row_step(summary: &AffineSummary, dims: &LaunchDims, line_bytes: u64) -> Option<RowStep> {
+    let bh = dims.block.y;
+    let gy = dims.grid.y;
+    let dom_h = summary.domain.1;
+    if gy < 4 || !line_bytes.is_multiple_of(4) {
+        return None;
+    }
+    if bh as u64 * (gy as u64 - 1) > dom_h as u64 {
+        return None;
+    }
+    let (y_lo, y_hi) = (bh, bh * (gy - 1) - 1);
+    let mut load: Option<u64> = None;
+    let mut store: Option<u64> = None;
+    for acc in &summary.accesses {
+        if acc.width != 4 || acc.y.mul < 0 || acc.y.div <= 0 {
+            return None;
+        }
+        let num = acc.y.mul * bh as i64;
+        if num % acc.y.div != 0 {
+            return None;
+        }
+        // y.raw is monotone for mul >= 0, so the endpoints bound the range.
+        if acc.y.raw(y_lo) < 0 || acc.y.raw(y_hi) >= acc.y.max as i64 {
+            return None;
+        }
+        let delta = (num / acc.y.div) as u64 * acc.target_w as u64;
+        let slot = if acc.store { &mut store } else { &mut load };
+        match *slot {
+            None => *slot = Some(delta),
+            Some(d) if d == delta => {}
+            Some(_) => return None,
+        }
+    }
+    let lw = line_bytes / 4;
+    let (load, store) = (load.unwrap_or(0), store.unwrap_or(0));
+    if load % lw != 0 || store % lw != 0 {
+        return None;
+    }
+    Some(RowStep {
+        load_words: load,
+        store_words: store,
+        load_lines: load / lw,
+        store_lines: store / lw,
+    })
+}
+
+/// Shifts a y-interior block trace down by `k` block rows.
+///
+/// The line set is rebuilt from the shifted words: every touched line
+/// contains a touched word and vice versa (4-byte accesses never straddle a
+/// line), so the union of the words' lines is exactly the block's line set.
+fn translate_block(proto: &BlockTrace, k: u64, step: &RowStep, words_per_line: u64) -> BlockTrace {
+    let dw_r = step.load_words * k;
+    let dw_w = step.store_words * k;
+    let dl_r = step.load_lines * k;
+    let dl_w = step.store_lines * k;
+    let read_words: Vec<u64> = proto.read_words.iter().map(|&w| w + dw_r).collect();
+    let write_words: Vec<u64> = proto.write_words.iter().map(|&w| w + dw_w).collect();
+    let warps: Vec<WarpWork> = proto
+        .work
+        .warps
+        .iter()
+        .map(|w| WarpWork {
+            txns: w
+                .txns
+                .iter()
+                .map(|&t| Txn::new(t.line() + if t.write() { dl_w } else { dl_r }, t.write()))
+                .collect(),
+            compute_cycles: w.compute_cycles,
+        })
+        .collect();
+    let mut lines: Vec<u64> = Vec::with_capacity(proto.lines.len() as usize);
+    let (mut i, mut j) = (0usize, 0usize);
+    loop {
+        let a = read_words.get(i).map(|&w| w / words_per_line);
+        let b = write_words.get(j).map(|&w| w / words_per_line);
+        let next = match (a, b) {
+            (None, None) => break,
+            (Some(x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(y)) => {
+                j += 1;
+                y
+            }
+            (Some(x), Some(y)) if x <= y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(y)) => {
+                j += 1;
+                y
+            }
+        };
+        if lines.last() != Some(&next) {
+            lines.push(next);
+        }
+    }
+    BlockTrace {
+        work: BlockWork { warps },
+        lines: LineSet::from_sorted(&lines),
+        read_words,
+        write_words,
+    }
+}
+
+/// Synthesizes the block traces of a kernel from its affine summary.
+///
+/// Returns one [`BlockTrace`] per block in linear-id order, identical to
+/// recording a functional execution of a kernel that follows the
+/// [`AffineSummary`] contract, or `None` when the launch geometry is not
+/// the supported two-dimensional pixel mapping (`grid.z != 1` or
+/// `block.z != 1`) — the caller then falls back to functional tracing.
+///
+/// # Panics
+///
+/// Panics if `line_bytes` is zero.
+pub fn synthesize_affine(
+    summary: &AffineSummary,
+    dims: &LaunchDims,
+    line_bytes: u64,
+) -> Option<Vec<BlockTrace>> {
+    assert!(line_bytes > 0, "line size must be non-zero");
+    if dims.block.z != 1 || dims.grid.z != 1 {
+        return None;
+    }
+    let bw = dims.block.x;
+    let bh = dims.block.y;
+    let tpb = (bw as usize) * (bh as usize);
+    let n_acc = summary.accesses.len();
+    let (dom_w, dom_h) = summary.domain;
+
+    let mut out: Vec<BlockTrace> = Vec::with_capacity(dims.num_blocks() as usize);
+    // Per-warp scratch, reused across blocks: the surviving (address,
+    // access-index) stream of each lane, and per-lane stream lengths.
+    let mut stream: Vec<(u64, u32)> = vec![(0, 0); WARP_SIZE as usize * n_acc.max(1)];
+    let mut counts = [0usize; WARP_SIZE as usize];
+    let mut reads: Vec<u64> = Vec::new();
+    let mut writes: Vec<u64> = Vec::new();
+
+    // Row-translation fast path: when eligible, only rows 0, 1 and the last
+    // row are synthesized per-lane; every other row is row 1 shifted by a
+    // constant. This is where the bulk of a large grid's blocks come from.
+    let step = row_step(summary, dims, line_bytes);
+    let gx = dims.grid.x;
+    let gy = dims.grid.y;
+
+    for block in dims.blocks() {
+        if let Some(step) = &step {
+            if block.y >= 2 && block.y < gy - 1 {
+                let proto = &out[(gx + block.x) as usize];
+                out.push(translate_block(proto, block.y as u64 - 1, step, line_bytes / 4));
+                continue;
+            }
+        }
+        let mut read_words: Vec<u64> = Vec::new();
+        let mut write_words: Vec<u64> = Vec::new();
+        let mut lines: Vec<u64> = Vec::new();
+        let mut warps: Vec<WarpWork> = Vec::with_capacity(tpb.div_ceil(WARP_SIZE as usize));
+
+        for warp_start in (0..tpb).step_by(WARP_SIZE as usize) {
+            let lanes = (tpb - warp_start).min(WARP_SIZE as usize);
+            let mut any_active = false;
+            let mut max_len = 0usize;
+            for lane in 0..lanes {
+                let tid = (warp_start + lane) as u32;
+                let (tx, ty) = (tid % bw, tid / bw);
+                let (x, y) = (block.x * bw + tx, block.y * bh + ty);
+                let mut c = 0usize;
+                if x < dom_w && y < dom_h {
+                    any_active = true;
+                    for (i, acc) in summary.accesses.iter().enumerate() {
+                        if let Some(addr) = acc.addr_at(x, y) {
+                            stream[lane * n_acc + c] = (addr, i as u32);
+                            c += 1;
+                        }
+                    }
+                }
+                counts[lane] = c;
+                max_len = max_len.max(c);
+            }
+
+            let mut txns: Vec<Txn> = Vec::new();
+            for k in 0..max_len {
+                // The k-th memory instruction of this warp: coalesce the
+                // participating lanes' addresses into line transactions,
+                // exactly like the recorder does.
+                reads.clear();
+                writes.clear();
+                for lane in 0..lanes {
+                    if counts[lane] <= k {
+                        continue;
+                    }
+                    let (addr, i) = stream[lane * n_acc + k];
+                    let acc = &summary.accesses[i as usize];
+                    let width = acc.width as u64;
+                    let first = addr / line_bytes;
+                    let last = (addr + width - 1) / line_bytes;
+                    let line_set = if acc.store { &mut writes } else { &mut reads };
+                    for line in first..=last {
+                        line_set.push(line);
+                    }
+                    let w0 = addr >> 2;
+                    let w1 = (addr + width - 1) >> 2;
+                    let word_set = if acc.store { &mut write_words } else { &mut read_words };
+                    for word in w0..=w1 {
+                        word_set.push(word);
+                    }
+                }
+                for set in [&mut reads, &mut writes] {
+                    set.sort_unstable();
+                    set.dedup();
+                }
+                txns.extend(reads.iter().map(|&line| Txn::new(line, false)));
+                txns.extend(writes.iter().map(|&line| Txn::new(line, true)));
+                lines.extend_from_slice(&reads);
+                lines.extend_from_slice(&writes);
+            }
+            let compute_cycles = if any_active { summary.compute_cycles } else { 0 };
+            warps.push(WarpWork { txns, compute_cycles });
+        }
+
+        for set in [&mut read_words, &mut write_words, &mut lines] {
+            set.sort_unstable();
+            set.dedup();
+        }
+        out.push(BlockTrace {
+            work: BlockWork { warps },
+            lines: LineSet::from_sorted(&lines),
+            read_words,
+            write_words,
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ExecCtx;
+    use crate::TraceRecorder;
+    use gpu_sim::{AffineAccess, AxisMap, Border, DeviceMemory, Dim3};
+
+    /// Functionally executes the summary contract through the recorder:
+    /// the ground truth the synthesis must match byte-for-byte.
+    fn record_summary(
+        summary: &AffineSummary,
+        dims: &LaunchDims,
+        mem: &mut DeviceMemory,
+        line_bytes: u64,
+    ) -> Vec<BlockTrace> {
+        let mut rec = TraceRecorder::new(line_bytes);
+        let mut out = Vec::new();
+        for block in dims.blocks() {
+            rec.begin_block(dims.threads_per_block());
+            let mut ctx = ExecCtx::new(mem, &mut rec);
+            let (bw, bh) = (dims.block.x, dims.block.y);
+            for tid in 0..dims.threads_per_block() {
+                let (tx, ty) = (tid % bw, tid / bw);
+                let (x, y) = (block.x * bw + tx, block.y * bh + ty);
+                if x >= summary.domain.0 || y >= summary.domain.1 {
+                    continue;
+                }
+                for acc in &summary.accesses {
+                    let (sx, sy) = match acc.border {
+                        Border::Clamp => (acc.x.clamped(x), acc.y.clamped(y)),
+                        Border::Skip => {
+                            let (rx, ry) = (acc.x.raw(x), acc.y.raw(y));
+                            if rx < 0 || rx >= acc.x.max as i64 || ry < 0 || ry >= acc.y.max as i64
+                            {
+                                continue;
+                            }
+                            (rx as u32, ry as u32)
+                        }
+                    };
+                    let idx = sy as u64 * acc.target_w as u64 + sx as u64;
+                    if acc.store {
+                        ctx.st_f32(acc.buffer, idx, 1.0, tid);
+                    } else {
+                        let _ = ctx.ld_f32(acc.buffer, idx, tid);
+                    }
+                }
+                ctx.compute(tid, summary.compute_cycles);
+            }
+            out.push(rec.finish_block());
+        }
+        out
+    }
+
+    fn check(summary: &AffineSummary, dims: &LaunchDims, mem: &mut DeviceMemory) {
+        let synth = synthesize_affine(summary, dims, 128).expect("2-D geometry");
+        let recorded = record_summary(summary, dims, mem, 128);
+        assert_eq!(synth, recorded);
+    }
+
+    fn stencil_summary(mem: &mut DeviceMemory, w: u32, h: u32, border: Border) -> AffineSummary {
+        let src = mem.alloc_f32(w as u64 * h as u64, "src");
+        let dst = mem.alloc_f32(w as u64 * h as u64, "dst");
+        let tap = |dx: i64, dy: i64| {
+            let a = AffineAccess::load_f32(src, w, AxisMap::offset(dx, w), AxisMap::offset(dy, h));
+            if border == Border::Skip {
+                a.skipping()
+            } else {
+                a
+            }
+        };
+        AffineSummary {
+            domain: (w, h),
+            accesses: vec![
+                tap(-1, 0),
+                tap(1, 0),
+                tap(0, -1),
+                tap(0, 1),
+                AffineAccess::store_f32(dst, w, AxisMap::identity(w), AxisMap::identity(h)),
+            ],
+            compute_cycles: 9,
+        }
+    }
+
+    fn img_dims(w: u32, h: u32) -> LaunchDims {
+        LaunchDims::new(Dim3::xy(w.div_ceil(32), h.div_ceil(8)), Dim3::xy(32, 8))
+    }
+
+    #[test]
+    fn clamped_stencil_matches_recorder() {
+        let mut mem = DeviceMemory::new();
+        let s = stencil_summary(&mut mem, 64, 24, Border::Clamp);
+        check(&s, &img_dims(64, 24), &mut mem);
+    }
+
+    #[test]
+    fn skip_stencil_matches_recorder_with_ragged_streams() {
+        // Guarded taps: border lanes drop accesses, shifting their streams
+        // so one warp instruction mixes different logical accesses.
+        let mut mem = DeviceMemory::new();
+        let s = stencil_summary(&mut mem, 64, 24, Border::Skip);
+        check(&s, &img_dims(64, 24), &mut mem);
+    }
+
+    #[test]
+    fn partial_blocks_and_inactive_threads_match() {
+        // 50x13 domain in 32x8 blocks: right and bottom blocks are ragged.
+        let mut mem = DeviceMemory::new();
+        let s = stencil_summary(&mut mem, 50, 13, Border::Clamp);
+        check(&s, &img_dims(50, 13), &mut mem);
+    }
+
+    #[test]
+    fn strided_downscale_map_matches() {
+        let mut mem = DeviceMemory::new();
+        let (w, h) = (32u32, 16u32);
+        let src = mem.alloc_f32((w as u64 * 2) * (h as u64 * 2), "src");
+        let dst = mem.alloc_f32(w as u64 * h as u64, "dst");
+        let tap = |ox: i64, oy: i64| {
+            AffineAccess::load_f32(
+                src,
+                2 * w,
+                AxisMap { mul: 2, add: ox, div: 1, max: 2 * w },
+                AxisMap { mul: 2, add: oy, div: 1, max: 2 * h },
+            )
+        };
+        let s = AffineSummary {
+            domain: (w, h),
+            accesses: vec![
+                tap(0, 0),
+                tap(1, 0),
+                tap(0, 1),
+                tap(1, 1),
+                AffineAccess::store_f32(dst, w, AxisMap::identity(w), AxisMap::identity(h)),
+            ],
+            compute_cycles: 6,
+        };
+        check(&s, &img_dims(w, h), &mut mem);
+    }
+
+    #[test]
+    fn upscale_floor_div_maps_match() {
+        let mut mem = DeviceMemory::new();
+        let (cw, ch) = (16u32, 8u32); // coarse extent; domain is 2x
+        let src = mem.alloc_f32(cw as u64 * ch as u64, "coarse");
+        let dst = mem.alloc_f32((2 * cw) as u64 * (2 * ch) as u64, "fine");
+        let xm = |add: i64| AxisMap { mul: 1, add, div: 2, max: cw };
+        let ym = |add: i64| AxisMap { mul: 1, add, div: 2, max: ch };
+        let s = AffineSummary {
+            domain: (2 * cw, 2 * ch),
+            accesses: vec![
+                AffineAccess::load_f32(src, cw, xm(-1), ym(-1)),
+                AffineAccess::load_f32(src, cw, xm(1), ym(-1)),
+                AffineAccess::load_f32(src, cw, xm(-1), ym(1)),
+                AffineAccess::load_f32(src, cw, xm(1), ym(1)),
+                AffineAccess::store_f32(
+                    dst,
+                    2 * cw,
+                    AxisMap::identity(2 * cw),
+                    AxisMap::identity(2 * ch),
+                ),
+            ],
+            compute_cycles: 12,
+        };
+        check(&s, &img_dims(2 * cw, 2 * ch), &mut mem);
+    }
+
+    #[test]
+    fn tall_clamped_stencil_takes_row_translation() {
+        // 64x40 in 32x8 blocks: grid.y = 5, so rows 2..3 are translated
+        // from row 1. The recorder comparison covers both paths at once.
+        let mut mem = DeviceMemory::new();
+        let s = stencil_summary(&mut mem, 64, 40, Border::Clamp);
+        check(&s, &img_dims(64, 40), &mut mem);
+    }
+
+    #[test]
+    fn tall_skip_stencil_takes_row_translation() {
+        let mut mem = DeviceMemory::new();
+        let s = stencil_summary(&mut mem, 64, 40, Border::Skip);
+        check(&s, &img_dims(64, 40), &mut mem);
+    }
+
+    #[test]
+    fn tall_grid_with_unaligned_row_stride_still_matches() {
+        // Width 40: the per-row word delta (8 * 40 = 320 words) is a
+        // multiple of 32, but width 36 gives 288 words — row-translation
+        // only engages when the delta is line-aligned; either way the
+        // recorder must be matched bit for bit.
+        for w in [36u32, 40u32] {
+            let mut mem = DeviceMemory::new();
+            let s = stencil_summary(&mut mem, w, 48, Border::Clamp);
+            check(&s, &img_dims(w, 48), &mut mem);
+        }
+    }
+
+    #[test]
+    fn tall_upscale_floor_div_takes_row_translation() {
+        // Coarse 16x16 -> fine 32x32: grid.y = 4 and the div-2 y-maps step
+        // by 4 coarse rows per block row — exactly divisible, so the
+        // translation path must reproduce the floor-division addresses.
+        let mut mem = DeviceMemory::new();
+        let (cw, ch) = (16u32, 16u32);
+        let src = mem.alloc_f32(cw as u64 * ch as u64, "coarse");
+        let dst = mem.alloc_f32((2 * cw) as u64 * (2 * ch) as u64, "fine");
+        let xm = |add: i64| AxisMap { mul: 1, add, div: 2, max: cw };
+        let ym = |add: i64| AxisMap { mul: 1, add, div: 2, max: ch };
+        let s = AffineSummary {
+            domain: (2 * cw, 2 * ch),
+            accesses: vec![
+                AffineAccess::load_f32(src, cw, xm(-1), ym(-1)),
+                AffineAccess::load_f32(src, cw, xm(1), ym(-1)),
+                AffineAccess::load_f32(src, cw, xm(-1), ym(1)),
+                AffineAccess::load_f32(src, cw, xm(1), ym(1)),
+                AffineAccess::store_f32(
+                    dst,
+                    2 * cw,
+                    AxisMap::identity(2 * cw),
+                    AxisMap::identity(2 * ch),
+                ),
+            ],
+            compute_cycles: 12,
+        };
+        check(&s, &img_dims(2 * cw, 2 * ch), &mut mem);
+    }
+
+    #[test]
+    fn non_2d_geometry_is_rejected() {
+        let mut mem = DeviceMemory::new();
+        let s = stencil_summary(&mut mem, 8, 8, Border::Clamp);
+        let dims = LaunchDims::new(Dim3::new(1, 1, 2), Dim3::xy(32, 8));
+        assert!(synthesize_affine(&s, &dims, 128).is_none());
+    }
+}

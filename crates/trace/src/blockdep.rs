@@ -121,7 +121,10 @@ fn dedup_tail(edges: &mut Vec<(BlockRef, BlockRef)>, start: usize) {
 /// The edge list may contain duplicates and be in any order; one global
 /// sort + dedup canonicalizes it, which is what makes the sharded parallel
 /// builder's output byte-identical to the serial builder's.
-fn csr_from_edges(mut edges: Vec<(BlockRef, BlockRef)>, num_blocks: Vec<u32>) -> BlockDepGraph {
+pub(crate) fn csr_from_edges(
+    mut edges: Vec<(BlockRef, BlockRef)>,
+    num_blocks: Vec<u32>,
+) -> BlockDepGraph {
     // Flat slot index: node_base[n] + block.
     let mut node_base: Vec<usize> = Vec::with_capacity(num_blocks.len() + 1);
     let mut total = 0usize;

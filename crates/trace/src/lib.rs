@@ -19,16 +19,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod affine;
 mod blockdep;
 mod footprint;
 mod lineset;
 mod record;
+mod structural;
 mod wordmap;
 
+pub use affine::synthesize_affine;
 pub use blockdep::{build_dep_graph, BlockDepGraph, BlockRef, DepGraphBuilder, DEP_SHARDS};
 pub use footprint::{footprint_of, FootprintSet};
 pub use lineset::LineSet;
 pub use record::{
-    coalesce_blocks, AccessKind, BlockTrace, ExecCtx, RawBlockTrace, ThreadAccess, TraceRecorder,
+    coalesce_blocks, rebase_traces, AccessKind, BlockTrace, ExecCtx, OffsetMap, RawBlockTrace,
+    ThreadAccess, TraceRecorder,
 };
+pub use structural::StructuralDepBuilder;
 pub use wordmap::WordMap;

@@ -58,6 +58,34 @@ impl LineSet {
         LineSet { runs: vec![(start, end - start + 1)], len: end - start + 1 }
     }
 
+    /// Builds a set from sorted, disjoint runs `(start, length)`, merging
+    /// adjacent runs into maximal ones. Used by the trace-rebase path, where
+    /// shifting per-buffer run segments can make previously separate runs
+    /// adjacent in the target address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs are empty-length, unsorted or overlapping.
+    pub fn from_runs(runs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut merged: Vec<(u64, u64)> = Vec::new();
+        let mut total = 0u64;
+        for (start, len) in runs {
+            assert!(len > 0, "runs must be non-empty");
+            total += len;
+            match merged.last_mut() {
+                Some((last_start, last_len)) if start == *last_start + *last_len => {
+                    *last_len += len;
+                }
+                Some(&mut (last_start, last_len)) => {
+                    assert!(start > last_start + last_len, "runs must be sorted and disjoint");
+                    merged.push((start, len));
+                }
+                None => merged.push((start, len)),
+            }
+        }
+        LineSet { runs: merged, len: total }
+    }
+
     /// Number of lines in the set.
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u64 {
@@ -162,6 +190,20 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_input_panics() {
         LineSet::from_sorted(&[3, 1]);
+    }
+
+    #[test]
+    fn from_runs_merges_adjacent_runs() {
+        let s = LineSet::from_runs(vec![(1, 2), (3, 4), (10, 1)]);
+        assert_eq!(s.runs(), &[(1, 6), (10, 1)]);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s, LineSet::from_sorted(&[1, 2, 3, 4, 5, 6, 10]));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn from_runs_rejects_overlap() {
+        LineSet::from_runs(vec![(1, 3), (2, 2)]);
     }
 
     #[test]

@@ -78,6 +78,204 @@ impl BlockTrace {
     pub fn footprint_bytes(&self, line_bytes: u64) -> u64 {
         self.lines.len() * line_bytes
     }
+
+    /// Rebases this trace onto another instance of the same structural
+    /// kernel class: every address is translated by its buffer role's
+    /// constant offset, yielding the trace the recorder would have produced
+    /// for the target instance — without re-executing the kernel.
+    ///
+    /// Word sets, the line footprint and the warp transactions are all
+    /// remapped; per-role segments are re-sorted into canonical ascending
+    /// order (role order in the target address space may differ from the
+    /// source) and line runs that become adjacent are re-merged, so the
+    /// result is byte-identical to a direct recording. Warp compute cycles
+    /// and transaction counts are untouched — structure is preserved by
+    /// construction.
+    ///
+    /// Returns `None` if any address of the trace falls outside the map's
+    /// role spans; the caller falls back to functional tracing.
+    pub fn rebase(&self, map: &OffsetMap) -> Option<BlockTrace> {
+        let read_words = map.map_words(&self.read_words)?;
+        let write_words = map.map_words(&self.write_words)?;
+        let lines = map.map_lines(&self.lines)?;
+        let mut warps = Vec::with_capacity(self.work.warps.len());
+        let mut cache = 0usize;
+        for warp in &self.work.warps {
+            let mut txns = Vec::with_capacity(warp.txns.len());
+            for &t in &warp.txns {
+                let delta = map.line_delta(t.line(), &mut cache)?;
+                txns.push(Txn::new(t.line().wrapping_add_signed(delta), t.write()));
+            }
+            warps.push(WarpWork { txns, compute_cycles: warp.compute_cycles });
+        }
+        Some(BlockTrace { work: BlockWork { warps }, read_words, write_words, lines })
+    }
+}
+
+/// Rebases every block trace of a kernel instance (see
+/// [`BlockTrace::rebase`]). Returns `None` if any block fails to map.
+pub fn rebase_traces(src: &[BlockTrace], map: &OffsetMap) -> Option<Vec<BlockTrace>> {
+    src.iter().map(|t| t.rebase(map)).collect()
+}
+
+/// One buffer role's address translation: its source word/line spans and
+/// the constant deltas onto the target instance.
+#[derive(Debug, Clone, Copy)]
+struct RoleSpan {
+    src_word0: u64,
+    src_word_end: u64,
+    word_delta: i64,
+    src_line0: u64,
+    src_line_end: u64,
+    line_delta: i64,
+}
+
+/// An address-offset transform between two instances of a structural kernel
+/// class: buffer role `i` of the source instance maps onto role `i` of the
+/// target instance by a constant byte offset.
+///
+/// This is the replication vehicle of structural trace reuse: the 30 Jacobi
+/// iterations of a pyramid level differ only in which ping-pong buffers
+/// they read and write, so one analyzed instance plus an `OffsetMap` per
+/// sibling replaces 29 functional re-executions.
+///
+/// # Contract
+///
+/// [`between`](OffsetMap::between) validates what it can see — equal role
+/// counts and lengths, word- and line-aligned deltas, disjoint role spans
+/// on both sides. One property is *not* checkable here, because warp
+/// transactions do not retain instruction boundaries: within any single
+/// warp memory instruction, all transactions must target one buffer role
+/// (or the roles' relative address order must be preserved by the deltas),
+/// otherwise the per-instruction sorted transaction order could differ
+/// from a direct recording. Kernels guarantee this when declaring a
+/// structural signature; the analyzer equivalence tests enforce it.
+#[derive(Debug, Clone)]
+pub struct OffsetMap {
+    /// Role spans sorted by source address (word and line orders agree).
+    spans: Vec<RoleSpan>,
+}
+
+impl OffsetMap {
+    /// Builds the transform mapping buffer roles `src[i]` onto `dst[i]`.
+    ///
+    /// Returns `None` when the instances are not offset-compatible: role
+    /// counts or lengths differ, a delta is not a multiple of both the word
+    /// size and `line_bytes`, or role spans overlap (e.g. two roles sharing
+    /// a cache line) on either side.
+    pub fn between(src: &[Buffer], dst: &[Buffer], line_bytes: u64) -> Option<OffsetMap> {
+        if src.len() != dst.len() {
+            return None;
+        }
+        let mut spans: Vec<RoleSpan> = Vec::with_capacity(src.len());
+        for (s, d) in src.iter().zip(dst) {
+            if s.len != d.len {
+                return None;
+            }
+            if s.len == 0 {
+                continue;
+            }
+            let delta = i64::try_from(d.addr as i128 - s.addr as i128).ok()?;
+            if delta % 4 != 0 || delta % line_bytes as i64 != 0 {
+                return None;
+            }
+            spans.push(RoleSpan {
+                src_word0: s.addr >> 2,
+                src_word_end: (s.addr + s.len + 3) >> 2,
+                word_delta: delta / 4,
+                src_line0: s.addr / line_bytes,
+                src_line_end: (s.addr + s.len - 1) / line_bytes + 1,
+                line_delta: delta / line_bytes as i64,
+            });
+        }
+        spans.sort_unstable_by_key(|sp| sp.src_word0);
+        // Spans must be disjoint on both sides, at both granularities.
+        let disjoint = |starts_ends: &mut dyn Iterator<Item = (u64, u64)>| -> bool {
+            let mut sorted: Vec<(u64, u64)> = starts_ends.collect();
+            sorted.sort_unstable();
+            sorted.windows(2).all(|w| w[0].1 <= w[1].0)
+        };
+        let ok = disjoint(&mut spans.iter().map(|sp| (sp.src_word0, sp.src_word_end)))
+            && disjoint(&mut spans.iter().map(|sp| (sp.src_line0, sp.src_line_end)))
+            && disjoint(&mut spans.iter().map(|sp| {
+                let d = sp.word_delta;
+                (sp.src_word0.wrapping_add_signed(d), sp.src_word_end.wrapping_add_signed(d))
+            }))
+            && disjoint(&mut spans.iter().map(|sp| {
+                let d = sp.line_delta;
+                (sp.src_line0.wrapping_add_signed(d), sp.src_line_end.wrapping_add_signed(d))
+            }));
+        if !ok {
+            return None;
+        }
+        Some(OffsetMap { spans })
+    }
+
+    /// Translates a sorted word-address set, re-sorting per-role segments
+    /// into target order. `None` if any word lies outside all role spans.
+    fn map_words(&self, words: &[u64]) -> Option<Vec<u64>> {
+        let mut segments: Vec<(u64, std::ops::Range<usize>, i64)> = Vec::new();
+        let mut covered = 0usize;
+        for sp in &self.spans {
+            let lo = words.partition_point(|&w| w < sp.src_word0);
+            let hi = words.partition_point(|&w| w < sp.src_word_end);
+            if lo == hi {
+                continue;
+            }
+            covered += hi - lo;
+            segments.push((words[lo].wrapping_add_signed(sp.word_delta), lo..hi, sp.word_delta));
+        }
+        if covered != words.len() {
+            return None;
+        }
+        // Target role spans are disjoint, so ordering segments by their
+        // first translated word yields a fully sorted result.
+        segments.sort_unstable_by_key(|&(first, ..)| first);
+        let mut out = Vec::with_capacity(words.len());
+        for (_, range, delta) in segments {
+            out.extend(words[range].iter().map(|&w| w.wrapping_add_signed(delta)));
+        }
+        Some(out)
+    }
+
+    /// Translates a line footprint, splitting runs at role boundaries and
+    /// re-merging runs that become adjacent after the shift.
+    fn map_lines(&self, lines: &LineSet) -> Option<LineSet> {
+        let mut out_runs: Vec<(u64, u64)> = Vec::new();
+        for &(start, len) in lines.runs() {
+            let mut cur = start;
+            let end = start + len;
+            while cur < end {
+                let idx = self.spans.partition_point(|sp| sp.src_line_end <= cur);
+                let sp = self.spans.get(idx)?;
+                if cur < sp.src_line0 {
+                    return None;
+                }
+                let take_end = end.min(sp.src_line_end);
+                out_runs.push((cur.wrapping_add_signed(sp.line_delta), take_end - cur));
+                cur = take_end;
+            }
+        }
+        out_runs.sort_unstable();
+        Some(LineSet::from_runs(out_runs))
+    }
+
+    /// Line delta of the role containing `line`, with a one-entry cache
+    /// (consecutive transactions usually stay within a role).
+    fn line_delta(&self, line: u64, cache: &mut usize) -> Option<i64> {
+        if let Some(sp) = self.spans.get(*cache) {
+            if line >= sp.src_line0 && line < sp.src_line_end {
+                return Some(sp.line_delta);
+            }
+        }
+        let idx = self.spans.partition_point(|sp| sp.src_line_end <= line);
+        let sp = self.spans.get(idx)?;
+        if line < sp.src_line0 {
+            return None;
+        }
+        *cache = idx;
+        Some(sp.line_delta)
+    }
 }
 
 /// The uncoalesced trace of one finished block: warp transactions are
@@ -211,6 +409,7 @@ impl TraceRecorder {
     /// # Panics
     ///
     /// Panics if no block is active or `tid` is out of range.
+    #[inline]
     pub fn record(&mut self, tid: u32, addr: u64, width: u8, kind: AccessKind) {
         if !self.enabled {
             return;
@@ -220,6 +419,7 @@ impl TraceRecorder {
     }
 
     /// Records `cycles` of compute work for thread `tid`.
+    #[inline]
     pub fn record_compute(&mut self, tid: u32, cycles: u64) {
         if !self.enabled {
             return;
@@ -256,6 +456,10 @@ impl TraceRecorder {
         let mut write_words = Vec::new();
         let mut lines = Vec::new();
         let mut warps = Vec::new();
+        // Scratch for the per-instruction coalescing loop, reused across
+        // instructions and warps.
+        let mut reads: Vec<u64> = Vec::new();
+        let mut writes: Vec<u64> = Vec::new();
 
         for warp_threads in self.threads.chunks(WARP_SIZE as usize) {
             let mut txns: Vec<Txn> = Vec::new();
@@ -263,8 +467,8 @@ impl TraceRecorder {
             for k in 0..max_len {
                 // The k-th memory instruction of this warp: coalesce the
                 // participating threads' addresses into line transactions.
-                let mut reads: Vec<u64> = Vec::new();
-                let mut writes: Vec<u64> = Vec::new();
+                reads.clear();
+                writes.clear();
                 for t in warp_threads {
                     let Some(a) = t.get(k) else { continue };
                     let first = a.addr / self.line_bytes;
@@ -294,8 +498,8 @@ impl TraceRecorder {
                 }
                 txns.extend(reads.iter().map(|&line| Txn::new(line, false)));
                 txns.extend(writes.iter().map(|&line| Txn::new(line, true)));
-                lines.extend(reads);
-                lines.extend(writes);
+                lines.extend_from_slice(&reads);
+                lines.extend_from_slice(&writes);
             }
             warps.push(WarpWork { txns, compute_cycles: 0 });
         }
@@ -358,36 +562,42 @@ impl<'a> ExecCtx<'a> {
     }
 
     /// Loads the `f32` element `idx` of `buf` as thread `tid`.
+    #[inline]
     pub fn ld_f32(&mut self, buf: Buffer, idx: u64, tid: u32) -> f32 {
         self.rec.record(tid, buf.f32_addr(idx), 4, AccessKind::Load);
         self.mem.read_f32(buf, idx)
     }
 
     /// Stores `v` to the `f32` element `idx` of `buf` as thread `tid`.
+    #[inline]
     pub fn st_f32(&mut self, buf: Buffer, idx: u64, v: f32, tid: u32) {
         self.rec.record(tid, buf.f32_addr(idx), 4, AccessKind::Store);
         self.mem.write_f32(buf, idx, v);
     }
 
     /// Loads byte `idx` of `buf` as thread `tid`.
+    #[inline]
     pub fn ld_u8(&mut self, buf: Buffer, idx: u64, tid: u32) -> u8 {
         self.rec.record(tid, buf.addr_of(idx), 1, AccessKind::Load);
         self.mem.read_u8(buf, idx)
     }
 
     /// Stores byte `idx` of `buf` as thread `tid`.
+    #[inline]
     pub fn st_u8(&mut self, buf: Buffer, idx: u64, v: u8, tid: u32) {
         self.rec.record(tid, buf.addr_of(idx), 1, AccessKind::Store);
         self.mem.write_u8(buf, idx, v);
     }
 
     /// Loads the `u32` element `idx` of `buf` as thread `tid`.
+    #[inline]
     pub fn ld_u32(&mut self, buf: Buffer, idx: u64, tid: u32) -> u32 {
         self.rec.record(tid, buf.addr_of(idx * 4), 4, AccessKind::Load);
         self.mem.read_u32(buf, idx)
     }
 
     /// Stores the `u32` element `idx` of `buf` as thread `tid`.
+    #[inline]
     pub fn st_u32(&mut self, buf: Buffer, idx: u64, v: u32, tid: u32) {
         self.rec.record(tid, buf.addr_of(idx * 4), 4, AccessKind::Store);
         self.mem.write_u32(buf, idx, v);
@@ -404,6 +614,7 @@ impl<'a> ExecCtx<'a> {
 
     /// Records `cycles` of compute work for thread `tid` (ALU instructions
     /// between memory operations).
+    #[inline]
     pub fn compute(&mut self, tid: u32, cycles: u64) {
         self.rec.record_compute(tid, cycles);
     }
@@ -599,6 +810,86 @@ mod tests {
         for (i, t) in serial.iter().enumerate() {
             assert_eq!(*t, raws[i].clone().coalesce(), "index {i}");
         }
+    }
+
+    /// Records the canonical two-role pattern (strided loads from `src`,
+    /// dense stores to `dst`) used by the rebase tests.
+    fn two_role_block(mem: &mut DeviceMemory, src: Buffer, dst: Buffer) -> BlockTrace {
+        record_block(mem, 64, |ctx| {
+            for tid in 0..64u32 {
+                let v = ctx.ld_f32(src, (tid as u64 * 3) % 64, tid);
+                ctx.st_f32(dst, tid as u64, v, tid);
+                ctx.compute(tid, 7);
+            }
+        })
+    }
+
+    #[test]
+    fn rebase_matches_direct_recording() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(64, "a");
+        let b = mem.alloc_f32(64, "b");
+        let c = mem.alloc_f32(64, "c");
+        let d = mem.alloc_f32(64, "d");
+        let traced = two_role_block(&mut mem, a, b);
+        let map = OffsetMap::between(&[a, b], &[c, d], 128).expect("compatible roles");
+        let rebased = traced.rebase(&map).expect("in-map trace");
+        assert_eq!(rebased, two_role_block(&mut mem, c, d));
+    }
+
+    #[test]
+    fn rebase_reorders_roles_into_canonical_order() {
+        // Map [a, b] onto [d, c]: the load role moves *above* the store role
+        // in the target address space, so word segments must be re-sorted.
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(64, "a");
+        let b = mem.alloc_f32(64, "b");
+        let c = mem.alloc_f32(64, "c");
+        let d = mem.alloc_f32(64, "d");
+        let traced = two_role_block(&mut mem, a, b);
+        let map = OffsetMap::between(&[a, b], &[d, c], 128).expect("compatible roles");
+        let rebased = traced.rebase(&map).expect("in-map trace");
+        assert_eq!(rebased, two_role_block(&mut mem, d, c));
+    }
+
+    #[test]
+    fn rebase_round_trips() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(64, "a");
+        let b = mem.alloc_f32(64, "b");
+        let c = mem.alloc_f32(64, "c");
+        let d = mem.alloc_f32(64, "d");
+        let traced = two_role_block(&mut mem, a, b);
+        let there = OffsetMap::between(&[a, b], &[c, d], 128).expect("map");
+        let back = OffsetMap::between(&[c, d], &[a, b], 128).expect("map");
+        let round = traced.rebase(&there).expect("fwd").rebase(&back).expect("back");
+        assert_eq!(round, traced);
+    }
+
+    #[test]
+    fn rebase_fails_outside_role_spans() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(64, "a");
+        let b = mem.alloc_f32(64, "b");
+        let c = mem.alloc_f32(64, "c");
+        let traced = two_role_block(&mut mem, a, b);
+        // Map only covers role `a`; the stores to `b` have nowhere to go.
+        let map = OffsetMap::between(&[a], &[c], 128).expect("map");
+        assert!(traced.rebase(&map).is_none());
+    }
+
+    #[test]
+    fn offset_map_rejects_incompatible_roles() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(64, "a");
+        let b = mem.alloc_f32(64, "b");
+        let small = mem.alloc_f32(8, "small");
+        assert!(OffsetMap::between(&[a], &[a, b], 128).is_none(), "role count mismatch");
+        assert!(OffsetMap::between(&[a], &[small], 128).is_none(), "length mismatch");
+        assert!(
+            OffsetMap::between(&[a, b], &[b, b], 128).is_none(),
+            "aliased target roles overlap"
+        );
     }
 
     #[test]

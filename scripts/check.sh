@@ -74,27 +74,42 @@ echo "== chaos suite (fixed seed) =="
 # here reproduces byte-for-byte.
 KTILER_CHAOS_SEED=20260806 cargo test -p ktiler-svc --test chaos_service -q "${OFFLINE[@]}"
 
+echo "== analyzer equivalence (paper-scale, release) =="
+# The fast analyzer (structural trace reuse + analytical affine footprints)
+# must be byte-identical to the full-trace reference on the 512²/30-iter
+# workload the acceptance bar names, for serial and multi-threaded builds.
+cargo test --release -p bench --test analyzer_equivalence "${OFFLINE[@]}" -- --ignored
+
 echo "== bench_scheduler smoke test =="
-# One-sample run on a small workload: the JSON must carry all three phase
-# timings and both determinism cross-checks must pass (parallel sharded
-# analyzer == serial builder; schedule hash identical on both paths).
+# One-sample run on a small workload: the JSON must carry the phase
+# timings, both determinism cross-checks must pass (parallel sharded
+# analyzer == serial builder; schedule hash identical on both paths), and
+# the fast analyzer must match the full-trace reference while beating it
+# by at least 5x. 192²/10-iter is the smallest scale where structural
+# reuse dominates the fixed per-run costs enough for that margin to be
+# stable; the committed 512² results show ~25x.
 SMOKE_JSON=$(mktemp /tmp/bench_scheduler_smoke.XXXXXX.json)
 SVC_DIR=$(mktemp -d /tmp/ktiler_svc_smoke.XXXXXX)
 trap 'rm -f "$SMOKE_JSON"; rm -rf "$SVC_DIR"; [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
 cargo run --release -p bench --bin bench_scheduler "${OFFLINE[@]}" -- \
-    --size 64 --iters 3 --samples 1 --out "$SMOKE_JSON"
-for key in analyze_ms calibrate_ms ktiler_schedule_ms; do
+    --size 192 --iters 10 --samples 1 --out "$SMOKE_JSON"
+for key in analyze_ms analyze_full_ms calibrate_ms ktiler_schedule_ms cold_request_ms; do
     if ! grep -q "\"$key\"" "$SMOKE_JSON"; then
         echo "error: $key missing from bench_scheduler output" >&2
         exit 1
     fi
 done
-for check in '"analyzer_match": true' '"schedule_hash_match": true'; do
+for check in '"analyze_match": true' '"analyzer_match": true' '"schedule_hash_match": true'; do
     if ! grep -qF "$check" "$SMOKE_JSON"; then
         echo "error: bench_scheduler determinism check failed: expected $check" >&2
         exit 1
     fi
 done
+SPEEDUP=$(awk -F': ' '/"analyze_speedup"/ { gsub(/,/, "", $2); print $2 }' "$SMOKE_JSON")
+if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 5) }'; then
+    echo "error: fast-analyzer speedup regressed: analyze_speedup = ${SPEEDUP:-missing} (< 5)" >&2
+    exit 1
+fi
 
 echo "== ktiler-svc service smoke test =="
 # Full service loop against the release binaries: start the server on an
