@@ -1,0 +1,218 @@
+//! `bench_zoo` — speedup-vs-untiled for the workload zoo, written as JSON
+//! for regression tracking.
+//!
+//! Every application in `zoo::app` (multigrid V-cycle, image pipeline,
+//! tiled-matmul chain) runs through the full KTILER pipeline — block
+//! analysis, calibration, Algorithm 1 + Algorithm 2 — and is then executed
+//! twice on the timing simulator: once in default mode (one launch per
+//! kernel, topological order) and once with the KTILER schedule. The
+//! report carries the speedup of tiled over untiled alongside two
+//! correctness gates per workload:
+//!
+//! * `verify_ok` — the independent verifier found zero coverage or
+//!   dependency violations in the tiled schedule, and
+//! * `outputs_match` — functionally replaying the tiled schedule on a
+//!   freshly built application reproduces the untiled memory image
+//!   bit-for-bit.
+//!
+//! The multigrid and image-pipeline working sets exceed the 2 MiB L2 at
+//! full scale, so Algorithm 2 splits kernels and the tiled schedule wins;
+//! the matmul chain is the compute-bound negative control — its operands
+//! fit in cache and KTILER must merge without slowing it down.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_zoo [--small] [--out FILE]
+//! ```
+//!
+//! `--small` shrinks every workload to smoke-test scale (used by
+//! `scripts/check.sh`); the default output path is
+//! `results/BENCH_zoo.json`.
+
+use gpu_sim::{FreqConfig, GpuConfig};
+use ktiler::{
+    calibrate, execute_schedule, ktiler_schedule, verify_schedule, CalibrationConfig, KtilerConfig,
+    Schedule, TileParams,
+};
+use zoo::{memory_image, run_schedule_functionally, ZooApp};
+
+/// One zoo workload: a name-stable builder invoked twice (timed run +
+/// differential replay), so both builds see identical graphs and payloads.
+struct Entry {
+    build: fn(bool) -> ZooApp,
+}
+
+fn workloads() -> Vec<Entry> {
+    vec![
+        Entry {
+            build: |small| {
+                if small {
+                    zoo::build_multigrid(32, 2)
+                } else {
+                    zoo::build_multigrid(512, 2)
+                }
+            },
+        },
+        Entry {
+            build: |small| {
+                if small {
+                    zoo::build_image_pipeline(64, 48, 2)
+                } else {
+                    zoo::build_image_pipeline(512, 512, 3)
+                }
+            },
+        },
+        Entry {
+            build: |small| {
+                if small {
+                    zoo::build_matmul_chain(24, 3)
+                } else {
+                    zoo::build_matmul_chain(256, 4)
+                }
+            },
+        },
+    ]
+}
+
+struct Row {
+    name: String,
+    nodes: usize,
+    block_dep_edges: usize,
+    launches: usize,
+    tiled_launches: usize,
+    merges_accepted: usize,
+    default_ms: f64,
+    ktiler_ms: f64,
+    speedup: f64,
+    verify_ok: bool,
+    outputs_match: bool,
+}
+
+fn run_workload(entry: &Entry, small: bool) -> Row {
+    let cfg = GpuConfig::gtx960m();
+    let freq = FreqConfig::default();
+
+    let mut app = (entry.build)(small);
+    let gt = kgraph::analyze(&app.graph, &mut app.mem, cfg.cache.line_bytes)
+        .expect("zoo graphs are DAGs");
+    let untiled_image = memory_image(&app.mem);
+
+    let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
+    let kcfg = KtilerConfig {
+        weight_threshold_ns: 1_000.0,
+        tile: TileParams::paper(cfg.cache.capacity_bytes, cfg.cache.line_bytes, 0.0),
+    };
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg)
+        .expect("zoo workloads are non-empty and freshly calibrated");
+    out.schedule
+        .validate(&app.graph, &gt.deps)
+        .expect("KTILER schedules are dependency-valid by construction");
+    let report = verify_schedule(&out.schedule, &app.graph, &gt, &kcfg.tile);
+    let verify_ok = report.num_errors() == 0 && !report.truncated();
+
+    let default =
+        execute_schedule(&Schedule::default_order(&app.graph), &app.graph, &gt, &cfg, freq, None)
+            .expect("default-order schedules launch in-trace blocks only");
+    let tiled = execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, None)
+        .expect("KTILER schedules launch in-trace blocks only");
+
+    // Differential replay: the tiled schedule on a fresh build must
+    // reproduce the untiled memory image bit-for-bit.
+    let mut fresh = (entry.build)(small);
+    run_schedule_functionally(&out.schedule, &fresh.graph, &mut fresh.mem);
+    let outputs_match = memory_image(&fresh.mem) == untiled_image;
+
+    Row {
+        name: app.name.clone(),
+        nodes: app.graph.num_nodes(),
+        block_dep_edges: gt.deps.num_edges(),
+        launches: out.schedule.num_launches(),
+        tiled_launches: out.schedule.num_tiled_launches(&app.graph),
+        merges_accepted: out.report.merges_accepted,
+        default_ms: default.total_ns / 1e6,
+        ktiler_ms: tiled.total_ns / 1e6,
+        speedup: default.total_ns / tiled.total_ns,
+        verify_ok,
+        outputs_match,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/BENCH_zoo.json".to_string());
+
+    println!("== workload zoo: KTILER speedup vs untiled ==");
+    println!(
+        "{:<24} {:>6} {:>8} {:>8} {:>6} {:>10} {:>10} {:>8}  {:>6} {:>7}",
+        "workload",
+        "nodes",
+        "launches",
+        "tiled",
+        "merges",
+        "default",
+        "ktiler",
+        "speedup",
+        "verify",
+        "outputs"
+    );
+
+    let mut rows = Vec::new();
+    for entry in workloads() {
+        let r = run_workload(&entry, small);
+        println!(
+            "{:<24} {:>6} {:>8} {:>8} {:>6} {:>8}ms {:>8}ms {:>7.2}x  {:>6} {:>7}",
+            r.name,
+            r.nodes,
+            r.launches,
+            r.tiled_launches,
+            r.merges_accepted,
+            bench::ms(r.default_ms * 1e6),
+            bench::ms(r.ktiler_ms * 1e6),
+            r.speedup,
+            r.verify_ok,
+            r.outputs_match,
+        );
+        rows.push(r);
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"small\": {small},\n"));
+    json.push_str("  \"workloads\": [\n");
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"name\": \"{}\",\n      \"nodes\": {},\n      \"block_dep_edges\": {},\n      \"launches\": {},\n      \"tiled_launches\": {},\n      \"merges_accepted\": {},\n      \"default_ms\": {:.3},\n      \"ktiler_ms\": {:.3},\n      \"speedup\": {:.3},\n      \"verify_ok\": {},\n      \"outputs_match\": {}\n    }}",
+                r.name,
+                r.nodes,
+                r.block_dep_edges,
+                r.launches,
+                r.tiled_launches,
+                r.merges_accepted,
+                r.default_ms,
+                r.ktiler_ms,
+                r.speedup,
+                r.verify_ok,
+                r.outputs_match
+            )
+        })
+        .collect();
+    json.push_str(&items.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+
+    let bad: Vec<&str> =
+        rows.iter().filter(|r| !r.verify_ok || !r.outputs_match).map(|r| r.name.as_str()).collect();
+    assert!(bad.is_empty(), "correctness gate failed for: {}", bad.join(", "));
+}

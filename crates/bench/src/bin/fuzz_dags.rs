@@ -1,0 +1,101 @@
+//! `fuzz_dags` — drive seeded random DAGs through the full differential
+//! pipeline (see `zoo::fuzz`).
+//!
+//! ```text
+//! fuzz_dags [--seed0 S] [--count N] [--workers W] [--verbose]
+//! ```
+//!
+//! Runs seeds `S..S+N`, reports every divergence found, and exits
+//! non-zero if any case failed. Each case is a pure function of its
+//! seed, so a reported seed reproduces standalone:
+//! `fuzz_dags --seed0 <seed> --count 1`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Parses a seed in decimal or `0x`-prefixed hex — divergences are
+/// reported in hex, so the printed seed pastes back verbatim.
+fn parse_seed(v: &str) -> Option<u64> {
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
+}
+
+fn main() {
+    let seed0: u64 = arg_value("--seed0")
+        .map(|v| parse_seed(&v).unwrap_or_else(|| panic!("bad --seed0 {v}")))
+        .unwrap_or(0);
+    let count: u64 = arg_value("--count").and_then(|v| v.parse().ok()).unwrap_or(200);
+    let default_workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let workers: usize =
+        arg_value("--workers").and_then(|v| v.parse().ok()).unwrap_or(default_workers).max(1);
+    let verbose = has_flag("--verbose");
+
+    let next = AtomicU64::new(seed0);
+    let end = seed0 + count;
+    let divergences: Mutex<Vec<zoo::Divergence>> = Mutex::new(Vec::new());
+    let totals: Mutex<(u64, usize, usize, usize, usize, usize)> = Mutex::new((0, 0, 0, 0, 0, 0));
+
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let seed = next.fetch_add(1, Ordering::Relaxed);
+                if seed >= end {
+                    break;
+                }
+                match zoo::run_case(seed) {
+                    Ok(stats) => {
+                        let mut t = totals.lock().unwrap();
+                        t.0 += 1;
+                        t.1 += stats.nodes;
+                        t.2 += stats.launches;
+                        t.3 += stats.merges_accepted;
+                        t.4 += stats.tiled_launches;
+                        t.5 += stats.forced_tiled_launches;
+                        if verbose {
+                            println!(
+                                "seed {seed:#x}: ok — {} nodes, {} launches ({} tiled, \
+                                 {} forced-tiled), {} merges",
+                                stats.nodes,
+                                stats.launches,
+                                stats.tiled_launches,
+                                stats.forced_tiled_launches,
+                                stats.merges_accepted
+                            );
+                        }
+                    }
+                    Err(d) => {
+                        eprintln!("DIVERGENCE: {d}");
+                        divergences.lock().unwrap().push(d);
+                    }
+                }
+            });
+        }
+    });
+
+    let (clean, nodes, launches, merges, tiled, forced) = *totals.lock().unwrap();
+    let found = divergences.lock().unwrap();
+    println!(
+        "{{\"seed0\": {seed0}, \"count\": {count}, \"clean\": {clean}, \"divergences\": {}, \
+         \"nodes\": {nodes}, \"launches\": {launches}, \"tiled_launches\": {tiled}, \
+         \"forced_tiled_launches\": {forced}, \"merges_accepted\": {merges}, \
+         \"elapsed_s\": {:.1}}}",
+        found.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    for d in found.iter() {
+        println!("fail: {d}");
+    }
+    std::process::exit(i32::from(!found.is_empty()));
+}

@@ -107,12 +107,15 @@ fn main() {
         };
         println!(
             "{{\n  \"schedule\": \"{}\",\n  \"launches\": {},\n  \"errors\": {},\n  \
-             \"warnings\": {},\n  \"suppressed\": {},\n  \"clean\": {},\n  \"violations\": {}\n}}",
+             \"warnings\": {},\n  \"suppressed\": {},\n  \"suppressed_errors\": {},\n  \
+             \"truncated\": {},\n  \"clean\": {},\n  \"violations\": {}\n}}",
             json_escape(&path),
             sched.num_launches(),
             report.num_errors(),
             report.num_warnings(),
             report.suppressed,
+            report.suppressed_errors,
+            report.truncated(),
             report.is_clean(),
             violations
         );
@@ -124,8 +127,11 @@ fn main() {
             };
             println!("{tag}: {v}");
         }
-        if report.suppressed > 0 {
-            println!("note: {} further violation(s) suppressed", report.suppressed);
+        if report.truncated() {
+            println!(
+                "note: report truncated — {} further violation(s) suppressed ({} errors)",
+                report.suppressed, report.suppressed_errors
+            );
         }
         println!(
             "{path}: {} launches, {} error(s), {} warning(s)",

@@ -1,15 +1,21 @@
 //! The fast analyzer (structural trace reuse + analytical affine
 //! footprints) must be indistinguishable from the full-trace reference:
 //! same node order, byte-identical per-block traces, identical dependency
-//! CSR. These tests prove it on the HSOpticalFlow workload for serial and
-//! multi-threaded host-side builds.
+//! CSR. These tests prove it on the HSOpticalFlow workload **and on every
+//! workload in the zoo** (multigrid V-cycle, image pipeline, tiled-matmul
+//! chain), for serial and multi-threaded host-side builds — the zoo DAGs
+//! exercise structural shapes (deep restriction chains, aliased frame
+//! buffers, ping-pong matmul operands) the optical-flow pyramid never
+//! produces.
 //!
-//! The small-scale test runs in the normal suite; the 512²/30-iter/3-level
-//! workload from the paper replication is `#[ignore]`d (tens of seconds in
-//! release, minutes in debug) and exercised by `scripts/check.sh`.
+//! The small-scale tests run in the normal suite; the 512²/30-iter/3-level
+//! optical-flow workload from the paper replication and the mid-scale zoo
+//! sweep are `#[ignore]`d (tens of seconds in release, minutes in debug)
+//! and exercised by `scripts/check.sh`.
 
 use bench::{build_workload_app, Scale};
 use kgraph::GraphTrace;
+use zoo::ZooApp;
 
 /// The GTX 960M cache-line size used by the paper replication.
 fn line_bytes() -> u64 {
@@ -28,32 +34,64 @@ fn assert_equivalent(a: &GraphTrace, b: &GraphTrace, label: &str) {
     assert_eq!(a.deps, b.deps, "{label}: dependency graphs differ");
 }
 
-fn check_all_paths(scale: Scale) {
-    let mut app = build_workload_app(scale);
-    let reference = kgraph::analyze_reference_with(&app.graph, &mut app.mem, line_bytes(), 1)
-        .expect("optical-flow graph is a DAG");
+/// Runs every analyzer entry point (fast, full, reference; serial and
+/// 4-thread) on fresh builds of the same application and requires all of
+/// them to be equivalent. Builders must be deterministic — each analysis
+/// executes the graph and mutates device memory, so every path gets its
+/// own build.
+fn check_builds<F: Fn() -> (kgraph::AppGraph, gpu_sim::DeviceMemory)>(build: F, label: &str) {
+    let (graph, mut mem) = build();
+    let reference = kgraph::analyze_reference_with(&graph, &mut mem, line_bytes(), 1)
+        .expect("workload graphs are DAGs");
 
     for threads in [1, 4] {
-        let mut app = build_workload_app(scale);
-        let fast = kgraph::analyze_fast_with(&app.graph, &mut app.mem, line_bytes(), threads)
-            .expect("optical-flow graph is a DAG");
-        assert_equivalent(&fast, &reference, &format!("analyze_fast, {threads} threads"));
+        let (graph, mut mem) = build();
+        let fast = kgraph::analyze_fast_with(&graph, &mut mem, line_bytes(), threads)
+            .expect("workload graphs are DAGs");
+        assert_equivalent(&fast, &reference, &format!("{label}: analyze_fast, {threads} threads"));
 
-        let mut app = build_workload_app(scale);
-        let full = kgraph::analyze_with(&app.graph, &mut app.mem, line_bytes(), threads)
-            .expect("optical-flow graph is a DAG");
-        assert_equivalent(&full, &reference, &format!("analyze, {threads} threads"));
+        let (graph, mut mem) = build();
+        let full = kgraph::analyze_with(&graph, &mut mem, line_bytes(), threads)
+            .expect("workload graphs are DAGs");
+        assert_equivalent(&full, &reference, &format!("{label}: analyze, {threads} threads"));
     }
 
-    let mut app = build_workload_app(scale);
-    let reference4 = kgraph::analyze_reference_with(&app.graph, &mut app.mem, line_bytes(), 4)
-        .expect("optical-flow graph is a DAG");
-    assert_equivalent(&reference4, &reference, "reference, 4 threads");
+    let (graph, mut mem) = build();
+    let reference4 = kgraph::analyze_reference_with(&graph, &mut mem, line_bytes(), 4)
+        .expect("workload graphs are DAGs");
+    assert_equivalent(&reference4, &reference, &format!("{label}: reference, 4 threads"));
+}
+
+fn check_all_paths(scale: Scale) {
+    check_builds(
+        || {
+            let app = build_workload_app(scale);
+            (app.graph, app.mem)
+        },
+        "hsoptflow",
+    );
+}
+
+fn check_zoo(build: fn() -> ZooApp, label: &str) {
+    check_builds(
+        || {
+            let app = build();
+            (app.graph, app.mem)
+        },
+        label,
+    );
 }
 
 #[test]
 fn fast_analyzer_matches_reference_small() {
     check_all_paths(Scale { size: 128, iters: 4, levels: 3 });
+}
+
+#[test]
+fn fast_analyzer_matches_reference_zoo_small() {
+    check_zoo(|| zoo::build_multigrid(32, 2), "multigrid 32x32x2");
+    check_zoo(|| zoo::build_image_pipeline(64, 48, 2), "image_pipeline 64x48x2");
+    check_zoo(|| zoo::build_matmul_chain(24, 3), "matmul_chain 24x24x3");
 }
 
 /// The acceptance-bar workload: 512², 30 Jacobi iterations, 3 pyramid
@@ -62,4 +100,15 @@ fn fast_analyzer_matches_reference_small() {
 #[ignore = "tens of seconds in release; exercised by scripts/check.sh"]
 fn fast_analyzer_matches_reference_paper_scale() {
     check_all_paths(Scale::default());
+}
+
+/// Mid-scale zoo sweep: large enough that structural trace reuse and the
+/// affine fallback conditions are all exercised, small enough to keep the
+/// `--ignored` gate fast. Run with `cargo test --release -p bench -- --ignored`.
+#[test]
+#[ignore = "seconds in release, minutes in debug; exercised by scripts/check.sh"]
+fn fast_analyzer_matches_reference_zoo_mid_scale() {
+    check_zoo(|| zoo::build_multigrid(128, 4), "multigrid 128x128x4");
+    check_zoo(|| zoo::build_image_pipeline(256, 192, 3), "image_pipeline 256x192x3");
+    check_zoo(|| zoo::build_matmul_chain(96, 4), "matmul_chain 96x96x4");
 }

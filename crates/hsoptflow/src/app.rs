@@ -14,9 +14,9 @@
 //! buffer pairs, so the 2·N JI instances per level share only three trace
 //! signatures — this is what keeps analyzing a thousand-kernel graph cheap.
 
-use gpu_sim::{Buffer, BufferId, DeviceMemory};
+use gpu_sim::{Buffer, DeviceMemory};
 use kernels::image::{AddField, Derivatives, Downscale, JacobiIter, Upscale, WarpImage};
-use kgraph::{AppGraph, NodeId};
+use kgraph::{AppGraph, GraphBuilder, NodeId};
 use std::collections::HashMap;
 
 use crate::frames::Frame;
@@ -42,40 +42,16 @@ pub struct OptFlowApp {
     pub params: HsParams,
 }
 
-/// Tracks the last writer of every buffer so data-dependency edges can be
-/// added mechanically.
+/// A [`GraphBuilder`] wrapper that also tags every node with its pipeline
+/// role; all hazard-edge bookkeeping lives in the shared builder.
 struct Builder {
-    graph: AppGraph,
-    producer: HashMap<BufferId, NodeId>,
-    /// Nodes that read each buffer since its last write: a new write is
-    /// ordered after them (write-after-read) and after the previous writer
-    /// (write-after-write). The RAW-only dependency model would otherwise
-    /// allow a topological execution to overwrite a reused buffer early.
-    readers: HashMap<BufferId, Vec<NodeId>>,
+    gb: GraphBuilder,
     roles: HashMap<NodeId, &'static str>,
 }
 
 impl Builder {
     fn new() -> Self {
-        Builder {
-            graph: AppGraph::new(),
-            producer: HashMap::new(),
-            readers: HashMap::new(),
-            roles: HashMap::new(),
-        }
-    }
-
-    fn order_write_after_hazards(&mut self, id: NodeId, w: &Buffer) {
-        for r in self.readers.remove(&w.id).unwrap_or_default() {
-            if r != id {
-                self.graph.add_edge(r, id, *w);
-            }
-        }
-        if let Some(&prev) = self.producer.get(&w.id) {
-            if prev != id {
-                self.graph.add_edge(prev, id, *w);
-            }
-        }
+        Builder { gb: GraphBuilder::new(), roles: HashMap::new() }
     }
 
     fn add_kernel(
@@ -85,37 +61,25 @@ impl Builder {
         reads: &[Buffer],
         writes: &[Buffer],
     ) -> NodeId {
-        let id = self.graph.add_kernel(kernel);
-        for r in reads {
-            if let Some(&p) = self.producer.get(&r.id) {
-                self.graph.add_edge(p, id, *r);
-            }
-            self.readers.entry(r.id).or_default().push(id);
-        }
-        for w in writes {
-            self.order_write_after_hazards(id, w);
-            self.producer.insert(w.id, id);
-        }
+        let id = self.gb.kernel(kernel, reads, writes);
         self.roles.insert(id, role);
         id
     }
 
     fn add_htod(&mut self, role: &'static str, buf: Buffer, data: Vec<u8>) -> NodeId {
-        let id = self.graph.add_htod(buf, data);
-        self.order_write_after_hazards(id, &buf);
-        self.producer.insert(buf.id, id);
+        let id = self.gb.upload(buf, data);
         self.roles.insert(id, role);
         id
     }
 
     fn add_dtoh(&mut self, role: &'static str, buf: Buffer) -> NodeId {
-        let id = self.graph.add_dtoh(buf);
-        if let Some(&p) = self.producer.get(&buf.id) {
-            self.graph.add_edge(p, id, buf);
-        }
-        self.readers.entry(buf.id).or_default().push(id);
+        let id = self.gb.download(buf);
         self.roles.insert(id, role);
         id
+    }
+
+    fn finish(self) -> (AppGraph, HashMap<NodeId, &'static str>) {
+        (self.gb.finish(), self.roles)
     }
 }
 
@@ -266,15 +230,8 @@ pub fn build_app(frame0: &Frame, frame1: &Frame, p: &HsParams) -> OptFlowApp {
     b.add_dtoh("DtH", u[finest]);
     b.add_dtoh("DtH", v[finest]);
 
-    OptFlowApp {
-        graph: b.graph,
-        mem,
-        u_out: u[finest],
-        v_out: v[finest],
-        ji_nodes,
-        roles: b.roles,
-        params: *p,
-    }
+    let (graph, roles) = b.finish();
+    OptFlowApp { graph, mem, u_out: u[finest], v_out: v[finest], ji_nodes, roles, params: *p }
 }
 
 /// A built multi-frame (video) optical-flow application: flow is computed
@@ -353,7 +310,8 @@ pub fn build_video_app(frames: &[Frame], p: &HsParams) -> VideoFlowApp {
         flows.push((u[finest], v[finest]));
     }
 
-    VideoFlowApp { graph: b.graph, mem, flows, ji_nodes, roles: b.roles }
+    let (graph, roles) = b.finish();
+    VideoFlowApp { graph, mem, flows, ji_nodes, roles }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ mod derivs;
 mod gray;
 mod jacobi;
 mod scale;
+mod threshold;
 mod warp;
 
 pub use add::AddField;
@@ -14,4 +15,5 @@ pub use derivs::Derivatives;
 pub use gray::Grayscale;
 pub use jacobi::JacobiIter;
 pub use scale::{Downscale, Upscale};
+pub use threshold::GradThreshold;
 pub use warp::WarpImage;

@@ -1,0 +1,174 @@
+//! Gradient-magnitude thresholding — the edge-mask stage of the image
+//! pipeline (blur → gradient → threshold → reduce).
+
+use gpu_sim::{AffineAccess, AffineSummary, AxisMap, BlockIdx, Buffer, LaunchDims};
+use kgraph::{Kernel, StructuralSig};
+use trace::ExecCtx;
+
+use crate::common::{grid_for, pix, pixel_threads};
+
+/// Writes `1.0` where the gradient magnitude `sqrt(ix² + iy²)` exceeds a
+/// threshold and `0.0` elsewhere.
+///
+/// One thread per pixel: two coalesced loads (`ix`, `iy`) and one store
+/// (`mask`), all at the thread's own pixel. The comparison is done on the
+/// squared magnitude so the kernel stays branch-free and exact.
+#[derive(Debug, Clone)]
+pub struct GradThreshold {
+    /// Horizontal gradient (`w * h` f32).
+    pub ix: Buffer,
+    /// Vertical gradient (`w * h` f32).
+    pub iy: Buffer,
+    /// Output mask (`w * h` f32, values 0.0 or 1.0).
+    pub mask: Buffer,
+    /// Image width in pixels.
+    pub w: u32,
+    /// Image height in pixels.
+    pub h: u32,
+    /// Gradient-magnitude threshold (compared squared).
+    pub thresh: f32,
+}
+
+impl GradThreshold {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer is too small for the image, the threshold is
+    /// not finite, or the mask aliases an input (each thread would then
+    /// overwrite a gradient value other threads' loads observe, making the
+    /// result depend on block execution order).
+    pub fn new(ix: Buffer, iy: Buffer, mask: Buffer, w: u32, h: u32, thresh: f32) -> Self {
+        let n = w as u64 * h as u64;
+        assert!(ix.f32_len() >= n, "ix buffer too small");
+        assert!(iy.f32_len() >= n, "iy buffer too small");
+        assert!(mask.f32_len() >= n, "mask buffer too small");
+        assert!(thresh.is_finite(), "threshold must be finite");
+        assert!(mask.id != ix.id && mask.id != iy.id, "mask must not alias an input");
+        GradThreshold { ix, iy, mask, w, h, thresh }
+    }
+}
+
+impl Kernel for GradThreshold {
+    fn label(&self) -> String {
+        "TH".into()
+    }
+
+    fn dims(&self) -> LaunchDims {
+        grid_for(self.w, self.h)
+    }
+
+    fn execute_block(&self, block: BlockIdx, ctx: &mut ExecCtx<'_>) {
+        let t2 = self.thresh * self.thresh;
+        for (tid, x, y) in pixel_threads(block, self.w, self.h) {
+            let i = pix(x, y, self.w);
+            let gx = ctx.ld_f32(self.ix, i, tid);
+            let gy = ctx.ld_f32(self.iy, i, tid);
+            let m = if gx * gx + gy * gy > t2 { 1.0 } else { 0.0 };
+            ctx.st_f32(self.mask, i, m, tid);
+            ctx.compute(tid, 4);
+        }
+    }
+
+    fn signature(&self) -> Option<String> {
+        Some(format!(
+            "TH:{}x{}:{}:{}:{}:{}",
+            self.w,
+            self.h,
+            self.thresh.to_bits(),
+            self.ix.addr,
+            self.iy.addr,
+            self.mask.addr
+        ))
+    }
+
+    fn structural_signature(&self) -> Option<StructuralSig> {
+        Some(StructuralSig {
+            class: format!("TH:{}x{}:{}", self.w, self.h, self.thresh.to_bits()),
+            roles: vec![self.ix, self.iy, self.mask],
+        })
+    }
+
+    fn affine_summary(&self) -> Option<AffineSummary> {
+        let x = AxisMap::identity(self.w);
+        let y = AxisMap::identity(self.h);
+        Some(AffineSummary {
+            domain: (self.w, self.h),
+            accesses: vec![
+                AffineAccess::load_f32(self.ix, self.w, x, y),
+                AffineAccess::load_f32(self.iy, self.w, x, y),
+                AffineAccess::store_f32(self.mask, self.w, x, y),
+            ],
+            compute_cycles: 4,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceMemory;
+    use trace::TraceRecorder;
+
+    fn run(k: &GradThreshold, mem: &mut DeviceMemory) {
+        let mut rec = TraceRecorder::new(128);
+        for block in k.dims().blocks().collect::<Vec<_>>() {
+            rec.begin_block(k.dims().threads_per_block());
+            let mut ctx = ExecCtx::new(mem, &mut rec);
+            k.execute_block(block, &mut ctx);
+            let _ = rec.finish_block();
+        }
+    }
+
+    #[test]
+    fn thresholds_on_magnitude() {
+        let mut mem = DeviceMemory::new();
+        let ix = mem.alloc_f32(32 * 8, "ix");
+        let iy = mem.alloc_f32(32 * 8, "iy");
+        let mask = mem.alloc_f32(32 * 8, "mask");
+        mem.upload_f32(ix, &vec![0.6; 32 * 8]);
+        mem.upload_f32(iy, &vec![0.8; 32 * 8]); // magnitude 1.0
+        let k = GradThreshold::new(ix, iy, mask, 32, 8, 0.99);
+        run(&k, &mut mem);
+        assert_eq!(mem.read_f32(mask, 0), 1.0);
+        let k2 = GradThreshold::new(ix, iy, mask, 32, 8, 1.0);
+        run(&k2, &mut mem);
+        assert_eq!(mem.read_f32(mask, 17), 0.0, "exactly-at-threshold is below");
+    }
+
+    #[test]
+    fn aliased_inputs_are_allowed_but_aliased_mask_is_not() {
+        let mut mem = DeviceMemory::new();
+        let g = mem.alloc_f32(32 * 8, "g");
+        let mask = mem.alloc_f32(32 * 8, "mask");
+        mem.upload_f32(g, &vec![1.0; 32 * 8]);
+        let k = GradThreshold::new(g, g, mask, 32, 8, 1.2);
+        run(&k, &mut mem);
+        assert_eq!(mem.read_f32(mask, 5), 1.0, "sqrt(2) > 1.2");
+    }
+
+    #[test]
+    fn affine_summary_reproduces_recorded_traces() {
+        let mut mem = DeviceMemory::new();
+        let ix = mem.alloc_f32(50 * 13, "ix");
+        let iy = mem.alloc_f32(50 * 13, "iy");
+        let mask = mem.alloc_f32(50 * 13, "mask");
+        let k = GradThreshold::new(ix, iy, mask, 50, 13, 0.5);
+        crate::common::assert_affine_summary_matches(&k, &mut mem);
+    }
+
+    #[test]
+    fn signature_covers_threshold() {
+        let mut mem = DeviceMemory::new();
+        let ix = mem.alloc_f32(32 * 8, "ix");
+        let iy = mem.alloc_f32(32 * 8, "iy");
+        let mask = mem.alloc_f32(32 * 8, "mask");
+        let k1 = GradThreshold::new(ix, iy, mask, 32, 8, 0.5);
+        let k2 = GradThreshold::new(ix, iy, mask, 32, 8, 0.25);
+        assert_ne!(k1.signature(), k2.signature());
+        assert_ne!(
+            k1.structural_signature().unwrap().class,
+            k2.structural_signature().unwrap().class
+        );
+    }
+}

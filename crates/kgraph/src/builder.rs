@@ -1,0 +1,183 @@
+//! Hazard-tracking construction of [`AppGraph`]s.
+//!
+//! Every application in the workload zoo (optical flow, multigrid, the
+//! image pipeline, the matmul chain, fuzzer-generated DAGs) needs the same
+//! bookkeeping while emitting nodes: remember the last writer of every
+//! buffer so reads gain read-after-write edges, and remember the readers
+//! since that write so a new write is ordered after them (write-after-read)
+//! and after the previous writer (write-after-write). The RAW-only
+//! dependency model would otherwise let a topological execution overwrite
+//! a reused buffer while an earlier consumer still reads it.
+//!
+//! [`GraphBuilder`] centralizes that bookkeeping. App crates wrap it with
+//! their own role/handle tracking; the hazard logic lives in one place.
+
+use crate::graph::{AppGraph, NodeId};
+use crate::kernel::Kernel;
+use gpu_sim::{Buffer, BufferId};
+use std::collections::HashMap;
+
+/// Builds an [`AppGraph`] while tracking write hazards per buffer.
+///
+/// Emission methods declare each node's read and write sets; the builder
+/// adds the corresponding RAW, WAR and WAW edges mechanically.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    graph: AppGraph,
+    /// Last writer of each buffer.
+    producer: HashMap<BufferId, NodeId>,
+    /// Nodes that read each buffer since its last write.
+    readers: HashMap<BufferId, Vec<NodeId>>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The graph built so far (for inspection mid-build).
+    pub fn graph(&self) -> &AppGraph {
+        &self.graph
+    }
+
+    /// The last node that wrote `buf`, if any.
+    pub fn producer_of(&self, buf: BufferId) -> Option<NodeId> {
+        self.producer.get(&buf).copied()
+    }
+
+    fn order_write_after_hazards(&mut self, id: NodeId, w: &Buffer) {
+        for r in self.readers.remove(&w.id).unwrap_or_default() {
+            if r != id {
+                self.graph.add_edge(r, id, *w);
+            }
+        }
+        if let Some(&prev) = self.producer.get(&w.id) {
+            if prev != id {
+                self.graph.add_edge(prev, id, *w);
+            }
+        }
+    }
+
+    fn note_reads(&mut self, id: NodeId, reads: &[Buffer]) {
+        for r in reads {
+            if let Some(&p) = self.producer.get(&r.id) {
+                self.graph.add_edge(p, id, *r);
+            }
+            self.readers.entry(r.id).or_default().push(id);
+        }
+    }
+
+    fn note_writes(&mut self, id: NodeId, writes: &[Buffer]) {
+        for w in writes {
+            self.order_write_after_hazards(id, w);
+            self.producer.insert(w.id, id);
+        }
+    }
+
+    /// Adds a kernel node reading `reads` and writing `writes`.
+    ///
+    /// A buffer appearing in both sets (in-place update) gets a RAW edge
+    /// from its previous producer but no self-edges.
+    pub fn kernel(
+        &mut self,
+        kernel: Box<dyn Kernel>,
+        reads: &[Buffer],
+        writes: &[Buffer],
+    ) -> NodeId {
+        let id = self.graph.add_kernel(kernel);
+        self.note_reads(id, reads);
+        self.note_writes(id, writes);
+        id
+    }
+
+    /// Adds a host→device upload of `data` into `buf`.
+    pub fn upload(&mut self, buf: Buffer, data: Vec<u8>) -> NodeId {
+        let id = self.graph.add_htod(buf, data);
+        self.note_writes(id, &[buf]);
+        id
+    }
+
+    /// Adds a host→device upload of zero bytes covering all of `buf`.
+    pub fn zero_upload(&mut self, buf: Buffer) -> NodeId {
+        let len = buf.len as usize;
+        self.upload(buf, vec![0u8; len])
+    }
+
+    /// Adds a device→host read-back of `buf`.
+    pub fn download(&mut self, buf: Buffer) -> NodeId {
+        let id = self.graph.add_dtoh(buf);
+        self.note_reads(id, &[buf]);
+        id
+    }
+
+    /// Finishes the build and returns the graph.
+    pub fn finish(self) -> AppGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeOp;
+
+    /// A do-nothing kernel over one buffer, good enough for edge tests.
+    #[derive(Debug)]
+    struct Nop;
+    impl Kernel for Nop {
+        fn label(&self) -> String {
+            "NOP".into()
+        }
+        fn dims(&self) -> gpu_sim::LaunchDims {
+            gpu_sim::LaunchDims::new(gpu_sim::Dim3::linear(1), gpu_sim::Dim3::linear(32))
+        }
+        fn execute_block(&self, _b: gpu_sim::BlockIdx, _ctx: &mut trace::ExecCtx<'_>) {}
+    }
+
+    fn buf(mem: &mut gpu_sim::DeviceMemory, tag: &str) -> Buffer {
+        mem.alloc_f32(16, tag)
+    }
+
+    #[test]
+    fn raw_war_waw_edges_are_added() {
+        let mut mem = gpu_sim::DeviceMemory::new();
+        let a = buf(&mut mem, "a");
+        let b = buf(&mut mem, "b");
+        let mut gb = GraphBuilder::new();
+        let w1 = gb.upload(a, vec![0u8; 64]);
+        let r1 = gb.kernel(Box::new(Nop), &[a], &[b]); // RAW on a
+        let w2 = gb.kernel(Box::new(Nop), &[], &[a]); // WAR after r1, WAW after w1
+        let g = gb.finish();
+        let has = |s, d| g.successors(s).any(|(_, t)| t == d);
+        assert!(has(w1, r1), "RAW");
+        assert!(has(r1, w2), "WAR");
+        assert!(has(w1, w2), "WAW");
+    }
+
+    #[test]
+    fn in_place_update_orders_after_previous_producer_only() {
+        let mut mem = gpu_sim::DeviceMemory::new();
+        let a = buf(&mut mem, "a");
+        let mut gb = GraphBuilder::new();
+        let w1 = gb.upload(a, vec![0u8; 64]);
+        let rmw = gb.kernel(Box::new(Nop), &[a], &[a]);
+        let g = gb.finish();
+        assert!(g.successors(w1).any(|(_, t)| t == rmw));
+        assert!(!g.successors(rmw).any(|(_, t)| t == rmw), "no self-edge");
+    }
+
+    #[test]
+    fn download_gets_producer_edge_and_blocks_later_writes() {
+        let mut mem = gpu_sim::DeviceMemory::new();
+        let a = buf(&mut mem, "a");
+        let mut gb = GraphBuilder::new();
+        let w1 = gb.zero_upload(a);
+        let d = gb.download(a);
+        let w2 = gb.kernel(Box::new(Nop), &[], &[a]);
+        let g = gb.finish();
+        assert!(matches!(g.node(d).op, NodeOp::DeviceToHost { .. }));
+        assert!(g.successors(w1).any(|(_, t)| t == d));
+        assert!(g.successors(d).any(|(_, t)| t == w2), "WAR protects the read-back");
+    }
+}

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 mod analyze;
+mod builder;
 mod check;
 mod dag;
 mod dot;
@@ -25,6 +26,7 @@ pub use analyze::{
     analyze, analyze_fast, analyze_fast_with, analyze_reference_with, analyze_with, GraphTrace,
     NodeTrace,
 };
+pub use builder::GraphBuilder;
 pub use check::{check_edges, EdgeCheck};
 pub use dag::{is_connected_subgraph, reachable, topo_order, CycleError};
 pub use dot::{block_deps_to_dot, to_dot};

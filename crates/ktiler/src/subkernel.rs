@@ -106,6 +106,31 @@ pub enum ScheduleError {
         /// How many blocks the node has.
         expected: u32,
     },
+    /// A launch carries no blocks. [`SubKernel::new`] and
+    /// [`SubKernel::try_new`] refuse these, but `Schedule.launches` is a
+    /// public field, so a struct-literal schedule can still smuggle one in.
+    EmptyLaunch {
+        /// Index of the empty launch in the schedule.
+        launch: usize,
+    },
+    /// A launch names a node the application graph does not have.
+    UnknownNode {
+        /// Index of the offending launch.
+        launch: usize,
+        /// The out-of-range node id.
+        node: NodeId,
+    },
+    /// A launch references a block id at or beyond its node's grid size.
+    /// Without this check a phantom block satisfies nothing but also
+    /// trips nothing: coverage only counts ids below the grid size.
+    BlockOutOfRange {
+        /// Index of the offending launch.
+        launch: usize,
+        /// The out-of-range block reference.
+        block: BlockRef,
+        /// The node's actual grid size.
+        num_blocks: u32,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -122,6 +147,17 @@ impl fmt::Display for ScheduleError {
             ScheduleError::MissingBlocks { node, covered, expected } => {
                 write!(f, "node {node} has {covered}/{expected} blocks scheduled")
             }
+            ScheduleError::EmptyLaunch { launch } => {
+                write!(f, "launch {launch} has no blocks")
+            }
+            ScheduleError::UnknownNode { launch, node } => {
+                write!(f, "launch {launch} names unknown node {node}")
+            }
+            ScheduleError::BlockOutOfRange { launch, block, num_blocks } => write!(
+                f,
+                "launch {launch} references block {}/{} but the node has {num_blocks} blocks",
+                block.node, block.block
+            ),
         }
     }
 }
@@ -163,6 +199,24 @@ impl Schedule {
     /// Returns the first violation found.
     pub fn validate(&self, g: &AppGraph, deps: &BlockDepGraph) -> Result<(), ScheduleError> {
         let mut done: HashSet<BlockRef> = HashSet::new();
+        for (i, launch) in self.launches.iter().enumerate() {
+            if launch.blocks.is_empty() {
+                return Err(ScheduleError::EmptyLaunch { launch: i });
+            }
+            if launch.node.0 as usize >= g.num_nodes() {
+                return Err(ScheduleError::UnknownNode { launch: i, node: launch.node });
+            }
+            let num_blocks = g.node(launch.node).num_blocks();
+            for &b in &launch.blocks {
+                if b >= num_blocks {
+                    return Err(ScheduleError::BlockOutOfRange {
+                        launch: i,
+                        block: BlockRef::new(launch.node.0, b),
+                        num_blocks,
+                    });
+                }
+            }
+        }
         for launch in &self.launches {
             // Dependencies must be satisfied by strictly earlier launches.
             for &b in &launch.blocks {
@@ -302,6 +356,68 @@ mod tests {
         let g = two_node_graph();
         let deps = BlockDepGraph::default();
         assert!(Schedule::default_order(&g).validate(&g, &deps).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_struct_literal_edge_cases() {
+        let g = two_node_graph();
+        let deps = BlockDepGraph::default();
+        // Empty launch smuggled in via the public field.
+        let empty = Schedule {
+            launches: vec![
+                SubKernel { node: NodeId(0), blocks: vec![] },
+                SubKernel::new(NodeId(0), vec![0]),
+                SubKernel::new(NodeId(1), vec![0]),
+            ],
+        };
+        assert_eq!(empty.validate(&g, &deps), Err(ScheduleError::EmptyLaunch { launch: 0 }));
+        // Node id beyond the graph.
+        let ghost = Schedule { launches: vec![SubKernel::new(NodeId(7), vec![0])] };
+        assert_eq!(
+            ghost.validate(&g, &deps),
+            Err(ScheduleError::UnknownNode { launch: 0, node: NodeId(7) })
+        );
+        // Phantom block beyond the node's grid: satisfies nothing, and
+        // coverage counting alone would never notice it.
+        let phantom = Schedule {
+            launches: vec![
+                SubKernel::new(NodeId(0), vec![0, 9]),
+                SubKernel::new(NodeId(1), vec![0]),
+            ],
+        };
+        assert_eq!(
+            phantom.validate(&g, &deps),
+            Err(ScheduleError::BlockOutOfRange {
+                launch: 0,
+                block: BlockRef::new(0, 9),
+                num_blocks: 1
+            })
+        );
+    }
+
+    #[test]
+    fn validate_enforces_war_order_on_aliased_buffer() {
+        // Node 0 reads word 0 of a buffer, node 1 overwrites it: the WAR
+        // hazard edge must force the reader before the writer even though
+        // no data flows between them.
+        let mut builder = DepGraphBuilder::new();
+        let mut rec = trace::TraceRecorder::new(128);
+        rec.begin_block(1);
+        rec.record(0, 0, 4, trace::AccessKind::Load);
+        builder.visit_block(BlockRef::new(0, 0), &rec.finish_block());
+        rec.begin_block(1);
+        rec.record(0, 0, 4, trace::AccessKind::Store);
+        builder.visit_block(BlockRef::new(1, 0), &rec.finish_block());
+        let deps = builder.finish();
+        let g = two_node_graph();
+        let bad = Schedule {
+            launches: vec![SubKernel::new(NodeId(1), vec![0]), SubKernel::new(NodeId(0), vec![0])],
+        };
+        assert!(matches!(bad.validate(&g, &deps), Err(ScheduleError::DependencyViolation { .. })));
+        let good = Schedule {
+            launches: vec![SubKernel::new(NodeId(0), vec![0]), SubKernel::new(NodeId(1), vec![0])],
+        };
+        assert!(good.validate(&g, &deps).is_ok());
     }
 
     #[test]

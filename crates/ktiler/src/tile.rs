@@ -14,8 +14,13 @@
 //!   topological order) and a new group starts.
 //!
 //! Non-tileable nodes are *atomic*: if any of their blocks joins a group,
-//! all of them do — reproducing the paper's pessimistic kernel-level
-//! handling of kernels that fail the tiling conditions.
+//! all of them do — together with every block of every in-cluster
+//! *ancestor* node — reproducing the paper's pessimistic kernel-level
+//! handling of kernels that fail the tiling conditions. Ancestors, not
+//! just direct predecessors: partial buffer overwrites chain an earlier
+//! writer to a later reader through an intermediate node, so block-level
+//! dependencies can land on nodes the graph does not list as direct
+//! predecessors.
 
 use gpu_sim::BlockId;
 use kgraph::{AppGraph, GraphTrace, NodeId};
@@ -168,6 +173,38 @@ pub fn cluster_tile(
     let mut launches: Vec<SubKernel> = Vec::new();
     let mut cost_ns = 0.0f64;
 
+    // In-cluster *transitive* ancestors of each atomic member. Kernel-level
+    // pessimism must reach past direct predecessors: a partial overwrite of
+    // a buffer chains an earlier full writer to a later reader (W₁ →WAW
+    // W₂ →RAW R), so R's block-level dependencies can land on W₁ even
+    // though only W₂ is a direct graph predecessor. Direct-predecessor
+    // pessimism then launches the atomic node with W₁ half-emitted. Any
+    // node a block-level dependency can reach is a graph ancestor (the
+    // builder chains every conflicting access to a buffer), so the
+    // ancestor set is the correct over-approximation.
+    let atomic_ancestors: Vec<Vec<u32>> = members
+        .iter()
+        .map(|&m| {
+            if g.node(m).tileable() {
+                return Vec::new();
+            }
+            let mut seen = vec![false; g.num_nodes()];
+            let mut stack = vec![m];
+            seen[m.0 as usize] = true;
+            let mut anc = Vec::new();
+            while let Some(v) = stack.pop() {
+                for (_, p) in g.predecessors(v) {
+                    if in_cluster[p.0 as usize] && !seen[p.0 as usize] {
+                        seen[p.0 as usize] = true;
+                        anc.push(p.0);
+                        stack.push(p);
+                    }
+                }
+            }
+            anc
+        })
+        .collect();
+
     // Adds a block and, transitively, its in-cluster dependencies (and the
     // full block set of any atomic node touched). Returns the refs added.
     let add_with_deps =
@@ -183,8 +220,9 @@ pub fn cluster_tile(
                     // block-level dependencies may be input-dependent (that is
                     // why it is non-tileable) — fall back to the paper's
                     // pessimistic kernel-level dependency: pull ALL blocks of
-                    // every in-cluster predecessor node. This keeps generated
-                    // schedules valid for any input of the same size.
+                    // every in-cluster *ancestor* node (see `atomic_ancestors`).
+                    // This keeps generated schedules valid for any input of
+                    // the same size.
                     let all: Vec<BlockRef> = (0..st.num_blocks)
                         .filter(|&x| !st.assigned[x as usize] && !st.in_group[x as usize])
                         .map(|x| BlockRef::new(r.node, x))
@@ -195,12 +233,10 @@ pub fn cluster_tile(
                         st.group.push(x.block);
                         added.push(*x);
                     }
-                    for (_, p) in g.predecessors(NodeId(r.node)) {
-                        if in_cluster[p.0 as usize] {
-                            let pn = g.node(p).num_blocks();
-                            for pb in 0..pn {
-                                pending.push(BlockRef::new(p.0, pb));
-                            }
+                    for &p in &atomic_ancestors[local[r.node as usize]] {
+                        let pn = g.node(NodeId(p)).num_blocks();
+                        for pb in 0..pn {
+                            pending.push(BlockRef::new(p, pb));
                         }
                     }
                 } else {
@@ -319,12 +355,10 @@ pub fn cluster_tile(
                 }
                 let ready = if st.atomic {
                     // Kernel-level pessimism: every block of every
-                    // in-cluster predecessor must be in the group.
-                    g.predecessors(NodeId(c.node)).all(|(_, p)| {
-                        !in_cluster[p.0 as usize] || {
-                            let ps = &states[local[p.0 as usize]];
-                            (0..ps.num_blocks as usize).all(|b| ps.assigned[b] || ps.in_group[b])
-                        }
+                    // in-cluster ancestor must be in the group.
+                    atomic_ancestors[local[c.node as usize]].iter().all(|&p| {
+                        let ps = &states[local[p as usize]];
+                        (0..ps.num_blocks as usize).all(|b| ps.assigned[b] || ps.in_group[b])
                     })
                 } else {
                     covered(&states, c)
@@ -548,6 +582,43 @@ mod tests {
         assert!(t.launches.len() > 2, "exact feedback must also split: {}", t.launches.len());
         let sched = Schedule { launches: t.launches };
         sched.validate(&g, &gt.deps).unwrap();
+    }
+
+    #[test]
+    fn atomic_reader_after_partial_overwrite_is_never_scheduled_early() {
+        // W1 writes all of `b`, W2 overwrites only a prefix, and an atomic
+        // read-back consumes all of `b`. The read-back's only *direct*
+        // predecessor is W2 (the builder's producer map holds the last
+        // writer), but its block-level dependencies reach W1's suffix
+        // blocks through the partial overwrite. Kernel-level pessimism must
+        // therefore cover transitive in-cluster ancestors: with direct
+        // predecessors only, the read-back joins a group while W1 is
+        // half-emitted and the tiling violates its own dependency graph
+        // (found by the DAG fuzzer, seed 0x9a8).
+        let n = 256 * 1024u32;
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(n as u64, "a");
+        let b = mem.alloc_f32(n as u64, "b");
+        let c = mem.alloc_f32(n as u64, "c");
+        let mut gb = kgraph::GraphBuilder::new();
+        gb.kernel(Box::new(Map { src: a, dst: b, n }), &[a], &[b]);
+        gb.kernel(Box::new(Map { src: c, dst: b, n: n / 8 }), &[c], &[b]);
+        let r = gb.download(b);
+        let g = gb.finish();
+        let mut mem2 = mem;
+        let gt = analyze(&g, &mut mem2, 128).unwrap();
+        assert!(!g.node(r).tileable(), "read-backs are atomic");
+        let cfg = GpuConfig::gtx960m();
+        let cal = calibrate(&g, &gt, &cfg, FreqConfig::default(), &CalibrationConfig::default());
+        let members: Vec<kgraph::NodeId> = g.node_ids().collect();
+        // Capacity holds the first dependency-closed group but not the
+        // whole cluster, forcing a flush boundary between W1's prefix and
+        // suffix blocks.
+        let p = TileParams::paper(1536 * 1024, cfg.cache.line_bytes, 0.0);
+        if let Some(t) = cluster_tile(&members, &g, &gt, &cal, &p) {
+            let sched = Schedule { launches: t.launches };
+            sched.validate(&g, &gt.deps).unwrap();
+        }
     }
 
     #[test]

@@ -210,6 +210,10 @@ pub struct VerifyReport {
     pub violations: Vec<Violation>,
     /// Violations beyond the cap, counted but not stored.
     pub suppressed: usize,
+    /// Error-severity violations among `suppressed`. Tracked separately
+    /// so a flood of warnings cannot mask later errors — and so a
+    /// warnings-only overflow does not spuriously dirty the schedule.
+    pub suppressed_errors: usize,
 }
 
 impl VerifyReport {
@@ -218,13 +222,23 @@ impl VerifyReport {
             self.violations.push(v);
         } else {
             self.suppressed += 1;
+            if v.severity() == Severity::Error {
+                self.suppressed_errors += 1;
+            }
         }
     }
 
+    /// Whether the report hit the violation cap and dropped details.
+    /// A truncated report still counts what it dropped (`suppressed`,
+    /// `suppressed_errors`), so [`is_clean`](Self::is_clean) stays exact.
+    pub fn truncated(&self) -> bool {
+        self.suppressed > 0
+    }
+
     /// Whether the schedule is safe to execute: no error-severity
-    /// violations (warnings are allowed).
+    /// violations, reported or suppressed (warnings are allowed).
     pub fn is_clean(&self) -> bool {
-        self.num_errors() == 0 && self.suppressed == 0
+        self.num_errors() == 0 && self.suppressed_errors == 0
     }
 
     /// The error-severity violations.
@@ -251,8 +265,12 @@ impl VerifyReport {
 impl fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} error(s), {} warning(s)", self.num_errors(), self.num_warnings())?;
-        if self.suppressed > 0 {
-            write!(f, " (+{} suppressed)", self.suppressed)?;
+        if self.truncated() {
+            write!(
+                f,
+                " (+{} suppressed, {} of them errors)",
+                self.suppressed, self.suppressed_errors
+            )?;
         }
         if let Some(e) = self.errors().next() {
             write!(f, "; first: {e}")?;
@@ -579,7 +597,34 @@ mod tests {
         sched.launches.reverse(); // violates nearly every consumer block
         let rep = verify_schedule(&sched, &g, &gt, &params());
         assert_eq!(rep.violations.len(), MAX_VIOLATIONS);
+        assert!(rep.truncated());
         assert!(rep.suppressed > 0);
+        assert!(rep.suppressed_errors > 0, "dependency violations are errors");
+        assert!(rep.suppressed_errors <= rep.suppressed);
         assert!(!rep.is_clean());
+        let s = rep.to_string();
+        assert!(s.contains("suppressed"), "{s}");
+    }
+
+    #[test]
+    fn warning_only_truncation_keeps_schedule_clean() {
+        // A flood of warnings past the cap must be visible as truncation
+        // but must not dirty the schedule; a single suppressed error must.
+        let mut rep = VerifyReport::default();
+        for i in 0..MAX_VIOLATIONS + 5 {
+            rep.push(Violation::OverCapacityWindow {
+                first_launch: i,
+                last_launch: i,
+                footprint_bytes: 2,
+                capacity_bytes: 1,
+            });
+        }
+        assert!(rep.truncated());
+        assert_eq!(rep.suppressed, 5);
+        assert_eq!(rep.suppressed_errors, 0);
+        assert!(rep.is_clean(), "suppressed warnings are still warnings: {rep}");
+        rep.push(Violation::MissingBlocks { node: NodeId(0), covered: 0, expected: 1 });
+        assert_eq!(rep.suppressed_errors, 1);
+        assert!(!rep.is_clean(), "a suppressed error must dirty the schedule");
     }
 }

@@ -1,0 +1,55 @@
+//! Seeded regression corpus from the adversarial DAG fuzzer.
+//!
+//! Every seed here once exposed a real scheduler bug: the generator in
+//! `zoo::fuzz` is a pure function of the seed, so one `u64` is the whole
+//! reproduction — `zoo::run_case(seed)` rebuilds the exact DAG, buffer
+//! pool and upload payloads and drives them through the full differential
+//! pipeline (analyzer equivalence, schedule validation, independent
+//! verification, timing execution, and byte-exact tiled-vs-untiled
+//! functional replay, for both the cost-gated and the forced tiling).
+//!
+//! To inspect a case standalone:
+//!
+//! ```text
+//! cargo run --release -p bench --bin fuzz_dags -- --seed0 <seed> --count 1 --verbose
+//! ```
+
+/// Seeds whose tiled (or forced-tiled) replay corrupted device memory
+/// while the block-dependency graph recorded only read-after-write
+/// edges. The generated DAGs reuse buffers aggressively, so schedules
+/// interleaved a later writer ahead of an earlier reader (WAR) or an
+/// earlier writer (WAW) and nothing could see it: `Schedule::validate`
+/// and `verify_schedule` both trust the same incomplete graph. Fixed by
+/// recording all three hazard classes in both dependency builders
+/// (`trace::blockdep`, `trace::structural`).
+const HAZARD_EDGE_SEEDS: &[u64] = &[
+    0xc, 0x18, 0x20, 0x2d, 0x30, 0x42, 0x4a, 0x4d, 0x51, 0x54, 0x59, 0x5f, 0x70, 0x71, 0x8e, 0x95,
+    0x9f, 0xa8, 0xaa, 0xc8, 0xe4, 0xf1, 0xff, 0x15c, 0x173, 0x19d,
+];
+
+/// Seeds whose forced tiling produced a schedule violating its own
+/// dependency graph: `cluster_tile`'s kernel-level pessimism for atomic
+/// (non-tileable) nodes only covered *direct* graph predecessors, but a
+/// partial buffer overwrite chains an earlier full writer to a later
+/// reader (W1 -WAW-> W2 -RAW-> R), so R's block-level dependencies reach
+/// W1 even though only W2 is a direct predecessor. Fixed by widening the
+/// pessimism to all transitive in-cluster ancestors.
+const ATOMIC_ANCESTOR_SEEDS: &[u64] = &[0x9a8];
+
+fn run(seeds: &[u64]) {
+    for &seed in seeds {
+        if let Err(d) = zoo::run_case(seed) {
+            panic!("corpus regression: {d}");
+        }
+    }
+}
+
+#[test]
+fn hazard_edge_corpus_runs_clean() {
+    run(HAZARD_EDGE_SEEDS);
+}
+
+#[test]
+fn atomic_ancestor_corpus_runs_clean() {
+    run(ATOMIC_ANCESTOR_SEEDS);
+}

@@ -8,11 +8,10 @@
 //! equally good KTILER target: every kernel is a memory-bound stencil or
 //! transfer with input-independent block dependencies.
 
-use gpu_sim::{Buffer, BufferId, DeviceMemory};
+use gpu_sim::{Buffer, DeviceMemory};
 use kernels::image::{AddField, Downscale};
 use kernels::pde::{PoissonSmooth, Prolong, Residual};
-use kgraph::{AppGraph, NodeId};
-use std::collections::HashMap;
+use kgraph::{AppGraph, GraphBuilder, NodeId};
 
 use crate::reference::{Grid, MgParams};
 
@@ -43,56 +42,25 @@ struct Level {
     pe: Option<Buffer>,
 }
 
+/// The shared hazard-tracking [`GraphBuilder`] plus the app's own record
+/// of its smoothing nodes (the tiling targets).
 struct Builder {
-    graph: AppGraph,
-    producer: HashMap<BufferId, NodeId>,
-    /// Nodes that read each buffer since its last write. A new write must
-    /// be ordered after them (write-after-read), and after the previous
-    /// writer (write-after-write): the RAW-only dependency model would
-    /// otherwise let a topological execution re-zero a reused buffer while
-    /// an earlier cycle still reads it.
-    readers: HashMap<BufferId, Vec<NodeId>>,
+    gb: GraphBuilder,
     smooth_nodes: Vec<NodeId>,
 }
 
 impl Builder {
-    fn order_write_after_hazards(&mut self, id: NodeId, w: &Buffer) {
-        for r in self.readers.remove(&w.id).unwrap_or_default() {
-            if r != id {
-                self.graph.add_edge(r, id, *w);
-            }
-        }
-        if let Some(&prev) = self.producer.get(&w.id) {
-            if prev != id {
-                self.graph.add_edge(prev, id, *w);
-            }
-        }
-    }
-
     fn kernel(
         &mut self,
         kernel: Box<dyn kgraph::Kernel>,
         reads: &[Buffer],
         writes: &[Buffer],
     ) -> NodeId {
-        let id = self.graph.add_kernel(kernel);
-        for r in reads {
-            if let Some(&p) = self.producer.get(&r.id) {
-                self.graph.add_edge(p, id, *r);
-            }
-            self.readers.entry(r.id).or_default().push(id);
-        }
-        for w in writes {
-            self.order_write_after_hazards(id, w);
-            self.producer.insert(w.id, id);
-        }
-        id
+        self.gb.kernel(kernel, reads, writes)
     }
 
     fn zero_upload(&mut self, buf: Buffer) {
-        let id = self.graph.add_htod(buf, vec![0u8; buf.len as usize]);
-        self.order_write_after_hazards(id, &buf);
-        self.producer.insert(buf.id, id);
+        self.gb.zero_upload(buf);
     }
 }
 
@@ -178,17 +146,11 @@ pub fn build_app(f: &Grid, p: &MgParams) -> MultigridApp {
         });
     }
 
-    let mut b = Builder {
-        graph: AppGraph::new(),
-        producer: HashMap::new(),
-        readers: HashMap::new(),
-        smooth_nodes: Vec::new(),
-    };
+    let mut b = Builder { gb: GraphBuilder::new(), smooth_nodes: Vec::new() };
 
     // Upload the RHS and the zero initial iterate.
     let fine = &levels[0];
-    let rhs_id = b.graph.add_htod(fine.f, f.data.iter().flat_map(|v| v.to_le_bytes()).collect());
-    b.producer.insert(fine.f.id, rhs_id);
+    b.gb.upload(fine.f, f.data.iter().flat_map(|v| v.to_le_bytes()).collect());
     b.zero_upload(fine.ua);
 
     let mut cur = levels[0].ua;
@@ -197,12 +159,9 @@ pub fn build_app(f: &Grid, p: &MgParams) -> MultigridApp {
     }
 
     // Read the solution back.
-    let dtoh = b.graph.add_dtoh(cur);
-    if let Some(&prod) = b.producer.get(&cur.id) {
-        b.graph.add_edge(prod, dtoh, cur);
-    }
+    b.gb.download(cur);
 
-    MultigridApp { graph: b.graph, mem, u_out: cur, smooth_nodes: b.smooth_nodes, params: *p }
+    MultigridApp { graph: b.gb.finish(), mem, u_out: cur, smooth_nodes: b.smooth_nodes, params: *p }
 }
 
 #[cfg(test)]

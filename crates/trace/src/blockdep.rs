@@ -1,13 +1,26 @@
 //! Block-dependency-graph construction (Sec. IV-B1 of the paper).
 //!
-//! A block `B` depends on block `B'` iff a thread in `B` reads a memory
-//! address previously written by a thread in `B'`. Dependencies only exist
+//! A block `B` depends on block `B'` when reordering them could change the
+//! program's result, i.e. for any of the classic hazards:
+//!
+//! * **RAW** — a thread in `B` reads a word previously written by a thread
+//!   in `B'` (the paper's definition);
+//! * **WAW** — `B` overwrites a word last written by `B'` (the first `B`
+//!   block to write each word carries the edge);
+//! * **WAR** — `B` overwrites a word read by `B'` since its last write.
+//!
+//! The paper only states the RAW rule because its workload (iterated
+//! stencil chains) happens to order every hazard through RAW paths; on
+//! arbitrary DAGs with buffer reuse, a tiled schedule that interleaves a
+//! later writer ahead of an earlier reader silently corrupts memory, so
+//! the builders record all three hazard classes. Dependencies only exist
 //! between blocks of *different* kernels; blocks within one kernel are
 //! independent by the GPU execution model.
 //!
 //! The builder replays the application's default (topological) execution
-//! order, maintaining a last-writer map at 4-byte-word granularity — the
-//! same host-side pass the paper performs over the recorded SASSI trace.
+//! order, maintaining a last-writer map (and a readers-since-last-write
+//! map) at 4-byte-word granularity — the same host-side pass the paper
+//! performs over the recorded SASSI trace.
 //!
 //! # Representation
 //!
@@ -18,6 +31,8 @@
 //! direction stored the same way). Dependency queries — the inner loop of
 //! Algorithm 2's `transitive_deps` walks — are two array lookups with no
 //! hashing, and the whole graph lives in six flat allocations.
+
+use std::collections::HashMap;
 
 use crate::record::BlockTrace;
 use crate::wordmap::WordMap;
@@ -48,6 +63,7 @@ impl BlockRef {
 #[derive(Debug, Default)]
 pub struct DepGraphBuilder {
     last_writer: WordMap,
+    readers: HashMap<u64, Vec<BlockRef>>,
     edges: Vec<(BlockRef, BlockRef)>,
     num_blocks: Vec<u32>,
 }
@@ -61,7 +77,9 @@ impl DepGraphBuilder {
     /// Registers the reads and writes of `block`, which is being visited in
     /// program order. Reads are resolved against the last-writer map before
     /// the block's own writes are installed (a block that reads and writes
-    /// the same word sees the previous producer).
+    /// the same word sees the previous producer); each write resolves its
+    /// WAW/WAR hazards against the pre-write state, then clears the word's
+    /// reader list and becomes its last writer.
     pub fn visit_block(&mut self, r: BlockRef, t: &BlockTrace) {
         let before = self.edges.len();
         for &word in &t.read_words {
@@ -70,15 +88,31 @@ impl DepGraphBuilder {
                     self.edges.push((r, producer));
                 }
             }
+            self.readers.entry(word).or_default().push(r);
         }
         // Light per-visit dedup keeps the edge list near its final size;
         // finish() dedups globally. Only the freshly pushed tail is sorted
         // and compacted — rescanning the full accumulated list here would
         // make graph construction quadratic in the edge count.
         dedup_tail(&mut self.edges, before);
+        let before = self.edges.len();
         for &word in &t.write_words {
+            if let Some(prev) = self.last_writer.get(word) {
+                if prev.node != r.node {
+                    self.edges.push((r, prev));
+                }
+            }
+            if let Some(rs) = self.readers.get_mut(&word) {
+                for &rd in rs.iter() {
+                    if rd.node != r.node {
+                        self.edges.push((r, rd));
+                    }
+                }
+                rs.clear();
+            }
             self.last_writer.insert(word, r);
         }
+        dedup_tail(&mut self.edges, before);
         if r.node as usize >= self.num_blocks.len() {
             self.num_blocks.resize(r.node as usize + 1, 0);
         }
@@ -200,9 +234,23 @@ pub fn build_dep_graph(visits: &[(BlockRef, &BlockTrace)], threads: usize) -> Bl
 
     let worker = |id: usize| -> Vec<(BlockRef, BlockRef)> {
         let mut last_writer = WordMap::new();
+        let mut readers: HashMap<u64, Vec<BlockRef>> = HashMap::new();
         let mut edges: Vec<(BlockRef, BlockRef)> = Vec::new();
         let owns = |word: u64| (word as usize % DEP_SHARDS) % threads == id;
-        for &(r, t) in visits {
+        // Prepass: the visit index of each owned word's final write. Reader
+        // lists exist to resolve WAR hazards at the *next* write, so words
+        // never written again (input planes read by every iteration) need
+        // no reader tracking — without this the lists grow with the total
+        // read count of the workload instead of its reuse distance.
+        let mut final_write: HashMap<u64, u32> = HashMap::new();
+        for (i, &(_, t)) in visits.iter().enumerate() {
+            for &word in &t.write_words {
+                if owns(word) {
+                    final_write.insert(word, i as u32);
+                }
+            }
+        }
+        for (i, &(r, t)) in visits.iter().enumerate() {
             let before = edges.len();
             for &word in &t.read_words {
                 if !owns(word) {
@@ -213,13 +261,32 @@ pub fn build_dep_graph(visits: &[(BlockRef, &BlockTrace)], threads: usize) -> Bl
                         edges.push((r, producer));
                     }
                 }
-            }
-            dedup_tail(&mut edges, before);
-            for &word in &t.write_words {
-                if owns(word) {
-                    last_writer.insert(word, r);
+                if final_write.get(&word).is_some_and(|&w| w > i as u32) {
+                    readers.entry(word).or_default().push(r);
                 }
             }
+            dedup_tail(&mut edges, before);
+            let before = edges.len();
+            for &word in &t.write_words {
+                if !owns(word) {
+                    continue;
+                }
+                if let Some(prev) = last_writer.get(word) {
+                    if prev.node != r.node {
+                        edges.push((r, prev));
+                    }
+                }
+                if let Some(rs) = readers.get_mut(&word) {
+                    for &rd in rs.iter() {
+                        if rd.node != r.node {
+                            edges.push((r, rd));
+                        }
+                    }
+                    rs.clear();
+                }
+                last_writer.insert(word, r);
+            }
+            dedup_tail(&mut edges, before);
         }
         edges
     };
@@ -419,6 +486,54 @@ mod tests {
         b.visit_block(BlockRef::new(2, 0), &trace(&[10], &[]));
         let g = b.finish();
         assert_eq!(g.deps_of(BlockRef::new(2, 0)), &[BlockRef::new(1, 0)]);
+        // The overwrite itself is ordered after the first writer (WAW).
+        assert_eq!(g.deps_of(BlockRef::new(1, 0)), &[BlockRef::new(0, 0)]);
+    }
+
+    #[test]
+    fn war_overwrite_depends_on_every_reader() {
+        // Node 0 produces, nodes 1 and 2 read, node 3 overwrites: without
+        // WAR edges a tiled schedule may hoist node 3 ahead of the readers.
+        let mut b = DepGraphBuilder::new();
+        b.visit_block(BlockRef::new(0, 0), &trace(&[], &[10]));
+        b.visit_block(BlockRef::new(1, 0), &trace(&[10], &[20]));
+        b.visit_block(BlockRef::new(2, 0), &trace(&[10], &[21]));
+        b.visit_block(BlockRef::new(3, 0), &trace(&[], &[10]));
+        let g = b.finish();
+        assert_eq!(
+            g.deps_of(BlockRef::new(3, 0)),
+            &[BlockRef::new(0, 0), BlockRef::new(1, 0), BlockRef::new(2, 0)]
+        );
+    }
+
+    #[test]
+    fn war_readers_clear_at_each_write() {
+        // Reader before the first overwrite does not constrain the second
+        // overwrite: reader lists reset at every write of the word.
+        let mut b = DepGraphBuilder::new();
+        b.visit_block(BlockRef::new(0, 0), &trace(&[], &[10]));
+        b.visit_block(BlockRef::new(1, 0), &trace(&[10], &[]));
+        b.visit_block(BlockRef::new(2, 0), &trace(&[], &[10]));
+        b.visit_block(BlockRef::new(3, 0), &trace(&[], &[10]));
+        let g = b.finish();
+        assert_eq!(g.deps_of(BlockRef::new(2, 0)), &[BlockRef::new(0, 0), BlockRef::new(1, 0)]);
+        // Node 3 only sees the WAW hazard against node 2, not node 1's read.
+        assert_eq!(g.deps_of(BlockRef::new(3, 0)), &[BlockRef::new(2, 0)]);
+    }
+
+    #[test]
+    fn same_node_hazards_are_suppressed() {
+        // Blocks of one kernel are unordered: a node whose blocks read and
+        // then overwrite its own input region (in-place update) produces no
+        // intra-node edges, only the edge to the external producer.
+        let mut b = DepGraphBuilder::new();
+        b.visit_block(BlockRef::new(0, 0), &trace(&[], &[10, 11]));
+        b.visit_block(BlockRef::new(1, 0), &trace(&[10], &[10]));
+        b.visit_block(BlockRef::new(1, 1), &trace(&[11], &[11]));
+        let g = b.finish();
+        assert_eq!(g.deps_of(BlockRef::new(1, 0)), &[BlockRef::new(0, 0)]);
+        assert_eq!(g.deps_of(BlockRef::new(1, 1)), &[BlockRef::new(0, 0)]);
+        assert_eq!(g.num_edges(), 2);
     }
 
     #[test]
@@ -516,6 +631,33 @@ mod tests {
             b.visit_block(*r, t);
         }
         let serial = b.finish();
+
+        let visits: Vec<(BlockRef, &BlockTrace)> = traces.iter().map(|(r, t)| (*r, t)).collect();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(build_dep_graph(&visits, threads), serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_builder_matches_serial_on_hazards() {
+        // Overwrites and re-reads across shard boundaries: WAR/WAW edges
+        // must come out identical from the sharded and serial builders.
+        let traces: Vec<(BlockRef, BlockTrace)> = vec![
+            (BlockRef::new(0, 0), trace(&[], &(0..16).collect::<Vec<u64>>())),
+            (BlockRef::new(1, 0), trace(&(0..8).collect::<Vec<u64>>(), &[20])),
+            (BlockRef::new(2, 0), trace(&(4..12).collect::<Vec<u64>>(), &[21])),
+            (BlockRef::new(3, 0), trace(&[], &(2..10).collect::<Vec<u64>>())),
+            (BlockRef::new(4, 0), trace(&(0..16).collect::<Vec<u64>>(), &[20, 21])),
+        ];
+
+        let mut b = DepGraphBuilder::new();
+        for (r, t) in &traces {
+            b.visit_block(*r, t);
+        }
+        let serial = b.finish();
+        // Sanity: node 3's overwrite is WAR-ordered after both readers.
+        assert!(serial.deps_of(BlockRef::new(3, 0)).contains(&BlockRef::new(1, 0)));
+        assert!(serial.deps_of(BlockRef::new(3, 0)).contains(&BlockRef::new(2, 0)));
 
         let visits: Vec<(BlockRef, &BlockTrace)> = traces.iter().map(|(r, t)| (*r, t)).collect();
         for threads in [1, 2, 3, 8] {

@@ -106,6 +106,11 @@ impl IntervalSet {
 struct ResolvedWrites {
     /// Last-writer runs, sorted by start, disjoint.
     runs: Vec<(u64, u64, u32)>,
+    /// First-writer runs `(block, start, end)`, grouped by block in block
+    /// order — the word builder charges each word's WAW/WAR hazard to the
+    /// *first* block of the node that writes it (later same-node writers
+    /// see a same-node previous writer and an empty reader list).
+    first_runs: Vec<BlockRun>,
     /// Union of the runs, merged, sorted, non-adjacent.
     coverage: Vec<(u64, u64)>,
     /// Whether the coverage equals the entire (buffer) region.
@@ -125,6 +130,11 @@ struct TraceIndex {
     /// suppresses those same-node edges and the masked external producer
     /// alike).
     reads: Vec<(u32, Vec<BlockRun>)>,
+    /// Per touched region: read runs that *survive* the node's own writes —
+    /// reads not followed by a same-node write of the word (by the reading
+    /// block itself or any later block). These are the word builder's
+    /// reader-list survivors, the targets of later nodes' WAR hazards.
+    surviving_reads: Vec<(u32, Vec<BlockRun>)>,
     /// Per written region: the resolved write structure.
     writes: Vec<(u32, ResolvedWrites)>,
 }
@@ -136,6 +146,21 @@ struct Layer {
     arc_ptr: usize,
     index_idx: usize,
     writes_pos: usize,
+}
+
+/// One reader layer on a region's stack: a node's surviving reads, minus
+/// the words overwritten (and therefore WAR-resolved) since the layer was
+/// pushed.
+#[derive(Debug)]
+struct ReadLayer {
+    node: u32,
+    index_idx: usize,
+    /// Position in the index's `surviving_reads` for this region.
+    reads_pos: usize,
+    /// Words written by later nodes: their reader entries were consumed by
+    /// that write's WAR resolution, exactly like the word builder clearing
+    /// a word's reader list at each write.
+    dead: IntervalSet,
 }
 
 /// Edge template entry: consumer block, layer position from the top of the
@@ -156,7 +181,12 @@ pub struct StructuralDepBuilder {
     indexes: Vec<TraceIndex>,
     index_of: HashMap<usize, usize>,
     stacks: HashMap<u32, Vec<Layer>>,
+    read_stacks: HashMap<u32, Vec<ReadLayer>>,
     templates: HashMap<(usize, u32, Vec<usize>), Vec<TemplateEntry>>,
+    /// WAW templates: first-writer runs resolved against the writer stack.
+    /// Same key shape as `templates` but a distinct cache — the same
+    /// (trace, region, stack) can need both a read and a write resolution.
+    waw_templates: HashMap<(usize, u32, Vec<usize>), Vec<TemplateEntry>>,
     edges: Vec<(BlockRef, BlockRef)>,
     num_blocks: Vec<u32>,
 }
@@ -228,6 +258,65 @@ impl StructuralDepBuilder {
         }
 
         for (pos, (region, rw)) in self.indexes[index_idx].writes.iter().enumerate() {
+            // WAW: each word's first writing block of this node depends on
+            // the word's previous external last writer, resolved against
+            // the writer stack with the same top-down fall-through as
+            // reads (and cached the same way).
+            if let Some(stack) = self.stacks.get(region).filter(|s| !s.is_empty()) {
+                let key =
+                    (ptr, *region, stack.iter().rev().map(|l| l.arc_ptr).collect::<Vec<usize>>());
+                if !self.waw_templates.contains_key(&key) {
+                    let layers: Vec<&ResolvedWrites> = stack
+                        .iter()
+                        .rev()
+                        .map(|l| &self.indexes[l.index_idx].writes[l.writes_pos].1)
+                        .collect();
+                    let template = build_template(&rw.first_runs, &layers);
+                    self.waw_templates.insert(key.clone(), template);
+                }
+                for &(wblock, layer_pos, pblock) in &self.waw_templates[&key] {
+                    let producer = stack[stack.len() - 1 - layer_pos as usize].node;
+                    self.edges.push((BlockRef::new(node, wblock), BlockRef::new(producer, pblock)));
+                }
+            }
+
+            // WAR: the first writer of each word also depends on every
+            // surviving reader of that word since its last write. Reader
+            // layers are consumed word-wise — overwritten spans become
+            // dead, like the word builder clearing reader lists.
+            if let Some(rstack) = self.read_stacks.get_mut(region) {
+                let mut scratch: Vec<(u64, u64)> = Vec::new();
+                for layer in rstack.iter_mut() {
+                    let runs = &self.indexes[layer.index_idx].surviving_reads[layer.reads_pos].1;
+                    // `runs` is sorted by (block, start), not by address,
+                    // so overlaps are found by a full scan per write run.
+                    for &(wblock, ws, we) in &rw.first_runs {
+                        for &(rblock, rs, re) in runs {
+                            let (os, oe) = (ws.max(rs), we.min(re));
+                            if os >= oe {
+                                continue;
+                            }
+                            scratch.clear();
+                            layer.dead.subtract(os, oe, &mut scratch);
+                            if !scratch.is_empty() {
+                                self.edges.push((
+                                    BlockRef::new(node, wblock),
+                                    BlockRef::new(layer.node, rblock),
+                                ));
+                            }
+                        }
+                    }
+                }
+                for &(s, e) in &rw.coverage {
+                    for layer in rstack.iter_mut() {
+                        layer.dead.insert(s, e);
+                    }
+                }
+                if rw.full {
+                    rstack.clear();
+                }
+            }
+
             let stack = self.stacks.entry(*region).or_default();
             if rw.full {
                 // Every word of the region has a new last writer: older
@@ -235,6 +324,19 @@ impl StructuralDepBuilder {
                 stack.clear();
             }
             stack.push(Layer { node, arc_ptr: ptr, index_idx, writes_pos: pos });
+        }
+
+        // Register this node's surviving reads as a new reader layer per
+        // region — after the write pass, so the node's own writes neither
+        // WAR against it nor kill it (intra-node ordering is already
+        // folded into `surviving_reads`).
+        for (pos, (region, _)) in self.indexes[index_idx].surviving_reads.iter().enumerate() {
+            self.read_stacks.entry(*region).or_default().push(ReadLayer {
+                node,
+                index_idx,
+                reads_pos: pos,
+                dead: IntervalSet::default(),
+            });
         }
 
         if node as usize >= self.num_blocks.len() {
@@ -320,8 +422,35 @@ fn build_index(traces: &[BlockTrace], regions: &[Region]) -> TraceIndex {
             }
         }
 
+        // Reverse shadow pass: a read survives the node iff no same-node
+        // write of the word follows it — writes by later blocks, or by the
+        // reading block itself (a block's reads precede its writes).
+        if !reads.is_empty() {
+            let mut later = IntervalSet::default();
+            let mut surv: Vec<BlockRun> = Vec::new();
+            let (mut ri, mut wi) = (reads.len(), writes.len());
+            for b in (0..traces.len() as u32).rev() {
+                while wi > 0 && writes[wi - 1].0 == b {
+                    later.insert(writes[wi - 1].1, writes[wi - 1].2);
+                    wi -= 1;
+                }
+                while ri > 0 && reads[ri - 1].0 == b {
+                    let (_, s, e) = reads[ri - 1];
+                    scratch.clear();
+                    later.subtract(s, e, &mut scratch);
+                    surv.extend(scratch.iter().map(|&(a, z)| (b, a, z)));
+                    ri -= 1;
+                }
+            }
+            if !surv.is_empty() {
+                surv.sort_unstable();
+                index.surviving_reads.push((region, surv));
+            }
+        }
+
         // Backward pass: resolve each written word to its last writing
-        // block within this trace.
+        // block within this trace; forward pass: to its first (the WAW/WAR
+        // hazard carrier).
         if !writes.is_empty() {
             let mut occupied = IntervalSet::default();
             let mut resolved: Vec<(u64, u64, u32)> = Vec::with_capacity(writes.len());
@@ -339,9 +468,19 @@ fn build_index(traces: &[BlockTrace], regions: &[Region]) -> TraceIndex {
                     _ => coverage.push((s, e)),
                 }
             }
+            let mut first_occupied = IntervalSet::default();
+            let mut first_runs: Vec<BlockRun> = Vec::with_capacity(writes.len());
+            for &(b, s, e) in writes.iter() {
+                scratch.clear();
+                first_occupied.subtract(s, e, &mut scratch);
+                first_runs.extend(scratch.iter().map(|&(a, z)| (b, a, z)));
+                first_occupied.insert(s, e);
+            }
             let r = &regions[region as usize];
             let full = r.buffer && coverage.len() == 1 && coverage[0] == (r.start, r.end);
-            index.writes.push((region, ResolvedWrites { runs: resolved, coverage, full }));
+            index
+                .writes
+                .push((region, ResolvedWrites { runs: resolved, first_runs, coverage, full }));
         }
     }
     index
@@ -508,12 +647,15 @@ mod tests {
         let nodes = vec![
             Arc::new(vec![trace(&[], &[(a, 3)])]),
             // Node 1, block 0 writes element 3; block 1 then reads it. The
-            // word builder suppresses both the same-node edge *and* the
-            // masked edge to node 0.
+            // word builder suppresses both the same-node read edge *and*
+            // the masked RAW edge to node 0 — only block 0's overwrite of
+            // node 0's word remains, as a WAW hazard edge.
             Arc::new(vec![trace(&[], &[(a, 3)]), trace(&[(a, 3)], &[])]),
         ];
         let g = assert_equivalent(&mem, &nodes);
-        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.deps_of(BlockRef::new(1, 0)), &[BlockRef::new(0, 0)]);
+        assert!(g.deps_of(BlockRef::new(1, 1)).is_empty());
+        assert_eq!(g.num_edges(), 1);
     }
 
     #[test]
@@ -557,8 +699,15 @@ mod tests {
             Arc::clone(&ping),
         ];
         let g = assert_equivalent(&mem, &nodes);
-        for n in 1..=5u32 {
-            assert_eq!(g.deps_of(BlockRef::new(n, 0)), &[BlockRef::new(n - 1, 0)]);
+        // Each link reads its predecessor's output (RAW) and overwrites
+        // the buffer written two links earlier (WAW) / read by the
+        // predecessor (WAR, coinciding with the RAW edge).
+        assert_eq!(g.deps_of(BlockRef::new(1, 0)), &[BlockRef::new(0, 0)]);
+        for n in 2..=5u32 {
+            assert_eq!(
+                g.deps_of(BlockRef::new(n, 0)),
+                &[BlockRef::new(n - 2, 0), BlockRef::new(n - 1, 0)]
+            );
         }
     }
 
@@ -591,6 +740,127 @@ mod tests {
             g.deps_of(BlockRef::new(1, 1)),
             &[BlockRef::new(0, 0), BlockRef::new(0, 1), BlockRef::new(0, 2)]
         );
+    }
+
+    #[test]
+    fn war_overwrite_depends_on_prior_readers() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(16, "a");
+        let all: Vec<(Buffer, u64)> = (0..16).map(|i| (a, i)).collect();
+        let nodes = vec![
+            Arc::new(vec![trace(&[], &all)]),
+            // Two readers, then a full overwrite: the overwrite must be
+            // ordered after both reads (WAR) and the producer (WAW).
+            Arc::new(vec![trace(&[(a, 2)], &[])]),
+            Arc::new(vec![trace(&[(a, 9)], &[])]),
+            Arc::new(vec![trace(&[], &all)]),
+        ];
+        let g = assert_equivalent(&mem, &nodes);
+        assert_eq!(
+            g.deps_of(BlockRef::new(3, 0)),
+            &[BlockRef::new(0, 0), BlockRef::new(1, 0), BlockRef::new(2, 0)]
+        );
+    }
+
+    #[test]
+    fn war_reader_lists_clear_at_partial_overwrites() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(32, "a");
+        let nodes = vec![
+            Arc::new(vec![trace(&[], &(0..32).map(|i| (a, i)).collect::<Vec<_>>())]),
+            // Node 1 reads [0, 16); node 2 overwrites [0, 8) — WAR on the
+            // overlap; node 3 overwrites [0, 16) — node 1's [0, 8) reads
+            // were already consumed by node 2's write, so node 3's WAR edge
+            // to node 1 comes only from the still-live [8, 16) span.
+            Arc::new(vec![trace(&(0..16).map(|i| (a, i)).collect::<Vec<_>>(), &[])]),
+            Arc::new(vec![trace(&[], &(0..8).map(|i| (a, i)).collect::<Vec<_>>())]),
+            Arc::new(vec![trace(&[], &(0..16).map(|i| (a, i)).collect::<Vec<_>>())]),
+        ];
+        let g = assert_equivalent(&mem, &nodes);
+        assert_eq!(g.deps_of(BlockRef::new(2, 0)), &[BlockRef::new(0, 0), BlockRef::new(1, 0)]);
+        // Node 3: WAW on nodes 0 and 2 (split last-writer), WAR on node 1.
+        assert_eq!(
+            g.deps_of(BlockRef::new(3, 0)),
+            &[BlockRef::new(0, 0), BlockRef::new(1, 0), BlockRef::new(2, 0)]
+        );
+    }
+
+    #[test]
+    fn war_hazard_on_never_written_words() {
+        // Reads of an unwritten buffer have no RAW producer but still WAR-
+        // constrain a later overwrite (the reader saw the initial value).
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(8, "a");
+        let nodes =
+            vec![Arc::new(vec![trace(&[(a, 1)], &[])]), Arc::new(vec![trace(&[], &[(a, 1)])])];
+        let g = assert_equivalent(&mem, &nodes);
+        assert_eq!(g.deps_of(BlockRef::new(1, 0)), &[BlockRef::new(0, 0)]);
+    }
+
+    #[test]
+    fn full_overwrite_drops_reader_layers() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_f32(8, "a");
+        let all: Vec<(Buffer, u64)> = (0..8).map(|i| (a, i)).collect();
+        let nodes = vec![
+            Arc::new(vec![trace(&all, &[])]),
+            Arc::new(vec![trace(&[], &all)]), // WAR on node 0
+            Arc::new(vec![trace(&[], &all)]), // WAW on node 1 only
+        ];
+        let g = assert_equivalent(&mem, &nodes);
+        assert_eq!(g.deps_of(BlockRef::new(1, 0)), &[BlockRef::new(0, 0)]);
+        assert_eq!(g.deps_of(BlockRef::new(2, 0)), &[BlockRef::new(1, 0)]);
+    }
+
+    /// Randomized multi-buffer hazard sweep: arbitrary interleavings of
+    /// partial/full reads and writes across shared trace arcs must produce
+    /// byte-identical graphs from the word and structural builders.
+    #[test]
+    fn randomized_hazard_equivalence() {
+        use gpu_sim::SplitMix64;
+        for seed in 0..64u64 {
+            let mut rng = SplitMix64::new(seed.wrapping_mul(0x9e37_79b9));
+            let mut mem = DeviceMemory::new();
+            let bufs: Vec<Buffer> = (0..rng.gen_range_u64(1, 4))
+                .map(|i| mem.alloc_f32(rng.gen_range_u64(4, 40), &format!("b{i}")))
+                .collect();
+            let num_nodes = rng.gen_range_u64(2, 8) as usize;
+            let mut nodes: Vec<Arc<Vec<BlockTrace>>> = Vec::new();
+            for _ in 0..num_nodes {
+                let blocks = rng.gen_range_u64(1, 4) as usize;
+                // Occasionally revisit an earlier arc to exercise template
+                // and index reuse under hazard tracking.
+                if !nodes.is_empty() && rng.gen_range_u64(0, 4) == 0 {
+                    let i = rng.gen_range_u64(0, nodes.len() as u64) as usize;
+                    nodes.push(Arc::clone(&nodes[i]));
+                    continue;
+                }
+                let traces: Vec<BlockTrace> = (0..blocks)
+                    .map(|_| {
+                        let mut reads: Vec<(Buffer, u64)> = Vec::new();
+                        let mut writes: Vec<(Buffer, u64)> = Vec::new();
+                        for &b in &bufs {
+                            let n = b.len / 4;
+                            for _ in 0..rng.gen_range_u64(0, 6) {
+                                reads.push((b, rng.gen_range_u64(0, n)));
+                            }
+                            match rng.gen_range_u64(0, 4) {
+                                0 => {}                                     // read-only for this buffer
+                                1 => writes.extend((0..n).map(|i| (b, i))), // full
+                                _ => {
+                                    for _ in 0..rng.gen_range_u64(1, 6) {
+                                        writes.push((b, rng.gen_range_u64(0, n)));
+                                    }
+                                }
+                            }
+                        }
+                        trace(&reads, &writes)
+                    })
+                    .collect();
+                nodes.push(Arc::new(traces));
+            }
+            assert_equivalent(&mem, &nodes);
+        }
     }
 
     #[test]

@@ -144,7 +144,7 @@ fn deps_match_last_writer_semantics() {
 /// on a randomized multi-node, multi-block RAW trace (the satellite
 /// regression test for the CSR re-implementation).
 #[test]
-fn csr_matches_naive_adjacency_on_random_raw_trace() {
+fn csr_matches_naive_adjacency_on_random_trace() {
     for seed in 0..24u64 {
         let mut rng = SplitMix64::new(seed);
         let num_nodes = rng.gen_range_u32(2, 6);
@@ -156,8 +156,11 @@ fn csr_matches_naive_adjacency_on_random_raw_trace() {
         let mut rec = TraceRecorder::new(128);
         let mut builder = DepGraphBuilder::new();
 
-        // Naive reference: last writer per word, adjacency as hash maps.
+        // Naive reference: last writer and readers-since-last-write per
+        // word, adjacency as hash maps. Covers all three hazard classes
+        // (RAW, WAW, WAR), like the builder.
         let mut last_writer: HashMap<u64, BlockRef> = HashMap::new();
+        let mut readers: HashMap<u64, Vec<BlockRef>> = HashMap::new();
         let mut ref_deps: HashMap<BlockRef, Vec<BlockRef>> = HashMap::new();
         let mut ref_rdeps: HashMap<BlockRef, Vec<BlockRef>> = HashMap::new();
         let mut all_refs: Vec<BlockRef> = Vec::new();
@@ -181,12 +184,30 @@ fn csr_matches_naive_adjacency_on_random_raw_trace() {
                 let t = rec.finish_block();
                 builder.visit_block(r, &t);
 
-                // Reference semantics: reads resolve before own writes land.
+                // Reference semantics: reads resolve before own writes
+                // land; each write picks up WAW (previous last writer) and
+                // WAR (readers since that word's last write) hazards, then
+                // clears the word's reader list.
                 let mut producers: Vec<BlockRef> = reads
                     .iter()
                     .filter_map(|w| last_writer.get(w).copied())
                     .filter(|p| p.node != r.node)
                     .collect();
+                for &w in &reads {
+                    readers.entry(w).or_default().push(r);
+                }
+                for &w in &wr {
+                    if let Some(&p) = last_writer.get(&w) {
+                        if p.node != r.node {
+                            producers.push(p);
+                        }
+                    }
+                    if let Some(rs) = readers.get_mut(&w) {
+                        producers.extend(rs.iter().copied().filter(|rd| rd.node != r.node));
+                        rs.clear();
+                    }
+                    last_writer.insert(w, r);
+                }
                 producers.sort_unstable();
                 producers.dedup();
                 for &p in &producers {
@@ -194,9 +215,6 @@ fn csr_matches_naive_adjacency_on_random_raw_trace() {
                 }
                 if !producers.is_empty() {
                     ref_deps.insert(r, producers);
-                }
-                for &w in &wr {
-                    last_writer.insert(w, r);
                 }
             }
         }
@@ -220,7 +238,7 @@ fn csr_matches_naive_adjacency_on_random_raw_trace() {
 }
 
 /// The sharded parallel dependency builder produces a CSR graph equal to
-/// the serial `DepGraphBuilder` on randomized multi-node RAW traces, for
+/// the serial `DepGraphBuilder` on randomized multi-node traces, for
 /// every thread count (the tentpole determinism property). Equality of the
 /// `BlockDepGraph` structs is field-by-field equality of all six flat
 /// arrays — byte-identical CSR layout, not just equivalent adjacency.

@@ -1,0 +1,217 @@
+//! The workload zoo: scheduled applications beyond optical flow.
+//!
+//! Each builder is deterministic (seeded synthetic inputs) and rebuilds
+//! the *same* application — graph, buffer addresses, upload payloads —
+//! on every call, which is what lets the differential oracle replay one
+//! build's schedule against a fresh build's memory.
+
+use gpu_sim::{Buffer, DeviceMemory, SplitMix64};
+use kernels::compute::{Convolution2D, MatMul, ReduceSum, ARRAY_BLOCK};
+use kernels::image::{Derivatives, GradThreshold};
+use kgraph::{AppGraph, GraphBuilder};
+use multigrid::{Grid, MgParams};
+
+/// A built zoo application, ready for the full KTILER pipeline.
+#[derive(Debug)]
+pub struct ZooApp {
+    /// Workload name, as reported in `BENCH_zoo.json`.
+    pub name: String,
+    /// The application graph.
+    pub graph: AppGraph,
+    /// Device memory with all buffers allocated.
+    pub mem: DeviceMemory,
+    /// The buffers holding the application's final results.
+    pub outputs: Vec<Buffer>,
+}
+
+/// Deterministic pseudo-random f32 in `[-1, 1)`.
+fn rand_f32(rng: &mut SplitMix64) -> f32 {
+    (rng.next_u32() >> 8) as f32 / (1 << 23) as f32 - 1.0
+}
+
+/// `n` seeded values as an upload payload.
+pub(crate) fn random_payload(seed: u64, n: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).flat_map(|_| rand_f32(&mut rng).to_le_bytes()).collect()
+}
+
+/// Builds the multigrid V-cycle application: a sine-product right-hand
+/// side on a `size × size` grid, solved with `cycles` V-cycles at the
+/// default level count. The DAG is a deep chain of smooth / residual /
+/// restrict / prolong / correct kernels — structurally nothing like the
+/// optical-flow pyramid.
+///
+/// # Panics
+///
+/// Panics if `size` is not divisible by `2^(levels-1)` (see
+/// [`multigrid::build_app`]).
+pub fn build_multigrid(size: u32, cycles: u32) -> ZooApp {
+    let mut f = Grid::zeros(size, size);
+    for y in 0..size {
+        for x in 0..size {
+            let sx = ((x as f32 + 1.0) * std::f32::consts::PI / (size as f32 + 1.0)).sin();
+            let sy = ((y as f32 + 1.0) * std::f32::consts::PI / (size as f32 + 1.0)).sin();
+            f.data[(y * size + x) as usize] = sx * sy;
+        }
+    }
+    let p = MgParams { cycles, ..MgParams::default() };
+    let app = multigrid::build_app(&f, &p);
+    ZooApp {
+        name: format!("multigrid_{size}x{size}x{cycles}"),
+        graph: app.graph,
+        mem: app.mem,
+        outputs: vec![app.u_out],
+    }
+}
+
+/// Builds the image pipeline: for each of `frames` frames, blur (3×3 box
+/// convolution) → gradient ([`Derivatives`] with both frame roles bound
+/// to the blurred image — an intentionally aliased structural instance) →
+/// gradient-magnitude threshold → two-stage sum reduction → read-back.
+/// All frames reuse the same buffers, so the graph carries
+/// write-after-read hazards and the analyzer sees repeated exact
+/// signatures.
+pub fn build_image_pipeline(w: u32, h: u32, frames: u32) -> ZooApp {
+    assert!(frames > 0, "need at least one frame");
+    let n = w as u64 * h as u64;
+    let p1n = (n as u32).div_ceil(ARRAY_BLOCK);
+    let mut mem = DeviceMemory::new();
+    let img = mem.alloc_f32(n, "img");
+    let blur = mem.alloc_f32(n, "blur");
+    let ix = mem.alloc_f32(n, "ix");
+    let iy = mem.alloc_f32(n, "iy");
+    let it = mem.alloc_f32(n, "it");
+    let mask = mem.alloc_f32(n, "mask");
+    let part1 = mem.alloc_f32(p1n as u64, "part1");
+    let part2 = mem.alloc_f32(p1n.div_ceil(ARRAY_BLOCK) as u64, "part2");
+
+    let mut b = GraphBuilder::new();
+    for frame in 0..frames {
+        b.upload(img, random_payload(0x1000 + frame as u64, n));
+        let conv = Convolution2D::new(img, blur, w, h, Convolution2D::box_filter(3), 3);
+        b.kernel(Box::new(conv), &[img], &[blur]);
+        // Spatial gradients of the blurred frame; the temporal derivative
+        // comes out zero (both frame roles are the blurred image).
+        let dv = Derivatives::new(blur, blur, ix, iy, it, w, h);
+        b.kernel(Box::new(dv), &[blur], &[ix, iy, it]);
+        let th = GradThreshold::new(ix, iy, mask, w, h, 0.08);
+        b.kernel(Box::new(th), &[ix, iy], &[mask]);
+        let r1 = ReduceSum::new(mask, part1, n as u32);
+        b.kernel(Box::new(r1), &[mask], &[part1]);
+        let r2 = ReduceSum::new(part1, part2, p1n);
+        b.kernel(Box::new(r2), &[part1], &[part2]);
+        b.download(part2);
+    }
+
+    ZooApp {
+        name: format!("image_pipeline_{w}x{h}x{frames}"),
+        graph: b.finish(),
+        mem,
+        outputs: vec![part2, mask],
+    }
+}
+
+/// Builds the tiled-matmul chain: seeded `n × n` operands `A` and `B`,
+/// then `depth` chained products `C_{i} = C_{i-1} · B` ping-ponging
+/// between two result buffers, with a final read-back. Every product
+/// reads the full `B`, so the chain is one long high-reuse pipeline —
+/// the matmul-ladder shape the roofline references target.
+pub fn build_matmul_chain(n: u32, depth: u32) -> ZooApp {
+    assert!(depth > 0, "need at least one product");
+    let elems = n as u64 * n as u64;
+    let mut mem = DeviceMemory::new();
+    let a = mem.alloc_f32(elems, "a");
+    let bmat = mem.alloc_f32(elems, "b");
+    let c0 = mem.alloc_f32(elems, "c0");
+    let c1 = mem.alloc_f32(elems, "c1");
+
+    let mut b = GraphBuilder::new();
+    // Scale the operands down so deep chains stay in normal f32 range.
+    b.upload(a, random_payload(0x2000, elems));
+    b.upload(bmat, random_payload(0x2001, elems));
+    let mut cur = a;
+    let mut out = c0;
+    for _ in 0..depth {
+        let mm = MatMul::new(cur, bmat, out, n, n, n);
+        b.kernel(Box::new(mm), &[cur, bmat], &[out]);
+        cur = out;
+        out = if cur.id == c0.id { c1 } else { c0 };
+    }
+    b.download(cur);
+
+    ZooApp {
+        name: format!("matmul_chain_{n}x{n}x{depth}"),
+        graph: b.finish(),
+        mem,
+        outputs: vec![cur],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_are_deterministic() {
+        let a = build_image_pipeline(32, 16, 2);
+        let b = build_image_pipeline(32, 16, 2);
+        assert_eq!(a.graph.num_nodes(), b.graph.num_nodes());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        let bits = |app: &ZooApp| crate::exec::memory_image(&app.mem);
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn image_pipeline_counts_edges_and_masks() {
+        let mut app = build_image_pipeline(32, 16, 3);
+        let gt = kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap();
+        assert_eq!(gt.order.len(), app.graph.num_nodes());
+        // The mask is 0/1-valued and the reduction tree sums it.
+        let mask = app.mem.download_f32(app.outputs[1]);
+        assert!(mask.iter().all(|&m| m == 0.0 || m == 1.0));
+        let sum: f32 = mask.iter().sum();
+        let reduced = app.mem.download_f32(app.outputs[0]);
+        assert_eq!(reduced[0], sum, "two-stage reduction matches flat sum");
+        let check = kgraph::check_edges(&app.graph, &gt.deps);
+        assert!(check.is_sound(), "undeclared deps: {:?}", check.undeclared);
+    }
+
+    #[test]
+    fn matmul_chain_matches_cpu_reference() {
+        let n = 12u32;
+        let mut app = build_matmul_chain(n, 3);
+        kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap();
+        // CPU reference: read the uploaded operands back, chain products.
+        let to_f32 = |bytes: Vec<u8>| -> Vec<f32> {
+            bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+        };
+        let a = to_f32(random_payload(0x2000, n as u64 * n as u64));
+        let bm = to_f32(random_payload(0x2001, n as u64 * n as u64));
+        let mul = |x: &[f32], y: &[f32]| -> Vec<f32> {
+            let mut c = vec![0.0f32; (n * n) as usize];
+            for i in 0..n as usize {
+                for j in 0..n as usize {
+                    let mut acc = 0.0f32;
+                    for k in 0..n as usize {
+                        acc += x[i * n as usize + k] * y[k * n as usize + j];
+                    }
+                    c[i * n as usize + j] = acc;
+                }
+            }
+            c
+        };
+        let mut cur = a;
+        for _ in 0..3 {
+            cur = mul(&cur, &bm);
+        }
+        assert_eq!(app.mem.download_f32(app.outputs[0]), cur);
+    }
+
+    #[test]
+    fn multigrid_app_reduces_residual() {
+        let mut app = build_multigrid(32, 4);
+        kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap();
+        let u = app.mem.download_f32(app.outputs[0]);
+        assert!(u.iter().any(|&v| v != 0.0), "solver produced a nonzero iterate");
+    }
+}

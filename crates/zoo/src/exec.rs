@@ -1,0 +1,57 @@
+//! Functional schedule replay and whole-memory snapshots — the
+//! primitives of the differential oracle.
+
+use gpu_sim::{BlockIdx, DeviceMemory};
+use kgraph::{AppGraph, NodeOp};
+use ktiler::Schedule;
+use trace::{ExecCtx, TraceRecorder};
+
+/// Executes a schedule *functionally*: kernels run block by block in
+/// schedule order, `HtD` nodes upload at their scheduled position, `DtH`
+/// nodes are no-ops (device memory is inspected directly afterwards).
+/// No traces are recorded and no timing is modeled — this is the "what
+/// would the GPU compute" semantics both sides of the differential
+/// comparison share.
+pub fn run_schedule_functionally(schedule: &Schedule, graph: &AppGraph, mem: &mut DeviceMemory) {
+    let mut rec = TraceRecorder::new(128);
+    rec.set_enabled(false);
+    for sk in &schedule.launches {
+        match &graph.node(sk.node).op {
+            NodeOp::Kernel(k) => {
+                let dims = k.dims();
+                for &b in &sk.blocks {
+                    let block = BlockIdx::from_id(b, dims.grid);
+                    let mut ctx = ExecCtx::new(mem, &mut rec);
+                    k.execute_block(block, &mut ctx);
+                }
+            }
+            NodeOp::HostToDevice { buf, data } => mem.upload_u8(*buf, data),
+            NodeOp::DeviceToHost { .. } => {}
+        }
+    }
+}
+
+/// Snapshots every device buffer as raw `f32` bit patterns, in
+/// allocation order. Bit-level comparison (rather than `f32` equality)
+/// keeps `NaN`s and signed zeros honest.
+pub fn memory_image(mem: &DeviceMemory) -> Vec<Vec<u32>> {
+    mem.buffers().map(|buf| mem.download_f32(buf).into_iter().map(f32::to_bits).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::build_image_pipeline;
+
+    #[test]
+    fn default_order_replay_matches_analyze() {
+        let mut app = build_image_pipeline(32, 16, 2);
+        kgraph::analyze(&app.graph, &mut app.mem, 128).unwrap();
+        let analyzed = memory_image(&app.mem);
+
+        let mut fresh = build_image_pipeline(32, 16, 2);
+        let sched = Schedule::default_order(&fresh.graph);
+        run_schedule_functionally(&sched, &fresh.graph, &mut fresh.mem);
+        assert_eq!(memory_image(&fresh.mem), analyzed);
+    }
+}

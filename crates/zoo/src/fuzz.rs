@@ -1,0 +1,584 @@
+//! Seeded adversarial DAG fuzzing for the full KTILER pipeline.
+//!
+//! [`gen_app`] draws a random application from a grammar over the kernel
+//! template families: stencils, elementwise maps, in-place updates,
+//! reductions, scans, transposes, bitonic steps, matmuls, value-dependent
+//! kernels (histogram, warp) and host transfers, over a small shared
+//! buffer pool so read-side aliasing, ping-pong reuse, mixed 1-D/2-D
+//! views of the same buffer and WAR/WAW hazards arise constantly. The
+//! grammar only emits *valid* GPU programs: a kernel's writes never alias
+//! another of its read buffers except same-index in-place roles, so the
+//! result is independent of block execution order — exactly the property
+//! the scheduler is allowed to rely on.
+//!
+//! [`run_case`] drives one seed through the pipeline with a differential
+//! oracle at every stage:
+//!
+//! 1. `analyze_fast` (structural/affine fast paths) must equal
+//!    `analyze_reference_with` (record everything) — order, per-node
+//!    block traces and the block dependency graph.
+//! 2. `ktiler_schedule` must produce a schedule that passes both
+//!    [`Schedule::validate`] and the independent [`verify_schedule`]
+//!    checker with zero errors.
+//! 3. The timing executor must accept the schedule.
+//! 4. Functional replay of the tiled schedule must leave every byte of
+//!    device memory identical to replaying the untiled baseline.
+//!
+//! Everything is a pure function of the seed, so any failure is
+//! reproducible from one `u64`.
+
+use crate::app::{random_payload, ZooApp};
+use crate::exec::{memory_image, run_schedule_functionally};
+use gpu_sim::{Buffer, BufferId, DeviceMemory, FreqConfig, GpuConfig, SplitMix64};
+use kernels::compute::{
+    BitonicStep, Convolution2D, FillSeq, HeatStep, Histogram, MatMul, ReduceSum, Saxpy, ScanStep,
+    Transpose,
+};
+use kernels::image::{AddField, Derivatives, Downscale, GradThreshold, Upscale, WarpImage};
+use kernels::pde::{PoissonSmooth, Prolong, Residual};
+use kgraph::{AppGraph, GraphBuilder, GraphTrace};
+use ktiler::{
+    calibrate, cluster_tile, execute_schedule, ktiler_schedule, singleton_tiling, verify_schedule,
+    Calibration, CalibrationConfig, KtilerConfig, Partition, Schedule, TileParams,
+};
+use std::fmt;
+
+/// A divergence found by the differential oracle: the pipeline stage
+/// that disagreed plus a human-readable detail. Reproduce with
+/// [`run_case`]`(seed)`.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The seed that produced the failing DAG.
+    pub seed: u64,
+    /// Pipeline stage that diverged (`analyze`, `schedule`, `validate`,
+    /// `verify`, `execute` or `output`).
+    pub stage: &'static str,
+    /// What exactly disagreed.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed {:#x} [{}]: {}", self.seed, self.stage, self.detail)
+    }
+}
+
+/// Summary of one clean case.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseStats {
+    /// Nodes in the generated graph.
+    pub nodes: usize,
+    /// Kernel nodes (the rest are transfers).
+    pub kernels: usize,
+    /// Launches in the tiled schedule.
+    pub launches: usize,
+    /// Launches belonging to tiled (multi-launch) nodes.
+    pub tiled_launches: usize,
+    /// Merges Algorithm 1 accepted.
+    pub merges_accepted: usize,
+    /// Launches in the forced-tiling pass belonging to split nodes.
+    pub forced_tiled_launches: usize,
+}
+
+/// Image shapes the generator draws from: all-even extents (downscale
+/// needs them) spanning 1×1 to 4×8 grids of 32×8 pixel blocks. The
+/// larger shapes give nodes enough blocks (12–32) for Algorithm 2 to
+/// form multiple groups under a shrunken capacity — without them every
+/// cluster either fits whole or cannot tile at all, and the interleaved
+/// sub-launch paths would go unexercised.
+const DIMS_POOL: [(u32, u32); 11] = [
+    (16, 8),
+    (32, 8),
+    (32, 16),
+    (24, 16),
+    (48, 16),
+    (64, 16),
+    (40, 24),
+    (32, 32),
+    (96, 32),
+    (64, 64),
+    (128, 32),
+];
+
+fn pick_buf(rng: &mut SplitMix64, bufs: &[Buffer]) -> Buffer {
+    bufs[rng.gen_range_u64(0, bufs.len() as u64) as usize]
+}
+
+/// Draws a buffer whose id is not in `exclude`. The pool is always
+/// larger than any exclusion list the grammar uses, so the rejection
+/// loop terminates (and stays deterministic: each rejection consumes
+/// rng state in a seed-reproducible way).
+fn pick_buf_not(rng: &mut SplitMix64, bufs: &[Buffer], exclude: &[BufferId]) -> Buffer {
+    loop {
+        let b = pick_buf(rng, bufs);
+        if !exclude.contains(&b.id) {
+            return b;
+        }
+    }
+}
+
+/// A 1-D length ≤ `cap`, biased toward block-boundary edge cases.
+fn pick_len(rng: &mut SplitMix64, cap: u32) -> u32 {
+    let pool = [1u32, 2, 31, 32, 64, 255, 256, 257, 300, 512, 1000, cap];
+    let mut n = pool[rng.gen_range_u64(0, pool.len() as u64) as usize];
+    if n > cap {
+        n = cap;
+    }
+    n
+}
+
+/// Generates the seeded random application. Pure in the seed: the same
+/// seed always yields the same graph, the same buffer addresses and the
+/// same upload payloads.
+pub fn gen_app(seed: u64) -> ZooApp {
+    let mut rng = SplitMix64::new(seed ^ 0x5eed_2005_cafe_f00d);
+    let (w, h) = DIMS_POOL[rng.gen_range_u64(0, DIMS_POOL.len() as u64) as usize];
+    let cap = w * h;
+    let nbufs = rng.gen_range_u64(5, 10) as usize;
+
+    let mut mem = DeviceMemory::new();
+    let bufs: Vec<Buffer> =
+        (0..nbufs).map(|i| mem.alloc_f32(cap as u64, &format!("z{i}"))).collect();
+
+    let mut b = GraphBuilder::new();
+
+    // Initial state: most buffers get seeded uploads, some a FillSeq
+    // kernel, some stay at their zero-initialized allocation.
+    for (i, &buf) in bufs.iter().enumerate() {
+        match rng.gen_range_u64(0, 10) {
+            0..=6 => {
+                b.upload(buf, random_payload(seed ^ (0xA000 + i as u64), cap as u64));
+            }
+            7 => {
+                let n = pick_len(&mut rng, cap);
+                let k = FillSeq::new(buf, n, rand_small(&mut rng), rand_small(&mut rng));
+                b.kernel(Box::new(k), &[], &[buf]);
+            }
+            _ => {}
+        }
+    }
+
+    let nops = rng.gen_range_u64(5, 23);
+    for op in 0..nops {
+        emit_op(&mut rng, &mut b, &bufs, w, h, cap, seed ^ (0xB000 + op));
+    }
+
+    // Read back a few buffers.
+    for _ in 0..rng.gen_range_u64(1, 4) {
+        b.download(pick_buf(&mut rng, &bufs));
+    }
+
+    let outputs = bufs.clone();
+    ZooApp { name: format!("fuzz_{seed:#018x}"), graph: b.finish(), mem, outputs }
+}
+
+/// A small, always-finite constant.
+fn rand_small(rng: &mut SplitMix64) -> f32 {
+    (rng.next_u32() % 2000) as f32 / 1000.0 - 1.0
+}
+
+fn emit_op(
+    rng: &mut SplitMix64,
+    b: &mut GraphBuilder,
+    bufs: &[Buffer],
+    w: u32,
+    h: u32,
+    cap: u32,
+    opseed: u64,
+) {
+    match rng.gen_range_u64(0, 21) {
+        0 => {
+            // Heat diffusion step: 5-point stencil, ping-pong.
+            let src = pick_buf(rng, bufs);
+            let dst = pick_buf_not(rng, bufs, &[src.id]);
+            let k = HeatStep::new(src, dst, w, h, 0.2);
+            b.kernel(Box::new(k), &[src], &[dst]);
+        }
+        1 => {
+            // Box blur, 3 or 5 taps.
+            let taps = if rng.gen_range_u64(0, 2) == 0 { 3 } else { 5 };
+            let src = pick_buf(rng, bufs);
+            let dst = pick_buf_not(rng, bufs, &[src.id]);
+            let k = Convolution2D::new(src, dst, w, h, Convolution2D::box_filter(taps), taps);
+            b.kernel(Box::new(k), &[src], &[dst]);
+        }
+        2 => {
+            // In-place accumulate: acc += inc, same-index.
+            let inc = pick_buf(rng, bufs);
+            let acc = pick_buf_not(rng, bufs, &[inc.id]);
+            let k = AddField::new(acc, inc, w, h);
+            b.kernel(Box::new(k), &[acc, inc], &[acc]);
+        }
+        3 => {
+            // Derivatives; the two frame roles may alias (a structurally
+            // aliased instance OffsetMap must refuse to rebase), and the
+            // three outputs may alias each other — but never an input.
+            let i0 = pick_buf(rng, bufs);
+            let i1w = if rng.gen_range_u64(0, 4) == 0 { i0 } else { pick_buf(rng, bufs) };
+            let inputs = [i0.id, i1w.id];
+            let ix = pick_buf_not(rng, bufs, &inputs);
+            let iy = pick_buf_not(rng, bufs, &inputs);
+            let it = pick_buf_not(rng, bufs, &inputs);
+            let k = Derivatives::new(i0, i1w, ix, iy, it, w, h);
+            b.kernel(Box::new(k), &[i0, i1w], &[ix, iy, it]);
+        }
+        4 => {
+            // Gradient threshold; the gradients may alias each other.
+            let ix = pick_buf(rng, bufs);
+            let iy = if rng.gen_range_u64(0, 3) == 0 { ix } else { pick_buf(rng, bufs) };
+            let mask = pick_buf_not(rng, bufs, &[ix.id, iy.id]);
+            let k = GradThreshold::new(ix, iy, mask, w, h, rand_small(rng).abs());
+            b.kernel(Box::new(k), &[ix, iy], &[mask]);
+        }
+        5 => {
+            // Downscale: reads w×h, writes (w/2)×(h/2).
+            let src = pick_buf(rng, bufs);
+            let dst = pick_buf_not(rng, bufs, &[src.id]);
+            let k = Downscale::new(src, dst, w, h);
+            b.kernel(Box::new(k), &[src], &[dst]);
+        }
+        6 => {
+            // Upscale from the half-resolution view back to full size.
+            let src = pick_buf(rng, bufs);
+            let dst = pick_buf_not(rng, bufs, &[src.id]);
+            let k = Upscale::new(src, dst, w / 2, h / 2, 2.0);
+            b.kernel(Box::new(k), &[src], &[dst]);
+        }
+        7 => {
+            // Saxpy: y += a·x in place, 1-D view of the pool.
+            let x = pick_buf(rng, bufs);
+            let y = pick_buf_not(rng, bufs, &[x.id]);
+            let n = pick_len(rng, cap);
+            let k = Saxpy::new(x, y, rand_small(rng), n);
+            b.kernel(Box::new(k), &[x, y], &[y]);
+        }
+        8 => {
+            // Block-sum reduction; partials may land in any other buffer.
+            let src = pick_buf(rng, bufs);
+            let partials = pick_buf_not(rng, bufs, &[src.id]);
+            let n = pick_len(rng, cap);
+            let k = ReduceSum::new(src, partials, n);
+            b.kernel(Box::new(k), &[src], &[partials]);
+        }
+        9 => {
+            // One Hillis–Steele scan step.
+            let src = pick_buf(rng, bufs);
+            let dst = pick_buf_not(rng, bufs, &[src.id]);
+            let n = pick_len(rng, cap).max(2);
+            let offset = rng.gen_range_u64(1, n as u64) as u32;
+            let k = ScanStep::new(src, dst, n, offset);
+            b.kernel(Box::new(k), &[src], &[dst]);
+        }
+        10 => {
+            // Transpose: the classic strided-write footprint.
+            let src = pick_buf(rng, bufs);
+            let dst = pick_buf_not(rng, bufs, &[src.id]);
+            let k = Transpose::new(src, dst, w, h);
+            b.kernel(Box::new(k), &[src], &[dst]);
+        }
+        11 => {
+            // One bitonic compare-exchange step, in place.
+            let data = pick_buf(rng, bufs);
+            let log2 = 31 - cap.next_power_of_two().min(cap).leading_zeros();
+            let n = 1u32 << rng.gen_range_u64(1, log2 as u64 + 1);
+            let a = rng.gen_range_u64(1, n.trailing_zeros() as u64 + 1);
+            let k_arg = 1u32 << a;
+            let j = 1u32 << rng.gen_range_u64(0, a);
+            let k = BitonicStep::new(data, n, k_arg, j);
+            b.kernel(Box::new(k), &[data], &[data]);
+        }
+        12 => {
+            // Matmul over small operands carved from pool buffers; the
+            // two inputs may alias, the output may not alias an input.
+            let max_dim = if cap >= 256 { 4 } else { 3 };
+            let dims = [2u32, 4, 8, 16];
+            let m = dims[rng.gen_range_u64(0, max_dim) as usize];
+            let kk = dims[rng.gen_range_u64(0, max_dim) as usize];
+            let n = dims[rng.gen_range_u64(0, max_dim) as usize];
+            let a = pick_buf(rng, bufs);
+            let bm = if rng.gen_range_u64(0, 4) == 0 { a } else { pick_buf(rng, bufs) };
+            let c = pick_buf_not(rng, bufs, &[a.id, bm.id]);
+            let k = MatMul::new(a, bm, c, m, kk, n);
+            b.kernel(Box::new(k), &[a, bm], &[c]);
+        }
+        13 => {
+            // Histogram: value-dependent atomics, never tileable.
+            let src = pick_buf(rng, bufs);
+            let hist = pick_buf_not(rng, bufs, &[src.id]);
+            let n = pick_len(rng, cap);
+            let bins = rng.gen_range_u64(1, 65) as u32;
+            let k = Histogram::new(src, hist, n, bins);
+            b.kernel(Box::new(k), &[src, hist], &[hist]);
+        }
+        14 => {
+            // Warp: data-dependent gather (clamped), recorded functionally.
+            let src = pick_buf(rng, bufs);
+            let u = pick_buf(rng, bufs);
+            let v = pick_buf(rng, bufs);
+            let dst = pick_buf_not(rng, bufs, &[src.id, u.id, v.id]);
+            let k = WarpImage::new(src, u, v, dst, w, h);
+            b.kernel(Box::new(k), &[src, u, v], &[dst]);
+        }
+        15 => {
+            // Damped Jacobi smoothing; the RHS may alias the output
+            // (same-index read) but never the stencil input.
+            let u_in = pick_buf(rng, bufs);
+            let f = pick_buf(rng, bufs);
+            let u_out = pick_buf_not(rng, bufs, &[u_in.id]);
+            let k = PoissonSmooth::new(u_in, f, u_out, w, h, 1.0, 0.9);
+            b.kernel(Box::new(k), &[u_in, f], &[u_out]);
+        }
+        16 => {
+            // Residual: r may alias f (same-index) but never u.
+            let u = pick_buf(rng, bufs);
+            let f = pick_buf(rng, bufs);
+            let r = pick_buf_not(rng, bufs, &[u.id]);
+            let k = Residual::new(u, f, r, w, h, 1.0);
+            b.kernel(Box::new(k), &[u, f], &[r]);
+        }
+        17 => {
+            // Prolongation from the half-resolution view.
+            let src = pick_buf(rng, bufs);
+            let dst = pick_buf_not(rng, bufs, &[src.id]);
+            let k = Prolong::new(src, dst, w / 2, h / 2);
+            b.kernel(Box::new(k), &[src], &[dst]);
+        }
+        18 => {
+            // Fill a prefix with an affine ramp.
+            let dst = pick_buf(rng, bufs);
+            let n = pick_len(rng, cap);
+            let k = FillSeq::new(dst, n, rand_small(rng), rand_small(rng));
+            b.kernel(Box::new(k), &[], &[dst]);
+        }
+        19 => {
+            // Mid-graph re-upload: flushes verifier windows, creates
+            // WAR/WAW pressure against everything emitted so far.
+            let dst = pick_buf(rng, bufs);
+            b.upload(dst, random_payload(opseed, cap as u64));
+        }
+        _ => {
+            // Mid-graph read-back.
+            b.download(pick_buf(rng, bufs));
+        }
+    }
+}
+
+/// Builds an adversarial *forced* tiled schedule: a seeded random valid
+/// partition, every cluster tiled by Algorithm 2 (`cluster_tile`) at the
+/// given (shrunken) capacity, stitched in cluster topological order —
+/// with no profitability gate.
+///
+/// The cost-driven scheduler almost never emits interleaved sub-launches
+/// at fuzz scale: these graphs have 1–6 blocks per node, so per-launch
+/// overhead in the calibrated tables dominates any cache benefit and
+/// Algorithm 1 rejects every multi-group tiling as unprofitable. That
+/// would leave the sub-launch interleaving paths — exactly where
+/// dependency-ordering bugs live — untested. Correctness must not depend
+/// on profitability, so this pass removes the gate.
+pub fn forced_tiled_schedule(
+    seed: u64,
+    g: &AppGraph,
+    gt: &GraphTrace,
+    cal: &Calibration,
+    tile: &TileParams,
+) -> Schedule {
+    let mut rng = SplitMix64::new(seed ^ 0xF02C_ED71_1E5C_0DE5);
+    let mut partition = Partition::singletons(g);
+    let mut edges: Vec<u32> = (0..g.num_edges() as u32).collect();
+    for i in (1..edges.len()).rev() {
+        let j = rng.gen_range_u64(0, i as u64 + 1) as usize;
+        edges.swap(i, j);
+    }
+    for e in edges {
+        // Skip a quarter of the edges so some singleton clusters survive
+        // (single-node clusters still split under the small capacity,
+        // covering sub-launched standalone kernels).
+        if rng.gen_range_u64(0, 4) == 0 {
+            continue;
+        }
+        let edge = g.edge(kgraph::EdgeId(e));
+        let ca = partition.cluster_of(edge.src);
+        let cb = partition.cluster_of(edge.dst);
+        if ca == cb {
+            continue;
+        }
+        let merged = partition.merged(ca, cb);
+        if merged.is_valid(g) {
+            partition = merged;
+        }
+    }
+    let order = partition.cluster_order(g).expect("valid partitions always have a cluster order");
+    let mut schedule = Schedule::default();
+    for c in order {
+        let members = partition.members(c);
+        match cluster_tile(members, g, gt, cal, tile) {
+            Some(t) => schedule.launches.extend(t.launches),
+            None => {
+                // Untileable at this capacity (a minimal dependency-closed
+                // group already overflows): full launches in topo order.
+                for &v in gt.order.iter().filter(|v| members.contains(v)) {
+                    schedule.launches.extend(singleton_tiling(v, g, cal, tile).launches);
+                }
+            }
+        }
+    }
+    schedule
+}
+
+/// Compares two analyzer results field by field; returns the first
+/// difference as a detail string.
+fn compare_traces(fast: &kgraph::GraphTrace, reference: &kgraph::GraphTrace) -> Result<(), String> {
+    if fast.order != reference.order {
+        return Err("topological orders differ".into());
+    }
+    if fast.nodes.len() != reference.nodes.len() {
+        return Err(format!("node counts {} vs {}", fast.nodes.len(), reference.nodes.len()));
+    }
+    for (i, (a, r)) in fast.nodes.iter().zip(&reference.nodes).enumerate() {
+        if *a.blocks != *r.blocks {
+            return Err(format!("node {i}: block traces differ (fast vs reference)"));
+        }
+    }
+    if fast.deps != reference.deps {
+        return Err(format!(
+            "block dependency graphs differ ({} vs {} edges)",
+            fast.deps.num_edges(),
+            reference.deps.num_edges()
+        ));
+    }
+    Ok(())
+}
+
+/// Runs one seed through the full differential pipeline.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found; a clean run returns its
+/// [`CaseStats`].
+pub fn run_case(seed: u64) -> Result<CaseStats, Divergence> {
+    let err = |stage: &'static str, detail: String| Divergence { seed, stage, detail };
+    let cfg = GpuConfig::gtx960m();
+    let lb = cfg.cache.line_bytes;
+    // Pipeline knobs also derive from the seed: worker counts exercise
+    // the sharded analyzer paths, thresholds vary merge aggressiveness,
+    // and shrunken cache capacities force real tile splits (at the true
+    // 2 MiB L2 these small workloads would never overflow a window, and
+    // the interleaved sub-launch paths would go untested).
+    let threads = 1 + (seed % 4) as usize;
+    let thld = [0.0, 250.0, 1000.0][(seed / 7 % 3) as usize];
+    let capacity = [4096, 16384, 65536, cfg.cache.capacity_bytes][(seed / 3 % 4) as usize];
+
+    let mut app = gen_app(seed);
+    let gt = kgraph::analyze_fast_with(&app.graph, &mut app.mem, lb, threads)
+        .map_err(|e| err("analyze", format!("fast analyzer rejected the DAG: {e:?}")))?;
+    let mut app_ref = gen_app(seed);
+    let gt_ref = kgraph::analyze_reference_with(&app_ref.graph, &mut app_ref.mem, lb, 1)
+        .map_err(|e| err("analyze", format!("reference analyzer rejected the DAG: {e:?}")))?;
+    compare_traces(&gt, &gt_ref).map_err(|d| err("analyze", d))?;
+
+    let freq = FreqConfig::new(1324.0, 1600.0);
+    let cal = calibrate(&app.graph, &gt, &cfg, freq, &CalibrationConfig::default());
+    let kcfg =
+        KtilerConfig { weight_threshold_ns: thld, tile: TileParams::paper(capacity, lb, 0.0) };
+    let out = ktiler_schedule(&app.graph, &gt, &cal, &kcfg)
+        .map_err(|e| err("schedule", format!("{e}")))?;
+    out.schedule.validate(&app.graph, &gt.deps).map_err(|e| err("validate", format!("{e:?}")))?;
+
+    let rep = verify_schedule(&out.schedule, &app.graph, &gt, &kcfg.tile);
+    if rep.num_errors() > 0 || rep.truncated() {
+        let first = rep.errors().next().map(|v| v.to_string()).unwrap_or_default();
+        return Err(err(
+            "verify",
+            format!("{} error(s), truncated={}: {first}", rep.num_errors(), rep.truncated()),
+        ));
+    }
+
+    execute_schedule(&out.schedule, &app.graph, &gt, &cfg, freq, Some(0.0))
+        .map_err(|e| err("execute", format!("{e}")))?;
+
+    // Differential replay: untiled vs tiled on fresh builds.
+    let mut base = gen_app(seed);
+    run_schedule_functionally(&Schedule::default_order(&base.graph), &base.graph, &mut base.mem);
+    let img_def = memory_image(&base.mem);
+    let mut tiled = gen_app(seed);
+    run_schedule_functionally(&out.schedule, &tiled.graph, &mut tiled.mem);
+    let img_tiled = memory_image(&tiled.mem);
+    if img_tiled != img_def {
+        let which = img_def
+            .iter()
+            .zip(&img_tiled)
+            .position(|(a, b)| a != b)
+            .map(|i| format!("buffer {i}"))
+            .unwrap_or_else(|| "buffer set".into());
+        return Err(err("output", format!("tiled bytes differ from untiled in {which}")));
+    }
+
+    // Forced-tiling pass: same oracle stages against a schedule whose
+    // interleaved sub-launches are guaranteed rather than cost-gated.
+    let fcap = [3072u64, 4096, 6144][(seed / 5 % 3) as usize];
+    let ftile = TileParams::paper(fcap, lb, 0.0);
+    let forced = forced_tiled_schedule(seed, &app.graph, &gt, &cal, &ftile);
+    forced.validate(&app.graph, &gt.deps).map_err(|e| err("forced-validate", format!("{e:?}")))?;
+    let frep = verify_schedule(&forced, &app.graph, &gt, &ftile);
+    if frep.num_errors() > 0 || frep.truncated() {
+        let first = frep.errors().next().map(|v| v.to_string()).unwrap_or_default();
+        return Err(err(
+            "forced-verify",
+            format!("{} error(s), truncated={}: {first}", frep.num_errors(), frep.truncated()),
+        ));
+    }
+    execute_schedule(&forced, &app.graph, &gt, &cfg, freq, Some(0.0))
+        .map_err(|e| err("forced-execute", format!("{e}")))?;
+    let mut ftiled = gen_app(seed);
+    run_schedule_functionally(&forced, &ftiled.graph, &mut ftiled.mem);
+    if memory_image(&ftiled.mem) != img_def {
+        return Err(err("forced-output", "forced-tiled bytes differ from untiled".into()));
+    }
+
+    let kernels = app
+        .graph
+        .node_ids()
+        .filter(|&n| matches!(app.graph.node(n).op, kgraph::NodeOp::Kernel(_)))
+        .count();
+    Ok(CaseStats {
+        nodes: app.graph.num_nodes(),
+        kernels,
+        launches: out.schedule.num_launches(),
+        tiled_launches: out.schedule.num_tiled_launches(&app.graph),
+        merges_accepted: out.report.merges_accepted,
+        forced_tiled_launches: forced.num_tiled_launches(&app.graph),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = gen_app(42);
+        let b = gen_app(42);
+        assert_eq!(a.graph.num_nodes(), b.graph.num_nodes());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(memory_image(&a.mem), memory_image(&b.mem));
+    }
+
+    #[test]
+    fn generated_graphs_are_dags_with_varied_shapes() {
+        let mut nodes = std::collections::HashSet::new();
+        for seed in 0..20 {
+            let app = gen_app(seed);
+            assert!(kgraph::topo_order(&app.graph).is_ok(), "seed {seed} built a cycle");
+            nodes.insert(app.graph.num_nodes());
+        }
+        assert!(nodes.len() > 5, "generator should vary graph sizes: {nodes:?}");
+    }
+
+    #[test]
+    fn smoke_seeds_run_clean() {
+        for seed in 0..8 {
+            let stats = run_case(seed).unwrap_or_else(|d| panic!("{d}"));
+            assert!(stats.nodes > 0);
+        }
+    }
+}

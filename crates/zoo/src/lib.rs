@@ -1,0 +1,29 @@
+//! # zoo — scheduled workloads beyond optical flow, plus a DAG fuzzer
+//!
+//! Every correctness gate in this repo historically ran on
+//! HSOpticalFlow-shaped graphs only. This crate widens the net:
+//!
+//! * [`app`] — three first-class applications built on the shared
+//!   [`kgraph::GraphBuilder`]: a multigrid V-cycle DAG, an image pipeline
+//!   (blur → gradient → threshold → reduce) and a tiled-matmul chain. Each
+//!   is a [`ZooApp`]: graph + device memory + output handles, ready for
+//!   the full analyze → calibrate → schedule → verify → execute pipeline.
+//! * [`exec`] — functional schedule replay and whole-memory snapshots:
+//!   the primitives of the differential oracle (tiled output must be
+//!   byte-identical to untiled).
+//! * [`fuzz`] — a seeded (SplitMix64) random-DAG generator over the
+//!   kernel template families, driven through the pipeline with three
+//!   oracles per case: the fast analyzer must match the full-trace
+//!   reference, the verifier must be clean, and tiled execution must be
+//!   bit-identical to untiled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod exec;
+pub mod fuzz;
+
+pub use app::{build_image_pipeline, build_matmul_chain, build_multigrid, ZooApp};
+pub use exec::{memory_image, run_schedule_functionally};
+pub use fuzz::{forced_tiled_schedule, gen_app, run_case, CaseStats, Divergence};

@@ -80,6 +80,22 @@ echo "== analyzer equivalence (paper-scale, release) =="
 # workload the acceptance bar names, for serial and multi-threaded builds.
 cargo test --release -p bench --test analyzer_equivalence "${OFFLINE[@]}" -- --ignored
 
+echo "== fuzz corpus regression suite (release) =="
+# Every seed in crates/ktiler/tests/fuzz_corpus/ once exposed a real
+# scheduler bug (missing WAR/WAW hazard edges; atomic-node pessimism
+# missing transitive ancestors). Each replays the full differential
+# pipeline from its seed alone.
+cargo test --release -p ktiler --test fuzz_corpus -q "${OFFLINE[@]}"
+
+echo "== DAG fuzz smoke (seeds 0..200) =="
+# 200 seeded random DAGs through the differential oracle (analyzer
+# equivalence, validation, verification, execution, byte-exact
+# tiled-vs-untiled replay, forced tiling). Deterministic: any failure
+# prints the seed and reproduces standalone via
+#   fuzz_dags --seed0 <seed> --count 1 --verbose
+# Exits non-zero on any divergence.
+cargo run --release -p bench --bin fuzz_dags "${OFFLINE[@]}" -- --seed0 0 --count 200
+
 echo "== bench_scheduler smoke test =="
 # One-sample run on a small workload: the JSON must carry the phase
 # timings, both determinism cross-checks must pass (parallel sharded
@@ -89,8 +105,9 @@ echo "== bench_scheduler smoke test =="
 # reuse dominates the fixed per-run costs enough for that margin to be
 # stable; the committed 512² results show ~25x.
 SMOKE_JSON=$(mktemp /tmp/bench_scheduler_smoke.XXXXXX.json)
+ZOO_JSON=$(mktemp /tmp/bench_zoo_smoke.XXXXXX.json)
 SVC_DIR=$(mktemp -d /tmp/ktiler_svc_smoke.XXXXXX)
-trap 'rm -f "$SMOKE_JSON"; rm -rf "$SVC_DIR"; [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+trap 'rm -f "$SMOKE_JSON" "$ZOO_JSON"; rm -rf "$SVC_DIR"; [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
 cargo run --release -p bench --bin bench_scheduler "${OFFLINE[@]}" -- \
     --size 192 --iters 10 --samples 1 --out "$SMOKE_JSON"
 for key in analyze_ms analyze_full_ms calibrate_ms ktiler_schedule_ms cold_request_ms; do
@@ -108,6 +125,27 @@ done
 SPEEDUP=$(awk -F': ' '/"analyze_speedup"/ { gsub(/,/, "", $2); print $2 }' "$SMOKE_JSON")
 if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 5) }'; then
     echo "error: fast-analyzer speedup regressed: analyze_speedup = ${SPEEDUP:-missing} (< 5)" >&2
+    exit 1
+fi
+
+echo "== workload zoo: smoke run + committed-results freshness =="
+# Smoke scale: the binary itself asserts verify_ok and outputs_match for
+# every zoo workload before writing the JSON.
+cargo run --release -p bench --bin bench_zoo "${OFFLINE[@]}" -- --small --out "$ZOO_JSON"
+# Committed full-scale results must cover all three workload families,
+# be a full-scale run, carry the speedup field, and have no failed gate.
+for fam in multigrid image_pipeline matmul_chain; do
+    if ! grep -q "\"name\": \"${fam}_" results/BENCH_zoo.json; then
+        echo "error: workload family $fam missing from results/BENCH_zoo.json" >&2
+        exit 1
+    fi
+done
+grep -qF '"small": false' results/BENCH_zoo.json \
+    || { echo "error: committed BENCH_zoo.json is a --small run" >&2; exit 1; }
+grep -qF '"speedup"' results/BENCH_zoo.json \
+    || { echo "error: committed BENCH_zoo.json carries no speedup field" >&2; exit 1; }
+if grep -qE '"(verify_ok|outputs_match)": false' results/BENCH_zoo.json; then
+    echo "error: committed BENCH_zoo.json records a failed correctness gate" >&2
     exit 1
 fi
 
@@ -132,9 +170,12 @@ done
 ADDR=$(cat "$SVC_DIR/port")
 SCHED_ARGS=(schedule --addr "$ADDR" --size 64 --iters 3 --levels 2)
 
-"${CLIENT[@]}" "${SCHED_ARGS[@]}" --out "$SVC_DIR/first.sched" | grep -q '^MISS ' \
+# Capture client output instead of piping into grep -q: -q exits on the
+# first match, and the client's follow-up "wrote ..." line would then
+# die on a broken pipe (flaky under pipefail).
+"${CLIENT[@]}" "${SCHED_ARGS[@]}" --out "$SVC_DIR/first.sched" | grep '^MISS ' >/dev/null \
     || { echo "error: first request should be a MISS" >&2; exit 1; }
-"${CLIENT[@]}" "${SCHED_ARGS[@]}" --out "$SVC_DIR/second.sched" | grep -q '^HIT ' \
+"${CLIENT[@]}" "${SCHED_ARGS[@]}" --out "$SVC_DIR/second.sched" | grep '^HIT ' >/dev/null \
     || { echo "error: second request should be a HIT" >&2; exit 1; }
 cmp -s "$SVC_DIR/first.sched" "$SVC_DIR/second.sched" \
     || { echo "error: cache hit is not byte-identical to the miss" >&2; exit 1; }
@@ -143,7 +184,7 @@ cmp -s "$SVC_DIR/first.sched" "$SVC_DIR/second.sched" \
 # and transparently recompute.
 ARTIFACT=$(ls "$SVC_DIR"/cache/*.sched)
 echo "garbage, not a schedule" > "$ARTIFACT"
-"${CLIENT[@]}" "${SCHED_ARGS[@]}" --out "$SVC_DIR/third.sched" | grep -q '^RECOMPUTE ' \
+"${CLIENT[@]}" "${SCHED_ARGS[@]}" --out "$SVC_DIR/third.sched" | grep '^RECOMPUTE ' >/dev/null \
     || { echo "error: corrupted artifact should trigger a RECOMPUTE" >&2; exit 1; }
 cmp -s "$SVC_DIR/first.sched" "$SVC_DIR/third.sched" \
     || { echo "error: recompute did not reproduce the original schedule" >&2; exit 1; }
@@ -157,7 +198,7 @@ for check in '"cache_hits": 1' '"cache_misses": 1' '"verify_failures": 1'; do
     fi
 done
 
-"${CLIENT[@]}" shutdown --addr "$ADDR" | grep -q '^BYE$' \
+"${CLIENT[@]}" shutdown --addr "$ADDR" | grep '^BYE$' >/dev/null \
     || { echo "error: shutdown not acknowledged" >&2; exit 1; }
 for _ in $(seq 1 100); do
     kill -0 "$SERVE_PID" 2>/dev/null || break
