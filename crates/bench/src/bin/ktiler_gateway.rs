@@ -1,0 +1,118 @@
+//! `ktiler_gateway` — route schedule requests across a ring of
+//! `ktiler_serve` nodes.
+//!
+//! Starts a [`ktiler_gateway::Gateway`] over the given node addresses and
+//! serves the same framed wire protocol the nodes speak, so clients point
+//! at the gateway and need not know the ring exists. Runs until a
+//! `SHUTDOWN` request arrives, then dumps the gateway stats as JSON.
+//!
+//! ```text
+//! ktiler_gateway --node HOST:PORT [--node HOST:PORT]...
+//!                [--addr HOST:PORT] [--replicas N] [--vnodes N]
+//!                [--seed N] [--hot-threshold N] [--forwarders N]
+//!                [--queue N] [--node-timeout-ms N]
+//!                [--dead-cooldown-ms N] [--fallback-cache-dir DIR]
+//!                [--port-file PATH] [--stats-out PATH]
+//! ```
+//!
+//! Defaults mirror [`ktiler_gateway::GatewayConfig::new`]: 2 owners per
+//! key, 64 virtual nodes, seed 0, hot threshold 8, 4 forwarders, a
+//! 16384-deep queue, a 10 s per-node timeout and a 1 s dead cooldown.
+//! `--fallback-cache-dir` arms the local-recompute fallback: when every
+//! owner of a key is unreachable the gateway computes the schedule itself
+//! (cached in the given directory) instead of erroring.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ktiler_gateway::{Gateway, GatewayConfig};
+use ktiler_svc::{serve_front, ServerTuning, ServiceConfig};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_values(name: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).filter(|w| w[0] == name).map(|w| w[1].clone()).collect()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ktiler_gateway --node HOST:PORT [--node HOST:PORT]... [--addr HOST:PORT] \
+         [--replicas N] [--vnodes N] [--seed N] [--hot-threshold N] [--forwarders N] \
+         [--queue N] [--node-timeout-ms N] [--dead-cooldown-ms N] \
+         [--fallback-cache-dir DIR] [--port-file PATH] [--stats-out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn arg_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match arg_value(name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| usage()),
+    }
+}
+
+fn arg_millis(name: &str, default: Duration) -> Duration {
+    match arg_value(name) {
+        None => default,
+        Some(n) => Duration::from_millis(n.parse().unwrap_or_else(|_| usage())),
+    }
+}
+
+fn main() {
+    let nodes = arg_values("--node");
+    if nodes.is_empty() {
+        usage();
+    }
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+
+    let mut cfg = GatewayConfig::new(nodes);
+    cfg.replicas = arg_parse("--replicas", cfg.replicas);
+    cfg.vnodes = arg_parse("--vnodes", cfg.vnodes);
+    cfg.seed = arg_parse("--seed", cfg.seed);
+    cfg.hot_threshold = arg_parse("--hot-threshold", cfg.hot_threshold);
+    cfg.forwarders = arg_parse("--forwarders", cfg.forwarders);
+    cfg.queue_capacity = arg_parse("--queue", cfg.queue_capacity);
+    cfg.node_timeout = arg_millis("--node-timeout-ms", cfg.node_timeout);
+    cfg.dead_cooldown = arg_millis("--dead-cooldown-ms", cfg.dead_cooldown);
+    if let Some(dir) = arg_value("--fallback-cache-dir") {
+        cfg.local_fallback = Some(ServiceConfig::new(&dir));
+    }
+
+    let gw = match Gateway::start(cfg) {
+        Ok(g) => Arc::new(g),
+        Err(e) => {
+            eprintln!("error: cannot start gateway: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match serve_front(addr.as_str(), Arc::clone(&gw), ServerTuning::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let local = server.local_addr();
+    println!("gateway on {local} routing to {} node(s)", gw.ring().nodes().len());
+    if let Some(path) = arg_value("--port-file") {
+        if let Err(e) = std::fs::write(&path, format!("{local}\n")) {
+            eprintln!("error: cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let gw = server.join();
+    let stats = gw.stats_json();
+    eprintln!("{stats}");
+    if let Some(path) = arg_value("--stats-out") {
+        if let Err(e) = std::fs::write(&path, &stats) {
+            eprintln!("error: cannot write stats file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -8,7 +8,8 @@
 //! ktiler_serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N]
 //!              [--queue N] [--port-file PATH] [--stats-out PATH]
 //!              [--read-poll-ms N] [--write-timeout-ms N]
-//!              [--stall-timeout-ms N]
+//!              [--stall-timeout-ms N] [--peer HOST:PORT]...
+//!              [--peer-timeout-ms N]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:0` (ephemeral port; the bound address is
@@ -19,6 +20,12 @@
 //! (see [`ktiler_svc::ServerTuning`]): how often an idle socket re-checks
 //! the stop flag, how long a non-reading client may block a write, and
 //! how long a peer may sit mid-frame before it is dropped as stalled.
+//!
+//! `--peer` (repeatable) names other nodes of a multi-node deployment:
+//! on a cache miss this node first tries to `FETCH` the artifact from a
+//! peer (each attempt bounded by `--peer-timeout-ms`, default 500) and
+//! only recomputes when no peer has it — the read-through fill described
+//! in DESIGN.md §15.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,11 +37,18 @@ fn arg_value(name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Every value of a repeatable `--<name> VALUE` flag, in order.
+fn arg_values(name: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).filter(|w| w[0] == name).map(|w| w[1].clone()).collect()
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: ktiler_serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] \
          [--queue N] [--port-file PATH] [--stats-out PATH] [--read-poll-ms N] \
-         [--write-timeout-ms N] [--stall-timeout-ms N]"
+         [--write-timeout-ms N] [--stall-timeout-ms N] [--peer HOST:PORT]... \
+         [--peer-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -59,6 +73,8 @@ fn main() {
     if let Some(n) = arg_value("--queue") {
         cfg.queue_capacity = n.parse().unwrap_or_else(|_| usage());
     }
+    cfg.peers = arg_values("--peer");
+    cfg.peer_timeout = arg_millis("--peer-timeout-ms", cfg.peer_timeout);
     let defaults = ServerTuning::default();
     let tuning = ServerTuning {
         read_poll: arg_millis("--read-poll-ms", defaults.read_poll),

@@ -138,6 +138,11 @@ fn client_main() {
                 None => print!("{}", r.text),
             }
         }
+        Response::Artifact { key, text } => {
+            println!("ARTIFACT key={key}");
+            print!("{text}");
+        }
+        Response::Stored => println!("STORED"),
         Response::Err(e) => {
             eprintln!("error: server answered: {e}");
             std::process::exit(1);

@@ -1,0 +1,575 @@
+//! The gateway: a [`FrontEnd`] that owns no cache and runs no pipeline —
+//! it routes each schedule request to the nodes owning its routing key
+//! and relays the answer.
+//!
+//! **Routing.** The routing key is [`ScheduleRequest::routing_key`] —
+//! computable from the request line alone — hashed onto the
+//! [`HashRing`]; the first `replicas` distinct nodes in ring order are
+//! the *owners*, tried in order. Because placement is deterministic,
+//! every request for a given workload and operating point lands on the
+//! same shard, whose cache therefore concentrates exactly that shard of
+//! the key space.
+//!
+//! **Failover.** A transport failure (dead node, torn connection,
+//! timeout) or a node-level rejection (`SHED`, `SHUTDOWN`) moves on to
+//! the next owner; the failed node is put on a cooldown so the next few
+//! thousand requests don't each re-pay the discovery timeout. Failures
+//! that are deterministic for the request (`BAD_REQUEST`, `PIPELINE`) are
+//! returned as-is — every replica would answer the same. When every owner
+//! fails, the gateway falls back to a local compute service when
+//! configured, else reports `INTERNAL`. Idempotency makes all of this
+//! safe: a schedule request is a pure function of its inputs, so trying
+//! it on two nodes can only cost duplicate work, never wrong answers.
+//!
+//! **Hot-key replication.** The gateway counts requests per routing key;
+//! when a key crosses `hot_threshold` it pushes the artifact (`PUT`) to
+//! the other owners, so the hot key is served even if its primary dies —
+//! without waiting for the failover path's peer fill.
+//!
+//! The event loop hands [`Dispatch::Pending`] tickets to a pool of
+//! forwarder threads (blocking I/O per forwarder, bounded by
+//! `node_timeout`), so slow shards never stall the loop.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ktiler_svc::fault;
+use ktiler_svc::metrics::LatencyHistogram;
+use ktiler_svc::proto::{Request, Response};
+use ktiler_svc::{
+    CacheKey, Dispatch, FrontEnd, NetClient, ScheduleRequest, ScheduleResponse, Service,
+    ServiceConfig, SvcError, Ticket, TicketSink,
+};
+
+use crate::ring::HashRing;
+
+/// Entries kept in the hot-key counting table before it is cleared
+/// wholesale — crude, but bounded, and a key hot enough to matter will
+/// re-cross the threshold quickly after a clear.
+const HOT_TABLE_CAP: usize = 4096;
+
+/// Tunables of a [`Gateway`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Node addresses (`host:port`), the identity the ring hashes.
+    pub nodes: Vec<String>,
+    /// Owners per key: the primary plus `replicas - 1` successors.
+    pub replicas: usize,
+    /// Virtual nodes per node on the ring.
+    pub vnodes: usize,
+    /// Seed of the ring's point positions; every participant must agree.
+    pub seed: u64,
+    /// Requests for one routing key before its artifact is pushed to the
+    /// other owners. Zero disables replication.
+    pub hot_threshold: u32,
+    /// Forwarder threads draining the gateway queue (each holds one
+    /// pooled connection per node).
+    pub forwarders: usize,
+    /// Queue capacity; a request beyond it sheds, exactly like a node's
+    /// own queue. Sized for the 10k-connection benches by default.
+    pub queue_capacity: usize,
+    /// Connect/read/write timeout for one attempt against one node.
+    pub node_timeout: Duration,
+    /// How long a node that failed a transport attempt is deprioritized
+    /// (still tried when no live owner remains).
+    pub dead_cooldown: Duration,
+    /// When set, the gateway starts a local [`Service`] and computes
+    /// requests itself after every owner has failed — degraded latency,
+    /// zero client-visible errors.
+    pub local_fallback: Option<ServiceConfig>,
+}
+
+impl GatewayConfig {
+    /// A config with defaults sized for a handful of local nodes:
+    /// 2 owners per key, 64 vnodes, hot threshold 8, 4 forwarders, a
+    /// 16384-deep queue, 10 s node timeout and 1 s dead cooldown.
+    pub fn new(nodes: Vec<String>) -> Self {
+        GatewayConfig {
+            nodes,
+            replicas: 2,
+            vnodes: 64,
+            seed: 0,
+            hot_threshold: 8,
+            forwarders: 4,
+            queue_capacity: 16384,
+            node_timeout: Duration::from_secs(10),
+            dead_cooldown: Duration::from_secs(1),
+            local_fallback: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct GwMetrics {
+    requests: AtomicU64,
+    forwarded: AtomicU64,
+    failovers: AtomicU64,
+    sheds: AtomicU64,
+    local_fallbacks: AtomicU64,
+    replications: AtomicU64,
+    replication_failures: AtomicU64,
+    errors: AtomicU64,
+    forward_latency: LatencyHistogram,
+}
+
+#[derive(Default)]
+struct NodeStats {
+    forwarded: AtomicU64,
+    failures: AtomicU64,
+}
+
+struct GwJob {
+    req: ScheduleRequest,
+    deadline: Option<Instant>,
+    sink: TicketSink,
+}
+
+struct QueueState {
+    jobs: VecDeque<GwJob>,
+    shutdown: bool,
+}
+
+struct Inner {
+    cfg: GatewayConfig,
+    ring: HashRing,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    metrics: GwMetrics,
+    node_stats: Vec<NodeStats>,
+    /// Per node: deprioritized until this instant (transport-failure
+    /// cooldown).
+    dead_until: Mutex<Vec<Option<Instant>>>,
+    /// Routing key → requests seen; crossing `hot_threshold` triggers
+    /// replication, once.
+    hot: Mutex<HashMap<CacheKey, u32>>,
+    local: Option<Service>,
+}
+
+/// The running gateway: hand it to
+/// [`serve_front`](ktiler_svc::serve_front) to put it on the network.
+pub struct Gateway {
+    inner: Arc<Inner>,
+    forwarders: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Gateway {
+    /// Starts the gateway: builds the ring, starts the local fallback
+    /// service when configured, and spawns the forwarder pool.
+    ///
+    /// # Errors
+    ///
+    /// Any error from starting the fallback service or spawning threads.
+    pub fn start(cfg: GatewayConfig) -> io::Result<Gateway> {
+        let ring = HashRing::build(&cfg.nodes, cfg.vnodes, cfg.seed);
+        let local = match &cfg.local_fallback {
+            Some(sc) => Some(Service::start(sc.clone())?),
+            None => None,
+        };
+        let n = cfg.nodes.len();
+        let forwarder_count = cfg.forwarders.max(1);
+        let inner = Arc::new(Inner {
+            cfg,
+            ring,
+            queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            queue_cv: Condvar::new(),
+            metrics: GwMetrics::default(),
+            node_stats: (0..n).map(|_| NodeStats::default()).collect(),
+            dead_until: Mutex::new(vec![None; n]),
+            hot: Mutex::new(HashMap::new()),
+            local,
+        });
+        let mut handles = Vec::with_capacity(forwarder_count);
+        for i in 0..forwarder_count {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ktiler-gw-forward-{i}"))
+                    .spawn(move || inner.forwarder_loop())?,
+            );
+        }
+        Ok(Gateway { inner, forwarders: Mutex::new(handles) })
+    }
+
+    /// The ring this gateway routes by.
+    pub fn ring(&self) -> &HashRing {
+        &self.inner.ring
+    }
+
+    /// Requests that failed over to a non-primary owner.
+    pub fn failovers(&self) -> u64 {
+        self.inner.metrics.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Requests computed by the local fallback service.
+    pub fn local_fallbacks(&self) -> u64 {
+        self.inner.metrics.local_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Artifacts pushed to replica owners by hot-key replication.
+    pub fn replications(&self) -> u64 {
+        self.inner.metrics.replications.load(Ordering::Relaxed)
+    }
+
+    /// Renders the gateway's metrics as JSON (the `STATS` answer):
+    /// top-level counters, the forward-latency histogram, and one object
+    /// per node with its forwarded/failure counts and cooldown state.
+    pub fn stats_json(&self) -> String {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let m = &self.inner.metrics;
+        let now = Instant::now();
+        let dead = fault::lock(&self.inner.dead_until);
+        let nodes = self
+            .inner
+            .cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                format!(
+                    "{{\"addr\": \"{addr}\", \"forwarded\": {}, \"failures\": {}, \"dead\": {}}}",
+                    c(&self.inner.node_stats[i].forwarded),
+                    c(&self.inner.node_stats[i].failures),
+                    dead[i].is_some_and(|t| t > now)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n    ");
+        format!(
+            "{{\n  \"gateway\": true,\n  \"requests\": {},\n  \"forwarded\": {},\n  \
+             \"failovers\": {},\n  \"sheds\": {},\n  \"local_fallbacks\": {},\n  \
+             \"replications\": {},\n  \"replication_failures\": {},\n  \"errors\": {},\n  \
+             \"forward_latency_us\": {},\n  \"nodes\": [\n    {nodes}\n  ]\n}}",
+            c(&m.requests),
+            c(&m.forwarded),
+            c(&m.failovers),
+            c(&m.sheds),
+            c(&m.local_fallbacks),
+            c(&m.replications),
+            c(&m.replication_failures),
+            c(&m.errors),
+            m.forward_latency.to_json()
+        )
+    }
+}
+
+impl FrontEnd for Gateway {
+    fn handle(&self, req: Request) -> Dispatch {
+        match req {
+            Request::Ping => Dispatch::Ready(Response::Pong),
+            Request::Stats => Dispatch::Ready(Response::Stats(self.stats_json())),
+            Request::Schedule(req) => {
+                let deadline = req.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+                let (ticket, sink) = Ticket::pair(deadline);
+                {
+                    let mut q = fault::lock(&self.inner.queue);
+                    if q.shutdown {
+                        return Dispatch::Ready(Response::Err(SvcError::ShuttingDown));
+                    }
+                    if q.jobs.len() >= self.inner.cfg.queue_capacity {
+                        fault_bump(&self.inner.metrics.sheds);
+                        return Dispatch::Ready(Response::Err(SvcError::Shed));
+                    }
+                    fault_bump(&self.inner.metrics.requests);
+                    q.jobs.push_back(GwJob { req, deadline, sink });
+                    self.inner.queue_cv.notify_one();
+                }
+                Dispatch::Pending(ticket)
+            }
+            // The gateway holds no artifacts; peers exchange them node to
+            // node.
+            Request::Fetch(_) | Request::Put { .. } => {
+                Dispatch::Ready(Response::Err(SvcError::BadRequest(
+                    "the gateway routes schedule requests; send FETCH/PUT to a node".into(),
+                )))
+            }
+            // Only reachable from direct callers; the loop intercepts it.
+            Request::Shutdown => Dispatch::Ready(Response::Bye),
+        }
+    }
+
+    fn wind_down(&self) {
+        {
+            let mut q = fault::lock(&self.inner.queue);
+            q.shutdown = true;
+            self.inner.queue_cv.notify_all();
+        }
+        for h in std::mem::take(&mut *fault::lock(&self.forwarders)) {
+            let _ = h.join();
+        }
+        if let Some(local) = &self.inner.local {
+            local.shutdown();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.wind_down();
+    }
+}
+
+fn fault_bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+impl Inner {
+    /// One forwarder: drains the queue until shutdown (serving whatever
+    /// is still queued, like the service's own workers), holding one
+    /// pooled connection per node.
+    fn forwarder_loop(&self) {
+        let mut conns: HashMap<usize, NetClient> = HashMap::new();
+        loop {
+            let job = {
+                let mut q = fault::lock(&self.queue);
+                loop {
+                    if let Some(j) = q.jobs.pop_front() {
+                        break j;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = fault::cv_wait(&self.queue_cv, q);
+                }
+            };
+            self.forward(job, &mut conns);
+        }
+    }
+
+    /// Routes one job: owners in ring order (cooled-down nodes last),
+    /// failover on transport errors and node-level rejections, local
+    /// fallback when every owner failed.
+    fn forward(&self, job: GwJob, conns: &mut HashMap<usize, NetClient>) {
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            job.sink.fulfill(Err(SvcError::DeadlineExceeded));
+            return;
+        }
+        let t0 = Instant::now();
+        let rk = job.req.routing_key();
+        let owners = self.ring.owner_indices(&rk, self.cfg.replicas);
+        // Live owners first; cooled-down ones are still tried when the
+        // live ones fail — a cooldown is a hint, not a verdict.
+        let now = Instant::now();
+        let (live, cooled): (Vec<usize>, Vec<usize>) = {
+            let dead = fault::lock(&self.dead_until);
+            owners.iter().partition(|&&ni| dead[ni].is_none_or(|t| t <= now))
+        };
+        let mut result = None;
+        let mut attempts = 0u32;
+        for &ni in live.iter().chain(cooled.iter()) {
+            attempts += 1;
+            match self.forward_to(ni, &job.req, conns) {
+                Ok(Response::Schedule(resp)) => {
+                    fault_bump(&self.node_stats[ni].forwarded);
+                    fault_bump(&self.metrics.forwarded);
+                    if attempts > 1 {
+                        fault_bump(&self.metrics.failovers);
+                    }
+                    self.mark_alive(ni);
+                    self.maybe_replicate(rk, &resp, &owners, ni, conns);
+                    result = Some(Ok(resp));
+                    break;
+                }
+                Ok(Response::Err(e)) => match e {
+                    // Node-level conditions: another owner may do better.
+                    SvcError::Shed | SvcError::ShuttingDown => {
+                        fault_bump(&self.node_stats[ni].failures);
+                    }
+                    // Deterministic for this request on every replica.
+                    other => {
+                        result = Some(Err(other));
+                        break;
+                    }
+                },
+                // A node answering nonsense is as unusable as a dead one.
+                Ok(_unexpected) => {
+                    fault_bump(&self.node_stats[ni].failures);
+                    conns.remove(&ni);
+                }
+                Err(_) => {
+                    fault_bump(&self.node_stats[ni].failures);
+                    conns.remove(&ni);
+                    self.mark_dead(ni);
+                }
+            }
+        }
+        let result = result.unwrap_or_else(|| self.local_compute(&job.req));
+        if result.is_err() {
+            fault_bump(&self.metrics.errors);
+        } else {
+            self.metrics.forward_latency.record(t0.elapsed());
+        }
+        job.sink.fulfill(result);
+    }
+
+    /// One attempt against one node: reuse the pooled connection, and if
+    /// that fails (the node may have restarted since), dial fresh once
+    /// before reporting failure.
+    fn forward_to(
+        &self,
+        ni: usize,
+        req: &ScheduleRequest,
+        conns: &mut HashMap<usize, NetClient>,
+    ) -> io::Result<Response> {
+        let request = Request::Schedule(req.clone());
+        if let Some(c) = conns.get_mut(&ni) {
+            match c.request(&request) {
+                Ok(r) => return Ok(r),
+                Err(_) => {
+                    conns.remove(&ni);
+                }
+            }
+        }
+        let mut c = NetClient::connect_timeout(&self.cfg.nodes[ni], self.cfg.node_timeout)?;
+        let r = c.request(&request)?;
+        conns.insert(ni, c);
+        Ok(r)
+    }
+
+    /// Counts the routing key and, exactly when it crosses the hot
+    /// threshold, pushes the artifact to the other owners (best-effort;
+    /// a failed push costs nothing but the counter).
+    fn maybe_replicate(
+        &self,
+        rk: CacheKey,
+        resp: &ScheduleResponse,
+        owners: &[usize],
+        served_by: usize,
+        conns: &mut HashMap<usize, NetClient>,
+    ) {
+        if self.cfg.hot_threshold == 0 || resp.text.is_empty() {
+            return;
+        }
+        let count = {
+            let mut hot = fault::lock(&self.hot);
+            if hot.len() >= HOT_TABLE_CAP && !hot.contains_key(&rk) {
+                hot.clear();
+            }
+            let e = hot.entry(rk).or_insert(0);
+            *e += 1;
+            *e
+        };
+        if count != self.cfg.hot_threshold {
+            return;
+        }
+        let put = Request::Put { key: resp.key, text: resp.text.clone() };
+        for &ni in owners.iter().filter(|&&ni| ni != served_by) {
+            let ok = match self.forward_raw(ni, &put, conns) {
+                Ok(Response::Stored) => true,
+                Ok(_) | Err(_) => false,
+            };
+            if ok {
+                fault_bump(&self.metrics.replications);
+            } else {
+                fault_bump(&self.metrics.replication_failures);
+            }
+        }
+    }
+
+    /// Like [`Inner::forward_to`] but for an arbitrary request.
+    fn forward_raw(
+        &self,
+        ni: usize,
+        request: &Request,
+        conns: &mut HashMap<usize, NetClient>,
+    ) -> io::Result<Response> {
+        if let Some(c) = conns.get_mut(&ni) {
+            match c.request(request) {
+                Ok(r) => return Ok(r),
+                Err(_) => {
+                    conns.remove(&ni);
+                }
+            }
+        }
+        let mut c = NetClient::connect_timeout(&self.cfg.nodes[ni], self.cfg.node_timeout)?;
+        let r = c.request(request)?;
+        conns.insert(ni, c);
+        Ok(r)
+    }
+
+    /// Every owner failed: compute locally when configured, else report.
+    fn local_compute(&self, req: &ScheduleRequest) -> Result<ScheduleResponse, SvcError> {
+        match &self.local {
+            Some(svc) => {
+                fault_bump(&self.metrics.local_fallbacks);
+                svc.client().schedule(req.clone())
+            }
+            None => Err(SvcError::Internal("no replica reachable for this key".into())),
+        }
+    }
+
+    fn mark_dead(&self, ni: usize) {
+        fault::lock(&self.dead_until)[ni] = Some(Instant::now() + self.cfg.dead_cooldown);
+    }
+
+    fn mark_alive(&self, ni: usize) {
+        fault::lock(&self.dead_until)[ni] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gateway_stats_render_and_fetch_is_rejected() {
+        let gw = Gateway::start(GatewayConfig::new(vec!["127.0.0.1:1".into()])).expect("start");
+        let json = gw.stats_json();
+        for field in [
+            "gateway",
+            "requests",
+            "forwarded",
+            "failovers",
+            "sheds",
+            "local_fallbacks",
+            "replications",
+            "replication_failures",
+            "errors",
+            "forward_latency_us",
+            "nodes",
+            "addr",
+            "dead",
+        ] {
+            assert!(json.contains(&format!("\"{field}\"")), "{field} missing from {json}");
+        }
+        let Dispatch::Ready(Response::Err(SvcError::BadRequest(_))) =
+            gw.handle(Request::Fetch(CacheKey { hi: 1, lo: 2 }))
+        else {
+            panic!("FETCH should be rejected at the gateway");
+        };
+    }
+
+    #[test]
+    fn unreachable_nodes_without_fallback_yield_internal() {
+        // Dial an address nothing listens on; both owners fail, no local
+        // fallback is configured, so the client gets a structured error.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        };
+        let mut cfg = GatewayConfig::new(vec![addr]);
+        cfg.node_timeout = Duration::from_millis(200);
+        cfg.forwarders = 1;
+        let gw = Gateway::start(cfg).expect("start");
+        let req = ScheduleRequest::new(ktiler_svc::WorkloadSpec::OptFlow {
+            size: 32,
+            iters: 2,
+            levels: 2,
+        });
+        let Dispatch::Pending(mut ticket) = gw.handle(Request::Schedule(req)) else {
+            panic!("schedule should queue");
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let result = loop {
+            if let Some(r) = ticket.try_take() {
+                break r;
+            }
+            assert!(Instant::now() < deadline, "forwarder never answered");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(matches!(result, Err(SvcError::Internal(_))), "{result:?}");
+    }
+}

@@ -1,0 +1,167 @@
+//! The consistent-hash ring over the 128-bit schedule-key space.
+//!
+//! Each node contributes `vnodes` *virtual nodes* — points on the ring at
+//! positions derived by hashing `(seed, node name, vnode index)` through
+//! the same two-lane FNV the cache keys use. A key is owned by the first
+//! point at or after its own position (wrapping), and replicated to the
+//! next `r - 1` *distinct* nodes in ring order.
+//!
+//! Three properties fall out of this construction, all pinned by the
+//! property tests in `tests/ring_prop.rs`:
+//!
+//! * **Deterministic placement** — positions are pure functions of
+//!   `(seed, name, index)`, so every gateway and client that shares the
+//!   node list and seed computes the identical ring. No coordination
+//!   service, no gossip.
+//! * **Balance** — with enough virtual nodes (≥64 per node) the ring
+//!   slices the key space finely enough that each node owns within ~2x of
+//!   its ideal share of uniformly hashed keys.
+//! * **Bounded remapping** — removing a node removes exactly that node's
+//!   points and no others, so only keys that node owned move (to their
+//!   next successor); every other key keeps its owner. A modulo-N
+//!   placement would remap almost everything.
+
+use ktiler_svc::{CacheKey, KeyHasher};
+
+/// The SplitMix64 avalanche finalizer — a bijection on `u64`.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The position of a key on the ring. The raw two-lane FNV behind
+/// [`CacheKey`] avalanches poorly in its upper bits on short inputs —
+/// vnode points hashed from `(seed, name, index)` clump, which ruins
+/// balance — so each lane is finalized through the SplitMix64 mixer.
+/// The mixer is a bijection per lane, so positions remain a pure,
+/// collision-free function of the key, applied identically to ring
+/// points and looked-up keys.
+fn position(key: &CacheKey) -> u128 {
+    (u128::from(mix64(key.hi)) << 64) | u128::from(mix64(key.lo))
+}
+
+/// A consistent-hash ring over named nodes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    nodes: Vec<String>,
+    /// `(position, node index)`, sorted by position.
+    points: Vec<(u128, u32)>,
+}
+
+impl HashRing {
+    /// Builds the ring: `vnodes` points per node, positions seeded by
+    /// `seed`. Every participant must use the same node names (order does
+    /// not matter for placement — points are position-sorted — but node
+    /// *names* are the identity), the same `vnodes` and the same `seed`.
+    pub fn build(nodes: &[String], vnodes: usize, seed: u64) -> HashRing {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(nodes.len() * vnodes);
+        for (ni, name) in nodes.iter().enumerate() {
+            for v in 0..vnodes {
+                let mut h = KeyHasher::new();
+                h.write_str("ktiler-gateway ring v1");
+                h.write_u64(seed);
+                h.write_str(name);
+                h.write_u64(v as u64);
+                points.push((position(&h.finish()), ni as u32));
+            }
+        }
+        // Ties (a 128-bit collision) are broken by node index, which is
+        // itself determined by the caller's node order — callers must
+        // agree on the list, which they already must for the indices to
+        // mean anything.
+        points.sort_unstable();
+        HashRing { nodes: nodes.to_vec(), points }
+    }
+
+    /// The node names this ring was built over, in caller order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of points on the ring.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no points (no nodes).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indices (into [`HashRing::nodes`]) of the first `r` distinct
+    /// nodes at or after `key`'s position, wrapping — the primary owner
+    /// first, then its replication successors. Returns fewer than `r`
+    /// only when the ring has fewer than `r` nodes.
+    pub fn owner_indices(&self, key: &CacheKey, r: usize) -> Vec<usize> {
+        let mut owners = Vec::with_capacity(r.min(self.nodes.len()));
+        if self.points.is_empty() || r == 0 {
+            return owners;
+        }
+        let pos = position(key);
+        let start = self.points.partition_point(|&(p, _)| p < pos);
+        for i in 0..self.points.len() {
+            let (_, ni) = self.points[(start + i) % self.points.len()];
+            let ni = ni as usize;
+            if !owners.contains(&ni) {
+                owners.push(ni);
+                if owners.len() == r.min(self.nodes.len()) {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+
+    /// The name of the node owning `key`.
+    pub fn primary(&self, key: &CacheKey) -> Option<&str> {
+        self.owner_indices(key, 1).first().map(|&i| self.nodes[i].as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn ring_owns_every_key_and_replicas_are_distinct() {
+        let ring = HashRing::build(&names(3), 16, 42);
+        assert_eq!(ring.len(), 48);
+        for hi in 0..50u64 {
+            let key = CacheKey { hi, lo: hi.wrapping_mul(0x9e37_79b9) };
+            let owners = ring.owner_indices(&key, 2);
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1]);
+            assert!(ring.primary(&key).is_some());
+        }
+    }
+
+    #[test]
+    fn replica_count_is_capped_by_node_count() {
+        let ring = HashRing::build(&names(2), 8, 1);
+        let key = CacheKey { hi: 7, lo: 7 };
+        assert_eq!(ring.owner_indices(&key, 5).len(), 2);
+        let empty = HashRing::build(&[], 8, 1);
+        assert!(empty.is_empty());
+        assert!(empty.owner_indices(&key, 2).is_empty());
+        assert_eq!(empty.primary(&key), None);
+    }
+
+    #[test]
+    fn node_list_order_does_not_change_placement() {
+        let a = names(4);
+        let mut b = a.clone();
+        b.reverse();
+        let ring_a = HashRing::build(&a, 32, 7);
+        let ring_b = HashRing::build(&b, 32, 7);
+        for hi in 0..100u64 {
+            let key = CacheKey { hi, lo: !hi };
+            assert_eq!(ring_a.primary(&key), ring_b.primary(&key), "key {key}");
+        }
+    }
+}

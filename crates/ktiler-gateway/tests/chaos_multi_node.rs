@@ -1,0 +1,132 @@
+//! Multi-node chaos: kill the node that owns a key while clients keep
+//! asking for it, and restart a node with a cold cache into a ring of
+//! warm peers. Both end the same way — every answer byte-identical to
+//! the single-node reference, zero client-visible errors.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ktiler_gateway::{Gateway, GatewayConfig};
+use ktiler_svc::proto::{Request, Response};
+use ktiler_svc::{
+    serve_front, serve_with, NetClient, Outcome, ScheduleRequest, ScheduleResponse, ServerTuning,
+    Service, ServiceConfig, WorkloadSpec,
+};
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ktiler-chaos-multi-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn small_request() -> ScheduleRequest {
+    ScheduleRequest::new(WorkloadSpec::OptFlow { size: 64, iters: 3, levels: 2 })
+}
+
+/// One in-process "node": a [`Service`] behind the event-loop server.
+fn start_node(tag: &str, peers: Vec<String>) -> (ktiler_svc::Server, Arc<Service>, String) {
+    let mut cfg = ServiceConfig::new(tmp_dir(tag));
+    cfg.workers = 1;
+    cfg.peers = peers;
+    cfg.peer_timeout = Duration::from_millis(2000);
+    let svc = Arc::new(Service::start(cfg).expect("start node service"));
+    let server =
+        serve_with("127.0.0.1:0", Arc::clone(&svc), ServerTuning::default()).expect("serve node");
+    let addr = server.local_addr().to_string();
+    (server, svc, addr)
+}
+
+fn schedule_via(addr: &str, req: &ScheduleRequest) -> ScheduleResponse {
+    let mut c = NetClient::connect(addr).expect("connect");
+    match c.request(&Request::Schedule(req.clone())).expect("request") {
+        Response::Schedule(r) => r,
+        other => panic!("expected a schedule, got {other:?}"),
+    }
+}
+
+/// The single-node reference: what one isolated service computes for the
+/// request. Every multi-node answer must be byte-identical to this.
+fn reference_text(tag: &str, req: &ScheduleRequest) -> String {
+    let svc = Service::start(ServiceConfig::new(tmp_dir(tag))).expect("reference service");
+    let text = svc.client().schedule(req.clone()).expect("reference compute").text;
+    svc.shutdown();
+    text
+}
+
+#[test]
+fn killing_the_owning_node_fails_over_byte_identically() {
+    let req = small_request();
+    let reference = reference_text("ref-kill", &req);
+
+    let (server_a, svc_a, addr_a) = start_node("kill-a", vec![]);
+    let (server_b, svc_b, addr_b) = start_node("kill-b", vec![]);
+    let nodes = vec![addr_a.clone(), addr_b.clone()];
+
+    let mut gcfg = GatewayConfig::new(nodes.clone());
+    // Replicate on the very first response, so the replica holds the
+    // artifact before the owner dies.
+    gcfg.hot_threshold = 1;
+    gcfg.forwarders = 2;
+    gcfg.node_timeout = Duration::from_secs(10);
+    gcfg.dead_cooldown = Duration::from_millis(200);
+    let gw = Arc::new(Gateway::start(gcfg).expect("start gateway"));
+    let owner_addr = gw.ring().primary(&req.routing_key()).expect("owner").to_string();
+    let gw_server =
+        serve_front("127.0.0.1:0", Arc::clone(&gw), ServerTuning::default()).expect("serve gw");
+    let gw_addr = gw_server.local_addr().to_string();
+
+    // Warm: computed on the owner, replicated to the other node.
+    let first = schedule_via(&gw_addr, &req);
+    assert_eq!(first.text, reference, "warm response diverged from the reference");
+
+    // Kill the owning node: server torn down, service stopped, port gone.
+    let (dead_server, dead_svc) =
+        if owner_addr == addr_a { (server_a, svc_a) } else { (server_b, svc_b) };
+    drop(dead_server);
+    dead_svc.shutdown();
+
+    // The gateway's pooled connection to the owner is now dead; the next
+    // requests must fail over to the replica with byte-identical answers
+    // and zero client-visible errors.
+    for _ in 0..3 {
+        let resp = schedule_via(&gw_addr, &req);
+        assert_eq!(resp.text, reference, "failover response diverged from the reference");
+        assert_ne!(
+            resp.outcome,
+            Outcome::DegradedUntiled,
+            "failover must serve the real schedule, not the degraded fallback"
+        );
+    }
+    assert!(gw.failovers() >= 1, "the gateway never recorded a failover");
+
+    gw_server.request_stop();
+    let gw = gw_server.join();
+    drop(gw);
+}
+
+#[test]
+fn restarted_node_read_through_fills_then_serves_hits() {
+    let req = small_request();
+    let reference = reference_text("ref-restart", &req);
+
+    // Node A computes and caches the schedule.
+    let (server_a, _svc_a, addr_a) = start_node("restart-a", vec![]);
+    let computed = schedule_via(&addr_a, &req);
+    assert_eq!(computed.outcome, Outcome::Miss, "fresh node should compute");
+    assert_eq!(computed.text, reference);
+
+    // Node B comes up (a restart: empty cache) with A as its peer. Its
+    // first answer must be a read-through fill from A — no recompute —
+    // and every answer after that a plain local hit.
+    let (server_b, _svc_b, addr_b) = start_node("restart-b", vec![addr_a.clone()]);
+    let filled = schedule_via(&addr_b, &req);
+    assert_eq!(filled.outcome, Outcome::PeerFill, "expected a peer fill, got {filled:?}");
+    assert_eq!(filled.text, reference, "peer-filled schedule diverged from the reference");
+
+    let hit = schedule_via(&addr_b, &req);
+    assert_eq!(hit.outcome, Outcome::Hit, "the fill should have stored the artifact locally");
+    assert_eq!(hit.text, reference);
+
+    drop(server_a);
+    drop(server_b);
+}

@@ -125,6 +125,15 @@ impl ScheduleCache {
         CacheProbe::Hit { text, schedule }
     }
 
+    /// Loads the raw artifact text of `key`, **without** verification —
+    /// this is the `FETCH` path serving a peer's read-through fill. The
+    /// fetching node re-verifies the text against its own request context
+    /// before serving or storing it, so verification here would only
+    /// duplicate work this node has no graph/trace context for anyway.
+    pub fn load_text(&self, key: &CacheKey) -> Option<String> {
+        std::fs::read_to_string(self.path_of(key)).ok()
+    }
+
     /// Persists an artifact atomically: the text is written to a temporary
     /// file in the same directory and renamed over the final path, so a
     /// concurrent reader sees either the old artifact or the new one,

@@ -46,6 +46,11 @@ pub mod points {
     /// After a worker is woken with work available, before it pops the
     /// job — a panic here kills the worker but loses no job.
     pub const QUEUE_DEQUEUE: &str = "queue.dequeue";
+    /// Before a node asks its peers to fill a local cache miss — an
+    /// injected failure here skips the peer read-through entirely and the
+    /// node recomputes, exercising the "peers unreachable" path without
+    /// needing dead sockets.
+    pub const PEER_FETCH: &str = "peer.fetch";
 }
 
 /// What an armed fault does when it fires.

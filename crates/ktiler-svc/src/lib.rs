@@ -13,9 +13,12 @@
 //! * [`service`] — the worker pool, bounded queue with shedding, per-request
 //!   deadlines and single-flight deduplication ([`Service`] / [`Client`]);
 //! * [`metrics`] — lock-free counters and latency histograms ([`Metrics`]);
-//! * [`proto`] / [`server`] — a length-prefixed line protocol over TCP
-//!   ([`serve`], [`NetClient`]), so one warmed cache can serve many
-//!   processes;
+//! * [`proto`] / [`server`] — a versioned, length-prefixed line protocol
+//!   over TCP served by a single-threaded readiness event loop ([`serve`],
+//!   [`NetClient`], [`FrontEnd`]), so one warmed cache can serve many
+//!   processes — and many *nodes*: peers read-through-fill each other's
+//!   misses (`FETCH`/`PUT`), and the `ktiler-gateway` crate shards the key
+//!   space over a consistent-hash ring of such nodes;
 //! * [`fault`] — a deterministic fault-injection layer ([`FaultInjector`],
 //!   [`FaultPlan`]): named fault points compiled into the hot paths, armed
 //!   by seeded plans, used by the chaos suite to prove the service
@@ -39,8 +42,11 @@ pub use cache::{CacheProbe, ScheduleCache};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use key::{schedule_cache_key, CacheKey, KeyHasher};
 pub use metrics::Metrics;
-pub use server::{serve, serve_with, NetClient, RetryPolicy, Server, ServerTuning};
+pub use server::{
+    fetch_from_peer, serve, serve_front, serve_with, Dispatch, FrontEnd, NetClient, RetryPolicy,
+    Server, ServerTuning,
+};
 pub use service::{
-    Client, Outcome, ScheduleRequest, ScheduleResponse, Service, ServiceConfig, SvcError,
-    WorkloadSpec,
+    Client, Outcome, ScheduleRequest, ScheduleResponse, Service, ServiceConfig, SvcError, Ticket,
+    TicketSink, WorkloadSpec,
 };

@@ -40,8 +40,9 @@ impl LatencyHistogram {
 
     /// Upper bound (exclusive, in µs) of the bucket containing the `q`
     /// quantile, or 0 with no samples. Quantiles are bucket-resolution
-    /// approximations — fine for a service dashboard, not for benchmarks.
-    fn quantile_us(&self, q: f64) -> u64 {
+    /// approximations — fine for a service dashboard, not for benchmarks
+    /// (the bench bins keep exact per-request latencies and sort).
+    pub fn quantile_us(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
             return 0;
@@ -64,9 +65,10 @@ impl LatencyHistogram {
         let mean = if count == 0 { 0.0 } else { sum as f64 / count as f64 };
         format!(
             "{{\"count\": {count}, \"mean_us\": {mean:.1}, \"p50_us\": {}, \"p99_us\": {}, \
-             \"max_us\": {}}}",
+             \"p999_us\": {}, \"max_us\": {}}}",
             self.quantile_us(0.50),
             self.quantile_us(0.99),
+            self.quantile_us(0.999),
             self.max_us.load(Ordering::Relaxed)
         )
     }
@@ -132,6 +134,17 @@ pub struct Metrics {
     /// Requests served a verified untiled schedule after a pipeline
     /// failure.
     pub degraded_total: AtomicU64,
+    /// Local cache misses filled from a peer node's cache (the artifact
+    /// was fetched, re-verified locally, stored and served).
+    pub peer_fills: AtomicU64,
+    /// Peer fetch attempts that did not produce a usable artifact
+    /// (transport failure, key not held, parse or verification failure) —
+    /// each one fell through to a local recompute, never an error.
+    pub peer_fetch_failures: AtomicU64,
+    /// `FETCH` requests this node answered from its cache for a peer.
+    pub fetches_served: AtomicU64,
+    /// Artifacts stored via `PUT` (gateway hot-key replication).
+    pub replica_stores: AtomicU64,
     /// Latency of the block-analysis pass alone (`kgraph::analyze_fast`),
     /// recorded once per memo-miss recompute.
     pub analyze_latency: LatencyHistogram,
@@ -162,7 +175,9 @@ impl Metrics {
              \"verify_failures\": {},\n  \"sheds\": {},\n  \"deadline_expired\": {},\n  \
              \"coalesced\": {},\n  \"pipeline_runs\": {},\n  \"analysis_runs\": {},\n  \
              \"store_failures\": {},\n  \"errors\": {},\n  \"worker_panics\": {},\n  \
-             \"workers_respawned\": {},\n  \"degraded_total\": {},\n  \"latency_us\": {{\n    \
+             \"workers_respawned\": {},\n  \"degraded_total\": {},\n  \"peer_fills\": {},\n  \
+             \"peer_fetch_failures\": {},\n  \"fetches_served\": {},\n  \
+             \"replica_stores\": {},\n  \"latency_us\": {{\n    \
              \"analyze\": {},\n    \"tile\": {},\n    \"cache_load\": {},\n    \"total\": {}\n  \
              }}\n}}",
             c(&self.requests),
@@ -179,6 +194,10 @@ impl Metrics {
             c(&self.worker_panics),
             c(&self.workers_respawned),
             c(&self.degraded_total),
+            c(&self.peer_fills),
+            c(&self.peer_fetch_failures),
+            c(&self.fetches_served),
+            c(&self.replica_stores),
             self.analyze_latency.to_json(),
             self.tile_latency.to_json(),
             self.cache_load_latency.to_json(),
@@ -206,6 +225,10 @@ mod tests {
         let json = h.to_json();
         assert!(json.contains("\"count\": 6"), "{json}");
         assert!(json.contains("\"max_us\": 1000"), "{json}");
+        assert!(json.contains("\"p999_us\""), "{json}");
+        // With 6 samples, p99 and p999 both resolve to the last sample's
+        // bucket.
+        assert_eq!(h.quantile_us(0.999), 1 << 10);
     }
 
     #[test]
@@ -238,6 +261,10 @@ mod tests {
             "worker_panics",
             "workers_respawned",
             "degraded_total",
+            "peer_fills",
+            "peer_fetch_failures",
+            "fetches_served",
+            "replica_stores",
             "latency_us",
         ] {
             assert!(json.contains(&format!("\"{field}\"")), "{field} missing from {json}");

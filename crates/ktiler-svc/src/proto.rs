@@ -1,16 +1,22 @@
-//! The wire protocol: length-prefixed frames carrying one-line requests
-//! and text responses.
+//! The wire protocol: versioned, length-prefixed frames carrying one-line
+//! requests and text responses.
 //!
-//! A **frame** is the ASCII decimal byte length of the payload, a newline,
-//! then exactly that many payload bytes. The header is human-typable and
-//! the payload is the existing text formats (request lines, `.sched`
-//! artifacts, metrics JSON), so a session can be driven or inspected with
-//! standard tools.
+//! A **frame** is a single ASCII digit naming the protocol version
+//! ([`PROTO_VERSION`]), the ASCII decimal byte length of the payload, a
+//! newline, then exactly that many payload bytes. The header stays
+//! human-typable (`115\n` is "version 1, 15 bytes") and the payload is the
+//! existing text formats (request lines, `.sched` artifacts, metrics
+//! JSON), so a session can be driven or inspected with standard tools.
+//! A well-formed frame of any *other* version is consumed and rejected
+//! with a typed `VersionMismatch` — gateway↔node and client↔gateway
+//! frames can evolve without silent misparses.
 //!
-//! Request payloads are a single line:
+//! Request payloads are a single line (plus, for `PUT`, a body):
 //!
 //! ```text
 //! SCHEDULE optflow size=64 iters=3 levels=2 freq=1324,5010 deadline_ms=500
+//! FETCH <32 hex>                     peer read-through: raw artifact or NOT_FOUND
+//! PUT <32 hex>                       (body: the .sched text) replicate an artifact
 //! STATS
 //! PING
 //! SHUTDOWN
@@ -20,6 +26,8 @@
 //!
 //! ```text
 //! OK HIT key=<32 hex> launches=<n>   (body: the .sched text)
+//! OK ARTIFACT key=<32 hex>           (body: the raw artifact text)
+//! OK STORED
 //! OK STATS                           (body: metrics JSON)
 //! OK PONG
 //! OK BYE
@@ -28,15 +36,37 @@
 
 use std::io::{self, BufRead, Write};
 
+use crate::key::CacheKey;
 use crate::service::{Outcome, ScheduleRequest, ScheduleResponse, SvcError, WorkloadSpec};
+
+/// The protocol version this build speaks, written as the leading byte of
+/// every frame header. Bump it when the meaning of any frame changes; a
+/// peer of another version is answered with `ERR VERSION` and dropped
+/// instead of misparsed.
+pub const PROTO_VERSION: u8 = 1;
 
 /// Largest accepted frame payload (64 MiB) — far above any real schedule,
 /// small enough that a malformed header cannot ask the server to allocate
 /// unbounded memory.
 pub const MAX_FRAME: usize = 64 << 20;
 
-/// Longest accepted frame header (decimal digits before the newline).
+/// Longest accepted frame header (decimal digits between the version byte
+/// and the newline).
 const MAX_HEADER_DIGITS: usize = 20;
+
+fn bad(m: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, m)
+}
+
+/// The error a reader surfaces for a well-formed frame of a foreign
+/// protocol version ([`io::ErrorKind::Unsupported`], so transport errors
+/// and version skew stay distinguishable).
+fn version_error(got: u8) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Unsupported,
+        format!("peer speaks protocol version {got}, this build speaks {PROTO_VERSION}"),
+    )
+}
 
 /// Writes one frame.
 ///
@@ -51,9 +81,148 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
             format!("frame of {} bytes exceeds the {MAX_FRAME}-byte limit", payload.len()),
         ));
     }
-    writeln!(w, "{}", payload.len())?;
+    writeln!(w, "{PROTO_VERSION}{}", payload.len())?;
     w.write_all(payload)?;
     w.flush()
+}
+
+/// One completed unit of [`FrameDecoder`] output.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeEvent {
+    /// A complete frame of the supported version.
+    Frame(Vec<u8>),
+    /// A well-formed frame of a foreign version; its payload was consumed
+    /// and discarded so the stream stays framed, and the caller can answer
+    /// with a typed [`SvcError::VersionMismatch`] before closing.
+    BadVersion {
+        /// The version byte the peer sent.
+        got: u8,
+    },
+}
+
+#[derive(Debug)]
+enum DecodeState {
+    /// Waiting for the version byte of the next frame.
+    Version,
+    /// Version consumed; accumulating length digits up to the newline.
+    Length { version: u8, digits: Vec<u8> },
+    /// Header complete; consuming payload bytes.
+    Payload { version: u8, expected: usize, got: Vec<u8> },
+}
+
+/// An incremental frame decoder: feed it whatever bytes a non-blocking
+/// read produced, collect completed frames. This is the piece a readiness
+/// event loop needs — no thread may block inside a half-received frame,
+/// so all parser state lives here between reads. The blocking readers
+/// ([`read_frame`], [`read_frame_polled`]) are thin drivers over it.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    state: DecodeState,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder at a frame boundary.
+    pub fn new() -> Self {
+        FrameDecoder { state: DecodeState::Version }
+    }
+
+    /// Whether at least one byte of the current frame has been consumed —
+    /// the flag that separates an *idle* peer (fine to wait on forever)
+    /// from a *stalled* one (worth a deadline).
+    pub fn mid_frame(&self) -> bool {
+        !matches!(self.state, DecodeState::Version)
+    }
+
+    /// How many payload bytes the current frame still needs, when the
+    /// decoder is inside a payload. Callers reading from a shared stream
+    /// use it to cap reads at the frame boundary.
+    pub fn payload_wanted(&self) -> Option<usize> {
+        match &self.state {
+            DecodeState::Payload { expected, got, .. } => Some(expected - got.len()),
+            _ => None,
+        }
+    }
+
+    /// Consumes `bytes`, appending every completed frame to `events`.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] on a malformed header (non-digit
+    /// where a digit belongs, empty or oversized length). The decoder is
+    /// unusable afterwards — the stream has lost framing and must be
+    /// dropped.
+    pub fn feed(&mut self, mut bytes: &[u8], events: &mut Vec<DecodeEvent>) -> io::Result<()> {
+        while !bytes.is_empty() {
+            match &mut self.state {
+                DecodeState::Version => {
+                    let b = bytes[0];
+                    bytes = &bytes[1..];
+                    if !b.is_ascii_digit() {
+                        return Err(bad(format!("malformed frame version byte 0x{b:02x}")));
+                    }
+                    self.state = DecodeState::Length { version: b - b'0', digits: Vec::new() };
+                }
+                DecodeState::Length { version, digits } => {
+                    let b = bytes[0];
+                    bytes = &bytes[1..];
+                    if b == b'\n' {
+                        if digits.is_empty() {
+                            return Err(bad("empty frame length".into()));
+                        }
+                        let len: usize = std::str::from_utf8(digits)
+                            .ok()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| bad("unparseable frame length".into()))?;
+                        if len > MAX_FRAME {
+                            return Err(bad(format!(
+                                "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"
+                            )));
+                        }
+                        let version = *version;
+                        if len == 0 {
+                            events.push(Self::complete(version, Vec::new()));
+                            self.state = DecodeState::Version;
+                        } else {
+                            self.state = DecodeState::Payload {
+                                version,
+                                expected: len,
+                                got: Vec::with_capacity(len.min(64 << 10)),
+                            };
+                        }
+                    } else if !b.is_ascii_digit() || digits.len() >= MAX_HEADER_DIGITS {
+                        return Err(bad(format!("malformed frame header byte 0x{b:02x}")));
+                    } else {
+                        digits.push(b);
+                    }
+                }
+                DecodeState::Payload { version, expected, got } => {
+                    let take = (*expected - got.len()).min(bytes.len());
+                    got.extend_from_slice(&bytes[..take]);
+                    bytes = &bytes[take..];
+                    if got.len() == *expected {
+                        let payload = std::mem::take(got);
+                        events.push(Self::complete(*version, payload));
+                        self.state = DecodeState::Version;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn complete(version: u8, payload: Vec<u8>) -> DecodeEvent {
+        if version == PROTO_VERSION {
+            DecodeEvent::Frame(payload)
+        } else {
+            DecodeEvent::BadVersion { got: version }
+        }
+    }
 }
 
 /// Reads one frame; `Ok(None)` on a clean end-of-stream (EOF before the
@@ -62,7 +231,9 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
 /// # Errors
 ///
 /// [`io::ErrorKind::InvalidData`] for malformed or oversized headers and
-/// for EOF mid-frame; otherwise any transport error (including
+/// for EOF mid-frame; [`io::ErrorKind::Unsupported`] for a well-formed
+/// frame of a foreign protocol version (consumed, so the caller may still
+/// answer on the stream); otherwise any transport error (including
 /// `WouldBlock`/`TimedOut` from a read timeout, which callers polling an
 /// idle connection should treat as "no frame yet").
 pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
@@ -70,16 +241,15 @@ pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
 }
 
 /// Reads one frame from a stream with a read timeout, retrying timed-out
-/// reads **without losing partial progress** — the piece [`read_frame`]
-/// cannot offer, since a `WouldBlock` surfacing mid-header or mid-payload
-/// abandons the bytes already consumed.
+/// reads **without losing partial progress** — a `WouldBlock` surfacing
+/// mid-header or mid-payload leaves all parser state in the
+/// [`FrameDecoder`] this reader drives.
 ///
 /// On every `WouldBlock`/`TimedOut` read, `on_block(mid_frame, err)` is
 /// consulted: return `Ok(())` to retry the read (the socket's own read
 /// timeout paces the polling), or `Err(..)` to abort with that error.
 /// `mid_frame` is true once at least one byte of the current frame has
-/// been consumed — the flag that separates "idle connection" (fine to
-/// wait on indefinitely) from "stalled sender" (worth a deadline).
+/// been consumed.
 ///
 /// # Errors
 ///
@@ -88,59 +258,37 @@ pub fn read_frame_polled<R: BufRead>(
     r: &mut R,
     mut on_block: impl FnMut(bool, io::Error) -> io::Result<()>,
 ) -> io::Result<Option<Vec<u8>>> {
-    let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
-    let mut header = Vec::with_capacity(MAX_HEADER_DIGITS);
-    let mut byte = [0u8; 1];
+    let mut dec = FrameDecoder::new();
+    let mut events = Vec::new();
+    let mut scratch = [0u8; 8192];
     loop {
-        match r.read(&mut byte) {
+        // Never read past the current frame: one byte at a time through the
+        // header, then exactly the payload remainder (the BufRead amortizes
+        // the byte-sized reads).
+        let want = dec.payload_wanted().map_or(1, |n| n.clamp(1, scratch.len()));
+        match r.read(&mut scratch[..want]) {
             Ok(0) => {
-                if header.is_empty() {
+                if !dec.mid_frame() {
                     return Ok(None);
                 }
-                return Err(bad("end of stream inside a frame header".into()));
+                return Err(bad("end of stream inside a frame".into()));
             }
-            Ok(_) => {}
+            Ok(n) => {
+                dec.feed(&scratch[..n], &mut events)?;
+                if let Some(ev) = events.pop() {
+                    match ev {
+                        DecodeEvent::Frame(p) => return Ok(Some(p)),
+                        DecodeEvent::BadVersion { got } => return Err(version_error(got)),
+                    }
+                }
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                on_block(!header.is_empty(), e)?;
-                continue;
-            }
-            Err(e) => return Err(e),
-        }
-        if byte[0] == b'\n' {
-            break;
-        }
-        if !byte[0].is_ascii_digit() || header.len() >= MAX_HEADER_DIGITS {
-            return Err(bad(format!("malformed frame header byte 0x{:02x}", byte[0])));
-        }
-        header.push(byte[0]);
-    }
-    if header.is_empty() {
-        return Err(bad("empty frame header".into()));
-    }
-    let len: usize = std::str::from_utf8(&header)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad("unparseable frame length".into()))?;
-    if len > MAX_FRAME {
-        return Err(bad(format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit")));
-    }
-    let mut payload = vec![0u8; len];
-    let mut filled = 0;
-    while filled < len {
-        match r.read(&mut payload[filled..]) {
-            Ok(0) => {
-                return Err(bad(format!("short frame ({len} bytes promised, {filled} received)")))
-            }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                on_block(true, e)?;
+                on_block(dec.mid_frame(), e)?;
             }
             Err(e) => return Err(e),
         }
     }
-    Ok(Some(payload))
 }
 
 /// A decoded request.
@@ -148,6 +296,20 @@ pub fn read_frame_polled<R: BufRead>(
 pub enum Request {
     /// Request a schedule.
     Schedule(ScheduleRequest),
+    /// Peer read-through: fetch the raw artifact of a content key, if this
+    /// node's cache holds it. The receiver does **no** computation and no
+    /// verification — the fetching peer re-verifies against its own
+    /// request context before serving or storing the artifact.
+    Fetch(CacheKey),
+    /// Replicate an artifact into this node's cache (gateway hot-key
+    /// replication). The text is parsed for sanity on receipt and, like
+    /// every artifact, re-verified on any later load.
+    Put {
+        /// The content-addressed key the artifact is stored under.
+        key: CacheKey,
+        /// The artifact text.
+        text: String,
+    },
     /// Request the metrics registry as JSON.
     Stats,
     /// Liveness check.
@@ -158,17 +320,23 @@ pub enum Request {
 
 impl Request {
     /// Whether retrying this request after a transport failure is safe.
-    /// Scheduling is a pure function of its inputs and `STATS`/`PING` are
-    /// read-only, so all three are idempotent; `SHUTDOWN` is not — a
+    /// Scheduling is a pure function of its inputs, `FETCH`/`STATS`/`PING`
+    /// are read-only, and `PUT` stores content-addressed bytes (a resend
+    /// stores the identical artifact); `SHUTDOWN` is not idempotent — a
     /// retry could reach (and kill) a freshly restarted server.
     pub fn is_idempotent(&self) -> bool {
         match self {
-            Request::Schedule(_) | Request::Stats | Request::Ping => true,
+            Request::Schedule(_)
+            | Request::Fetch(_)
+            | Request::Put { .. }
+            | Request::Stats
+            | Request::Ping => true,
             Request::Shutdown => false,
         }
     }
 
-    /// Renders the request line.
+    /// Renders the request's status line (the body of a `PUT` is not
+    /// included — see [`Request::encode`]).
     pub fn to_line(&self) -> String {
         match self {
             Request::Schedule(req) => {
@@ -179,6 +347,8 @@ impl Request {
                 }
                 line
             }
+            Request::Fetch(key) => format!("FETCH {key}"),
+            Request::Put { key, .. } => format!("PUT {key}"),
             Request::Stats => "STATS".into(),
             Request::Ping => "PING".into(),
             Request::Shutdown => "SHUTDOWN".into(),
@@ -187,15 +357,22 @@ impl Request {
 
     /// Encodes the request as a frame payload.
     pub fn encode(&self) -> Vec<u8> {
-        self.to_line().into_bytes()
+        match self {
+            Request::Put { text, .. } => format!("{}\n{text}", self.to_line()).into_bytes(),
+            _ => self.to_line().into_bytes(),
+        }
     }
 
-    /// Parses a request line.
+    /// Parses a request line (without any body).
     ///
     /// # Errors
     ///
     /// A human-readable description of the malformed line.
     pub fn parse_line(line: &str) -> Result<Self, String> {
+        Self::parse_parts(line, "")
+    }
+
+    fn parse_parts(line: &str, body: &str) -> Result<Self, String> {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         match tokens.split_first() {
             Some((&"SCHEDULE", rest)) => {
@@ -226,6 +403,17 @@ impl Request {
                     deadline_ms,
                 }))
             }
+            Some((&"FETCH", [key])) => {
+                let key = key.parse().map_err(|_| format!("bad cache key '{key}'"))?;
+                Ok(Request::Fetch(key))
+            }
+            Some((&"PUT", [key])) => {
+                let key = key.parse().map_err(|_| format!("bad cache key '{key}'"))?;
+                if body.is_empty() {
+                    return Err("PUT carries no artifact body".into());
+                }
+                Ok(Request::Put { key, text: body.to_string() })
+            }
             Some((&"STATS", [])) => Ok(Request::Stats),
             Some((&"PING", [])) => Ok(Request::Ping),
             Some((&"SHUTDOWN", [])) => Ok(Request::Shutdown),
@@ -240,8 +428,12 @@ impl Request {
     ///
     /// A human-readable description of the malformed payload.
     pub fn decode(payload: &[u8]) -> Result<Self, String> {
-        let line = std::str::from_utf8(payload).map_err(|_| "request is not UTF-8".to_string())?;
-        Self::parse_line(line.trim_end_matches(['\r', '\n']))
+        let text = std::str::from_utf8(payload).map_err(|_| "request is not UTF-8".to_string())?;
+        let (line, body) = match text.split_once('\n') {
+            Some((l, b)) => (l, b),
+            None => (text, ""),
+        };
+        Self::parse_parts(line.trim_end_matches('\r'), body)
     }
 }
 
@@ -250,6 +442,15 @@ impl Request {
 pub enum Response {
     /// A served schedule.
     Schedule(ScheduleResponse),
+    /// A raw artifact answering a [`Request::Fetch`].
+    Artifact {
+        /// The content key the artifact is stored under.
+        key: CacheKey,
+        /// The artifact's exact bytes as stored.
+        text: String,
+    },
+    /// Acknowledgement of a [`Request::Put`].
+    Stored,
     /// The metrics registry as JSON.
     Stats(String),
     /// Answer to [`Request::Ping`].
@@ -272,15 +473,22 @@ impl Response {
                 r.text
             )
             .into_bytes(),
+            Response::Artifact { key, text } => {
+                format!("OK ARTIFACT key={key}\n{text}").into_bytes()
+            }
+            Response::Stored => b"OK STORED".to_vec(),
             Response::Stats(json) => format!("OK STATS\n{json}").into_bytes(),
             Response::Pong => b"OK PONG".to_vec(),
             Response::Bye => b"OK BYE".to_vec(),
             Response::Err(e) => {
                 let msg = match e {
                     SvcError::BadRequest(m) | SvcError::Pipeline(m) | SvcError::Internal(m) => {
-                        m.as_str()
+                        m.clone()
                     }
-                    _ => "",
+                    SvcError::VersionMismatch { got, expected } => {
+                        format!("got={got} expected={expected}")
+                    }
+                    _ => String::new(),
                 };
                 // The message must stay on the status line.
                 let msg = msg.replace('\n', " ");
@@ -304,7 +512,15 @@ impl Response {
         match tokens.as_slice() {
             ["OK", "PONG"] => Ok(Response::Pong),
             ["OK", "BYE"] => Ok(Response::Bye),
+            ["OK", "STORED"] => Ok(Response::Stored),
             ["OK", "STATS"] => Ok(Response::Stats(body.to_string())),
+            ["OK", "ARTIFACT", key] => {
+                let key = key
+                    .strip_prefix("key=")
+                    .and_then(|k| k.parse().ok())
+                    .ok_or_else(|| format!("bad key field '{key}'"))?;
+                Ok(Response::Artifact { key, text: body.to_string() })
+            }
             ["OK", outcome, key, launches] => {
                 let outcome = Outcome::from_str_token(outcome)
                     .ok_or_else(|| format!("unknown outcome '{outcome}'"))?;
@@ -349,17 +565,81 @@ mod tests {
     }
 
     #[test]
+    fn frames_carry_the_version_byte() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(buf, b"15\nhello", "version byte, length, newline, payload");
+    }
+
+    #[test]
+    fn foreign_version_frames_are_consumed_and_reported() {
+        // A well-formed version-2 frame: its payload must be consumed (the
+        // stream stays framed for the error reply) and the error typed.
+        let mut r = Cursor::new(b"25\nhello15\nworld".to_vec());
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported, "{err}");
+        assert!(err.to_string().contains("version 2"), "{err}");
+        // The next (version-1) frame on the same stream still decodes.
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"world");
+    }
+
+    #[test]
     fn malformed_frames_are_rejected() {
-        for bad in ["x\nzz", "5\nab", "99999999999999999999999\n", "\n"] {
+        for bad in ["x\nzz", "1\nab", "1x5\nab", "199999999999999999999999\n", "\n"] {
             let mut r = Cursor::new(bad.as_bytes().to_vec());
             assert!(read_frame(&mut r).is_err(), "{bad:?} should be rejected");
         }
         // Oversized declared length.
-        let mut r = Cursor::new(format!("{}\n", MAX_FRAME + 1).into_bytes());
+        let mut r = Cursor::new(format!("1{}\n", MAX_FRAME + 1).into_bytes());
         assert!(read_frame(&mut r).is_err());
         // Oversized write.
         let mut sink = Vec::new();
         assert!(write_frame(&mut sink, &vec![0u8; MAX_FRAME + 1]).is_err());
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_from_arbitrary_chunking() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first frame").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"second, longer frame with\nnewlines\n").unwrap();
+        for chunk in [1usize, 2, 3, 7, wire.len()] {
+            let mut dec = FrameDecoder::new();
+            let mut events = Vec::new();
+            for piece in wire.chunks(chunk) {
+                dec.feed(piece, &mut events).unwrap();
+            }
+            assert_eq!(
+                events,
+                vec![
+                    DecodeEvent::Frame(b"first frame".to_vec()),
+                    DecodeEvent::Frame(Vec::new()),
+                    DecodeEvent::Frame(b"second, longer frame with\nnewlines\n".to_vec()),
+                ],
+                "chunk size {chunk}"
+            );
+            assert!(!dec.mid_frame(), "decoder back at a frame boundary");
+        }
+    }
+
+    #[test]
+    fn decoder_flags_mid_frame_and_foreign_versions() {
+        let mut dec = FrameDecoder::new();
+        let mut events = Vec::new();
+        assert!(!dec.mid_frame());
+        dec.feed(b"1", &mut events).unwrap();
+        assert!(dec.mid_frame(), "version byte consumed");
+        dec.feed(b"5\nhel", &mut events).unwrap();
+        assert!(dec.mid_frame(), "payload incomplete");
+        assert_eq!(dec.payload_wanted(), Some(2));
+        dec.feed(b"lo", &mut events).unwrap();
+        assert_eq!(events, vec![DecodeEvent::Frame(b"hello".to_vec())]);
+        assert!(!dec.mid_frame());
+
+        events.clear();
+        dec.feed(b"73\nxyz", &mut events).unwrap();
+        assert_eq!(events, vec![DecodeEvent::BadVersion { got: 7 }]);
+        assert!(!dec.mid_frame(), "foreign frame fully consumed");
     }
 
     #[test]
@@ -376,6 +656,11 @@ mod tests {
                 iters: 30,
                 levels: 3,
             })),
+            Request::Fetch(CacheKey { hi: 0xfeed, lo: 0xbeef }),
+            Request::Put {
+                key: CacheKey { hi: 1, lo: 2 },
+                text: "# schedule\nlaunch k0: all\n".to_string(),
+            },
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
@@ -384,6 +669,16 @@ mod tests {
             let decoded = Request::decode(&req.encode()).unwrap();
             assert_eq!(decoded, req, "{}", req.to_line());
         }
+    }
+
+    #[test]
+    fn put_body_is_byte_exact() {
+        let text = "line one\n\nline three with  spaces\n".to_string();
+        let req = Request::Put { key: CacheKey { hi: 9, lo: 9 }, text: text.clone() };
+        let Request::Put { text: back, .. } = Request::decode(&req.encode()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(back, text);
     }
 
     #[test]
@@ -400,6 +695,9 @@ mod tests {
         for bad in [
             "",
             "FETCH optflow",
+            "FETCH",
+            "PUT 0123456789abcdef0123456789abcdef", // no body
+            "PUT xyz",
             "SCHEDULE mandelbrot",
             "SCHEDULE optflow freq=fast,5010",
             "SCHEDULE optflow freq=1324",
@@ -444,8 +742,8 @@ mod tests {
 
     #[test]
     fn polled_reads_survive_mid_frame_timeouts_without_losing_bytes() {
-        // "5\nhello" delivered one byte at a time, a WouldBlock before each.
-        let bytes = b"5\nhello";
+        // "15\nhello" delivered one byte at a time, a WouldBlock before each.
+        let bytes = b"15\nhello";
         let r =
             Trickle { chunks: bytes.iter().map(|&b| vec![b]).collect(), next: 0, blocked: false };
         let mut blocks = 0u32;
@@ -467,7 +765,7 @@ mod tests {
 
     #[test]
     fn polled_reads_abort_when_the_callback_says_so() {
-        let r = Trickle { chunks: vec![b"5\nhe".to_vec()], next: 0, blocked: false };
+        let r = Trickle { chunks: vec![b"15\nhe".to_vec()], next: 0, blocked: false };
         let mut reader = std::io::BufReader::with_capacity(1, r);
         // Allow two blocks, then give up: simulates a stall deadline.
         let mut budget = 2u32;
@@ -486,6 +784,8 @@ mod tests {
     fn idempotency_flags() {
         assert!(Request::Ping.is_idempotent());
         assert!(Request::Stats.is_idempotent());
+        assert!(Request::Fetch(CacheKey { hi: 1, lo: 2 }).is_idempotent());
+        assert!(Request::Put { key: CacheKey { hi: 1, lo: 2 }, text: "x\n".into() }.is_idempotent());
         assert!(Request::Schedule(ScheduleRequest::new(WorkloadSpec::OptFlow {
             size: 64,
             iters: 3,
@@ -504,11 +804,18 @@ mod tests {
                 launches: 7,
                 text: "# schedule\nlaunch k0: all\n".to_string(),
             }),
+            Response::Artifact {
+                key: CacheKey { hi: 5, lo: 6 },
+                text: "# schedule\nlaunch k1: all\n".to_string(),
+            },
+            Response::Stored,
             Response::Stats("{\"requests\": 3}".to_string()),
             Response::Pong,
             Response::Bye,
             Response::Err(SvcError::Shed),
             Response::Err(SvcError::DeadlineExceeded),
+            Response::Err(SvcError::NotFound),
+            Response::Err(SvcError::VersionMismatch { got: 2, expected: 1 }),
             Response::Err(SvcError::BadRequest("size must be in 16..=2048".into())),
             Response::Err(SvcError::Pipeline("tiling failed".into())),
             Response::Err(SvcError::Internal("injected fault: pipeline.schedule".into())),
@@ -517,6 +824,12 @@ mod tests {
                 key: CacheKey { hi: 3, lo: 4 },
                 launches: 12,
                 text: "# untiled\n".to_string(),
+            }),
+            Response::Schedule(ScheduleResponse {
+                outcome: Outcome::PeerFill,
+                key: CacheKey { hi: 8, lo: 9 },
+                launches: 4,
+                text: "# peer\n".to_string(),
             }),
         ];
         for resp in resps {

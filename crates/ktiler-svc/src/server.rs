@@ -1,49 +1,71 @@
-//! The TCP front-end: accepts connections, decodes framed requests and
-//! drives the in-process [`Service`] — the network path and the in-process
+//! The TCP front-end: a single-threaded readiness event loop that
+//! multiplexes every connection, decodes framed requests and drives a
+//! [`FrontEnd`] — the in-process [`Service`] here, the gateway's router in
+//! the `ktiler-gateway` crate. The network path and the in-process
 //! [`crate::Client`] path share the identical queue, single-flight table
 //! and cache.
 //!
-//! The accept loop and each connection handler poll a shared stop flag
-//! (non-blocking accept, short read timeouts) so a `SHUTDOWN` request —
-//! or [`Server::request_stop`] — winds the whole front-end down without
-//! help from the OS: no signals, no socket shootdown.
+//! **Why an event loop.** The previous front-end spawned one thread per
+//! connection; at the multi-node scale this repo now targets (a gateway
+//! holding 10k client connections plus per-node fan-out), 10k idle
+//! connections would cost 10k stacks. Instead one thread owns a
+//! non-blocking listener and every non-blocking stream, and sweeps them:
+//! accept what's pending, read what's readable (each connection keeps its
+//! parser state in a [`FrameDecoder`] between sweeps), hand complete
+//! requests to the front-end, poll outstanding [`Ticket`]s, flush what's
+//! writable. Requests that compute ([`Dispatch::Pending`]) never block the
+//! loop — the service's worker pool computes them while the loop keeps
+//! sweeping — and responses are delivered strictly in request order per
+//! connection. With no `poll(2)` available (std-only, `forbid(unsafe)`),
+//! readiness is discovered by the sweep itself; an idle pass sleeps
+//! briefly so a quiet server costs near-zero CPU, and any progress keeps
+//! the loop hot.
 //!
-//! **Misbehaving peers.** A connection handler distinguishes an *idle*
-//! client (no bytes of a frame received — allowed to sit quietly forever)
-//! from a *stalled* one (a frame started but not finished): a stalled
-//! peer holding half a frame is cut off after
-//! [`ServerTuning::stall_timeout`], and writes are bounded by
-//! [`ServerTuning::write_timeout`], so a client that stops reading cannot
-//! pin a handler thread. Finished handler threads are reaped on every
-//! accept, so a long-lived server's handler list stays proportional to
-//! the number of *live* connections, not to the total ever accepted.
+//! **Misbehaving peers.** The loop distinguishes an *idle* connection (no
+//! bytes of a frame received — allowed to sit quietly forever) from a
+//! *stalled* one (a frame started but not finished), cut off after
+//! [`ServerTuning::stall_timeout`]. A peer that stops reading is bounded
+//! by [`ServerTuning::write_timeout`] on unflushed output. A frame of a
+//! foreign protocol version is answered with `ERR VERSION` and the
+//! connection closed after the reply; a torn header loses framing and
+//! drops the connection immediately.
+//!
+//! `SHUTDOWN` is intercepted by the loop itself: it acknowledges with
+//! `BYE`, stops accepting, stops reading, serves every response already in
+//! flight, flushes, and exits — no signals, no socket shootdown.
 
-use std::io::{self, BufReader};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gpu_sim::SplitMix64;
 
-use crate::fault;
-use crate::proto::{read_frame, read_frame_polled, write_frame, Request, Response};
-use crate::service::{Service, SvcError};
+use crate::key::CacheKey;
+use crate::proto::{
+    read_frame, write_frame, DecodeEvent, FrameDecoder, Request, Response, PROTO_VERSION,
+};
+use crate::service::{Service, SvcError, Ticket};
 
-/// How long the accept loop sleeps between polls of an idle listener.
-const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Longest sleep of an idle sweep. Kept small — it bounds the latency a
+/// freshly arrived byte can see — and capped further by the tuning's
+/// `read_poll` so tests that shrink timeouts also shrink the sweep.
+const IDLE_SLEEP_CAP: Duration = Duration::from_millis(1);
 
 /// Socket-level knobs of the TCP front-end. [`ServerTuning::default`] is
 /// right for production; tests shrink the timeouts to fail fast.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerTuning {
-    /// Read timeout of a connection socket; bounds how stale the stop
-    /// flag can be when a client goes quiet, and sets the granularity of
-    /// the stall check.
+    /// Upper bound on the idle sweep's sleep (historically the blocking
+    /// read timeout; the event loop keeps the name so callers and flags
+    /// are unchanged). Smaller means lower idle latency, more idle CPU.
     pub read_poll: Duration,
-    /// Write timeout of a connection socket; a client that stops reading
-    /// is dropped instead of pinning the handler thread.
+    /// How long unflushed response bytes may sit without progress before
+    /// the connection is dropped — a client that stops reading cannot pin
+    /// buffer memory forever.
     pub write_timeout: Duration,
     /// How long a connection may sit mid-frame (some bytes of a frame
     /// received, the rest missing) before it is dropped as stalled. Idle
@@ -61,13 +83,65 @@ impl Default for ServerTuning {
     }
 }
 
-/// A running TCP front-end over a [`Service`].
-pub struct Server {
+/// What a [`FrontEnd`] does with one decoded request.
+pub enum Dispatch {
+    /// The response is known now; the loop queues it for writing.
+    Ready(Response),
+    /// The response is being computed elsewhere (a worker pool, a remote
+    /// node); the loop polls the ticket and writes the response when it
+    /// lands, without ever blocking on it.
+    Pending(Ticket),
+}
+
+/// What the event loop serves: anything that can turn a request into a
+/// response (or a promise of one). [`Service`] implements it directly;
+/// the gateway implements it with a forwarding pool.
+pub trait FrontEnd: Send + Sync + 'static {
+    /// Handles one request. `SHUTDOWN` is intercepted by the event loop
+    /// and never reaches this method from the network path.
+    fn handle(&self, req: Request) -> Dispatch;
+
+    /// Winds down the backing machinery (drain queues, join workers).
+    /// Called by [`Server::join`] after the event loop has exited.
+    fn wind_down(&self) {}
+}
+
+impl FrontEnd for Service {
+    fn handle(&self, req: Request) -> Dispatch {
+        match req {
+            Request::Ping => Dispatch::Ready(Response::Pong),
+            Request::Stats => Dispatch::Ready(Response::Stats(self.metrics_json())),
+            Request::Fetch(key) => Dispatch::Ready(match self.client().fetch_artifact(&key) {
+                Some(text) => Response::Artifact { key, text },
+                None => Response::Err(SvcError::NotFound),
+            }),
+            Request::Put { key, text } => {
+                Dispatch::Ready(match self.client().put_artifact(&key, &text) {
+                    Ok(()) => Response::Stored,
+                    Err(e) => Response::Err(e),
+                })
+            }
+            Request::Schedule(req) => match self.client().submit(req) {
+                Ok(ticket) => Dispatch::Pending(ticket),
+                Err(e) => Dispatch::Ready(Response::Err(e)),
+            },
+            // Only reachable from direct callers; the loop intercepts it.
+            Request::Shutdown => Dispatch::Ready(Response::Bye),
+        }
+    }
+
+    fn wind_down(&self) {
+        self.shutdown();
+    }
+}
+
+/// A running TCP front-end over a [`FrontEnd`] (a [`Service`] by default).
+pub struct Server<F: FrontEnd = Service> {
     local_addr: SocketAddr,
-    svc: Arc<Service>,
+    front: Arc<F>,
     stop: Arc<AtomicBool>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    accept_thread: Option<JoinHandle<()>>,
+    live: Arc<AtomicUsize>,
+    loop_thread: Option<JoinHandle<()>>,
 }
 
 /// Starts serving `svc` on `addr` with default [`ServerTuning`]
@@ -91,31 +165,44 @@ pub fn serve_with<A: ToSocketAddrs>(
     svc: Arc<Service>,
     tuning: ServerTuning,
 ) -> io::Result<Server> {
+    serve_front(addr, svc, tuning)
+}
+
+/// Starts an event loop serving any [`FrontEnd`] on `addr`.
+///
+/// # Errors
+///
+/// Any error from binding the listener or spawning the loop thread.
+pub fn serve_front<F: FrontEnd, A: ToSocketAddrs>(
+    addr: A,
+    front: Arc<F>,
+    tuning: ServerTuning,
+) -> io::Result<Server<F>> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-    let accept_thread = {
-        let svc = Arc::clone(&svc);
+    let live = Arc::new(AtomicUsize::new(0));
+    let loop_thread = {
+        let front = Arc::clone(&front);
         let stop = Arc::clone(&stop);
-        let handlers = Arc::clone(&handlers);
+        let live = Arc::clone(&live);
         std::thread::Builder::new()
-            .name("ktiler-svc-accept".into())
-            .spawn(move || accept_loop(listener, svc, stop, handlers, tuning))?
+            .name("ktiler-svc-eventloop".into())
+            .spawn(move || EventLoop::new(listener, front, stop, live, tuning).run())?
     };
-    Ok(Server { local_addr, svc, stop, handlers, accept_thread: Some(accept_thread) })
+    Ok(Server { local_addr, front, stop, live, loop_thread: Some(loop_thread) })
 }
 
-impl Server {
+impl<F: FrontEnd> Server<F> {
     /// The address the listener is bound to.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
     }
 
-    /// The service behind this server.
-    pub fn service(&self) -> &Arc<Service> {
-        &self.svc
+    /// The front-end behind this server.
+    pub fn service(&self) -> &Arc<F> {
+        &self.front
     }
 
     /// Whether a stop was requested (by a `SHUTDOWN` request or
@@ -124,138 +211,355 @@ impl Server {
         self.stop.load(Ordering::SeqCst)
     }
 
-    /// Requests a stop; the accept loop and all handlers notice within
-    /// their poll intervals.
+    /// Requests a stop; the event loop notices within one sweep, serves
+    /// what's already in flight, and exits.
     pub fn request_stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
     }
 
-    /// Number of connection handler threads still running. Reaps finished
-    /// handles first, so the count reflects live connections, not the
-    /// total ever accepted.
+    /// Number of connections the event loop currently holds open.
     pub fn live_connections(&self) -> usize {
-        let mut handlers = fault::lock(&self.handlers);
-        reap_finished(&mut handlers);
-        handlers.len()
+        self.live.load(Ordering::SeqCst)
     }
 
-    /// Blocks until a stop is requested, then joins the front-end and
-    /// shuts the service down (draining queued requests). Returns the
-    /// service so the caller can dump final metrics.
-    pub fn join(mut self) -> Arc<Service> {
-        if let Some(h) = self.accept_thread.take() {
+    /// Blocks until a stop is requested, then joins the event loop and
+    /// winds the front-end down (draining queued requests). Returns the
+    /// front-end so the caller can dump final metrics.
+    pub fn join(mut self) -> Arc<F> {
+        if let Some(h) = self.loop_thread.take() {
             let _ = h.join();
         }
-        self.svc.shutdown();
-        Arc::clone(&self.svc)
+        self.front.wind_down();
+        Arc::clone(&self.front)
     }
 }
 
-impl Drop for Server {
+impl<F: FrontEnd> Drop for Server<F> {
     fn drop(&mut self) {
         self.request_stop();
-        if let Some(h) = self.accept_thread.take() {
+        if let Some(h) = self.loop_thread.take() {
             let _ = h.join();
         }
     }
 }
 
-/// Joins (and drops) every finished handler in `handlers`, keeping the
-/// live ones. A handler that panicked is still reaped — the panic is
-/// contained to its own connection.
-fn reap_finished(handlers: &mut Vec<JoinHandle<()>>) {
-    let mut live = Vec::with_capacity(handlers.len());
-    for h in handlers.drain(..) {
-        if h.is_finished() {
-            let _ = h.join();
-        } else {
-            live.push(h);
-        }
-    }
-    *handlers = live;
+/// One response slot of a connection. Responses go out strictly in
+/// request order, so a slow schedule ahead of a fast ping holds the ping
+/// back (per connection — other connections are unaffected).
+enum Slot {
+    /// Encoded response payload, ready to frame and write.
+    Done(Vec<u8>),
+    /// Still being computed; polled each sweep.
+    Wait(Ticket),
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    svc: Arc<Service>,
+/// Per-connection state between sweeps.
+struct Conn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    /// Responses owed to this connection, in request order.
+    pending: VecDeque<Slot>,
+    /// Framed bytes queued for writing; `out_pos` marks how far the socket
+    /// has taken them.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// When the current half-received frame started (stall clock).
+    mid_frame_since: Option<Instant>,
+    /// Since when `out` has bytes the peer hasn't taken (write clock;
+    /// reset on any write progress).
+    write_since: Option<Instant>,
+    /// Close once everything owed is flushed (after `BYE`, `ERR VERSION`,
+    /// or a read-side EOF with responses still in flight).
+    close_after_flush: bool,
+    /// The read side is finished (EOF or lost framing); stop reading.
+    read_closed: bool,
+    /// Remove this connection at the end of the sweep.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            dec: FrameDecoder::new(),
+            pending: VecDeque::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            mid_frame_since: None,
+            write_since: None,
+            close_after_flush: false,
+            read_closed: false,
+            dead: false,
+        }
+    }
+
+    /// Whether nothing is owed to this connection anymore.
+    fn drained(&self) -> bool {
+        self.pending.is_empty() && self.out_pos >= self.out.len()
+    }
+
+    /// Frames and queues one encoded response payload.
+    fn queue_response(&mut self, payload: &[u8]) {
+        // Writing into a Vec cannot fail.
+        let _ = write_frame(&mut self.out, payload);
+        if self.write_since.is_none() {
+            self.write_since = Some(Instant::now());
+        }
+    }
+}
+
+/// The sweep loop: owns the listener and every connection.
+struct EventLoop<F: FrontEnd> {
+    listener: Option<TcpListener>,
+    front: Arc<F>,
     stop: Arc<AtomicBool>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    live: Arc<AtomicUsize>,
     tuning: ServerTuning,
-) {
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let svc = Arc::clone(&svc);
-                let stop = Arc::clone(&stop);
-                let spawned = std::thread::Builder::new()
-                    .name("ktiler-svc-conn".into())
-                    .spawn(move || handle_connection(stream, &svc, &stop, tuning));
-                let mut handlers = fault::lock(&handlers);
-                reap_finished(&mut handlers);
-                match spawned {
-                    Ok(handle) => handlers.push(handle),
-                    Err(_) => continue, // connection dropped; client will retry
+    conns: Vec<Conn>,
+}
+
+impl<F: FrontEnd> EventLoop<F> {
+    fn new(
+        listener: TcpListener,
+        front: Arc<F>,
+        stop: Arc<AtomicBool>,
+        live: Arc<AtomicUsize>,
+        tuning: ServerTuning,
+    ) -> Self {
+        EventLoop { listener: Some(listener), front, stop, live, tuning, conns: Vec::new() }
+    }
+
+    fn run(mut self) {
+        let idle_sleep = self.tuning.read_poll.min(IDLE_SLEEP_CAP);
+        let mut buf = [0u8; 8192];
+        loop {
+            let stopping = self.stop.load(Ordering::SeqCst);
+            if stopping {
+                // Drain mode: no new connections, no new requests; serve
+                // what's already in flight, flush, exit.
+                self.listener = None;
+                for c in &mut self.conns {
+                    c.read_closed = true;
+                    c.close_after_flush = true;
+                    if c.drained() {
+                        c.dead = true;
+                    }
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
-    for h in std::mem::take(&mut *fault::lock(&handlers)) {
-        let _ = h.join();
-    }
-}
-
-fn handle_connection(stream: TcpStream, svc: &Service, stop: &AtomicBool, tuning: ServerTuning) {
-    let _ = stream.set_read_timeout(Some(tuning.read_poll));
-    let _ = stream.set_write_timeout(Some(tuning.write_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let client = svc.client();
-    loop {
-        // Each blocked read re-checks the stop flag; a frame left half
-        // received past the stall deadline drops the connection, while an
-        // idle peer (no frame started) may wait indefinitely.
-        let mut stalled_since: Option<Instant> = None;
-        let frame = read_frame_polled(&mut reader, |mid_frame, e| {
-            if stop.load(Ordering::SeqCst) {
-                return Err(io::Error::other("server stopping"));
+            let mut progress = false;
+            progress |= self.accept_pending();
+            if !stopping {
+                progress |= self.pump_reads(&mut buf);
             }
-            if !mid_frame {
-                stalled_since = None;
-                return Ok(());
-            }
-            let since = *stalled_since.get_or_insert_with(Instant::now);
-            if since.elapsed() >= tuning.stall_timeout {
-                return Err(io::Error::new(io::ErrorKind::TimedOut, e.to_string()));
-            }
-            Ok(())
-        });
-        let payload = match frame {
-            Ok(Some(p)) => p,
-            Ok(None) => return, // client hung up cleanly
-            Err(_) => return,   // stop requested, stalled peer, torn frame or transport error
-        };
-        let response = match Request::decode(&payload) {
-            Err(msg) => Response::Err(SvcError::BadRequest(msg)),
-            Ok(Request::Ping) => Response::Pong,
-            Ok(Request::Stats) => Response::Stats(client.metrics_json()),
-            Ok(Request::Schedule(req)) => match client.schedule(req) {
-                Ok(resp) => Response::Schedule(resp),
-                Err(e) => Response::Err(e),
-            },
-            Ok(Request::Shutdown) => {
-                let _ = write_frame(&mut writer, &Response::Bye.encode());
-                stop.store(true, Ordering::SeqCst);
+            progress |= self.promote_ready();
+            progress |= self.flush_writes();
+            self.enforce_deadlines();
+            self.conns.retain(|c| !c.dead);
+            self.live.store(self.conns.len(), Ordering::SeqCst);
+            if stopping && self.conns.is_empty() {
                 return;
             }
-        };
-        if write_frame(&mut writer, &response.encode()).is_err() {
-            return;
+            if !progress {
+                std::thread::sleep(idle_sleep);
+            }
+        }
+    }
+
+    /// Accepts every connection the listener has queued.
+    fn accept_pending(&mut self) -> bool {
+        let Some(listener) = &self.listener else { return false };
+        let mut progress = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.conns.push(Conn::new(stream));
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return progress,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (EMFILE, aborted handshake):
+                // the connection is lost, the listener is fine.
+                Err(_) => return progress,
+            }
+        }
+    }
+
+    /// Reads whatever every readable connection has, feeding decoders and
+    /// dispatching completed requests.
+    fn pump_reads(&mut self, buf: &mut [u8]) -> bool {
+        let mut progress = false;
+        let mut events = Vec::new();
+        for i in 0..self.conns.len() {
+            if self.conns[i].dead || self.conns[i].read_closed {
+                continue;
+            }
+            loop {
+                // Re-borrow per read: `dispatch` below also needs the
+                // connection list.
+                match self.conns[i].stream.read(buf) {
+                    Ok(0) => {
+                        // EOF. Close now if nothing is owed; otherwise
+                        // serve the in-flight responses first.
+                        let c = &mut self.conns[i];
+                        c.read_closed = true;
+                        if c.drained() {
+                            c.dead = true;
+                        } else {
+                            c.close_after_flush = true;
+                        }
+                        break;
+                    }
+                    Ok(n) => {
+                        progress = true;
+                        if self.conns[i].dec.feed(&buf[..n], &mut events).is_err() {
+                            // Framing lost; no reliable way to answer.
+                            self.conns[i].dead = true;
+                            break;
+                        }
+                        for ev in events.drain(..) {
+                            self.dispatch(i, ev);
+                        }
+                        if self.conns[i].dead || self.conns[i].read_closed {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.conns[i].dead = true;
+                        break;
+                    }
+                }
+            }
+            let c = &mut self.conns[i];
+            if c.dec.mid_frame() {
+                c.mid_frame_since.get_or_insert_with(Instant::now);
+            } else {
+                c.mid_frame_since = None;
+            }
+        }
+        progress
+    }
+
+    /// Turns one decoder event of connection `i` into queued work.
+    fn dispatch(&mut self, i: usize, ev: DecodeEvent) {
+        match ev {
+            DecodeEvent::BadVersion { got } => {
+                let c = &mut self.conns[i];
+                c.pending.push_back(Slot::Done(
+                    Response::Err(SvcError::VersionMismatch { got, expected: PROTO_VERSION })
+                        .encode(),
+                ));
+                // Reject-and-report: the reply goes out, then the
+                // connection closes — no second chance to misparse.
+                c.read_closed = true;
+                c.close_after_flush = true;
+            }
+            DecodeEvent::Frame(payload) => match Request::decode(&payload) {
+                Err(msg) => self.conns[i]
+                    .pending
+                    .push_back(Slot::Done(Response::Err(SvcError::BadRequest(msg)).encode())),
+                Ok(Request::Shutdown) => {
+                    let c = &mut self.conns[i];
+                    c.pending.push_back(Slot::Done(Response::Bye.encode()));
+                    c.read_closed = true;
+                    c.close_after_flush = true;
+                    self.stop.store(true, Ordering::SeqCst);
+                }
+                Ok(req) => {
+                    let slot = match self.front.handle(req) {
+                        Dispatch::Ready(resp) => Slot::Done(resp.encode()),
+                        Dispatch::Pending(ticket) => Slot::Wait(ticket),
+                    };
+                    self.conns[i].pending.push_back(slot);
+                }
+            },
+        }
+    }
+
+    /// Moves completed pending slots into each connection's write buffer,
+    /// preserving per-connection request order.
+    fn promote_ready(&mut self) -> bool {
+        let mut progress = false;
+        for c in &mut self.conns {
+            if c.dead {
+                continue;
+            }
+            while let Some(front) = c.pending.front_mut() {
+                let payload = match front {
+                    Slot::Done(p) => std::mem::take(p),
+                    Slot::Wait(ticket) => match ticket.try_take() {
+                        Some(Ok(resp)) => Response::Schedule(resp).encode(),
+                        Some(Err(e)) => Response::Err(e).encode(),
+                        None => break, // still computing; order bars later slots
+                    },
+                };
+                c.pending.pop_front();
+                c.queue_response(&payload);
+                progress = true;
+            }
+        }
+        progress
+    }
+
+    /// Writes whatever each connection's peer will take.
+    fn flush_writes(&mut self) -> bool {
+        let mut progress = false;
+        for c in &mut self.conns {
+            if c.dead || c.out_pos >= c.out.len() {
+                continue;
+            }
+            loop {
+                match c.stream.write(&c.out[c.out_pos..]) {
+                    Ok(0) => {
+                        c.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        c.out_pos += n;
+                        c.write_since = Some(Instant::now());
+                        progress = true;
+                        if c.out_pos >= c.out.len() {
+                            c.out.clear();
+                            c.out_pos = 0;
+                            c.write_since = None;
+                            if c.close_after_flush && c.pending.is_empty() {
+                                c.dead = true;
+                            }
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        c.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        progress
+    }
+
+    /// Drops stalled readers and stuck writers.
+    fn enforce_deadlines(&mut self) {
+        let now = Instant::now();
+        for c in &mut self.conns {
+            if c.dead {
+                continue;
+            }
+            if c.mid_frame_since.is_some_and(|t| now - t >= self.tuning.stall_timeout) {
+                c.dead = true;
+            }
+            if c.out_pos < c.out.len()
+                && c.write_since.is_some_and(|t| now - t >= self.tuning.write_timeout)
+            {
+                c.dead = true;
+            }
         }
     }
 }
@@ -325,7 +629,8 @@ fn is_retryable(e: &io::Error) -> bool {
 }
 
 /// A blocking TCP client speaking the framed protocol; used by
-/// `ktiler_tool client` and the end-to-end tests.
+/// `ktiler_tool client`, the gateway's per-node forwarders, peer
+/// read-through fills and the end-to-end tests.
 pub struct NetClient {
     addr: SocketAddr,
     writer: TcpStream,
@@ -346,6 +651,28 @@ impl NetClient {
             .ok_or_else(|| io::Error::other("address resolved to nothing"))?;
         let (writer, reader) = Self::open(addr)?;
         Ok(NetClient { addr, writer, reader })
+    }
+
+    /// Connects with `timeout` bounding the dial **and** every later read
+    /// and write on the connection — the flavor for talking to a peer or
+    /// shard that may be dead: a gateway or node must spend bounded time
+    /// discovering that, not a TCP handshake's patience.
+    ///
+    /// # Errors
+    ///
+    /// Any error from resolving, dialing within the timeout, or
+    /// configuring the stream.
+    pub fn connect_timeout<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other("address resolved to nothing"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(NetClient { addr, writer, reader: BufReader::new(stream) })
     }
 
     fn open(addr: SocketAddr) -> io::Result<(TcpStream, BufReader<TcpStream>)> {
@@ -426,6 +753,29 @@ impl NetClient {
     }
 }
 
+/// Asks the node at `addr` for the raw artifact of `key` (`FETCH`),
+/// spending at most `timeout` on the dial and on each read/write. This is
+/// the transport half of a read-through peer fill; the caller re-verifies
+/// whatever comes back.
+///
+/// # Errors
+///
+/// Transport errors; [`io::ErrorKind::NotFound`] when the peer does not
+/// hold the key; [`io::ErrorKind::InvalidData`] for any other reply.
+pub fn fetch_from_peer(addr: &str, key: &CacheKey, timeout: Duration) -> io::Result<String> {
+    let mut client = NetClient::connect_timeout(addr, timeout)?;
+    match client.request(&Request::Fetch(*key))? {
+        Response::Artifact { key: got, text } if got == *key => Ok(text),
+        Response::Err(SvcError::NotFound) => {
+            Err(io::Error::new(io::ErrorKind::NotFound, format!("peer {addr} does not hold {key}")))
+        }
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected FETCH reply from {addr}: {other:?}"),
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,5 +813,21 @@ mod tests {
         assert!(is_retryable(&io::Error::new(io::ErrorKind::TimedOut, "x")));
         assert!(!is_retryable(&io::Error::new(io::ErrorKind::InvalidData, "x")));
         assert!(!is_retryable(&io::Error::other("x")));
+    }
+
+    #[test]
+    fn fetch_from_a_dead_port_fails_fast() {
+        // Nothing listens on this just-bound-then-dropped port.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        };
+        let t0 = Instant::now();
+        let err = fetch_from_peer(&addr, &CacheKey { hi: 1, lo: 2 }, Duration::from_millis(500))
+            .unwrap_err();
+        assert!(t0.elapsed() < Duration::from_secs(5), "bounded by the timeout");
+        // Refused (nothing listening) or reset — either way a transport
+        // error, not a hang.
+        assert!(err.kind() != io::ErrorKind::InvalidData, "{err}");
     }
 }

@@ -40,8 +40,8 @@ use gpu_sim::{FreqConfig, GpuConfig};
 use hsoptflow::{build_app, synthetic_pair, HsParams, OptFlowApp};
 use kgraph::GraphTrace;
 use ktiler::{
-    calibrate, ktiler_schedule, schedule_to_text, verify_schedule, CalibrationConfig, KtilerConfig,
-    Schedule, TileParams,
+    calibrate, ktiler_schedule, schedule_from_text, schedule_to_text, verify_schedule,
+    CalibrationConfig, KtilerConfig, Schedule, TileParams,
 };
 
 use crate::cache::{CacheProbe, ScheduleCache};
@@ -175,6 +175,16 @@ impl ScheduleRequest {
         h.finish()
     }
 
+    /// The key a multi-node deployment routes this request by: the flight
+    /// key, computable from the request line alone. The full
+    /// content-addressed artifact key needs analysis + calibration —
+    /// exactly the work routing exists to place — so the ring hashes this
+    /// cheap surrogate instead; both keys are pure functions of the same
+    /// inputs, so a given request always routes to the same shard.
+    pub fn routing_key(&self) -> CacheKey {
+        self.flight_key()
+    }
+
     fn validate(&self) -> Result<(), SvcError> {
         self.workload.validate()?;
         for (name, v) in [("gpu_mhz", self.gpu_mhz), ("mem_mhz", self.mem_mhz)] {
@@ -203,6 +213,11 @@ pub enum Outcome {
     /// baseline order). Correct, never cached, and slower on the device —
     /// degraded, not an outage.
     DegradedUntiled,
+    /// No local artifact existed, but a peer node's cache held one; it was
+    /// fetched, re-verified locally, stored, and served — the read-through
+    /// fill that lets a schedule computed on any node be served from every
+    /// node without recomputation.
+    PeerFill,
 }
 
 impl Outcome {
@@ -213,6 +228,7 @@ impl Outcome {
             Outcome::Miss => "MISS",
             Outcome::Recompute => "RECOMPUTE",
             Outcome::DegradedUntiled => "DEGRADED",
+            Outcome::PeerFill => "PEER_FILL",
         }
     }
 
@@ -223,6 +239,7 @@ impl Outcome {
             "MISS" => Some(Outcome::Miss),
             "RECOMPUTE" => Some(Outcome::Recompute),
             "DEGRADED" => Some(Outcome::DegradedUntiled),
+            "PEER_FILL" => Some(Outcome::PeerFill),
             _ => None,
         }
     }
@@ -260,6 +277,18 @@ pub enum SvcError {
     /// contained and converted into this structured response (the waiting
     /// client is answered, never left hung).
     Internal(String),
+    /// The peer sent a frame of a protocol version this build does not
+    /// speak. The frame was consumed (so this reply could be sent) and the
+    /// connection is closed after it — never a silent misparse.
+    VersionMismatch {
+        /// The version the peer's frame carried.
+        got: u8,
+        /// The version this build speaks.
+        expected: u8,
+    },
+    /// A `FETCH` for a key this node's cache does not hold — the normal
+    /// answer for a peer read-through probe, not a failure of the node.
+    NotFound,
 }
 
 impl SvcError {
@@ -272,6 +301,8 @@ impl SvcError {
             SvcError::BadRequest(_) => "BAD_REQUEST",
             SvcError::Pipeline(_) => "PIPELINE",
             SvcError::Internal(_) => "INTERNAL",
+            SvcError::VersionMismatch { .. } => "VERSION",
+            SvcError::NotFound => "NOT_FOUND",
         }
     }
 
@@ -283,6 +314,19 @@ impl SvcError {
             "SHUTDOWN" => SvcError::ShuttingDown,
             "BAD_REQUEST" => SvcError::BadRequest(message.to_string()),
             "INTERNAL" => SvcError::Internal(message.to_string()),
+            "NOT_FOUND" => SvcError::NotFound,
+            "VERSION" => {
+                // Wire form "got=X expected=Y"; unparsable fields become 0
+                // (the mismatch itself is the signal, not the digits).
+                let field = |name: &str| {
+                    message
+                        .split_whitespace()
+                        .find_map(|t| t.strip_prefix(name))
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0)
+                };
+                SvcError::VersionMismatch { got: field("got="), expected: field("expected=") }
+            }
             _ => SvcError::Pipeline(message.to_string()),
         }
     }
@@ -297,6 +341,13 @@ impl fmt::Display for SvcError {
             SvcError::BadRequest(m) => write!(f, "bad request: {m}"),
             SvcError::Pipeline(m) => write!(f, "pipeline error: {m}"),
             SvcError::Internal(m) => write!(f, "internal error: {m}"),
+            SvcError::VersionMismatch { got, expected } => {
+                write!(
+                    f,
+                    "protocol version mismatch: peer sent v{got}, this build speaks v{expected}"
+                )
+            }
+            SvcError::NotFound => write!(f, "no artifact for that key"),
         }
     }
 }
@@ -320,6 +371,14 @@ pub struct ServiceConfig {
     pub gpu: GpuConfig,
     /// Merge threshold forwarded to Algorithm 1 (the paper's `thld`).
     pub weight_threshold_ns: f64,
+    /// Addresses of peer nodes to read-through-fill from: on a local cache
+    /// miss, each peer is asked (`FETCH`) for the artifact before this
+    /// node recomputes it. Empty for a single-node deployment.
+    pub peers: Vec<String>,
+    /// Connect/read/write timeout for one peer fetch attempt. Peers are a
+    /// shortcut, not a dependency — a slow peer must cost less than the
+    /// recompute it would have saved.
+    pub peer_timeout: Duration,
 }
 
 impl ServiceConfig {
@@ -333,6 +392,8 @@ impl ServiceConfig {
             memo_capacity: 16,
             gpu: GpuConfig::gtx960m(),
             weight_threshold_ns: 1_000.0,
+            peers: Vec::new(),
+            peer_timeout: Duration::from_millis(500),
         }
     }
 }
@@ -383,6 +444,63 @@ impl Cell {
                 }
             }
         }
+    }
+}
+
+/// A claim on a response being computed: handed out by [`Client::submit`],
+/// polled without blocking by an event loop ([`Ticket::try_take`]) or
+/// awaited by a thread with nothing better to do ([`Ticket::wait`]).
+pub struct Ticket {
+    cell: Arc<Cell>,
+    deadline: Option<Instant>,
+}
+
+/// The fulfilling half of a [`Ticket::pair`]: a frontend that answers
+/// requests from its own worker threads (the gateway) hands the `Ticket`
+/// to the event loop and keeps the sink.
+pub struct TicketSink {
+    cell: Arc<Cell>,
+}
+
+impl Ticket {
+    /// An unfulfilled ticket and the sink that fulfills it.
+    pub fn pair(deadline: Option<Instant>) -> (Ticket, TicketSink) {
+        let cell = Cell::new();
+        (Ticket { cell: Arc::clone(&cell), deadline }, TicketSink { cell })
+    }
+
+    /// Takes the response if one is ready; `None` means still in flight.
+    /// Past the ticket's deadline an unfulfilled ticket yields
+    /// [`SvcError::DeadlineExceeded`] — the poller never waits forever on
+    /// work that can no longer matter.
+    pub fn try_take(&mut self) -> Option<Result<ScheduleResponse, SvcError>> {
+        {
+            let mut st = fault::lock(&self.cell.state);
+            if let Some(r) = st.take() {
+                return Some(r);
+            }
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(Err(SvcError::DeadlineExceeded));
+        }
+        None
+    }
+
+    /// Blocks until the response is ready or the deadline passes.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the computation produced, or [`SvcError::DeadlineExceeded`].
+    pub fn wait(self) -> Result<ScheduleResponse, SvcError> {
+        self.cell.wait(self.deadline)
+    }
+}
+
+impl TicketSink {
+    /// Fulfills the paired ticket. First fulfillment wins; later calls are
+    /// ignored.
+    pub fn fulfill(&self, r: Result<ScheduleResponse, SvcError>) {
+        self.cell.fulfill(r);
     }
 }
 
@@ -556,6 +674,19 @@ impl Client {
     /// [`SvcError::DeadlineExceeded`] are expected under load and should
     /// be retried or degraded by the caller.
     pub fn schedule(&self, req: ScheduleRequest) -> Result<ScheduleResponse, SvcError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Enqueues a schedule request without waiting for its result — the
+    /// non-blocking half of [`Client::schedule`], for callers (the event
+    /// loop) that multiplex many requests on one thread and poll the
+    /// returned [`Ticket`] instead of parking on it.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::ShuttingDown`], [`SvcError::Shed`], or a validation
+    /// error — everything that can be known at submission time.
+    pub fn submit(&self, req: ScheduleRequest) -> Result<Ticket, SvcError> {
         req.validate()?;
         let deadline = req.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
         let cell = Cell::new();
@@ -572,7 +703,34 @@ impl Client {
             q.jobs.push_back(Job { req, deadline, cell: Arc::clone(&cell) });
             self.inner.queue_cv.notify_one();
         }
-        cell.wait(deadline)
+        Ok(Ticket { cell, deadline })
+    }
+
+    /// The raw artifact text of `key` from this node's cache, if present —
+    /// answers a peer's `FETCH` during its read-through fill.
+    pub fn fetch_artifact(&self, key: &CacheKey) -> Option<String> {
+        let text = self.inner.cache.load_text(key)?;
+        bump(&self.inner.metrics.fetches_served);
+        Some(text)
+    }
+
+    /// Stores a replicated artifact (`PUT`, gateway hot-key replication).
+    /// The text must parse as a schedule — a sanity check, not trust: like
+    /// every artifact, it is fully re-verified on any later load.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::BadRequest`] for unparseable text,
+    /// [`SvcError::Internal`] when the store itself fails.
+    pub fn put_artifact(&self, key: &CacheKey, text: &str) -> Result<(), SvcError> {
+        schedule_from_text(text)
+            .map_err(|e| SvcError::BadRequest(format!("artifact does not parse: {e}")))?;
+        self.inner
+            .cache
+            .store(key, text)
+            .map_err(|e| SvcError::Internal(format!("artifact store failed: {e}")))?;
+        bump(&self.inner.metrics.replica_stores);
+        Ok(())
     }
 
     /// Renders the metrics registry as JSON.
@@ -790,6 +948,14 @@ impl Inner {
             }
         };
 
+        // Peer read-through: before paying for a recompute, ask the peer
+        // nodes whether one of them already holds this artifact. Strictly
+        // an optimization — any peer failure falls through to the local
+        // pipeline below.
+        if let Some(resp) = self.peer_fill(&p, t_total) {
+            return Ok(resp);
+        }
+
         let t_tile = Instant::now();
         self.faults
             .fire_io(points::PIPELINE_SCHEDULE)
@@ -811,6 +977,54 @@ impl Inner {
         }
         self.metrics.total_latency.record(t_total.elapsed());
         Ok(ScheduleResponse { outcome, key: p.key, launches: out.schedule.num_launches(), text })
+    }
+
+    /// Tries to fill a local cache miss from a peer node's cache. The
+    /// fetched text is untrusted: it is parsed and fully re-verified
+    /// against **this** node's graph, trace and tiling parameters before
+    /// being stored and served — a peer can save this node work, never
+    /// hand it a wrong schedule. Returns `None` when no peer helped (no
+    /// peers configured, injected fault, transport failure, key not held,
+    /// or verification failure); the caller recomputes.
+    fn peer_fill(&self, p: &Prepared, t_total: Instant) -> Option<ScheduleResponse> {
+        if self.cfg.peers.is_empty() {
+            return None;
+        }
+        if self.faults.fire_io(points::PEER_FETCH).is_err() {
+            bump(&self.metrics.peer_fetch_failures);
+            return None;
+        }
+        for peer in &self.cfg.peers {
+            let text = match crate::server::fetch_from_peer(peer, &p.key, self.cfg.peer_timeout) {
+                Ok(t) => t,
+                Err(_) => {
+                    bump(&self.metrics.peer_fetch_failures);
+                    continue;
+                }
+            };
+            let Ok(schedule) = schedule_from_text(&text) else {
+                bump(&self.metrics.peer_fetch_failures);
+                continue;
+            };
+            let report = verify_schedule(&schedule, &p.app.graph, &p.gt, &p.kcfg.tile);
+            if !report.is_clean() {
+                bump(&self.metrics.peer_fetch_failures);
+                continue;
+            }
+            if self.cache.store(&p.key, &text).is_err() {
+                // Still serve the response; only persistence was lost.
+                bump(&self.metrics.store_failures);
+            }
+            bump(&self.metrics.peer_fills);
+            self.metrics.total_latency.record(t_total.elapsed());
+            return Some(ScheduleResponse {
+                outcome: Outcome::PeerFill,
+                key: p.key,
+                launches: schedule.num_launches(),
+                text,
+            });
+        }
+        None
     }
 }
 
@@ -884,6 +1098,7 @@ mod tests {
             SvcError::BadRequest("x".into()),
             SvcError::Pipeline("y".into()),
             SvcError::Internal("z".into()),
+            SvcError::NotFound,
         ] {
             let back = SvcError::from_code(
                 e.code(),
@@ -894,11 +1109,24 @@ mod tests {
             );
             assert_eq!(back, e);
         }
+        let vm = SvcError::VersionMismatch { got: 3, expected: 1 };
+        assert_eq!(SvcError::from_code(vm.code(), "got=3 expected=1"), vm);
+        assert_eq!(
+            SvcError::from_code("VERSION", "garbled"),
+            SvcError::VersionMismatch { got: 0, expected: 0 },
+            "unparsable fields degrade to 0, the mismatch itself survives"
+        );
     }
 
     #[test]
     fn outcome_tokens_roundtrip() {
-        for o in [Outcome::Hit, Outcome::Miss, Outcome::Recompute, Outcome::DegradedUntiled] {
+        for o in [
+            Outcome::Hit,
+            Outcome::Miss,
+            Outcome::Recompute,
+            Outcome::DegradedUntiled,
+            Outcome::PeerFill,
+        ] {
             assert_eq!(Outcome::from_str_token(o.as_str()), Some(o));
         }
         assert_eq!(Outcome::from_str_token("NOPE"), None);

@@ -297,7 +297,7 @@ fn stalled_client_is_cut_off_and_the_service_stays_live() {
     // A peer that starts a frame and never finishes it: promises 64 bytes,
     // sends 3, goes silent while holding the handler mid-frame.
     let mut stalled = TcpStream::connect(addr).unwrap();
-    stalled.write_all(b"64\nabc").unwrap();
+    stalled.write_all(b"164\nabc").unwrap();
     stalled.flush().unwrap();
     stalled.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
     let mut buf = [0u8; 16];

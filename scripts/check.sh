@@ -107,7 +107,11 @@ echo "== bench_scheduler smoke test =="
 SMOKE_JSON=$(mktemp /tmp/bench_scheduler_smoke.XXXXXX.json)
 ZOO_JSON=$(mktemp /tmp/bench_zoo_smoke.XXXXXX.json)
 SVC_DIR=$(mktemp -d /tmp/ktiler_svc_smoke.XXXXXX)
-trap 'rm -f "$SMOKE_JSON" "$ZOO_JSON"; rm -rf "$SVC_DIR"; [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+MN_DIR=$(mktemp -d /tmp/ktiler_multi_smoke.XXXXXX)
+trap 'rm -f "$SMOKE_JSON" "$ZOO_JSON"; rm -rf "$SVC_DIR" "$MN_DIR";
+      for p in "${SERVE_PID:-}" "${NODE0_PID:-}" "${NODE1_PID:-}" "${GW_PID:-}"; do
+          [[ -n "$p" ]] && kill "$p" 2>/dev/null || true
+      done' EXIT
 cargo run --release -p bench --bin bench_scheduler "${OFFLINE[@]}" -- \
     --size 192 --iters 10 --samples 1 --out "$SMOKE_JSON"
 for key in analyze_ms analyze_full_ms calibrate_ms ktiler_schedule_ms cold_request_ms; do
@@ -211,5 +215,128 @@ fi
 SERVE_PID=""
 grep -qF '"requests": 3' "$SVC_DIR/stats.json" \
     || { echo "error: final stats dump missing or wrong" >&2; cat "$SVC_DIR/stats.json" >&2; exit 1; }
+
+echo "== multi-node smoke test (2 nodes + gateway) =="
+# The deployment story live: two peered nodes behind a gateway, driven
+# miss -> hit -> kill-the-owning-node -> failover, every answer
+# byte-identical. --hot-threshold 1 replicates the artifact to the
+# replica owner on the first response, so the post-kill request must be
+# served without a recompute.
+wait_port_file() {
+    local file=$1 pid=$2 what=$3
+    for _ in $(seq 1 100); do
+        [[ -s "$file" ]] && return 0
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "error: $what exited early" >&2
+            cat "$MN_DIR"/*.log >&2 || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "error: $what never wrote its port file" >&2
+    exit 1
+}
+target/release/ktiler_serve --addr 127.0.0.1:0 --cache-dir "$MN_DIR/cache0" \
+    --port-file "$MN_DIR/port0" >"$MN_DIR/node0.log" 2>&1 &
+NODE0_PID=$!
+wait_port_file "$MN_DIR/port0" "$NODE0_PID" "node 0"
+ADDR0=$(cat "$MN_DIR/port0")
+target/release/ktiler_serve --addr 127.0.0.1:0 --cache-dir "$MN_DIR/cache1" \
+    --peer "$ADDR0" --port-file "$MN_DIR/port1" >"$MN_DIR/node1.log" 2>&1 &
+NODE1_PID=$!
+wait_port_file "$MN_DIR/port1" "$NODE1_PID" "node 1"
+ADDR1=$(cat "$MN_DIR/port1")
+target/release/ktiler_gateway --node "$ADDR0" --node "$ADDR1" \
+    --addr 127.0.0.1:0 --hot-threshold 1 --dead-cooldown-ms 200 \
+    --port-file "$MN_DIR/gwport" >"$MN_DIR/gateway.log" 2>&1 &
+GW_PID=$!
+wait_port_file "$MN_DIR/gwport" "$GW_PID" "gateway"
+GW_ADDR=$(cat "$MN_DIR/gwport")
+GW_SCHED=(schedule --addr "$GW_ADDR" --size 64 --iters 3 --levels 2)
+
+"${CLIENT[@]}" "${GW_SCHED[@]}" --out "$MN_DIR/first.sched" | grep '^MISS ' >/dev/null \
+    || { echo "error: first request through the gateway should be a MISS" >&2; exit 1; }
+"${CLIENT[@]}" "${GW_SCHED[@]}" --out "$MN_DIR/second.sched" | grep '^HIT ' >/dev/null \
+    || { echo "error: second request through the gateway should be a HIT" >&2; exit 1; }
+cmp -s "$MN_DIR/first.sched" "$MN_DIR/second.sched" \
+    || { echo "error: gateway hit is not byte-identical to the miss" >&2; exit 1; }
+
+# The owning node is the one the gateway forwarded both requests to
+# (per-node counters in the gateway's stats document).
+"${CLIENT[@]}" stats --addr "$GW_ADDR" > "$MN_DIR/gw_stats.json"
+OWNER=$(awk -F'"' '/"addr"/ {
+            addr = $4
+            if (match($0, /"forwarded": [0-9]+/)) {
+                n = substr($0, RSTART + 13, RLENGTH - 13) + 0
+                if (n > best) { best = n; owner = addr }
+            }
+        } END { print owner }' "$MN_DIR/gw_stats.json")
+if [[ "$OWNER" == "$ADDR0" ]]; then
+    kill "$NODE0_PID"; wait "$NODE0_PID" 2>/dev/null || true; NODE0_PID=""
+elif [[ "$OWNER" == "$ADDR1" ]]; then
+    kill "$NODE1_PID"; wait "$NODE1_PID" 2>/dev/null || true; NODE1_PID=""
+else
+    echo "error: cannot identify the owning node from gateway stats" >&2
+    cat "$MN_DIR/gw_stats.json" >&2
+    exit 1
+fi
+
+# The owner is dead; the replica must serve the replicated artifact as a
+# plain hit, byte-identical, with no client-visible error.
+"${CLIENT[@]}" "${GW_SCHED[@]}" --out "$MN_DIR/failover.sched" | grep '^HIT ' >/dev/null \
+    || { echo "error: post-kill request should fail over to a replica HIT" >&2; exit 1; }
+cmp -s "$MN_DIR/first.sched" "$MN_DIR/failover.sched" \
+    || { echo "error: failover response is not byte-identical" >&2; exit 1; }
+
+"${CLIENT[@]}" shutdown --addr "$GW_ADDR" | grep '^BYE$' >/dev/null \
+    || { echo "error: gateway shutdown not acknowledged" >&2; exit 1; }
+for _ in $(seq 1 100); do
+    kill -0 "$GW_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$GW_PID" 2>/dev/null && { echo "error: gateway did not exit" >&2; exit 1; }
+GW_PID=""
+for pid_var in NODE0_PID NODE1_PID; do
+    pid=${!pid_var}
+    [[ -n "$pid" ]] || continue
+    if [[ "$pid_var" == NODE0_PID ]]; then addr=$ADDR0; else addr=$ADDR1; fi
+    "${CLIENT[@]}" shutdown --addr "$addr" >/dev/null \
+        || { echo "error: node shutdown not acknowledged" >&2; exit 1; }
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    kill -0 "$pid" 2>/dev/null && { echo "error: node did not exit" >&2; exit 1; }
+    printf -v "$pid_var" ''
+done
+
+echo "== bench_svc: smoke run + committed-results gate =="
+# Smoke scale: the binary spawns its own 2-node ring + gateway, drives
+# 200 connections with a mid-run node kill, and exits non-zero on any
+# client-visible error or byte mismatch against the single-node
+# reference.
+SVC_JSON=$(mktemp /tmp/bench_svc_smoke.XXXXXX.json)
+SVC_WORK=$(mktemp -d /tmp/bench_svc_work.XXXXXX)
+trap 'rm -f "$SMOKE_JSON" "$ZOO_JSON" "$SVC_JSON"; rm -rf "$SVC_DIR" "$MN_DIR" "$SVC_WORK";
+      for p in "${SERVE_PID:-}" "${NODE0_PID:-}" "${NODE1_PID:-}" "${GW_PID:-}"; do
+          [[ -n "$p" ]] && kill "$p" 2>/dev/null || true
+      done' EXIT
+target/release/bench_svc --small --out "$SVC_JSON" --work-dir "$SVC_WORK" >/dev/null
+# Committed full-scale results: a full (not --small) run against a
+# multi-node ring with the mid-bench node kill, zero client-visible
+# errors, every response byte-identical, a warm-key hit rate >= 0.95,
+# and the tail quantiles present.
+for check in '"small": false' '"killed_node": true' '"client_errors": 0' \
+             '"all_match": true' '"p50_us"' '"p99_us"' '"p999_us"'; do
+    if ! grep -qF "$check" results/BENCH_svc.json; then
+        echo "error: committed BENCH_svc.json check failed: expected $check" >&2
+        exit 1
+    fi
+done
+WARM=$(awk -F': ' '/"warm_hit_rate"/ { gsub(/,/, "", $2); print $2 }' results/BENCH_svc.json)
+if ! awk -v w="$WARM" 'BEGIN { exit !(w >= 0.95) }'; then
+    echo "error: committed BENCH_svc.json warm_hit_rate = ${WARM:-missing} (< 0.95)" >&2
+    exit 1
+fi
 
 echo "== OK =="
