@@ -12,7 +12,8 @@
 //!                [--seed N] [--hot-threshold N] [--forwarders N]
 //!                [--queue N] [--node-timeout-ms N]
 //!                [--dead-cooldown-ms N] [--fallback-cache-dir DIR]
-//!                [--port-file PATH] [--stats-out PATH]
+//!                [--probe-interval-ms N] [--suspect-after N]
+//!                [--down-after N] [--port-file PATH] [--stats-out PATH]
 //! ```
 //!
 //! Defaults mirror [`ktiler_gateway::GatewayConfig::new`]: 2 owners per
@@ -21,6 +22,13 @@
 //! `--fallback-cache-dir` arms the local-recompute fallback: when every
 //! owner of a key is unreachable the gateway computes the schedule itself
 //! (cached in the given directory) instead of erroring.
+//!
+//! The health prober `PING`s every node each `--probe-interval-ms`
+//! (default 500; 0 disables probing) and drives the per-node
+//! `Up → Suspect → Down` membership state shown in `STATS`;
+//! `--suspect-after` / `--down-after` set the consecutive-failure
+//! thresholds. `DRAIN HOST:PORT` (see `ktiler_tool client drain`) marks a
+//! node for graceful restart.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -43,7 +51,8 @@ fn usage() -> ! {
         "usage: ktiler_gateway --node HOST:PORT [--node HOST:PORT]... [--addr HOST:PORT] \
          [--replicas N] [--vnodes N] [--seed N] [--hot-threshold N] [--forwarders N] \
          [--queue N] [--node-timeout-ms N] [--dead-cooldown-ms N] \
-         [--fallback-cache-dir DIR] [--port-file PATH] [--stats-out PATH]"
+         [--fallback-cache-dir DIR] [--probe-interval-ms N] [--suspect-after N] \
+         [--down-after N] [--port-file PATH] [--stats-out PATH]"
     );
     std::process::exit(2);
 }
@@ -81,6 +90,12 @@ fn main() {
     if let Some(dir) = arg_value("--fallback-cache-dir") {
         cfg.local_fallback = Some(ServiceConfig::new(&dir));
     }
+    if let Some(n) = arg_value("--probe-interval-ms") {
+        let ms: u64 = n.parse().unwrap_or_else(|_| usage());
+        cfg.probe_interval = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    cfg.suspect_after = arg_parse("--suspect-after", cfg.suspect_after);
+    cfg.down_after = arg_parse("--down-after", cfg.down_after);
 
     let gw = match Gateway::start(cfg) {
         Ok(g) => Arc::new(g),

@@ -9,7 +9,8 @@
 //!              [--queue N] [--port-file PATH] [--stats-out PATH]
 //!              [--read-poll-ms N] [--write-timeout-ms N]
 //!              [--stall-timeout-ms N] [--peer HOST:PORT]...
-//!              [--peer-timeout-ms N]
+//!              [--peer-timeout-ms N] [--sync-interval-ms N]
+//!              [--cache-budget-bytes N] [--fault PLAN]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:0` (ephemeral port; the bound address is
@@ -25,12 +26,21 @@
 //! on a cache miss this node first tries to `FETCH` the artifact from a
 //! peer (each attempt bounded by `--peer-timeout-ms`, default 500) and
 //! only recomputes when no peer has it — the read-through fill described
-//! in DESIGN.md §15.
+//! in DESIGN.md §15. `--sync-interval-ms` additionally runs anti-entropy
+//! against those peers: every interval the node compares `DIGEST`s and
+//! pulls artifacts it is missing, so an empty-restarted node converges
+//! back to warm without client traffic (DESIGN.md §16).
+//!
+//! `--cache-budget-bytes` arms the cache sweeper: when the artifact
+//! directory exceeds the budget, the oldest entries (quarantined files
+//! first) are evicted until it fits. `--fault PLAN` arms the
+//! deterministic fault injector with a plan in [`FaultPlan`] grammar,
+//! e.g. `--fault "cache.fsync=delay:30000"` — chaos-testing hook only.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use ktiler_svc::{serve_with, ServerTuning, Service, ServiceConfig};
+use ktiler_svc::{serve_with, FaultPlan, ServerTuning, Service, ServiceConfig};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -48,7 +58,8 @@ fn usage() -> ! {
         "usage: ktiler_serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] \
          [--queue N] [--port-file PATH] [--stats-out PATH] [--read-poll-ms N] \
          [--write-timeout-ms N] [--stall-timeout-ms N] [--peer HOST:PORT]... \
-         [--peer-timeout-ms N]"
+         [--peer-timeout-ms N] [--sync-interval-ms N] [--cache-budget-bytes N] \
+         [--fault PLAN]"
     );
     std::process::exit(2);
 }
@@ -75,12 +86,26 @@ fn main() {
     }
     cfg.peers = arg_values("--peer");
     cfg.peer_timeout = arg_millis("--peer-timeout-ms", cfg.peer_timeout);
+    if let Some(n) = arg_value("--sync-interval-ms") {
+        cfg.sync_interval = Some(Duration::from_millis(n.parse().unwrap_or_else(|_| usage())));
+    }
+    if let Some(n) = arg_value("--cache-budget-bytes") {
+        cfg.cache_budget_bytes = Some(n.parse().unwrap_or_else(|_| usage()));
+    }
     let defaults = ServerTuning::default();
     let tuning = ServerTuning {
         read_poll: arg_millis("--read-poll-ms", defaults.read_poll),
         write_timeout: arg_millis("--write-timeout-ms", defaults.write_timeout),
         stall_timeout: arg_millis("--stall-timeout-ms", defaults.stall_timeout),
     };
+
+    let fault_plan = arg_value("--fault").map(|text| match FaultPlan::parse(&text) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("error: bad --fault plan: {e}");
+            std::process::exit(2);
+        }
+    });
 
     let svc = match Service::start(cfg) {
         Ok(s) => Arc::new(s),
@@ -89,6 +114,9 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(plan) = &fault_plan {
+        svc.faults().load_plan(plan);
+    }
     let server = match serve_with(addr.as_str(), Arc::clone(&svc), tuning) {
         Ok(s) => s,
         Err(e) => {

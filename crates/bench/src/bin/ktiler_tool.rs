@@ -9,11 +9,12 @@
 //! ktiler_tool run      [--size N] [--iters N] [--freq G,M]
 //!                      [--schedule FILE] [--mode MODE]
 //!                      [--timeline FILE]                       execute and report
-//! ktiler_tool client <schedule|stats|ping|shutdown> --addr H:P
+//! ktiler_tool client <schedule|stats|ping|shutdown|digest|sync|drain>
+//!                      --addr H:P
 //!                      [--size N] [--iters N] [--levels N]
 //!                      [--freq G,M] [--deadline-ms N]
 //!                      [--retries N] [--retry-base-ms N]
-//!                      [--retry-seed N]
+//!                      [--retry-seed N] [--node H:P] [--off]
 //!                      [--out FILE]                            talk to ktiler_serve
 //! ```
 //!
@@ -29,6 +30,11 @@
 //! resends after a transport error, with seeded jittered exponential
 //! backoff (`--retry-base-ms`, `--retry-seed`) — idempotent requests
 //! only; a `shutdown` is never resent.
+//!
+//! Cluster operations: `digest` lists a node's cached keys, `sync` makes
+//! a node run one anti-entropy round against its peers now, and `drain
+//! --node H:P [--off]` tells a gateway to stop (or resume) routing to a
+//! node — the graceful-restart runbook in README "Operating the cluster".
 
 use bench::{ms, paper_ktiler_config, pct_opt, prepare, Scale};
 use gpu_sim::{Engine, FreqConfig};
@@ -70,6 +76,16 @@ fn client_main() {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
+        "digest" => Request::Digest,
+        "sync" => Request::Sync,
+        "drain" => {
+            let Some(node) = arg_value("--node") else {
+                eprintln!("error: drain needs --node HOST:PORT");
+                usage()
+            };
+            let on = !std::env::args().any(|a| a == "--off");
+            Request::Drain { node, on }
+        }
         "schedule" => {
             let scale = Scale::from_args();
             let workload = WorkloadSpec::OptFlow {
@@ -143,6 +159,18 @@ fn client_main() {
             print!("{text}");
         }
         Response::Stored => println!("STORED"),
+        Response::Digest(keys) => {
+            println!("DIGEST count={}", keys.len());
+            for key in keys {
+                println!("{key}");
+            }
+        }
+        Response::Synced { pulled, failed, peers } => {
+            println!("SYNCED pulled={pulled} failed={failed} peers={peers}");
+        }
+        Response::Drained { node, draining } => {
+            println!("DRAINED node={node} draining={draining}");
+        }
         Response::Err(e) => {
             eprintln!("error: server answered: {e}");
             std::process::exit(1);

@@ -26,6 +26,16 @@
 //! the other owners, so the hot key is served even if its primary dies —
 //! without waiting for the failover path's peer fill.
 //!
+//! **Live membership.** A prober thread `PING`s every node each
+//! `probe_interval`; consecutive failures (from probes *and* failed
+//! forwards) drive the per-node state machine `Up → Suspect → Down`, and
+//! one successful probe or forward drives `→ Up`. Routing excludes `Down`
+//! and draining nodes via [`HashRing::owner_indices_excluding`], so their
+//! keys fall to ring successors *before* a request pays the discovery
+//! timeout — reactive failover remains as the safety net for the window
+//! between a crash and the probe that notices it. `DRAIN <addr>` marks a
+//! node draining (probed, never routed to) for graceful restarts.
+//!
 //! The event loop hands [`Dispatch::Pending`] tickets to a pool of
 //! forwarder threads (blocking I/O per forwarder, bounded by
 //! `node_timeout`), so slow shards never stall the loop.
@@ -81,6 +91,15 @@ pub struct GatewayConfig {
     /// requests itself after every owner has failed — degraded latency,
     /// zero client-visible errors.
     pub local_fallback: Option<ServiceConfig>,
+    /// How often the health prober `PING`s every node. `None` disables
+    /// active probing (membership then moves only on forward failures).
+    pub probe_interval: Option<Duration>,
+    /// Consecutive failures that move a node `Up → Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive failures that move a node `Suspect → Down` (counted
+    /// from the first failure, so `down_after` must exceed
+    /// `suspect_after`).
+    pub down_after: u32,
 }
 
 impl GatewayConfig {
@@ -99,6 +118,56 @@ impl GatewayConfig {
             node_timeout: Duration::from_secs(10),
             dead_cooldown: Duration::from_secs(1),
             local_fallback: None,
+            probe_interval: Some(Duration::from_millis(500)),
+            suspect_after: 1,
+            down_after: 3,
+        }
+    }
+}
+
+/// The health state the prober assigns a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Answering probes (or forwards); routed to normally.
+    Up,
+    /// Missed at least `suspect_after` consecutive probes; still routed
+    /// to — one blip must not remap traffic.
+    Suspect,
+    /// Missed `down_after` consecutive probes; excluded from routing (its
+    /// keys fall to ring successors) until a probe succeeds again.
+    Down,
+}
+
+impl NodeState {
+    /// The stable token used in STATS JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            NodeState::Up => "up",
+            NodeState::Suspect => "suspect",
+            NodeState::Down => "down",
+        }
+    }
+}
+
+/// Prober bookkeeping for one node (behind the health mutex).
+struct NodeHealth {
+    state: NodeState,
+    consecutive_failures: u32,
+    draining: bool,
+    to_suspect: u64,
+    to_down: u64,
+    to_up: u64,
+}
+
+impl NodeHealth {
+    fn new() -> Self {
+        NodeHealth {
+            state: NodeState::Up,
+            consecutive_failures: 0,
+            draining: false,
+            to_suspect: 0,
+            to_down: 0,
+            to_up: 0,
         }
     }
 }
@@ -113,6 +182,7 @@ struct GwMetrics {
     replications: AtomicU64,
     replication_failures: AtomicU64,
     errors: AtomicU64,
+    probe_rounds: AtomicU64,
     forward_latency: LatencyHistogram,
 }
 
@@ -138,6 +208,11 @@ struct Inner {
     ring: HashRing,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
+    /// The prober sleeps on its own condvar (guarded by the queue mutex,
+    /// whose shutdown flag it watches): if it shared `queue_cv`, an
+    /// enqueue's `notify_one` could wake the prober instead of a
+    /// forwarder and leave the job unserved.
+    prober_cv: Condvar,
     metrics: GwMetrics,
     node_stats: Vec<NodeStats>,
     /// Per node: deprioritized until this instant (transport-failure
@@ -146,6 +221,8 @@ struct Inner {
     /// Routing key → requests seen; crossing `hot_threshold` triggers
     /// replication, once.
     hot: Mutex<HashMap<CacheKey, u32>>,
+    /// Per node: the prober's membership state machine.
+    health: Mutex<Vec<NodeHealth>>,
     local: Option<Service>,
 }
 
@@ -154,6 +231,7 @@ struct Inner {
 pub struct Gateway {
     inner: Arc<Inner>,
     forwarders: Mutex<Vec<JoinHandle<()>>>,
+    prober: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Gateway {
@@ -176,10 +254,12 @@ impl Gateway {
             ring,
             queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
             queue_cv: Condvar::new(),
+            prober_cv: Condvar::new(),
             metrics: GwMetrics::default(),
             node_stats: (0..n).map(|_| NodeStats::default()).collect(),
             dead_until: Mutex::new(vec![None; n]),
             hot: Mutex::new(HashMap::new()),
+            health: Mutex::new((0..n).map(|_| NodeHealth::new()).collect()),
             local,
         });
         let mut handles = Vec::with_capacity(forwarder_count);
@@ -191,7 +271,18 @@ impl Gateway {
                     .spawn(move || inner.forwarder_loop())?,
             );
         }
-        Ok(Gateway { inner, forwarders: Mutex::new(handles) })
+        let prober = match inner.cfg.probe_interval {
+            Some(interval) if !interval.is_zero() && n > 0 => {
+                let inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("ktiler-gw-prober".into())
+                        .spawn(move || inner.prober_loop(interval))?,
+                )
+            }
+            _ => None,
+        };
+        Ok(Gateway { inner, forwarders: Mutex::new(handles), prober: Mutex::new(prober) })
     }
 
     /// The ring this gateway routes by.
@@ -214,6 +305,42 @@ impl Gateway {
         self.inner.metrics.replications.load(Ordering::Relaxed)
     }
 
+    /// Completed prober rounds (one round probes every node once).
+    pub fn probe_rounds(&self) -> u64 {
+        self.inner.metrics.probe_rounds.load(Ordering::Relaxed)
+    }
+
+    /// The membership state and draining flag of `node`, or `None` for an
+    /// address the gateway was not configured with.
+    pub fn node_state(&self, node: &str) -> Option<(NodeState, bool)> {
+        let ni = self.inner.cfg.nodes.iter().position(|n| n == node)?;
+        let health = fault::lock(&self.inner.health);
+        Some((health[ni].state, health[ni].draining))
+    }
+
+    /// The `(to_suspect, to_down, to_up)` transition counters of `node`.
+    pub fn transitions(&self, node: &str) -> Option<(u64, u64, u64)> {
+        let ni = self.inner.cfg.nodes.iter().position(|n| n == node)?;
+        let health = fault::lock(&self.inner.health);
+        Some((health[ni].to_suspect, health[ni].to_down, health[ni].to_up))
+    }
+
+    /// Sets (or clears) the draining flag of `node`: a draining node keeps
+    /// answering probes but receives no routed traffic, so it can be
+    /// restarted without a single failed-over request. Returns the flag as
+    /// now set.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::BadRequest`] when `node` is not in the configured list.
+    pub fn drain(&self, node: &str, on: bool) -> Result<bool, SvcError> {
+        let Some(ni) = self.inner.cfg.nodes.iter().position(|n| n == node) else {
+            return Err(SvcError::BadRequest(format!("unknown node '{node}'")));
+        };
+        fault::lock(&self.inner.health)[ni].draining = on;
+        Ok(on)
+    }
+
     /// Renders the gateway's metrics as JSON (the `STATS` answer):
     /// top-level counters, the forward-latency histogram, and one object
     /// per node with its forwarded/failure counts and cooldown state.
@@ -222,6 +349,7 @@ impl Gateway {
         let m = &self.inner.metrics;
         let now = Instant::now();
         let dead = fault::lock(&self.inner.dead_until);
+        let health = fault::lock(&self.inner.health);
         let nodes = self
             .inner
             .cfg
@@ -229,11 +357,19 @@ impl Gateway {
             .iter()
             .enumerate()
             .map(|(i, addr)| {
+                let h = &health[i];
                 format!(
-                    "{{\"addr\": \"{addr}\", \"forwarded\": {}, \"failures\": {}, \"dead\": {}}}",
+                    "{{\"addr\": \"{addr}\", \"forwarded\": {}, \"failures\": {}, \
+                     \"dead\": {}, \"state\": \"{}\", \"draining\": {}, \
+                     \"transitions\": {{\"to_suspect\": {}, \"to_down\": {}, \"to_up\": {}}}}}",
                     c(&self.inner.node_stats[i].forwarded),
                     c(&self.inner.node_stats[i].failures),
-                    dead[i].is_some_and(|t| t > now)
+                    dead[i].is_some_and(|t| t > now),
+                    h.state.as_str(),
+                    h.draining,
+                    h.to_suspect,
+                    h.to_down,
+                    h.to_up,
                 )
             })
             .collect::<Vec<_>>()
@@ -242,6 +378,7 @@ impl Gateway {
             "{{\n  \"gateway\": true,\n  \"requests\": {},\n  \"forwarded\": {},\n  \
              \"failovers\": {},\n  \"sheds\": {},\n  \"local_fallbacks\": {},\n  \
              \"replications\": {},\n  \"replication_failures\": {},\n  \"errors\": {},\n  \
+             \"probe_rounds\": {},\n  \
              \"forward_latency_us\": {},\n  \"nodes\": [\n    {nodes}\n  ]\n}}",
             c(&m.requests),
             c(&m.forwarded),
@@ -251,6 +388,7 @@ impl Gateway {
             c(&m.replications),
             c(&m.replication_failures),
             c(&m.errors),
+            c(&m.probe_rounds),
             m.forward_latency.to_json()
         )
     }
@@ -286,6 +424,15 @@ impl FrontEnd for Gateway {
                     "the gateway routes schedule requests; send FETCH/PUT to a node".into(),
                 )))
             }
+            Request::Digest | Request::Sync => {
+                Dispatch::Ready(Response::Err(SvcError::BadRequest(
+                    "DIGEST/SYNC are node verbs; the gateway holds no artifacts".into(),
+                )))
+            }
+            Request::Drain { node, on } => Dispatch::Ready(match self.drain(&node, on) {
+                Ok(draining) => Response::Drained { node, draining },
+                Err(e) => Response::Err(e),
+            }),
             // Only reachable from direct callers; the loop intercepts it.
             Request::Shutdown => Dispatch::Ready(Response::Bye),
         }
@@ -296,8 +443,12 @@ impl FrontEnd for Gateway {
             let mut q = fault::lock(&self.inner.queue);
             q.shutdown = true;
             self.inner.queue_cv.notify_all();
+            self.inner.prober_cv.notify_all();
         }
         for h in std::mem::take(&mut *fault::lock(&self.forwarders)) {
+            let _ = h.join();
+        }
+        if let Some(h) = fault::lock(&self.prober).take() {
             let _ = h.join();
         }
         if let Some(local) = &self.inner.local {
@@ -349,7 +500,19 @@ impl Inner {
         }
         let t0 = Instant::now();
         let rk = job.req.routing_key();
-        let owners = self.ring.owner_indices(&rk, self.cfg.replicas);
+        // Route around nodes the prober has marked Down and nodes being
+        // drained: their keys fall to ring successors without rebuilding
+        // the ring, so every other key keeps its owner. When exclusion
+        // leaves nothing (everything down or draining), fall back to the
+        // unfiltered walk — a stale verdict must not turn into a refusal.
+        let excluded: Vec<bool> = {
+            let health = fault::lock(&self.health);
+            health.iter().map(|h| h.draining || h.state == NodeState::Down).collect()
+        };
+        let mut owners = self.ring.owner_indices_excluding(&rk, self.cfg.replicas, &excluded);
+        if owners.is_empty() {
+            owners = self.ring.owner_indices(&rk, self.cfg.replicas);
+        }
         // Live owners first; cooled-down ones are still tried when the
         // live ones fail — a cooldown is a hint, not a verdict.
         let now = Instant::now();
@@ -368,7 +531,7 @@ impl Inner {
                     if attempts > 1 {
                         fault_bump(&self.metrics.failovers);
                     }
-                    self.mark_alive(ni);
+                    self.record_success(ni);
                     self.maybe_replicate(rk, &resp, &owners, ni, conns);
                     result = Some(Ok(resp));
                     break;
@@ -393,6 +556,7 @@ impl Inner {
                     fault_bump(&self.node_stats[ni].failures);
                     conns.remove(&ni);
                     self.mark_dead(ni);
+                    self.record_failure(ni);
                 }
             }
         }
@@ -507,6 +671,82 @@ impl Inner {
 
     fn mark_alive(&self, ni: usize) {
         fault::lock(&self.dead_until)[ni] = None;
+    }
+
+    /// One success (probe or forward) resets the failure streak and
+    /// brings the node back `Up`, clearing its failover cooldown — the
+    /// recovery half of the state machine, so a restarted node gets its
+    /// ring points (and only its keys) back immediately.
+    fn record_success(&self, ni: usize) {
+        {
+            let mut health = fault::lock(&self.health);
+            let h = &mut health[ni];
+            h.consecutive_failures = 0;
+            if h.state != NodeState::Up {
+                h.state = NodeState::Up;
+                h.to_up += 1;
+            }
+        }
+        self.mark_alive(ni);
+    }
+
+    /// One failure (probe or forward) extends the streak; crossing
+    /// `suspect_after` demotes `Up → Suspect`, crossing `down_after`
+    /// demotes `Suspect → Down`. Counted jointly so a dead node under
+    /// traffic is declared Down faster than the probe cadence alone.
+    fn record_failure(&self, ni: usize) {
+        let mut health = fault::lock(&self.health);
+        let h = &mut health[ni];
+        h.consecutive_failures = h.consecutive_failures.saturating_add(1);
+        if h.state == NodeState::Up && h.consecutive_failures >= self.cfg.suspect_after {
+            h.state = NodeState::Suspect;
+            h.to_suspect += 1;
+        }
+        if h.state == NodeState::Suspect && h.consecutive_failures >= self.cfg.down_after {
+            h.state = NodeState::Down;
+            h.to_down += 1;
+        }
+    }
+
+    /// The prober: each `interval`, `PING` every node over a fresh
+    /// connection (a pooled one would hide a dead node behind a warm
+    /// kernel buffer) and feed the result to the state machine. The wait
+    /// sits on the queue condvar so shutdown wakes it immediately.
+    fn prober_loop(&self, interval: Duration) {
+        // A probe answers in microseconds on a healthy node; bounding it
+        // by the interval keeps one hung node from stalling the round,
+        // with a floor so tests running at millisecond cadence still give
+        // the TCP handshake room.
+        let probe_timeout = self.cfg.node_timeout.min(interval).max(Duration::from_millis(50));
+        loop {
+            let next = Instant::now() + interval;
+            {
+                let mut q = fault::lock(&self.queue);
+                loop {
+                    if q.shutdown {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if now >= next {
+                        break;
+                    }
+                    let (guard, _) = fault::cv_wait_timeout(&self.prober_cv, q, next - now);
+                    q = guard;
+                }
+            }
+            for ni in 0..self.cfg.nodes.len() {
+                let up = NetClient::connect_timeout(&self.cfg.nodes[ni], probe_timeout)
+                    .and_then(|mut c| c.request(&Request::Ping))
+                    .map(|r| matches!(r, Response::Pong))
+                    .unwrap_or(false);
+                if up {
+                    self.record_success(ni);
+                } else {
+                    self.record_failure(ni);
+                }
+            }
+            fault_bump(&self.metrics.probe_rounds);
+        }
     }
 }
 

@@ -22,5 +22,5 @@
 pub mod gateway;
 pub mod ring;
 
-pub use gateway::{Gateway, GatewayConfig};
+pub use gateway::{Gateway, GatewayConfig, NodeState};
 pub use ring::HashRing;

@@ -114,6 +114,50 @@ impl HashRing {
         owners
     }
 
+    /// Like [`HashRing::owner_indices`], but skipping nodes whose index is
+    /// flagged in `excluded` (out-of-range indices count as not excluded).
+    /// This is how live membership remaps traffic away from down or
+    /// draining nodes **without rebuilding the ring**: a skipped node's
+    /// keys fall to their next ring successor — the same successor a
+    /// rebuilt ring without that node would choose — so remapping stays
+    /// bounded to the excluded nodes' keys, and the node's points (and
+    /// therefore every other key's placement) are restored exactly when it
+    /// comes back. Returns an empty list when every node is excluded; the
+    /// caller decides the last resort.
+    pub fn owner_indices_excluding(
+        &self,
+        key: &CacheKey,
+        r: usize,
+        excluded: &[bool],
+    ) -> Vec<usize> {
+        let eligible = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(ni, _)| !excluded.get(ni).copied().unwrap_or(false))
+            .count();
+        let mut owners = Vec::with_capacity(r.min(eligible));
+        if self.points.is_empty() || r == 0 || eligible == 0 {
+            return owners;
+        }
+        let pos = position(key);
+        let start = self.points.partition_point(|&(p, _)| p < pos);
+        for i in 0..self.points.len() {
+            let (_, ni) = self.points[(start + i) % self.points.len()];
+            let ni = ni as usize;
+            if excluded.get(ni).copied().unwrap_or(false) {
+                continue;
+            }
+            if !owners.contains(&ni) {
+                owners.push(ni);
+                if owners.len() == r.min(eligible) {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+
     /// The name of the node owning `key`.
     pub fn primary(&self, key: &CacheKey) -> Option<&str> {
         self.owner_indices(key, 1).first().map(|&i| self.nodes[i].as_str())
@@ -150,6 +194,28 @@ mod tests {
         assert!(empty.is_empty());
         assert!(empty.owner_indices(&key, 2).is_empty());
         assert_eq!(empty.primary(&key), None);
+    }
+
+    #[test]
+    fn exclusion_skips_to_ring_successors() {
+        let ring = HashRing::build(&names(3), 32, 42);
+        for hi in 0..50u64 {
+            let key = CacheKey { hi, lo: hi ^ 0xabcd };
+            let unfiltered = ring.owner_indices(&key, 3);
+            // Excluding the primary: the remaining owners keep their ring
+            // order, shifted up.
+            let mut excluded = vec![false; 3];
+            excluded[unfiltered[0]] = true;
+            let filtered = ring.owner_indices_excluding(&key, 2, &excluded);
+            assert_eq!(filtered, unfiltered[1..].to_vec(), "key {key}");
+            // Excluding nothing is identical to the unfiltered walk.
+            assert_eq!(
+                ring.owner_indices_excluding(&key, 2, &[false; 3]),
+                ring.owner_indices(&key, 2)
+            );
+            // Excluding everything yields nothing.
+            assert!(ring.owner_indices_excluding(&key, 2, &[true; 3]).is_empty());
+        }
     }
 
     #[test]

@@ -101,3 +101,61 @@ fn removing_a_node_remaps_only_its_keys() {
         "bounded remapping violated: {moved} of {total} keys moved when 1 of 4 nodes left"
     );
 }
+
+#[test]
+fn excluding_a_node_equals_rebuilding_without_it() {
+    // The gateway routes around a Down node with `owner_indices_excluding`
+    // instead of rebuilding the ring. The two must agree on every key:
+    // exclusion-by-flag and removal-by-rebuild are the same placement.
+    let all = nodes(5);
+    let removed = 3usize;
+    let survivors: Vec<String> =
+        all.iter().enumerate().filter(|&(i, _)| i != removed).map(|(_, n)| n.clone()).collect();
+    let full = HashRing::build(&all, 64, 11);
+    let rebuilt = HashRing::build(&survivors, 64, 11);
+    let mut excluded = vec![false; all.len()];
+    excluded[removed] = true;
+
+    let mut rng = SplitMix64(5);
+    for _ in 0..5000 {
+        let k = rng.key();
+        let via_exclusion: Vec<&str> = full
+            .owner_indices_excluding(&k, 2, &excluded)
+            .into_iter()
+            .map(|i| all[i].as_str())
+            .collect();
+        let via_rebuild: Vec<&str> =
+            rebuilt.owner_indices(&k, 2).into_iter().map(|i| survivors[i].as_str()).collect();
+        assert_eq!(via_exclusion, via_rebuild, "exclusion and rebuild disagree for {k}");
+    }
+}
+
+#[test]
+fn clearing_an_exclusion_restores_placement_exactly() {
+    // A node coming back (Down → Up) must get exactly its old keys back:
+    // its ring points never left, so lifting the exclusion restores the
+    // original placement bit for bit — no residual remapping.
+    let ring = HashRing::build(&nodes(4), 64, 21);
+    let mut rng = SplitMix64(13);
+    let keys: Vec<CacheKey> = (0..5000).map(|_| rng.key()).collect();
+    let original: Vec<Vec<usize>> = keys.iter().map(|k| ring.owner_indices(k, 2)).collect();
+
+    let mut excluded = vec![false; 4];
+    excluded[1] = true;
+    let mut changed = 0usize;
+    for (k, orig) in keys.iter().zip(&original) {
+        if ring.owner_indices_excluding(k, 2, &excluded) != *orig {
+            changed += 1;
+        }
+    }
+    assert!(changed > 0, "excluding a node must remap its keys");
+
+    excluded[1] = false;
+    for (k, orig) in keys.iter().zip(&original) {
+        assert_eq!(
+            ring.owner_indices_excluding(k, 2, &excluded),
+            *orig,
+            "placement must be restored exactly once the node is back"
+        );
+    }
+}

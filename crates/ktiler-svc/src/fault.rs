@@ -51,6 +51,20 @@ pub mod points {
     /// node recomputes, exercising the "peers unreachable" path without
     /// needing dead sockets.
     pub const PEER_FETCH: &str = "peer.fetch";
+    /// Before the store fsyncs the freshly written temporary file — a
+    /// delay here holds the artifact in its *uncommitted* (tmp) state,
+    /// which is the window a SIGKILL must be able to hit without ever
+    /// corrupting the committed artifact; an io fault models a failed
+    /// sync (the store aborts, nothing is renamed).
+    pub const CACHE_FSYNC: &str = "cache.fsync";
+    /// Where the store checks for disk-space exhaustion — an io fault
+    /// here models ENOSPC and must degrade the node to cache-bypass
+    /// (serve without persisting, `store_skipped`), never an error.
+    pub const CACHE_ENOSPC: &str = "cache.enospc";
+    /// Before the size-budget sweeper scans the cache directory — a
+    /// fault here models a sweep racing eviction against concurrent
+    /// stores and loads.
+    pub const CACHE_SWEEP: &str = "cache.sweep";
 }
 
 /// What an armed fault does when it fires.
@@ -133,6 +147,92 @@ impl FaultPlan {
     pub fn arm(mut self, point: &str, spec: FaultSpec) -> Self {
         self.arms.push((point.to_string(), spec));
         self
+    }
+
+    /// Parses a plan from the compact text grammar used by the
+    /// `ktiler_serve --fault` flag and the `KTILER_FAULTS` environment
+    /// variable, so external harnesses (the crash-recovery smoke in
+    /// `scripts/check.sh`) can arm the same deterministic faults the
+    /// in-process chaos tests do.
+    ///
+    /// Grammar — `;`-separated entries, the first may set the seed:
+    ///
+    /// ```text
+    /// plan  := [ "seed=" N ";" ] spec ( ";" spec )*
+    /// spec  := point "=" kind
+    /// kind  := "panic" | "io" [ ":" msg ] | "delay:" ms
+    ///          — each optionally followed by ":skip" N and/or ":x" N
+    /// ```
+    ///
+    /// Examples: `cache.fsync=delay:30000`,
+    /// `seed=7;cache.store=io:disk full:x3;queue.dequeue=panic:skip2`.
+    /// The io message may not contain `:`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed entry.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new(0);
+        for (i, entry) in text.split(';').enumerate() {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (point, action) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault entry {entry:?}: expected point=kind"))?;
+            if i == 0 && point == "seed" {
+                plan.seed = action.parse().map_err(|e| format!("fault seed {action:?}: {e}"))?;
+                continue;
+            }
+            let mut segs = action.split(':');
+            let kind_name = segs.next().unwrap_or("");
+            let mut rest: Vec<&str> = segs.collect();
+            let parse_n = |seg: &str, prefix: &str| -> Result<u64, String> {
+                seg[prefix.len()..]
+                    .parse()
+                    .map_err(|e| format!("fault entry {entry:?}: bad {prefix} count: {e}"))
+            };
+            let mut spec = match kind_name {
+                "panic" => FaultSpec::panic(),
+                "io" => {
+                    let msg = if rest
+                        .first()
+                        .is_some_and(|s| !s.starts_with("skip") && !s.starts_with('x'))
+                    {
+                        rest.remove(0)
+                    } else {
+                        "injected io fault"
+                    };
+                    FaultSpec::io(msg)
+                }
+                "delay" => {
+                    if rest.is_empty() {
+                        return Err(format!("fault entry {entry:?}: delay needs :ms"));
+                    }
+                    let ms = rest.remove(0);
+                    FaultSpec::delay_ms(ms.parse().map_err(|e| format!("fault delay {ms:?}: {e}"))?)
+                }
+                other => return Err(format!("fault entry {entry:?}: unknown kind {other:?}")),
+            };
+            for seg in rest {
+                if seg.starts_with("skip") {
+                    spec = spec.skip(parse_n(seg, "skip")?);
+                } else if seg.starts_with('x') {
+                    spec = spec.times(parse_n(seg, "x")?);
+                } else {
+                    return Err(format!("fault entry {entry:?}: unknown option {seg:?}"));
+                }
+            }
+            plan = plan.arm(point, spec);
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan arms no points (parsing an empty string, or a
+    /// string that only set the seed, yields an empty plan).
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
     }
 }
 
@@ -426,6 +526,42 @@ mod tests {
         let mut g = lock(&m);
         *g += 1;
         assert_eq!(*g, 8);
+    }
+
+    #[test]
+    fn plan_parser_round_trips_the_grammar() {
+        let plan = FaultPlan::parse("seed=9;cache.fsync=delay:30000;cache.store=io:disk full:x3")
+            .expect("parse");
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.arms.len(), 2);
+        assert_eq!(plan.arms[0], (points::CACHE_FSYNC.to_string(), FaultSpec::delay_ms(30000)));
+        assert_eq!(
+            plan.arms[1],
+            (points::CACHE_STORE.to_string(), FaultSpec::io("disk full").times(3))
+        );
+
+        let plan = FaultPlan::parse("queue.dequeue=panic:skip2;cache.enospc=io").expect("parse");
+        assert_eq!(plan.seed, 0);
+        assert_eq!(plan.arms[0].1, FaultSpec::panic().skip(2));
+        assert_eq!(plan.arms[1].1, FaultSpec::io("injected io fault"));
+
+        assert!(FaultPlan::parse("").expect("empty ok").is_empty());
+        assert!(FaultPlan::parse("seed=4").expect("seed only").is_empty());
+        assert!(FaultPlan::parse("nonsense").is_err(), "missing =");
+        assert!(FaultPlan::parse("p=warp").is_err(), "unknown kind");
+        assert!(FaultPlan::parse("p=delay").is_err(), "delay without ms");
+        assert!(FaultPlan::parse("p=io:skipx").is_err(), "bad skip count");
+    }
+
+    #[test]
+    fn parsed_plan_fires_like_a_built_one() {
+        let inj = FaultInjector::inert();
+        let plan = FaultPlan::parse("cache.store=io:full:skip1:x2").expect("parse");
+        inj.load_plan(&plan);
+        assert!(inj.fire_io(points::CACHE_STORE).is_ok(), "skip 1");
+        assert!(inj.fire_io(points::CACHE_STORE).is_err());
+        assert!(inj.fire_io(points::CACHE_STORE).is_err());
+        assert!(inj.fire_io(points::CACHE_STORE).is_ok(), "disarmed after x2");
     }
 
     #[test]

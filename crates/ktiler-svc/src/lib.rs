@@ -38,13 +38,13 @@ pub mod proto;
 pub mod server;
 pub mod service;
 
-pub use cache::{CacheProbe, ScheduleCache};
+pub use cache::{CacheProbe, ScheduleCache, StoreOutcome};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use key::{schedule_cache_key, CacheKey, KeyHasher};
 pub use metrics::Metrics;
 pub use server::{
-    fetch_from_peer, serve, serve_front, serve_with, Dispatch, FrontEnd, NetClient, RetryPolicy,
-    Server, ServerTuning,
+    digest_from_peer, fetch_from_peer, serve, serve_front, serve_with, Dispatch, FrontEnd,
+    NetClient, ResponseSink, ResponseTicket, RetryPolicy, Server, ServerTuning,
 };
 pub use service::{
     Client, Outcome, ScheduleRequest, ScheduleResponse, Service, ServiceConfig, SvcError, Ticket,

@@ -145,6 +145,28 @@ pub struct Metrics {
     pub fetches_served: AtomicU64,
     /// Artifacts stored via `PUT` (gateway hot-key replication).
     pub replica_stores: AtomicU64,
+    /// Stores skipped because the cache volume was out of space — the
+    /// response was still served from the computed schedule; only the
+    /// persist was bypassed (cache-bypass degradation, never an error).
+    pub store_skipped: AtomicU64,
+    /// Quarantine renames that themselves failed — the bad artifact is
+    /// still on disk under its live name and will be retried or replaced
+    /// by the recompute's store.
+    pub quarantine_failures: AtomicU64,
+    /// Artifacts evicted by the size-budget sweeper (LRU by mtime).
+    pub cache_evictions: AtomicU64,
+    /// Torn temporary files removed during cache open (uncommitted
+    /// writes left by a crash mid-store).
+    pub tmp_recovered: AtomicU64,
+    /// `DIGEST` requests this node answered for a peer.
+    pub digests_served: AtomicU64,
+    /// Anti-entropy rounds completed (periodic or `SYNC`-triggered).
+    pub sync_rounds: AtomicU64,
+    /// Artifacts pulled from peers by anti-entropy and stored locally.
+    pub sync_pulls: AtomicU64,
+    /// Anti-entropy pull attempts that produced no stored artifact
+    /// (transport failure, key vanished, parse failure, store failure).
+    pub sync_pull_failures: AtomicU64,
     /// Latency of the block-analysis pass alone (`kgraph::analyze_fast`),
     /// recorded once per memo-miss recompute.
     pub analyze_latency: LatencyHistogram,
@@ -177,7 +199,11 @@ impl Metrics {
              \"store_failures\": {},\n  \"errors\": {},\n  \"worker_panics\": {},\n  \
              \"workers_respawned\": {},\n  \"degraded_total\": {},\n  \"peer_fills\": {},\n  \
              \"peer_fetch_failures\": {},\n  \"fetches_served\": {},\n  \
-             \"replica_stores\": {},\n  \"latency_us\": {{\n    \
+             \"replica_stores\": {},\n  \"store_skipped\": {},\n  \
+             \"quarantine_failures\": {},\n  \"cache_evictions\": {},\n  \
+             \"tmp_recovered\": {},\n  \"digests_served\": {},\n  \
+             \"sync_rounds\": {},\n  \"sync_pulls\": {},\n  \
+             \"sync_pull_failures\": {},\n  \"latency_us\": {{\n    \
              \"analyze\": {},\n    \"tile\": {},\n    \"cache_load\": {},\n    \"total\": {}\n  \
              }}\n}}",
             c(&self.requests),
@@ -198,6 +224,14 @@ impl Metrics {
             c(&self.peer_fetch_failures),
             c(&self.fetches_served),
             c(&self.replica_stores),
+            c(&self.store_skipped),
+            c(&self.quarantine_failures),
+            c(&self.cache_evictions),
+            c(&self.tmp_recovered),
+            c(&self.digests_served),
+            c(&self.sync_rounds),
+            c(&self.sync_pulls),
+            c(&self.sync_pull_failures),
             self.analyze_latency.to_json(),
             self.tile_latency.to_json(),
             self.cache_load_latency.to_json(),
@@ -265,6 +299,14 @@ mod tests {
             "peer_fetch_failures",
             "fetches_served",
             "replica_stores",
+            "store_skipped",
+            "quarantine_failures",
+            "cache_evictions",
+            "tmp_recovered",
+            "digests_served",
+            "sync_rounds",
+            "sync_pulls",
+            "sync_pull_failures",
             "latency_us",
         ] {
             assert!(json.contains(&format!("\"{field}\"")), "{field} missing from {json}");

@@ -17,6 +17,9 @@
 //! SCHEDULE optflow size=64 iters=3 levels=2 freq=1324,5010 deadline_ms=500
 //! FETCH <32 hex>                     peer read-through: raw artifact or NOT_FOUND
 //! PUT <32 hex>                       (body: the .sched text) replicate an artifact
+//! DIGEST                             anti-entropy: the node's live key set
+//! SYNC                               anti-entropy: run one repair round now
+//! DRAIN <addr> [off]                 gateway admin: (un)drain a node
 //! STATS
 //! PING
 //! SHUTDOWN
@@ -28,11 +31,24 @@
 //! OK HIT key=<32 hex> launches=<n>   (body: the .sched text)
 //! OK ARTIFACT key=<32 hex>           (body: the raw artifact text)
 //! OK STORED
+//! OK DIGEST count=<n>                (body: one 32-hex key per line)
+//! OK SYNCED pulled=<p> failed=<f> peers=<n>
+//! OK DRAINED node=<addr> draining=<true|false>
 //! OK STATS                           (body: metrics JSON)
 //! OK PONG
 //! OK BYE
 //! ERR <CODE> <message>
 //! ```
+//!
+//! **Per-verb frame budgets.** Only `SCHEDULE` and `PUT` legitimately
+//! carry large payloads; every other verb is a short control line. A
+//! server-side decoder built with [`FrameDecoder::for_requests`] caps
+//! control-verb payloads at [`MAX_CONTROL_FRAME`]: as soon as the verb of
+//! an over-budget frame is identified the decoder stops buffering,
+//! discards the rest of the payload (framing stays intact), and reports
+//! [`DecodeEvent::OversizedControl`] so the server can answer with a
+//! typed error instead of first allocating up to [`MAX_FRAME`] bytes for
+//! a `PING`.
 
 use std::io::{self, BufRead, Write};
 
@@ -50,9 +66,21 @@ pub const PROTO_VERSION: u8 = 1;
 /// unbounded memory.
 pub const MAX_FRAME: usize = 64 << 20;
 
+/// Largest accepted payload for control verbs (everything except
+/// `SCHEDULE` and `PUT`) on a server-side request decoder built with
+/// [`FrameDecoder::for_requests`]. Control requests are one short line, so
+/// 4 KiB is orders of magnitude of slack — and rejecting above it means a
+/// hostile `PING` cannot make the server allocate [`MAX_FRAME`] bytes.
+pub const MAX_CONTROL_FRAME: usize = 4096;
+
 /// Longest accepted frame header (decimal digits between the version byte
 /// and the newline).
 const MAX_HEADER_DIGITS: usize = 20;
+
+/// How many leading payload bytes suffice to identify a request verb: the
+/// longest real verb (`SCHEDULE`) is 8 bytes, so any undelimited token this
+/// long is already known not to be an exempt verb.
+const VERB_PROBE: usize = 12;
 
 fn bad(m: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, m)
@@ -98,6 +126,28 @@ pub enum DecodeEvent {
         /// The version byte the peer sent.
         got: u8,
     },
+    /// A control-verb frame whose declared payload exceeds
+    /// [`MAX_CONTROL_FRAME`] on a budgeted decoder
+    /// ([`FrameDecoder::for_requests`]). The payload was consumed and
+    /// discarded — never buffered — so the stream stays framed and the
+    /// server can answer with a typed [`SvcError::BadRequest`].
+    OversizedControl {
+        /// The verb token the frame led with (possibly truncated to the
+        /// probe window for unknown verbs).
+        verb: String,
+        /// The payload length the frame header declared.
+        declared: usize,
+    },
+}
+
+/// What [`FrameDecoder::classify`] concluded about an over-budget frame.
+enum Classified {
+    /// Not enough bytes yet to identify the verb.
+    Undecided,
+    /// A bulk verb (`SCHEDULE`/`PUT`) — buffer the payload normally.
+    Exempt,
+    /// A control verb — discard the payload and report it.
+    Control(String),
 }
 
 #[derive(Debug)]
@@ -106,8 +156,13 @@ enum DecodeState {
     Version,
     /// Version consumed; accumulating length digits up to the newline.
     Length { version: u8, digits: Vec<u8> },
-    /// Header complete; consuming payload bytes.
-    Payload { version: u8, expected: usize, got: Vec<u8> },
+    /// Header complete; consuming payload bytes. `exempt` is true once the
+    /// frame is known to be allowed its full declared length (in-budget,
+    /// foreign-version, or a bulk verb).
+    Payload { version: u8, expected: usize, got: Vec<u8>, exempt: bool },
+    /// An over-budget control frame: consuming (and dropping) the payload
+    /// remainder so the stream stays framed.
+    Discard { verb: String, declared: usize, remaining: usize },
 }
 
 /// An incremental frame decoder: feed it whatever bytes a non-blocking
@@ -118,6 +173,7 @@ enum DecodeState {
 #[derive(Debug)]
 pub struct FrameDecoder {
     state: DecodeState,
+    control_budget: Option<usize>,
 }
 
 impl Default for FrameDecoder {
@@ -127,9 +183,19 @@ impl Default for FrameDecoder {
 }
 
 impl FrameDecoder {
-    /// A decoder at a frame boundary.
+    /// A decoder at a frame boundary with no per-verb budget (the right
+    /// choice for response streams, where bulk payloads are the norm).
     pub fn new() -> Self {
-        FrameDecoder { state: DecodeState::Version }
+        FrameDecoder { state: DecodeState::Version, control_budget: None }
+    }
+
+    /// A decoder for server-side request streams: control verbs are held
+    /// to [`MAX_CONTROL_FRAME`]. An over-budget control frame is consumed
+    /// without buffering and reported as
+    /// [`DecodeEvent::OversizedControl`]; `SCHEDULE` and `PUT` frames are
+    /// exempt up to [`MAX_FRAME`].
+    pub fn for_requests() -> Self {
+        FrameDecoder { state: DecodeState::Version, control_budget: Some(MAX_CONTROL_FRAME) }
     }
 
     /// Whether at least one byte of the current frame has been consumed —
@@ -145,6 +211,7 @@ impl FrameDecoder {
     pub fn payload_wanted(&self) -> Option<usize> {
         match &self.state {
             DecodeState::Payload { expected, got, .. } => Some(expected - got.len()),
+            DecodeState::Discard { remaining, .. } => Some(*remaining),
             _ => None,
         }
     }
@@ -189,10 +256,16 @@ impl FrameDecoder {
                             events.push(Self::complete(version, Vec::new()));
                             self.state = DecodeState::Version;
                         } else {
+                            // Foreign-version payloads are already consumed
+                            // and dropped wholesale by `complete`, so the
+                            // budget only concerns our own version.
+                            let exempt = version != PROTO_VERSION
+                                || self.control_budget.is_none_or(|b| len <= b);
                             self.state = DecodeState::Payload {
                                 version,
                                 expected: len,
                                 got: Vec::with_capacity(len.min(64 << 10)),
+                                exempt,
                             };
                         }
                     } else if !b.is_ascii_digit() || digits.len() >= MAX_HEADER_DIGITS {
@@ -201,19 +274,62 @@ impl FrameDecoder {
                         digits.push(b);
                     }
                 }
-                DecodeState::Payload { version, expected, got } => {
+                DecodeState::Payload { version, expected, got, exempt } => {
                     let take = (*expected - got.len()).min(bytes.len());
                     got.extend_from_slice(&bytes[..take]);
                     bytes = &bytes[take..];
+                    if !*exempt {
+                        match Self::classify(got, *expected) {
+                            Classified::Undecided => {}
+                            Classified::Exempt => *exempt = true,
+                            Classified::Control(verb) => {
+                                let declared = *expected;
+                                let remaining = declared - got.len();
+                                if remaining == 0 {
+                                    events.push(DecodeEvent::OversizedControl { verb, declared });
+                                    self.state = DecodeState::Version;
+                                } else {
+                                    self.state = DecodeState::Discard { verb, declared, remaining };
+                                }
+                                continue;
+                            }
+                        }
+                    }
                     if got.len() == *expected {
                         let payload = std::mem::take(got);
                         events.push(Self::complete(*version, payload));
                         self.state = DecodeState::Version;
                     }
                 }
+                DecodeState::Discard { verb, declared, remaining } => {
+                    let take = (*remaining).min(bytes.len());
+                    bytes = &bytes[take..];
+                    *remaining -= take;
+                    if *remaining == 0 {
+                        let verb = std::mem::take(verb);
+                        let declared = *declared;
+                        events.push(DecodeEvent::OversizedControl { verb, declared });
+                        self.state = DecodeState::Version;
+                    }
+                }
             }
         }
         Ok(())
+    }
+
+    /// Identifies the verb of an over-budget frame from its leading bytes.
+    /// A decision needs either a delimiter, a token longer than any exempt
+    /// verb, or the full payload.
+    fn classify(got: &[u8], expected: usize) -> Classified {
+        let end = match got.iter().position(|&b| matches!(b, b' ' | b'\n' | b'\r')) {
+            Some(e) => e,
+            None if got.len() >= VERB_PROBE || got.len() == expected => got.len().min(VERB_PROBE),
+            None => return Classified::Undecided,
+        };
+        match &got[..end.min(VERB_PROBE)] {
+            b"SCHEDULE" | b"PUT" => Classified::Exempt,
+            verb => Classified::Control(String::from_utf8_lossy(verb).into_owned()),
+        }
     }
 
     fn complete(version: u8, payload: Vec<u8>) -> DecodeEvent {
@@ -279,6 +395,13 @@ pub fn read_frame_polled<R: BufRead>(
                     match ev {
                         DecodeEvent::Frame(p) => return Ok(Some(p)),
                         DecodeEvent::BadVersion { got } => return Err(version_error(got)),
+                        // Unreachable: the blocking readers drive an
+                        // unbudgeted decoder.
+                        DecodeEvent::OversizedControl { verb, declared } => {
+                            return Err(bad(format!(
+                                "oversized control frame ({verb}, {declared} bytes)"
+                            )));
+                        }
                     }
                 }
             }
@@ -310,6 +433,22 @@ pub enum Request {
         /// The artifact text.
         text: String,
     },
+    /// Anti-entropy: ask for the node's live cache key set (one key per
+    /// body line in the response) so a replica peer can pull what it is
+    /// missing.
+    Digest,
+    /// Anti-entropy: run one repair round against the node's configured
+    /// peers right now and report what it pulled.
+    Sync,
+    /// Gateway admin: drain (`on == true`) or restore (`on == false`) a
+    /// node. A draining node keeps being health-probed but receives no new
+    /// traffic.
+    Drain {
+        /// The node address exactly as listed in the gateway config.
+        node: String,
+        /// `true` to drain, `false` to restore.
+        on: bool,
+    },
     /// Request the metrics registry as JSON.
     Stats,
     /// Liveness check.
@@ -320,15 +459,21 @@ pub enum Request {
 
 impl Request {
     /// Whether retrying this request after a transport failure is safe.
-    /// Scheduling is a pure function of its inputs, `FETCH`/`STATS`/`PING`
-    /// are read-only, and `PUT` stores content-addressed bytes (a resend
-    /// stores the identical artifact); `SHUTDOWN` is not idempotent — a
-    /// retry could reach (and kill) a freshly restarted server.
+    /// Scheduling is a pure function of its inputs,
+    /// `FETCH`/`DIGEST`/`STATS`/`PING` are read-only, `PUT` stores
+    /// content-addressed bytes (a resend stores the identical artifact),
+    /// `SYNC` converges toward the same state however often it runs, and
+    /// `DRAIN` sets a flag to an absolute value; `SHUTDOWN` is not
+    /// idempotent — a retry could reach (and kill) a freshly restarted
+    /// server.
     pub fn is_idempotent(&self) -> bool {
         match self {
             Request::Schedule(_)
             | Request::Fetch(_)
             | Request::Put { .. }
+            | Request::Digest
+            | Request::Sync
+            | Request::Drain { .. }
             | Request::Stats
             | Request::Ping => true,
             Request::Shutdown => false,
@@ -349,6 +494,11 @@ impl Request {
             }
             Request::Fetch(key) => format!("FETCH {key}"),
             Request::Put { key, .. } => format!("PUT {key}"),
+            Request::Digest => "DIGEST".into(),
+            Request::Sync => "SYNC".into(),
+            Request::Drain { node, on } => {
+                format!("DRAIN {node}{}", if *on { "" } else { " off" })
+            }
             Request::Stats => "STATS".into(),
             Request::Ping => "PING".into(),
             Request::Shutdown => "SHUTDOWN".into(),
@@ -414,6 +564,13 @@ impl Request {
                 }
                 Ok(Request::Put { key, text: body.to_string() })
             }
+            Some((&"DIGEST", [])) => Ok(Request::Digest),
+            Some((&"SYNC", [])) => Ok(Request::Sync),
+            Some((&"DRAIN", rest)) => match rest {
+                [node] | [node, "on"] => Ok(Request::Drain { node: (*node).to_string(), on: true }),
+                [node, "off"] => Ok(Request::Drain { node: (*node).to_string(), on: false }),
+                _ => Err("DRAIN takes a node address and an optional on|off".into()),
+            },
             Some((&"STATS", [])) => Ok(Request::Stats),
             Some((&"PING", [])) => Ok(Request::Ping),
             Some((&"SHUTDOWN", [])) => Ok(Request::Shutdown),
@@ -451,6 +608,24 @@ pub enum Response {
     },
     /// Acknowledgement of a [`Request::Put`].
     Stored,
+    /// The node's live cache key set answering a [`Request::Digest`].
+    Digest(Vec<CacheKey>),
+    /// Result of a [`Request::Sync`] repair round.
+    Synced {
+        /// Artifacts pulled from peers and stored this round.
+        pulled: u64,
+        /// Keys that could not be pulled (transport, parse, or store).
+        failed: u64,
+        /// Peers consulted.
+        peers: usize,
+    },
+    /// Acknowledgement of a [`Request::Drain`].
+    Drained {
+        /// The node address as listed in the gateway config.
+        node: String,
+        /// The node's draining flag after applying the request.
+        draining: bool,
+    },
     /// The metrics registry as JSON.
     Stats(String),
     /// Answer to [`Request::Ping`].
@@ -477,6 +652,20 @@ impl Response {
                 format!("OK ARTIFACT key={key}\n{text}").into_bytes()
             }
             Response::Stored => b"OK STORED".to_vec(),
+            Response::Digest(keys) => {
+                let mut out = format!("OK DIGEST count={}", keys.len());
+                for key in keys {
+                    out.push('\n');
+                    out.push_str(&key.to_string());
+                }
+                out.into_bytes()
+            }
+            Response::Synced { pulled, failed, peers } => {
+                format!("OK SYNCED pulled={pulled} failed={failed} peers={peers}").into_bytes()
+            }
+            Response::Drained { node, draining } => {
+                format!("OK DRAINED node={node} draining={draining}").into_bytes()
+            }
             Response::Stats(json) => format!("OK STATS\n{json}").into_bytes(),
             Response::Pong => b"OK PONG".to_vec(),
             Response::Bye => b"OK BYE".to_vec(),
@@ -520,6 +709,49 @@ impl Response {
                     .and_then(|k| k.parse().ok())
                     .ok_or_else(|| format!("bad key field '{key}'"))?;
                 Ok(Response::Artifact { key, text: body.to_string() })
+            }
+            ["OK", "DIGEST", count] => {
+                let count: usize = count
+                    .strip_prefix("count=")
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| format!("bad count field '{count}'"))?;
+                let mut keys = Vec::with_capacity(count.min(1 << 16));
+                for line in body.lines().filter(|l| !l.is_empty()) {
+                    keys.push(line.parse().map_err(|_| format!("bad digest key '{line}'"))?);
+                }
+                if keys.len() != count {
+                    return Err(format!(
+                        "digest declared {count} keys but the body carries {}",
+                        keys.len()
+                    ));
+                }
+                Ok(Response::Digest(keys))
+            }
+            ["OK", "SYNCED", pulled, failed, peers] => {
+                let pulled = pulled
+                    .strip_prefix("pulled=")
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| format!("bad pulled field '{pulled}'"))?;
+                let failed = failed
+                    .strip_prefix("failed=")
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| format!("bad failed field '{failed}'"))?;
+                let peers = peers
+                    .strip_prefix("peers=")
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| format!("bad peers field '{peers}'"))?;
+                Ok(Response::Synced { pulled, failed, peers })
+            }
+            ["OK", "DRAINED", node, draining] => {
+                let node = node
+                    .strip_prefix("node=")
+                    .ok_or_else(|| format!("bad node field '{node}'"))?
+                    .to_string();
+                let draining = draining
+                    .strip_prefix("draining=")
+                    .and_then(|b| b.parse().ok())
+                    .ok_or_else(|| format!("bad draining field '{draining}'"))?;
+                Ok(Response::Drained { node, draining })
             }
             ["OK", outcome, key, launches] => {
                 let outcome = Outcome::from_str_token(outcome)
@@ -661,6 +893,10 @@ mod tests {
                 key: CacheKey { hi: 1, lo: 2 },
                 text: "# schedule\nlaunch k0: all\n".to_string(),
             },
+            Request::Digest,
+            Request::Sync,
+            Request::Drain { node: "127.0.0.1:4100".into(), on: true },
+            Request::Drain { node: "127.0.0.1:4100".into(), on: false },
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
@@ -669,6 +905,11 @@ mod tests {
             let decoded = Request::decode(&req.encode()).unwrap();
             assert_eq!(decoded, req, "{}", req.to_line());
         }
+        // `DRAIN <addr> on` is accepted as the explicit spelling.
+        assert_eq!(
+            Request::parse_line("DRAIN 10.0.0.1:4100 on").unwrap(),
+            Request::Drain { node: "10.0.0.1:4100".into(), on: true }
+        );
     }
 
     #[test]
@@ -704,6 +945,10 @@ mod tests {
             "SCHEDULE optflow deadline_ms=soon",
             "PING extra",
             "STATS now",
+            "DIGEST all",
+            "SYNC now",
+            "DRAIN",
+            "DRAIN node1 maybe",
         ] {
             assert!(Request::parse_line(bad).is_err(), "{bad:?} should be rejected");
         }
@@ -792,6 +1037,9 @@ mod tests {
             levels: 2
         }))
         .is_idempotent());
+        assert!(Request::Digest.is_idempotent());
+        assert!(Request::Sync.is_idempotent());
+        assert!(Request::Drain { node: "n".into(), on: true }.is_idempotent());
         assert!(!Request::Shutdown.is_idempotent());
     }
 
@@ -809,6 +1057,11 @@ mod tests {
                 text: "# schedule\nlaunch k1: all\n".to_string(),
             },
             Response::Stored,
+            Response::Digest(vec![]),
+            Response::Digest(vec![CacheKey { hi: 0xdead, lo: 0xbeef }, CacheKey { hi: 1, lo: 2 }]),
+            Response::Synced { pulled: 12, failed: 1, peers: 2 },
+            Response::Drained { node: "127.0.0.1:4100".into(), draining: true },
+            Response::Drained { node: "127.0.0.1:4101".into(), draining: false },
             Response::Stats("{\"requests\": 3}".to_string()),
             Response::Pong,
             Response::Bye,
@@ -836,6 +1089,73 @@ mod tests {
             let decoded = Response::decode(&resp.encode()).unwrap();
             assert_eq!(decoded, resp);
         }
+    }
+
+    #[test]
+    fn digest_count_must_match_the_body() {
+        let err =
+            Response::decode(b"OK DIGEST count=2\n00000000000000000000000000000001").unwrap_err();
+        assert!(err.contains("declared 2"), "{err}");
+    }
+
+    #[test]
+    fn oversized_control_frames_are_discarded_not_buffered() {
+        let declared = MAX_CONTROL_FRAME + 1;
+        let mut wire = format!("{PROTO_VERSION}{declared}\n").into_bytes();
+        let mut payload = b"PING ".to_vec();
+        payload.resize(declared, b'x');
+        wire.extend_from_slice(&payload);
+        // A well-formed frame behind the oversized one must still decode:
+        // the discard keeps the stream framed.
+        write_frame(&mut wire, b"PING").unwrap();
+
+        for chunk in [1usize, 7, wire.len()] {
+            let mut dec = FrameDecoder::for_requests();
+            let mut events = Vec::new();
+            for piece in wire.chunks(chunk) {
+                dec.feed(piece, &mut events).unwrap();
+            }
+            assert_eq!(
+                events,
+                vec![
+                    DecodeEvent::OversizedControl { verb: "PING".into(), declared },
+                    DecodeEvent::Frame(b"PING".to_vec()),
+                ],
+                "chunk size {chunk}"
+            );
+            assert!(!dec.mid_frame(), "back at a frame boundary");
+        }
+    }
+
+    #[test]
+    fn bulk_verbs_are_exempt_from_the_control_budget() {
+        let req = Request::Put {
+            key: CacheKey { hi: 1, lo: 2 },
+            text: "x".repeat(MAX_CONTROL_FRAME * 2),
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let mut dec = FrameDecoder::for_requests();
+        let mut events = Vec::new();
+        dec.feed(&wire, &mut events).unwrap();
+        let [DecodeEvent::Frame(payload)] = events.as_slice() else {
+            panic!("expected exactly one frame, got {events:?}");
+        };
+        assert_eq!(Request::decode(payload).unwrap(), req);
+    }
+
+    #[test]
+    fn in_budget_control_frames_pass_a_budgeted_decoder_untouched() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"STATS").unwrap();
+        write_frame(&mut wire, b"DIGEST").unwrap();
+        let mut dec = FrameDecoder::for_requests();
+        let mut events = Vec::new();
+        dec.feed(&wire, &mut events).unwrap();
+        assert_eq!(
+            events,
+            vec![DecodeEvent::Frame(b"STATS".to_vec()), DecodeEvent::Frame(b"DIGEST".to_vec()),]
+        );
     }
 
     #[test]

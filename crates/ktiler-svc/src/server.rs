@@ -38,15 +38,17 @@ use std::collections::VecDeque;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gpu_sim::SplitMix64;
 
+use crate::fault;
 use crate::key::CacheKey;
 use crate::proto::{
-    read_frame, write_frame, DecodeEvent, FrameDecoder, Request, Response, PROTO_VERSION,
+    read_frame, write_frame, DecodeEvent, FrameDecoder, Request, Response, MAX_CONTROL_FRAME,
+    PROTO_VERSION,
 };
 use crate::service::{Service, SvcError, Ticket};
 
@@ -91,6 +93,57 @@ pub enum Dispatch {
     /// node); the loop polls the ticket and writes the response when it
     /// lands, without ever blocking on it.
     Pending(Ticket),
+    /// Like [`Dispatch::Pending`], but for verbs whose responses are not
+    /// schedules ([`Ticket`] is typed to a [`ScheduleResponse`](crate::service::ScheduleResponse));
+    /// `SYNC` answers through one of these so a round against dead peers
+    /// never stalls the event loop.
+    PendingRaw(ResponseTicket),
+}
+
+/// A poll-able slot for a raw [`Response`] computed off-loop — the untyped
+/// sibling of [`Ticket`].
+pub struct ResponseTicket {
+    cell: Arc<Mutex<Option<Response>>>,
+}
+
+/// The fulfilling half of a [`ResponseTicket::pair`]. Dropping an
+/// unfulfilled sink (the computing thread panicked, or was never spawned)
+/// fulfills the ticket with a structured error — the waiting connection is
+/// always answered, never left hung.
+pub struct ResponseSink {
+    cell: Arc<Mutex<Option<Response>>>,
+}
+
+impl ResponseTicket {
+    /// An unfulfilled ticket and the sink that fulfills it.
+    pub fn pair() -> (ResponseTicket, ResponseSink) {
+        let cell = Arc::new(Mutex::new(None));
+        (ResponseTicket { cell: Arc::clone(&cell) }, ResponseSink { cell })
+    }
+
+    /// Takes the response if one landed; `None` means still in flight.
+    pub fn try_take(&mut self) -> Option<Response> {
+        fault::lock(&self.cell).take()
+    }
+}
+
+impl ResponseSink {
+    /// Fulfills the paired ticket. First fulfillment wins; later calls
+    /// (including the drop guard) are ignored.
+    pub fn fulfill(&self, r: Response) {
+        let mut cell = fault::lock(&self.cell);
+        if cell.is_none() {
+            *cell = Some(r);
+        }
+    }
+}
+
+impl Drop for ResponseSink {
+    fn drop(&mut self) {
+        self.fulfill(Response::Err(SvcError::Internal(
+            "response computation dropped its sink".into(),
+        )));
+    }
 }
 
 /// What the event loop serves: anything that can turn a request into a
@@ -125,6 +178,32 @@ impl FrontEnd for Service {
                 Ok(ticket) => Dispatch::Pending(ticket),
                 Err(e) => Dispatch::Ready(Response::Err(e)),
             },
+            Request::Digest => Dispatch::Ready(match self.client().digest() {
+                Ok(keys) => Response::Digest(keys),
+                Err(e) => Response::Err(e),
+            }),
+            Request::Sync => {
+                // A repair round talks to peers (possibly dead ones, each
+                // costing a timeout), so it runs on its own thread; the
+                // loop polls the raw ticket like any pending schedule.
+                let (ticket, sink) = ResponseTicket::pair();
+                let client = self.client();
+                let spawned = std::thread::Builder::new().name("ktiler-svc-sync-now".into()).spawn(
+                    move || {
+                        let (pulled, failed, peers) = client.sync_now();
+                        sink.fulfill(Response::Synced { pulled, failed, peers });
+                    },
+                );
+                match spawned {
+                    Ok(_) => Dispatch::PendingRaw(ticket),
+                    Err(e) => Dispatch::Ready(Response::Err(SvcError::Internal(format!(
+                        "could not start sync round: {e}"
+                    )))),
+                }
+            }
+            Request::Drain { .. } => Dispatch::Ready(Response::Err(SvcError::BadRequest(
+                "DRAIN is a gateway verb; nodes have no membership table".into(),
+            ))),
             // Only reachable from direct callers; the loop intercepts it.
             Request::Shutdown => Dispatch::Ready(Response::Bye),
         }
@@ -251,6 +330,9 @@ enum Slot {
     Done(Vec<u8>),
     /// Still being computed; polled each sweep.
     Wait(Ticket),
+    /// A raw (non-schedule) response still being computed; polled each
+    /// sweep.
+    WaitRaw(ResponseTicket),
 }
 
 /// Per-connection state between sweeps.
@@ -281,7 +363,7 @@ impl Conn {
     fn new(stream: TcpStream) -> Self {
         Conn {
             stream,
-            dec: FrameDecoder::new(),
+            dec: FrameDecoder::for_requests(),
             pending: VecDeque::new(),
             out: Vec::new(),
             out_pos: 0,
@@ -474,10 +556,22 @@ impl<F: FrontEnd> EventLoop<F> {
                     let slot = match self.front.handle(req) {
                         Dispatch::Ready(resp) => Slot::Done(resp.encode()),
                         Dispatch::Pending(ticket) => Slot::Wait(ticket),
+                        Dispatch::PendingRaw(ticket) => Slot::WaitRaw(ticket),
                     };
                     self.conns[i].pending.push_back(slot);
                 }
             },
+            DecodeEvent::OversizedControl { verb, declared } => {
+                // The payload was discarded, framing is intact; answer
+                // with a typed error and keep the connection.
+                self.conns[i].pending.push_back(Slot::Done(
+                    Response::Err(SvcError::BadRequest(format!(
+                        "{declared}-byte payload exceeds the {MAX_CONTROL_FRAME}-byte \
+                         budget for control verb '{verb}'"
+                    )))
+                    .encode(),
+                ));
+            }
         }
     }
 
@@ -496,6 +590,10 @@ impl<F: FrontEnd> EventLoop<F> {
                         Some(Ok(resp)) => Response::Schedule(resp).encode(),
                         Some(Err(e)) => Response::Err(e).encode(),
                         None => break, // still computing; order bars later slots
+                    },
+                    Slot::WaitRaw(ticket) => match ticket.try_take() {
+                        Some(resp) => resp.encode(),
+                        None => break,
                     },
                 };
                 c.pending.pop_front();
@@ -772,6 +870,25 @@ pub fn fetch_from_peer(addr: &str, key: &CacheKey, timeout: Duration) -> io::Res
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unexpected FETCH reply from {addr}: {other:?}"),
+        )),
+    }
+}
+
+/// Asks the node at `addr` for its live cache key set (`DIGEST`),
+/// spending at most `timeout` on the dial and on each read/write — the
+/// transport half of an anti-entropy round.
+///
+/// # Errors
+///
+/// Transport errors, or [`io::ErrorKind::InvalidData`] for any reply that
+/// is not a digest.
+pub fn digest_from_peer(addr: &str, timeout: Duration) -> io::Result<Vec<CacheKey>> {
+    let mut client = NetClient::connect_timeout(addr, timeout)?;
+    match client.request(&Request::Digest)? {
+        Response::Digest(keys) => Ok(keys),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected DIGEST reply from {addr}: {other:?}"),
         )),
     }
 }

@@ -44,7 +44,7 @@ use ktiler::{
     CalibrationConfig, KtilerConfig, Schedule, TileParams,
 };
 
-use crate::cache::{CacheProbe, ScheduleCache};
+use crate::cache::{CacheProbe, ScheduleCache, StoreOutcome};
 use crate::fault::{self, points, FaultInjector};
 use crate::key::{schedule_cache_key, CacheKey, KeyHasher};
 use crate::metrics::{bump, Metrics};
@@ -379,6 +379,15 @@ pub struct ServiceConfig {
     /// shortcut, not a dependency — a slow peer must cost less than the
     /// recompute it would have saved.
     pub peer_timeout: Duration,
+    /// Size budget for the on-disk cache in bytes; `None` leaves the
+    /// directory unbounded, `Some(n)` keeps it at or under `n` bytes via
+    /// the LRU-by-mtime sweeper (see [`ScheduleCache::sweep`]).
+    pub cache_budget_bytes: Option<u64>,
+    /// How often the anti-entropy thread runs a repair round against the
+    /// configured peers ([`Request::Sync`](crate::proto::Request::Sync)
+    /// runs one on demand). `None` disables periodic repair; with no
+    /// peers configured the thread is never spawned either way.
+    pub sync_interval: Option<Duration>,
 }
 
 impl ServiceConfig {
@@ -394,6 +403,8 @@ impl ServiceConfig {
             weight_threshold_ns: 1_000.0,
             peers: Vec::new(),
             peer_timeout: Duration::from_millis(500),
+            cache_budget_bytes: None,
+            sync_interval: None,
         }
     }
 }
@@ -522,6 +533,11 @@ struct Inner {
     faults: Arc<FaultInjector>,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
+    /// The anti-entropy loop sleeps on its own condvar (guarded by the
+    /// queue mutex, whose shutdown flag it watches): if it shared
+    /// `queue_cv`, an enqueue's `notify_one` could wake the sync thread
+    /// instead of a worker and leave the job unserved.
+    sync_cv: Condvar,
     /// Single-flight table: flight key → followers waiting on the leader.
     inflight: Mutex<HashMap<CacheKey, Vec<Arc<Cell>>>>,
     /// Workload memo: flight key → prepared workload.
@@ -536,6 +552,7 @@ struct Inner {
 pub struct Service {
     inner: Arc<Inner>,
     supervisor: Mutex<Option<JoinHandle<()>>>,
+    sync_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// An in-process handle to a [`Service`]; cheap to clone, sharable across
@@ -555,15 +572,24 @@ impl Service {
     /// Any error from creating the cache directory or spawning the
     /// threads.
     pub fn start(cfg: ServiceConfig) -> std::io::Result<Service> {
-        let cache = ScheduleCache::open(&cfg.cache_dir)?;
+        let metrics = Arc::new(Metrics::default());
+        let faults = FaultInjector::inert();
+        let cache = ScheduleCache::open(&cfg.cache_dir)?
+            .with_faults(Arc::clone(&faults))
+            .with_metrics(Arc::clone(&metrics))
+            .with_budget(cfg.cache_budget_bytes);
+        metrics.tmp_recovered.fetch_add(cache.tmp_recovered(), Ordering::Relaxed);
         let workers = cfg.workers.max(1);
+        let sync_interval =
+            if cfg.peers.is_empty() { None } else { cfg.sync_interval.filter(|d| !d.is_zero()) };
         let inner = Arc::new(Inner {
             cfg,
             cache,
-            metrics: Arc::new(Metrics::default()),
-            faults: FaultInjector::inert(),
+            metrics,
+            faults,
             queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
             queue_cv: Condvar::new(),
+            sync_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
             memo: Mutex::new(HashMap::new()),
             live_workers: AtomicUsize::new(0),
@@ -578,7 +604,22 @@ impl Service {
                 .name("ktiler-svc-supervisor".into())
                 .spawn(move || supervisor_loop(&inner, handles))?
         };
-        Ok(Service { inner, supervisor: Mutex::new(Some(supervisor)) })
+        let sync_thread = match sync_interval {
+            Some(interval) => {
+                let inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("ktiler-svc-anti-entropy".into())
+                        .spawn(move || sync_loop(&inner, interval))?,
+                )
+            }
+            None => None,
+        };
+        Ok(Service {
+            inner,
+            supervisor: Mutex::new(Some(supervisor)),
+            sync_thread: Mutex::new(sync_thread),
+        })
     }
 
     /// A new in-process client.
@@ -617,10 +658,38 @@ impl Service {
             let mut q = fault::lock(&self.inner.queue);
             q.shutdown = true;
             self.inner.queue_cv.notify_all();
+            self.inner.sync_cv.notify_all();
         }
         if let Some(h) = fault::lock(&self.supervisor).take() {
             let _ = h.join();
         }
+        if let Some(h) = fault::lock(&self.sync_thread).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The anti-entropy loop: one [`Inner::sync_round`] per interval, with a
+/// shutdown-aware sleep (its condvar is notified at shutdown, so the
+/// thread exits within one wakeup, not one interval).
+fn sync_loop(inner: &Arc<Inner>, interval: Duration) {
+    loop {
+        let next = Instant::now() + interval;
+        {
+            let mut q = fault::lock(&inner.queue);
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= next {
+                    break;
+                }
+                let (guard, _) = fault::cv_wait_timeout(&inner.sync_cv, q, next - now);
+                q = guard;
+            }
+        }
+        inner.sync_round();
     }
 }
 
@@ -721,16 +790,46 @@ impl Client {
     /// # Errors
     ///
     /// [`SvcError::BadRequest`] for unparseable text,
-    /// [`SvcError::Internal`] when the store itself fails.
+    /// [`SvcError::Internal`] when the store itself fails — including a
+    /// skip for disk pressure: the whole point of a `PUT` is persistence,
+    /// so "not stored" is an honest error here, unlike the schedule path
+    /// where the response is served either way.
     pub fn put_artifact(&self, key: &CacheKey, text: &str) -> Result<(), SvcError> {
         schedule_from_text(text)
             .map_err(|e| SvcError::BadRequest(format!("artifact does not parse: {e}")))?;
-        self.inner
+        match self.inner.cache.store(key, text) {
+            Ok(StoreOutcome::Stored) => {
+                bump(&self.inner.metrics.replica_stores);
+                Ok(())
+            }
+            Ok(StoreOutcome::SkippedNoSpace) => {
+                Err(SvcError::Internal("artifact store skipped: volume out of space".into()))
+            }
+            Err(e) => Err(SvcError::Internal(format!("artifact store failed: {e}"))),
+        }
+    }
+
+    /// The node's live cache key set — answers the anti-entropy `DIGEST`
+    /// verb. Quarantined artifacts are absent by design, which is what
+    /// makes a peer's good copy eligible to be pulled back in.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Internal`] when the cache directory cannot be read.
+    pub fn digest(&self) -> Result<Vec<CacheKey>, SvcError> {
+        let keys = self
+            .inner
             .cache
-            .store(key, text)
-            .map_err(|e| SvcError::Internal(format!("artifact store failed: {e}")))?;
-        bump(&self.inner.metrics.replica_stores);
-        Ok(())
+            .keys()
+            .map_err(|e| SvcError::Internal(format!("digest failed: {e}")))?;
+        bump(&self.inner.metrics.digests_served);
+        Ok(keys)
+    }
+
+    /// Runs one anti-entropy repair round right now (the `SYNC` verb);
+    /// returns `(pulled, failed, peers_consulted)`.
+    pub fn sync_now(&self) -> (u64, u64, usize) {
+        self.inner.sync_round()
     }
 
     /// Renders the metrics registry as JSON.
@@ -1025,6 +1124,56 @@ impl Inner {
             });
         }
         None
+    }
+
+    /// One anti-entropy repair round: ask each configured peer for its key
+    /// digest, pull every key this node is missing, and store it after a
+    /// parse sanity check (full verification — which needs the request's
+    /// graph and trace — happens on every later load, exactly as for `PUT`
+    /// artifacts). Returns `(pulled, failed, peers_consulted)`.
+    ///
+    /// Routing keys are not content keys, so a node cannot range-filter
+    /// the digest to "its" ring segment; replica groups exchange whole key
+    /// sets, which is exactly what lets a node restarted empty converge to
+    /// warm without any client traffic. A key whose local artifact was
+    /// quarantined is missing from the local digest and is therefore
+    /// re-pulled automatically.
+    fn sync_round(&self) -> (u64, u64, usize) {
+        let mut pulled: u64 = 0;
+        let mut failed: u64 = 0;
+        let mut local: std::collections::HashSet<CacheKey> =
+            self.cache.keys().unwrap_or_default().into_iter().collect();
+        for peer in &self.cfg.peers {
+            let keys = match crate::server::digest_from_peer(peer, self.cfg.peer_timeout) {
+                Ok(keys) => keys,
+                Err(_) => {
+                    failed += 1;
+                    bump(&self.metrics.sync_pull_failures);
+                    continue;
+                }
+            };
+            for key in keys {
+                if local.contains(&key) {
+                    continue;
+                }
+                let ok = crate::server::fetch_from_peer(peer, &key, self.cfg.peer_timeout)
+                    .ok()
+                    .filter(|text| schedule_from_text(text).is_ok())
+                    .is_some_and(|text| {
+                        matches!(self.cache.store(&key, &text), Ok(StoreOutcome::Stored))
+                    });
+                if ok {
+                    local.insert(key);
+                    pulled += 1;
+                    bump(&self.metrics.sync_pulls);
+                } else {
+                    failed += 1;
+                    bump(&self.metrics.sync_pull_failures);
+                }
+            }
+        }
+        bump(&self.metrics.sync_rounds);
+        (pulled, failed, self.cfg.peers.len())
     }
 }
 

@@ -339,4 +339,99 @@ if ! awk -v w="$WARM" 'BEGIN { exit !(w >= 0.95) }'; then
     exit 1
 fi
 
+echo "== crash-recovery smoke (SIGKILL mid-store -> anti-entropy heal) =="
+# The durability + anti-entropy story live (DESIGN.md §16): warm node A;
+# start node B with an injected 30 s delay in the fsync window, SIGKILL
+# it while its store is still a tmp file, assert no torn artifact under
+# the live name; restart B empty with A as a peer and gate on
+# anti-entropy reaching a byte-identical copy with zero client traffic,
+# then a plain local HIT.
+CR_DIR=$(mktemp -d /tmp/ktiler_crash_smoke.XXXXXX)
+trap 'rm -f "$SMOKE_JSON" "$ZOO_JSON" "$SVC_JSON";
+      rm -rf "$SVC_DIR" "$MN_DIR" "$SVC_WORK" "$CR_DIR";
+      for p in "${SERVE_PID:-}" "${NODE0_PID:-}" "${NODE1_PID:-}" "${GW_PID:-}" \
+               "${CR_A_PID:-}" "${CR_B_PID:-}" "${CR_CLIENT_PID:-}"; do
+          [[ -n "$p" ]] && kill -9 "$p" 2>/dev/null || true
+      done' EXIT
+
+target/release/ktiler_serve --addr 127.0.0.1:0 --cache-dir "$CR_DIR/cacheA" \
+    --port-file "$CR_DIR/portA" >"$CR_DIR/nodeA.log" 2>&1 &
+CR_A_PID=$!
+wait_port_file "$CR_DIR/portA" "$CR_A_PID" "crash-smoke node A"
+CR_ADDR_A=$(cat "$CR_DIR/portA")
+"${CLIENT[@]}" schedule --addr "$CR_ADDR_A" --size 64 --iters 3 --levels 2 \
+    --out "$CR_DIR/warm.sched" | grep '^MISS ' >/dev/null \
+    || { echo "error: warming node A should be a MISS" >&2; exit 1; }
+ARTIFACT_A=$(ls "$CR_DIR"/cacheA/*.sched)
+
+# Node B: the fsync fault holds every store in the uncommitted tmp-file
+# window for 30 s — the exact window the SIGKILL must land in.
+target/release/ktiler_serve --addr 127.0.0.1:0 --cache-dir "$CR_DIR/cacheB" \
+    --fault "cache.fsync=delay:30000" \
+    --port-file "$CR_DIR/portB" >"$CR_DIR/nodeB.log" 2>&1 &
+CR_B_PID=$!
+wait_port_file "$CR_DIR/portB" "$CR_B_PID" "crash-smoke node B"
+CR_ADDR_B=$(cat "$CR_DIR/portB")
+"${CLIENT[@]}" schedule --addr "$CR_ADDR_B" --size 64 --iters 3 --levels 2 \
+    >/dev/null 2>&1 &
+CR_CLIENT_PID=$!
+for _ in $(seq 1 200); do
+    compgen -G "$CR_DIR/cacheB/*.sched.tmp.*" >/dev/null && break
+    sleep 0.1
+done
+compgen -G "$CR_DIR/cacheB/*.sched.tmp.*" >/dev/null \
+    || { echo "error: node B never entered the uncommitted store window" >&2
+         cat "$CR_DIR/nodeB.log" >&2; exit 1; }
+kill -9 "$CR_B_PID"; wait "$CR_B_PID" 2>/dev/null || true; CR_B_PID=""
+wait "$CR_CLIENT_PID" 2>/dev/null || true; CR_CLIENT_PID=""
+if compgen -G "$CR_DIR/cacheB/*.sched" >/dev/null; then
+    echo "error: SIGKILL mid-store left an artifact under the live name" >&2
+    exit 1
+fi
+
+# Restart B on the same (effectively empty) cache dir: the orphaned tmp
+# file must be recovered on open, and anti-entropy against A must pull
+# the artifact back with no client traffic at all.
+target/release/ktiler_serve --addr 127.0.0.1:0 --cache-dir "$CR_DIR/cacheB" \
+    --peer "$CR_ADDR_A" --sync-interval-ms 200 \
+    --port-file "$CR_DIR/portB2" >"$CR_DIR/nodeB2.log" 2>&1 &
+CR_B_PID=$!
+wait_port_file "$CR_DIR/portB2" "$CR_B_PID" "crash-smoke node B (restart)"
+CR_ADDR_B=$(cat "$CR_DIR/portB2")
+HEALED="$CR_DIR/cacheB/$(basename "$ARTIFACT_A")"
+for _ in $(seq 1 100); do
+    [[ -f "$HEALED" ]] && cmp -s "$ARTIFACT_A" "$HEALED" && break
+    sleep 0.1
+done
+cmp -s "$ARTIFACT_A" "$HEALED" \
+    || { echo "error: anti-entropy never converged to a byte-identical artifact" >&2
+         cat "$CR_DIR/nodeB2.log" >&2; exit 1; }
+if compgen -G "$CR_DIR/cacheB/*.sched.tmp.*" >/dev/null; then
+    echo "error: restart did not recover the orphaned tmp file" >&2
+    exit 1
+fi
+
+# The healed node serves the key as a plain local HIT, byte-identical.
+"${CLIENT[@]}" schedule --addr "$CR_ADDR_B" --size 64 --iters 3 --levels 2 \
+    --out "$CR_DIR/healed.sched" | grep '^HIT ' >/dev/null \
+    || { echo "error: the healed node should serve a local HIT" >&2; exit 1; }
+cmp -s "$CR_DIR/warm.sched" "$CR_DIR/healed.sched" \
+    || { echo "error: healed response is not byte-identical to the warm one" >&2; exit 1; }
+"${CLIENT[@]}" stats --addr "$CR_ADDR_B" | grep -qF '"tmp_recovered": 1' \
+    || { echo "error: tmp_recovered counter missing after the restart" >&2; exit 1; }
+
+for pid_var in CR_B_PID CR_A_PID; do
+    pid=${!pid_var}
+    [[ -n "$pid" ]] || continue
+    if [[ "$pid_var" == CR_A_PID ]]; then addr=$CR_ADDR_A; else addr=$CR_ADDR_B; fi
+    "${CLIENT[@]}" shutdown --addr "$addr" >/dev/null \
+        || { echo "error: crash-smoke node shutdown not acknowledged" >&2; exit 1; }
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    kill -0 "$pid" 2>/dev/null && { echo "error: crash-smoke node did not exit" >&2; exit 1; }
+    printf -v "$pid_var" ''
+done
+
 echo "== OK =="
